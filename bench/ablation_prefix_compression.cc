@@ -1,0 +1,92 @@
+// Ablation: page-level SPLID prefix compression on/off (paper §3.2:
+// "storing a SPLID only consumed 2-3 bytes in the average" thanks to
+// prefix compression).
+//
+// Loads all node labels of a generated bib document into two B+-trees —
+// one with, one without compression — and compares page footprint and
+// point-lookup latency.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "node/document.h"
+#include "tamix/bib_generator.h"
+
+using namespace xtc;
+
+namespace {
+
+struct TreeStats {
+  uint64_t pages = 0;
+  double bytes_per_key = 0;
+  double lookup_ns = 0;
+  int height = 0;
+};
+
+TreeStats Measure(const std::vector<std::string>& keys, bool compression) {
+  StorageOptions options;
+  options.buffer_pool_pages = 1 << 16;
+  PageFile file(options);
+  BufferManager bm(&file, options);
+  BplusTree tree(&bm, compression);
+  for (const std::string& key : keys) {
+    Status st = tree.Insert(key, "x");
+    if (!st.ok()) std::abort();
+  }
+  TreeStats stats;
+  stats.pages = file.num_pages();
+  stats.bytes_per_key = static_cast<double>(stats.pages) *
+                        options.page_size / static_cast<double>(keys.size());
+  stats.height = tree.Height();
+  auto start = std::chrono::steady_clock::now();
+  constexpr int kLookups = 200000;
+  uint64_t found = 0;
+  for (int i = 0; i < kLookups; ++i) {
+    found += tree.Contains(keys[static_cast<size_t>(i * 7919) % keys.size()]);
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  if (found != kLookups) std::abort();
+  stats.lookup_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count() /
+      static_cast<double>(kLookups);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation: SPLID key prefix compression in the B+-tree\n");
+  Document doc;
+  auto info = GenerateBib(&doc, BibConfig::Bench());
+  if (!info.ok()) return 1;
+
+  // Collect every node label of the document (encoded form = tree keys).
+  std::vector<std::string> keys;
+  auto nodes = doc.Subtree(Splid::Root());
+  if (!nodes.ok()) return 1;
+  keys.reserve(nodes->size());
+  size_t raw_bytes = 0;
+  for (const Node& n : *nodes) {
+    keys.push_back(n.splid.Encode());
+    raw_bytes += keys.back().size();
+  }
+  std::printf("# %zu SPLIDs, %.1f encoded bytes/SPLID before compression\n",
+              keys.size(), static_cast<double>(raw_bytes) / keys.size());
+
+  TreeStats with = Measure(keys, /*compression=*/true);
+  TreeStats without = Measure(keys, /*compression=*/false);
+
+  std::printf("\n%-22s %10s %14s %12s %8s\n", "variant", "pages",
+              "page-bytes/key", "lookup (ns)", "height");
+  std::printf("%-22s %10llu %14.1f %12.0f %8d\n", "prefix compression",
+              static_cast<unsigned long long>(with.pages), with.bytes_per_key,
+              with.lookup_ns, with.height);
+  std::printf("%-22s %10llu %14.1f %12.0f %8d\n", "no compression",
+              static_cast<unsigned long long>(without.pages),
+              without.bytes_per_key, without.lookup_ns, without.height);
+  std::printf("\n## space saving: %.1f%% fewer pages with compression\n",
+              100.0 * (1.0 - static_cast<double>(with.pages) /
+                                 static_cast<double>(without.pages)));
+  return 0;
+}

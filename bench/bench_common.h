@@ -1,0 +1,77 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Environment knobs:
+//   XTC_BENCH_SECONDS  per-run wall time in seconds (default 1.2)
+//   XTC_BENCH_FULL=1   paper-sized bib document (2000 books) and 6 s runs
+//   XTC_BENCH_SEED     workload seed (default 7)
+//
+// The paper's runs lasted 5 minutes; we scale all timing parameters
+// uniformly (DESIGN.md §2) and report committed transactions normalized
+// to a 5-minute run so the magnitudes are comparable across machines.
+
+#ifndef XTC_BENCH_BENCH_COMMON_H_
+#define XTC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "tamix/coordinator.h"
+
+namespace xtc {
+namespace bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atof(v);
+}
+
+inline bool FullSize() {
+  const char* v = std::getenv("XTC_BENCH_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+inline double RunSeconds() {
+  return EnvDouble("XTC_BENCH_SECONDS", FullSize() ? 6.0 : 1.2);
+}
+
+/// Baseline CLUSTER1 configuration (paper §4.3) with scaled timing.
+/// XTC_BENCH_BOOKS / XTC_BENCH_TOPICS override the document size.
+inline RunConfig Cluster1Config() {
+  RunConfig config;
+  config.bib = FullSize() ? BibConfig::Paper() : BibConfig::Bench();
+  config.bib.num_books = static_cast<size_t>(EnvDouble(
+      "XTC_BENCH_BOOKS", static_cast<double>(config.bib.num_books)));
+  config.bib.num_topics = static_cast<size_t>(EnvDouble(
+      "XTC_BENCH_TOPICS", static_cast<double>(config.bib.num_topics)));
+  config.seed = static_cast<uint64_t>(EnvDouble("XTC_BENCH_SEED", 7));
+  // All paper timings scale with run duration: 5 min -> RunSeconds().
+  config.time_scale = RunSeconds() / 300.0;
+  return config;
+}
+
+inline void PrintHeader(const char* figure, const char* what) {
+  std::printf("# %s\n", figure);
+  std::printf("# %s\n", what);
+  std::printf("# run=%.1fs/config (paper: 300s), document: %s bib, %s\n",
+              RunSeconds(), FullSize() ? "paper-sized" : "bench-sized",
+              "throughput normalized to committed tx per 5 min");
+}
+
+/// One CLUSTER1 run; prints an error and exits on failure.
+inline RunStats MustRun(const RunConfig& config) {
+  auto stats = RunCluster1(config);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "benchmark run failed (%s, depth %d): %s\n",
+                 config.protocol.c_str(), config.lock_depth,
+                 stats.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *stats;
+}
+
+}  // namespace bench
+}  // namespace xtc
+
+#endif  // XTC_BENCH_BENCH_COMMON_H_

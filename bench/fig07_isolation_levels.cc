@@ -1,0 +1,58 @@
+// Figure 7: CLUSTER1 under taDOM3+ — influence of the isolation level.
+// Left plot: transaction throughput vs. lock depth (0..7) for isolation
+// levels none / uncommitted / committed / repeatable.
+// Right plot: deadlocks vs. lock depth.
+
+#include "bench_common.h"
+
+using namespace xtc;
+using namespace xtc::bench;
+
+int main() {
+  PrintHeader("Figure 7", "CLUSTER1 under taDOM3+ — isolation levels");
+
+  const IsolationLevel levels[] = {
+      IsolationLevel::kNone, IsolationLevel::kUncommitted,
+      IsolationLevel::kCommitted, IsolationLevel::kRepeatable};
+
+  double throughput[4][8];
+  double deadlocks[4][8];
+  for (int l = 0; l < 4; ++l) {
+    for (int depth = 0; depth <= 7; ++depth) {
+      RunConfig config = Cluster1Config();
+      config.protocol = "taDOM3+";
+      config.isolation = levels[l];
+      config.lock_depth = depth;
+      RunStats stats = MustRun(config);
+      const double norm = 300000.0 / stats.run_duration_ms;
+      throughput[l][depth] = stats.total_committed() * norm;
+      deadlocks[l][depth] = stats.total_deadlocks() * norm;
+      // Isolation "none" ignores lock depth entirely: one run is enough.
+      if (levels[l] == IsolationLevel::kNone && depth == 0) {
+        for (int d = 1; d <= 7; ++d) {
+          throughput[l][d] = throughput[l][0];
+          deadlocks[l][d] = 0;
+        }
+        break;
+      }
+    }
+  }
+
+  std::printf("\n## throughput (committed tx / 5 min) vs lock depth\n");
+  std::printf("%-6s %12s %12s %12s %12s\n", "depth", "NONE", "UNCOMMITTED",
+              "COMMITTED", "REPEATABLE");
+  for (int depth = 0; depth <= 7; ++depth) {
+    std::printf("%-6d %12.0f %12.0f %12.0f %12.0f\n", depth,
+                throughput[0][depth], throughput[1][depth],
+                throughput[2][depth], throughput[3][depth]);
+  }
+  std::printf("\n## deadlocks (/ 5 min) vs lock depth\n");
+  std::printf("%-6s %12s %12s %12s %12s\n", "depth", "NONE", "UNCOMMITTED",
+              "COMMITTED", "REPEATABLE");
+  for (int depth = 0; depth <= 7; ++depth) {
+    std::printf("%-6d %12.0f %12.0f %12.0f %12.0f\n", depth,
+                deadlocks[0][depth], deadlocks[1][depth], deadlocks[2][depth],
+                deadlocks[3][depth]);
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 9: synopsis of all lock-depth-capable protocols on CLUSTER1
+// under isolation level repeatable — transaction throughput (left) and
+// deadlocks (right) vs. lock depth 0..7, grouped *-2PL (Node2PLa) /
+// MGL* (IRX, IRIX, URIX) / taDOM* (taDOM2, taDOM2+, taDOM3, taDOM3+).
+
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace xtc;
+using namespace xtc::bench;
+
+int main() {
+  PrintHeader("Figure 9",
+              "all protocols on CLUSTER1 (repeatable) vs lock depth");
+
+  const std::vector<const char*> protocols = {
+      "Node2PLa", "IRX", "IRIX", "URIX",
+      "taDOM2",   "taDOM2+", "taDOM3", "taDOM3+"};
+
+  std::vector<std::vector<double>> throughput(protocols.size());
+  std::vector<std::vector<double>> deadlocks(protocols.size());
+  for (size_t p = 0; p < protocols.size(); ++p) {
+    for (int depth = 0; depth <= 7; ++depth) {
+      RunConfig config = Cluster1Config();
+      config.protocol = protocols[p];
+      config.isolation = IsolationLevel::kRepeatable;
+      config.lock_depth = depth;
+      RunStats stats = MustRun(config);
+      const double norm = 300000.0 / stats.run_duration_ms;
+      throughput[p].push_back(stats.total_committed() * norm);
+      deadlocks[p].push_back(stats.total_deadlocks() * norm);
+    }
+  }
+
+  auto print_table = [&](const char* title,
+                         const std::vector<std::vector<double>>& data) {
+    std::printf("\n## %s\n%-6s", title, "depth");
+    for (const char* name : protocols) std::printf(" %9s", name);
+    std::printf("\n");
+    for (int depth = 0; depth <= 7; ++depth) {
+      std::printf("%-6d", depth);
+      for (size_t p = 0; p < protocols.size(); ++p) {
+        std::printf(" %9.0f", data[p][static_cast<size_t>(depth)]);
+      }
+      std::printf("\n");
+    }
+  };
+  print_table("throughput (committed tx / 5 min) vs lock depth", throughput);
+  print_table("deadlocks (/ 5 min) vs lock depth", deadlocks);
+
+  // Group averages over the fine-grained depths (>= 2), as the paper
+  // summarizes: taDOM* ~ 2x Node2PLa, MGL* ~ 1.5x Node2PLa.
+  auto group_avg = [&](size_t lo, size_t hi) {
+    double sum = 0;
+    int n = 0;
+    for (size_t p = lo; p <= hi; ++p) {
+      for (int d = 2; d <= 7; ++d) {
+        sum += throughput[p][static_cast<size_t>(d)];
+        ++n;
+      }
+    }
+    return sum / n;
+  };
+  const double two_pl = group_avg(0, 0);
+  const double mgl = group_avg(1, 3);
+  const double tadom = group_avg(4, 7);
+  std::printf("\n## group averages over depths 2..7 (committed tx / 5 min)\n");
+  std::printf("%-12s %10.0f (1.00x)\n", "*-2PL(a)", two_pl);
+  std::printf("%-12s %10.0f (%.2fx)\n", "MGL*", mgl, mgl / two_pl);
+  std::printf("%-12s %10.0f (%.2fx)\n", "taDOM*", tadom, tadom / two_pl);
+  std::printf(
+      "# expected shape (paper): MGL* ~1.5x and taDOM* ~2x the optimized "
+      "*-2PL\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Microbenchmarks for SPLID operations — the paper argues the entire
+// lock overhead hinges on deriving ancestor labels without document
+// access (§3.2, §6).
+
+#include <benchmark/benchmark.h>
+
+#include "splid/splid.h"
+
+namespace xtc {
+namespace {
+
+Splid DeepLabel() {
+  // A level-8 label comparable to a lend node in the bib document.
+  return *Splid::Parse("1.5.3.41.11.3.4.7.9.2.3");
+}
+
+void BM_SplidEncode(benchmark::State& state) {
+  Splid s = DeepLabel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.Encode());
+  }
+}
+BENCHMARK(BM_SplidEncode);
+
+void BM_SplidDecode(benchmark::State& state) {
+  std::string enc = DeepLabel().Encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Splid::Decode(enc));
+  }
+}
+BENCHMARK(BM_SplidDecode);
+
+void BM_SplidParent(benchmark::State& state) {
+  Splid s = DeepLabel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.Parent());
+  }
+}
+BENCHMARK(BM_SplidParent);
+
+void BM_SplidAncestorPath(benchmark::State& state) {
+  // The per-lock-request cost: all ancestors of a deep node.
+  Splid s = DeepLabel();
+  for (auto _ : state) {
+    for (int l = 1; l < s.Level(); ++l) {
+      benchmark::DoNotOptimize(s.AncestorAtLevel(l));
+    }
+  }
+}
+BENCHMARK(BM_SplidAncestorPath);
+
+void BM_SplidCompare(benchmark::State& state) {
+  Splid a = *Splid::Parse("1.5.3.41.11.3.5");
+  Splid b = *Splid::Parse("1.5.3.41.11.4.3");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Compare(b));
+  }
+}
+BENCHMARK(BM_SplidCompare);
+
+void BM_SplidGeneratorBetween(benchmark::State& state) {
+  SplidGenerator gen(2);
+  Splid parent = *Splid::Parse("1.5.3");
+  Splid left = *Splid::Parse("1.5.3.3");
+  Splid right = *Splid::Parse("1.5.3.5");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Between(parent, left, right));
+  }
+}
+BENCHMARK(BM_SplidGeneratorBetween);
+
+}  // namespace
+}  // namespace xtc
+
+BENCHMARK_MAIN();

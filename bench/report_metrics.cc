@@ -1,0 +1,64 @@
+// Supporting report: the paper's §4.1 measurement catalogue for one
+// CLUSTER1 run — committed/aborted per type, avg/min/max transaction
+// durations, deadlock counts with classification, plus storage
+// occupancy of the document tree (§3.1).
+//
+//   ./bench/report_metrics [protocol] (default taDOM3+)
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "node/document.h"
+#include "tamix/bib_generator.h"
+
+using namespace xtc;
+using namespace xtc::bench;
+
+int main(int argc, char** argv) {
+  const char* protocol = argc > 1 ? argv[1] : "taDOM3+";
+  PrintHeader("Metrics report", "per-type metrics for one CLUSTER1 run");
+
+  RunConfig config = Cluster1Config();
+  config.protocol = protocol;
+  config.isolation = IsolationLevel::kRepeatable;
+  config.lock_depth = 5;
+  RunStats stats = MustRun(config);
+
+  std::printf("\nprotocol %s, isolation repeatable, lock depth %d\n\n",
+              protocol, config.lock_depth);
+  std::printf("%-18s %10s %9s %10s %9s %9s %9s\n", "type", "committed",
+              "aborted", "deadlocks", "avg ms", "min ms", "max ms");
+  for (int t = 0; t < kNumTxTypes; ++t) {
+    const TxTypeStats& s = stats.per_type[t];
+    if (s.committed == 0 && s.aborted == 0) continue;
+    std::printf("%-18s %10llu %9llu %10llu %9.1f %9.1f %9.1f\n",
+                std::string(TxTypeName(static_cast<TxType>(t))).c_str(),
+                static_cast<unsigned long long>(s.committed),
+                static_cast<unsigned long long>(s.aborted),
+                static_cast<unsigned long long>(s.deadlock_aborts),
+                s.avg_duration_ms(), s.min_duration_us / 1000.0,
+                s.max_duration_us / 1000.0);
+  }
+  std::printf("\nlock manager: %llu requests, %llu waits, %llu conversions, "
+              "%llu deadlocks (%llu conversion-caused), %llu timeouts\n",
+              static_cast<unsigned long long>(stats.lock_stats.requests),
+              static_cast<unsigned long long>(stats.lock_stats.waits),
+              static_cast<unsigned long long>(stats.lock_stats.conversions),
+              static_cast<unsigned long long>(stats.lock_stats.deadlocks),
+              static_cast<unsigned long long>(
+                  stats.lock_stats.conversion_deadlocks),
+              static_cast<unsigned long long>(stats.lock_stats.timeouts));
+
+  // Storage occupancy of a fresh bib document (paper §3.1: > 96 % on
+  // their container pages; a B+-tree with half-splits sits lower).
+  Document doc;
+  if (GenerateBib(&doc, config.bib).ok()) {
+    auto occ = doc.MeasureOccupancy();
+    std::printf(
+        "\ndocument store: %llu leaf + %llu inner pages, occupancy %.1f%%\n",
+        static_cast<unsigned long long>(occ.leaf_pages),
+        static_cast<unsigned long long>(occ.inner_pages),
+        100.0 * occ.ratio());
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Quickstart: load an XML document, run transactional DOM operations
+// under the taDOM3+ lock protocol, abort/commit, and serialize.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "node/node_manager.h"
+#include "node/xml_io.h"
+#include "protocols/protocol_registry.h"
+#include "tx/transaction_manager.h"
+
+using namespace xtc;
+
+int main() {
+  // 1. Storage: a fresh in-memory XDBMS document store.
+  Document doc;
+  const char* xml =
+      "<bib>"
+      "  <topic id=\"databases\">"
+      "    <book id=\"gray93\" year=\"1993\">"
+      "      <title>Transaction Processing: Concepts and Techniques</title>"
+      "      <author>Jim Gray</author>"
+      "      <history/>"
+      "    </book>"
+      "  </topic>"
+      "</bib>";
+  auto root = LoadXml(&doc, xml);
+  if (!root.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", root.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %llu taDOM nodes\n",
+              static_cast<unsigned long long>(doc.num_nodes()));
+
+  // 2. Concurrency control: pick one of the 11 protocols by name.
+  auto protocol = CreateProtocol("taDOM3+");
+  LockManager locks(protocol.get());
+  TransactionManager txs(&locks);
+  NodeManager dom(&doc, &locks);
+
+  // 3. A read/write transaction at isolation level repeatable.
+  auto tx = txs.Begin(IsolationLevel::kRepeatable, /*lock_depth=*/6);
+
+  auto book = dom.GetElementById(*tx, "gray93");
+  if (!book.ok() || !book->has_value()) {
+    std::fprintf(stderr, "getElementById failed\n");
+    return 1;
+  }
+  std::printf("jumped to book %s (SPLID %s)\n", "gray93",
+              (*book)->ToString().c_str());
+
+  auto attrs = dom.GetAttributes(*tx, **book);
+  for (const auto& [name, value] : *attrs) {
+    std::printf("  @%s = %s\n", name.c_str(), value.c_str());
+  }
+
+  // Navigate: title -> text -> content.
+  auto title = dom.GetFirstChild(*tx, **book);
+  auto text = dom.GetFirstChild(*tx, (*title)->splid);
+  auto content = dom.GetTextContent(*tx, (*text)->splid);
+  std::printf("  title: %s\n", content->c_str());
+
+  // Lend the book: append a lend element under history.
+  auto history = dom.GetLastChild(*tx, **book);
+  SubtreeSpec lend{"lend", {{"person", "p42"}, {"return", "2006-10"}}, "", {}};
+  auto added = dom.AppendSubtree(*tx, (*history)->splid, lend);
+  std::printf("  lent out: new subtree at %s\n", added->ToString().c_str());
+
+  if (Status st = txs.Commit(*tx); !st.ok()) {
+    std::fprintf(stderr, "commit failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("committed (%llu committed so far)\n",
+              static_cast<unsigned long long>(txs.num_committed()));
+
+  // 4. A second transaction that aborts: its changes are undone.
+  auto tx2 = txs.Begin(IsolationLevel::kRepeatable, 6);
+  auto book2 = dom.GetElementById(*tx2, "gray93");
+  auto title2 = dom.GetFirstChild(*tx2, **book2);
+  auto text2 = dom.GetFirstChild(*tx2, (*title2)->splid);
+  (void)dom.UpdateText(*tx2, (*text2)->splid, "SHOULD NEVER BE SEEN");
+  (void)txs.Abort(*tx2);
+  std::printf("aborted a title change — undo restored the document\n");
+
+  // 5. Serialize the final document.
+  auto out = SerializeSubtree(doc, *root);
+  std::printf("\n%s", out->c_str());
+  return 0;
+}

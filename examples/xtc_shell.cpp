@@ -1,0 +1,274 @@
+// xtc_shell — a tiny interactive shell over the XDBMS: load XML, run
+// XPath queries, navigate, mutate, and watch transactions, locks and
+// deadlocks live. Reads commands from stdin (scriptable via pipes).
+//
+//   ./examples/xtc_shell [protocol]
+//
+// Commands:
+//   load <file>              load an XML file into the (empty) store
+//   gen [books] [topics]     generate a bib document instead
+//   begin [iso] [depth]      start a transaction (iso: none|uncommitted|
+//                            committed|repeatable|serializable)
+//   commit | abort           finish the current transaction
+//   q <xpath>                evaluate an XPath-lite expression
+//   get <id>                 getElementById + attributes
+//   ls <splid>               list the children of a node
+//   set <splid> <name> <v>   setAttribute on an element
+//   rm <splid>               delete the subtree
+//   xml <splid>              serialize a subtree
+//   locks                    lock-table statistics
+//   deadlocks                recent deadlock events
+//   help | quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "node/xml_io.h"
+#include "node/xpath.h"
+#include "protocols/protocol_registry.h"
+#include "tamix/bib_generator.h"
+#include "tx/transaction_manager.h"
+
+using namespace xtc;
+
+namespace {
+
+IsolationLevel ParseIso(const std::string& s) {
+  if (s == "none") return IsolationLevel::kNone;
+  if (s == "uncommitted") return IsolationLevel::kUncommitted;
+  if (s == "committed") return IsolationLevel::kCommitted;
+  if (s == "serializable") return IsolationLevel::kSerializable;
+  return IsolationLevel::kRepeatable;
+}
+
+struct Shell {
+  explicit Shell(const char* protocol_name)
+      : protocol(CreateProtocol(protocol_name)),
+        locks(protocol.get()),
+        txs(&locks),
+        dom(&doc, &locks) {}
+
+  Transaction& Tx() {
+    if (!current) {
+      current = txs.Begin(IsolationLevel::kRepeatable, 8);
+      std::printf("(implicit tx %llu, repeatable, depth 8)\n",
+                  static_cast<unsigned long long>(current->id()));
+    }
+    return *current;
+  }
+
+  void Finish(bool commit) {
+    if (!current) {
+      std::printf("no active transaction\n");
+      return;
+    }
+    Status st = commit ? txs.Commit(*current) : txs.Abort(*current);
+    std::printf("%s: %s\n", commit ? "commit" : "abort",
+                st.ToString().c_str());
+    current.reset();
+  }
+
+  Document doc;
+  std::unique_ptr<XmlProtocol> protocol;
+  LockManager locks;
+  TransactionManager txs;
+  NodeManager dom;
+  std::unique_ptr<Transaction> current;
+};
+
+void PrintNodeLine(Shell& shell, const Node& node) {
+  std::string label = node.splid.ToString();
+  switch (node.record.kind) {
+    case NodeKind::kElement:
+      std::printf("  %-16s <%s>\n", label.c_str(),
+                  shell.doc.vocabulary().Name(node.record.name).c_str());
+      break;
+    case NodeKind::kText: {
+      auto value = shell.doc.Get(node.splid.AttributeChild());
+      std::printf("  %-16s \"%s\"\n", label.c_str(),
+                  value.ok() ? value->content.c_str() : "?");
+      break;
+    }
+    default:
+      std::printf("  %-16s (%s)\n", label.c_str(),
+                  std::string(NodeKindName(node.record.kind)).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* protocol_name = argc > 1 ? argv[1] : "taDOM3+";
+  Shell shell(protocol_name);
+  if (shell.protocol == nullptr) {
+    std::fprintf(stderr, "unknown protocol %s\n", protocol_name);
+    return 1;
+  }
+  std::printf("xtc shell — protocol %s. Type 'help'.\n", protocol_name);
+
+  std::string line;
+  while (std::printf("xtc> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "help") {
+      std::printf(
+          "load gen begin commit abort q get ls set rm xml locks deadlocks "
+          "quit\n");
+    } else if (cmd == "load") {
+      std::string file;
+      in >> file;
+      std::ifstream f(file);
+      if (!f) {
+        std::printf("cannot open %s\n", file.c_str());
+        continue;
+      }
+      std::stringstream buffer;
+      buffer << f.rdbuf();
+      auto root = LoadXml(&shell.doc, buffer.str());
+      std::printf("%s\n", root.ok() ? "loaded" : root.status().ToString().c_str());
+    } else if (cmd == "gen") {
+      size_t books = 40, topics = 4;
+      in >> books >> topics;
+      BibConfig config = BibConfig::Tiny();
+      config.num_books = books;
+      config.num_topics = topics;
+      auto info = GenerateBib(&shell.doc, config);
+      if (info.ok()) {
+        std::printf("generated bib: %llu nodes, %zu books\n",
+                    static_cast<unsigned long long>(shell.doc.num_nodes()),
+                    info->book_ids.size());
+      } else {
+        std::printf("%s\n", info.status().ToString().c_str());
+      }
+    } else if (cmd == "begin") {
+      std::string iso = "repeatable";
+      int depth = 8;
+      in >> iso >> depth;
+      shell.current = shell.txs.Begin(ParseIso(iso), depth);
+      std::printf("tx %llu (%s, depth %d)\n",
+                  static_cast<unsigned long long>(shell.current->id()),
+                  std::string(IsolationLevelName(shell.current->isolation()))
+                      .c_str(),
+                  depth);
+    } else if (cmd == "commit") {
+      shell.Finish(true);
+    } else if (cmd == "abort") {
+      shell.Finish(false);
+    } else if (cmd == "q") {
+      std::string expr;
+      std::getline(in, expr);
+      expr.erase(0, expr.find_first_not_of(' '));
+      auto path = XPath::Parse(expr);
+      if (!path.ok()) {
+        std::printf("parse error: %s\n", path.status().ToString().c_str());
+        continue;
+      }
+      auto result = path->Evaluate(shell.dom, shell.Tx());
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%zu hits\n", result->size());
+      for (const Splid& hit : *result) {
+        auto rec = shell.doc.Get(hit);
+        if (rec.ok()) PrintNodeLine(shell, Node{hit, *rec});
+      }
+    } else if (cmd == "get") {
+      std::string id;
+      in >> id;
+      auto hit = shell.dom.GetElementById(shell.Tx(), id);
+      if (!hit.ok()) {
+        std::printf("error: %s\n", hit.status().ToString().c_str());
+      } else if (!hit->has_value()) {
+        std::printf("no element with id %s\n", id.c_str());
+      } else {
+        std::printf("%s\n", (*hit)->ToString().c_str());
+        auto attrs = shell.dom.GetAttributes(shell.Tx(), **hit);
+        if (attrs.ok()) {
+          for (const auto& [name, value] : *attrs) {
+            std::printf("  @%s = %s\n", name.c_str(), value.c_str());
+          }
+        }
+      }
+    } else if (cmd == "ls") {
+      std::string label;
+      in >> label;
+      auto splid = Splid::Parse(label);
+      if (!splid) {
+        std::printf("bad SPLID\n");
+        continue;
+      }
+      auto children = shell.dom.GetChildNodes(shell.Tx(), *splid);
+      if (!children.ok()) {
+        std::printf("error: %s\n", children.status().ToString().c_str());
+        continue;
+      }
+      for (const Node& child : *children) PrintNodeLine(shell, child);
+    } else if (cmd == "set") {
+      std::string label, name, value;
+      in >> label >> name >> value;
+      auto splid = Splid::Parse(label);
+      if (!splid) {
+        std::printf("bad SPLID\n");
+        continue;
+      }
+      Status st = shell.dom.SetAttribute(shell.Tx(), *splid, name, value);
+      std::printf("%s\n", st.ToString().c_str());
+    } else if (cmd == "rm") {
+      std::string label;
+      in >> label;
+      auto splid = Splid::Parse(label);
+      if (!splid) {
+        std::printf("bad SPLID\n");
+        continue;
+      }
+      Status st = shell.dom.DeleteSubtree(shell.Tx(), *splid);
+      std::printf("%s\n", st.ToString().c_str());
+    } else if (cmd == "xml") {
+      std::string label;
+      in >> label;
+      auto splid = Splid::Parse(label);
+      if (!splid) {
+        std::printf("bad SPLID\n");
+        continue;
+      }
+      auto out = SerializeSubtree(shell.doc, *splid);
+      std::printf("%s", out.ok() ? out->c_str()
+                                 : (out.status().ToString() + "\n").c_str());
+    } else if (cmd == "locks") {
+      auto stats = shell.protocol->table().GetStats();
+      std::printf(
+          "requests %llu, grants %llu, waits %llu, conversions %llu,\n"
+          "deadlocks %llu (%llu conversion), timeouts %llu, resources %zu\n",
+          static_cast<unsigned long long>(stats.requests),
+          static_cast<unsigned long long>(stats.immediate_grants),
+          static_cast<unsigned long long>(stats.waits),
+          static_cast<unsigned long long>(stats.conversions),
+          static_cast<unsigned long long>(stats.deadlocks),
+          static_cast<unsigned long long>(stats.conversion_deadlocks),
+          static_cast<unsigned long long>(stats.timeouts),
+          shell.protocol->table().NumLockedResources());
+    } else if (cmd == "deadlocks") {
+      auto events = shell.protocol->table().RecentDeadlocks();
+      std::printf("%zu recorded\n", events.size());
+      for (const auto& e : events) {
+        std::printf("  victim tx %llu requesting %s%s (%zu blockers)\n",
+                    static_cast<unsigned long long>(e.victim),
+                    e.requested_mode.c_str(),
+                    e.conversion ? " [conversion]" : "", e.blockers);
+      }
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+  }
+  if (shell.current) shell.Finish(false);
+  std::printf("bye\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Runs every benchmark binary and tees the output to bench_output.txt.
+# Knobs: XTC_BENCH_SECONDS (per-config run time), XTC_BENCH_FULL=1
+# (paper-sized document). See bench/bench_common.h.
+set -eu
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+OUT="bench_output.txt"
+: > "$OUT"
+for b in "$BUILD"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $(basename "$b") =====" | tee -a "$OUT"
+  "$b" 2>&1 | tee -a "$OUT"
+  echo | tee -a "$OUT"
+done
+echo "wrote $OUT"

@@ -1,0 +1,36 @@
+#include "lock/deadlock_detector.h"
+
+namespace xtc {
+
+void DeadlockDetector::SetEdges(uint64_t waiter,
+                                const std::vector<uint64_t>& holders) {
+  auto& out = edges_[waiter];
+  out.clear();
+  for (uint64_t h : holders) {
+    if (h != waiter) out.insert(h);
+  }
+  if (out.empty()) edges_.erase(waiter);
+}
+
+void DeadlockDetector::ClearEdges(uint64_t waiter) { edges_.erase(waiter); }
+
+bool DeadlockDetector::HasCycleFrom(uint64_t start) const {
+  // Iterative DFS over the (small) wait-for graph looking for a path
+  // back to `start`.
+  auto it = edges_.find(start);
+  if (it == edges_.end()) return false;
+  std::vector<uint64_t> stack(it->second.begin(), it->second.end());
+  std::unordered_set<uint64_t> visited;
+  while (!stack.empty()) {
+    uint64_t cur = stack.back();
+    stack.pop_back();
+    if (cur == start) return true;
+    if (!visited.insert(cur).second) continue;
+    auto eit = edges_.find(cur);
+    if (eit == edges_.end()) continue;
+    for (uint64_t next : eit->second) stack.push_back(next);
+  }
+  return false;
+}
+
+}  // namespace xtc

@@ -1,0 +1,201 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+
+namespace xtc {
+
+std::string_view IsolationLevelName(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kNone:
+      return "none";
+    case IsolationLevel::kUncommitted:
+      return "uncommitted";
+    case IsolationLevel::kCommitted:
+      return "committed";
+    case IsolationLevel::kRepeatable:
+      return "repeatable";
+    case IsolationLevel::kSerializable:
+      return "serializable";
+  }
+  return "?";
+}
+
+bool LockManager::Admit(const TxLockView& tx, Strength strength,
+                        LockDuration* dur) const {
+  switch (tx.isolation) {
+    case IsolationLevel::kNone:
+      return false;  // no locks at all
+    case IsolationLevel::kUncommitted:
+      // No read locks; long write locks.
+      if (strength != Strength::kWrite) return false;
+      *dur = LockDuration::kCommit;
+      return true;
+    case IsolationLevel::kCommitted:
+      // Short read locks, long write locks. Update-intent locks are kept
+      // long: releasing them early would defeat their conversion-deadlock
+      // protection.
+      *dur = strength == Strength::kRead ? LockDuration::kOperation
+                                         : LockDuration::kCommit;
+      return true;
+    case IsolationLevel::kRepeatable:
+    case IsolationLevel::kSerializable:
+      *dur = LockDuration::kCommit;
+      return true;
+  }
+  return false;
+}
+
+Status LockManager::IdShared(const TxLockView& tx, std::string_view id) {
+  if (tx.isolation != IsolationLevel::kSerializable) return Status::OK();
+  return protocol_->IdValueLock(tx.id, id, /*exclusive=*/false,
+                                LockDuration::kCommit);
+}
+
+Status LockManager::IdExclusive(const TxLockView& tx, std::string_view id) {
+  if (tx.isolation != IsolationLevel::kSerializable) return Status::OK();
+  return protocol_->IdValueLock(tx.id, id, /*exclusive=*/true,
+                                LockDuration::kCommit);
+}
+
+bool LockManager::CollapseToDepth(const TxLockView& tx, const Splid& node,
+                                  Strength strength, LockDuration dur,
+                                  Status* out) {
+  if (!protocol_->supports_lock_depth()) return false;
+  // The paper counts the root as depth 0; Splid::Level() counts it as 1.
+  const int paper_depth = node.Level() - 1;
+  const int depth = std::clamp(tx.lock_depth, 0, kMaxLockDepth);
+  if (paper_depth <= depth) return false;
+  const Splid boundary = node.AncestorAtLevel(depth + 1);
+  switch (strength) {
+    case Strength::kRead:
+      *out = protocol_->TreeRead(tx.id, boundary, dur);
+      break;
+    case Strength::kUpdate:
+      *out = protocol_->TreeUpdate(tx.id, boundary, dur);
+      break;
+    case Strength::kWrite:
+      *out = protocol_->TreeWrite(tx.id, boundary, dur);
+      break;
+  }
+  return true;
+}
+
+Status LockManager::NodeRead(const TxLockView& tx, const Splid& node,
+                             AccessKind access) {
+  LockDuration dur;
+  if (!Admit(tx, Strength::kRead, &dur)) return Status::OK();
+  Status st;
+  if (CollapseToDepth(tx, node, Strength::kRead, dur, &st)) return st;
+  return protocol_->NodeRead(tx.id, node, access, dur);
+}
+
+Status LockManager::NodeUpdate(const TxLockView& tx, const Splid& node) {
+  LockDuration dur;
+  if (!Admit(tx, Strength::kUpdate, &dur)) return Status::OK();
+  Status st;
+  if (CollapseToDepth(tx, node, Strength::kUpdate, dur, &st)) return st;
+  return protocol_->NodeUpdate(tx.id, node, dur);
+}
+
+Status LockManager::LevelRead(const TxLockView& tx, const Splid& node) {
+  LockDuration dur;
+  if (!Admit(tx, Strength::kRead, &dur)) return Status::OK();
+  // A level lock covers the node's children, which live one level below
+  // the node: collapse when the children would cross the boundary.
+  if (protocol_->supports_lock_depth()) {
+    const int paper_depth = node.Level() - 1;
+    const int depth = std::clamp(tx.lock_depth, 0, kMaxLockDepth);
+    if (paper_depth >= depth) {
+      const Splid boundary =
+          node.AncestorAtLevel(std::min(depth + 1, node.Level()));
+      return protocol_->TreeRead(tx.id, boundary, dur);
+    }
+  }
+  return protocol_->LevelRead(tx.id, node, dur);
+}
+
+Status LockManager::TreeRead(const TxLockView& tx, const Splid& root) {
+  LockDuration dur;
+  if (!Admit(tx, Strength::kRead, &dur)) return Status::OK();
+  Status st;
+  if (CollapseToDepth(tx, root, Strength::kRead, dur, &st)) return st;
+  return protocol_->TreeRead(tx.id, root, dur);
+}
+
+Status LockManager::EdgeShared(const TxLockView& tx, const Splid& anchor,
+                               EdgeKind kind) {
+  LockDuration dur;
+  if (!Admit(tx, Strength::kRead, &dur)) return Status::OK();
+  if (protocol_->supports_lock_depth()) {
+    const int paper_depth = anchor.Level() - 1;
+    const int depth = std::clamp(tx.lock_depth, 0, kMaxLockDepth);
+    if (paper_depth >= depth) {
+      // The edge lies inside (or at the fringe of) the subtree-locked
+      // region; the covering tree lock protects it.
+      const Splid boundary =
+          anchor.AncestorAtLevel(std::min(depth + 1, anchor.Level()));
+      return protocol_->TreeRead(tx.id, boundary, dur);
+    }
+  }
+  return protocol_->EdgeLock(tx.id, anchor, kind, /*exclusive=*/false, dur);
+}
+
+Status LockManager::NodeWrite(const TxLockView& tx, const Splid& node,
+                              AccessKind access) {
+  LockDuration dur;
+  if (!Admit(tx, Strength::kWrite, &dur)) return Status::OK();
+  Status st;
+  if (CollapseToDepth(tx, node, Strength::kWrite, dur, &st)) return st;
+  return protocol_->NodeWrite(tx.id, node, access, dur);
+}
+
+Status LockManager::TreeUpdate(const TxLockView& tx, const Splid& root) {
+  LockDuration dur;
+  if (!Admit(tx, Strength::kUpdate, &dur)) return Status::OK();
+  Status st;
+  if (CollapseToDepth(tx, root, Strength::kUpdate, dur, &st)) return st;
+  return protocol_->TreeUpdate(tx.id, root, dur);
+}
+
+Status LockManager::TreeWrite(const TxLockView& tx, const Splid& root) {
+  LockDuration dur;
+  if (!Admit(tx, Strength::kWrite, &dur)) return Status::OK();
+  Status st;
+  if (CollapseToDepth(tx, root, Strength::kWrite, dur, &st)) return st;
+  return protocol_->TreeWrite(tx.id, root, dur);
+}
+
+Status LockManager::EdgeExclusive(const TxLockView& tx, const Splid& anchor,
+                                  EdgeKind kind) {
+  LockDuration dur;
+  if (!Admit(tx, Strength::kWrite, &dur)) return Status::OK();
+  if (protocol_->supports_lock_depth()) {
+    const int paper_depth = anchor.Level() - 1;
+    const int depth = std::clamp(tx.lock_depth, 0, kMaxLockDepth);
+    if (paper_depth >= depth) {
+      const Splid boundary =
+          anchor.AncestorAtLevel(std::min(depth + 1, anchor.Level()));
+      return protocol_->TreeWrite(tx.id, boundary, dur);
+    }
+  }
+  return protocol_->EdgeLock(tx.id, anchor, kind, /*exclusive=*/true, dur);
+}
+
+Status LockManager::PrepareSubtreeDelete(const TxLockView& tx,
+                                         const Splid& root) {
+  LockDuration dur;
+  if (!Admit(tx, Strength::kWrite, &dur)) return Status::OK();
+  return protocol_->PrepareSubtreeDelete(tx.id, root, dur);
+}
+
+void LockManager::EndOperation(const TxLockView& tx) {
+  if (tx.isolation == IsolationLevel::kCommitted) {
+    protocol_->EndOperation(tx.id);
+  }
+}
+
+void LockManager::ReleaseAll(const TxLockView& tx) {
+  protocol_->ReleaseAll(tx.id);
+}
+
+}  // namespace xtc

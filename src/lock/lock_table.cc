@@ -1,0 +1,316 @@
+#include "lock/lock_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace xtc {
+
+LockTable::LockTable(const ModeTable* modes, LockTableOptions options)
+    : modes_(modes), options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  shards_.reserve(options_.shards);
+  for (uint32_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+LockTable::~LockTable() = default;
+
+LockTable::Shard& LockTable::ShardFor(std::string_view resource) const {
+  size_t h = std::hash<std::string_view>{}(resource);
+  return *shards_[h % shards_.size()];
+}
+
+LockTable::Resource* LockTable::GetOrCreate(Shard* shard,
+                                            std::string_view name) {
+  auto it = shard->resources.find(std::string(name));
+  if (it != shard->resources.end()) return it->second.get();
+  auto r = std::make_unique<Resource>();
+  r->name = std::string(name);
+  Resource* raw = r.get();
+  shard->resources.emplace(raw->name, std::move(r));
+  return raw;
+}
+
+LockTable::Held* LockTable::FindHeld(Resource* r, uint64_t tx) {
+  for (auto& [id, held] : r->granted) {
+    if (id == tx) return &held;
+  }
+  return nullptr;
+}
+
+bool LockTable::CompatibleWithHolders(const Resource& r, uint64_t tx,
+                                      ModeId target) const {
+  for (const auto& [id, held] : r.granted) {
+    if (id == tx) continue;
+    if (!modes_->Compatible(held.effective, target)) return false;
+  }
+  return true;
+}
+
+std::vector<uint64_t> LockTable::BlockersOf(const Resource& r, uint64_t tx,
+                                            ModeId target, bool is_conversion,
+                                            const Waiter* self) const {
+  std::vector<uint64_t> blockers;
+  for (const auto& [id, held] : r.granted) {
+    if (id == tx) continue;
+    if (!modes_->Compatible(held.effective, target)) blockers.push_back(id);
+  }
+  if (!is_conversion) {
+    // FIFO fairness: a fresh request also waits for earlier waiters.
+    for (const Waiter* w : r.queue) {
+      if (w == self) break;
+      if (w->tx != tx) blockers.push_back(w->tx);
+    }
+  }
+  return blockers;
+}
+
+void LockTable::RemoveWaiter(Resource* r, Waiter* w) {
+  auto it = std::find(r->queue.begin(), r->queue.end(), w);
+  if (it != r->queue.end()) r->queue.erase(it);
+}
+
+void LockTable::EraseResourceIfIdle(Shard* shard, Resource* r) {
+  if (r->granted.empty() && r->queue.empty()) {
+    shard->resources.erase(r->name);
+  }
+}
+
+void LockTable::GrantLocked(Shard* shard, Resource* r, uint64_t tx,
+                            ModeId request, ModeId target,
+                            LockDuration duration) {
+  Held* held = FindHeld(r, tx);
+  if (held == nullptr) {
+    r->granted.push_back({tx, Held{}});
+    held = &r->granted.back().second;
+    shard->tx_locks[tx].push_back(r);
+  }
+  if (duration == LockDuration::kCommit) {
+    held->long_mode = modes_->Convert(held->long_mode, request).result;
+  } else {
+    held->short_mode = modes_->Convert(held->short_mode, request).result;
+  }
+  held->effective = target;
+}
+
+LockOutcome LockTable::Lock(uint64_t tx, std::string_view resource,
+                            ModeId mode, LockDuration duration) {
+  stat_requests_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(resource);
+  std::unique_lock<std::mutex> guard(shard.mu);
+
+  Resource* r = GetOrCreate(&shard, resource);
+  Held* held = FindHeld(r, tx);
+
+  ModeId target = mode;
+  ModeId children_mode = kNoMode;
+  const bool is_conversion = (held != nullptr);
+  if (is_conversion) {
+    Conversion conv = modes_->Convert(held->effective, mode);
+    target = conv.result;
+    children_mode = conv.children_mode;
+    if (target == held->effective) {
+      // Already strong enough; only the duration bookkeeping may change.
+      if (duration == LockDuration::kCommit) {
+        held->long_mode = modes_->Convert(held->long_mode, mode).result;
+      } else {
+        held->short_mode = modes_->Convert(held->short_mode, mode).result;
+      }
+      stat_immediate_.fetch_add(1, std::memory_order_relaxed);
+      return {Status::OK(), held->effective, kNoMode};
+    }
+    stat_conversions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Fast path.
+  if ((is_conversion || r->queue.empty()) &&
+      CompatibleWithHolders(*r, tx, target)) {
+    GrantLocked(&shard, r, tx, mode, target, duration);
+    stat_immediate_.fetch_add(1, std::memory_order_relaxed);
+    return {Status::OK(), target, children_mode};
+  }
+
+  // Slow path: wait.
+  stat_waits_.fetch_add(1, std::memory_order_relaxed);
+  Waiter waiter{tx, target, is_conversion};
+  if (is_conversion) {
+    r->queue.push_front(&waiter);  // conversions jump the queue
+  } else {
+    r->queue.push_back(&waiter);
+  }
+
+  const TimePoint deadline = Now() + options_.wait_timeout;
+  for (;;) {
+    std::vector<uint64_t> blockers =
+        BlockersOf(*r, tx, target, is_conversion, &waiter);
+    if (blockers.empty()) {
+      GrantLocked(&shard, r, tx, mode, target, duration);
+      RemoveWaiter(r, &waiter);
+      {
+        std::lock_guard<std::mutex> g(graph_mu_);
+        detector_.ClearEdges(tx);
+      }
+      shard.cv.notify_all();  // our dequeue may unblock fairness-waiters
+      return {Status::OK(), target, children_mode};
+    }
+
+    {
+      std::lock_guard<std::mutex> g(graph_mu_);
+      detector_.SetEdges(tx, blockers);
+      if (detector_.HasCycleFrom(tx)) {
+        DeadlockEvent event;
+        event.victim = tx;
+        event.resource = r->name;
+        event.requested_mode = std::string(modes_->Name(target));
+        event.conversion = is_conversion;
+        event.blockers = blockers.size();
+        event.waiting_transactions = detector_.num_waiters();
+        deadlock_log_.push_back(std::move(event));
+        if (deadlock_log_.size() > options_.deadlock_log_capacity) {
+          deadlock_log_.pop_front();
+        }
+        detector_.ClearEdges(tx);
+        RemoveWaiter(r, &waiter);
+        EraseResourceIfIdle(&shard, r);
+        stat_deadlocks_.fetch_add(1, std::memory_order_relaxed);
+        if (is_conversion) {
+          stat_conv_deadlocks_.fetch_add(1, std::memory_order_relaxed);
+        }
+        shard.cv.notify_all();
+        return {Status::Deadlock(), kNoMode, kNoMode};
+      }
+    }
+
+    if (shard.cv.wait_until(guard, deadline) == std::cv_status::timeout) {
+      // One last re-check: we may have become grantable at the deadline.
+      if (BlockersOf(*r, tx, target, is_conversion, &waiter).empty()) {
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> g(graph_mu_);
+        detector_.ClearEdges(tx);
+      }
+      RemoveWaiter(r, &waiter);
+      EraseResourceIfIdle(&shard, r);
+      stat_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      shard.cv.notify_all();
+      return {Status::LockTimeout(), kNoMode, kNoMode};
+    }
+  }
+}
+
+void LockTable::EndOperation(uint64_t tx) {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock<std::mutex> guard(shard.mu);
+    auto it = shard.tx_locks.find(tx);
+    if (it == shard.tx_locks.end()) continue;
+    auto& list = it->second;
+    bool changed = false;
+    for (size_t i = 0; i < list.size();) {
+      Resource* r = list[i];
+      Held* h = FindHeld(r, tx);
+      assert(h != nullptr);
+      if (h->short_mode != kNoMode) {
+        h->short_mode = kNoMode;
+        h->effective = h->long_mode;
+        changed = true;
+        if (h->effective == kNoMode) {
+          auto git =
+              std::find_if(r->granted.begin(), r->granted.end(),
+                           [tx](const auto& p) { return p.first == tx; });
+          r->granted.erase(git);
+          EraseResourceIfIdle(&shard, r);
+          list[i] = list.back();
+          list.pop_back();
+          continue;
+        }
+      }
+      ++i;
+    }
+    if (list.empty()) shard.tx_locks.erase(it);
+    if (changed) shard.cv.notify_all();
+  }
+}
+
+void LockTable::ReleaseAll(uint64_t tx) {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock<std::mutex> guard(shard.mu);
+    auto it = shard.tx_locks.find(tx);
+    if (it == shard.tx_locks.end()) continue;
+    for (Resource* r : it->second) {
+      auto git = std::find_if(r->granted.begin(), r->granted.end(),
+                              [tx](const auto& p) { return p.first == tx; });
+      if (git != r->granted.end()) r->granted.erase(git);
+      EraseResourceIfIdle(&shard, r);
+    }
+    shard.tx_locks.erase(it);
+    shard.cv.notify_all();
+  }
+  std::lock_guard<std::mutex> g(graph_mu_);
+  detector_.ClearEdges(tx);
+}
+
+ModeId LockTable::HeldMode(uint64_t tx, std::string_view resource) const {
+  Shard& shard = ShardFor(resource);
+  std::unique_lock<std::mutex> guard(shard.mu);
+  auto it = shard.resources.find(std::string(resource));
+  if (it == shard.resources.end()) return kNoMode;
+  for (const auto& [id, held] : it->second->granted) {
+    if (id == tx) return held.effective;
+  }
+  return kNoMode;
+}
+
+size_t LockTable::NumLockedResources() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::mutex> guard(shard->mu);
+    total += shard->resources.size();
+  }
+  return total;
+}
+
+size_t LockTable::LocksHeldBy(uint64_t tx) const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::mutex> guard(shard->mu);
+    auto it = shard->tx_locks.find(tx);
+    if (it != shard->tx_locks.end()) total += it->second.size();
+  }
+  return total;
+}
+
+LockTableStats LockTable::GetStats() const {
+  LockTableStats s;
+  s.requests = stat_requests_.load(std::memory_order_relaxed);
+  s.immediate_grants = stat_immediate_.load(std::memory_order_relaxed);
+  s.waits = stat_waits_.load(std::memory_order_relaxed);
+  s.deadlocks = stat_deadlocks_.load(std::memory_order_relaxed);
+  s.conversion_deadlocks =
+      stat_conv_deadlocks_.load(std::memory_order_relaxed);
+  s.timeouts = stat_timeouts_.load(std::memory_order_relaxed);
+  s.conversions = stat_conversions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<DeadlockEvent> LockTable::RecentDeadlocks() const {
+  std::lock_guard<std::mutex> g(graph_mu_);
+  return std::vector<DeadlockEvent>(deadlock_log_.begin(),
+                                    deadlock_log_.end());
+}
+
+void LockTable::ResetStats() {
+  stat_requests_.store(0, std::memory_order_relaxed);
+  stat_immediate_.store(0, std::memory_order_relaxed);
+  stat_waits_.store(0, std::memory_order_relaxed);
+  stat_deadlocks_.store(0, std::memory_order_relaxed);
+  stat_conv_deadlocks_.store(0, std::memory_order_relaxed);
+  stat_timeouts_.store(0, std::memory_order_relaxed);
+  stat_conversions_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace xtc

@@ -1,0 +1,176 @@
+// Generic lock table used by every protocol (paper §3.3: the lock manager
+// as an exchangeable abstract data type).
+//
+// Resources are opaque byte strings (encoded SPLIDs for nodes, tagged
+// SPLID+kind strings for edges — see lock/xml_protocol.h). Each
+// transaction holds at most one lock per resource: requests on an
+// already-held resource go through the protocol's conversion matrix
+// (single lock per node rule, §2.3). Locks carry a duration class so the
+// isolation levels of §4.3/§5.1 can be expressed:
+//   kCommit    — held until ReleaseAll (long locks),
+//   kOperation — released by EndOperation (short read locks of isolation
+//                level "committed").
+//
+// Scalability: the table is sharded by resource hash; the uncontended
+// fast path touches only one shard mutex. The wait-for graph (deadlock
+// detection) has its own global mutex touched only when a request
+// actually blocks. Blocking requests enqueue FIFO per resource
+// (conversions jump the queue); a cycle check runs on every (re-)block,
+// so deadlocks are detected immediately. The requester that closes a
+// cycle is the victim; it receives kDeadlock and must abort.
+
+#ifndef XTC_LOCK_LOCK_TABLE_H_
+#define XTC_LOCK_LOCK_TABLE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "lock/deadlock_detector.h"
+#include "lock/mode_table.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace xtc {
+
+enum class LockDuration : uint8_t { kOperation = 0, kCommit = 1 };
+
+struct LockOutcome {
+  Status status;
+  /// Mode the transaction now holds on the resource (on success).
+  ModeId resulting_mode = kNoMode;
+  /// Non-kNoMode when the conversion demands locks on all direct
+  /// children (Fig. 4 subscripted rules); the protocol performs them.
+  ModeId children_mode = kNoMode;
+};
+
+struct LockTableStats {
+  uint64_t requests = 0;
+  uint64_t immediate_grants = 0;
+  uint64_t waits = 0;
+  uint64_t deadlocks = 0;
+  uint64_t conversion_deadlocks = 0;
+  uint64_t timeouts = 0;
+  uint64_t conversions = 0;
+};
+
+struct LockTableOptions {
+  Duration wait_timeout = std::chrono::seconds(10);
+  uint32_t shards = 32;
+  /// How many deadlock events to keep for analysis (paper §4.2: TaMix +
+  /// XTCdeadlockDetector record the circumstances of each deadlock).
+  size_t deadlock_log_capacity = 256;
+};
+
+/// One recorded deadlock (the victim's view at detection time).
+struct DeadlockEvent {
+  uint64_t victim = 0;
+  std::string resource;        // where the victim was waiting
+  std::string requested_mode;  // target mode of the victim
+  bool conversion = false;     // lock-conversion deadlock (frequent case)
+  size_t blockers = 0;         // transactions the victim waited for
+  size_t waiting_transactions = 0;  // wait-for-graph size at detection
+};
+
+class LockTable {
+ public:
+  LockTable(const ModeTable* modes, LockTableOptions options = {});
+  ~LockTable();
+
+  LockTable(const LockTable&) = delete;
+  LockTable& operator=(const LockTable&) = delete;
+
+  /// Acquires (or converts to) `mode` on `resource` for transaction `tx`.
+  /// Blocks until granted, deadlock, or timeout.
+  LockOutcome Lock(uint64_t tx, std::string_view resource, ModeId mode,
+                   LockDuration duration);
+
+  /// Releases this transaction's operation-duration locks (downgrading
+  /// mixed-duration holds to their long component).
+  void EndOperation(uint64_t tx);
+
+  /// Releases everything the transaction holds (commit/abort).
+  void ReleaseAll(uint64_t tx);
+
+  const ModeTable& modes() const { return *modes_; }
+
+  // Introspection (tests / reporting).
+  ModeId HeldMode(uint64_t tx, std::string_view resource) const;
+  size_t NumLockedResources() const;
+  size_t LocksHeldBy(uint64_t tx) const;
+  LockTableStats GetStats() const;
+  void ResetStats();
+
+  /// The most recent deadlock events (oldest first).
+  std::vector<DeadlockEvent> RecentDeadlocks() const;
+
+ private:
+  struct Held {
+    ModeId long_mode = kNoMode;
+    ModeId short_mode = kNoMode;
+    ModeId effective = kNoMode;
+  };
+
+  struct Waiter {
+    uint64_t tx;
+    ModeId target;
+    bool is_conversion;
+  };
+
+  struct Resource {
+    std::string name;
+    std::vector<std::pair<uint64_t, Held>> granted;
+    std::deque<Waiter*> queue;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<std::string, std::unique_ptr<Resource>> resources;
+    // Resources in this shard each transaction holds locks on.
+    std::unordered_map<uint64_t, std::vector<Resource*>> tx_locks;
+  };
+
+  Shard& ShardFor(std::string_view resource) const;
+
+  // The following require the shard mutex.
+  static Resource* GetOrCreate(Shard* shard, std::string_view name);
+  static Held* FindHeld(Resource* r, uint64_t tx);
+  bool CompatibleWithHolders(const Resource& r, uint64_t tx,
+                             ModeId target) const;
+  std::vector<uint64_t> BlockersOf(const Resource& r, uint64_t tx,
+                                   ModeId target, bool is_conversion,
+                                   const Waiter* self) const;
+  static void RemoveWaiter(Resource* r, Waiter* w);
+  static void EraseResourceIfIdle(Shard* shard, Resource* r);
+  void GrantLocked(Shard* shard, Resource* r, uint64_t tx, ModeId request,
+                   ModeId target, LockDuration duration);
+
+  const ModeTable* modes_;
+  LockTableOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Wait-for graph; only touched when a request blocks.
+  mutable std::mutex graph_mu_;
+  DeadlockDetector detector_;
+  std::deque<DeadlockEvent> deadlock_log_;
+
+  // Statistics (relaxed atomics; exactness is not required).
+  std::atomic<uint64_t> stat_requests_{0};
+  std::atomic<uint64_t> stat_immediate_{0};
+  std::atomic<uint64_t> stat_waits_{0};
+  std::atomic<uint64_t> stat_deadlocks_{0};
+  std::atomic<uint64_t> stat_conv_deadlocks_{0};
+  std::atomic<uint64_t> stat_timeouts_{0};
+  std::atomic<uint64_t> stat_conversions_{0};
+};
+
+}  // namespace xtc
+
+#endif  // XTC_LOCK_LOCK_TABLE_H_

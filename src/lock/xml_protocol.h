@@ -1,0 +1,156 @@
+// The meta-synchronization boundary (paper §3.3).
+//
+// The node manager issues *meta-lock requests* (node / level / tree /
+// edge locks plus release events); an XmlProtocol maps them onto concrete
+// lock-table requests with its own mode set. Exchanging the XmlProtocol
+// exchanges the system's complete XML locking mechanism — which is how
+// the paper runs 11 protocols in one XDBMS.
+
+#ifndef XTC_LOCK_XML_PROTOCOL_H_
+#define XTC_LOCK_XML_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lock/lock_table.h"
+#include "splid/splid.h"
+#include "util/status.h"
+
+namespace xtc {
+
+/// Logical navigation edges (paper §2): one per DOM navigation primitive.
+/// Sibling edges are canonicalized on their left endpoint, so
+/// getNextSibling(a) and getPreviousSibling(b) with b = next(a) contend
+/// on the same resource.
+enum class EdgeKind : uint8_t {
+  kFirstChild = 1,
+  kLastChild = 2,
+  kNextSibling = 3,  // edge from the anchor to its following sibling
+};
+
+/// How a node was reached: by navigation from its parent, or by a direct
+/// jump (getElementById / index access). The *-2PL group treats jumps
+/// specially (IDR/IDX locks); all other protocols lock the ancestor path
+/// with intention locks in both cases.
+enum class AccessKind : uint8_t { kNavigate = 0, kJump = 1 };
+
+/// Narrow document-inspection interface protocols may use.
+///
+/// Only the *-2PL group needs it for subtree deletion (it must find every
+/// element owning an ID attribute and IDX-lock it — the expensive
+/// traversal CLUSTER2/Fig. 11 measures) and taDOM2/taDOM3 need ChildrenOf
+/// for the CX_NR/IX_NR conversion side effects of Fig. 4.
+class DocumentAccessor {
+ public:
+  virtual ~DocumentAccessor() = default;
+
+  /// All nodes of the subtree rooted at `root`, in document order. Each
+  /// call performs real node-manager work (page accesses).
+  virtual StatusOr<std::vector<Splid>> NodesInSubtree(const Splid& root) = 0;
+
+  /// The element nodes within the subtree that own an ID attribute.
+  virtual StatusOr<std::vector<Splid>> ElementsWithIdInSubtree(
+      const Splid& root) = 0;
+
+  /// Direct children of `node` (element children + attribute root).
+  virtual StatusOr<std::vector<Splid>> ChildrenOf(const Splid& node) = 0;
+};
+
+/// One concrete XML lock protocol. Implementations live in
+/// src/protocols/. All methods are thread-safe (they funnel into the
+/// protocol's LockTable).
+class XmlProtocol {
+ public:
+  virtual ~XmlProtocol() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Whether the protocol understands the lock-depth parameter (the
+  /// original Node2PL/NO2PL/OO2PL do not; everything else does).
+  virtual bool supports_lock_depth() const = 0;
+
+  virtual LockTable& table() = 0;
+  const LockTable& table() const {
+    return const_cast<XmlProtocol*>(this)->table();
+  }
+
+  /// Wires in document inspection (required by *-2PL and taDOM2/3).
+  virtual void set_document_accessor(DocumentAccessor* accessor) = 0;
+
+  // --- Meta-lock requests -------------------------------------------------
+  // tx identifies the transaction; `dur` is decided by the isolation
+  // level in LockManager. All return OK / kDeadlock / kLockTimeout.
+
+  /// Shared access to one node (navigation step or direct jump).
+  virtual Status NodeRead(uint64_t tx, const Splid& node, AccessKind access,
+                          LockDuration dur) = 0;
+  /// Read with declared update intent (U-style).
+  virtual Status NodeUpdate(uint64_t tx, const Splid& node,
+                            LockDuration dur) = 0;
+  /// Exclusive access to one node (content update, rename).
+  virtual Status NodeWrite(uint64_t tx, const Splid& node, AccessKind access,
+                           LockDuration dur) = 0;
+  /// Shared access to a node plus all its direct children
+  /// (getChildNodes / getAttributes).
+  virtual Status LevelRead(uint64_t tx, const Splid& node,
+                           LockDuration dur) = 0;
+  /// Shared / update / exclusive access to an entire subtree.
+  virtual Status TreeRead(uint64_t tx, const Splid& root, LockDuration dur) = 0;
+  virtual Status TreeUpdate(uint64_t tx, const Splid& root,
+                            LockDuration dur) = 0;
+  virtual Status TreeWrite(uint64_t tx, const Splid& root,
+                           LockDuration dur) = 0;
+  /// Navigation-edge lock anchored at `anchor`.
+  virtual Status EdgeLock(uint64_t tx, const Splid& anchor, EdgeKind kind,
+                          bool exclusive, LockDuration dur) = 0;
+  /// Called before a subtree is deleted (in addition to TreeWrite);
+  /// *-2PL performs its IDX scan here. Default: no-op.
+  virtual Status PrepareSubtreeDelete(uint64_t tx, const Splid& root,
+                                      LockDuration dur) = 0;
+
+  /// Predicate lock on an ID *value* (not a node): shared for
+  /// getElementById under isolation level serializable, exclusive when a
+  /// transaction creates/removes an element with that id. Protects
+  /// against jump phantoms (paper footnote 1: only the taDOM* group
+  /// offers serializable). Protocols without support return
+  /// kNotSupported.
+  virtual Status IdValueLock(uint64_t tx, std::string_view id, bool exclusive,
+                             LockDuration dur) {
+    (void)tx;
+    (void)id;
+    (void)exclusive;
+    (void)dur;
+    return Status::NotSupported("protocol has no id-value locks");
+  }
+
+  // --- Release events -----------------------------------------------------
+  virtual void EndOperation(uint64_t tx) = 0;
+  virtual void ReleaseAll(uint64_t tx) = 0;
+};
+
+/// Lock-table resource names. A leading tag byte separates the node and
+/// edge namespaces; node resources append the (unique, order-preserving)
+/// SPLID encoding.
+inline std::string NodeResource(const Splid& node) {
+  std::string r(1, 'N');
+  r += node.Encode();
+  return r;
+}
+
+inline std::string EdgeResource(const Splid& anchor, EdgeKind kind) {
+  std::string r(1, 'E');
+  r.push_back(static_cast<char>(kind));
+  r += anchor.Encode();
+  return r;
+}
+
+inline std::string IdValueResource(std::string_view id) {
+  std::string r(1, 'J');
+  r += id;
+  return r;
+}
+
+}  // namespace xtc
+
+#endif  // XTC_LOCK_XML_PROTOCOL_H_

@@ -1,0 +1,701 @@
+#include "node/document.h"
+
+#include <cassert>
+
+namespace xtc {
+
+namespace {
+
+std::string_view KindName(NodeKind k) {
+  switch (k) {
+    case NodeKind::kElement:
+      return "element";
+    case NodeKind::kAttributeRoot:
+      return "attributeRoot";
+    case NodeKind::kAttribute:
+      return "attribute";
+    case NodeKind::kText:
+      return "text";
+    case NodeKind::kString:
+      return "string";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string_view NodeKindName(NodeKind kind) { return KindName(kind); }
+
+Document::Document(const StorageOptions& options, uint32_t dist)
+    : options_(options), file_(options), gen_(dist) {
+  buffer_ = std::make_unique<BufferManager>(&file_, options_);
+  doc_ = std::make_unique<BplusTree>(buffer_.get());
+  elements_ = std::make_unique<ElementIndex>(buffer_.get());
+  ids_ = std::make_unique<IdIndex>(buffer_.get());
+  id_attr_name_ = vocab_.Intern("id");
+}
+
+std::optional<Splid> Document::IdOwnerElement(const Splid& string_node) const {
+  // element / attributeRoot / attribute(id) / string
+  if (string_node.Level() < 4) return std::nullopt;
+  const Splid attribute = string_node.Parent();
+  if (!attribute.valid() || string_node.LastDivision() != kAttributeDivision) {
+    return std::nullopt;
+  }
+  auto attr_rec = doc_->Get(attribute.Encode());
+  if (!attr_rec.ok()) return std::nullopt;
+  auto rec = NodeRecord::Decode(*attr_rec);
+  if (!rec.has_value() || rec->kind != NodeKind::kAttribute ||
+      rec->name != id_attr_name_) {
+    return std::nullopt;
+  }
+  const Splid attr_root = attribute.Parent();
+  if (!attr_root.valid()) return std::nullopt;
+  const Splid element = attr_root.Parent();
+  if (!element.valid()) return std::nullopt;
+  return element;
+}
+
+Status Document::StoreOneLocked(const Splid& splid, const NodeRecord& record) {
+  XTC_RETURN_IF_ERROR(doc_->Insert(splid.Encode(), record.Encode()));
+  if (record.kind == NodeKind::kElement) {
+    XTC_RETURN_IF_ERROR(elements_->Add(record.name, splid));
+  } else if (record.kind == NodeKind::kString && !record.content.empty()) {
+    auto owner = IdOwnerElement(splid);
+    if (owner.has_value()) {
+      // Duplicate ids are the application's problem; last writer wins.
+      (void)ids_->Remove(record.content);
+      XTC_RETURN_IF_ERROR(ids_->Add(record.content, *owner));
+    }
+  }
+  return Status::OK();
+}
+
+Status Document::Store(const Splid& splid, const NodeRecord& record) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
+  return StoreOneLocked(splid, record);
+}
+
+StatusOr<Splid> Document::CreateRoot(std::string_view name) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
+  if (doc_->size() != 0) {
+    return Status::InvalidArgument("document is not empty");
+  }
+  Splid root = Splid::Root();
+  XTC_RETURN_IF_ERROR(
+      StoreOneLocked(root, NodeRecord::Element(vocab_.Intern(name))));
+  return root;
+}
+
+StatusOr<Splid> Document::BuildFromSpec(const SubtreeSpec& spec) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
+  if (doc_->size() != 0) {
+    return Status::InvalidArgument("document is not empty");
+  }
+  Splid root = Splid::Root();
+  XTC_RETURN_IF_ERROR(StoreSpecLocked(root, spec));
+  return root;
+}
+
+StatusOr<Splid> Document::AppendLabelLocked(const Splid& parent) const {
+  auto it = doc_->NewIterator();
+  it.SeekForPrev(parent.EncodedSubtreeUpperBound());
+  if (!it.Valid()) return Status::NotFound("append parent not found");
+  auto last_deep = Splid::Decode(it.key());
+  if (!last_deep.has_value()) return Status::Internal("corrupt splid key");
+  if (*last_deep == parent) return gen_.FirstChild(parent);
+  if (!parent.IsSelfOrAncestorOf(*last_deep)) {
+    return Status::NotFound("append parent not found");
+  }
+  Splid last_child = last_deep->AncestorAtLevel(parent.Level() + 1);
+  if (last_child.LastDivision() == kAttributeDivision) {
+    // Only attributes below: the new element child is the first "real"
+    // child; division 1 is reserved, so start at dist+1.
+    return gen_.FirstChild(parent);
+  }
+  return gen_.After(parent, last_child);
+}
+
+StatusOr<Splid> Document::PeekAppendLabel(const Splid& parent) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  return AppendLabelLocked(parent);
+}
+
+Status Document::StoreSpecLocked(const Splid& at, const SubtreeSpec& spec) {
+  XTC_RETURN_IF_ERROR(
+      StoreOneLocked(at, NodeRecord::Element(vocab_.Intern(spec.name))));
+  if (!spec.attributes.empty()) {
+    const Splid attr_root = at.AttributeChild();
+    XTC_RETURN_IF_ERROR(StoreOneLocked(attr_root, NodeRecord::AttributeRoot()));
+    for (size_t i = 0; i < spec.attributes.size(); ++i) {
+      const auto& [name, value] = spec.attributes[i];
+      const Splid attr = gen_.InitialAttribute(attr_root, i);
+      XTC_RETURN_IF_ERROR(
+          StoreOneLocked(attr, NodeRecord::Attribute(vocab_.Intern(name))));
+      XTC_RETURN_IF_ERROR(
+          StoreOneLocked(attr.AttributeChild(), NodeRecord::String(value)));
+    }
+  }
+  size_t child_index = 0;
+  if (!spec.text.empty()) {
+    const Splid text = gen_.InitialChild(at, child_index++);
+    XTC_RETURN_IF_ERROR(StoreOneLocked(text, NodeRecord::Text()));
+    XTC_RETURN_IF_ERROR(
+        StoreOneLocked(text.AttributeChild(), NodeRecord::String(spec.text)));
+  }
+  for (const SubtreeSpec& child : spec.children) {
+    XTC_RETURN_IF_ERROR(
+        StoreSpecLocked(gen_.InitialChild(at, child_index++), child));
+  }
+  return Status::OK();
+}
+
+StatusOr<Splid> Document::AppendSubtree(const Splid& parent,
+                                        const SubtreeSpec& spec,
+                                        const Splid* label_hint) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
+  XTC_ASSIGN_OR_RETURN(Splid label, AppendLabelLocked(parent));
+  if (label_hint != nullptr && *label_hint != label &&
+      !doc_->Contains(label_hint->Encode())) {
+    // The caller pre-locked a label that is still free; prefer it so the
+    // locks cover the stored nodes (only reachable without write locks).
+    label = *label_hint;
+  }
+  XTC_RETURN_IF_ERROR(StoreSpecLocked(label, spec));
+  return label;
+}
+
+StatusOr<std::optional<Splid>> Document::FindAttribute(
+    const Splid& element, NameSurrogate name) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  const Splid attr_root = element.AttributeChild();
+  const std::string enc = attr_root.Encode();
+  auto it = doc_->NewIterator();
+  for (it.Seek(enc + '\0'); it.Valid(); it.Next()) {
+    if (it.key().size() <= enc.size() ||
+        it.key().compare(0, enc.size(), enc) != 0) {
+      break;
+    }
+    auto splid = Splid::Decode(it.key());
+    if (!splid.has_value()) return Status::Internal("corrupt splid key");
+    if (splid->Level() != attr_root.Level() + 1) continue;  // skip strings
+    auto rec = NodeRecord::Decode(it.value());
+    if (!rec.has_value()) return Status::Internal("corrupt node record");
+    if (rec->kind == NodeKind::kAttribute && rec->name == name) {
+      return std::optional<Splid>(*splid);
+    }
+  }
+  return std::optional<Splid>(std::nullopt);
+}
+
+StatusOr<Splid> Document::AddAttribute(const Splid& element,
+                                       NameSurrogate name,
+                                       std::string_view value) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
+  if (!doc_->Contains(element.Encode())) {
+    return Status::NotFound("element not found");
+  }
+  const Splid attr_root = element.AttributeChild();
+  if (!doc_->Contains(attr_root.Encode())) {
+    XTC_RETURN_IF_ERROR(StoreOneLocked(attr_root, NodeRecord::AttributeRoot()));
+  }
+  // Find the last attribute to pick the next odd division; also reject
+  // duplicates.
+  Splid last_attr;
+  {
+    const std::string enc = attr_root.Encode();
+    auto it = doc_->NewIterator();
+    for (it.Seek(enc + '\0'); it.Valid(); it.Next()) {
+      if (it.key().size() <= enc.size() ||
+          it.key().compare(0, enc.size(), enc) != 0) {
+        break;
+      }
+      auto splid = Splid::Decode(it.key());
+      if (!splid.has_value()) return Status::Internal("corrupt splid key");
+      if (splid->Level() != attr_root.Level() + 1) continue;
+      auto rec = NodeRecord::Decode(it.value());
+      if (rec.has_value() && rec->kind == NodeKind::kAttribute &&
+          rec->name == name) {
+        return Status::InvalidArgument("attribute already exists");
+      }
+      last_attr = *splid;
+    }
+  }
+  const Splid attr = last_attr.valid() ? gen_.After(attr_root, last_attr)
+                                       : gen_.InitialAttribute(attr_root, 0);
+  XTC_RETURN_IF_ERROR(StoreOneLocked(attr, NodeRecord::Attribute(name)));
+  XTC_RETURN_IF_ERROR(StoreOneLocked(attr.AttributeChild(),
+                                     NodeRecord::String(std::string(value))));
+  return attr;
+}
+
+Status Document::RemoveAttribute(const Splid& element, NameSurrogate name) {
+  auto attr = FindAttribute(element, name);
+  if (!attr.ok()) return attr.status();
+  if (!attr->has_value()) return Status::NotFound("attribute not found");
+  return RemoveSubtree(**attr);
+}
+
+StatusOr<Splid> Document::SiblingLabelLocked(const Splid& sibling,
+                                             bool after) const {
+  const Splid parent = sibling.Parent();
+  if (!parent.valid()) {
+    return Status::InvalidArgument("root has no siblings");
+  }
+  if (!doc_->Contains(sibling.Encode())) {
+    return Status::NotFound("sibling not found");
+  }
+  if (after) {
+    auto next = NextSiblingLocked(sibling);
+    if (!next.ok()) return next.status();
+    if (next->has_value()) {
+      return gen_.Between(parent, sibling, (*next)->splid);
+    }
+    return gen_.After(parent, sibling);
+  }
+  auto prev = PreviousSiblingLocked(sibling);
+  if (!prev.ok()) return prev.status();
+  if (prev->has_value()) {
+    return gen_.Between(parent, (*prev)->splid, sibling);
+  }
+  return gen_.Before(parent, sibling);
+}
+
+StatusOr<Splid> Document::PeekSiblingLabel(const Splid& sibling,
+                                           bool after) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  return SiblingLabelLocked(sibling, after);
+}
+
+StatusOr<Splid> Document::InsertSibling(const Splid& sibling,
+                                        const SubtreeSpec& spec, bool after,
+                                        const Splid* label_hint) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
+  XTC_ASSIGN_OR_RETURN(Splid label, SiblingLabelLocked(sibling, after));
+  if (label_hint != nullptr && *label_hint != label &&
+      !doc_->Contains(label_hint->Encode())) {
+    label = *label_hint;
+  }
+  XTC_RETURN_IF_ERROR(StoreSpecLocked(label, spec));
+  return label;
+}
+
+Status Document::RestoreNodes(const std::vector<Node>& nodes) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
+  for (const Node& n : nodes) {
+    XTC_RETURN_IF_ERROR(StoreOneLocked(n.splid, n.record));
+  }
+  return Status::OK();
+}
+
+Status Document::RemoveOneLocked(const Splid& splid,
+                                 const NodeRecord& record) {
+  XTC_RETURN_IF_ERROR(doc_->Delete(splid.Encode()));
+  if (record.kind == NodeKind::kElement) {
+    XTC_RETURN_IF_ERROR(elements_->Remove(record.name, splid));
+  } else if (record.kind == NodeKind::kString && !record.content.empty()) {
+    if (IdOwnerElement(splid).has_value()) {
+      (void)ids_->Remove(record.content);
+    }
+  }
+  return Status::OK();
+}
+
+Status Document::Remove(const Splid& splid) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
+  auto raw = doc_->Get(splid.Encode());
+  if (!raw.ok()) return raw.status();
+  auto rec = NodeRecord::Decode(*raw);
+  if (!rec.has_value()) return Status::Internal("corrupt node record");
+  // Must be a leaf of the taDOM tree.
+  auto it = doc_->NewIterator();
+  std::string enc = splid.Encode();
+  it.Seek(enc + '\0');
+  if (it.Valid() && it.key().size() > enc.size() &&
+      it.key().compare(0, enc.size(), enc) == 0) {
+    return Status::InvalidArgument("Remove() on a node with children");
+  }
+  return RemoveOneLocked(splid, *rec);
+}
+
+Status Document::RemoveSubtree(const Splid& root) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
+  auto nodes = SubtreeLocked(root);
+  if (!nodes.ok()) return nodes.status();
+  if (nodes->empty()) return Status::NotFound("subtree root not found");
+  // Reverse document order: children before parents, so ID-index
+  // maintenance can still inspect the owning attribute node.
+  for (auto it = nodes->rbegin(); it != nodes->rend(); ++it) {
+    XTC_RETURN_IF_ERROR(RemoveOneLocked(it->splid, it->record));
+  }
+  return Status::OK();
+}
+
+Status Document::UpdateContent(const Splid& string_node,
+                               std::string_view content) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
+  auto raw = doc_->Get(string_node.Encode());
+  if (!raw.ok()) return raw.status();
+  auto rec = NodeRecord::Decode(*raw);
+  if (!rec.has_value() || rec->kind != NodeKind::kString) {
+    return Status::InvalidArgument("UpdateContent on a non-string node");
+  }
+  auto owner = IdOwnerElement(string_node);
+  if (owner.has_value()) {
+    if (!rec->content.empty()) (void)ids_->Remove(rec->content);
+    if (!content.empty()) {
+      (void)ids_->Remove(std::string(content));
+      XTC_RETURN_IF_ERROR(ids_->Add(content, *owner));
+    }
+  }
+  rec->content = std::string(content);
+  return doc_->Update(string_node.Encode(), rec->Encode());
+}
+
+Status Document::RenameElement(const Splid& element, NameSurrogate new_name) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
+  auto raw = doc_->Get(element.Encode());
+  if (!raw.ok()) return raw.status();
+  auto rec = NodeRecord::Decode(*raw);
+  if (!rec.has_value() || rec->kind != NodeKind::kElement) {
+    return Status::InvalidArgument("RenameElement on a non-element");
+  }
+  XTC_RETURN_IF_ERROR(elements_->Remove(rec->name, element));
+  rec->name = new_name;
+  XTC_RETURN_IF_ERROR(elements_->Add(new_name, element));
+  return doc_->Update(element.Encode(), rec->Encode());
+}
+
+StatusOr<NodeRecord> Document::Get(const Splid& splid) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  auto raw = doc_->Get(splid.Encode());
+  if (!raw.ok()) return raw.status();
+  auto rec = NodeRecord::Decode(*raw);
+  if (!rec.has_value()) return Status::Internal("corrupt node record");
+  return *rec;
+}
+
+bool Document::Exists(const Splid& splid) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  return doc_->Contains(splid.Encode());
+}
+
+StatusOr<std::optional<Node>> Document::FirstChildLocked(
+    const Splid& parent, bool include_attr) const {
+  const std::string enc = parent.Encode();
+  auto it = doc_->NewIterator();
+  it.Seek(enc + '\0');
+  for (;;) {
+    if (!it.Valid() || it.key().size() <= enc.size() ||
+        it.key().compare(0, enc.size(), enc) != 0) {
+      return std::optional<Node>(std::nullopt);
+    }
+    auto child = Splid::Decode(it.key());
+    if (!child.has_value()) return Status::Internal("corrupt splid key");
+    // The first key inside the subtree is always a direct child.
+    assert(child->Level() == parent.Level() + 1);
+    if (!include_attr && child->LastDivision() == kAttributeDivision) {
+      // Skip the attribute root and its whole subtree.
+      it.Seek(child->EncodedSubtreeUpperBound());
+      continue;
+    }
+    auto rec = NodeRecord::Decode(it.value());
+    if (!rec.has_value()) return Status::Internal("corrupt node record");
+    return std::optional<Node>(Node{*child, *rec});
+  }
+}
+
+StatusOr<std::optional<Node>> Document::FirstChild(const Splid& parent,
+                                                   bool include_attr) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  return FirstChildLocked(parent, include_attr);
+}
+
+StatusOr<std::optional<Node>> Document::LastChild(const Splid& parent) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  auto it = doc_->NewIterator();
+  it.SeekForPrev(parent.EncodedSubtreeUpperBound());
+  if (!it.Valid()) return std::optional<Node>(std::nullopt);
+  auto last = Splid::Decode(it.key());
+  if (!last.has_value()) return Status::Internal("corrupt splid key");
+  if (*last == parent || !parent.IsAncestorOf(*last)) {
+    return std::optional<Node>(std::nullopt);
+  }
+  Splid child = last->AncestorAtLevel(parent.Level() + 1);
+  if (child.LastDivision() == kAttributeDivision) {
+    // Only the attribute root exists below this parent.
+    return std::optional<Node>(std::nullopt);
+  }
+  auto raw = doc_->Get(child.Encode());
+  if (!raw.ok()) return raw.status();
+  auto rec = NodeRecord::Decode(*raw);
+  if (!rec.has_value()) return Status::Internal("corrupt node record");
+  return std::optional<Node>(Node{child, *rec});
+}
+
+StatusOr<std::optional<Node>> Document::NextSiblingLocked(
+    const Splid& node) const {
+  const Splid parent = node.Parent();
+  if (!parent.valid()) return std::optional<Node>(std::nullopt);
+  auto it = doc_->NewIterator();
+  it.Seek(node.EncodedSubtreeUpperBound());
+  if (!it.Valid()) return std::optional<Node>(std::nullopt);
+  auto next = Splid::Decode(it.key());
+  if (!next.has_value()) return Status::Internal("corrupt splid key");
+  if (next->Parent() != parent) return std::optional<Node>(std::nullopt);
+  auto rec = NodeRecord::Decode(it.value());
+  if (!rec.has_value()) return Status::Internal("corrupt node record");
+  return std::optional<Node>(Node{*next, *rec});
+}
+
+StatusOr<std::optional<Node>> Document::NextSibling(const Splid& node) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  return NextSiblingLocked(node);
+}
+
+StatusOr<std::optional<Node>> Document::PreviousSibling(
+    const Splid& node) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  return PreviousSiblingLocked(node);
+}
+
+StatusOr<std::optional<Node>> Document::PreviousSiblingLocked(
+    const Splid& node) const {
+  const Splid parent = node.Parent();
+  if (!parent.valid()) return std::optional<Node>(std::nullopt);
+  auto it = doc_->NewIterator();
+  it.SeekForPrev(node.Encode());
+  if (it.Valid() && it.key() == node.Encode()) it.Prev();
+  if (!it.Valid()) return std::optional<Node>(std::nullopt);
+  auto prev_deep = Splid::Decode(it.key());
+  if (!prev_deep.has_value()) return Status::Internal("corrupt splid key");
+  if (*prev_deep == parent || !parent.IsAncestorOf(*prev_deep)) {
+    return std::optional<Node>(std::nullopt);
+  }
+  Splid prev = prev_deep->AncestorAtLevel(node.Level());
+  if (prev.LastDivision() == kAttributeDivision) {
+    // The attribute root is not a DOM sibling.
+    return std::optional<Node>(std::nullopt);
+  }
+  auto raw = doc_->Get(prev.Encode());
+  if (!raw.ok()) return raw.status();
+  auto rec = NodeRecord::Decode(*raw);
+  if (!rec.has_value()) return Status::Internal("corrupt node record");
+  return std::optional<Node>(Node{prev, *rec});
+}
+
+StatusOr<std::vector<Node>> Document::Children(const Splid& parent,
+                                               bool include_attr) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  std::vector<Node> out;
+  auto child = FirstChildLocked(parent, include_attr);
+  if (!child.ok()) return child.status();
+  while (child->has_value()) {
+    out.push_back(**child);
+    // Advance: attribute roots have no DOM siblings; walk in document
+    // order via the subtree upper bound of the current child.
+    Splid current = (*child)->splid;
+    auto next = NextSiblingLocked(current);
+    if (!next.ok()) return next.status();
+    if (!next->has_value() && include_attr &&
+        current.LastDivision() == kAttributeDivision) {
+      // After the attribute root, continue with the first element child.
+      child = FirstChildLocked(parent, /*include_attr=*/false);
+      continue;
+    }
+    child = std::move(next);
+  }
+  return out;
+}
+
+StatusOr<std::vector<Node>> Document::SubtreeLocked(const Splid& root) const {
+  std::vector<Node> out;
+  const std::string enc = root.Encode();
+  auto it = doc_->NewIterator();
+  for (it.Seek(enc); it.Valid(); it.Next()) {
+    if (it.key().size() < enc.size() ||
+        it.key().compare(0, enc.size(), enc) != 0) {
+      break;
+    }
+    auto splid = Splid::Decode(it.key());
+    auto rec = NodeRecord::Decode(it.value());
+    if (!splid.has_value() || !rec.has_value()) {
+      return Status::Internal("corrupt subtree entry");
+    }
+    out.push_back(Node{*splid, *rec});
+  }
+  return out;
+}
+
+StatusOr<std::vector<Node>> Document::Subtree(const Splid& root) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  return SubtreeLocked(root);
+}
+
+std::optional<Splid> Document::LookupId(std::string_view id) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  return ids_->Lookup(id);
+}
+
+std::vector<Splid> Document::ElementsByName(std::string_view name) const {
+  NameSurrogate s = vocab_.Lookup(name);
+  if (s == kInvalidSurrogate) return {};
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  return elements_->List(s);
+}
+
+std::optional<Splid> Document::NthElementByName(std::string_view name,
+                                                size_t index) const {
+  NameSurrogate s = vocab_.Lookup(name);
+  if (s == kInvalidSurrogate) return std::nullopt;
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  return elements_->Nth(s, index);
+}
+
+uint64_t Document::num_nodes() const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  return doc_->size();
+}
+
+BplusTree::Occupancy Document::MeasureOccupancy() const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  return doc_->MeasureOccupancy();
+}
+
+Status Document::Validate() const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
+  std::vector<std::pair<Splid, NodeRecord>> all;
+  {
+    auto it = doc_->NewIterator();
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      auto splid = Splid::Decode(it.key());
+      auto rec = NodeRecord::Decode(it.value());
+      if (!splid.has_value() || !rec.has_value()) {
+        return Status::Internal("corrupt entry in document tree");
+      }
+      all.emplace_back(*splid, *rec);
+    }
+  }
+  uint64_t element_entries = 0;
+  uint64_t id_entries = 0;
+  for (const auto& [splid, rec] : all) {
+    // Parent must exist (except for the root).
+    const Splid parent = splid.Parent();
+    if (parent.valid() && !doc_->Contains(parent.Encode())) {
+      return Status::Internal("orphan node " + splid.ToString());
+    }
+    // taDOM layering.
+    auto parent_kind = [&]() -> NodeKind {
+      auto raw = doc_->Get(parent.Encode());
+      auto p = NodeRecord::Decode(*raw);
+      return p->kind;
+    };
+    switch (rec.kind) {
+      case NodeKind::kElement:
+        if (parent.valid() && parent_kind() != NodeKind::kElement) {
+          return Status::Internal("element under non-element at " +
+                                  splid.ToString());
+        }
+        // Element index must know this element.
+        if (!elements_->List(rec.name).empty()) {
+          ++element_entries;
+        }
+        break;
+      case NodeKind::kAttributeRoot:
+        if (splid.LastDivision() != kAttributeDivision ||
+            parent_kind() != NodeKind::kElement) {
+          return Status::Internal("misplaced attribute root at " +
+                                  splid.ToString());
+        }
+        break;
+      case NodeKind::kAttribute:
+        if (parent_kind() != NodeKind::kAttributeRoot) {
+          return Status::Internal("attribute under non-attribute-root at " +
+                                  splid.ToString());
+        }
+        break;
+      case NodeKind::kText:
+        if (parent_kind() != NodeKind::kElement) {
+          return Status::Internal("text under non-element at " +
+                                  splid.ToString());
+        }
+        break;
+      case NodeKind::kString:
+        if (splid.LastDivision() != kAttributeDivision) {
+          return Status::Internal("string node without division 1 at " +
+                                  splid.ToString());
+        }
+        if (parent_kind() != NodeKind::kText &&
+            parent_kind() != NodeKind::kAttribute) {
+          return Status::Internal("string under non-text/attribute at " +
+                                  splid.ToString());
+        }
+        break;
+    }
+    // ID-index agreement for id attribute values.
+    if (rec.kind == NodeKind::kString && !rec.content.empty()) {
+      auto owner = IdOwnerElement(splid);
+      if (owner.has_value()) {
+        auto indexed = ids_->Lookup(rec.content);
+        if (!indexed.has_value() || *indexed != *owner) {
+          return Status::Internal("id index disagrees for value '" +
+                                  rec.content + "'");
+        }
+        ++id_entries;
+      }
+    }
+  }
+  // Exact index cardinalities.
+  uint64_t actual_elements = 0;
+  for (const auto& [splid, rec] : all) {
+    if (rec.kind == NodeKind::kElement) ++actual_elements;
+  }
+  if (elements_->size() != actual_elements) {
+    return Status::Internal("element index cardinality mismatch");
+  }
+  if (ids_->size() != id_entries) {
+    return Status::Internal("id index cardinality mismatch");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DocumentAccessorImpl
+// ---------------------------------------------------------------------------
+
+StatusOr<std::vector<Splid>> DocumentAccessorImpl::NodesInSubtree(
+    const Splid& root) {
+  auto nodes = doc_->Subtree(root);
+  if (!nodes.ok()) return nodes.status();
+  std::vector<Splid> out;
+  out.reserve(nodes->size());
+  for (const Node& n : *nodes) out.push_back(n.splid);
+  return out;
+}
+
+StatusOr<std::vector<Splid>> DocumentAccessorImpl::ElementsWithIdInSubtree(
+    const Splid& root) {
+  auto nodes = doc_->Subtree(root);
+  if (!nodes.ok()) return nodes.status();
+  const NameSurrogate id_name = doc_->vocabulary().Lookup("id");
+  std::vector<Splid> out;
+  for (const Node& n : *nodes) {
+    if (n.record.kind == NodeKind::kAttribute && n.record.name == id_name) {
+      // attribute -> attributeRoot -> element
+      out.push_back(n.splid.Parent().Parent());
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<Splid>> DocumentAccessorImpl::ChildrenOf(
+    const Splid& node) {
+  auto children = doc_->Children(node, /*include_attribute_root=*/true);
+  if (!children.ok()) return children.status();
+  std::vector<Splid> out;
+  out.reserve(children->size());
+  for (const Node& n : *children) out.push_back(n.splid);
+  return out;
+}
+
+}  // namespace xtc

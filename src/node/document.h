@@ -1,0 +1,197 @@
+// Document: the physical XML store (paper §3.1/3.2) — one B+-tree in
+// document order keyed by encoded SPLIDs, plus element index, ID index
+// and vocabulary, all over one buffer pool.
+//
+// Concurrency model: every public method takes a short reader/writer
+// latch internally; latches are never held across lock waits.
+// Transactional isolation is entirely the lock protocols' concern
+// (NodeManager acquires locks *before* calling into Document).
+
+#ifndef XTC_NODE_DOCUMENT_H_
+#define XTC_NODE_DOCUMENT_H_
+
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lock/xml_protocol.h"
+#include "node/element_index.h"
+#include "node/id_index.h"
+#include "node/node.h"
+#include "splid/splid.h"
+#include "storage/bplus_tree.h"
+#include "storage/buffer_manager.h"
+#include "storage/page_file.h"
+#include "storage/vocabulary.h"
+#include "util/status.h"
+
+namespace xtc {
+
+/// Declarative description of a subtree to build (used by insertion
+/// operations, the TaMix bib generator and the XML loader).
+struct SubtreeSpec {
+  std::string name;  // element name
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::string text;  // if non-empty: a single text child with this value
+  std::vector<SubtreeSpec> children;
+};
+
+class Document {
+ public:
+  explicit Document(const StorageOptions& options = {}, uint32_t dist = 2);
+
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  Vocabulary& vocabulary() { return vocab_; }
+  const Vocabulary& vocabulary() const { return vocab_; }
+  const SplidGenerator& splid_generator() const { return gen_; }
+
+  // --- Write operations (physical) --------------------------------------
+
+  /// Stores one node. Maintains the element index (element nodes) and the
+  /// ID index (string values under an "id" attribute).
+  Status Store(const Splid& splid, const NodeRecord& record);
+
+  /// Removes one node (must have no children). Index-maintaining.
+  Status Remove(const Splid& splid);
+
+  /// Removes the whole subtree rooted at `root` (including `root`).
+  Status RemoveSubtree(const Splid& root);
+
+  /// Replaces the content of a string node (index-maintaining for id
+  /// values).
+  Status UpdateContent(const Splid& string_node, std::string_view content);
+
+  /// Renames an element (element-index maintaining).
+  Status RenameElement(const Splid& element, NameSurrogate new_name);
+
+  /// The attribute node element/@name, if present.
+  StatusOr<std::optional<Splid>> FindAttribute(const Splid& element,
+                                               NameSurrogate name) const;
+
+  /// Adds a new attribute (creating the attribute root if needed);
+  /// fails with kInvalidArgument if the name already exists. Returns the
+  /// attribute node's label.
+  StatusOr<Splid> AddAttribute(const Splid& element, NameSurrogate name,
+                               std::string_view value);
+
+  /// Removes element/@name (and its string child). kNotFound if absent.
+  Status RemoveAttribute(const Splid& element, NameSurrogate name);
+
+  /// Creates the document root element (document must be empty).
+  StatusOr<Splid> CreateRoot(std::string_view name);
+
+  /// Bulk-loads a whole document from a spec (document must be empty).
+  StatusOr<Splid> BuildFromSpec(const SubtreeSpec& spec);
+
+  /// Appends `spec` as the new last child of `parent`, atomically under
+  /// one latch (label assignment + all stores). `label_hint` (optional)
+  /// is the label the caller locked; if it is stale — possible only when
+  /// running without write locks — the actual label is recomputed.
+  /// Returns the new subtree root's label.
+  StatusOr<Splid> AppendSubtree(const Splid& parent, const SubtreeSpec& spec,
+                                const Splid* label_hint = nullptr);
+
+  /// The label AppendSubtree would use right now (for pre-locking).
+  StatusOr<Splid> PeekAppendLabel(const Splid& parent) const;
+
+  /// Inserts `spec` as a sibling ordered directly before/after
+  /// `sibling`, atomically under one latch (uses the overflow labeling
+  /// of §3.2 — existing labels never change). Returns the new root.
+  StatusOr<Splid> InsertSibling(const Splid& sibling, const SubtreeSpec& spec,
+                                bool after, const Splid* label_hint = nullptr);
+
+  /// The label InsertSibling would use right now (for pre-locking).
+  StatusOr<Splid> PeekSiblingLabel(const Splid& sibling, bool after) const;
+
+  /// Re-inserts previously removed nodes (abort compensation).
+  Status RestoreNodes(const std::vector<Node>& nodes);
+
+  // --- Read operations ----------------------------------------------------
+
+  StatusOr<NodeRecord> Get(const Splid& splid) const;
+  bool Exists(const Splid& splid) const;
+
+  /// First/last child in document order. By default attribute roots are
+  /// skipped (DOM semantics); pass include_attribute_root for taDOM-level
+  /// traversal.
+  StatusOr<std::optional<Node>> FirstChild(
+      const Splid& parent, bool include_attribute_root = false) const;
+  StatusOr<std::optional<Node>> LastChild(const Splid& parent) const;
+  StatusOr<std::optional<Node>> NextSibling(const Splid& node) const;
+  StatusOr<std::optional<Node>> PreviousSibling(const Splid& node) const;
+
+  StatusOr<std::vector<Node>> Children(
+      const Splid& parent, bool include_attribute_root = false) const;
+
+  /// The whole subtree including the root, in document order.
+  StatusOr<std::vector<Node>> Subtree(const Splid& root) const;
+
+  std::optional<Splid> LookupId(std::string_view id) const;
+  std::vector<Splid> ElementsByName(std::string_view name) const;
+  std::optional<Splid> NthElementByName(std::string_view name,
+                                        size_t index) const;
+
+  uint64_t num_nodes() const;
+  const PageFile& page_file() const { return file_; }
+  const BufferManager& buffer() const { return *buffer_; }
+
+  /// Storage occupancy of the document tree (paper §3.1).
+  BplusTree::Occupancy MeasureOccupancy() const;
+
+  /// Full structural audit (tests / debugging): every non-root node has
+  /// a stored parent, taDOM layering holds (strings under text or
+  /// attribute, attributes under attribute roots, ...), and the element
+  /// and ID indexes agree exactly with a document scan.
+  Status Validate() const;
+
+ private:
+  // mu_ must be held (shared suffices) by callers of these helpers.
+  StatusOr<std::optional<Node>> FirstChildLocked(const Splid& parent,
+                                                 bool include_attr) const;
+  StatusOr<std::optional<Node>> PreviousSiblingLocked(const Splid& node) const;
+  StatusOr<Splid> AppendLabelLocked(const Splid& parent) const;
+  StatusOr<Splid> SiblingLabelLocked(const Splid& sibling, bool after) const;
+  Status StoreOneLocked(const Splid& splid, const NodeRecord& record);
+  Status StoreSpecLocked(const Splid& at, const SubtreeSpec& spec);
+  StatusOr<std::optional<Node>> NextSiblingLocked(const Splid& node) const;
+  StatusOr<std::vector<Node>> SubtreeLocked(const Splid& root) const;
+  Status RemoveOneLocked(const Splid& splid, const NodeRecord& record);
+  // If `splid` is the string child of an id attribute, returns the owning
+  // element.
+  std::optional<Splid> IdOwnerElement(const Splid& string_node) const;
+
+  StorageOptions options_;
+  PageFile file_;
+  std::unique_ptr<BufferManager> buffer_;
+  Vocabulary vocab_;
+  SplidGenerator gen_;
+  mutable std::shared_mutex mu_;
+  std::unique_ptr<BplusTree> doc_;
+  std::unique_ptr<ElementIndex> elements_;
+  std::unique_ptr<IdIndex> ids_;
+  NameSurrogate id_attr_name_;  // surrogate of "id"
+};
+
+/// DocumentAccessor implementation handed to protocols: each call does
+/// real traversal work through the document store.
+class DocumentAccessorImpl : public DocumentAccessor {
+ public:
+  explicit DocumentAccessorImpl(Document* doc) : doc_(doc) {}
+
+  StatusOr<std::vector<Splid>> NodesInSubtree(const Splid& root) override;
+  StatusOr<std::vector<Splid>> ElementsWithIdInSubtree(
+      const Splid& root) override;
+  StatusOr<std::vector<Splid>> ChildrenOf(const Splid& node) override;
+
+ private:
+  Document* doc_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_NODE_DOCUMENT_H_

@@ -1,0 +1,17 @@
+#include "node/id_index.h"
+
+namespace xtc {
+
+Status IdIndex::Add(std::string_view id, const Splid& element) {
+  return tree_.Insert(id, element.Encode());
+}
+
+Status IdIndex::Remove(std::string_view id) { return tree_.Delete(id); }
+
+std::optional<Splid> IdIndex::Lookup(std::string_view id) const {
+  auto v = tree_.Get(id);
+  if (!v.ok()) return std::nullopt;
+  return Splid::Decode(*v);
+}
+
+}  // namespace xtc

@@ -1,0 +1,96 @@
+// taDOM node model (paper §3.1, Fig. 5).
+//
+// Unlike plain DOM, attributes hang off a separate *attribute root*
+// (division 1) and the character data of text nodes and attributes lives
+// in dedicated *string nodes* (again division 1 below their owner). This
+// lets the lock manager isolate structure from content; the user-visible
+// DOM semantics are unchanged.
+//
+//   element ── attributeRoot ── attribute ── string
+//          └── text ── string
+//          └── element ...
+
+#ifndef XTC_NODE_NODE_H_
+#define XTC_NODE_NODE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "splid/splid.h"
+#include "storage/vocabulary.h"
+
+namespace xtc {
+
+enum class NodeKind : uint8_t {
+  kElement = 1,
+  kAttributeRoot = 2,
+  kAttribute = 3,
+  kText = 4,
+  kString = 5,
+};
+
+std::string_view NodeKindName(NodeKind kind);
+
+/// The stored payload of one tree node (the B+-tree value; the SPLID is
+/// the key). Elements and attributes carry a name surrogate; string nodes
+/// carry content bytes.
+struct NodeRecord {
+  NodeKind kind = NodeKind::kElement;
+  NameSurrogate name = kInvalidSurrogate;  // elements & attributes
+  std::string content;                     // string nodes only
+
+  static NodeRecord Element(NameSurrogate name) {
+    return {NodeKind::kElement, name, {}};
+  }
+  static NodeRecord AttributeRoot() {
+    return {NodeKind::kAttributeRoot, kInvalidSurrogate, {}};
+  }
+  static NodeRecord Attribute(NameSurrogate name) {
+    return {NodeKind::kAttribute, name, {}};
+  }
+  static NodeRecord Text() { return {NodeKind::kText, kInvalidSurrogate, {}}; }
+  static NodeRecord String(std::string content) {
+    return {NodeKind::kString, kInvalidSurrogate, std::move(content)};
+  }
+
+  /// Serialization: [kind u8][name u32 LE][content bytes].
+  std::string Encode() const {
+    std::string out;
+    out.reserve(5 + content.size());
+    out.push_back(static_cast<char>(kind));
+    char buf[4];
+    std::memcpy(buf, &name, 4);
+    out.append(buf, 4);
+    out += content;
+    return out;
+  }
+
+  static std::optional<NodeRecord> Decode(std::string_view bytes) {
+    if (bytes.size() < 5) return std::nullopt;
+    NodeRecord r;
+    r.kind = static_cast<NodeKind>(bytes[0]);
+    if (r.kind < NodeKind::kElement || r.kind > NodeKind::kString) {
+      return std::nullopt;
+    }
+    std::memcpy(&r.name, bytes.data() + 1, 4);
+    r.content = std::string(bytes.substr(5));
+    return r;
+  }
+
+  bool operator==(const NodeRecord& o) const {
+    return kind == o.kind && name == o.name && content == o.content;
+  }
+};
+
+/// A labeled node as returned by navigation.
+struct Node {
+  Splid splid;
+  NodeRecord record;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_NODE_NODE_H_

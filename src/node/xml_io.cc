@@ -1,0 +1,271 @@
+#include "node/xml_io.h"
+
+#include <cctype>
+
+namespace xtc {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  StatusOr<SubtreeSpec> Parse() {
+    SkipMisc();
+    SubtreeSpec root;
+    XTC_RETURN_IF_ERROR(ParseElement(&root));
+    SkipMisc();
+    if (pos_ != in_.size()) {
+      return Status::InvalidArgument("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  bool Eof() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  bool Consume(std::string_view s) {
+    if (in_.compare(pos_, s.size(), s) == 0) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+  void SkipWhitespace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (Consume("<!--")) {
+        size_t end = in_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 3;
+      } else if (Consume("<?")) {
+        size_t end = in_.find("?>", pos_);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  std::string ParseName() {
+    std::string name;
+    while (!Eof() && IsNameChar(Peek())) name.push_back(in_[pos_++]);
+    return name;
+  }
+
+  static void AppendEntity(std::string_view entity, std::string* out) {
+    if (entity == "lt") {
+      out->push_back('<');
+    } else if (entity == "gt") {
+      out->push_back('>');
+    } else if (entity == "amp") {
+      out->push_back('&');
+    } else if (entity == "apos") {
+      out->push_back('\'');
+    } else if (entity == "quot") {
+      out->push_back('"');
+    } else {
+      out->push_back('&');
+      out->append(entity);
+      out->push_back(';');
+    }
+  }
+
+  std::string DecodeText(std::string_view raw) {
+    std::string out;
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] == '&') {
+        size_t end = raw.find(';', i);
+        if (end != std::string_view::npos && end - i <= 6) {
+          AppendEntity(raw.substr(i + 1, end - i - 1), &out);
+          i = end + 1;
+          continue;
+        }
+      }
+      out.push_back(raw[i++]);
+    }
+    return out;
+  }
+
+  Status ParseAttributes(SubtreeSpec* spec) {
+    for (;;) {
+      SkipWhitespace();
+      if (Eof()) return Status::InvalidArgument("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') return Status::OK();
+      std::string name = ParseName();
+      if (name.empty()) return Status::InvalidArgument("bad attribute name");
+      SkipWhitespace();
+      if (!Consume("=")) return Status::InvalidArgument("missing '='");
+      SkipWhitespace();
+      if (Eof() || (Peek() != '"' && Peek() != '\'')) {
+        return Status::InvalidArgument("unquoted attribute value");
+      }
+      char quote = in_[pos_++];
+      size_t end = in_.find(quote, pos_);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated attribute value");
+      }
+      spec->attributes.emplace_back(std::move(name),
+                                    DecodeText(in_.substr(pos_, end - pos_)));
+      pos_ = end + 1;
+    }
+  }
+
+  Status ParseElement(SubtreeSpec* spec) {
+    if (!Consume("<")) return Status::InvalidArgument("expected '<'");
+    spec->name = ParseName();
+    if (spec->name.empty()) return Status::InvalidArgument("bad element name");
+    XTC_RETURN_IF_ERROR(ParseAttributes(spec));
+    if (Consume("/>")) return Status::OK();
+    if (!Consume(">")) return Status::InvalidArgument("expected '>'");
+    // Content.
+    std::string text;
+    for (;;) {
+      if (Eof()) return Status::InvalidArgument("unterminated element");
+      if (Peek() == '<') {
+        if (Consume("<!--")) {
+          size_t end = in_.find("-->", pos_);
+          if (end == std::string_view::npos) {
+            return Status::InvalidArgument("unterminated comment");
+          }
+          pos_ = end + 3;
+          continue;
+        }
+        if (in_.compare(pos_, 2, "</") == 0) {
+          pos_ += 2;
+          std::string close = ParseName();
+          SkipWhitespace();
+          if (!Consume(">")) return Status::InvalidArgument("bad end tag");
+          if (close != spec->name) {
+            return Status::InvalidArgument("mismatched end tag: " + close);
+          }
+          // Trim pure-whitespace text.
+          size_t a = text.find_first_not_of(" \t\r\n");
+          if (a == std::string::npos) {
+            text.clear();
+          } else {
+            size_t b = text.find_last_not_of(" \t\r\n");
+            text = text.substr(a, b - a + 1);
+          }
+          spec->text = DecodeText(text);
+          return Status::OK();
+        }
+        spec->children.emplace_back();
+        XTC_RETURN_IF_ERROR(ParseElement(&spec->children.back()));
+      } else {
+        text.push_back(in_[pos_++]);
+      }
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+void EncodeText(std::string_view raw, std::string* out) {
+  for (char c : raw) {
+    switch (c) {
+      case '<':
+        *out += "&lt;";
+        break;
+      case '>':
+        *out += "&gt;";
+        break;
+      case '&':
+        *out += "&amp;";
+        break;
+      case '"':
+        *out += "&quot;";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+Status SerializeNode(const Document& doc, const Splid& splid, int indent,
+                     bool pretty, std::string* out) {
+  auto rec = doc.Get(splid);
+  if (!rec.ok()) return rec.status();
+  const std::string pad = pretty ? std::string(2 * indent, ' ') : "";
+  const std::string nl = pretty ? "\n" : "";
+  switch (rec->kind) {
+    case NodeKind::kElement: {
+      const std::string name = doc.vocabulary().Name(rec->name);
+      *out += pad + "<" + name;
+      // Attributes.
+      const Splid attr_root = splid.AttributeChild();
+      if (doc.Exists(attr_root)) {
+        auto attrs = doc.Children(attr_root);
+        if (!attrs.ok()) return attrs.status();
+        for (const Node& attr : *attrs) {
+          auto value = doc.Get(attr.splid.AttributeChild());
+          if (!value.ok()) return value.status();
+          *out += " " + doc.vocabulary().Name(attr.record.name) + "=\"";
+          EncodeText(value->content, out);
+          *out += "\"";
+        }
+      }
+      auto children = doc.Children(splid);
+      if (!children.ok()) return children.status();
+      if (children->empty()) {
+        *out += "/>" + nl;
+        return Status::OK();
+      }
+      // Single text child renders inline.
+      if (children->size() == 1 &&
+          (*children)[0].record.kind == NodeKind::kText) {
+        auto value = doc.Get((*children)[0].splid.AttributeChild());
+        if (!value.ok()) return value.status();
+        *out += ">";
+        EncodeText(value->content, out);
+        *out += "</" + name + ">" + nl;
+        return Status::OK();
+      }
+      *out += ">" + nl;
+      for (const Node& child : *children) {
+        XTC_RETURN_IF_ERROR(
+            SerializeNode(doc, child.splid, indent + 1, pretty, out));
+      }
+      *out += pad + "</" + name + ">" + nl;
+      return Status::OK();
+    }
+    case NodeKind::kText: {
+      auto value = doc.Get(splid.AttributeChild());
+      if (!value.ok()) return value.status();
+      *out += pad;
+      EncodeText(value->content, out);
+      *out += nl;
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument("cannot serialize this node kind");
+  }
+}
+
+}  // namespace
+
+StatusOr<SubtreeSpec> ParseXml(std::string_view xml) {
+  return Parser(xml).Parse();
+}
+
+StatusOr<Splid> LoadXml(Document* doc, std::string_view xml) {
+  XTC_ASSIGN_OR_RETURN(SubtreeSpec spec, ParseXml(xml));
+  return doc->BuildFromSpec(spec);
+}
+
+StatusOr<std::string> SerializeSubtree(const Document& doc, const Splid& root,
+                                       bool pretty) {
+  std::string out;
+  XTC_RETURN_IF_ERROR(SerializeNode(doc, root, 0, pretty, &out));
+  return out;
+}
+
+}  // namespace xtc

@@ -1,0 +1,33 @@
+// Minimal XML reader/writer for loading documents into the store and
+// dumping subtrees (examples, tests, debugging).
+//
+// Supported subset: elements, attributes, character data, comments and
+// processing instructions (skipped), the five predefined entities.
+// Not supported (by design — the lock contest does not need them):
+// namespaces, CDATA, DOCTYPE, mixed content interleaving (all text of an
+// element is concatenated and stored as one leading text node).
+
+#ifndef XTC_NODE_XML_IO_H_
+#define XTC_NODE_XML_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "node/document.h"
+#include "util/status.h"
+
+namespace xtc {
+
+/// Parses an XML document into a SubtreeSpec.
+StatusOr<SubtreeSpec> ParseXml(std::string_view xml);
+
+/// Parses and bulk-loads into an empty document; returns the root label.
+StatusOr<Splid> LoadXml(Document* doc, std::string_view xml);
+
+/// Serializes the subtree rooted at `root` (physical read, no locks).
+StatusOr<std::string> SerializeSubtree(const Document& doc, const Splid& root,
+                                       bool pretty = true);
+
+}  // namespace xtc
+
+#endif  // XTC_NODE_XML_IO_H_

@@ -1,0 +1,240 @@
+#include "node/xpath.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace xtc {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+}  // namespace
+
+StatusOr<XPath> XPath::Parse(std::string_view expr) {
+  XPath path;
+  size_t pos = 0;
+  if (expr.empty() || expr[0] != '/') {
+    return Status::InvalidArgument("XPath must be absolute (start with '/')");
+  }
+  while (pos < expr.size()) {
+    XPathStep step;
+    if (expr[pos] != '/') {
+      return Status::InvalidArgument("expected '/' in XPath");
+    }
+    ++pos;
+    if (pos < expr.size() && expr[pos] == '/') {
+      step.descendant = true;
+      ++pos;
+    }
+    // Name test.
+    if (pos < expr.size() && expr[pos] == '*') {
+      ++pos;
+    } else {
+      size_t start = pos;
+      while (pos < expr.size() && IsNameChar(expr[pos])) ++pos;
+      if (pos == start) {
+        return Status::InvalidArgument("missing name test in XPath step");
+      }
+      step.name = std::string(expr.substr(start, pos - start));
+    }
+    // Predicates.
+    while (pos < expr.size() && expr[pos] == '[') {
+      ++pos;
+      XPathStep::Predicate pred;
+      if (pos < expr.size() && expr[pos] == '@') {
+        ++pos;
+        size_t start = pos;
+        while (pos < expr.size() && IsNameChar(expr[pos])) ++pos;
+        pred.attribute = std::string(expr.substr(start, pos - start));
+        if (pred.attribute.empty() || pos >= expr.size() || expr[pos] != '=') {
+          return Status::InvalidArgument("bad attribute predicate");
+        }
+        ++pos;
+        if (pos >= expr.size() || expr[pos] != '\'') {
+          return Status::InvalidArgument("attribute value must be quoted");
+        }
+        ++pos;
+        size_t end = expr.find('\'', pos);
+        if (end == std::string_view::npos) {
+          return Status::InvalidArgument("unterminated attribute value");
+        }
+        pred.value = std::string(expr.substr(pos, end - pos));
+        pos = end + 1;
+      } else {
+        size_t start = pos;
+        while (pos < expr.size() &&
+               std::isdigit(static_cast<unsigned char>(expr[pos]))) {
+          ++pos;
+        }
+        if (pos == start) {
+          return Status::InvalidArgument("bad predicate");
+        }
+        pred.positional = true;
+        pred.position = static_cast<size_t>(
+            std::stoul(std::string(expr.substr(start, pos - start))));
+        if (pred.position == 0) {
+          return Status::InvalidArgument("positions are 1-based");
+        }
+      }
+      if (pos >= expr.size() || expr[pos] != ']') {
+        return Status::InvalidArgument("expected ']'");
+      }
+      ++pos;
+      step.predicates.push_back(std::move(pred));
+    }
+    path.steps_.push_back(std::move(step));
+  }
+  if (path.steps_.empty()) {
+    return Status::InvalidArgument("empty XPath");
+  }
+  return path;
+}
+
+std::string XPath::ToString() const {
+  std::string out;
+  for (const XPathStep& step : steps_) {
+    out += step.descendant ? "//" : "/";
+    out += step.name.empty() ? "*" : step.name;
+    for (const auto& pred : step.predicates) {
+      if (pred.positional) {
+        out += "[" + std::to_string(pred.position) + "]";
+      } else {
+        out += "[@" + pred.attribute + "='" + pred.value + "']";
+      }
+    }
+  }
+  return out;
+}
+
+Status XPath::FilterPredicates(NodeManager& nm, Transaction& tx,
+                               const XPathStep& step,
+                               std::vector<Splid>* nodes) const {
+  for (const auto& pred : step.predicates) {
+    if (pred.positional) {
+      if (pred.position > nodes->size()) {
+        nodes->clear();
+      } else {
+        Splid keep = (*nodes)[pred.position - 1];
+        nodes->assign(1, keep);
+      }
+      continue;
+    }
+    std::vector<Splid> kept;
+    for (const Splid& node : *nodes) {
+      auto value = nm.GetAttributeValue(tx, node, pred.attribute);
+      if (!value.ok()) return value.status();
+      if (*value == pred.value) kept.push_back(node);
+    }
+    *nodes = std::move(kept);
+  }
+  return Status::OK();
+}
+
+Status XPath::EvaluateStep(NodeManager& nm, Transaction& tx,
+                           const std::vector<Splid>& context,
+                           size_t step_index,
+                           std::vector<Splid>* out) const {
+  const XPathStep& step = steps_[step_index];
+  auto& vocab = nm.document().vocabulary();
+  std::vector<Splid> matches;
+
+  for (const Splid& ctx : context) {
+    std::vector<Splid> local;
+    if (!step.descendant) {
+      // Child axis: one level lock covers the whole child list.
+      auto children = nm.GetChildNodes(tx, ctx);
+      if (!children.ok()) return children.status();
+      for (const Node& child : *children) {
+        if (child.record.kind != NodeKind::kElement) continue;
+        if (!step.name.empty() && vocab.Name(child.record.name) != step.name) {
+          continue;
+        }
+        local.push_back(child.splid);
+      }
+    } else if (!step.name.empty()) {
+      // Descendant axis with a name test: evaluated through the element
+      // index as a series of direct jumps — the paper's expectation for
+      // declarative queries (§6: "frequently processed via indexes which
+      // will require a large number of direct jumps"). SPLID prefix math
+      // does the structural containment test without touching the
+      // document.
+      auto hits = nm.GetElementsByTagName(tx, step.name);
+      if (!hits.ok()) return hits.status();
+      for (const Splid& hit : *hits) {
+        if (ctx.IsAncestorOf(hit)) local.push_back(hit);
+      }
+    } else {
+      // '//*': no name to index on — fetch the fragment under one
+      // subtree lock and filter.
+      auto fragment = nm.GetFragment(tx, ctx);
+      if (!fragment.ok()) return fragment.status();
+      for (const Node& node : *fragment) {
+        if (node.record.kind != NodeKind::kElement) continue;
+        if (node.splid == ctx) continue;
+        local.push_back(node.splid);
+      }
+    }
+    XTC_RETURN_IF_ERROR(FilterPredicates(nm, tx, step, &local));
+    matches.insert(matches.end(), local.begin(), local.end());
+  }
+
+  if (step_index + 1 == steps_.size()) {
+    *out = std::move(matches);
+    return Status::OK();
+  }
+  return EvaluateStep(nm, tx, matches, step_index + 1, out);
+}
+
+StatusOr<std::vector<Splid>> XPath::Evaluate(NodeManager& nm,
+                                             Transaction& tx) const {
+  // The first step matches against the document root element.
+  const Splid root = Splid::Root();
+  auto root_rec = nm.GetNode(tx, root);
+  if (!root_rec.ok()) return root_rec.status();
+  if (!root_rec->has_value()) {
+    return std::vector<Splid>{};  // empty document
+  }
+  auto& vocab = nm.document().vocabulary();
+  std::vector<Splid> context;
+
+  const XPathStep& first = steps_[0];
+  if (first.descendant) {
+    // '//name' from the root: use the whole document as the fragment.
+    std::vector<Splid> fake_ctx = {root};
+    std::vector<Splid> result;
+    XTC_RETURN_IF_ERROR(EvaluateStep(nm, tx, fake_ctx, 0, &result));
+    // The root itself may also match a descendant-or-self style query;
+    // standard XPath '//x' excludes nothing but our EvaluateStep already
+    // skips the context node — add the root when it matches.
+    if (!first.name.empty() &&
+        vocab.Name((*root_rec)->record.name) == first.name &&
+        first.predicates.empty()) {
+      result.insert(result.begin(), root);
+    }
+    std::sort(result.begin(), result.end(),
+              [](const Splid& a, const Splid& b) { return a.Compare(b) < 0; });
+    result.erase(std::unique(result.begin(), result.end()), result.end());
+    return result;
+  }
+
+  // '/name': the root element must match the first step.
+  if (!first.name.empty() &&
+      vocab.Name((*root_rec)->record.name) != first.name) {
+    return std::vector<Splid>{};
+  }
+  std::vector<Splid> roots = {root};
+  XTC_RETURN_IF_ERROR(FilterPredicates(nm, tx, first, &roots));
+  if (roots.empty() || steps_.size() == 1) return roots;
+  std::vector<Splid> result;
+  XTC_RETURN_IF_ERROR(EvaluateStep(nm, tx, roots, 1, &result));
+  std::sort(result.begin(), result.end(),
+            [](const Splid& a, const Splid& b) { return a.Compare(b) < 0; });
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace xtc

@@ -1,0 +1,77 @@
+// XPath-lite: a small path-expression evaluator compiled onto the
+// transactional DOM API.
+//
+// The paper's premise (§1) is that declarative requests (XPath/XQuery)
+// are mapped to the navigational access model, which the lock protocols
+// then protect "for free". This module demonstrates that mapping: every
+// evaluation step issues ordinary NodeManager operations, so queries are
+// isolated by whatever protocol is plugged in — no query-specific
+// locking code exists.
+//
+// Supported grammar (absolute paths):
+//   path      := ('/' step | '//' step)+
+//   step      := (name | '*') predicate*
+//   predicate := '[' '@' name '=' '\'' value '\'' ']'   attribute test
+//              | '[' number ']'                          1-based position
+//
+// Examples:
+//   /bib/topics/topic[@id='t5']/book[2]/title
+//   //book[@year='1993']
+//   /bib//lend[@person='p7']
+
+#ifndef XTC_NODE_XPATH_H_
+#define XTC_NODE_XPATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "node/node_manager.h"
+#include "util/status.h"
+
+namespace xtc {
+
+/// A parsed location step.
+struct XPathStep {
+  bool descendant = false;  // '//' instead of '/'
+  std::string name;         // empty = '*'
+  // Predicates, applied in order.
+  struct Predicate {
+    bool positional = false;
+    size_t position = 0;        // 1-based, when positional
+    std::string attribute;      // when attribute test
+    std::string value;
+  };
+  std::vector<Predicate> predicates;
+};
+
+class XPath {
+ public:
+  /// Parses an absolute path expression.
+  static StatusOr<XPath> Parse(std::string_view expression);
+
+  const std::vector<XPathStep>& steps() const { return steps_; }
+  std::string ToString() const;
+
+  /// Evaluates against the document root inside `tx`. Every visited node
+  /// is read through NodeManager, so the transaction's isolation level
+  /// and the active lock protocol fully apply. Results are element
+  /// labels in document order.
+  StatusOr<std::vector<Splid>> Evaluate(NodeManager& nm,
+                                        Transaction& tx) const;
+
+ private:
+  Status EvaluateStep(NodeManager& nm, Transaction& tx,
+                      const std::vector<Splid>& context, size_t step_index,
+                      std::vector<Splid>* out) const;
+  /// Applies predicates to candidate elements under one context node.
+  Status FilterPredicates(NodeManager& nm, Transaction& tx,
+                          const XPathStep& step, std::vector<Splid>* nodes)
+      const;
+
+  std::vector<XPathStep> steps_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_NODE_XPATH_H_

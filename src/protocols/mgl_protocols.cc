@@ -1,0 +1,180 @@
+#include "protocols/mgl_protocols.h"
+
+namespace xtc {
+
+namespace {
+const char* VariantName(MglVariant v) {
+  switch (v) {
+    case MglVariant::kIrx:
+      return "IRX";
+    case MglVariant::kIrix:
+      return "IRIX";
+    case MglVariant::kUrix:
+      return "URIX";
+  }
+  return "MGL?";
+}
+}  // namespace
+
+MglProtocol::MglProtocol(MglVariant variant, LockTableOptions options)
+    : ProtocolBase(VariantName(variant)), variant_(variant) {
+  switch (variant) {
+    case MglVariant::kIrx: {
+      // One general intention mode I. Because I cannot distinguish read
+      // from write intent it must conflict with subtree locks (a deeper
+      // write under an R-locked subtree would otherwise go unnoticed).
+      ModeId i = modes_.AddMode("I");
+      r_ = modes_.AddMode("R");
+      x_ = modes_.AddMode("X");
+      modes_.SetCompatRow(i, "+ - -");
+      modes_.SetCompatRow(r_, "- + -");
+      modes_.SetCompatRow(x_, "- - -");
+      ir_ = ix_ = i;
+      u_ = r_;
+      rix_ = kNoMode;
+      break;
+    }
+    case MglVariant::kIrix: {
+      ir_ = modes_.AddMode("IR");
+      ix_ = modes_.AddMode("IX");
+      r_ = modes_.AddMode("R");
+      x_ = modes_.AddMode("X");
+      modes_.SetCompatRow(ir_, "+ + + -");
+      modes_.SetCompatRow(ix_, "+ + - -");
+      modes_.SetCompatRow(r_, "+ - + -");
+      modes_.SetCompatRow(x_, "- - - -");
+      u_ = r_;
+      rix_ = kNoMode;
+      break;
+    }
+    case MglVariant::kUrix: {
+      // Paper Fig. 2 — note the deliberate asymmetry of the U column
+      // (held row x requested column), kept exactly as printed.
+      ir_ = modes_.AddMode("IR");
+      ix_ = modes_.AddMode("IX");
+      r_ = modes_.AddMode("R");
+      rix_ = modes_.AddMode("RIX");
+      u_ = modes_.AddMode("U");
+      x_ = modes_.AddMode("X");
+      modes_.SetCompatRow(ir_, "+ + + + - -");
+      modes_.SetCompatRow(ix_, "+ + - - - -");
+      modes_.SetCompatRow(r_, "+ - + - - -");
+      modes_.SetCompatRow(rix_, "+ - - - - -");
+      modes_.SetCompatRow(u_, "+ - + - - -");
+      modes_.SetCompatRow(x_, "- - - - - -");
+      // Fig. 2 conversion matrix, verbatim.
+      auto C = [&](ModeId h, ModeId req, ModeId res) {
+        modes_.SetConversion(h, req, res);
+      };
+      const ModeId row_ir[6] = {ir_, ix_, r_, rix_, u_, x_};
+      const ModeId row_ix[6] = {ix_, ix_, rix_, rix_, x_, x_};
+      const ModeId row_r[6] = {r_, rix_, r_, rix_, r_, x_};
+      const ModeId row_rix[6] = {rix_, rix_, rix_, rix_, x_, x_};
+      const ModeId row_u[6] = {u_, x_, u_, x_, u_, x_};
+      const ModeId row_x[6] = {x_, x_, x_, x_, x_, x_};
+      const ModeId held[6] = {ir_, ix_, r_, rix_, u_, x_};
+      const ModeId* rows[6] = {row_ir, row_ix, row_r, row_rix, row_u, row_x};
+      for (int h = 0; h < 6; ++h) {
+        for (int req = 0; req < 6; ++req) {
+          C(held[h], held[req], rows[h][req]);
+        }
+      }
+      break;
+    }
+  }
+
+  // Edge modes: only URIX carries real edge locks (paper §2.2: "special
+  // edge locks ... complement the node locks shown for the URIX
+  // protocol"); IRX/IRIX emulate edges with node locks in EdgeLock().
+  if (variant == MglVariant::kUrix) {
+    es_ = modes_.AddMode("ES");
+    ex_ = modes_.AddMode("EX");
+    for (ModeId m = 1; m < es_; ++m) {
+      modes_.SetCompatible(m, es_, true);
+      modes_.SetCompatible(es_, m, true);
+      modes_.SetCompatible(m, ex_, true);
+      modes_.SetCompatible(ex_, m, true);
+    }
+    modes_.SetCompatible(es_, es_, true);
+    modes_.SetCompatible(es_, ex_, false);
+    modes_.SetCompatible(ex_, es_, false);
+    modes_.SetCompatible(ex_, ex_, false);
+  }
+
+  InitTable(options);
+}
+
+Status MglProtocol::NodeRead(uint64_t tx, const Splid& node,
+                             AccessKind /*access*/, LockDuration dur) {
+  // Double role of the intention lock: it also locks the node itself.
+  XTC_RETURN_IF_ERROR(LockAncestorPath(tx, node, ir_, dur));
+  return AcquireNode(tx, node, ir_, dur);
+}
+
+Status MglProtocol::NodeUpdate(uint64_t tx, const Splid& node,
+                               LockDuration dur) {
+  XTC_RETURN_IF_ERROR(LockAncestorPath(tx, node, ir_, dur));
+  // Only URIX has a genuine U mode; IRX/IRIX fall back to a plain read
+  // and pay with conversion deadlocks later — the U-mode advantage §2.2
+  // mentions.
+  return AcquireNode(tx, node, variant_ == MglVariant::kUrix ? u_ : ir_, dur);
+}
+
+Status MglProtocol::NodeWrite(uint64_t tx, const Splid& node,
+                              AccessKind /*access*/, LockDuration dur) {
+  // No node-only exclusive mode: X locks the attached subtree too. This
+  // is what cripples MGL* on TArenameTopic (§5.2).
+  XTC_RETURN_IF_ERROR(LockAncestorPath(tx, node, ix_, dur));
+  return AcquireNode(tx, node, x_, dur);
+}
+
+Status MglProtocol::LevelRead(uint64_t tx, const Splid& node,
+                              LockDuration dur) {
+  // No level locks: lock the node and each direct child individually
+  // (more lock-manager calls than taDOM's single LR).
+  XTC_RETURN_IF_ERROR(LockAncestorPath(tx, node, ir_, dur));
+  XTC_RETURN_IF_ERROR(AcquireNode(tx, node, ir_, dur));
+  if (accessor() != nullptr) {
+    auto children = accessor()->ChildrenOf(node);
+    if (!children.ok()) return children.status();
+    for (const Splid& child : *children) {
+      XTC_RETURN_IF_ERROR(AcquireNode(tx, child, ir_, dur));
+    }
+  }
+  return Status::OK();
+}
+
+Status MglProtocol::TreeRead(uint64_t tx, const Splid& root, LockDuration dur) {
+  XTC_RETURN_IF_ERROR(LockAncestorPath(tx, root, ir_, dur));
+  return AcquireNode(tx, root, r_, dur);
+}
+
+Status MglProtocol::TreeUpdate(uint64_t tx, const Splid& root,
+                               LockDuration dur) {
+  XTC_RETURN_IF_ERROR(LockAncestorPath(tx, root, ir_, dur));
+  return AcquireNode(tx, root, variant_ == MglVariant::kUrix ? u_ : r_, dur);
+}
+
+Status MglProtocol::TreeWrite(uint64_t tx, const Splid& root,
+                              LockDuration dur) {
+  XTC_RETURN_IF_ERROR(LockAncestorPath(tx, root, ix_, dur));
+  return AcquireNode(tx, root, x_, dur);
+}
+
+Status MglProtocol::EdgeLock(uint64_t tx, const Splid& anchor, EdgeKind kind,
+                             bool exclusive, LockDuration dur) {
+  if (variant_ == MglVariant::kUrix) {
+    return Acquire(tx, EdgeResource(anchor, kind), exclusive ? ex_ : es_, dur);
+  }
+  // IRX/IRIX: protect the edge through its anchor node (shared: the
+  // intention/node lock; exclusive: subtree X on the anchor — coarse, and
+  // deliberately so).
+  if (exclusive) {
+    XTC_RETURN_IF_ERROR(LockAncestorPath(tx, anchor, ix_, dur));
+    return AcquireNode(tx, anchor, x_, dur);
+  }
+  XTC_RETURN_IF_ERROR(LockAncestorPath(tx, anchor, ir_, dur));
+  return AcquireNode(tx, anchor, ir_, dur);
+}
+
+}  // namespace xtc

@@ -1,0 +1,57 @@
+// The MGL* protocol group (paper §2.2): classical multi-granularity
+// locking adapted to XML trees.
+//
+// Differences from table MGL (per the paper): intention locks play a
+// double role — they mark read/write activity deeper in the tree AND act
+// as the node lock (there is no separate node-read mode); conversions on
+// the context node convert the whole ancestor path; the protocols accept
+// the lock-depth parameter (subtree locks at the depth boundary).
+//
+//  * IRX  — one general intention mode I (conservative: since I cannot
+//           tell reads from writes it must conflict with subtree R/X).
+//  * IRIX — separate IR/IX intentions.
+//  * URIX — IRIX plus RIX and U modes with the exact (asymmetric)
+//           compatibility and conversion matrices of the paper's Fig. 2,
+//           plus edge locks.
+//
+// MGL* has no level locks (getChildNodes locks each child individually)
+// and no node-only exclusive mode (rename must X-lock the subtree) —
+// exactly the weaknesses §5.2 attributes to the group.
+
+#ifndef XTC_PROTOCOLS_MGL_PROTOCOLS_H_
+#define XTC_PROTOCOLS_MGL_PROTOCOLS_H_
+
+#include "protocols/protocol.h"
+
+namespace xtc {
+
+enum class MglVariant { kIrx, kIrix, kUrix };
+
+class MglProtocol : public ProtocolBase {
+ public:
+  explicit MglProtocol(MglVariant variant, LockTableOptions options = {});
+
+  bool supports_lock_depth() const override { return true; }
+
+  Status NodeRead(uint64_t tx, const Splid& node, AccessKind access,
+                  LockDuration dur) override;
+  Status NodeUpdate(uint64_t tx, const Splid& node, LockDuration dur) override;
+  Status NodeWrite(uint64_t tx, const Splid& node, AccessKind access,
+                   LockDuration dur) override;
+  Status LevelRead(uint64_t tx, const Splid& node, LockDuration dur) override;
+  Status TreeRead(uint64_t tx, const Splid& root, LockDuration dur) override;
+  Status TreeUpdate(uint64_t tx, const Splid& root, LockDuration dur) override;
+  Status TreeWrite(uint64_t tx, const Splid& root, LockDuration dur) override;
+  Status EdgeLock(uint64_t tx, const Splid& anchor, EdgeKind kind,
+                  bool exclusive, LockDuration dur) override;
+
+  MglVariant variant() const { return variant_; }
+
+ private:
+  MglVariant variant_;
+  ModeId ir_ = 0, ix_ = 0, r_ = 0, rix_ = 0, u_ = 0, x_ = 0, es_ = 0, ex_ = 0;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_PROTOCOLS_MGL_PROTOCOLS_H_

@@ -1,0 +1,316 @@
+#include "protocols/node2pl_family.h"
+
+namespace xtc {
+
+std::string ContentResource(const Splid& node) {
+  std::string r(1, 'C');
+  r += node.Encode();
+  return r;
+}
+
+std::string JumpResource(const Splid& node) {
+  std::string r(1, 'D');
+  r += node.Encode();
+  return r;
+}
+
+namespace {
+const char* VariantName(TwoPlVariant v) {
+  switch (v) {
+    case TwoPlVariant::kNode2Pl:
+      return "Node2PL";
+    case TwoPlVariant::kNo2Pl:
+      return "NO2PL";
+    case TwoPlVariant::kOo2Pl:
+      return "OO2PL";
+    case TwoPlVariant::kNode2PlA:
+      return "Node2PLa";
+  }
+  return "*-2PL?";
+}
+}  // namespace
+
+TwoPlProtocol::TwoPlProtocol(TwoPlVariant variant, LockTableOptions options)
+    : ProtocolBase(VariantName(variant)), variant_(variant) {
+  if (variant == TwoPlVariant::kNode2PlA) {
+    // Node2PLa: structure locks + URIX-borrowed intentions + subtree
+    // locks (order IR IX T M ST SM).
+    ir_ = modes_.AddMode("IR");
+    ix_ = modes_.AddMode("IX");
+    t_ = modes_.AddMode("T");
+    m_ = modes_.AddMode("M");
+    st_ = modes_.AddMode("ST");
+    sm_ = modes_.AddMode("SM");
+    modes_.SetCompatRow(ir_, "+ + + + + -");
+    modes_.SetCompatRow(ix_, "+ + + + - -");
+    modes_.SetCompatRow(t_, "+ + + - + -");
+    modes_.SetCompatRow(m_, "+ + - - - -");
+    modes_.SetCompatRow(st_, "+ - + - + -");
+    modes_.SetCompatRow(sm_, "- - - - - -");
+  } else {
+    // Fig. 1: three orthogonal lock types (separate resource
+    // namespaces). Order T M CS CX IDR IDX (+ ER EW for OO2PL).
+    t_ = modes_.AddMode("T");
+    m_ = modes_.AddMode("M");
+    cs_ = modes_.AddMode("CS");
+    cx_ = modes_.AddMode("CX");
+    idr_ = modes_.AddMode("IDR");
+    idx_ = modes_.AddMode("IDX");
+    modes_.SetCompatRow(t_, "+ - + + + +");
+    modes_.SetCompatRow(m_, "- - + + + +");
+    modes_.SetCompatRow(cs_, "+ + + - + +");
+    modes_.SetCompatRow(cx_, "+ + - - + +");
+    modes_.SetCompatRow(idr_, "+ + + + + -");
+    modes_.SetCompatRow(idx_, "+ + + + - -");
+    if (variant == TwoPlVariant::kOo2Pl) {
+      er_ = modes_.AddMode("ER");
+      ew_ = modes_.AddMode("EW");
+      for (ModeId mm = 1; mm < er_; ++mm) {
+        modes_.SetCompatible(mm, er_, true);
+        modes_.SetCompatible(er_, mm, true);
+        modes_.SetCompatible(mm, ew_, true);
+        modes_.SetCompatible(ew_, mm, true);
+      }
+      modes_.SetCompatible(er_, er_, true);
+      modes_.SetCompatible(er_, ew_, false);
+      modes_.SetCompatible(ew_, er_, false);
+      modes_.SetCompatible(ew_, ew_, false);
+    }
+  }
+  InitTable(options);
+}
+
+Status TwoPlProtocol::LockParent(uint64_t tx, const Splid& node, ModeId mode,
+                                 LockDuration dur) {
+  const Splid target = node.IsRoot() ? node : node.Parent();
+  if (variant_ == TwoPlVariant::kNode2PlA && !target.IsRoot()) {
+    const ModeId intent = (mode == m_ || mode == sm_) ? ix_ : ir_;
+    XTC_RETURN_IF_ERROR(LockAncestorPath(tx, target, intent, dur));
+  }
+  return AcquireNode(tx, target, mode, dur);
+}
+
+Status TwoPlProtocol::LockSubtreeNodes(uint64_t tx, const Splid& root,
+                                       ModeId mode, LockDuration dur) {
+  XTC_RETURN_IF_ERROR(AcquireNode(tx, root, mode, dur));
+  if (accessor() == nullptr) return Status::OK();
+  auto nodes = accessor()->NodesInSubtree(root);
+  if (!nodes.ok()) return nodes.status();
+  for (const Splid& n : *nodes) {
+    XTC_RETURN_IF_ERROR(AcquireNode(tx, n, mode, dur));
+  }
+  return Status::OK();
+}
+
+Status TwoPlProtocol::NodeRead(uint64_t tx, const Splid& node,
+                               AccessKind access, LockDuration dur) {
+  switch (variant_) {
+    case TwoPlVariant::kNode2Pl:
+      if (access == AccessKind::kJump) {
+        return Acquire(tx, JumpResource(node), idr_, dur);
+      }
+      return LockParent(tx, node, t_, dur);
+    case TwoPlVariant::kNo2Pl:
+      if (access == AccessKind::kJump) {
+        return Acquire(tx, JumpResource(node), idr_, dur);
+      }
+      return AcquireNode(tx, node, t_, dur);
+    case TwoPlVariant::kOo2Pl:
+      if (access == AccessKind::kJump) {
+        return Acquire(tx, JumpResource(node), idr_, dur);
+      }
+      return Acquire(tx, ContentResource(node), cs_, dur);
+    case TwoPlVariant::kNode2PlA:
+      // Intentions protect jumps as well (the "a" optimization).
+      return LockParent(tx, node, t_, dur);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status TwoPlProtocol::NodeUpdate(uint64_t tx, const Splid& node,
+                                 LockDuration dur) {
+  // No update modes in this family: read now, convert later (a prime
+  // deadlock source the paper points out for lock conversions).
+  return NodeRead(tx, node, AccessKind::kNavigate, dur);
+}
+
+Status TwoPlProtocol::NodeWrite(uint64_t tx, const Splid& node,
+                                AccessKind /*access*/, LockDuration dur) {
+  switch (variant_) {
+    case TwoPlVariant::kNode2Pl:
+      XTC_RETURN_IF_ERROR(LockParent(tx, node, m_, dur));
+      return Acquire(tx, ContentResource(node), cx_, dur);
+    case TwoPlVariant::kNo2Pl:
+      XTC_RETURN_IF_ERROR(AcquireNode(tx, node, m_, dur));
+      return Acquire(tx, ContentResource(node), cx_, dur);
+    case TwoPlVariant::kOo2Pl:
+      return Acquire(tx, ContentResource(node), cx_, dur);
+    case TwoPlVariant::kNode2PlA:
+      // No node-only exclusive mode: an in-place node change (rename)
+      // needs the subtree-modify granule plus M on the parent — the
+      // "very large lock granules" that cripple Node2PLa on
+      // TArenameTopic (§5.2).
+      XTC_RETURN_IF_ERROR(LockParent(tx, node, m_, dur));
+      return AcquireNode(tx, node, sm_, dur);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status TwoPlProtocol::LevelRead(uint64_t tx, const Splid& node,
+                                LockDuration dur) {
+  switch (variant_) {
+    case TwoPlVariant::kNode2Pl:
+    case TwoPlVariant::kNode2PlA:
+      // T on the node locks its child level.
+      if (variant_ == TwoPlVariant::kNode2PlA && !node.IsRoot()) {
+        XTC_RETURN_IF_ERROR(LockAncestorPath(tx, node, ir_, dur));
+      }
+      return AcquireNode(tx, node, t_, dur);
+    case TwoPlVariant::kNo2Pl:
+    case TwoPlVariant::kOo2Pl: {
+      // Lock the node and every child individually.
+      const ModeId node_mode = variant_ == TwoPlVariant::kNo2Pl ? t_ : cs_;
+      if (variant_ == TwoPlVariant::kNo2Pl) {
+        XTC_RETURN_IF_ERROR(AcquireNode(tx, node, node_mode, dur));
+      } else {
+        XTC_RETURN_IF_ERROR(Acquire(tx, ContentResource(node), cs_, dur));
+        XTC_RETURN_IF_ERROR(
+            Acquire(tx, EdgeResource(node, EdgeKind::kFirstChild), er_, dur));
+      }
+      if (accessor() != nullptr) {
+        auto children = accessor()->ChildrenOf(node);
+        if (!children.ok()) return children.status();
+        for (const Splid& child : *children) {
+          if (variant_ == TwoPlVariant::kNo2Pl) {
+            XTC_RETURN_IF_ERROR(AcquireNode(tx, child, t_, dur));
+          } else {
+            XTC_RETURN_IF_ERROR(
+                Acquire(tx, ContentResource(child), cs_, dur));
+            XTC_RETURN_IF_ERROR(Acquire(
+                tx, EdgeResource(child, EdgeKind::kNextSibling), er_, dur));
+          }
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status TwoPlProtocol::TreeRead(uint64_t tx, const Splid& root,
+                               LockDuration dur) {
+  switch (variant_) {
+    case TwoPlVariant::kNode2PlA:
+      XTC_RETURN_IF_ERROR(LockAncestorPath(tx, root, ir_, dur));
+      return AcquireNode(tx, root, st_, dur);
+    case TwoPlVariant::kNode2Pl:
+    case TwoPlVariant::kNo2Pl:
+      return LockSubtreeNodes(tx, root, t_, dur);
+    case TwoPlVariant::kOo2Pl: {
+      XTC_RETURN_IF_ERROR(Acquire(tx, ContentResource(root), cs_, dur));
+      if (accessor() == nullptr) return Status::OK();
+      auto nodes = accessor()->NodesInSubtree(root);
+      if (!nodes.ok()) return nodes.status();
+      for (const Splid& n : *nodes) {
+        XTC_RETURN_IF_ERROR(Acquire(tx, ContentResource(n), cs_, dur));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status TwoPlProtocol::TreeUpdate(uint64_t tx, const Splid& root,
+                                 LockDuration dur) {
+  if (variant_ == TwoPlVariant::kNode2PlA) {
+    XTC_RETURN_IF_ERROR(LockAncestorPath(tx, root, ir_, dur));
+    return AcquireNode(tx, root, st_, dur);
+  }
+  return TreeRead(tx, root, dur);
+}
+
+Status TwoPlProtocol::TreeWrite(uint64_t tx, const Splid& root,
+                                LockDuration dur) {
+  switch (variant_) {
+    case TwoPlVariant::kNode2PlA:
+      XTC_RETURN_IF_ERROR(LockParent(tx, root, m_, dur));
+      XTC_RETURN_IF_ERROR(LockAncestorPath(tx, root, ix_, dur));
+      return AcquireNode(tx, root, sm_, dur);
+    case TwoPlVariant::kNode2Pl:
+      // Parent focus: the whole level of the deleted/inserted subtree
+      // root is blocked.
+      XTC_RETURN_IF_ERROR(LockParent(tx, root, m_, dur));
+      return LockSubtreeNodes(tx, root, m_, dur);
+    case TwoPlVariant::kNo2Pl:
+      // Neighborhood only: the sibling-edge locks issued by the node
+      // manager cover the adjacent nodes; the parent stays traversable.
+      return LockSubtreeNodes(tx, root, m_, dur);
+    case TwoPlVariant::kOo2Pl: {
+      XTC_RETURN_IF_ERROR(Acquire(tx, ContentResource(root), cx_, dur));
+      if (accessor() == nullptr) return Status::OK();
+      auto nodes = accessor()->NodesInSubtree(root);
+      if (!nodes.ok()) return nodes.status();
+      for (const Splid& n : *nodes) {
+        XTC_RETURN_IF_ERROR(Acquire(tx, ContentResource(n), cx_, dur));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status TwoPlProtocol::EdgeLock(uint64_t tx, const Splid& anchor, EdgeKind kind,
+                               bool exclusive, LockDuration dur) {
+  // Child edges (first/last child) hang below the anchor itself; sibling
+  // edges live at the anchor's parent level.
+  const bool child_edge =
+      kind == EdgeKind::kFirstChild || kind == EdgeKind::kLastChild;
+  switch (variant_) {
+    case TwoPlVariant::kNode2Pl:
+    case TwoPlVariant::kNode2PlA: {
+      // Structure locks on the parent of the affected level: an updater
+      // blocks the entire level of the context node (§2.1).
+      const ModeId mode = exclusive ? m_ : t_;
+      if (child_edge) {
+        if (variant_ == TwoPlVariant::kNode2PlA && !anchor.IsRoot()) {
+          const ModeId intent = exclusive ? ix_ : ir_;
+          XTC_RETURN_IF_ERROR(LockAncestorPath(tx, anchor, intent, dur));
+        }
+        return AcquireNode(tx, anchor, mode, dur);
+      }
+      return LockParent(tx, anchor, mode, dur);
+    }
+    case TwoPlVariant::kNo2Pl:
+      // Neighborhood locking: updates lock only the nodes reachable from
+      // the context node. Sibling edges M-lock the adjacent sibling;
+      // child-list edges leave the parent traversable (T), which is
+      // exactly NO2PL's reduced blocking granularity.
+      if (child_edge) {
+        return AcquireNode(tx, anchor, t_, dur);
+      }
+      return AcquireNode(tx, anchor, exclusive ? m_ : t_, dur);
+    case TwoPlVariant::kOo2Pl:
+      return Acquire(tx, EdgeResource(anchor, kind), exclusive ? ew_ : er_,
+                     dur);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status TwoPlProtocol::PrepareSubtreeDelete(uint64_t tx, const Splid& root,
+                                           LockDuration dur) {
+  if (variant_ == TwoPlVariant::kNode2PlA) {
+    return Status::OK();  // intentions protect direct jumps
+  }
+  if (accessor() == nullptr) return Status::OK();
+  // The *-2PL penalty (§5.3): traverse the whole subtree through the node
+  // manager and IDX-lock every element owning an ID attribute so that no
+  // other transaction can jump into the doomed subtree.
+  auto elements = accessor()->ElementsWithIdInSubtree(root);
+  if (!elements.ok()) return elements.status();
+  for (const Splid& e : *elements) {
+    XTC_RETURN_IF_ERROR(Acquire(tx, JumpResource(e), idx_, dur));
+  }
+  return Status::OK();
+}
+
+}  // namespace xtc

@@ -1,0 +1,86 @@
+// The *-2PL protocol group (paper §2.1) from the Natix context, plus the
+// paper's own optimized representative Node2PLa (§2.2 end).
+//
+// Node2PL / NO2PL / OO2PL keep three orthogonal lock types (Fig. 1):
+// structure locks T (traverse) / M (modify), content locks CS / CX, and
+// direct-jump locks IDR / IDX. The types live in separate resource
+// namespaces of one lock table (a transaction may hold one lock of each
+// type on a node, deadlock detection spans all of them).
+//
+//  * Node2PL  — structure locks target the *parent* of the context node,
+//               so an updater blocks the entire level (its weakness).
+//  * NO2PL    — structure locks target the context node itself; updates
+//               only reach the neighborhood (via the edge requests the
+//               node manager issues).
+//  * OO2PL    — navigation locks only the traversed edges (ER/EW edge
+//               modes); finest granularity, most lock requests.
+//
+// None of the three supports lock depth or subtree locks, and direct
+// jumps are guarded only by IDR/IDX — before deleting a subtree they must
+// traverse it and IDX-lock every element owning an ID attribute (the
+// CLUSTER2/Fig. 11 penalty, implemented in PrepareSubtreeDelete).
+//
+// Node2PLa = Node2PL + URIX-style intention locks on ancestor paths +
+// subtree locks (ST/SM) + lock depth. It keeps the parent focus of
+// Node2PL, which is why it "reacts one depth level later" (§5.2) and
+// fails on TArenameTopic.
+
+#ifndef XTC_PROTOCOLS_NODE2PL_FAMILY_H_
+#define XTC_PROTOCOLS_NODE2PL_FAMILY_H_
+
+#include "protocols/protocol.h"
+
+namespace xtc {
+
+enum class TwoPlVariant { kNode2Pl, kNo2Pl, kOo2Pl, kNode2PlA };
+
+class TwoPlProtocol : public ProtocolBase {
+ public:
+  explicit TwoPlProtocol(TwoPlVariant variant, LockTableOptions options = {});
+
+  bool supports_lock_depth() const override {
+    return variant_ == TwoPlVariant::kNode2PlA;
+  }
+
+  Status NodeRead(uint64_t tx, const Splid& node, AccessKind access,
+                  LockDuration dur) override;
+  Status NodeUpdate(uint64_t tx, const Splid& node, LockDuration dur) override;
+  Status NodeWrite(uint64_t tx, const Splid& node, AccessKind access,
+                   LockDuration dur) override;
+  Status LevelRead(uint64_t tx, const Splid& node, LockDuration dur) override;
+  Status TreeRead(uint64_t tx, const Splid& root, LockDuration dur) override;
+  Status TreeUpdate(uint64_t tx, const Splid& root, LockDuration dur) override;
+  Status TreeWrite(uint64_t tx, const Splid& root, LockDuration dur) override;
+  Status EdgeLock(uint64_t tx, const Splid& anchor, EdgeKind kind,
+                  bool exclusive, LockDuration dur) override;
+  Status PrepareSubtreeDelete(uint64_t tx, const Splid& root,
+                              LockDuration dur) override;
+
+  TwoPlVariant variant() const { return variant_; }
+
+ private:
+  /// Structure lock on the parent (T/M focus of Node2PL/Node2PLa); locks
+  /// the node itself when it is the root.
+  Status LockParent(uint64_t tx, const Splid& node, ModeId mode,
+                    LockDuration dur);
+
+  /// Per-node structure locks over a whole subtree (original *-2PL has
+  /// no subtree modes). Performs real document traversal.
+  Status LockSubtreeNodes(uint64_t tx, const Splid& root, ModeId mode,
+                          LockDuration dur);
+
+  TwoPlVariant variant_;
+  // Structure / content / jump / edge / intention / subtree mode ids
+  // (kNoMode when the variant lacks them).
+  ModeId t_ = 0, m_ = 0, cs_ = 0, cx_ = 0, idr_ = 0, idx_ = 0, er_ = 0,
+         ew_ = 0, ir_ = 0, ix_ = 0, st_ = 0, sm_ = 0;
+};
+
+/// Content-lock and jump-lock resource namespaces (structure locks use
+/// NodeResource()).
+std::string ContentResource(const Splid& node);
+std::string JumpResource(const Splid& node);
+
+}  // namespace xtc
+
+#endif  // XTC_PROTOCOLS_NODE2PL_FAMILY_H_

@@ -1,0 +1,61 @@
+#include "protocols/protocol.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xtc {
+
+void ProtocolBase::InitTable(LockTableOptions options) {
+  Status st = modes_.DeriveMissingConversions();
+  if (!st.ok()) {
+    std::fprintf(stderr, "protocol %s: %s\n", name_.c_str(),
+                 st.ToString().c_str());
+    std::abort();
+  }
+  table_ = std::make_unique<LockTable>(&modes_, options);
+}
+
+Status ProtocolBase::Acquire(uint64_t tx, const std::string& resource,
+                             ModeId mode, LockDuration dur) {
+  LockOutcome out = table_->Lock(tx, resource, mode, dur);
+  return out.status;
+}
+
+Status ProtocolBase::AcquireNode(uint64_t tx, const Splid& node, ModeId mode,
+                                 LockDuration dur) {
+  LockOutcome out = table_->Lock(tx, NodeResource(node), mode, dur);
+  if (!out.status.ok()) return out.status;
+  if (out.children_mode != kNoMode && accessor_ != nullptr) {
+    // Fig. 4 subscripted conversion (e.g. CX_NR): the converted lock
+    // demands a lock on every direct child. This enumeration is real
+    // node-manager work — the cost taDOM2+/3+ avoid with their
+    // combination modes.
+    auto children = accessor_->ChildrenOf(node);
+    if (!children.ok()) return children.status();
+    for (const Splid& child : *children) {
+      LockOutcome c =
+          table_->Lock(tx, NodeResource(child), out.children_mode, dur);
+      if (!c.status.ok()) return c.status;
+    }
+  }
+  return Status::OK();
+}
+
+Status ProtocolBase::LockAncestorPath(uint64_t tx, const Splid& node,
+                                      ModeId intent, LockDuration dur) {
+  return LockAncestorPath2(tx, node, intent, intent, dur);
+}
+
+Status ProtocolBase::LockAncestorPath2(uint64_t tx, const Splid& node,
+                                       ModeId intent, ModeId parent_mode,
+                                       LockDuration dur) {
+  const int level = node.Level();
+  for (int l = 1; l < level; ++l) {
+    const Splid ancestor = node.AncestorAtLevel(l);
+    const ModeId mode = (l == level - 1) ? parent_mode : intent;
+    XTC_RETURN_IF_ERROR(AcquireNode(tx, ancestor, mode, dur));
+  }
+  return Status::OK();
+}
+
+}  // namespace xtc

@@ -1,0 +1,80 @@
+// Common machinery shared by all 11 protocol implementations.
+
+#ifndef XTC_PROTOCOLS_PROTOCOL_H_
+#define XTC_PROTOCOLS_PROTOCOL_H_
+
+#include <memory>
+#include <string>
+
+#include "lock/lock_manager.h"
+#include "lock/lock_table.h"
+#include "lock/mode_table.h"
+#include "lock/xml_protocol.h"
+#include "splid/splid.h"
+#include "util/status.h"
+
+namespace xtc {
+
+/// Base class: owns the protocol's ModeTable and LockTable and provides
+/// path-locking / side-effect helpers. Derived constructors build the
+/// mode table, then call InitTable().
+class ProtocolBase : public XmlProtocol {
+ public:
+  explicit ProtocolBase(std::string name) : name_(std::move(name)) {}
+
+  std::string_view name() const override { return name_; }
+  LockTable& table() override { return *table_; }
+  ModeTable& modes() { return modes_; }
+  const ModeTable& modes() const { return modes_; }
+
+  void set_document_accessor(DocumentAccessor* accessor) override {
+    accessor_ = accessor;
+  }
+
+  void EndOperation(uint64_t tx) override { table_->EndOperation(tx); }
+  void ReleaseAll(uint64_t tx) override { table_->ReleaseAll(tx); }
+
+  Status PrepareSubtreeDelete(uint64_t /*tx*/, const Splid& /*root*/,
+                              LockDuration /*dur*/) override {
+    return Status::OK();  // intention-lock protocols need no extra work
+  }
+
+ protected:
+  /// Finishes construction: derives missing conversion entries and
+  /// creates the lock table. Aborts the process on an inconsistent mode
+  /// table (a protocol-definition bug, not a runtime condition).
+  void InitTable(LockTableOptions options = {});
+
+  /// Acquires `mode` on a raw resource; runs Fig.-4-style children side
+  /// effects when the conversion demands them (node must be supplied for
+  /// child enumeration — pass by NodeResource-producing overload below).
+  Status Acquire(uint64_t tx, const std::string& resource, ModeId mode,
+                 LockDuration dur);
+
+  /// Acquires `mode` on the node resource; handles children side effects
+  /// using the document accessor.
+  Status AcquireNode(uint64_t tx, const Splid& node, ModeId mode,
+                     LockDuration dur);
+
+  /// Intention locks on every proper ancestor, root first.
+  Status LockAncestorPath(uint64_t tx, const Splid& node, ModeId intent,
+                          LockDuration dur);
+
+  /// Intention locks: `parent_mode` on the direct parent (if any) and
+  /// `intent` on all higher ancestors.
+  Status LockAncestorPath2(uint64_t tx, const Splid& node, ModeId intent,
+                           ModeId parent_mode, LockDuration dur);
+
+  DocumentAccessor* accessor() { return accessor_; }
+
+  ModeTable modes_;
+  std::unique_ptr<LockTable> table_;
+
+ private:
+  std::string name_;
+  DocumentAccessor* accessor_ = nullptr;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_PROTOCOLS_PROTOCOL_H_

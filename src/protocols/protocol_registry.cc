@@ -1,0 +1,56 @@
+#include "protocols/protocol_registry.h"
+
+#include "protocols/mgl_protocols.h"
+#include "protocols/node2pl_family.h"
+#include "protocols/tadom_protocols.h"
+
+namespace xtc {
+
+const std::vector<std::string_view>& AllProtocolNames() {
+  static const std::vector<std::string_view>* names =
+      new std::vector<std::string_view>{
+          "Node2PL", "NO2PL",  "OO2PL",  "Node2PLa", "IRX",     "IRIX",
+          "URIX",    "taDOM2", "taDOM2+", "taDOM3",   "taDOM3+",
+      };
+  return *names;
+}
+
+std::unique_ptr<XmlProtocol> CreateProtocol(std::string_view name,
+                                            LockTableOptions options) {
+  if (name == "Node2PL") {
+    return std::make_unique<TwoPlProtocol>(TwoPlVariant::kNode2Pl, options);
+  }
+  if (name == "NO2PL") {
+    return std::make_unique<TwoPlProtocol>(TwoPlVariant::kNo2Pl, options);
+  }
+  if (name == "OO2PL") {
+    return std::make_unique<TwoPlProtocol>(TwoPlVariant::kOo2Pl, options);
+  }
+  if (name == "Node2PLa") {
+    return std::make_unique<TwoPlProtocol>(TwoPlVariant::kNode2PlA, options);
+  }
+  if (name == "IRX") {
+    return std::make_unique<MglProtocol>(MglVariant::kIrx, options);
+  }
+  if (name == "IRIX") {
+    return std::make_unique<MglProtocol>(MglVariant::kIrix, options);
+  }
+  if (name == "URIX") {
+    return std::make_unique<MglProtocol>(MglVariant::kUrix, options);
+  }
+  if (name == "taDOM2") {
+    return std::make_unique<TaDomProtocol>(TaDomVariant::kTaDom2, options);
+  }
+  if (name == "taDOM2+") {
+    return std::make_unique<TaDomProtocol>(TaDomVariant::kTaDom2Plus, options);
+  }
+  if (name == "taDOM3") {
+    return std::make_unique<TaDomProtocol>(TaDomVariant::kTaDom3, options);
+  }
+  if (name == "taDOM3+") {
+    return std::make_unique<TaDomProtocol>(TaDomVariant::kTaDom3Plus, options);
+  }
+  return nullptr;
+}
+
+}  // namespace xtc

@@ -1,0 +1,26 @@
+// Factory for the 11 protocols of the contest.
+
+#ifndef XTC_PROTOCOLS_PROTOCOL_REGISTRY_H_
+#define XTC_PROTOCOLS_PROTOCOL_REGISTRY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "lock/lock_table.h"
+#include "lock/xml_protocol.h"
+
+namespace xtc {
+
+/// All protocol names, in the paper's group order:
+/// Node2PL, NO2PL, OO2PL, Node2PLa, IRX, IRIX, URIX,
+/// taDOM2, taDOM2+, taDOM3, taDOM3+.
+const std::vector<std::string_view>& AllProtocolNames();
+
+/// Creates a protocol by name; nullptr for unknown names.
+std::unique_ptr<XmlProtocol> CreateProtocol(std::string_view name,
+                                            LockTableOptions options = {});
+
+}  // namespace xtc
+
+#endif  // XTC_PROTOCOLS_PROTOCOL_REGISTRY_H_

@@ -1,0 +1,262 @@
+#include "protocols/tadom_protocols.h"
+
+namespace xtc {
+
+namespace {
+
+const char* VariantName(TaDomVariant v) {
+  switch (v) {
+    case TaDomVariant::kTaDom2:
+      return "taDOM2";
+    case TaDomVariant::kTaDom2Plus:
+      return "taDOM2+";
+    case TaDomVariant::kTaDom3:
+      return "taDOM3";
+    case TaDomVariant::kTaDom3Plus:
+      return "taDOM3+";
+  }
+  return "taDOM?";
+}
+
+}  // namespace
+
+TaDomProtocol::TaDomProtocol(TaDomVariant variant, LockTableOptions options,
+                             bool edge_locks)
+    : ProtocolBase(VariantName(variant)),
+      variant_(variant),
+      edge_locks_(edge_locks) {
+  const bool node_modes = (variant == TaDomVariant::kTaDom3 ||
+                           variant == TaDomVariant::kTaDom3Plus);
+  const bool combo_modes = (variant == TaDomVariant::kTaDom2Plus ||
+                            variant == TaDomVariant::kTaDom3Plus);
+
+  ir_ = modes_.AddMode("IR");
+  nr_ = modes_.AddMode("NR");
+  if (node_modes) {
+    nu_ = modes_.AddMode("NU");
+    nx_ = modes_.AddMode("NX");
+  }
+  lr_ = modes_.AddMode("LR");
+  sr_ = modes_.AddMode("SR");
+  su_ = modes_.AddMode("SU");
+  sx_ = modes_.AddMode("SX");
+  ix_ = modes_.AddMode("IX");
+  cx_ = modes_.AddMode("CX");
+
+  if (!node_modes) {
+    // taDOM2 / taDOM2+ compatibility (paper Fig. 3a, reconstructed
+    // symmetric form; declaration order IR NR LR SR SU SX IX CX).
+    modes_.SetCompatRow(ir_, "+ + + + + - + +");
+    modes_.SetCompatRow(nr_, "+ + + + + - + +");
+    modes_.SetCompatRow(lr_, "+ + + + + - + -");
+    modes_.SetCompatRow(sr_, "+ + + + + - - -");
+    modes_.SetCompatRow(su_, "+ + + + - - - -");
+    modes_.SetCompatRow(sx_, "- - - - - - - -");
+    modes_.SetCompatRow(ix_, "+ + + - - - + +");
+    modes_.SetCompatRow(cx_, "+ + - - - - + +");
+  } else {
+    // taDOM3 / taDOM3+ (order IR NR NU NX LR SR SU SX IX CX). NU/NX are
+    // node-only: NX conflicts with anything that reads or writes the node
+    // itself (NR, NU, LR-on-this-node, subtree locks) but not with pure
+    // intentions (IR/IX/CX) — renaming a node is independent of
+    // operations deeper in its subtree.
+    modes_.SetCompatRow(ir_, "+ + + + + + + - + +");
+    modes_.SetCompatRow(nr_, "+ + + - + + + - + +");
+    modes_.SetCompatRow(nu_, "+ + - - + + - - + +");
+    modes_.SetCompatRow(nx_, "+ - - - - - - - + +");
+    modes_.SetCompatRow(lr_, "+ + + - + + + - + -");
+    modes_.SetCompatRow(sr_, "+ + + - + + + - - -");
+    modes_.SetCompatRow(su_, "+ + - - + + - - - -");
+    modes_.SetCompatRow(sx_, "- - - - - - - - - -");
+    modes_.SetCompatRow(ix_, "+ + + + + - - - + +");
+    modes_.SetCompatRow(cx_, "+ + + + - - - - + +");
+  }
+
+  if (!combo_modes) {
+    // Fig. 4 conversion matrix (held x requested) with its subscripted
+    // child-lock side effects. taDOM2+/3+ leave the whole grid to the
+    // lattice derivation, which routes these pairs into combination
+    // modes instead of locking children.
+    auto C = [&](ModeId h, ModeId r, ModeId res, ModeId kids = kNoMode) {
+      modes_.SetConversion(h, r, res, kids);
+    };
+    C(ir_, nr_, nr_);
+    C(ir_, lr_, lr_);
+    C(ir_, sr_, sr_);
+    C(ir_, ix_, ix_);
+    C(ir_, cx_, cx_);
+    C(ir_, su_, su_);
+    C(ir_, sx_, sx_);
+    C(nr_, ir_, nr_);
+    C(nr_, lr_, lr_);
+    C(nr_, sr_, sr_);
+    C(nr_, ix_, ix_);
+    C(nr_, cx_, cx_);
+    C(nr_, su_, su_);
+    C(nr_, sx_, sx_);
+    C(lr_, ir_, lr_);
+    C(lr_, nr_, lr_);
+    C(lr_, sr_, sr_);
+    C(lr_, ix_, ix_, nr_);  // IX_NR
+    C(lr_, cx_, cx_, nr_);  // CX_NR
+    C(lr_, su_, su_);
+    C(lr_, sx_, sx_);
+    C(sr_, ir_, sr_);
+    C(sr_, nr_, sr_);
+    C(sr_, lr_, sr_);
+    C(sr_, ix_, ix_, sr_);  // IX_SR
+    C(sr_, cx_, cx_, sr_);  // CX_SR
+    C(sr_, su_, sr_);       // as printed in Fig. 4
+    C(sr_, sx_, sx_);
+    C(ix_, ir_, ix_);
+    C(ix_, nr_, ix_);
+    C(ix_, lr_, ix_, nr_);  // IX_NR
+    C(ix_, sr_, ix_, sr_);  // IX_SR
+    C(ix_, cx_, cx_);
+    C(ix_, su_, sx_);
+    C(ix_, sx_, sx_);
+    C(cx_, ir_, cx_);
+    C(cx_, nr_, cx_);
+    C(cx_, lr_, cx_, nr_);  // CX_NR
+    C(cx_, sr_, cx_, sr_);  // CX_SR
+    C(cx_, ix_, cx_);
+    C(cx_, su_, sx_);
+    C(cx_, sx_, sx_);
+    C(su_, ir_, su_);
+    C(su_, nr_, su_);
+    C(su_, lr_, su_);
+    C(su_, sr_, su_);
+    C(su_, ix_, sx_);
+    C(su_, cx_, sx_);
+    C(su_, sx_, sx_);
+    // Held SX rows and all identity pairs fall out of the derivation
+    // (SX covers everything; convert(a, a) = a).
+
+    if (node_modes) {
+      // taDOM3 extensions for NU/NX (reconstruction, DESIGN.md §2).
+      C(nu_, ir_, nu_);
+      C(nu_, nr_, nu_);
+      C(nu_, nx_, nx_);
+      C(nu_, lr_, su_);
+      C(nu_, sr_, su_);
+      C(nu_, ix_, cx_);
+      C(nu_, cx_, cx_);
+      C(nu_, su_, su_);
+      C(nu_, sx_, sx_);
+      C(ir_, nu_, nu_);
+      C(nr_, nu_, nu_);
+      C(lr_, nu_, su_);
+      C(sr_, nu_, su_);
+      C(ix_, nu_, cx_);
+      C(cx_, nu_, cx_);
+      C(su_, nu_, su_);
+      C(nx_, ir_, nx_);
+      C(nx_, nr_, nx_);
+      C(nx_, nu_, nx_);
+      C(nx_, lr_, nx_, nr_);  // rename + level read: NR on children
+      C(nx_, sr_, sx_);
+      C(nx_, ix_, sx_);
+      C(nx_, cx_, sx_);
+      C(nx_, su_, sx_);
+      C(nx_, sx_, sx_);
+      C(ir_, nx_, nx_);
+      C(nr_, nx_, nx_);
+      C(lr_, nx_, nx_, nr_);
+      C(sr_, nx_, sx_);
+      C(ix_, nx_, sx_);
+      C(cx_, nx_, sx_);
+      C(su_, nx_, sx_);
+    }
+  } else {
+    // Combination modes. taDOM2+: the four modes named in the paper.
+    // taDOM3+: ten combinations — (NR, NU, LR, SR, SU) x (IX, CX) —
+    // giving the paper's 20 node modes in total.
+    if (node_modes) {
+      modes_.AddCombinedMode("NRIX", nr_, ix_);
+      modes_.AddCombinedMode("NRCX", nr_, cx_);
+      modes_.AddCombinedMode("NUIX", nu_, ix_);
+      modes_.AddCombinedMode("NUCX", nu_, cx_);
+    }
+    modes_.AddCombinedMode("LRIX", lr_, ix_);
+    modes_.AddCombinedMode("LRCX", lr_, cx_);
+    modes_.AddCombinedMode("SRIX", sr_, ix_);
+    modes_.AddCombinedMode("SRCX", sr_, cx_);
+    if (node_modes) {
+      modes_.AddCombinedMode("SUIX", su_, ix_);
+      modes_.AddCombinedMode("SUCX", su_, cx_);
+    }
+  }
+
+  // Edge modes (paper: three edge lock modes; we need shared/exclusive).
+  es_ = modes_.AddMode("ES");
+  ex_ = modes_.AddMode("EX");
+  for (ModeId m = 1; m < es_; ++m) {
+    modes_.SetCompatible(m, es_, true);
+    modes_.SetCompatible(es_, m, true);
+    modes_.SetCompatible(m, ex_, true);
+    modes_.SetCompatible(ex_, m, true);
+  }
+  modes_.SetCompatible(es_, es_, true);
+  modes_.SetCompatible(es_, ex_, false);
+  modes_.SetCompatible(ex_, es_, false);
+  modes_.SetCompatible(ex_, ex_, false);
+
+  InitTable(options);
+}
+
+Status TaDomProtocol::NodeRead(uint64_t tx, const Splid& node,
+                               AccessKind /*access*/, LockDuration dur) {
+  // Direct jumps are as cheap as navigation: the ancestor path comes
+  // straight from the SPLID (the paper's central argument for SPLIDs).
+  XTC_RETURN_IF_ERROR(LockAncestorPath(tx, node, ir_, dur));
+  return AcquireNode(tx, node, nr_, dur);
+}
+
+Status TaDomProtocol::NodeUpdate(uint64_t tx, const Splid& node,
+                                 LockDuration dur) {
+  XTC_RETURN_IF_ERROR(LockAncestorPath(tx, node, ir_, dur));
+  return AcquireNode(tx, node, HasNodeModes() ? nu_ : su_, dur);
+}
+
+Status TaDomProtocol::NodeWrite(uint64_t tx, const Splid& node,
+                                AccessKind /*access*/, LockDuration dur) {
+  XTC_RETURN_IF_ERROR(LockAncestorPath2(tx, node, ix_, cx_, dur));
+  return AcquireNode(tx, node, HasNodeModes() ? nx_ : sx_, dur);
+}
+
+Status TaDomProtocol::LevelRead(uint64_t tx, const Splid& node,
+                                LockDuration dur) {
+  XTC_RETURN_IF_ERROR(LockAncestorPath(tx, node, ir_, dur));
+  return AcquireNode(tx, node, lr_, dur);
+}
+
+Status TaDomProtocol::TreeRead(uint64_t tx, const Splid& root,
+                               LockDuration dur) {
+  XTC_RETURN_IF_ERROR(LockAncestorPath(tx, root, ir_, dur));
+  return AcquireNode(tx, root, sr_, dur);
+}
+
+Status TaDomProtocol::TreeUpdate(uint64_t tx, const Splid& root,
+                                 LockDuration dur) {
+  XTC_RETURN_IF_ERROR(LockAncestorPath(tx, root, ir_, dur));
+  return AcquireNode(tx, root, su_, dur);
+}
+
+Status TaDomProtocol::TreeWrite(uint64_t tx, const Splid& root,
+                                LockDuration dur) {
+  XTC_RETURN_IF_ERROR(LockAncestorPath2(tx, root, ix_, cx_, dur));
+  return AcquireNode(tx, root, sx_, dur);
+}
+
+Status TaDomProtocol::EdgeLock(uint64_t tx, const Splid& anchor, EdgeKind kind,
+                               bool exclusive, LockDuration dur) {
+  if (!edge_locks_) return Status::OK();  // ablation: no edge isolation
+  return Acquire(tx, EdgeResource(anchor, kind), exclusive ? ex_ : es_, dur);
+}
+
+Status TaDomProtocol::IdValueLock(uint64_t tx, std::string_view id,
+                                  bool exclusive, LockDuration dur) {
+  return Acquire(tx, IdValueResource(id), exclusive ? ex_ : es_, dur);
+}
+
+}  // namespace xtc

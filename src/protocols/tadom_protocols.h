@@ -1,0 +1,73 @@
+// The taDOM* protocol group (paper §2.3): taDOM2, taDOM2+, taDOM3,
+// taDOM3+.
+//
+// taDOM2 implements the published Fig. 3a compatibility and Fig. 4
+// conversion matrices (including the subscripted CX_NR-style rules whose
+// child-lock side effects we execute through the document accessor).
+// taDOM2+ adds the four combination modes LRIX/SRIX/LRCX/SRCX so level
+// and subtree read locks convert without touching children. taDOM3 adds
+// the node-only update/exclusive modes NU/NX required by DOM3 renameNode.
+// taDOM3+ combines both refinements; with its ten combination modes it
+// carries 20 node lock modes (plus edge modes), matching the paper's
+// count.
+//
+// Note on sources: the paper prints only the taDOM2 matrices (its Fig. 3a
+// column alignment is garbled in the available text; we use the published
+// symmetric matrix, and our tests pin the reconstruction). The
+// taDOM2+/3/3+ matrices were published in an internal report that is not
+// available; they are machine-derived here (DESIGN.md §2).
+
+#ifndef XTC_PROTOCOLS_TADOM_PROTOCOLS_H_
+#define XTC_PROTOCOLS_TADOM_PROTOCOLS_H_
+
+#include "protocols/protocol.h"
+
+namespace xtc {
+
+enum class TaDomVariant { kTaDom2, kTaDom2Plus, kTaDom3, kTaDom3Plus };
+
+class TaDomProtocol : public ProtocolBase {
+ public:
+  /// `edge_locks = false` drops all navigation-edge locking (ablation:
+  /// what the paper's "adequate edge locks ... are mandatory" costs and
+  /// buys — see bench/ablation_edge_locks).
+  TaDomProtocol(TaDomVariant variant, LockTableOptions options = {},
+                bool edge_locks = true);
+
+  bool supports_lock_depth() const override { return true; }
+
+  Status NodeRead(uint64_t tx, const Splid& node, AccessKind access,
+                  LockDuration dur) override;
+  Status NodeUpdate(uint64_t tx, const Splid& node, LockDuration dur) override;
+  Status NodeWrite(uint64_t tx, const Splid& node, AccessKind access,
+                   LockDuration dur) override;
+  Status LevelRead(uint64_t tx, const Splid& node, LockDuration dur) override;
+  Status TreeRead(uint64_t tx, const Splid& root, LockDuration dur) override;
+  Status TreeUpdate(uint64_t tx, const Splid& root, LockDuration dur) override;
+  Status TreeWrite(uint64_t tx, const Splid& root, LockDuration dur) override;
+  Status EdgeLock(uint64_t tx, const Splid& anchor, EdgeKind kind,
+                  bool exclusive, LockDuration dur) override;
+
+  /// taDOM* supports serializable: ID-value predicate locks share the
+  /// protocol's edge modes (paper footnote 1).
+  Status IdValueLock(uint64_t tx, std::string_view id, bool exclusive,
+                     LockDuration dur) override;
+
+  TaDomVariant variant() const { return variant_; }
+
+ private:
+  bool HasNodeModes() const {
+    return variant_ == TaDomVariant::kTaDom3 ||
+           variant_ == TaDomVariant::kTaDom3Plus;
+  }
+
+  TaDomVariant variant_;
+  bool edge_locks_ = true;
+  // Mode ids (0 when the variant lacks the mode).
+  ModeId ir_ = 0, nr_ = 0, nu_ = 0, nx_ = 0, lr_ = 0, sr_ = 0, su_ = 0,
+         sx_ = 0, ix_ = 0, cx_ = 0, es_ = 0, ex_ = 0;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_PROTOCOLS_TADOM_PROTOCOLS_H_

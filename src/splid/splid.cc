@@ -1,0 +1,387 @@
+#include "splid/splid.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xtc {
+
+namespace {
+
+// Boundaries of the order-preserving variable-length division encoding.
+// Lead-byte ranges are disjoint and increasing per byte length, so memcmp
+// over encodings orders divisions numerically:
+//   1 byte : values 0x01 .. 0x7F            lead 0x01..0x7F
+//   2 bytes: values 0x80 .. 0x407F          lead 0x80..0xBF
+//   3 bytes: values 0x4080 .. 0x20407F      lead 0xC0..0xDF
+//   4 bytes: values 0x204080 .. 0x1020407F  lead 0xE0..0xEF
+//   5 bytes: values 0x10204080 .. 2^32-1    lead 0xF0
+// Lead bytes 0x00 and 0xF1..0xFF never occur, so 0xFF acts as a subtree
+// upper-bound sentinel and 0x00 as a lower bound.
+constexpr uint32_t kMax1 = 0x7F;
+constexpr uint32_t kBase2 = 0x80;
+constexpr uint32_t kMax2 = 0x407F;
+constexpr uint32_t kBase3 = 0x4080;
+constexpr uint32_t kMax3 = 0x20407F;
+constexpr uint32_t kBase4 = 0x204080;
+constexpr uint32_t kMax4 = 0x1020407F;
+constexpr uint32_t kBase5 = 0x10204080;
+
+void EncodeDivision(uint32_t v, std::string* out) {
+  assert(v >= 1);
+  if (v <= kMax1) {
+    out->push_back(static_cast<char>(v));
+  } else if (v <= kMax2) {
+    uint32_t x = v - kBase2;
+    out->push_back(static_cast<char>(0x80 | (x >> 8)));
+    out->push_back(static_cast<char>(x & 0xFF));
+  } else if (v <= kMax3) {
+    uint32_t x = v - kBase3;
+    out->push_back(static_cast<char>(0xC0 | (x >> 16)));
+    out->push_back(static_cast<char>((x >> 8) & 0xFF));
+    out->push_back(static_cast<char>(x & 0xFF));
+  } else if (v <= kMax4) {
+    uint32_t x = v - kBase4;
+    out->push_back(static_cast<char>(0xE0 | (x >> 24)));
+    out->push_back(static_cast<char>((x >> 16) & 0xFF));
+    out->push_back(static_cast<char>((x >> 8) & 0xFF));
+    out->push_back(static_cast<char>(x & 0xFF));
+  } else {
+    uint32_t x = v - kBase5;
+    out->push_back(static_cast<char>(0xF0));
+    out->push_back(static_cast<char>((x >> 24) & 0xFF));
+    out->push_back(static_cast<char>((x >> 16) & 0xFF));
+    out->push_back(static_cast<char>((x >> 8) & 0xFF));
+    out->push_back(static_cast<char>(x & 0xFF));
+  }
+}
+
+// Decodes one division starting at bytes[*pos]; advances *pos.
+// Returns false on malformed input.
+bool DecodeDivision(std::string_view bytes, size_t* pos, uint32_t* out) {
+  if (*pos >= bytes.size()) return false;
+  const uint8_t lead = static_cast<uint8_t>(bytes[*pos]);
+  auto byte_at = [&](size_t off) {
+    return static_cast<uint32_t>(static_cast<uint8_t>(bytes[*pos + off]));
+  };
+  if (lead == 0) return false;
+  if (lead <= 0x7F) {
+    *out = lead;
+    *pos += 1;
+    return true;
+  }
+  if (lead <= 0xBF) {
+    if (*pos + 2 > bytes.size()) return false;
+    *out = kBase2 + (((lead & 0x3Fu) << 8) | byte_at(1));
+    *pos += 2;
+    return true;
+  }
+  if (lead <= 0xDF) {
+    if (*pos + 3 > bytes.size()) return false;
+    *out = kBase3 + (((lead & 0x1Fu) << 16) | (byte_at(1) << 8) | byte_at(2));
+    *pos += 3;
+    return true;
+  }
+  if (lead <= 0xEF) {
+    if (*pos + 4 > bytes.size()) return false;
+    *out = kBase4 + (((lead & 0x0Fu) << 24) | (byte_at(1) << 16) |
+                     (byte_at(2) << 8) | byte_at(3));
+    *pos += 4;
+    return true;
+  }
+  if (lead == 0xF0) {
+    if (*pos + 5 > bytes.size()) return false;
+    *out = kBase5 +
+           ((byte_at(1) << 24) | (byte_at(2) << 16) | (byte_at(3) << 8) |
+            byte_at(4));
+    *pos += 5;
+    return true;
+  }
+  return false;
+}
+
+bool IsOdd(uint32_t v) { return (v & 1u) != 0; }
+
+}  // namespace
+
+Splid Splid::Root() { return Splid({1}); }
+
+std::optional<Splid> Splid::Parse(std::string_view text) {
+  std::vector<uint32_t> divisions;
+  uint64_t current = 0;
+  bool have_digit = false;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      current = current * 10 + static_cast<uint64_t>(c - '0');
+      if (current > 0xFFFFFFFFull) return std::nullopt;
+      have_digit = true;
+    } else if (c == '.') {
+      if (!have_digit) return std::nullopt;
+      divisions.push_back(static_cast<uint32_t>(current));
+      current = 0;
+      have_digit = false;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_digit) return std::nullopt;
+  divisions.push_back(static_cast<uint32_t>(current));
+  return FromDivisions(std::move(divisions));
+}
+
+std::optional<Splid> Splid::FromDivisions(std::vector<uint32_t> divisions) {
+  if (divisions.empty() || divisions.front() != 1) return std::nullopt;
+  for (uint32_t d : divisions) {
+    if (d == 0) return std::nullopt;
+  }
+  return Splid(std::move(divisions));
+}
+
+int Splid::Level() const {
+  int level = 0;
+  for (uint32_t d : divisions_) {
+    if (IsOdd(d)) ++level;
+  }
+  return level;
+}
+
+Splid Splid::Parent() const {
+  if (divisions_.size() <= 1) return Splid();
+  std::vector<uint32_t> p(divisions_.begin(), divisions_.end() - 1);
+  while (!p.empty() && !IsOdd(p.back())) p.pop_back();
+  if (p.empty()) return Splid();
+  return Splid(std::move(p));
+}
+
+Splid Splid::AncestorAtLevel(int level) const {
+  assert(level >= 1 && level <= Level());
+  int seen = 0;
+  for (size_t i = 0; i < divisions_.size(); ++i) {
+    if (IsOdd(divisions_[i])) {
+      ++seen;
+      if (seen == level) {
+        return Splid(std::vector<uint32_t>(divisions_.begin(),
+                                           divisions_.begin() + i + 1));
+      }
+    }
+  }
+  return *this;  // level == Level(): loop returns before reaching here.
+}
+
+bool Splid::IsAncestorOf(const Splid& other) const {
+  return divisions_.size() < other.divisions_.size() &&
+         std::equal(divisions_.begin(), divisions_.end(),
+                    other.divisions_.begin());
+}
+
+bool Splid::IsSelfOrAncestorOf(const Splid& other) const {
+  return *this == other || IsAncestorOf(other);
+}
+
+int Splid::Compare(const Splid& other) const {
+  const size_t n = std::min(divisions_.size(), other.divisions_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (divisions_[i] != other.divisions_[i]) {
+      return divisions_[i] < other.divisions_[i] ? -1 : 1;
+    }
+  }
+  if (divisions_.size() == other.divisions_.size()) return 0;
+  return divisions_.size() < other.divisions_.size() ? -1 : 1;
+}
+
+Splid Splid::Child(uint32_t division) const {
+  assert(valid() && division >= 1);
+  std::vector<uint32_t> d = divisions_;
+  d.push_back(division);
+  return Splid(std::move(d));
+}
+
+bool Splid::InAttributePath() const {
+  for (size_t i = 1; i < divisions_.size(); ++i) {
+    if (divisions_[i] == kAttributeDivision) return true;
+  }
+  return false;
+}
+
+std::string Splid::Encode() const {
+  std::string out;
+  out.reserve(divisions_.size() * 2);
+  for (uint32_t d : divisions_) EncodeDivision(d, &out);
+  return out;
+}
+
+std::optional<Splid> Splid::Decode(std::string_view bytes) {
+  std::vector<uint32_t> divisions;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    uint32_t d = 0;
+    if (!DecodeDivision(bytes, &pos, &d)) return std::nullopt;
+    divisions.push_back(d);
+  }
+  return FromDivisions(std::move(divisions));
+}
+
+std::string Splid::EncodedSubtreeUpperBound() const {
+  std::string out = Encode();
+  out.push_back(static_cast<char>(0xFF));
+  return out;
+}
+
+std::string Splid::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < divisions_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(divisions_[i]);
+  }
+  return out;
+}
+
+size_t Splid::Hash::operator()(const Splid& s) const {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (uint32_t d : s.divisions()) {
+    h = (h ^ d) * 1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+// ---------------------------------------------------------------------------
+// SplidGenerator
+//
+// Sibling labels relative to a common parent are "suffixes": a sequence of
+// zero or more even (overflow) divisions terminated by exactly one odd
+// division. Suffixes are prefix-free, which makes the recursive Between
+// construction below total.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using Suffix = std::vector<uint32_t>;
+
+Suffix SuffixOf(const Splid& parent, const Splid& child) {
+  assert(parent.IsAncestorOf(child));
+  assert(child.Level() == parent.Level() + 1);
+  return Suffix(child.divisions().begin() +
+                    static_cast<long>(parent.NumDivisions()),
+                child.divisions().end());
+}
+
+// A suffix ordered before `fs` (and after the attribute division 1).
+Suffix SuffixBefore(const Suffix& fs) {
+  assert(!fs.empty());
+  const uint32_t f = fs.front();
+  if (IsOdd(f)) {
+    assert(f >= 3 && "cannot insert before an attribute-root label");
+    if (f >= 5) return {f - 2};
+    return {2, 3};  // before suffix [3]: even overflow 2 then odd 3
+  }
+  if (f >= 4) return {f - 1};
+  // f == 2: descend into the overflow chain.
+  Suffix rest(fs.begin() + 1, fs.end());
+  Suffix inner = SuffixBefore(rest);
+  Suffix out = {2};
+  out.insert(out.end(), inner.begin(), inner.end());
+  return out;
+}
+
+// A suffix ordered after `ls`.
+Suffix SuffixAfter(const Suffix& ls, uint32_t dist) {
+  assert(!ls.empty());
+  const uint32_t a = ls.front();
+  if (IsOdd(a)) {
+    uint32_t next = a + dist;
+    if (!IsOdd(next)) ++next;
+    return {next};
+  }
+  return {a + 1};  // odd value just above the overflow chain
+}
+
+// A suffix strictly between adjacent suffixes l < r.
+Suffix SuffixBetween(const Suffix& l, const Suffix& r) {
+  assert(!l.empty() && !r.empty());
+  const uint32_t a = l.front();
+  const uint32_t b = r.front();
+  if (a == b) {
+    // Both must be even overflow divisions (odd terminates a suffix, and
+    // equal whole suffixes would be equal labels).
+    Suffix inner = SuffixBetween(Suffix(l.begin() + 1, l.end()),
+                                 Suffix(r.begin() + 1, r.end()));
+    Suffix out = {a};
+    out.insert(out.end(), inner.begin(), inner.end());
+    return out;
+  }
+  assert(a < b);
+  // Smallest odd strictly above a.
+  const uint32_t low_odd = IsOdd(a) ? a + 2 : a + 1;
+  if (low_odd < b) {
+    // Pick the odd nearest the midpoint to keep gaps balanced.
+    uint32_t mid = a + (b - a) / 2;
+    if (!IsOdd(mid)) ++mid;
+    uint32_t c = std::min(std::max(mid, low_odd), b - (IsOdd(b - 1) ? 1 : 2));
+    if (!IsOdd(c) || c <= a || c >= b) c = low_odd;
+    return {c};
+  }
+  if (b == a + 1) {
+    if (IsOdd(a)) {
+      // l == [a] exactly; r == [a+1, ...]. Go just below r inside the
+      // overflow chain a+1.
+      Suffix inner = SuffixBefore(Suffix(r.begin() + 1, r.end()));
+      Suffix out = {b};
+      out.insert(out.end(), inner.begin(), inner.end());
+      return out;
+    }
+    // a even: l == [a, ...]; r == [b] exactly. Go just above l inside the
+    // overflow chain a.
+    Suffix inner = SuffixAfter(Suffix(l.begin() + 1, l.end()), /*dist=*/2);
+    Suffix out = {a};
+    out.insert(out.end(), inner.begin(), inner.end());
+    return out;
+  }
+  // b == a + 2 with a odd: only the even value a+1 lies between; open a
+  // fresh overflow chain there.
+  assert(b == a + 2 && IsOdd(a));
+  return {a + 1, 3};
+}
+
+Splid Append(const Splid& parent, const Suffix& suffix) {
+  std::vector<uint32_t> d = parent.divisions();
+  d.insert(d.end(), suffix.begin(), suffix.end());
+  auto out = Splid::FromDivisions(std::move(d));
+  assert(out.has_value());
+  return *out;
+}
+
+}  // namespace
+
+SplidGenerator::SplidGenerator(uint32_t dist) : dist_(dist < 2 ? 2 : dist) {
+  // Keep dist even so dist+1, 2*dist+1, ... are odd, per the paper.
+  if (IsOdd(dist_)) ++dist_;
+}
+
+Splid SplidGenerator::InitialChild(const Splid& parent, size_t index) const {
+  const uint32_t division =
+      static_cast<uint32_t>((index + 1) * dist_ + 1);
+  return parent.Child(division);
+}
+
+Splid SplidGenerator::InitialAttribute(const Splid& attribute_root,
+                                       size_t index) const {
+  return attribute_root.Child(static_cast<uint32_t>(2 * index + 3));
+}
+
+Splid SplidGenerator::After(const Splid& parent,
+                            const Splid& last_sibling) const {
+  return Append(parent, SuffixAfter(SuffixOf(parent, last_sibling), dist_));
+}
+
+Splid SplidGenerator::Before(const Splid& parent,
+                             const Splid& first_sibling) const {
+  return Append(parent, SuffixBefore(SuffixOf(parent, first_sibling)));
+}
+
+Splid SplidGenerator::Between(const Splid& parent, const Splid& left,
+                              const Splid& right) const {
+  assert(left.Compare(right) < 0);
+  return Append(parent,
+                SuffixBetween(SuffixOf(parent, left), SuffixOf(parent, right)));
+}
+
+}  // namespace xtc

@@ -1,0 +1,158 @@
+// SPLIDs — Stable Path Labeling IDentifiers (paper §3.2).
+//
+// A SPLID is a Dewey-order label: a sequence of numeric divisions where
+// each node's label carries its parent's label as a prefix. Odd division
+// values indicate a level transition; even values are an overflow
+// mechanism for nodes inserted later between existing siblings, so
+// existing labels never change (they are *stable*). Division value 1 at
+// levels > 1 labels attribute roots and string nodes, whose order does
+// not matter.
+//
+// The properties the lock protocols rely on (paper §3.2):
+//  * the label of every ancestor is derivable from the node's label alone,
+//  * comparison of two labels yields document order,
+//  * new labels can be generated between/after existing siblings without
+//    relabeling,
+//  * the byte encoding preserves document order under memcmp, so a single
+//    B+-tree in key order stores the document in left-most depth-first
+//    order.
+
+#ifndef XTC_SPLID_SPLID_H_
+#define XTC_SPLID_SPLID_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xtc {
+
+/// Division value reserved for attribute roots and string nodes.
+inline constexpr uint32_t kAttributeDivision = 1;
+
+class Splid {
+ public:
+  /// An empty (invalid) label. Valid labels come from Root()/Parse()/etc.
+  Splid() = default;
+
+  /// The document root label, "1".
+  static Splid Root();
+
+  /// Parses "1.3.4.3"-style text. Returns nullopt for malformed input
+  /// (empty, zero divisions, not starting at the root).
+  static std::optional<Splid> Parse(std::string_view text);
+
+  /// Builds a label from explicit divisions (first must be 1, all >= 1).
+  static std::optional<Splid> FromDivisions(std::vector<uint32_t> divisions);
+
+  bool valid() const { return !divisions_.empty(); }
+  bool IsRoot() const { return divisions_.size() == 1; }
+
+  size_t NumDivisions() const { return divisions_.size(); }
+  uint32_t Division(size_t i) const { return divisions_[i]; }
+  uint32_t LastDivision() const { return divisions_.back(); }
+  const std::vector<uint32_t>& divisions() const { return divisions_; }
+
+  /// Node level: the number of odd divisions (root is level 1).
+  int Level() const;
+
+  /// Parent label: drops the last division plus any trailing even
+  /// (overflow) divisions. Returns an invalid Splid for the root.
+  Splid Parent() const;
+
+  /// The ancestor whose Level() == level (1 = root). Requires
+  /// 1 <= level <= Level(); level == Level() returns *this.
+  Splid AncestorAtLevel(int level) const;
+
+  /// True if *this is a proper ancestor of other.
+  bool IsAncestorOf(const Splid& other) const;
+  bool IsSelfOrAncestorOf(const Splid& other) const;
+
+  /// Document order: <0 if *this precedes other, 0 if equal, >0 after.
+  /// A node precedes all of its descendants.
+  int Compare(const Splid& other) const;
+
+  bool operator==(const Splid& other) const {
+    return divisions_ == other.divisions_;
+  }
+  bool operator!=(const Splid& other) const { return !(*this == other); }
+  bool operator<(const Splid& other) const { return Compare(other) < 0; }
+  bool operator>(const Splid& other) const { return Compare(other) > 0; }
+  bool operator<=(const Splid& other) const { return Compare(other) <= 0; }
+  bool operator>=(const Splid& other) const { return Compare(other) >= 0; }
+
+  /// Appends one division (used by label generators and tests).
+  Splid Child(uint32_t division) const;
+
+  /// The attribute-root / string-node child label (division 1).
+  Splid AttributeChild() const { return Child(kAttributeDivision); }
+
+  /// True if any non-first division equals 1 (attribute root, attribute,
+  /// attribute string, or text string path).
+  bool InAttributePath() const;
+
+  /// Order-preserving byte encoding: memcmp order over encodings equals
+  /// document order over labels (shorter prefixes sort first).
+  std::string Encode() const;
+  static std::optional<Splid> Decode(std::string_view bytes);
+
+  /// An encoded key that sorts after every descendant of this label but
+  /// before any following sibling: used for B+-tree subtree range scans.
+  std::string EncodedSubtreeUpperBound() const;
+
+  std::string ToString() const;
+
+  struct Hash {
+    size_t operator()(const Splid& s) const;
+  };
+
+ private:
+  explicit Splid(std::vector<uint32_t> divisions)
+      : divisions_(std::move(divisions)) {}
+
+  std::vector<uint32_t> divisions_;
+};
+
+/// Generates new sibling labels without relabeling existing nodes.
+/// `dist` governs the gap between consecutively assigned odd divisions at
+/// initial document construction (paper: dist+1, 2*dist+1, ...; minimum 2).
+class SplidGenerator {
+ public:
+  explicit SplidGenerator(uint32_t dist = 2);
+
+  /// Label for the i-th (0-based) initially stored child of parent
+  /// (odd divisions dist+1, 2*dist+1, ...).
+  Splid InitialChild(const Splid& parent, size_t index) const;
+
+  /// Label for the i-th (0-based) attribute under an attribute root
+  /// (divisions 3, 5, 7, ... — order is irrelevant but labels unique).
+  Splid InitialAttribute(const Splid& attribute_root, size_t index) const;
+
+  /// A new child of `parent` ordered after existing child `last_sibling`
+  /// (which must be a child of parent).
+  Splid After(const Splid& parent, const Splid& last_sibling) const;
+
+  /// A new first child of `parent` ordered before existing child
+  /// `first_sibling`.
+  Splid Before(const Splid& parent, const Splid& first_sibling) const;
+
+  /// A new child of `parent` strictly between two existing adjacent
+  /// children `left` and `right` (document order left < right).
+  Splid Between(const Splid& parent, const Splid& left,
+                const Splid& right) const;
+
+  /// First child of a parent that has no children yet.
+  Splid FirstChild(const Splid& parent) const { return InitialChild(parent, 0); }
+
+  uint32_t dist() const { return dist_; }
+
+ private:
+  uint32_t dist_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_SPLID_SPLID_H_

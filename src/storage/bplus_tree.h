@@ -1,0 +1,136 @@
+// B+-tree over variable-length byte-string keys with prefix-compressed
+// pages (paper §3.2, Fig. 6: document index + container pages).
+//
+// A single tree keyed by encoded SPLIDs stores a whole XML document in
+// left-most depth-first order; further trees implement the element index
+// and the ID index. Leaves are doubly chained for bidirectional
+// navigation (previous/next sibling).
+//
+// Concurrency: the tree itself is not internally synchronized. Callers
+// (NodeStore) wrap operations in a short reader/writer latch; latches are
+// never held across lock waits (DESIGN.md §4).
+
+#ifndef XTC_STORAGE_BPLUS_TREE_H_
+#define XTC_STORAGE_BPLUS_TREE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "storage/buffer_manager.h"
+#include "storage/slotted_page.h"
+#include "util/status.h"
+
+namespace xtc {
+
+class BplusTree {
+ public:
+  /// Creates an empty tree (allocates the root leaf). Key prefix
+  /// compression can be disabled for ablation measurements.
+  explicit BplusTree(BufferManager* bm, bool prefix_compression = true);
+
+  BplusTree(const BplusTree&) = delete;
+  BplusTree& operator=(const BplusTree&) = delete;
+
+  /// Inserts a new key. Fails with kInvalidArgument on duplicates.
+  Status Insert(std::string_view key, std::string_view value);
+
+  /// Replaces the value of an existing key.
+  Status Update(std::string_view key, std::string_view value);
+
+  /// Removes a key. Fails with kNotFound if absent.
+  Status Delete(std::string_view key);
+
+  StatusOr<std::string> Get(std::string_view key) const;
+  bool Contains(std::string_view key) const;
+
+  uint64_t size() const { return count_; }
+
+  /// Forward/backward cursor. Positioning methods copy the entry out, so
+  /// the iterator holds no page pins between calls; it must not be used
+  /// across tree modifications.
+  class Iterator {
+   public:
+    explicit Iterator(const BplusTree* tree) : tree_(tree) {}
+
+    void SeekToFirst();
+    void SeekToLast();
+    /// Positions at the first entry with key >= target.
+    void Seek(std::string_view target);
+    /// Positions at the last entry with key <= target.
+    void SeekForPrev(std::string_view target);
+    void Next();
+    void Prev();
+
+    bool Valid() const { return valid_; }
+    const std::string& key() const { return key_; }
+    const std::string& value() const { return value_; }
+
+   private:
+    void LoadCurrent(PageId page, int slot);
+    void AdvanceForward(PageId page, int slot);   // slot may be past end
+    void AdvanceBackward(PageId page, int slot);  // slot may be -1
+
+    const BplusTree* tree_;
+    bool valid_ = false;
+    PageId page_ = kInvalidPageId;
+    int slot_ = 0;
+    std::string key_;
+    std::string value_;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+  /// Depth of the tree (1 = root is a leaf); for stats/tests.
+  int Height() const;
+
+  /// Storage occupancy report (paper §3.1 reports > 96 % for the taDOM
+  /// store under update workloads).
+  struct Occupancy {
+    uint64_t leaf_pages = 0;
+    uint64_t inner_pages = 0;
+    uint64_t live_bytes = 0;      // header + prefix + cells + slots
+    uint64_t capacity_bytes = 0;  // pages * page size
+    double ratio() const {
+      return capacity_bytes == 0
+                 ? 0.0
+                 : static_cast<double>(live_bytes) /
+                       static_cast<double>(capacity_bytes);
+    }
+  };
+  Occupancy MeasureOccupancy() const;
+
+ private:
+  struct Split {
+    std::string separator;
+    PageId right;
+  };
+
+  // Routes a key to the child of an inner page.
+  static PageId RouteChild(const SlottedPage& sp, std::string_view key);
+
+  // Finds the leaf that may contain `key`; returns its page id.
+  StatusOr<PageId> FindLeaf(std::string_view key) const;
+
+  Status InsertRec(PageId node, std::string_view key, std::string_view value,
+                   std::optional<Split>* split);
+  // Deletes `key` under `node`; *became_empty set when node has no live
+  // entries/children afterwards.
+  Status DeleteRec(PageId node, std::string_view key, bool* became_empty);
+
+  Status SplitLeaf(SlottedPage* left, PageId left_id, std::string_view key,
+                   std::string_view value, std::optional<Split>* split);
+  Status SplitInner(SlottedPage* left, std::string_view key, PageId right_child,
+                    std::optional<Split>* split);
+
+  void FreeLeafAndUnchain(PageId id);
+
+  BufferManager* bm_;
+  bool prefix_compression_ = true;
+  PageId root_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_STORAGE_BPLUS_TREE_H_

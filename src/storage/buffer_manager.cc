@@ -1,0 +1,161 @@
+#include "storage/buffer_manager.h"
+
+#include <cassert>
+
+namespace xtc {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    bm_ = other.bm_;
+    id_ = other.id_;
+    page_ = other.page_;
+    dirty_ = other.dirty_;
+    other.bm_ = nullptr;
+    other.page_ = nullptr;
+    other.id_ = kInvalidPageId;
+    other.dirty_ = false;
+  }
+  return *this;
+}
+
+void PageGuard::Release() {
+  if (bm_ != nullptr && page_ != nullptr) {
+    bm_->Unpin(id_, dirty_);
+  }
+  bm_ = nullptr;
+  page_ = nullptr;
+  id_ = kInvalidPageId;
+  dirty_ = false;
+}
+
+BufferManager::BufferManager(PageFile* file, const StorageOptions& options)
+    : file_(file), options_(options) {
+  frames_.resize(options_.buffer_pool_pages);
+  free_frames_.reserve(frames_.size());
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    free_frames_.push_back(frames_.size() - 1 - i);
+  }
+}
+
+StatusOr<PageGuard> BufferManager::Fetch(PageId id) {
+  std::unique_lock<std::mutex> guard(mu_);
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return PageGuard(this, id, f.page.get());
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  int idx = FindVictim();
+  if (idx < 0) {
+    return Status::ResourceExhausted("buffer pool exhausted (all pinned)");
+  }
+  Frame& f = frames_[static_cast<size_t>(idx)];
+  if (!f.page) f.page = std::make_unique<Page>(file_->page_size());
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.in_lru = false;
+  table_[id] = static_cast<size_t>(idx);
+  // Read outside mu_ would be nicer for concurrency; kept simple because
+  // tree-level latching serializes structural access anyway.
+  Status st = file_->Read(id, f.page.get());
+  if (!st.ok()) {
+    table_.erase(id);
+    f.id = kInvalidPageId;
+    f.pin_count = 0;
+    free_frames_.push_back(static_cast<size_t>(idx));
+    return st;
+  }
+  return PageGuard(this, id, f.page.get());
+}
+
+StatusOr<PageGuard> BufferManager::New() {
+  PageId id = file_->Allocate();
+  std::unique_lock<std::mutex> guard(mu_);
+  int idx = FindVictim();
+  if (idx < 0) {
+    return Status::ResourceExhausted("buffer pool exhausted (all pinned)");
+  }
+  Frame& f = frames_[static_cast<size_t>(idx)];
+  if (!f.page) f.page = std::make_unique<Page>(file_->page_size());
+  std::memset(f.page->data(), 0, f.page->size());
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = true;  // must be written back even if never touched again
+  f.in_lru = false;
+  table_[id] = static_cast<size_t>(idx);
+  return PageGuard(this, id, f.page.get());
+}
+
+void BufferManager::Free(PageId id) {
+  std::unique_lock<std::mutex> guard(mu_);
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    assert(f.pin_count == 0 && "freeing a pinned page");
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.id = kInvalidPageId;
+    f.dirty = false;
+    free_frames_.push_back(it->second);
+    table_.erase(it);
+  }
+  file_->Free(id);
+}
+
+Status BufferManager::FlushAll() {
+  std::unique_lock<std::mutex> guard(mu_);
+  for (Frame& f : frames_) {
+    if (f.id != kInvalidPageId && f.dirty) {
+      XTC_RETURN_IF_ERROR(file_->Write(f.id, *f.page));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferManager::Unpin(PageId id, bool dirty) {
+  std::unique_lock<std::mutex> guard(mu_);
+  auto it = table_.find(id);
+  assert(it != table_.end());
+  Frame& f = frames_[it->second];
+  assert(f.pin_count > 0);
+  if (dirty) f.dirty = true;
+  if (--f.pin_count == 0) {
+    lru_.push_front(it->second);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+int BufferManager::FindVictim() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return static_cast<int>(idx);
+  }
+  if (lru_.empty()) return -1;
+  size_t idx = lru_.back();  // least recently used unpinned frame
+  lru_.pop_back();
+  Frame& f = frames_[idx];
+  f.in_lru = false;
+  if (f.dirty) {
+    Status st = file_->Write(f.id, *f.page);
+    (void)st;  // in-memory page file cannot fail for valid ids
+    f.dirty = false;
+  }
+  table_.erase(f.id);
+  f.id = kInvalidPageId;
+  return static_cast<int>(idx);
+}
+
+}  // namespace xtc

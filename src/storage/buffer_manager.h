@@ -1,0 +1,111 @@
+// Buffer manager: a fixed pool of page frames over the page file with
+// LRU replacement, pin counting and dirty tracking.
+//
+// The paper relies on "reference locality in the B*-trees ... most of the
+// referenced tree pages (at least in upper tree layers) are expected to
+// reside in DB buffers" (§3.2); the pool makes that locality real so that
+// protocols which force extra document traversals (the *-2PL group on
+// subtree deletion) pay for the misses.
+
+#ifndef XTC_STORAGE_BUFFER_MANAGER_H_
+#define XTC_STORAGE_BUFFER_MANAGER_H_
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/page_file.h"
+#include "util/status.h"
+
+namespace xtc {
+
+class BufferManager;
+
+/// RAII pin on a buffered page. Unpins (and marks dirty if requested) on
+/// destruction. Movable, not copyable.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferManager* bm, PageId id, Page* page)
+      : bm_(bm), id_(id), page_(page) {}
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  bool valid() const { return page_ != nullptr; }
+  PageId id() const { return id_; }
+  Page* page() { return page_; }
+  const Page* page() const { return page_; }
+
+  /// Marks the underlying frame dirty; it is written back on eviction or
+  /// flush.
+  void MarkDirty() { dirty_ = true; }
+
+  void Release();
+
+ private:
+  BufferManager* bm_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+class BufferManager {
+ public:
+  BufferManager(PageFile* file, const StorageOptions& options);
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Fetches (and pins) a page, reading it from the page file on a miss.
+  StatusOr<PageGuard> Fetch(PageId id);
+
+  /// Allocates a fresh page in the file and pins it (already zeroed).
+  StatusOr<PageGuard> New();
+
+  /// Drops a page: discards the frame and frees the file page.
+  void Free(PageId id);
+
+  /// Writes back all dirty frames.
+  Status FlushAll();
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId id = kInvalidPageId;
+    std::unique_ptr<Page> page;
+    int pin_count = 0;
+    bool dirty = false;
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(PageId id, bool dirty);
+  // Returns the index of a free or evictable frame, or -1 if all pinned.
+  // Called with mu_ held; performs write-back of an evicted dirty frame.
+  int FindVictim();
+
+  PageFile* file_;
+  StorageOptions options_;
+  std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> table_;
+  std::list<size_t> lru_;  // front = most recent; only unpinned frames
+  std::vector<size_t> free_frames_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace xtc
+
+#endif  // XTC_STORAGE_BUFFER_MANAGER_H_

@@ -1,0 +1,45 @@
+// Fixed-size page abstraction shared by the page file, buffer manager and
+// B+-tree.
+
+#ifndef XTC_STORAGE_PAGE_H_
+#define XTC_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace xtc {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0;
+
+inline constexpr uint32_t kDefaultPageSize = 4096;
+
+/// A raw page buffer. Interpretation (slotted page layout) is provided by
+/// SlottedPage in slotted_page.h.
+class Page {
+ public:
+  explicit Page(uint32_t size) : data_(size, 0) {}
+
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+  uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+/// Tuning knobs for the storage substrate. The simulated I/O latency lets
+/// benchmarks reproduce the cost asymmetry the paper attributes to
+/// node-manager accesses that reach the disk (CLUSTER2 / Fig. 11).
+struct StorageOptions {
+  uint32_t page_size = kDefaultPageSize;
+  /// Number of frames in the buffer pool.
+  uint32_t buffer_pool_pages = 4096;
+  /// Simulated latency per page-file read/write, microseconds (0 = off).
+  uint32_t io_latency_us = 0;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_STORAGE_PAGE_H_

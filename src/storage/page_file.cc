@@ -1,0 +1,65 @@
+#include "storage/page_file.h"
+
+#include <chrono>
+#include <thread>
+
+namespace xtc {
+
+PageFile::PageFile(const StorageOptions& options) : options_(options) {}
+
+PageId PageFile::Allocate() {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    auto& slot = pages_[id - 1];
+    std::memset(slot->data(), 0, slot->size());
+    return id;
+  }
+  pages_.push_back(std::make_unique<Page>(options_.page_size));
+  return static_cast<PageId>(pages_.size());
+}
+
+Status PageFile::Read(PageId id, Page* out) {
+  SimulateLatency();
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> guard(mu_);
+  if (id == kInvalidPageId || id > pages_.size()) {
+    return Status::InvalidArgument("page id out of range");
+  }
+  std::memcpy(out->data(), pages_[id - 1]->data(), options_.page_size);
+  return Status::OK();
+}
+
+Status PageFile::Write(PageId id, const Page& in) {
+  SimulateLatency();
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> guard(mu_);
+  if (id == kInvalidPageId || id > pages_.size()) {
+    return Status::InvalidArgument("page id out of range");
+  }
+  std::memcpy(pages_[id - 1]->data(), in.data(), options_.page_size);
+  return Status::OK();
+}
+
+void PageFile::Free(PageId id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (id != kInvalidPageId && id <= pages_.size()) free_list_.push_back(id);
+}
+
+uint64_t PageFile::num_pages() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return pages_.size() - free_list_.size();
+}
+
+void PageFile::SimulateLatency() {
+  if (options_.io_latency_us == 0) return;
+  // Busy-wait: sleep granularity on Linux is too coarse for tens of
+  // microseconds, and the point is to model device time, not to yield.
+  auto until = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(options_.io_latency_us);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+}  // namespace xtc

@@ -1,0 +1,32 @@
+#include "storage/vocabulary.h"
+
+namespace xtc {
+
+NameSurrogate Vocabulary::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) return it->second;
+  by_id_.emplace_back(name);
+  NameSurrogate id = static_cast<NameSurrogate>(by_id_.size());
+  by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+NameSurrogate Vocabulary::Lookup(std::string_view name) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidSurrogate : it->second;
+}
+
+std::string Vocabulary::Name(NameSurrogate surrogate) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (surrogate == kInvalidSurrogate || surrogate > by_id_.size()) return "";
+  return by_id_[surrogate - 1];
+}
+
+size_t Vocabulary::size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return by_id_.size();
+}
+
+}  // namespace xtc

@@ -1,0 +1,46 @@
+// Vocabulary: element/attribute names are replaced by small integer
+// surrogates inside stored node records (paper §3.2: "instead of storing
+// their names, surrogates (<= 2 bytes) are used").
+
+#ifndef XTC_STORAGE_VOCABULARY_H_
+#define XTC_STORAGE_VOCABULARY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xtc {
+
+using NameSurrogate = uint32_t;
+inline constexpr NameSurrogate kInvalidSurrogate = 0;
+
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+  Vocabulary(const Vocabulary&) = delete;
+  Vocabulary& operator=(const Vocabulary&) = delete;
+
+  /// Returns the surrogate for `name`, creating one if new (>= 1).
+  NameSurrogate Intern(std::string_view name);
+
+  /// Surrogate of an existing name, or kInvalidSurrogate.
+  NameSurrogate Lookup(std::string_view name) const;
+
+  /// Name for a surrogate ("" for invalid).
+  std::string Name(NameSurrogate surrogate) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, NameSurrogate> by_name_;
+  std::vector<std::string> by_id_;  // index = surrogate - 1
+};
+
+}  // namespace xtc
+
+#endif  // XTC_STORAGE_VOCABULARY_H_

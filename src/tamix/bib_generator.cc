@@ -1,0 +1,104 @@
+#include "tamix/bib_generator.h"
+
+#include "util/rng.h"
+
+namespace xtc {
+
+namespace {
+
+std::string AuthorName(size_t i) { return "Author_" + std::to_string(i); }
+
+SubtreeSpec MakeBook(const std::string& id, size_t index, Rng* rng,
+                     const BibConfig& config) {
+  SubtreeSpec book;
+  book.name = "book";
+  book.attributes = {{"id", id},
+                     {"year", std::to_string(1960 + rng->Uniform(46))}};
+
+  SubtreeSpec title{"title", {}, "The Art of Topic " + std::to_string(index),
+                    {}};
+  SubtreeSpec author{
+      "author", {}, AuthorName(rng->Uniform(config.num_authors)), {}};
+  SubtreeSpec price{
+      "price", {}, std::to_string(10 + rng->Uniform(90)) + ".99", {}};
+
+  SubtreeSpec chapters{"chapters", {}, "", {}};
+  const size_t nchapters = static_cast<size_t>(rng->UniformRange(
+      static_cast<int64_t>(config.min_chapters),
+      static_cast<int64_t>(config.max_chapters)));
+  for (size_t c = 0; c < nchapters; ++c) {
+    SubtreeSpec chapter{"chapter", {{"no", std::to_string(c + 1)}}, "", {}};
+    chapter.children.push_back(
+        SubtreeSpec{"title", {}, "Chapter " + std::to_string(c + 1), {}});
+    chapter.children.push_back(SubtreeSpec{
+        "summary", {}, "Summary of chapter " + std::to_string(c + 1), {}});
+    chapters.children.push_back(std::move(chapter));
+  }
+
+  SubtreeSpec history{"history", {}, "", {}};
+  const size_t nlends = static_cast<size_t>(
+      rng->UniformRange(static_cast<int64_t>(config.min_lends),
+                        static_cast<int64_t>(config.max_lends)));
+  for (size_t l = 0; l < nlends; ++l) {
+    history.children.push_back(SubtreeSpec{
+        "lend",
+        {{"person", "p" + std::to_string(rng->Uniform(
+                              std::max<size_t>(config.num_persons, 1)))},
+         {"return", "2006-0" + std::to_string(1 + rng->Uniform(9))}},
+        "",
+        {}});
+  }
+
+  book.children = {std::move(title), std::move(author), std::move(price),
+                   std::move(chapters), std::move(history)};
+  return book;
+}
+
+}  // namespace
+
+StatusOr<BibInfo> GenerateBib(Document* doc, const BibConfig& config) {
+  Rng rng(config.seed);
+  BibInfo info;
+
+  SubtreeSpec bib{"bib", {}, "", {}};
+
+  SubtreeSpec persons{"persons", {}, "", {}};
+  for (size_t i = 0; i < config.num_persons; ++i) {
+    std::string id = "p" + std::to_string(i);
+    SubtreeSpec person{"person", {{"id", id}}, "", {}};
+    person.children.push_back(
+        SubtreeSpec{"name", {}, "Person " + std::to_string(i), {}});
+    person.children.push_back(
+        SubtreeSpec{"addr", {}, "Street " + std::to_string(i % 97), {}});
+    person.children.push_back(
+        SubtreeSpec{"phone", {}, "+49-631-" + std::to_string(10000 + i), {}});
+    persons.children.push_back(std::move(person));
+    info.person_ids.push_back(std::move(id));
+  }
+  bib.children.push_back(std::move(persons));
+
+  SubtreeSpec topics{"topics", {}, "", {}};
+  const size_t books_per_topic =
+      config.num_topics == 0 ? 0 : config.num_books / config.num_topics;
+  size_t book_counter = 0;
+  for (size_t t = 0; t < config.num_topics; ++t) {
+    std::string tid = "t" + std::to_string(t);
+    SubtreeSpec topic{"topic", {{"id", tid}}, "", {}};
+    for (size_t b = 0; b < books_per_topic; ++b) {
+      std::string bid = "b" + std::to_string(book_counter);
+      topic.children.push_back(MakeBook(bid, book_counter, &rng, config));
+      info.book_ids.push_back(std::move(bid));
+      ++book_counter;
+    }
+    topics.children.push_back(std::move(topic));
+    info.topic_ids.push_back(std::move(tid));
+  }
+  bib.children.push_back(std::move(topics));
+
+  auto root = doc->BuildFromSpec(bib);
+  if (!root.ok()) return root.status();
+  info.num_nodes = doc->num_nodes();
+  return info;
+}
+
+}  // namespace xtc

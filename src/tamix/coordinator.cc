@@ -1,0 +1,138 @@
+#include "tamix/coordinator.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "node/node_manager.h"
+#include "protocols/protocol_registry.h"
+#include "tx/transaction_manager.h"
+
+namespace xtc {
+
+namespace {
+
+/// Everything one run needs, wired together.
+struct Testbed {
+  std::unique_ptr<Document> doc;
+  BibInfo info;
+  std::unique_ptr<XmlProtocol> protocol;
+  std::unique_ptr<LockManager> lock_manager;
+  std::unique_ptr<TransactionManager> tx_manager;
+  std::unique_ptr<NodeManager> node_manager;
+};
+
+StatusOr<std::unique_ptr<Testbed>> BuildTestbed(const RunConfig& config) {
+  auto bed = std::make_unique<Testbed>();
+  bed->doc = std::make_unique<Document>(config.storage);
+  auto info = GenerateBib(bed->doc.get(), config.bib);
+  if (!info.ok()) return info.status();
+  bed->info = std::move(*info);
+  LockTableOptions lock_options;
+  lock_options.wait_timeout = config.Scaled(config.lock_wait_timeout);
+  bed->protocol = config.protocol_factory
+                      ? config.protocol_factory(lock_options)
+                      : CreateProtocol(config.protocol, lock_options);
+  if (bed->protocol == nullptr) {
+    return Status::InvalidArgument("unknown protocol: " + config.protocol);
+  }
+  bed->lock_manager = std::make_unique<LockManager>(bed->protocol.get());
+  bed->tx_manager =
+      std::make_unique<TransactionManager>(bed->lock_manager.get());
+  bed->node_manager = std::make_unique<NodeManager>(bed->doc.get(),
+                                                    bed->lock_manager.get());
+  return bed;
+}
+
+void WorkerLoop(const RunConfig& config, Testbed* bed, TaMixRunner* runner,
+                MetricsCollector* metrics, TxType type, uint64_t worker_index,
+                const std::atomic<bool>* stop) {
+  Rng rng(config.seed * 1000003 + worker_index);
+  // Random stagger before the first operation (paper: 0..5000 ms).
+  const Duration stagger = config.Scaled(config.max_initial_wait);
+  if (stagger > Duration::zero()) {
+    SleepFor(Duration(static_cast<Duration::rep>(
+        rng.NextDouble() * static_cast<double>(stagger.count()))));
+  }
+  while (!stop->load(std::memory_order_relaxed)) {
+    auto tx = bed->tx_manager->Begin(config.isolation, config.lock_depth);
+    const TimePoint start = Now();
+    Status st = runner->RunBody(type, *tx, rng);
+    if (st.ok()) {
+      Status commit = bed->tx_manager->Commit(*tx);
+      if (commit.ok() && !stop->load(std::memory_order_relaxed)) {
+        metrics->RecordCommit(type, ToMicros(Now() - start));
+      }
+    } else {
+      (void)bed->tx_manager->Abort(*tx);
+      metrics->RecordAbort(type, st);
+    }
+    SleepFor(config.Scaled(config.wait_after_commit));
+  }
+}
+
+}  // namespace
+
+StatusOr<RunStats> RunCluster1(const RunConfig& config) {
+  XTC_ASSIGN_OR_RETURN(std::unique_ptr<Testbed> bed, BuildTestbed(config));
+  TaMixRunner runner(bed->node_manager.get(), &bed->info,
+                     config.Scaled(config.wait_after_operation));
+  MetricsCollector metrics;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> workers;
+  uint64_t worker_index = 0;
+  auto spawn = [&](TxType type, int count) {
+    for (int i = 0; i < count; ++i) {
+      workers.emplace_back(WorkerLoop, std::cref(config), bed.get(), &runner,
+                           &metrics, type, worker_index++, &stop);
+    }
+  };
+  for (int c = 0; c < config.mix.clients; ++c) {
+    spawn(TxType::kQueryBook, config.mix.query_book);
+    spawn(TxType::kChapter, config.mix.chapter);
+    spawn(TxType::kRenameTopic, config.mix.rename_topic);
+    spawn(TxType::kLendAndReturn, config.mix.lend_and_return);
+    spawn(TxType::kDelBook, config.mix.del_book);
+  }
+
+  const TimePoint start = Now();
+  SleepFor(config.Scaled(config.run_duration));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  const int64_t elapsed_ms = ToMillis(Now() - start);
+
+  RunStats stats = metrics.Snapshot();
+  stats.lock_stats = bed->protocol->table().GetStats();
+  stats.run_duration_ms = elapsed_ms;
+  return stats;
+}
+
+StatusOr<Cluster2Result> RunCluster2(const RunConfig& config, int deletions) {
+  RunConfig c2 = config;
+  c2.isolation = IsolationLevel::kRepeatable;
+  XTC_ASSIGN_OR_RETURN(std::unique_ptr<Testbed> bed, BuildTestbed(c2));
+  // CLUSTER2 measures pure locking overhead: no client think times.
+  TaMixRunner runner(bed->node_manager.get(), &bed->info, Duration::zero());
+  Rng rng(c2.seed);
+
+  Cluster2Result result;
+  for (int i = 0; i < deletions; ++i) {
+    auto tx = bed->tx_manager->Begin(c2.isolation, c2.lock_depth);
+    const TimePoint start = Now();
+    Status st = runner.DelBook(*tx, rng);
+    if (st.ok()) {
+      XTC_RETURN_IF_ERROR(bed->tx_manager->Commit(*tx));
+      result.total_us += ToMicros(Now() - start);
+      ++result.deletions;
+    } else {
+      (void)bed->tx_manager->Abort(*tx);
+      if (!st.IsRetryable()) return st;
+    }
+  }
+  result.lock_requests = bed->protocol->table().GetStats().requests;
+  return result;
+}
+
+}  // namespace xtc

@@ -1,0 +1,85 @@
+// TaMix coordinator: sets up the XDBMS stack (document, protocol, lock
+// manager, transaction manager, node manager), spawns client workers and
+// drives a timed CLUSTER1 run or a single-user CLUSTER2 measurement
+// (paper §4.3).
+
+#ifndef XTC_TAMIX_COORDINATOR_H_
+#define XTC_TAMIX_COORDINATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "lock/lock_manager.h"
+#include "storage/page.h"
+#include "tamix/bib_generator.h"
+#include "tamix/metrics.h"
+#include "util/clock.h"
+
+namespace xtc {
+
+/// Per-client transaction mix. CLUSTER1 (paper): 3 clients, each keeping
+/// 9 TAqueryBook, 5 TAchapter, 2 TArenameTopic and 8 TAlendAndReturn
+/// continuously active = 72 concurrent transactions.
+struct WorkloadMix {
+  int clients = 3;
+  int query_book = 9;
+  int chapter = 5;
+  int rename_topic = 2;
+  int lend_and_return = 8;
+  int del_book = 0;  // not part of CLUSTER1
+
+  int WorkersPerClient() const {
+    return query_book + chapter + rename_topic + lend_and_return + del_book;
+  }
+};
+
+/// One benchmark run. All timing parameters are the paper's, scaled by
+/// `time_scale` (default 1/50: a 5-minute run becomes 6 seconds).
+struct RunConfig {
+  std::string protocol = "taDOM3+";
+  /// When set, overrides `protocol` with a custom construction (used by
+  /// ablation studies to build protocol variants outside the registry).
+  std::function<std::unique_ptr<XmlProtocol>(LockTableOptions)>
+      protocol_factory;
+  IsolationLevel isolation = IsolationLevel::kRepeatable;
+  int lock_depth = 7;
+  double time_scale = 1.0 / 50.0;
+
+  // Unscaled (paper) values; effective value = paper value * time_scale.
+  Duration run_duration = std::chrono::minutes(5);
+  Duration wait_after_commit = Millis(2500);
+  Duration wait_after_operation = Millis(100);
+  Duration max_initial_wait = Millis(5000);
+  Duration lock_wait_timeout = std::chrono::seconds(150);
+
+  WorkloadMix mix;
+  BibConfig bib = BibConfig::Bench();
+  StorageOptions storage;
+  uint64_t seed = 7;
+
+  Duration Scaled(Duration d) const {
+    return std::chrono::duration_cast<Duration>(d * time_scale);
+  }
+};
+
+/// Runs CLUSTER1: the timed multi-client workload.
+StatusOr<RunStats> RunCluster1(const RunConfig& config);
+
+/// CLUSTER2: single-user TAdelBook executions under isolation level
+/// repeatable; reports execution time and locking effort (paper §5.3).
+struct Cluster2Result {
+  int64_t total_us = 0;        // summed execution time of all deletions
+  int deletions = 0;           // how many TAdelBook executions ran
+  uint64_t lock_requests = 0;  // lock-manager calls issued
+  double ms_per_deletion() const {
+    return deletions == 0 ? 0.0
+                          : static_cast<double>(total_us) / 1000.0 / deletions;
+  }
+};
+
+StatusOr<Cluster2Result> RunCluster2(const RunConfig& config, int deletions);
+
+}  // namespace xtc
+
+#endif  // XTC_TAMIX_COORDINATOR_H_

@@ -1,0 +1,31 @@
+#include "tamix/metrics.h"
+
+namespace xtc {
+
+void MetricsCollector::RecordCommit(TxType type, int64_t duration_us) {
+  std::lock_guard<std::mutex> guard(mu_);
+  TxTypeStats& s = per_type_[static_cast<size_t>(type)];
+  if (s.committed == 0 || duration_us < s.min_duration_us) {
+    s.min_duration_us = duration_us;
+  }
+  if (duration_us > s.max_duration_us) s.max_duration_us = duration_us;
+  s.total_duration_us += duration_us;
+  ++s.committed;
+}
+
+void MetricsCollector::RecordAbort(TxType type, const Status& reason) {
+  std::lock_guard<std::mutex> guard(mu_);
+  TxTypeStats& s = per_type_[static_cast<size_t>(type)];
+  ++s.aborted;
+  if (reason.code() == StatusCode::kDeadlock) ++s.deadlock_aborts;
+  if (reason.code() == StatusCode::kLockTimeout) ++s.timeout_aborts;
+}
+
+RunStats MetricsCollector::Snapshot() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  RunStats out;
+  out.per_type = per_type_;
+  return out;
+}
+
+}  // namespace xtc

@@ -1,0 +1,74 @@
+// Benchmark metrics (paper §4.1): committed / aborted transactions per
+// type, transaction durations, deadlock counts and classification.
+
+#ifndef XTC_TAMIX_METRICS_H_
+#define XTC_TAMIX_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "lock/lock_table.h"
+#include "tamix/transactions.h"
+#include "util/clock.h"
+
+namespace xtc {
+
+struct TxTypeStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t deadlock_aborts = 0;
+  uint64_t timeout_aborts = 0;
+  int64_t total_duration_us = 0;  // committed transactions only
+  int64_t min_duration_us = 0;
+  int64_t max_duration_us = 0;
+
+  double avg_duration_ms() const {
+    return committed == 0
+               ? 0.0
+               : static_cast<double>(total_duration_us) / 1000.0 /
+                     static_cast<double>(committed);
+  }
+};
+
+struct RunStats {
+  std::array<TxTypeStats, kNumTxTypes> per_type;
+  LockTableStats lock_stats;
+  int64_t run_duration_ms = 0;
+
+  uint64_t total_committed() const {
+    uint64_t n = 0;
+    for (const auto& s : per_type) n += s.committed;
+    return n;
+  }
+  uint64_t total_aborted() const {
+    uint64_t n = 0;
+    for (const auto& s : per_type) n += s.aborted;
+    return n;
+  }
+  uint64_t total_deadlocks() const { return lock_stats.deadlocks; }
+
+  /// Committed transactions normalized to the paper's 5-minute runs.
+  double throughput_per_5min() const {
+    if (run_duration_ms <= 0) return 0.0;
+    return static_cast<double>(total_committed()) * 300000.0 /
+           static_cast<double>(run_duration_ms);
+  }
+};
+
+/// Thread-safe collector the workers report into.
+class MetricsCollector {
+ public:
+  void RecordCommit(TxType type, int64_t duration_us);
+  void RecordAbort(TxType type, const Status& reason);
+  RunStats Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::array<TxTypeStats, kNumTxTypes> per_type_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_TAMIX_METRICS_H_

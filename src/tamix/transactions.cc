@@ -1,0 +1,197 @@
+#include "tamix/transactions.h"
+
+namespace xtc {
+
+std::string_view TxTypeName(TxType type) {
+  switch (type) {
+    case TxType::kQueryBook:
+      return "TAqueryBook";
+    case TxType::kChapter:
+      return "TAchapter";
+    case TxType::kDelBook:
+      return "TAdelBook";
+    case TxType::kLendAndReturn:
+      return "TAlendAndReturn";
+    case TxType::kRenameTopic:
+      return "TArenameTopic";
+  }
+  return "TA?";
+}
+
+namespace {
+
+/// Under weak isolation levels concurrent deletions can make a node
+/// vanish mid-transaction; that is expected, not an error.
+Status IgnoreNotFound(const Status& st) {
+  if (st.IsNotFound()) return Status::OK();
+  return st;
+}
+
+}  // namespace
+
+Status TaMixRunner::RunBody(TxType type, Transaction& tx, Rng& rng) {
+  switch (type) {
+    case TxType::kQueryBook:
+      return QueryBook(tx, rng);
+    case TxType::kChapter:
+      return Chapter(tx, rng);
+    case TxType::kDelBook:
+      return DelBook(tx, rng);
+    case TxType::kLendAndReturn:
+      return LendAndReturn(tx, rng);
+    case TxType::kRenameTopic:
+      return RenameTopic(tx, rng);
+  }
+  return Status::Internal("unknown transaction type");
+}
+
+Status TaMixRunner::ReadSubtreeNavigationally(Transaction& tx,
+                                              const Splid& root,
+                                              int max_depth) {
+  auto child = nm_->GetFirstChild(tx, root);
+  if (!child.ok()) return child.status();
+  Think();
+  while (child->has_value()) {
+    const Node& node = **child;
+    if (node.record.kind == NodeKind::kElement) {
+      auto attrs = nm_->GetAttributes(tx, node.splid);
+      if (!attrs.ok()) XTC_RETURN_IF_ERROR(IgnoreNotFound(attrs.status()));
+      if (max_depth > 0) {
+        XTC_RETURN_IF_ERROR(
+            ReadSubtreeNavigationally(tx, node.splid, max_depth - 1));
+      }
+    } else if (node.record.kind == NodeKind::kText) {
+      auto text = nm_->GetTextContent(tx, node.splid);
+      if (!text.ok()) XTC_RETURN_IF_ERROR(IgnoreNotFound(text.status()));
+    }
+    auto next = nm_->GetNextSibling(tx, node.splid);
+    if (!next.ok()) return next.status();
+    Think();
+    child = std::move(next);
+  }
+  return Status::OK();
+}
+
+Status TaMixRunner::QueryBook(Transaction& tx, Rng& rng) {
+  auto book = nm_->GetElementById(tx, RandomBookId(rng));
+  if (!book.ok()) return book.status();
+  if (!book->has_value()) return Status::OK();  // deleted meanwhile
+  Think();
+  auto attrs = nm_->GetAttributes(tx, **book);
+  if (!attrs.ok()) XTC_RETURN_IF_ERROR(IgnoreNotFound(attrs.status()));
+  return ReadSubtreeNavigationally(tx, **book, /*max_depth=*/3);
+}
+
+Status TaMixRunner::Chapter(Transaction& tx, Rng& rng) {
+  auto book = nm_->GetElementById(tx, RandomBookId(rng));
+  if (!book.ok()) return book.status();
+  if (!book->has_value()) return Status::OK();
+  Think();
+  // Same read profile as TAqueryBook ...
+  XTC_RETURN_IF_ERROR(ReadSubtreeNavigationally(tx, **book, /*max_depth=*/3));
+  // ... followed by the update of one chapter summary text node.
+  auto& vocab = nm_->document().vocabulary();
+  auto children = nm_->GetChildNodes(tx, **book);
+  if (!children.ok()) return children.status();
+  Think();
+  for (const Node& child : *children) {
+    if (vocab.Name(child.record.name) != "chapters") continue;
+    auto chapters = nm_->GetChildNodes(tx, child.splid);
+    if (!chapters.ok()) return chapters.status();
+    if (chapters->empty()) break;
+    const Node& chapter = (*chapters)[rng.Uniform(chapters->size())];
+    auto parts = nm_->GetChildNodes(tx, chapter.splid);
+    if (!parts.ok()) return parts.status();
+    Think();
+    for (const Node& part : *parts) {
+      if (vocab.Name(part.record.name) != "summary") continue;
+      auto text = nm_->GetFirstChild(tx, part.splid);
+      if (!text.ok()) return text.status();
+      if (text->has_value() && (*text)->record.kind == NodeKind::kText) {
+        XTC_RETURN_IF_ERROR(IgnoreNotFound(nm_->UpdateText(
+            tx, (*text)->splid,
+            "revised summary " + std::to_string(tx.id()))));
+      }
+      break;
+    }
+    break;
+  }
+  return Status::OK();
+}
+
+Status TaMixRunner::DelBook(Transaction& tx, Rng& rng) {
+  auto topic = nm_->GetElementById(tx, RandomTopicId(rng));
+  if (!topic.ok()) return topic.status();
+  if (!topic->has_value()) return Status::OK();
+  Think();
+  auto& vocab = nm_->document().vocabulary();
+  auto books = nm_->GetChildNodes(tx, **topic);
+  if (!books.ok()) return books.status();
+  Think();
+  std::vector<const Node*> candidates;
+  for (const Node& b : *books) {
+    if (vocab.Name(b.record.name) == "book") candidates.push_back(&b);
+  }
+  if (candidates.empty()) return Status::OK();
+  const Node& victim = *candidates[rng.Uniform(candidates.size())];
+  // Read profile over the doomed book, then delete its subtree.
+  auto attrs = nm_->GetAttributes(tx, victim.splid);
+  if (!attrs.ok()) XTC_RETURN_IF_ERROR(IgnoreNotFound(attrs.status()));
+  auto parts = nm_->GetChildNodes(tx, victim.splid);
+  if (!parts.ok()) return parts.status();
+  Think();
+  return IgnoreNotFound(nm_->DeleteSubtree(tx, victim.splid));
+}
+
+Status TaMixRunner::LendAndReturn(Transaction& tx, Rng& rng) {
+  auto book = nm_->GetElementById(tx, RandomBookId(rng));
+  if (!book.ok()) return book.status();
+  if (!book->has_value()) return Status::OK();
+  Think();
+  auto title = nm_->GetFirstChild(tx, **book);
+  if (!title.ok()) return title.status();
+  Think();
+  auto history = nm_->GetLastChild(tx, **book);
+  if (!history.ok()) return history.status();
+  if (!history->has_value()) return Status::OK();
+  const Splid history_id = (*history)->splid;
+  // Declare the intent before inspecting the lend list (protocols with
+  // genuine update modes avoid the conversion deadlock here).
+  XTC_RETURN_IF_ERROR(IgnoreNotFound(nm_->DeclareUpdateIntent(tx, history_id)));
+  auto lends = nm_->GetChildNodes(tx, history_id);
+  if (!lends.ok()) return lends.status();
+  Think();
+  if (!lends->empty() && rng.Chance(0.25)) {
+    // Extend a loan: update the return attribute of one lend in place.
+    const Node& extended = (*lends)[rng.Uniform(lends->size())];
+    return IgnoreNotFound(
+        nm_->SetAttribute(tx, extended.splid, "return",
+                          "2006-1" + std::to_string(rng.Uniform(3))));
+  }
+  const bool lend_out = lends->size() < 12 && (lends->empty() || rng.Chance(0.5));
+  if (lend_out) {
+    SubtreeSpec lend{
+        "lend",
+        {{"person",
+          "p" + std::to_string(rng.Uniform(
+                    std::max<size_t>(info_->person_ids.size(), 1)))},
+         {"return", "2006-0" + std::to_string(1 + rng.Uniform(9))}},
+        "",
+        {}};
+    auto st = nm_->AppendSubtree(tx, history_id, lend);
+    if (!st.ok()) return IgnoreNotFound(st.status());
+    return Status::OK();
+  }
+  const Node& returned = (*lends)[rng.Uniform(lends->size())];
+  return IgnoreNotFound(nm_->DeleteSubtree(tx, returned.splid));
+}
+
+Status TaMixRunner::RenameTopic(Transaction& tx, Rng& rng) {
+  auto topic = nm_->GetElementById(tx, RandomTopicId(rng));
+  if (!topic.ok()) return topic.status();
+  if (!topic->has_value()) return Status::OK();
+  Think();
+  return IgnoreNotFound(nm_->Rename(tx, **topic, "topic"));
+}
+
+}  // namespace xtc

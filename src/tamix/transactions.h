@@ -1,0 +1,72 @@
+// The five TaMix transaction types (paper §4.2), implemented against the
+// NodeManager's DOM API.
+
+#ifndef XTC_TAMIX_TRANSACTIONS_H_
+#define XTC_TAMIX_TRANSACTIONS_H_
+
+#include <string_view>
+
+#include "node/node_manager.h"
+#include "tamix/bib_generator.h"
+#include "tx/transaction.h"
+#include "util/clock.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace xtc {
+
+enum class TxType {
+  kQueryBook = 0,
+  kChapter = 1,
+  kDelBook = 2,
+  kLendAndReturn = 3,
+  kRenameTopic = 4,
+};
+inline constexpr int kNumTxTypes = 5;
+
+std::string_view TxTypeName(TxType type);
+
+/// Executes transaction bodies. Thread-compatible: one instance may be
+/// shared by all workers (it holds no mutable state besides config).
+class TaMixRunner {
+ public:
+  TaMixRunner(NodeManager* nm, const BibInfo* info,
+              Duration wait_after_operation)
+      : nm_(nm), info_(info), wait_after_operation_(wait_after_operation) {}
+
+  /// Runs the body of one transaction (no begin/commit/abort — the
+  /// caller owns the transaction lifecycle). A returned retryable status
+  /// (deadlock/timeout) means: abort and count it.
+  Status RunBody(TxType type, Transaction& tx, Rng& rng);
+
+  // Individual bodies (also used by tests).
+  Status QueryBook(Transaction& tx, Rng& rng);
+  Status Chapter(Transaction& tx, Rng& rng);
+  Status DelBook(Transaction& tx, Rng& rng);
+  Status LendAndReturn(Transaction& tx, Rng& rng);
+  Status RenameTopic(Transaction& tx, Rng& rng);
+
+ private:
+  /// Client think time between DOM operations (paper: waitAfterOperation).
+  void Think() const { SleepFor(wait_after_operation_); }
+
+  /// Navigationally reads the whole subtree under `root`: children chain
+  /// per level, attributes of elements, content of text nodes.
+  Status ReadSubtreeNavigationally(Transaction& tx, const Splid& root,
+                                   int max_depth);
+
+  const std::string& RandomBookId(Rng& rng) const {
+    return info_->book_ids[rng.Uniform(info_->book_ids.size())];
+  }
+  const std::string& RandomTopicId(Rng& rng) const {
+    return info_->topic_ids[rng.Uniform(info_->topic_ids.size())];
+  }
+
+  NodeManager* nm_;
+  const BibInfo* info_;
+  Duration wait_after_operation_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_TAMIX_TRANSACTIONS_H_

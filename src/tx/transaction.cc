@@ -1,0 +1,4 @@
+#include "tx/transaction.h"
+
+// Transaction is header-only today; this file anchors the target and
+// keeps room for out-of-line growth.

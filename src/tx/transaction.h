@@ -1,0 +1,66 @@
+// Transactions: identity, isolation configuration, undo log, statistics.
+
+#ifndef XTC_TX_TRANSACTION_H_
+#define XTC_TX_TRANSACTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lock/lock_manager.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace xtc {
+
+enum class TxState : uint8_t { kActive, kCommitted, kAborted };
+
+/// One transaction. Created by TransactionManager::Begin(); not
+/// thread-safe (a transaction belongs to one worker thread, as in TaMix).
+class Transaction {
+ public:
+  Transaction(uint64_t id, IsolationLevel isolation, int lock_depth)
+      : id_(id),
+        isolation_(isolation),
+        lock_depth_(lock_depth),
+        begin_(Now()) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  uint64_t id() const { return id_; }
+  IsolationLevel isolation() const { return isolation_; }
+  int lock_depth() const { return lock_depth_; }
+  TxState state() const { return state_; }
+  TimePoint begin_time() const { return begin_; }
+
+  TxLockView LockView() const { return {id_, isolation_, lock_depth_}; }
+
+  /// Registers a compensation action run (in reverse order) on abort.
+  /// Undo actions perform *physical* inverse operations and must not
+  /// acquire transactional locks (the aborting transaction still holds
+  /// every lock it needs).
+  void AddUndo(std::function<Status()> undo) {
+    undo_log_.push_back(std::move(undo));
+  }
+
+  size_t undo_log_size() const { return undo_log_.size(); }
+
+  // Used by TransactionManager only.
+  void set_state(TxState s) { state_ = s; }
+  std::vector<std::function<Status()>>& undo_log() { return undo_log_; }
+
+ private:
+  const uint64_t id_;
+  const IsolationLevel isolation_;
+  const int lock_depth_;
+  const TimePoint begin_;
+  TxState state_ = TxState::kActive;
+  std::vector<std::function<Status()>> undo_log_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_TX_TRANSACTION_H_

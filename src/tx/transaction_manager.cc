@@ -1,0 +1,32 @@
+#include "tx/transaction_manager.h"
+
+namespace xtc {
+
+Status TransactionManager::Commit(Transaction& tx) {
+  if (tx.state() != TxState::kActive) {
+    return Status::InvalidArgument("commit of a finished transaction");
+  }
+  tx.set_state(TxState::kCommitted);
+  lock_manager_->ReleaseAll(tx.LockView());
+  committed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction& tx) {
+  if (tx.state() != TxState::kActive) {
+    return Status::InvalidArgument("abort of a finished transaction");
+  }
+  Status result = Status::OK();
+  auto& undo = tx.undo_log();
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    Status st = (*it)();
+    if (!st.ok() && result.ok()) result = st;  // keep undoing, report first
+  }
+  undo.clear();
+  tx.set_state(TxState::kAborted);
+  lock_manager_->ReleaseAll(tx.LockView());
+  aborted_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace xtc

@@ -1,0 +1,53 @@
+// Transaction manager: begin/commit/abort with lock release and logical
+// undo (compensation actions).
+
+#ifndef XTC_TX_TRANSACTION_MANAGER_H_
+#define XTC_TX_TRANSACTION_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+
+#include "lock/lock_manager.h"
+#include "tx/transaction.h"
+#include "util/status.h"
+
+namespace xtc {
+
+class TransactionManager {
+ public:
+  explicit TransactionManager(LockManager* lock_manager)
+      : lock_manager_(lock_manager) {}
+
+  std::unique_ptr<Transaction> Begin(IsolationLevel isolation,
+                                     int lock_depth) {
+    uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    return std::make_unique<Transaction>(id, isolation, lock_depth);
+  }
+
+  /// Commits: releases all locks. (The store is in-memory; there is no
+  /// redo logging — durability is out of scope for the lock contest.)
+  Status Commit(Transaction& tx);
+
+  /// Aborts: runs the undo log in reverse (while still holding all
+  /// locks), then releases the locks.
+  Status Abort(Transaction& tx);
+
+  uint64_t num_committed() const {
+    return committed_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_aborted() const {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+
+  LockManager& lock_manager() { return *lock_manager_; }
+
+ private:
+  LockManager* lock_manager_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> aborted_{0};
+};
+
+}  // namespace xtc
+
+#endif  // XTC_TX_TRANSACTION_MANAGER_H_

@@ -1,0 +1,35 @@
+// Small time helpers shared by the lock manager and the TaMix framework.
+
+#ifndef XTC_UTIL_CLOCK_H_
+#define XTC_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace xtc {
+
+using SteadyClock = std::chrono::steady_clock;
+using TimePoint = SteadyClock::time_point;
+using Duration = SteadyClock::duration;
+
+inline TimePoint Now() { return SteadyClock::now(); }
+
+inline int64_t ToMillis(Duration d) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(d).count();
+}
+
+inline int64_t ToMicros(Duration d) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+}
+
+inline Duration Millis(int64_t ms) { return std::chrono::milliseconds(ms); }
+inline Duration Micros(int64_t us) { return std::chrono::microseconds(us); }
+
+inline void SleepFor(Duration d) {
+  if (d > Duration::zero()) std::this_thread::sleep_for(d);
+}
+
+}  // namespace xtc
+
+#endif  // XTC_UTIL_CLOCK_H_

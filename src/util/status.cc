@@ -1,0 +1,41 @@
+#include "util/status.h"
+
+namespace xtc {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kDeadlock:
+      return "DEADLOCK";
+    case StatusCode::kLockTimeout:
+      return "LOCK_TIMEOUT";
+    case StatusCode::kTxAborted:
+      return "TX_ABORTED";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kNotSupported:
+      return "NOT_SUPPORTED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+  }
+  return "UNKNOWN";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace xtc

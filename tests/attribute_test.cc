@@ -1,0 +1,174 @@
+// Tests for transactional attribute mutation (setAttribute /
+// removeAttribute) including index maintenance, undo and locking.
+
+#include <gtest/gtest.h>
+
+#include "node/node_manager.h"
+#include "protocols/protocol_registry.h"
+#include "tx/transaction_manager.h"
+
+namespace xtc {
+namespace {
+
+class AttributeTest : public ::testing::Test {
+ protected:
+  AttributeTest() {
+    SubtreeSpec root{"root", {}, "", {}};
+    root.children.push_back(SubtreeSpec{
+        "book", {{"id", "b0"}, {"year", "1993"}}, "", {}});
+    root.children.push_back(SubtreeSpec{"note", {}, "bare element", {}});
+    EXPECT_TRUE(doc_.BuildFromSpec(root).ok());
+    LockTableOptions options;
+    options.wait_timeout = Millis(150);
+    protocol_ = CreateProtocol("taDOM3+", options);
+    lm_ = std::make_unique<LockManager>(protocol_.get());
+    tm_ = std::make_unique<TransactionManager>(lm_.get());
+    nm_ = std::make_unique<NodeManager>(&doc_, lm_.get());
+  }
+
+  std::unique_ptr<Transaction> Begin(
+      IsolationLevel iso = IsolationLevel::kRepeatable) {
+    return tm_->Begin(iso, 8);
+  }
+
+  Splid Book(Transaction& tx) {
+    auto b = nm_->GetElementById(tx, "b0");
+    EXPECT_TRUE(b.ok() && b->has_value());
+    return **b;
+  }
+
+  std::string Value(Transaction& tx, const Splid& element, const char* name) {
+    auto v = nm_->GetAttributeValue(tx, element, name);
+    EXPECT_TRUE(v.ok());
+    return *v;
+  }
+
+  Document doc_;
+  std::unique_ptr<XmlProtocol> protocol_;
+  std::unique_ptr<LockManager> lm_;
+  std::unique_ptr<TransactionManager> tm_;
+  std::unique_ptr<NodeManager> nm_;
+};
+
+TEST_F(AttributeTest, UpdateExistingValue) {
+  auto tx = Begin();
+  Splid book = Book(*tx);
+  ASSERT_TRUE(nm_->SetAttribute(*tx, book, "year", "2006").ok());
+  EXPECT_EQ(Value(*tx, book, "year"), "2006");
+  ASSERT_TRUE(tm_->Commit(*tx).ok());
+  auto check = Begin();
+  EXPECT_EQ(Value(*check, Book(*check), "year"), "2006");
+  ASSERT_TRUE(tm_->Commit(*check).ok());
+  EXPECT_TRUE(doc_.Validate().ok());
+}
+
+TEST_F(AttributeTest, CreateNewAttribute) {
+  auto tx = Begin();
+  Splid book = Book(*tx);
+  ASSERT_TRUE(nm_->SetAttribute(*tx, book, "isbn", "1-55860-190-2").ok());
+  auto attrs = nm_->GetAttributes(*tx, book);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size(), 3u);
+  EXPECT_EQ(Value(*tx, book, "isbn"), "1-55860-190-2");
+  ASSERT_TRUE(tm_->Commit(*tx).ok());
+  EXPECT_TRUE(doc_.Validate().ok());
+}
+
+TEST_F(AttributeTest, CreateOnElementWithoutAttributeRoot) {
+  auto tx = Begin();
+  auto notes = nm_->GetElementsByTagName(*tx, "note");
+  ASSERT_TRUE(notes.ok());
+  ASSERT_EQ(notes->size(), 1u);
+  Splid note = (*notes)[0];
+  ASSERT_TRUE(nm_->SetAttribute(*tx, note, "lang", "en").ok());
+  EXPECT_EQ(Value(*tx, note, "lang"), "en");
+  ASSERT_TRUE(tm_->Commit(*tx).ok());
+  EXPECT_TRUE(doc_.Validate().ok());
+}
+
+TEST_F(AttributeTest, UpdatingIdAttributeMovesTheIndexEntry) {
+  auto tx = Begin();
+  Splid book = Book(*tx);
+  ASSERT_TRUE(nm_->SetAttribute(*tx, book, "id", "b0-renumbered").ok());
+  ASSERT_TRUE(tm_->Commit(*tx).ok());
+  EXPECT_FALSE(doc_.LookupId("b0").has_value());
+  EXPECT_EQ(doc_.LookupId("b0-renumbered"), book);
+  EXPECT_TRUE(doc_.Validate().ok());
+}
+
+TEST_F(AttributeTest, AbortRestoresValueAndIndex) {
+  {
+    auto tx = Begin();
+    Splid book = Book(*tx);
+    ASSERT_TRUE(nm_->SetAttribute(*tx, book, "id", "ghost").ok());
+    ASSERT_TRUE(nm_->SetAttribute(*tx, book, "year", "1999").ok());
+    ASSERT_TRUE(tm_->Abort(*tx).ok());
+  }
+  auto check = Begin();
+  Splid book = Book(*check);  // "b0" resolves again
+  EXPECT_EQ(Value(*check, book, "year"), "1993");
+  EXPECT_FALSE(doc_.LookupId("ghost").has_value());
+  ASSERT_TRUE(tm_->Commit(*check).ok());
+  EXPECT_TRUE(doc_.Validate().ok());
+}
+
+TEST_F(AttributeTest, RemoveAttributeAndUndo) {
+  {
+    auto tx = Begin();
+    Splid book = Book(*tx);
+    ASSERT_TRUE(nm_->RemoveAttribute(*tx, book, "year").ok());
+    auto attrs = nm_->GetAttributes(*tx, book);
+    ASSERT_TRUE(attrs.ok());
+    EXPECT_EQ(attrs->size(), 1u);
+    ASSERT_TRUE(tm_->Abort(*tx).ok());
+  }
+  auto tx = Begin();
+  Splid book = Book(*tx);
+  EXPECT_EQ(Value(*tx, book, "year"), "1993");  // undo restored it
+  ASSERT_TRUE(nm_->RemoveAttribute(*tx, book, "year").ok());
+  ASSERT_TRUE(tm_->Commit(*tx).ok());
+  auto check = Begin();
+  EXPECT_EQ(Value(*check, Book(*check), "year"), "");
+  ASSERT_TRUE(tm_->Commit(*check).ok());
+  EXPECT_TRUE(doc_.Validate().ok());
+}
+
+TEST_F(AttributeTest, RemoveMissingAttributeIsNotFound) {
+  auto tx = Begin();
+  Splid book = Book(*tx);
+  EXPECT_TRUE(nm_->RemoveAttribute(*tx, book, "nope").IsNotFound());
+  ASSERT_TRUE(tm_->Commit(*tx).ok());
+}
+
+TEST_F(AttributeTest, WriterBlocksAttributeListReaders) {
+  // LR on the attribute root vs. CX from the in-place value update.
+  auto writer = Begin();
+  Splid book = Book(*writer);
+  ASSERT_TRUE(nm_->SetAttribute(*writer, book, "year", "2000").ok());
+  auto reader = Begin();
+  auto attrs = nm_->GetAttributes(*reader, book);
+  EXPECT_FALSE(attrs.ok());  // blocked -> timeout
+  EXPECT_TRUE(attrs.status().IsRetryable());
+  (void)tm_->Abort(*reader);
+  ASSERT_TRUE(tm_->Commit(*writer).ok());
+}
+
+TEST_F(AttributeTest, SerializableGuardsIdRenumbering) {
+  // T1 jumped to b0 (shared id lock); T2 renumbering b0 must block.
+  auto t1 = tm_->Begin(IsolationLevel::kSerializable, 8);
+  ASSERT_TRUE(nm_->GetElementById(*t1, "b0").ok());
+  auto t2 = tm_->Begin(IsolationLevel::kSerializable, 8);
+  auto book = nm_->GetElementById(*t2, "b0");
+  if (book.ok() && book->has_value()) {
+    Status st = nm_->SetAttribute(*t2, **book, "id", "b0-x");
+    EXPECT_FALSE(st.ok());
+    EXPECT_TRUE(st.IsRetryable());
+  } else {
+    EXPECT_TRUE(book.status().IsRetryable());
+  }
+  (void)tm_->Abort(*t2);
+  ASSERT_TRUE(tm_->Commit(*t1).ok());
+}
+
+}  // namespace
+}  // namespace xtc

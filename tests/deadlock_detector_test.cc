@@ -1,0 +1,85 @@
+// Unit tests for the wait-for graph cycle detector.
+
+#include "lock/deadlock_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace xtc {
+namespace {
+
+TEST(DeadlockDetectorTest, NoEdgesNoCycle) {
+  DeadlockDetector d;
+  EXPECT_FALSE(d.HasCycleFrom(1));
+  EXPECT_EQ(d.num_waiters(), 0u);
+}
+
+TEST(DeadlockDetectorTest, SimpleTwoCycle) {
+  DeadlockDetector d;
+  d.SetEdges(1, {2});
+  EXPECT_FALSE(d.HasCycleFrom(1));
+  d.SetEdges(2, {1});
+  EXPECT_TRUE(d.HasCycleFrom(1));
+  EXPECT_TRUE(d.HasCycleFrom(2));
+}
+
+TEST(DeadlockDetectorTest, LongChainAndCycle) {
+  DeadlockDetector d;
+  d.SetEdges(1, {2});
+  d.SetEdges(2, {3});
+  d.SetEdges(3, {4});
+  EXPECT_FALSE(d.HasCycleFrom(1));
+  d.SetEdges(4, {1});
+  EXPECT_TRUE(d.HasCycleFrom(4));
+  EXPECT_TRUE(d.HasCycleFrom(1));
+}
+
+TEST(DeadlockDetectorTest, CycleNotThroughStartIsStillFoundFromMembers) {
+  DeadlockDetector d;
+  // 1 -> 2 -> 3 -> 2 (cycle not containing 1).
+  d.SetEdges(1, {2});
+  d.SetEdges(2, {3});
+  d.SetEdges(3, {2});
+  // From 1 there is no path back to 1.
+  EXPECT_FALSE(d.HasCycleFrom(1));
+  EXPECT_TRUE(d.HasCycleFrom(2));
+  EXPECT_TRUE(d.HasCycleFrom(3));
+}
+
+TEST(DeadlockDetectorTest, SetEdgesReplacesPrevious) {
+  DeadlockDetector d;
+  d.SetEdges(1, {2});
+  d.SetEdges(2, {1});
+  EXPECT_TRUE(d.HasCycleFrom(1));
+  d.SetEdges(2, {3});  // 2 now waits for 3 instead
+  EXPECT_FALSE(d.HasCycleFrom(1));
+}
+
+TEST(DeadlockDetectorTest, ClearEdgesBreaksCycle) {
+  DeadlockDetector d;
+  d.SetEdges(1, {2});
+  d.SetEdges(2, {1});
+  d.ClearEdges(2);
+  EXPECT_FALSE(d.HasCycleFrom(1));
+  EXPECT_EQ(d.num_waiters(), 1u);
+}
+
+TEST(DeadlockDetectorTest, SelfEdgesIgnored) {
+  DeadlockDetector d;
+  d.SetEdges(1, {1});
+  EXPECT_FALSE(d.HasCycleFrom(1));
+  EXPECT_EQ(d.num_waiters(), 0u);
+}
+
+TEST(DeadlockDetectorTest, MultiWaiterDiamond) {
+  DeadlockDetector d;
+  // 1 waits for {2,3}; both wait for 4; 4 waits for 1.
+  d.SetEdges(1, {2, 3});
+  d.SetEdges(2, {4});
+  d.SetEdges(3, {4});
+  EXPECT_FALSE(d.HasCycleFrom(1));
+  d.SetEdges(4, {1});
+  EXPECT_TRUE(d.HasCycleFrom(1));
+}
+
+}  // namespace
+}  // namespace xtc

@@ -1,0 +1,265 @@
+// Tests for the physical document store: taDOM node model, navigation,
+// subtree operations, element/ID indexes.
+
+#include "node/document.h"
+
+#include <gtest/gtest.h>
+
+namespace xtc {
+namespace {
+
+SubtreeSpec Leaf(std::string name, std::string text = "") {
+  return SubtreeSpec{std::move(name), {}, std::move(text), {}};
+}
+
+/// A small library-ish document:
+/// bib > topic(id=t0) > book(id=b0, year=2006) > title, author, history
+SubtreeSpec SmallBib() {
+  SubtreeSpec bib{"bib", {}, "", {}};
+  SubtreeSpec topic{"topic", {{"id", "t0"}}, "", {}};
+  SubtreeSpec book{"book", {{"id", "b0"}, {"year", "2006"}}, "", {}};
+  book.children.push_back(Leaf("title", "TP: Concepts and Techniques"));
+  book.children.push_back(Leaf("author", "Gray"));
+  SubtreeSpec history{"history", {}, "", {}};
+  history.children.push_back(
+      SubtreeSpec{"lend", {{"person", "p1"}, {"return", "2006-09"}}, "", {}});
+  book.children.push_back(std::move(history));
+  topic.children.push_back(std::move(book));
+  bib.children.push_back(std::move(topic));
+  return bib;
+}
+
+class DocumentTest : public ::testing::Test {
+ protected:
+  DocumentTest() {
+    auto root = doc_.BuildFromSpec(SmallBib());
+    EXPECT_TRUE(root.ok());
+    root_ = *root;
+  }
+
+  Splid Id(const char* id) {
+    auto s = doc_.LookupId(id);
+    EXPECT_TRUE(s.has_value()) << id;
+    return *s;
+  }
+
+  std::string NameOf(const Splid& s) {
+    auto rec = doc_.Get(s);
+    EXPECT_TRUE(rec.ok());
+    return doc_.vocabulary().Name(rec->name);
+  }
+
+  Document doc_;
+  Splid root_;
+};
+
+TEST_F(DocumentTest, TaDomNodeModel) {
+  // Elements, attribute roots, attributes, text and string nodes exist
+  // with the taDOM labels of Fig. 5.
+  Splid book = Id("b0");
+  auto rec = doc_.Get(book);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->kind, NodeKind::kElement);
+  EXPECT_EQ(doc_.vocabulary().Name(rec->name), "book");
+
+  Splid attr_root = book.AttributeChild();
+  auto ar = doc_.Get(attr_root);
+  ASSERT_TRUE(ar.ok());
+  EXPECT_EQ(ar->kind, NodeKind::kAttributeRoot);
+
+  auto attrs = doc_.Children(attr_root);
+  ASSERT_TRUE(attrs.ok());
+  ASSERT_EQ(attrs->size(), 2u);
+  EXPECT_EQ((*attrs)[0].record.kind, NodeKind::kAttribute);
+  // Attribute value lives in the string child.
+  auto value = doc_.Get((*attrs)[0].splid.AttributeChild());
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->kind, NodeKind::kString);
+  EXPECT_EQ(value->content, "b0");
+}
+
+TEST_F(DocumentTest, TextNodesHaveStringChildren) {
+  Splid book = Id("b0");
+  auto title = doc_.FirstChild(book);
+  ASSERT_TRUE(title.ok());
+  ASSERT_TRUE(title->has_value());
+  EXPECT_EQ(NameOf((*title)->splid), "title");
+  auto text = doc_.FirstChild((*title)->splid);
+  ASSERT_TRUE(text.ok());
+  ASSERT_TRUE(text->has_value());
+  EXPECT_EQ((*text)->record.kind, NodeKind::kText);
+  auto str = doc_.Get((*text)->splid.AttributeChild());
+  ASSERT_TRUE(str.ok());
+  EXPECT_EQ(str->content, "TP: Concepts and Techniques");
+}
+
+TEST_F(DocumentTest, NavigationSkipsAttributeRoots) {
+  Splid book = Id("b0");
+  // First child must be the title element, not the attribute root.
+  auto first = doc_.FirstChild(book);
+  ASSERT_TRUE(first.ok() && first->has_value());
+  EXPECT_EQ(NameOf((*first)->splid), "title");
+  // But taDOM-level traversal can see it.
+  auto first_with_attrs = doc_.FirstChild(book, /*include_attribute_root=*/true);
+  ASSERT_TRUE(first_with_attrs.ok() && first_with_attrs->has_value());
+  EXPECT_EQ((*first_with_attrs)->record.kind, NodeKind::kAttributeRoot);
+}
+
+TEST_F(DocumentTest, SiblingChainForwardAndBackward) {
+  Splid book = Id("b0");
+  auto title = doc_.FirstChild(book);
+  ASSERT_TRUE(title.ok() && title->has_value());
+  auto author = doc_.NextSibling((*title)->splid);
+  ASSERT_TRUE(author.ok() && author->has_value());
+  EXPECT_EQ(NameOf((*author)->splid), "author");
+  auto history = doc_.NextSibling((*author)->splid);
+  ASSERT_TRUE(history.ok() && history->has_value());
+  EXPECT_EQ(NameOf((*history)->splid), "history");
+  auto end = doc_.NextSibling((*history)->splid);
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end->has_value());
+  // Backward.
+  auto back = doc_.PreviousSibling((*history)->splid);
+  ASSERT_TRUE(back.ok() && back->has_value());
+  EXPECT_EQ((*back)->splid, (*author)->splid);
+  auto front = doc_.PreviousSibling((*title)->splid);
+  ASSERT_TRUE(front.ok());
+  EXPECT_FALSE(front->has_value());  // attribute root is not a sibling
+  // Last child.
+  auto last = doc_.LastChild(book);
+  ASSERT_TRUE(last.ok() && last->has_value());
+  EXPECT_EQ((*last)->splid, (*history)->splid);
+}
+
+TEST_F(DocumentTest, IdIndexSupportsDirectJumps) {
+  EXPECT_TRUE(doc_.LookupId("b0").has_value());
+  EXPECT_TRUE(doc_.LookupId("t0").has_value());
+  EXPECT_FALSE(doc_.LookupId("nope").has_value());
+  EXPECT_EQ(NameOf(Id("b0")), "book");
+  EXPECT_EQ(NameOf(Id("t0")), "topic");
+}
+
+TEST_F(DocumentTest, ElementIndexListsInDocumentOrder) {
+  auto titles = doc_.ElementsByName("title");
+  EXPECT_EQ(titles.size(), 1u);
+  auto lends = doc_.ElementsByName("lend");
+  EXPECT_EQ(lends.size(), 1u);
+  EXPECT_TRUE(doc_.ElementsByName("unknown").empty());
+  auto nth = doc_.NthElementByName("book", 0);
+  ASSERT_TRUE(nth.has_value());
+  EXPECT_EQ(*nth, Id("b0"));
+  EXPECT_FALSE(doc_.NthElementByName("book", 5).has_value());
+}
+
+TEST_F(DocumentTest, AppendSubtreeAddsLastChild) {
+  Splid book = Id("b0");
+  auto history = doc_.LastChild(book);
+  ASSERT_TRUE(history.ok() && history->has_value());
+  SubtreeSpec lend{"lend", {{"person", "p7"}, {"return", "2006-12"}}, "", {}};
+  auto label = doc_.AppendSubtree((*history)->splid, lend);
+  ASSERT_TRUE(label.ok());
+  auto last = doc_.LastChild((*history)->splid);
+  ASSERT_TRUE(last.ok() && last->has_value());
+  EXPECT_EQ((*last)->splid, *label);
+  EXPECT_EQ(doc_.ElementsByName("lend").size(), 2u);
+  // The hint path: peek then append must agree when unchanged.
+  auto peek = doc_.PeekAppendLabel((*history)->splid);
+  ASSERT_TRUE(peek.ok());
+  auto label2 = doc_.AppendSubtree((*history)->splid, lend, &*peek);
+  ASSERT_TRUE(label2.ok());
+  EXPECT_EQ(*label2, *peek);
+}
+
+TEST_F(DocumentTest, RemoveSubtreeMaintainsIndexes) {
+  Splid book = Id("b0");
+  const uint64_t before = doc_.num_nodes();
+  auto nodes = doc_.Subtree(book);
+  ASSERT_TRUE(nodes.ok());
+  ASSERT_TRUE(doc_.RemoveSubtree(book).ok());
+  EXPECT_EQ(doc_.num_nodes(), before - nodes->size());
+  EXPECT_FALSE(doc_.LookupId("b0").has_value());
+  EXPECT_TRUE(doc_.ElementsByName("lend").empty());
+  EXPECT_TRUE(doc_.ElementsByName("book").empty());
+  // Topic survives.
+  EXPECT_TRUE(doc_.LookupId("t0").has_value());
+  auto children = doc_.Children(Id("t0"));
+  ASSERT_TRUE(children.ok());
+  EXPECT_TRUE(children->empty());
+}
+
+TEST_F(DocumentTest, RestoreNodesUndoesRemoval) {
+  Splid book = Id("b0");
+  auto nodes = doc_.Subtree(book);
+  ASSERT_TRUE(nodes.ok());
+  ASSERT_TRUE(doc_.RemoveSubtree(book).ok());
+  ASSERT_TRUE(doc_.RestoreNodes(*nodes).ok());
+  EXPECT_TRUE(doc_.LookupId("b0").has_value());
+  EXPECT_EQ(doc_.ElementsByName("lend").size(), 1u);
+  auto title = doc_.FirstChild(Id("b0"));
+  ASSERT_TRUE(title.ok() && title->has_value());
+  EXPECT_EQ(NameOf((*title)->splid), "title");
+}
+
+TEST_F(DocumentTest, UpdateContentMaintainsIdIndex) {
+  // Changing the string below an id attribute must move the index entry.
+  Splid book = Id("b0");
+  Splid attr_root = book.AttributeChild();
+  auto attrs = doc_.Children(attr_root);
+  ASSERT_TRUE(attrs.ok());
+  Splid id_attr;
+  for (const Node& a : *attrs) {
+    if (doc_.vocabulary().Name(a.record.name) == "id") id_attr = a.splid;
+  }
+  ASSERT_TRUE(id_attr.valid());
+  ASSERT_TRUE(doc_.UpdateContent(id_attr.AttributeChild(), "b0-new").ok());
+  EXPECT_FALSE(doc_.LookupId("b0").has_value());
+  EXPECT_EQ(doc_.LookupId("b0-new"), book);
+}
+
+TEST_F(DocumentTest, RenameElementUpdatesElementIndex) {
+  Splid topic = Id("t0");
+  ASSERT_TRUE(
+      doc_.RenameElement(topic, doc_.vocabulary().Intern("subject")).ok());
+  EXPECT_TRUE(doc_.ElementsByName("topic").empty());
+  ASSERT_EQ(doc_.ElementsByName("subject").size(), 1u);
+  EXPECT_EQ(doc_.ElementsByName("subject")[0], topic);
+  EXPECT_EQ(NameOf(topic), "subject");
+}
+
+TEST_F(DocumentTest, RemoveRejectsInnerNodes) {
+  Splid book = Id("b0");
+  EXPECT_EQ(doc_.Remove(book).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(doc_.Exists(book));
+}
+
+TEST_F(DocumentTest, GetOnMissingNodeIsNotFound) {
+  Splid missing = *Splid::Parse("1.99.99");
+  EXPECT_TRUE(doc_.Get(missing).status().IsNotFound());
+  EXPECT_FALSE(doc_.Exists(missing));
+  EXPECT_TRUE(doc_.RemoveSubtree(missing).IsNotFound());
+}
+
+TEST(DocumentAccessorTest, SubtreeAndChildrenEnumeration) {
+  Document doc;
+  ASSERT_TRUE(doc.BuildFromSpec(SmallBib()).ok());
+  DocumentAccessorImpl accessor(&doc);
+  Splid book = *doc.LookupId("b0");
+
+  auto nodes = accessor.NodesInSubtree(book);
+  ASSERT_TRUE(nodes.ok());
+  // book + attrRoot + 2*(attr+string) + title(+text+string) +
+  // author(+text+string) + history + lend + attrRoot + 2*(attr+string)
+  EXPECT_EQ(nodes->size(), 19u);
+
+  auto with_ids = accessor.ElementsWithIdInSubtree(book);
+  ASSERT_TRUE(with_ids.ok());
+  ASSERT_EQ(with_ids->size(), 1u);
+  EXPECT_EQ((*with_ids)[0], book);
+
+  auto children = accessor.ChildrenOf(book);
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(children->size(), 4u);  // attribute root + title/author/history
+}
+
+}  // namespace
+}  // namespace xtc

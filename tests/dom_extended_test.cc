@@ -1,0 +1,290 @@
+// Tests for the extended DOM operations: ordered sibling insertion
+// (SPLID overflow labels in the production path), fragment reads, and
+// tag-name scans — plus a randomized model-based check of the whole DOM
+// surface against an in-memory reference tree.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "node/node_manager.h"
+#include "protocols/protocol_registry.h"
+#include "tx/transaction_manager.h"
+#include "util/rng.h"
+
+namespace xtc {
+namespace {
+
+class DomExtendedTest : public ::testing::Test {
+ protected:
+  DomExtendedTest() {
+    SubtreeSpec bib{"bib", {}, "", {}};
+    SubtreeSpec list{"list", {{"id", "L"}}, "", {}};
+    for (int i = 0; i < 3; ++i) {
+      list.children.push_back(
+          SubtreeSpec{"item", {{"id", "i" + std::to_string(i)}}, "", {}});
+    }
+    bib.children.push_back(std::move(list));
+    EXPECT_TRUE(doc_.BuildFromSpec(bib).ok());
+    LockTableOptions options;
+    options.wait_timeout = Millis(200);
+    protocol_ = CreateProtocol("taDOM3+", options);
+    lm_ = std::make_unique<LockManager>(protocol_.get());
+    tm_ = std::make_unique<TransactionManager>(lm_.get());
+    nm_ = std::make_unique<NodeManager>(&doc_, lm_.get());
+  }
+
+  std::unique_ptr<Transaction> Begin() {
+    return tm_->Begin(IsolationLevel::kRepeatable, 7);
+  }
+
+  std::vector<std::string> ChildIds(Transaction& tx) {
+    auto list = nm_->GetElementById(tx, "L");
+    EXPECT_TRUE(list.ok() && list->has_value());
+    auto children = nm_->GetChildNodes(tx, **list);
+    EXPECT_TRUE(children.ok());
+    std::vector<std::string> ids;
+    for (const Node& c : *children) {
+      auto v = nm_->GetAttributeValue(tx, c.splid, "id");
+      EXPECT_TRUE(v.ok());
+      ids.push_back(*v);
+    }
+    return ids;
+  }
+
+  Document doc_;
+  std::unique_ptr<XmlProtocol> protocol_;
+  std::unique_ptr<LockManager> lm_;
+  std::unique_ptr<TransactionManager> tm_;
+  std::unique_ptr<NodeManager> nm_;
+};
+
+TEST_F(DomExtendedTest, InsertBeforeFirstChild) {
+  auto tx = Begin();
+  auto first = nm_->GetElementById(*tx, "i0");
+  ASSERT_TRUE(first.ok() && first->has_value());
+  SubtreeSpec fresh{"item", {{"id", "new"}}, "", {}};
+  auto added = nm_->InsertBefore(*tx, **first, fresh);
+  ASSERT_TRUE(added.ok());
+  ASSERT_TRUE(tm_->Commit(*tx).ok());
+  auto check = Begin();
+  EXPECT_EQ(ChildIds(*check),
+            (std::vector<std::string>{"new", "i0", "i1", "i2"}));
+  ASSERT_TRUE(tm_->Commit(*check).ok());
+  EXPECT_TRUE(doc_.Validate().ok());
+}
+
+TEST_F(DomExtendedTest, InsertAfterMiddleUsesOverflowLabels) {
+  auto tx = Begin();
+  auto mid = nm_->GetElementById(*tx, "i1");
+  ASSERT_TRUE(mid.ok() && mid->has_value());
+  SubtreeSpec fresh{"item", {{"id", "mid+"}}, "", {}};
+  auto added = nm_->InsertAfter(*tx, **mid, fresh);
+  ASSERT_TRUE(added.ok());
+  // Between two dist-2 neighbors the new label must use an even
+  // overflow division (paper: 1.3.4.3 style).
+  bool has_even = false;
+  for (size_t i = 1; i < added->NumDivisions(); ++i) {
+    if (added->Division(i) % 2 == 0) has_even = true;
+  }
+  EXPECT_TRUE(has_even) << added->ToString();
+  ASSERT_TRUE(tm_->Commit(*tx).ok());
+  auto check = Begin();
+  EXPECT_EQ(ChildIds(*check),
+            (std::vector<std::string>{"i0", "i1", "mid+", "i2"}));
+  ASSERT_TRUE(tm_->Commit(*check).ok());
+}
+
+TEST_F(DomExtendedTest, RepeatedFrontInsertionStaysOrderedAndStable) {
+  // Pathological front-insertion: labels must keep shrinking without
+  // relabeling; navigation must stay consistent.
+  std::vector<std::string> expect = {"i0", "i1", "i2"};
+  for (int i = 0; i < 25; ++i) {
+    auto tx = Begin();
+    auto list = nm_->GetElementById(*tx, "L");
+    auto first = nm_->GetFirstChild(*tx, **list);
+    ASSERT_TRUE(first.ok() && first->has_value());
+    std::string id = "f" + std::to_string(i);
+    SubtreeSpec fresh{"item", {{"id", id}}, "", {}};
+    ASSERT_TRUE(nm_->InsertBefore(*tx, (*first)->splid, fresh).ok()) << i;
+    ASSERT_TRUE(tm_->Commit(*tx).ok());
+    expect.insert(expect.begin(), id);
+  }
+  auto check = Begin();
+  EXPECT_EQ(ChildIds(*check), expect);
+  ASSERT_TRUE(tm_->Commit(*check).ok());
+  EXPECT_TRUE(doc_.Validate().ok());
+}
+
+TEST_F(DomExtendedTest, InsertAbortUndoes) {
+  auto tx = Begin();
+  auto first = nm_->GetElementById(*tx, "i0");
+  SubtreeSpec fresh{"item", {{"id", "ghost"}}, "", {}};
+  ASSERT_TRUE(nm_->InsertAfter(*tx, **first, fresh).ok());
+  ASSERT_TRUE(tm_->Abort(*tx).ok());
+  auto check = Begin();
+  EXPECT_EQ(ChildIds(*check), (std::vector<std::string>{"i0", "i1", "i2"}));
+  EXPECT_FALSE(doc_.LookupId("ghost").has_value());
+  ASSERT_TRUE(tm_->Commit(*check).ok());
+}
+
+TEST_F(DomExtendedTest, GetFragmentReturnsWholeSubtree) {
+  auto tx = Begin();
+  auto list = nm_->GetElementById(*tx, "L");
+  auto fragment = nm_->GetFragment(*tx, **list);
+  ASSERT_TRUE(fragment.ok());
+  // list + attrRoot + (attr + string) + 3 * (item + attrRoot + attr +
+  // string) = 16 nodes.
+  EXPECT_EQ(fragment->size(), 16u);
+  EXPECT_EQ((*fragment)[0].splid, **list);
+  // One subtree lock, not per-node locks.
+  EXPECT_LE(protocol_->table().LocksHeldBy(tx->id()), 8u);
+  ASSERT_TRUE(tm_->Commit(*tx).ok());
+}
+
+TEST_F(DomExtendedTest, GetFragmentBlocksWritersInside) {
+  auto reader = Begin();
+  auto list = nm_->GetElementById(*reader, "L");
+  ASSERT_TRUE(nm_->GetFragment(*reader, **list).ok());
+  LockTableOptions o;  // default-timeout protocol would stall the test
+  auto writer = Begin();
+  auto item = nm_->GetElementById(*writer, "i1");
+  // Writer must block against the SR fragment lock -> timeout/deadlock.
+  if (item.ok() && item->has_value()) {
+    Status st = nm_->Rename(*writer, **item, "renamed");
+    EXPECT_FALSE(st.ok());
+  } else {
+    EXPECT_FALSE(item.ok());
+  }
+  (void)tm_->Abort(*writer);
+  ASSERT_TRUE(tm_->Commit(*reader).ok());
+}
+
+TEST_F(DomExtendedTest, GetElementsByTagName) {
+  auto tx = Begin();
+  auto items = nm_->GetElementsByTagName(*tx, "item");
+  ASSERT_TRUE(items.ok());
+  EXPECT_EQ(items->size(), 3u);
+  auto none = nm_->GetElementsByTagName(*tx, "nope");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  ASSERT_TRUE(tm_->Commit(*tx).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Model-based random testing: a reference tree of ids mirrors every
+// mutation; structure and order must always agree.
+// ---------------------------------------------------------------------------
+
+struct RefNode {
+  std::string id;
+  std::vector<RefNode> children;
+};
+
+void CollectOrder(const RefNode& n, std::vector<std::string>* out) {
+  out->push_back(n.id);
+  for (const RefNode& c : n.children) CollectOrder(c, out);
+}
+
+RefNode* FindRef(RefNode* n, const std::string& id) {
+  if (n->id == id) return n;
+  for (RefNode& c : n->children) {
+    if (RefNode* hit = FindRef(&c, id)) return hit;
+  }
+  return nullptr;
+}
+
+RefNode* FindParent(RefNode* n, const std::string& id, size_t* index) {
+  for (size_t i = 0; i < n->children.size(); ++i) {
+    if (n->children[i].id == id) {
+      *index = i;
+      return n;
+    }
+    if (RefNode* hit = FindParent(&n->children[i], id, index)) return hit;
+  }
+  return nullptr;
+}
+
+TEST(DomModelTest, RandomOperationsAgreeWithReferenceTree) {
+  Document doc;
+  ASSERT_TRUE(
+      doc.BuildFromSpec(SubtreeSpec{"root", {{"id", "root"}}, "", {}}).ok());
+  auto protocol = CreateProtocol("taDOM3+");
+  LockManager lm(protocol.get());
+  TransactionManager tm(&lm);
+  NodeManager nm(&doc, &lm);
+
+  RefNode ref{"root", {}};
+  Rng rng(20060912);  // the paper's conference date
+  int next_id = 0;
+  std::vector<std::string> live = {"root"};
+
+  auto splid_of = [&](const std::string& id) { return *doc.LookupId(id); };
+
+  for (int step = 0; step < 400; ++step) {
+    auto tx = tm.Begin(IsolationLevel::kRepeatable, 10);
+    const std::string target = live[rng.Uniform(live.size())];
+    const int op = static_cast<int>(rng.Uniform(4));
+    std::string fresh_id = "n" + std::to_string(next_id);
+    SubtreeSpec fresh{"node", {{"id", fresh_id}}, "", {}};
+    Status st = Status::OK();
+    if (op == 0) {  // append child
+      auto added = nm.AppendSubtree(*tx, splid_of(target), fresh);
+      ASSERT_TRUE(added.ok());
+      FindRef(&ref, target)->children.push_back(RefNode{fresh_id, {}});
+      live.push_back(fresh_id);
+      ++next_id;
+    } else if (op == 1 && target != "root") {  // insert before/after
+      bool after = rng.Chance(0.5);
+      auto added = after ? nm.InsertAfter(*tx, splid_of(target), fresh)
+                         : nm.InsertBefore(*tx, splid_of(target), fresh);
+      ASSERT_TRUE(added.ok());
+      size_t index = 0;
+      RefNode* parent = FindParent(&ref, target, &index);
+      ASSERT_NE(parent, nullptr);
+      parent->children.insert(
+          parent->children.begin() + static_cast<long>(index + (after ? 1 : 0)),
+          RefNode{fresh_id, {}});
+      live.push_back(fresh_id);
+      ++next_id;
+    } else if (op == 2 && target != "root" && live.size() > 3) {  // delete
+      st = nm.DeleteSubtree(*tx, splid_of(target));
+      ASSERT_TRUE(st.ok());
+      size_t index = 0;
+      RefNode* parent = FindParent(&ref, target, &index);
+      ASSERT_NE(parent, nullptr);
+      std::vector<std::string> gone;
+      CollectOrder(parent->children[index], &gone);
+      parent->children.erase(parent->children.begin() +
+                             static_cast<long>(index));
+      for (const std::string& g : gone) {
+        live.erase(std::find(live.begin(), live.end(), g));
+      }
+    }
+    ASSERT_TRUE(tm.Commit(*tx).ok());
+
+    if (step % 40 == 0 || step == 399) {
+      // Full structural comparison in document order.
+      std::vector<std::string> expect;
+      CollectOrder(ref, &expect);
+      std::vector<std::string> actual;
+      auto walk = [&](auto&& self, const Splid& node) -> void {
+        auto rec = doc.Get(node);
+        ASSERT_TRUE(rec.ok());
+        auto attrs = doc.Children(node.AttributeChild());
+        ASSERT_TRUE(attrs.ok());
+        auto id_value = doc.Get((*attrs)[0].splid.AttributeChild());
+        actual.push_back(id_value->content);
+        auto children = doc.Children(node);
+        ASSERT_TRUE(children.ok());
+        for (const Node& c : *children) self(self, c.splid);
+      };
+      walk(walk, *doc.LookupId("root"));
+      ASSERT_EQ(actual, expect) << "at step " << step;
+      ASSERT_TRUE(doc.Validate().ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xtc

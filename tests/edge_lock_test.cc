@@ -1,0 +1,105 @@
+// Edge locks make navigation repeatable (paper §2: "they have to isolate
+// the edges traversed to guarantee identical navigation paths on
+// repeated traversals"). The ablated protocol (edge locks off)
+// demonstrates the anomaly they prevent.
+
+#include <gtest/gtest.h>
+
+#include "node/node_manager.h"
+#include "protocols/tadom_protocols.h"
+#include "tx/transaction_manager.h"
+
+namespace xtc {
+namespace {
+
+SubtreeSpec ListDoc() {
+  SubtreeSpec root{"root", {}, "", {}};
+  SubtreeSpec list{"list", {{"id", "L"}}, "", {}};
+  list.children.push_back(SubtreeSpec{"item", {{"id", "a"}}, "", {}});
+  list.children.push_back(SubtreeSpec{"item", {{"id", "b"}}, "", {}});
+  root.children.push_back(std::move(list));
+  return root;
+}
+
+struct Stack {
+  explicit Stack(bool edge_locks) {
+    EXPECT_TRUE(doc.BuildFromSpec(ListDoc()).ok());
+    LockTableOptions options;
+    options.wait_timeout = Millis(150);
+    protocol = std::make_unique<TaDomProtocol>(TaDomVariant::kTaDom3Plus,
+                                               options, edge_locks);
+    lm = std::make_unique<LockManager>(protocol.get());
+    tm = std::make_unique<TransactionManager>(lm.get());
+    nm = std::make_unique<NodeManager>(&doc, lm.get());
+  }
+  Document doc;
+  std::unique_ptr<TaDomProtocol> protocol;
+  std::unique_ptr<LockManager> lm;
+  std::unique_ptr<TransactionManager> tm;
+  std::unique_ptr<NodeManager> nm;
+};
+
+TEST(EdgeLockTest, WithEdgeLocksNavigationIsRepeatable) {
+  Stack s(/*edge_locks=*/true);
+  auto reader = s.tm->Begin(IsolationLevel::kRepeatable, 7);
+  auto a = s.nm->GetElementById(*reader, "a");
+  ASSERT_TRUE(a.ok() && a->has_value());
+  auto next1 = s.nm->GetNextSibling(*reader, **a);
+  ASSERT_TRUE(next1.ok() && next1->has_value());
+
+  // A writer inserting between a and b must block on the edge lock.
+  auto writer = s.tm->Begin(IsolationLevel::kRepeatable, 7);
+  SubtreeSpec fresh{"item", {{"id", "between"}}, "", {}};
+  Status st = s.nm->InsertAfter(*writer, **a, fresh).status();
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsRetryable());
+  ASSERT_TRUE(s.tm->Abort(*writer).ok());
+
+  // The reader re-traverses and sees the identical path.
+  auto next2 = s.nm->GetNextSibling(*reader, **a);
+  ASSERT_TRUE(next2.ok() && next2->has_value());
+  EXPECT_EQ((*next1)->splid, (*next2)->splid);
+  ASSERT_TRUE(s.tm->Commit(*reader).ok());
+}
+
+TEST(EdgeLockTest, WithoutEdgeLocksPhantomSiblingAppears) {
+  Stack s(/*edge_locks=*/false);
+  auto reader = s.tm->Begin(IsolationLevel::kRepeatable, 7);
+  auto a = s.nm->GetElementById(*reader, "a");
+  ASSERT_TRUE(a.ok() && a->has_value());
+  auto next1 = s.nm->GetNextSibling(*reader, **a);
+  ASSERT_TRUE(next1.ok() && next1->has_value());
+
+  // Without edge isolation the insertion slips through...
+  auto writer = s.tm->Begin(IsolationLevel::kRepeatable, 7);
+  SubtreeSpec fresh{"item", {{"id", "between"}}, "", {}};
+  auto added = s.nm->InsertAfter(*writer, **a, fresh);
+  ASSERT_TRUE(added.ok());
+  ASSERT_TRUE(s.tm->Commit(*writer).ok());
+
+  // ... and the reader's second traversal sees a different sibling:
+  // the navigation anomaly the paper's edge locks exist to prevent.
+  auto next2 = s.nm->GetNextSibling(*reader, **a);
+  ASSERT_TRUE(next2.ok() && next2->has_value());
+  EXPECT_NE((*next1)->splid, (*next2)->splid);
+  ASSERT_TRUE(s.tm->Commit(*reader).ok());
+}
+
+TEST(EdgeLockTest, AppendBlockedByLastChildEdgeReader) {
+  Stack s(/*edge_locks=*/true);
+  auto reader = s.tm->Begin(IsolationLevel::kRepeatable, 7);
+  auto list = s.nm->GetElementById(*reader, "L");
+  ASSERT_TRUE(list.ok() && list->has_value());
+  auto last = s.nm->GetLastChild(*reader, **list);
+  ASSERT_TRUE(last.ok() && last->has_value());
+
+  auto writer = s.tm->Begin(IsolationLevel::kRepeatable, 7);
+  SubtreeSpec fresh{"item", {{"id", "tail"}}, "", {}};
+  Status st = s.nm->AppendSubtree(*writer, **list, fresh).status();
+  EXPECT_FALSE(st.ok());  // blocked by the reader's last-child edge lock
+  ASSERT_TRUE(s.tm->Abort(*writer).ok());
+  ASSERT_TRUE(s.tm->Commit(*reader).ok());
+}
+
+}  // namespace
+}  // namespace xtc

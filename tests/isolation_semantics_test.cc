@@ -1,0 +1,149 @@
+// Behavioral verification of the isolation levels (paper footnote 5):
+//   none         — no locks at all,
+//   uncommitted  — long write locks, no read locks (dirty reads happen),
+//   committed    — short read locks + long write locks (no dirty reads,
+//                  but non-repeatable reads happen),
+//   repeatable   — long read + write locks (repeatable reads),
+//   serializable — repeatable + predicate locks (see serializable_test).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "node/node_manager.h"
+#include "protocols/protocol_registry.h"
+#include "tx/transaction_manager.h"
+
+namespace xtc {
+namespace {
+
+class IsolationSemanticsTest : public ::testing::Test {
+ protected:
+  IsolationSemanticsTest() {
+    SubtreeSpec root{"root", {}, "", {}};
+    root.children.push_back(
+        SubtreeSpec{"item", {{"id", "i"}}, "original", {}});
+    EXPECT_TRUE(doc_.BuildFromSpec(root).ok());
+    LockTableOptions options;
+    options.wait_timeout = Millis(150);
+    protocol_ = CreateProtocol("taDOM3+", options);
+    lm_ = std::make_unique<LockManager>(protocol_.get());
+    tm_ = std::make_unique<TransactionManager>(lm_.get());
+    nm_ = std::make_unique<NodeManager>(&doc_, lm_.get());
+    // Resolve the text node once.
+    auto tx = tm_->Begin(IsolationLevel::kNone, 8);
+    auto item = nm_->GetElementById(*tx, "i");
+    auto text = nm_->GetFirstChild(*tx, **item);
+    text_ = (*text)->splid;
+    (void)tm_->Commit(*tx);
+  }
+
+  StatusOr<std::string> Read(Transaction& tx) {
+    return nm_->GetTextContent(tx, text_);
+  }
+
+  Document doc_;
+  std::unique_ptr<XmlProtocol> protocol_;
+  std::unique_ptr<LockManager> lm_;
+  std::unique_ptr<TransactionManager> tm_;
+  std::unique_ptr<NodeManager> nm_;
+  Splid text_;
+};
+
+TEST_F(IsolationSemanticsTest, UncommittedSeesDirtyData) {
+  auto writer = tm_->Begin(IsolationLevel::kRepeatable, 8);
+  ASSERT_TRUE(nm_->UpdateText(*writer, text_, "dirty").ok());
+  // An uncommitted-level reader takes no read locks: it reads straight
+  // through the write lock and sees the uncommitted value.
+  auto reader = tm_->Begin(IsolationLevel::kUncommitted, 8);
+  auto value = Read(*reader);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "dirty");
+  ASSERT_TRUE(tm_->Commit(*reader).ok());
+  // The writer aborts: the dirty value never existed, officially.
+  ASSERT_TRUE(tm_->Abort(*writer).ok());
+  auto check = tm_->Begin(IsolationLevel::kRepeatable, 8);
+  EXPECT_EQ(*Read(*check), "original");
+  ASSERT_TRUE(tm_->Commit(*check).ok());
+}
+
+TEST_F(IsolationSemanticsTest, CommittedNeverSeesDirtyData) {
+  auto writer = tm_->Begin(IsolationLevel::kRepeatable, 8);
+  ASSERT_TRUE(nm_->UpdateText(*writer, text_, "dirty").ok());
+  // A committed-level reader takes (short) read locks and therefore
+  // blocks against the writer instead of reading the dirty value.
+  auto reader = tm_->Begin(IsolationLevel::kCommitted, 8);
+  auto blocked = Read(*reader);
+  EXPECT_FALSE(blocked.ok());
+  EXPECT_TRUE(blocked.status().IsRetryable());
+  (void)tm_->Abort(*reader);
+  ASSERT_TRUE(tm_->Abort(*writer).ok());
+}
+
+TEST_F(IsolationSemanticsTest, CommittedAllowsNonRepeatableReads) {
+  auto reader = tm_->Begin(IsolationLevel::kCommitted, 8);
+  auto first = Read(*reader);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, "original");
+  // The reader's short lock is gone after the operation, so a writer can
+  // slip in and commit between the two reads.
+  {
+    auto writer = tm_->Begin(IsolationLevel::kRepeatable, 8);
+    ASSERT_TRUE(nm_->UpdateText(*writer, text_, "changed").ok());
+    ASSERT_TRUE(tm_->Commit(*writer).ok());
+  }
+  auto second = Read(*reader);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, "changed");  // non-repeatable read, by design
+  ASSERT_TRUE(tm_->Commit(*reader).ok());
+}
+
+TEST_F(IsolationSemanticsTest, RepeatableReadsStayStable) {
+  auto reader = tm_->Begin(IsolationLevel::kRepeatable, 8);
+  auto first = Read(*reader);
+  ASSERT_TRUE(first.ok());
+  // A writer must now block until the reader finishes.
+  std::atomic<bool> wrote{false};
+  std::thread other([&]() {
+    auto writer = tm_->Begin(IsolationLevel::kRepeatable, 8);
+    Status st = nm_->UpdateText(*writer, text_, "changed");
+    if (st.ok() && tm_->Commit(*writer).ok()) {
+      wrote = true;
+    } else if (!st.ok()) {
+      (void)tm_->Abort(*writer);
+    }
+  });
+  SleepFor(Millis(40));
+  auto second = Read(*reader);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, *first);  // repeatable
+  ASSERT_TRUE(tm_->Commit(*reader).ok());
+  other.join();
+}
+
+TEST_F(IsolationSemanticsTest, NoneTakesNoLocksAtAll) {
+  auto tx = tm_->Begin(IsolationLevel::kNone, 8);
+  ASSERT_TRUE(Read(*tx).ok());
+  ASSERT_TRUE(nm_->UpdateText(*tx, text_, "lockless").ok());
+  EXPECT_EQ(protocol_->table().GetStats().requests, 0u);
+  ASSERT_TRUE(tm_->Commit(*tx).ok());
+}
+
+TEST_F(IsolationSemanticsTest, CommittedWriteLocksAreStillLong) {
+  // Under committed isolation the WRITE lock must survive the end of the
+  // operation (only read locks are short).
+  auto writer = tm_->Begin(IsolationLevel::kCommitted, 8);
+  ASSERT_TRUE(nm_->UpdateText(*writer, text_, "held").ok());
+  auto reader = tm_->Begin(IsolationLevel::kCommitted, 8);
+  auto blocked = Read(*reader);
+  EXPECT_FALSE(blocked.ok());
+  (void)tm_->Abort(*reader);
+  ASSERT_TRUE(tm_->Commit(*writer).ok());
+  auto check = tm_->Begin(IsolationLevel::kCommitted, 8);
+  EXPECT_EQ(*Read(*check), "held");
+  ASSERT_TRUE(tm_->Commit(*check).ok());
+}
+
+}  // namespace
+}  // namespace xtc

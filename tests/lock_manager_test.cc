@@ -1,0 +1,178 @@
+// Tests for the meta-synchronization front end: isolation-level gating
+// and the lock-depth parameter (paper §3.3, §5.1, footnote 2).
+
+#include "lock/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/tadom_protocols.h"
+
+namespace xtc {
+namespace {
+
+Splid S(const char* text) { return *Splid::Parse(text); }
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  LockManagerTest()
+      : protocol_(TaDomVariant::kTaDom3Plus), lm_(&protocol_) {}
+
+  TxLockView Tx(uint64_t id, IsolationLevel iso, int depth) {
+    return TxLockView{id, iso, depth};
+  }
+
+  ModeId Held(uint64_t tx, const char* splid) {
+    return protocol_.table().HeldMode(tx, NodeResource(S(splid)));
+  }
+
+  std::string HeldName(uint64_t tx, const char* splid) {
+    return std::string(protocol_.modes().Name(Held(tx, splid)));
+  }
+
+  TaDomProtocol protocol_;
+  LockManager lm_;
+};
+
+TEST_F(LockManagerTest, IsolationNoneAcquiresNothing) {
+  auto tx = Tx(1, IsolationLevel::kNone, 7);
+  ASSERT_TRUE(lm_.NodeRead(tx, S("1.3.3")).ok());
+  ASSERT_TRUE(lm_.NodeWrite(tx, S("1.3.3")).ok());
+  ASSERT_TRUE(lm_.TreeWrite(tx, S("1.3.3")).ok());
+  EXPECT_EQ(protocol_.table().LocksHeldBy(1), 0u);
+}
+
+TEST_F(LockManagerTest, IsolationUncommittedSkipsReadLocks) {
+  auto tx = Tx(1, IsolationLevel::kUncommitted, 7);
+  ASSERT_TRUE(lm_.NodeRead(tx, S("1.3.3")).ok());
+  EXPECT_EQ(protocol_.table().LocksHeldBy(1), 0u);
+  ASSERT_TRUE(lm_.NodeWrite(tx, S("1.3.3")).ok());
+  // Write locks are long: still held after end of operation.
+  lm_.EndOperation(tx);
+  EXPECT_GT(protocol_.table().LocksHeldBy(1), 0u);
+  EXPECT_EQ(HeldName(1, "1.3.3"), "NX");
+}
+
+TEST_F(LockManagerTest, IsolationCommittedUsesShortReadLocks) {
+  auto tx = Tx(1, IsolationLevel::kCommitted, 7);
+  ASSERT_TRUE(lm_.NodeRead(tx, S("1.3.3")).ok());
+  EXPECT_EQ(HeldName(1, "1.3.3"), "NR");
+  EXPECT_EQ(HeldName(1, "1.3"), "IR");
+  lm_.EndOperation(tx);  // short read locks go at end of operation
+  EXPECT_EQ(protocol_.table().LocksHeldBy(1), 0u);
+}
+
+TEST_F(LockManagerTest, IsolationRepeatableKeepsReadLocks) {
+  auto tx = Tx(1, IsolationLevel::kRepeatable, 7);
+  ASSERT_TRUE(lm_.NodeRead(tx, S("1.3.3")).ok());
+  lm_.EndOperation(tx);
+  EXPECT_EQ(HeldName(1, "1.3.3"), "NR");
+  EXPECT_EQ(HeldName(1, "1"), "IR");
+  lm_.ReleaseAll(tx);
+  EXPECT_EQ(protocol_.table().LocksHeldBy(1), 0u);
+}
+
+TEST_F(LockManagerTest, AncestorPathIsLockedAutomatically) {
+  auto tx = Tx(1, IsolationLevel::kRepeatable, 7);
+  // Node at level 4: the paper's Fig. 3b pattern — NR on the node, IR on
+  // every ancestor.
+  ASSERT_TRUE(lm_.NodeRead(tx, S("1.5.3.3")).ok());
+  EXPECT_EQ(HeldName(1, "1.5.3.3"), "NR");
+  EXPECT_EQ(HeldName(1, "1.5.3"), "IR");
+  EXPECT_EQ(HeldName(1, "1.5"), "IR");
+  EXPECT_EQ(HeldName(1, "1"), "IR");
+}
+
+TEST_F(LockManagerTest, WritePropagatesCxAndIxUpThePath) {
+  auto tx = Tx(1, IsolationLevel::kRepeatable, 7);
+  ASSERT_TRUE(lm_.TreeWrite(tx, S("1.5.3.3.11")).ok());
+  EXPECT_EQ(HeldName(1, "1.5.3.3.11"), "SX");
+  EXPECT_EQ(HeldName(1, "1.5.3.3"), "CX");  // parent: child-exclusive
+  EXPECT_EQ(HeldName(1, "1.5.3"), "IX");
+  EXPECT_EQ(HeldName(1, "1"), "IX");
+}
+
+TEST_F(LockManagerTest, LockDepthCollapsesDeepAccessesToSubtreeLocks) {
+  // Paper Fig. 3b: lock depth 4 — title (paper depth 4) is locked
+  // individually, nodes below collapse to an SR at the depth boundary.
+  auto tx = Tx(1, IsolationLevel::kRepeatable, 4);
+  // Node at paper depth 5 (level 6) collapses to its level-5 ancestor.
+  ASSERT_TRUE(lm_.NodeRead(tx, S("1.5.3.3.3.3")).ok());
+  EXPECT_EQ(HeldName(1, "1.5.3.3.3"), "SR");  // boundary subtree lock
+  EXPECT_EQ(Held(1, "1.5.3.3.3.3"), kNoMode);  // nothing deeper
+  EXPECT_EQ(HeldName(1, "1.5.3.3"), "IR");
+}
+
+TEST_F(LockManagerTest, LockDepthZeroIsADocumentLock) {
+  auto tx = Tx(1, IsolationLevel::kRepeatable, 0);
+  ASSERT_TRUE(lm_.NodeRead(tx, S("1.5.3.3")).ok());
+  EXPECT_EQ(HeldName(1, "1"), "SR");  // one lock on the whole document
+  EXPECT_EQ(protocol_.table().LocksHeldBy(1), 1u);
+  lm_.ReleaseAll(tx);  // the writer below would otherwise block on SR
+  auto tx2 = Tx(2, IsolationLevel::kRepeatable, 0);
+  ASSERT_TRUE(lm_.NodeWrite(tx2, S("1.9")).ok());
+  EXPECT_EQ(protocol_.modes().Name(
+                protocol_.table().HeldMode(2, NodeResource(S("1")))),
+            "SX");
+}
+
+TEST_F(LockManagerTest, LevelReadAtBoundaryBecomesTreeRead) {
+  auto tx = Tx(1, IsolationLevel::kRepeatable, 3);
+  // getChildNodes on a node at paper depth 3: children are deeper than
+  // the boundary, so the level lock becomes a subtree lock on the node.
+  ASSERT_TRUE(lm_.LevelRead(tx, S("1.5.3.3")).ok());
+  EXPECT_EQ(HeldName(1, "1.5.3.3"), "SR");
+  // Above the boundary it is a plain LR.
+  auto tx2 = Tx(2, IsolationLevel::kRepeatable, 3);
+  ASSERT_TRUE(lm_.LevelRead(tx2, S("1.5")).ok());
+  EXPECT_EQ(protocol_.modes().Name(
+                protocol_.table().HeldMode(2, NodeResource(S("1.5")))),
+            "LR");
+}
+
+TEST_F(LockManagerTest, EdgeLocksCollapseAtTheBoundary) {
+  auto tx = Tx(1, IsolationLevel::kRepeatable, 2);
+  // Edge of a node at paper depth 3 > 2: covered by the subtree lock.
+  ASSERT_TRUE(lm_.EdgeShared(tx, S("1.5.3.3"), EdgeKind::kNextSibling).ok());
+  EXPECT_EQ(HeldName(1, "1.5.3"), "SR");
+  // Edge of a shallow node stays an edge lock.
+  auto tx2 = Tx(2, IsolationLevel::kRepeatable, 2);
+  ASSERT_TRUE(lm_.EdgeShared(tx2, S("1.5"), EdgeKind::kFirstChild).ok());
+  EXPECT_EQ(protocol_.modes().Name(protocol_.table().HeldMode(
+                2, EdgeResource(S("1.5"), EdgeKind::kFirstChild))),
+            "ES");
+}
+
+TEST_F(LockManagerTest, Fig3bScenarioEndToEnd) {
+  // Reproduces the paper's running example (Fig. 3b) at lock depth 4:
+  // T1 jumps to book 1.5.3.3, reads title subtree; T2 jumps to the same
+  // book, subtree-reads history, then converts to SX for the insertion —
+  // NR on book must become CX and the IRs must become IX.
+  auto t1 = Tx(1, IsolationLevel::kRepeatable, 4);
+  ASSERT_TRUE(lm_.NodeRead(t1, S("1.5.3.3"), AccessKind::kJump).ok());
+  ASSERT_TRUE(lm_.NodeRead(t1, S("1.5.3.3.3.3")).ok());  // under title
+  EXPECT_EQ(HeldName(1, "1.5.3.3.3"), "SR");             // SR on title
+
+  auto t2 = Tx(2, IsolationLevel::kRepeatable, 4);
+  ASSERT_TRUE(lm_.NodeRead(t2, S("1.5.3.3"), AccessKind::kJump).ok());
+  ASSERT_TRUE(lm_.TreeRead(t2, S("1.5.3.3.11")).ok());  // SR on history
+  // Now T2 lends the book: write below history collapses to SX on it.
+  ASSERT_TRUE(lm_.TreeWrite(t2, S("1.5.3.3.11.5")).ok());
+  const ModeTable& m = protocol_.modes();
+  EXPECT_EQ(m.Name(protocol_.table().HeldMode(
+                2, NodeResource(S("1.5.3.3.11")))),
+            "SX");
+  // taDOM2 would convert NR + CX to plain CX (giving up the node read);
+  // taDOM3+'s combination mode NRCX keeps both — exactly the refinement
+  // the '+' variants add.
+  EXPECT_EQ(m.Name(protocol_.table().HeldMode(2, NodeResource(S("1.5.3.3")))),
+            "NRCX");
+  EXPECT_EQ(m.Name(protocol_.table().HeldMode(2, NodeResource(S("1.5.3")))),
+            "IX");
+  EXPECT_EQ(m.Name(protocol_.table().HeldMode(2, NodeResource(S("1")))),
+            "IX");
+  // T1's SR on title coexists with T2's CX on book (different subtrees).
+  EXPECT_EQ(HeldName(1, "1.5.3.3.3"), "SR");
+}
+
+}  // namespace
+}  // namespace xtc

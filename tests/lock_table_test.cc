@@ -1,0 +1,236 @@
+// Lock table tests: grants, conflicts, conversions, durations, blocking,
+// deadlock detection, timeouts.
+
+#include "lock/lock_table.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace xtc {
+namespace {
+
+/// Shared fixture: the classic IS/IX/S/X table.
+class LockTableTest : public ::testing::Test {
+ protected:
+  LockTableTest() {
+    is_ = modes_.AddMode("IS");
+    ix_ = modes_.AddMode("IX");
+    s_ = modes_.AddMode("S");
+    x_ = modes_.AddMode("X");
+    modes_.SetCompatRow(is_, "+ + + -");
+    modes_.SetCompatRow(ix_, "+ + - -");
+    modes_.SetCompatRow(s_, "+ - + -");
+    modes_.SetCompatRow(x_, "- - - -");
+    EXPECT_TRUE(modes_.DeriveMissingConversions().ok());
+    LockTableOptions options;
+    options.wait_timeout = Millis(300);
+    table_ = std::make_unique<LockTable>(&modes_, options);
+  }
+
+  ModeTable modes_;
+  ModeId is_, ix_, s_, x_;
+  std::unique_ptr<LockTable> table_;
+};
+
+TEST_F(LockTableTest, CompatibleGrantsDoNotBlock) {
+  EXPECT_TRUE(table_->Lock(1, "r", s_, LockDuration::kCommit).status.ok());
+  EXPECT_TRUE(table_->Lock(2, "r", s_, LockDuration::kCommit).status.ok());
+  EXPECT_TRUE(table_->Lock(3, "r", is_, LockDuration::kCommit).status.ok());
+  EXPECT_EQ(table_->HeldMode(1, "r"), s_);
+  EXPECT_EQ(table_->NumLockedResources(), 1u);
+  EXPECT_EQ(table_->LocksHeldBy(1), 1u);
+}
+
+TEST_F(LockTableTest, ReacquireSameModeIsCheap) {
+  EXPECT_TRUE(table_->Lock(1, "r", s_, LockDuration::kCommit).status.ok());
+  EXPECT_TRUE(table_->Lock(1, "r", s_, LockDuration::kCommit).status.ok());
+  EXPECT_EQ(table_->LocksHeldBy(1), 1u);
+  LockTableStats stats = table_->GetStats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.immediate_grants, 2u);
+  EXPECT_EQ(stats.waits, 0u);
+}
+
+TEST_F(LockTableTest, ConversionUpgradesHeldMode) {
+  EXPECT_TRUE(table_->Lock(1, "r", is_, LockDuration::kCommit).status.ok());
+  EXPECT_TRUE(table_->Lock(1, "r", x_, LockDuration::kCommit).status.ok());
+  EXPECT_EQ(table_->HeldMode(1, "r"), x_);
+  EXPECT_EQ(table_->GetStats().conversions, 1u);
+}
+
+TEST_F(LockTableTest, IncompatibleRequestTimesOut) {
+  EXPECT_TRUE(table_->Lock(1, "r", x_, LockDuration::kCommit).status.ok());
+  auto out = table_->Lock(2, "r", s_, LockDuration::kCommit);
+  EXPECT_EQ(out.status.code(), StatusCode::kLockTimeout);
+  EXPECT_EQ(table_->GetStats().timeouts, 1u);
+}
+
+TEST_F(LockTableTest, ReleaseAllWakesWaiters) {
+  ASSERT_TRUE(table_->Lock(1, "r", x_, LockDuration::kCommit).status.ok());
+  std::atomic<bool> granted{false};
+  std::thread waiter([&]() {
+    auto out = table_->Lock(2, "r", s_, LockDuration::kCommit);
+    if (out.status.ok()) granted = true;
+  });
+  SleepFor(Millis(30));
+  EXPECT_FALSE(granted.load());
+  table_->ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_EQ(table_->HeldMode(2, "r"), s_);
+  EXPECT_EQ(table_->HeldMode(1, "r"), kNoMode);
+}
+
+TEST_F(LockTableTest, EndOperationReleasesOnlyShortLocks) {
+  ASSERT_TRUE(table_->Lock(1, "short", s_, LockDuration::kOperation).status.ok());
+  ASSERT_TRUE(table_->Lock(1, "long", s_, LockDuration::kCommit).status.ok());
+  table_->EndOperation(1);
+  EXPECT_EQ(table_->HeldMode(1, "short"), kNoMode);
+  EXPECT_EQ(table_->HeldMode(1, "long"), s_);
+  EXPECT_EQ(table_->LocksHeldBy(1), 1u);
+}
+
+TEST_F(LockTableTest, MixedDurationDowngradesToLongComponent) {
+  // Short S + long X: after EndOperation the X must remain.
+  ASSERT_TRUE(table_->Lock(1, "r", s_, LockDuration::kOperation).status.ok());
+  ASSERT_TRUE(table_->Lock(1, "r", x_, LockDuration::kCommit).status.ok());
+  EXPECT_EQ(table_->HeldMode(1, "r"), x_);
+  table_->EndOperation(1);
+  EXPECT_EQ(table_->HeldMode(1, "r"), x_);
+  // Long S + short X: after EndOperation only S remains and readers can
+  // enter again.
+  ASSERT_TRUE(table_->Lock(2, "q", s_, LockDuration::kCommit).status.ok());
+  ASSERT_TRUE(table_->Lock(2, "q", x_, LockDuration::kOperation).status.ok());
+  EXPECT_EQ(table_->HeldMode(2, "q"), x_);
+  table_->EndOperation(2);
+  EXPECT_EQ(table_->HeldMode(2, "q"), s_);
+  EXPECT_TRUE(table_->Lock(3, "q", s_, LockDuration::kCommit).status.ok());
+}
+
+TEST_F(LockTableTest, TwoTransactionConversionDeadlockDetected) {
+  // Both hold S and both request X: the second requester closes the
+  // cycle and becomes the victim.
+  ASSERT_TRUE(table_->Lock(1, "r", s_, LockDuration::kCommit).status.ok());
+  ASSERT_TRUE(table_->Lock(2, "r", s_, LockDuration::kCommit).status.ok());
+  std::atomic<int> t1_result{-1};
+  std::thread t1([&]() {
+    auto out = table_->Lock(1, "r", x_, LockDuration::kCommit);
+    t1_result = out.status.ok() ? 1 : 0;
+    if (out.status.ok()) table_->ReleaseAll(1);
+  });
+  SleepFor(Millis(50));  // let t1 block on t2's S
+  auto out2 = table_->Lock(2, "r", x_, LockDuration::kCommit);
+  EXPECT_EQ(out2.status.code(), StatusCode::kDeadlock);
+  table_->ReleaseAll(2);  // victim aborts; t1 proceeds
+  t1.join();
+  EXPECT_EQ(t1_result.load(), 1);
+  LockTableStats stats = table_->GetStats();
+  EXPECT_EQ(stats.deadlocks, 1u);
+  EXPECT_EQ(stats.conversion_deadlocks, 1u);
+}
+
+TEST_F(LockTableTest, CrossResourceDeadlockDetected) {
+  // T1 holds a, T2 holds b; T1 requests b, T2 requests a.
+  ASSERT_TRUE(table_->Lock(1, "a", x_, LockDuration::kCommit).status.ok());
+  ASSERT_TRUE(table_->Lock(2, "b", x_, LockDuration::kCommit).status.ok());
+  std::thread t1([&]() {
+    auto out = table_->Lock(1, "b", x_, LockDuration::kCommit);
+    if (out.status.ok()) table_->ReleaseAll(1);
+  });
+  SleepFor(Millis(50));
+  auto out2 = table_->Lock(2, "a", x_, LockDuration::kCommit);
+  EXPECT_EQ(out2.status.code(), StatusCode::kDeadlock);
+  EXPECT_EQ(table_->GetStats().conversion_deadlocks, 0u);
+  table_->ReleaseAll(2);
+  t1.join();
+  table_->ReleaseAll(1);
+}
+
+TEST_F(LockTableTest, FifoFairnessPreventsReaderStarvation) {
+  // Holder S; writer X queues; a later reader must wait behind the
+  // writer instead of overtaking it forever.
+  ASSERT_TRUE(table_->Lock(1, "r", s_, LockDuration::kCommit).status.ok());
+  std::atomic<bool> writer_granted{false}, reader_granted{false};
+  std::thread writer([&]() {
+    auto out = table_->Lock(2, "r", x_, LockDuration::kCommit);
+    if (out.status.ok()) {
+      writer_granted = true;
+      SleepFor(Millis(20));
+      table_->ReleaseAll(2);
+    }
+  });
+  SleepFor(Millis(30));
+  std::thread reader([&]() {
+    auto out = table_->Lock(3, "r", s_, LockDuration::kCommit);
+    if (out.status.ok()) {
+      // The writer must have run first.
+      EXPECT_TRUE(writer_granted.load());
+      reader_granted = true;
+    }
+  });
+  SleepFor(Millis(30));
+  EXPECT_FALSE(reader_granted.load());
+  table_->ReleaseAll(1);  // unblocks writer, then reader
+  writer.join();
+  reader.join();
+  EXPECT_TRUE(writer_granted.load());
+  EXPECT_TRUE(reader_granted.load());
+}
+
+TEST_F(LockTableTest, ManyThreadsSharedExclusiveStress) {
+  constexpr int kThreads = 16;
+  constexpr int kRounds = 200;
+  std::atomic<int> in_exclusive{0};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int r = 0; r < kRounds; ++r) {
+        uint64_t tx = static_cast<uint64_t>(t * kRounds + r + 1000);
+        bool exclusive = (r % 5 == 0);
+        auto out = table_->Lock(tx, "hot", exclusive ? x_ : s_,
+                                LockDuration::kCommit);
+        if (out.status.ok()) {
+          if (exclusive) {
+            if (in_exclusive.fetch_add(1) != 0) ++violations;
+            in_exclusive.fetch_sub(1);
+          }
+          table_->ReleaseAll(tx);
+        } else {
+          table_->ReleaseAll(tx);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(table_->NumLockedResources(), 0u);
+}
+
+TEST_F(LockTableTest, AsymmetricCompatibilityRespected) {
+  // Build a U-style asymmetric table: held U admits R, held R denies U
+  // (the convention printed in the paper's URIX matrix).
+  ModeTable m;
+  ModeId r = m.AddMode("R");
+  ModeId u = m.AddMode("U");
+  m.SetCompatible(r, r, true);
+  m.SetCompatible(r, u, false);  // held R, requested U -> deny
+  m.SetCompatible(u, r, true);   // held U, requested R -> allow
+  m.SetCompatible(u, u, false);
+  ASSERT_TRUE(m.DeriveMissingConversions().ok());
+  LockTableOptions options;
+  options.wait_timeout = Millis(100);
+  LockTable t(&m, options);
+  ASSERT_TRUE(t.Lock(1, "r", u, LockDuration::kCommit).status.ok());
+  EXPECT_TRUE(t.Lock(2, "r", r, LockDuration::kCommit).status.ok());
+  t.ReleaseAll(1);
+  t.ReleaseAll(2);
+  ASSERT_TRUE(t.Lock(3, "r", r, LockDuration::kCommit).status.ok());
+  EXPECT_EQ(t.Lock(4, "r", u, LockDuration::kCommit).status.code(),
+            StatusCode::kLockTimeout);
+}
+
+}  // namespace
+}  // namespace xtc

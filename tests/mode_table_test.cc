@@ -1,0 +1,160 @@
+// Unit tests for ModeTable: compatibility, strength ordering, conversion
+// derivation and combination modes.
+
+#include "lock/mode_table.h"
+
+#include <gtest/gtest.h>
+
+namespace xtc {
+namespace {
+
+// A miniature IS/IX/S/X hierarchy.
+class MiniMgl : public ::testing::Test {
+ protected:
+  MiniMgl() {
+    is_ = t_.AddMode("IS");
+    ix_ = t_.AddMode("IX");
+    s_ = t_.AddMode("S");
+    x_ = t_.AddMode("X");
+    t_.SetCompatRow(is_, "+ + + -");
+    t_.SetCompatRow(ix_, "+ + - -");
+    t_.SetCompatRow(s_, "+ - + -");
+    t_.SetCompatRow(x_, "- - - -");
+    EXPECT_TRUE(t_.DeriveMissingConversions().ok());
+  }
+  ModeTable t_;
+  ModeId is_, ix_, s_, x_;
+};
+
+TEST_F(MiniMgl, CompatibilityBasics) {
+  EXPECT_TRUE(t_.Compatible(is_, ix_));
+  EXPECT_FALSE(t_.Compatible(s_, ix_));
+  EXPECT_FALSE(t_.Compatible(x_, x_));
+  // kNoMode is compatible with everything.
+  EXPECT_TRUE(t_.Compatible(kNoMode, x_));
+  EXPECT_TRUE(t_.Compatible(x_, kNoMode));
+}
+
+TEST_F(MiniMgl, StrengthOrdering) {
+  EXPECT_TRUE(t_.AtLeastAsStrong(x_, s_));
+  EXPECT_TRUE(t_.AtLeastAsStrong(x_, ix_));
+  EXPECT_TRUE(t_.AtLeastAsStrong(s_, is_));
+  EXPECT_TRUE(t_.AtLeastAsStrong(ix_, is_));
+  EXPECT_FALSE(t_.AtLeastAsStrong(is_, s_));
+  EXPECT_FALSE(t_.AtLeastAsStrong(s_, ix_));
+  EXPECT_TRUE(t_.AtLeastAsStrong(s_, s_));
+}
+
+TEST_F(MiniMgl, DerivedConversions) {
+  // Identity.
+  EXPECT_EQ(t_.Convert(s_, s_).result, s_);
+  // Covered pairs resolve to the stronger mode.
+  EXPECT_EQ(t_.Convert(is_, x_).result, x_);
+  EXPECT_EQ(t_.Convert(x_, is_).result, x_);
+  EXPECT_EQ(t_.Convert(is_, s_).result, s_);
+  // S + IX has no cover among {IS,IX,S,X} except X (the classical SIX
+  // would be the better target if declared).
+  EXPECT_EQ(t_.Convert(s_, ix_).result, x_);
+  // No-lock edge cases.
+  EXPECT_EQ(t_.Convert(kNoMode, s_).result, s_);
+  EXPECT_EQ(t_.Convert(s_, kNoMode).result, s_);
+}
+
+TEST_F(MiniMgl, NamesAndLookup) {
+  EXPECT_EQ(t_.Name(s_), "S");
+  EXPECT_EQ(t_.Name(kNoMode), "-");
+  EXPECT_EQ(t_.Find("IX"), ix_);
+  EXPECT_EQ(t_.Find("nope"), kNoMode);
+  EXPECT_EQ(t_.num_modes(), 4);
+}
+
+TEST(ModeTableCombined, SixEmergesFromCombination) {
+  ModeTable t;
+  ModeId is = t.AddMode("IS");
+  ModeId ix = t.AddMode("IX");
+  ModeId s = t.AddMode("S");
+  ModeId x = t.AddMode("X");
+  t.SetCompatRow(is, "+ + + -");
+  t.SetCompatRow(ix, "+ + - -");
+  t.SetCompatRow(s, "+ - + -");
+  t.SetCompatRow(x, "- - - -");
+  ModeId six = t.AddCombinedMode("SIX", s, ix);
+  ASSERT_TRUE(t.DeriveMissingConversions().ok());
+  // SIX compatibility = S ∧ IX = {IS} only.
+  EXPECT_TRUE(t.Compatible(six, is));
+  EXPECT_FALSE(t.Compatible(six, ix));
+  EXPECT_FALSE(t.Compatible(six, s));
+  EXPECT_FALSE(t.Compatible(six, six));
+  // The derivation now picks SIX over X for S + IX.
+  EXPECT_EQ(t.Convert(s, ix).result, six);
+  EXPECT_EQ(t.Convert(ix, s).result, six);
+  // SIX escalates to X when X is requested.
+  EXPECT_EQ(t.Convert(six, x).result, x);
+  EXPECT_TRUE(t.AtLeastAsStrong(six, s));
+  EXPECT_TRUE(t.AtLeastAsStrong(six, ix));
+}
+
+TEST(ModeTableCombined, CombinationCoversBothComponentsAlways) {
+  // Property: a∧b is at least as strong as a and as b, for every pair in
+  // a randomized asymmetric table.
+  ModeTable t;
+  ModeId m[5];
+  for (int i = 0; i < 5; ++i) m[i] = t.AddMode("M" + std::to_string(i));
+  uint32_t bits = 0x2B67A;  // arbitrary fixed pattern, asymmetric
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      t.SetCompatible(m[i], m[j], ((bits >> (i * 5 + j)) & 1u) != 0);
+    }
+  }
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      ModeId combo = t.AddCombinedMode(
+          "C" + std::to_string(i) + std::to_string(j), m[i], m[j]);
+      EXPECT_TRUE(t.AtLeastAsStrong(combo, m[i]));
+      EXPECT_TRUE(t.AtLeastAsStrong(combo, m[j]));
+    }
+  }
+}
+
+TEST(ModeTableConversion, ExplicitEntriesWinOverDerivation) {
+  ModeTable t;
+  ModeId r = t.AddMode("R");
+  ModeId x = t.AddMode("X");
+  t.SetCompatRow(r, "+ -");
+  t.SetCompatRow(x, "- -");
+  t.SetConversion(r, x, x, /*children_mode=*/r);  // a CX_NR-style rule
+  ASSERT_TRUE(t.DeriveMissingConversions().ok());
+  Conversion c = t.Convert(r, x);
+  EXPECT_EQ(c.result, x);
+  EXPECT_EQ(c.children_mode, r);
+  // The derived reverse direction has no side effect.
+  EXPECT_EQ(t.Convert(x, r).result, x);
+  EXPECT_EQ(t.Convert(x, r).children_mode, kNoMode);
+}
+
+TEST(ModeTableConversion, ConversionNeverWeakens) {
+  // Property over the mini-MGL lattice: convert(a, b) is at least as
+  // strong as both inputs.
+  ModeTable t;
+  ModeId is = t.AddMode("IS");
+  ModeId ix = t.AddMode("IX");
+  ModeId s = t.AddMode("S");
+  ModeId x = t.AddMode("X");
+  t.SetCompatRow(is, "+ + + -");
+  t.SetCompatRow(ix, "+ + - -");
+  t.SetCompatRow(s, "+ - + -");
+  t.SetCompatRow(x, "- - - -");
+  ASSERT_TRUE(t.DeriveMissingConversions().ok());
+  for (ModeId a = 1; a <= 4; ++a) {
+    for (ModeId b = 1; b <= 4; ++b) {
+      ModeId c = t.Convert(a, b).result;
+      EXPECT_TRUE(t.AtLeastAsStrong(c, a))
+          << t.Name(a) << "+" << t.Name(b) << "->" << t.Name(c);
+      EXPECT_TRUE(t.AtLeastAsStrong(c, b))
+          << t.Name(a) << "+" << t.Name(b) << "->" << t.Name(c);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xtc

@@ -1,0 +1,256 @@
+// Tests for the transactional DOM API: locking side effects, undo on
+// abort, cross-transaction blocking and deadlock victims.
+
+#include "node/node_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "protocols/protocol_registry.h"
+#include "tx/transaction_manager.h"
+
+namespace xtc {
+namespace {
+
+SubtreeSpec SmallBib() {
+  SubtreeSpec bib{"bib", {}, "", {}};
+  SubtreeSpec topic{"topic", {{"id", "t0"}}, "", {}};
+  SubtreeSpec book{"book", {{"id", "b0"}}, "", {}};
+  book.children.push_back(SubtreeSpec{"title", {}, "Original Title", {}});
+  book.children.push_back(SubtreeSpec{"author", {}, "Gray", {}});
+  SubtreeSpec history{"history", {}, "", {}};
+  history.children.push_back(
+      SubtreeSpec{"lend", {{"person", "p1"}, {"return", "2006-09"}}, "", {}});
+  book.children.push_back(std::move(history));
+  topic.children.push_back(std::move(book));
+  bib.children.push_back(std::move(topic));
+  return bib;
+}
+
+class NodeManagerTest : public ::testing::TestWithParam<std::string_view> {
+ protected:
+  NodeManagerTest() {
+    EXPECT_TRUE(doc_.BuildFromSpec(SmallBib()).ok());
+    LockTableOptions options;
+    options.wait_timeout = Millis(400);
+    protocol_ = CreateProtocol(GetParam(), options);
+    EXPECT_NE(protocol_, nullptr);
+    lm_ = std::make_unique<LockManager>(protocol_.get());
+    tm_ = std::make_unique<TransactionManager>(lm_.get());
+    nm_ = std::make_unique<NodeManager>(&doc_, lm_.get());
+  }
+
+  std::unique_ptr<Transaction> Begin(
+      IsolationLevel iso = IsolationLevel::kRepeatable, int depth = 7) {
+    return tm_->Begin(iso, depth);
+  }
+
+  Splid Book(Transaction& tx) {
+    auto b = nm_->GetElementById(tx, "b0");
+    EXPECT_TRUE(b.ok() && b->has_value());
+    return **b;
+  }
+
+  Document doc_;
+  std::unique_ptr<XmlProtocol> protocol_;
+  std::unique_ptr<LockManager> lm_;
+  std::unique_ptr<TransactionManager> tm_;
+  std::unique_ptr<NodeManager> nm_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Contest, NodeManagerTest,
+                         ::testing::ValuesIn(AllProtocolNames()),
+                         [](const auto& info) {
+                           std::string n(info.param);
+                           for (char& c : n) {
+                             if (c == '+') c = 'p';
+                           }
+                           return n;
+                         });
+
+TEST_P(NodeManagerTest, NavigationalReadWorkflow) {
+  auto tx = Begin();
+  Splid book = Book(*tx);
+  auto attrs = nm_->GetAttributes(*tx, book);
+  ASSERT_TRUE(attrs.ok());
+  ASSERT_EQ(attrs->size(), 1u);
+  EXPECT_EQ((*attrs)[0].first, "id");
+  EXPECT_EQ((*attrs)[0].second, "b0");
+
+  auto title = nm_->GetFirstChild(*tx, book);
+  ASSERT_TRUE(title.ok() && title->has_value());
+  auto text = nm_->GetFirstChild(*tx, (*title)->splid);
+  ASSERT_TRUE(text.ok() && text->has_value());
+  auto content = nm_->GetTextContent(*tx, (*text)->splid);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "Original Title");
+
+  auto author = nm_->GetNextSibling(*tx, (*title)->splid);
+  ASSERT_TRUE(author.ok() && author->has_value());
+  auto back = nm_->GetPreviousSibling(*tx, (*author)->splid);
+  ASSERT_TRUE(back.ok() && back->has_value());
+  EXPECT_EQ((*back)->splid, (*title)->splid);
+  auto parent = nm_->GetParent(*tx, (*title)->splid);
+  ASSERT_TRUE(parent.ok() && parent->has_value());
+  EXPECT_EQ((*parent)->splid, book);
+  auto children = nm_->GetChildNodes(*tx, book);
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(children->size(), 3u);
+  ASSERT_TRUE(tm_->Commit(*tx).ok());
+  EXPECT_EQ(protocol_->table().LocksHeldBy(tx->id()), 0u);
+}
+
+TEST_P(NodeManagerTest, UpdateTextCommitAndAbort) {
+  Splid text_node;
+  {
+    auto tx = Begin();
+    Splid book = Book(*tx);
+    auto title = nm_->GetFirstChild(*tx, book);
+    auto text = nm_->GetFirstChild(*tx, (*title)->splid);
+    text_node = (*text)->splid;
+    ASSERT_TRUE(nm_->UpdateText(*tx, text_node, "Committed Title").ok());
+    ASSERT_TRUE(tm_->Commit(*tx).ok());
+  }
+  {
+    auto tx = Begin();
+    auto content = nm_->GetTextContent(*tx, text_node);
+    ASSERT_TRUE(content.ok());
+    EXPECT_EQ(*content, "Committed Title");
+    ASSERT_TRUE(nm_->UpdateText(*tx, text_node, "Aborted Title").ok());
+    ASSERT_TRUE(tm_->Abort(*tx).ok());
+  }
+  auto tx = Begin();
+  auto content = nm_->GetTextContent(*tx, text_node);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "Committed Title");  // undo restored it
+  ASSERT_TRUE(tm_->Commit(*tx).ok());
+}
+
+TEST_P(NodeManagerTest, RenameCommitAndAbort) {
+  auto t0 = Begin();
+  auto topic = nm_->GetElementById(*t0, "t0");
+  ASSERT_TRUE(topic.ok() && topic->has_value());
+  Splid topic_id = **topic;
+  ASSERT_TRUE(tm_->Commit(*t0).ok());
+
+  auto tx = Begin();
+  ASSERT_TRUE(nm_->Rename(*tx, topic_id, "subject").ok());
+  ASSERT_TRUE(tm_->Abort(*tx).ok());
+  EXPECT_EQ(doc_.ElementsByName("subject").size(), 0u);
+  EXPECT_EQ(doc_.ElementsByName("topic").size(), 1u);
+
+  auto tx2 = Begin();
+  ASSERT_TRUE(nm_->Rename(*tx2, topic_id, "subject").ok());
+  ASSERT_TRUE(tm_->Commit(*tx2).ok());
+  EXPECT_EQ(doc_.ElementsByName("subject").size(), 1u);
+}
+
+TEST_P(NodeManagerTest, AppendSubtreeCommitAndAbort) {
+  auto tx = Begin();
+  Splid book = Book(*tx);
+  auto history = nm_->GetLastChild(*tx, book);
+  ASSERT_TRUE(history.ok() && history->has_value());
+  SubtreeSpec lend{"lend", {{"person", "p9"}, {"return", "2007-01"}}, "", {}};
+  auto added = nm_->AppendSubtree(*tx, (*history)->splid, lend);
+  ASSERT_TRUE(added.ok());
+  EXPECT_TRUE(doc_.Exists(*added));
+  ASSERT_TRUE(tm_->Abort(*tx).ok());
+  EXPECT_FALSE(doc_.Exists(*added));
+  EXPECT_EQ(doc_.ElementsByName("lend").size(), 1u);
+
+  auto tx2 = Begin();
+  auto history2 = nm_->GetLastChild(*tx2, Book(*tx2));
+  auto added2 = nm_->AppendSubtree(*tx2, (*history2)->splid, lend);
+  ASSERT_TRUE(added2.ok());
+  ASSERT_TRUE(tm_->Commit(*tx2).ok());
+  EXPECT_TRUE(doc_.Exists(*added2));
+  EXPECT_EQ(doc_.ElementsByName("lend").size(), 2u);
+}
+
+TEST_P(NodeManagerTest, DeleteSubtreeCommitAndAbort) {
+  const uint64_t nodes_before = doc_.num_nodes();
+  {
+    auto tx = Begin();
+    Splid book = Book(*tx);
+    ASSERT_TRUE(nm_->DeleteSubtree(*tx, book).ok());
+    EXPECT_FALSE(doc_.LookupId("b0").has_value());
+    ASSERT_TRUE(tm_->Abort(*tx).ok());
+  }
+  EXPECT_EQ(doc_.num_nodes(), nodes_before);
+  EXPECT_TRUE(doc_.LookupId("b0").has_value());
+  {
+    auto tx = Begin();
+    Splid book = Book(*tx);
+    ASSERT_TRUE(nm_->DeleteSubtree(*tx, book).ok());
+    ASSERT_TRUE(tm_->Commit(*tx).ok());
+  }
+  EXPECT_FALSE(doc_.LookupId("b0").has_value());
+  EXPECT_LT(doc_.num_nodes(), nodes_before);
+}
+
+TEST_P(NodeManagerTest, WriterBlocksConflictingWriterUntilCommit) {
+  auto t1 = Begin();
+  Splid book = Book(*t1);
+  auto title1 = nm_->GetFirstChild(*t1, book);
+  auto text1 = nm_->GetFirstChild(*t1, (*title1)->splid);
+  Splid text_node = (*text1)->splid;
+  ASSERT_TRUE(nm_->UpdateText(*t1, text_node, "T1 was here").ok());
+
+  std::atomic<bool> t2_done{false};
+  std::atomic<bool> t2_ok{false};
+  std::thread other([&]() {
+    auto t2 = Begin();
+    Status st = nm_->UpdateText(*t2, text_node, "T2 was here");
+    if (st.ok()) {
+      t2_ok = tm_->Commit(*t2).ok();
+    } else {
+      (void)tm_->Abort(*t2);
+    }
+    t2_done = true;
+  });
+  SleepFor(Millis(60));
+  EXPECT_FALSE(t2_done.load());  // blocked on T1's exclusive lock
+  ASSERT_TRUE(tm_->Commit(*t1).ok());
+  other.join();
+  EXPECT_TRUE(t2_done.load());
+  EXPECT_TRUE(t2_ok.load());
+  auto check = Begin();
+  auto content = nm_->GetTextContent(*check, text_node);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "T2 was here");
+  ASSERT_TRUE(tm_->Commit(*check).ok());
+}
+
+TEST_P(NodeManagerTest, ConcurrentReadersDoNotBlock) {
+  auto t1 = Begin();
+  auto t2 = Begin();
+  Splid b1 = Book(*t1);
+  Splid b2 = Book(*t2);
+  auto c1 = nm_->GetChildNodes(*t1, b1);
+  auto c2 = nm_->GetChildNodes(*t2, b2);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  ASSERT_TRUE(tm_->Commit(*t1).ok());
+  ASSERT_TRUE(tm_->Commit(*t2).ok());
+  EXPECT_EQ(protocol_->table().GetStats().waits, 0u);
+}
+
+TEST_P(NodeManagerTest, IsolationNoneNeverBlocks) {
+  auto t1 = Begin(IsolationLevel::kRepeatable);
+  Splid book = Book(*t1);
+  auto title = nm_->GetFirstChild(*t1, book);
+  auto text = nm_->GetFirstChild(*t1, (*title)->splid);
+  ASSERT_TRUE(nm_->UpdateText(*t1, (*text)->splid, "locked").ok());
+  // A none-isolation transaction reads right through the write lock.
+  auto t2 = Begin(IsolationLevel::kNone);
+  auto content = nm_->GetTextContent(*t2, (*text)->splid);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "locked");  // sees the uncommitted write
+  ASSERT_TRUE(tm_->Commit(*t2).ok());
+  ASSERT_TRUE(tm_->Abort(*t1).ok());
+}
+
+}  // namespace
+}  // namespace xtc

@@ -1,0 +1,211 @@
+// Golden tests for each protocol's meta-lock mapping: which concrete
+// locks land on which resources for each meta request (paper §2).
+
+#include <gtest/gtest.h>
+
+#include "lock/lock_manager.h"
+#include "protocols/protocol_registry.h"
+
+namespace xtc {
+namespace {
+
+Splid S(const char* text) { return *Splid::Parse(text); }
+
+class MappingFixture {
+ public:
+  explicit MappingFixture(std::string_view name)
+      : protocol(CreateProtocol(name)), lm(protocol.get()) {}
+
+  TxLockView Tx(uint64_t id) { return {id, IsolationLevel::kRepeatable, 10}; }
+
+  std::string Node(uint64_t tx, const char* splid) {
+    return std::string(protocol->table().modes().Name(
+        protocol->table().HeldMode(tx, NodeResource(S(splid)))));
+  }
+  std::string Content(uint64_t tx, const char* splid) {
+    std::string r(1, 'C');
+    r += S(splid).Encode();
+    return std::string(
+        protocol->table().modes().Name(protocol->table().HeldMode(tx, r)));
+  }
+  std::string Jump(uint64_t tx, const char* splid) {
+    std::string r(1, 'D');
+    r += S(splid).Encode();
+    return std::string(
+        protocol->table().modes().Name(protocol->table().HeldMode(tx, r)));
+  }
+  std::string Edge(uint64_t tx, const char* splid, EdgeKind kind) {
+    return std::string(protocol->table().modes().Name(
+        protocol->table().HeldMode(tx, EdgeResource(S(splid), kind))));
+  }
+
+  std::unique_ptr<XmlProtocol> protocol;
+  LockManager lm;
+};
+
+// --------------------------------------------------------------------------
+// taDOM2 (Fig. 3b placements are covered in lock_manager_test for 3+).
+// --------------------------------------------------------------------------
+
+TEST(TaDom2Mapping, ReadWriteAndLevelPlacement) {
+  MappingFixture f("taDOM2");
+  auto tx = f.Tx(1);
+  ASSERT_TRUE(f.lm.NodeRead(tx, S("1.5.3")).ok());
+  EXPECT_EQ(f.Node(1, "1.5.3"), "NR");
+  EXPECT_EQ(f.Node(1, "1.5"), "IR");
+  EXPECT_EQ(f.Node(1, "1"), "IR");
+  ASSERT_TRUE(f.lm.LevelRead(tx, S("1.5.3")).ok());
+  EXPECT_EQ(f.Node(1, "1.5.3"), "LR");
+  // taDOM2 has no node-only X: NodeWrite takes the subtree-exclusive SX.
+  auto tx2 = f.Tx(2);
+  ASSERT_TRUE(f.lm.NodeWrite(tx2, S("1.7.3")).ok());
+  EXPECT_EQ(f.Node(2, "1.7.3"), "SX");
+  EXPECT_EQ(f.Node(2, "1.7"), "CX");
+  EXPECT_EQ(f.Node(2, "1"), "IX");
+  // Update intent: SU.
+  auto tx3 = f.Tx(3);
+  ASSERT_TRUE(f.lm.NodeUpdate(tx3, S("1.9")).ok());
+  EXPECT_EQ(f.Node(3, "1.9"), "SU");
+}
+
+TEST(TaDom3Mapping, NodeOnlyModes) {
+  MappingFixture f("taDOM3");
+  auto tx = f.Tx(1);
+  ASSERT_TRUE(f.lm.NodeWrite(tx, S("1.5.3")).ok());
+  EXPECT_EQ(f.Node(1, "1.5.3"), "NX");  // rename locks only the node
+  EXPECT_EQ(f.Node(1, "1.5"), "CX");
+  auto tx2 = f.Tx(2);
+  ASSERT_TRUE(f.lm.NodeUpdate(tx2, S("1.5.5")).ok());
+  EXPECT_EQ(f.Node(2, "1.5.5"), "NU");
+}
+
+// --------------------------------------------------------------------------
+// MGL group: double-role intentions, no level locks, subtree X.
+// --------------------------------------------------------------------------
+
+TEST(MglMapping, IntentionDoubleRole) {
+  for (const char* name : {"IRX", "IRIX", "URIX"}) {
+    MappingFixture f(name);
+    auto tx = f.Tx(1);
+    ASSERT_TRUE(f.lm.NodeRead(tx, S("1.5.3")).ok());
+    // The intention lock itself locks the node (no separate NR).
+    const std::string expected = std::string(name) == "IRX" ? "I" : "IR";
+    EXPECT_EQ(f.Node(1, "1.5.3"), expected) << name;
+    EXPECT_EQ(f.Node(1, "1.5"), expected) << name;
+  }
+}
+
+TEST(MglMapping, WriteLocksWholeSubtree) {
+  MappingFixture f("URIX");
+  auto tx = f.Tx(1);
+  ASSERT_TRUE(f.lm.NodeWrite(tx, S("1.5.3")).ok());
+  EXPECT_EQ(f.Node(1, "1.5.3"), "X");
+  EXPECT_EQ(f.Node(1, "1.5"), "IX");
+  EXPECT_EQ(f.Node(1, "1"), "IX");
+}
+
+TEST(MglMapping, UrixUpdateMode) {
+  MappingFixture f("URIX");
+  auto tx = f.Tx(1);
+  ASSERT_TRUE(f.lm.NodeUpdate(tx, S("1.5")).ok());
+  EXPECT_EQ(f.Node(1, "1.5"), "U");
+  // U converts cleanly to X (Fig. 2 row U).
+  ASSERT_TRUE(f.lm.TreeWrite(tx, S("1.5")).ok());
+  EXPECT_EQ(f.Node(1, "1.5"), "X");
+}
+
+TEST(MglMapping, UrixUsesRealEdgeLocks) {
+  MappingFixture f("URIX");
+  auto tx = f.Tx(1);
+  ASSERT_TRUE(f.lm.EdgeShared(tx, S("1.5"), EdgeKind::kNextSibling).ok());
+  EXPECT_EQ(f.Edge(1, "1.5", EdgeKind::kNextSibling), "ES");
+  // IRIX emulates edges through node locks instead.
+  MappingFixture g("IRIX");
+  auto tx2 = g.Tx(2);
+  ASSERT_TRUE(g.lm.EdgeShared(tx2, S("1.5"), EdgeKind::kNextSibling).ok());
+  EXPECT_EQ(g.Edge(2, "1.5", EdgeKind::kNextSibling), "-");
+  EXPECT_EQ(g.Node(2, "1.5"), "IR");
+}
+
+// --------------------------------------------------------------------------
+// *-2PL group: Fig. 1 lock types on their separate namespaces.
+// --------------------------------------------------------------------------
+
+TEST(TwoPlMapping, Node2PlLocksTheParent) {
+  MappingFixture f("Node2PL");
+  auto tx = f.Tx(1);
+  ASSERT_TRUE(f.lm.NodeRead(tx, S("1.5.3")).ok());
+  EXPECT_EQ(f.Node(1, "1.5"), "T");   // parent of the context node
+  EXPECT_EQ(f.Node(1, "1.5.3"), "-");  // not the node itself
+  ASSERT_TRUE(f.lm.NodeWrite(tx, S("1.5.3")).ok());
+  EXPECT_EQ(f.Node(1, "1.5"), "M");          // T -> M conversion
+  EXPECT_EQ(f.Content(1, "1.5.3"), "CX");    // content lock on the node
+}
+
+TEST(TwoPlMapping, No2PlLocksTheNodeItself) {
+  MappingFixture f("NO2PL");
+  auto tx = f.Tx(1);
+  ASSERT_TRUE(f.lm.NodeRead(tx, S("1.5.3")).ok());
+  EXPECT_EQ(f.Node(1, "1.5.3"), "T");
+  EXPECT_EQ(f.Node(1, "1.5"), "-");
+}
+
+TEST(TwoPlMapping, JumpsUseIdLocks) {
+  for (const char* name : {"Node2PL", "NO2PL", "OO2PL"}) {
+    MappingFixture f(name);
+    auto tx = f.Tx(1);
+    ASSERT_TRUE(
+        f.lm.NodeRead(tx, S("1.5.3"), AccessKind::kJump).ok());
+    EXPECT_EQ(f.Jump(1, "1.5.3"), "IDR") << name;
+    // No ancestor-path protection whatsoever (the group's weakness).
+    EXPECT_EQ(f.Node(1, "1.5"), "-") << name;
+    EXPECT_EQ(f.Node(1, "1"), "-") << name;
+  }
+}
+
+TEST(TwoPlMapping, Oo2PlUsesEdgeAndContentLocks) {
+  MappingFixture f("OO2PL");
+  auto tx = f.Tx(1);
+  ASSERT_TRUE(f.lm.NodeRead(tx, S("1.5.3")).ok());
+  EXPECT_EQ(f.Content(1, "1.5.3"), "CS");
+  ASSERT_TRUE(f.lm.EdgeShared(tx, S("1.5.3"), EdgeKind::kNextSibling).ok());
+  EXPECT_EQ(f.Edge(1, "1.5.3", EdgeKind::kNextSibling), "ER");
+  ASSERT_TRUE(
+      f.lm.EdgeExclusive(tx, S("1.5.3"), EdgeKind::kNextSibling).ok());
+  EXPECT_EQ(f.Edge(1, "1.5.3", EdgeKind::kNextSibling), "EW");
+}
+
+TEST(TwoPlMapping, Node2PlaCombinesParentFocusWithIntentions) {
+  MappingFixture f("Node2PLa");
+  auto tx = f.Tx(1);
+  ASSERT_TRUE(f.lm.NodeRead(tx, S("1.5.3.7"), AccessKind::kJump).ok());
+  EXPECT_EQ(f.Node(1, "1.5.3"), "T");  // parent focus
+  EXPECT_EQ(f.Node(1, "1.5"), "IR");   // URIX-style path protection
+  EXPECT_EQ(f.Node(1, "1"), "IR");
+  // Rename: subtree-modify granule + M on the parent (§5.2).
+  auto tx2 = f.Tx(2);
+  ASSERT_TRUE(f.lm.NodeWrite(tx2, S("1.7.3")).ok());
+  EXPECT_EQ(f.protocol->table().modes().Name(
+                f.protocol->table().HeldMode(2, NodeResource(S("1.7.3")))),
+            "SM");
+  EXPECT_EQ(f.protocol->table().modes().Name(
+                f.protocol->table().HeldMode(2, NodeResource(S("1.7")))),
+            "M");
+}
+
+TEST(TwoPlMapping, LockDepthOnlyForNode2Pla) {
+  EXPECT_FALSE(CreateProtocol("Node2PL")->supports_lock_depth());
+  EXPECT_FALSE(CreateProtocol("NO2PL")->supports_lock_depth());
+  EXPECT_FALSE(CreateProtocol("OO2PL")->supports_lock_depth());
+  EXPECT_TRUE(CreateProtocol("Node2PLa")->supports_lock_depth());
+  // Lock depth is ignored for the originals: a deep node still gets its
+  // individual parent lock, never a subtree collapse.
+  MappingFixture f("Node2PL");
+  TxLockView tx{1, IsolationLevel::kRepeatable, /*lock_depth=*/0};
+  ASSERT_TRUE(f.lm.NodeRead(tx, S("1.5.3.7.9")).ok());
+  EXPECT_EQ(f.Node(1, "1.5.3.7"), "T");
+  EXPECT_EQ(f.Node(1, "1"), "-");
+}
+
+}  // namespace
+}  // namespace xtc

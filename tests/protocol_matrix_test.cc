@@ -1,0 +1,351 @@
+// Pins the protocols' lock-mode matrices to the published ones:
+// Fig. 1 (*-2PL lock types), Fig. 2 (URIX), Fig. 3a / Fig. 4 (taDOM2),
+// and checks structural properties of the machine-derived taDOM2+/3/3+
+// lattices.
+
+#include <gtest/gtest.h>
+
+#include "protocols/mgl_protocols.h"
+#include "protocols/node2pl_family.h"
+#include "protocols/protocol_registry.h"
+#include "protocols/tadom_protocols.h"
+
+namespace xtc {
+namespace {
+
+// --------------------------------------------------------------------------
+// URIX — paper Fig. 2, verbatim (including the asymmetric U column).
+// --------------------------------------------------------------------------
+
+class UrixMatrixTest : public ::testing::Test {
+ protected:
+  UrixMatrixTest() : p_(MglVariant::kUrix) {
+    for (const char* name : {"IR", "IX", "R", "RIX", "U", "X"}) {
+      ids_.push_back(p_.modes().Find(name));
+      EXPECT_NE(ids_.back(), kNoMode) << name;
+    }
+  }
+  MglProtocol p_;
+  std::vector<ModeId> ids_;  // IR IX R RIX U X
+};
+
+TEST_F(UrixMatrixTest, CompatibilityMatchesFig2) {
+  const char* rows[6] = {
+      "+ + + + - -",  // IR
+      "+ + - - - -",  // IX
+      "+ - + - - -",  // R
+      "+ - - - - -",  // RIX
+      "+ - + - - -",  // U
+      "- - - - - -",  // X
+  };
+  for (int h = 0; h < 6; ++h) {
+    int col = 0;
+    for (const char* c = rows[h]; *c; ++c) {
+      if (*c == ' ') continue;
+      EXPECT_EQ(p_.modes().Compatible(ids_[h], ids_[col]), *c == '+')
+          << p_.modes().Name(ids_[h]) << " vs " << p_.modes().Name(ids_[col]);
+      ++col;
+    }
+  }
+}
+
+TEST_F(UrixMatrixTest, ConversionMatchesFig2) {
+  const char* expect[6][6] = {
+      {"IR", "IX", "R", "RIX", "U", "X"},      // held IR
+      {"IX", "IX", "RIX", "RIX", "X", "X"},    // held IX
+      {"R", "RIX", "R", "RIX", "R", "X"},      // held R
+      {"RIX", "RIX", "RIX", "RIX", "X", "X"},  // held RIX
+      {"U", "X", "U", "X", "U", "X"},          // held U
+      {"X", "X", "X", "X", "X", "X"},          // held X
+  };
+  for (int h = 0; h < 6; ++h) {
+    for (int r = 0; r < 6; ++r) {
+      Conversion c = p_.modes().Convert(ids_[h], ids_[r]);
+      EXPECT_EQ(p_.modes().Name(c.result), expect[h][r])
+          << "held " << p_.modes().Name(ids_[h]) << " requested "
+          << p_.modes().Name(ids_[r]);
+      EXPECT_EQ(c.children_mode, kNoMode);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// taDOM2 — Fig. 3a compatibility (symmetric reconstruction) and Fig. 4
+// conversions including the subscripted child-lock side effects.
+// --------------------------------------------------------------------------
+
+class TaDom2MatrixTest : public ::testing::Test {
+ protected:
+  TaDom2MatrixTest() : p_(TaDomVariant::kTaDom2) {}
+  ModeId M(const char* name) {
+    ModeId id = p_.modes().Find(name);
+    EXPECT_NE(id, kNoMode) << name;
+    return id;
+  }
+  TaDomProtocol p_;
+};
+
+TEST_F(TaDom2MatrixTest, CompatibilityMatchesFig3a) {
+  const char* names[8] = {"IR", "NR", "LR", "SR", "IX", "CX", "SU", "SX"};
+  const char* rows[8] = {
+      "+ + + + + + + -",  // IR
+      "+ + + + + + + -",  // NR
+      "+ + + + + - + -",  // LR
+      "+ + + + - - + -",  // SR
+      "+ + + - + + - -",  // IX
+      "+ + - - + + - -",  // CX
+      "+ + + + - - - -",  // SU
+      "- - - - - - - -",  // SX
+  };
+  for (int h = 0; h < 8; ++h) {
+    int col = 0;
+    for (const char* c = rows[h]; *c; ++c) {
+      if (*c == ' ') continue;
+      EXPECT_EQ(p_.modes().Compatible(M(names[h]), M(names[col])), *c == '+')
+          << names[h] << " vs " << names[col];
+      ++col;
+    }
+  }
+}
+
+TEST_F(TaDom2MatrixTest, CompatibilityIsSymmetric) {
+  const char* names[8] = {"IR", "NR", "LR", "SR", "IX", "CX", "SU", "SX"};
+  for (const char* a : names) {
+    for (const char* b : names) {
+      EXPECT_EQ(p_.modes().Compatible(M(a), M(b)),
+                p_.modes().Compatible(M(b), M(a)))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST_F(TaDom2MatrixTest, ConversionMatchesFig4) {
+  struct Entry {
+    const char* held;
+    const char* req;
+    const char* result;
+    const char* children;  // nullptr = none
+  };
+  const Entry entries[] = {
+      // Row LR of Fig. 4: the famous subscripted rules.
+      {"LR", "IX", "IX", "NR"},
+      {"LR", "CX", "CX", "NR"},
+      {"LR", "SR", "SR", nullptr},
+      {"LR", "SU", "SU", nullptr},
+      {"LR", "SX", "SX", nullptr},
+      // Row SR.
+      {"SR", "IX", "IX", "SR"},
+      {"SR", "CX", "CX", "SR"},
+      {"SR", "SU", "SR", nullptr},  // as printed
+      {"SR", "SX", "SX", nullptr},
+      // Row IX.
+      {"IX", "LR", "IX", "NR"},
+      {"IX", "SR", "IX", "SR"},
+      {"IX", "CX", "CX", nullptr},
+      {"IX", "SU", "SX", nullptr},
+      // Row CX.
+      {"CX", "LR", "CX", "NR"},
+      {"CX", "SR", "CX", "SR"},
+      {"CX", "IX", "CX", nullptr},
+      {"CX", "SU", "SX", nullptr},
+      // Row SU.
+      {"SU", "IX", "SX", nullptr},
+      {"SU", "CX", "SX", nullptr},
+      {"SU", "SR", "SU", nullptr},
+      // Rows IR/NR: plain escalation.
+      {"IR", "NR", "NR", nullptr},
+      {"IR", "SX", "SX", nullptr},
+      {"NR", "LR", "LR", nullptr},
+      {"NR", "IX", "IX", nullptr},
+      // Held SX absorbs everything.
+      {"SX", "IR", "SX", nullptr},
+      {"SX", "CX", "SX", nullptr},
+  };
+  for (const Entry& e : entries) {
+    Conversion c = p_.modes().Convert(M(e.held), M(e.req));
+    EXPECT_EQ(p_.modes().Name(c.result), e.result)
+        << "held " << e.held << " requested " << e.req;
+    if (e.children == nullptr) {
+      EXPECT_EQ(c.children_mode, kNoMode)
+          << "held " << e.held << " requested " << e.req;
+    } else {
+      EXPECT_EQ(p_.modes().Name(c.children_mode), e.children)
+          << "held " << e.held << " requested " << e.req;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// taDOM2+ — combination modes kill the child-lock side effects.
+// --------------------------------------------------------------------------
+
+TEST(TaDom2PlusMatrixTest, CombinationModesReplaceSideEffects) {
+  TaDomProtocol p(TaDomVariant::kTaDom2Plus);
+  const ModeTable& m = p.modes();
+  for (const char* name : {"LRIX", "LRCX", "SRIX", "SRCX"}) {
+    EXPECT_NE(m.Find(name), kNoMode) << name;
+  }
+  // LR + IX now converts to LRIX with no child locking.
+  Conversion c = m.Convert(m.Find("LR"), m.Find("IX"));
+  EXPECT_EQ(m.Name(c.result), "LRIX");
+  EXPECT_EQ(c.children_mode, kNoMode);
+  c = m.Convert(m.Find("SR"), m.Find("CX"));
+  EXPECT_EQ(m.Name(c.result), "SRCX");
+  EXPECT_EQ(c.children_mode, kNoMode);
+  // The combination blocks what both components block.
+  EXPECT_FALSE(m.Compatible(m.Find("LRIX"), m.Find("SR")));  // from IX
+  EXPECT_FALSE(m.Compatible(m.Find("LRIX"), m.Find("CX")));  // from LR
+  EXPECT_TRUE(m.Compatible(m.Find("LRIX"), m.Find("NR")));
+  EXPECT_TRUE(m.Compatible(m.Find("LRIX"), m.Find("IR")));
+}
+
+// --------------------------------------------------------------------------
+// taDOM3 / taDOM3+ — node-only modes and the 20-mode count.
+// --------------------------------------------------------------------------
+
+TEST(TaDom3MatrixTest, NodeExclusiveIsCompatibleWithDeeperWrites) {
+  TaDomProtocol p(TaDomVariant::kTaDom3);
+  const ModeTable& m = p.modes();
+  ModeId nx = m.Find("NX");
+  ASSERT_NE(nx, kNoMode);
+  // Rename (NX) does not conflict with intentions — operations deeper in
+  // the subtree proceed (the taDOM3 advantage on TArenameTopic).
+  EXPECT_TRUE(m.Compatible(nx, m.Find("IX")));
+  EXPECT_TRUE(m.Compatible(nx, m.Find("CX")));
+  EXPECT_TRUE(m.Compatible(nx, m.Find("IR")));
+  // But it conflicts with anything reading the node itself.
+  EXPECT_FALSE(m.Compatible(nx, m.Find("NR")));
+  EXPECT_FALSE(m.Compatible(nx, m.Find("LR")));
+  EXPECT_FALSE(m.Compatible(nx, m.Find("SR")));
+  EXPECT_FALSE(m.Compatible(nx, nx));
+}
+
+TEST(TaDom3MatrixTest, NodeUpdateBehavesLikeUpdateMode) {
+  TaDomProtocol p(TaDomVariant::kTaDom3);
+  const ModeTable& m = p.modes();
+  ModeId nu = m.Find("NU");
+  ASSERT_NE(nu, kNoMode);
+  EXPECT_TRUE(m.Compatible(nu, m.Find("NR")));
+  EXPECT_FALSE(m.Compatible(nu, nu));
+  EXPECT_EQ(m.Name(m.Convert(nu, m.Find("NX")).result), "NX");
+}
+
+TEST(TaDom3PlusMatrixTest, TwentyNodeModes) {
+  TaDomProtocol p(TaDomVariant::kTaDom3Plus);
+  // 20 node modes + 2 edge modes (the paper: 20 lock modes and modes for
+  // edges).
+  EXPECT_EQ(p.modes().num_modes(), 22);
+  for (const char* name :
+       {"NRIX", "NRCX", "NUIX", "NUCX", "LRIX", "LRCX", "SRIX", "SRCX",
+        "SUIX", "SUCX"}) {
+    EXPECT_NE(p.modes().Find(name), kNoMode) << name;
+  }
+  // NR + IX no longer escalates to a subtree lock.
+  const ModeTable& m = p.modes();
+  EXPECT_EQ(m.Name(m.Convert(m.Find("NR"), m.Find("IX")).result), "NRIX");
+  EXPECT_EQ(m.Name(m.Convert(m.Find("SU"), m.Find("IX")).result), "SUIX");
+}
+
+// --------------------------------------------------------------------------
+// *-2PL — Fig. 1 lock types.
+// --------------------------------------------------------------------------
+
+TEST(TwoPlMatrixTest, Fig1LockTypes) {
+  TwoPlProtocol p(TwoPlVariant::kNode2Pl);
+  const ModeTable& m = p.modes();
+  // Structure locks.
+  EXPECT_TRUE(m.Compatible(m.Find("T"), m.Find("T")));
+  EXPECT_FALSE(m.Compatible(m.Find("T"), m.Find("M")));
+  EXPECT_FALSE(m.Compatible(m.Find("M"), m.Find("M")));
+  // Content locks.
+  EXPECT_TRUE(m.Compatible(m.Find("CS"), m.Find("CS")));
+  EXPECT_FALSE(m.Compatible(m.Find("CS"), m.Find("CX")));
+  EXPECT_FALSE(m.Compatible(m.Find("CX"), m.Find("CX")));
+  // Jump locks.
+  EXPECT_TRUE(m.Compatible(m.Find("IDR"), m.Find("IDR")));
+  EXPECT_FALSE(m.Compatible(m.Find("IDR"), m.Find("IDX")));
+  EXPECT_FALSE(m.Compatible(m.Find("IDX"), m.Find("IDX")));
+}
+
+TEST(TwoPlMatrixTest, Node2PlaHasIntentionAndSubtreeModes) {
+  TwoPlProtocol p(TwoPlVariant::kNode2PlA);
+  const ModeTable& m = p.modes();
+  for (const char* name : {"IR", "IX", "T", "M", "ST", "SM"}) {
+    EXPECT_NE(m.Find(name), kNoMode) << name;
+  }
+  EXPECT_TRUE(p.supports_lock_depth());
+  EXPECT_EQ(m.Name(m.Convert(m.Find("T"), m.Find("M")).result), "M");
+  EXPECT_EQ(m.Name(m.Convert(m.Find("T"), m.Find("ST")).result), "ST");
+  EXPECT_EQ(m.Name(m.Convert(m.Find("M"), m.Find("ST")).result), "SM");
+}
+
+// --------------------------------------------------------------------------
+// Cross-protocol structural properties.
+// --------------------------------------------------------------------------
+
+class AllProtocolsTest : public ::testing::TestWithParam<std::string_view> {};
+
+INSTANTIATE_TEST_SUITE_P(Contest, AllProtocolsTest,
+                         ::testing::ValuesIn(AllProtocolNames()),
+                         [](const auto& info) {
+                           std::string n(info.param);
+                           for (char& c : n) {
+                             if (c == '+') c = 'p';
+                           }
+                           return n;
+                         });
+
+TEST_P(AllProtocolsTest, FactoryCreatesProtocol) {
+  auto p = CreateProtocol(GetParam());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->name(), GetParam());
+}
+
+TEST_P(AllProtocolsTest, ConversionNeverWeakens) {
+  auto p = CreateProtocol(GetParam());
+  ASSERT_NE(p, nullptr);
+  const ModeTable& m = p->table().modes();
+  for (ModeId a = 1; a <= m.num_modes(); ++a) {
+    for (ModeId b = 1; b <= m.num_modes(); ++b) {
+      ModeId c = m.Convert(a, b).result;
+      // The conversion target must be at least as strong as the held
+      // mode; the requested mode may live in a different namespace
+      // (edge vs node), so only check it when a cover exists.
+      if (m.AtLeastAsStrong(c, a) && m.AtLeastAsStrong(c, b)) continue;
+      EXPECT_TRUE(m.AtLeastAsStrong(c, a) || m.AtLeastAsStrong(c, b))
+          << GetParam() << ": " << m.Name(a) << " + " << m.Name(b) << " -> "
+          << m.Name(c);
+    }
+  }
+}
+
+TEST_P(AllProtocolsTest, ExclusiveModesSelfConflict) {
+  auto p = CreateProtocol(GetParam());
+  ASSERT_NE(p, nullptr);
+  const ModeTable& m = p->table().modes();
+  // Note: taDOM's CX is deliberately self-compatible (paper §2.3:
+  // separate children may be exclusively locked by separate
+  // transactions), so CX is not in this list; the *-2PL content CX is
+  // covered by the Fig. 1 test.
+  for (const char* name : {"X", "SX", "M", "SM", "EX", "IDX", "EW", "NX"}) {
+    ModeId id = m.Find(name);
+    if (id == kNoMode) continue;
+    EXPECT_FALSE(m.Compatible(id, id)) << GetParam() << ": " << name;
+  }
+}
+
+TEST_P(AllProtocolsTest, SharedModesSelfCompatible) {
+  auto p = CreateProtocol(GetParam());
+  ASSERT_NE(p, nullptr);
+  const ModeTable& m = p->table().modes();
+  for (const char* name :
+       {"IR", "NR", "LR", "SR", "R", "T", "I", "IS", "CS", "IDR", "ER",
+        "ES"}) {
+    ModeId id = m.Find(name);
+    if (id == kNoMode) continue;
+    EXPECT_TRUE(m.Compatible(id, id)) << GetParam() << ": " << name;
+  }
+}
+
+}  // namespace
+}  // namespace xtc

@@ -1,0 +1,188 @@
+// Unit tests for the slotted page with prefix compression.
+
+#include "storage/slotted_page.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "util/rng.h"
+
+namespace xtc {
+namespace {
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  SlottedPageTest() : page_(kDefaultPageSize), sp_(&page_) {
+    sp_.Init(PageType::kLeaf);
+  }
+
+  Page page_;
+  SlottedPage sp_;
+};
+
+TEST_F(SlottedPageTest, InitEmpty) {
+  EXPECT_EQ(sp_.type(), PageType::kLeaf);
+  EXPECT_EQ(sp_.num_slots(), 0);
+  EXPECT_TRUE(sp_.prefix().empty());
+}
+
+TEST_F(SlottedPageTest, InsertAndLookup) {
+  ASSERT_TRUE(sp_.Insert("banana", "yellow"));
+  ASSERT_TRUE(sp_.Insert("apple", "red"));
+  ASSERT_TRUE(sp_.Insert("cherry", "dark"));
+  ASSERT_EQ(sp_.num_slots(), 3);
+  // Sorted order.
+  EXPECT_EQ(sp_.FullKey(0), "apple");
+  EXPECT_EQ(sp_.FullKey(1), "banana");
+  EXPECT_EQ(sp_.FullKey(2), "cherry");
+  EXPECT_EQ(sp_.Value(1), "yellow");
+
+  bool found = false;
+  EXPECT_EQ(sp_.LowerBound("banana", &found), 1);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(sp_.LowerBound("blueberry", &found), 2);
+  EXPECT_FALSE(found);
+  EXPECT_EQ(sp_.LowerBound("zzz", &found), 3);
+  EXPECT_EQ(sp_.LowerBound("a", &found), 0);
+}
+
+TEST_F(SlottedPageTest, RemoveKeepsOrder) {
+  ASSERT_TRUE(sp_.Insert("a", "1"));
+  ASSERT_TRUE(sp_.Insert("b", "2"));
+  ASSERT_TRUE(sp_.Insert("c", "3"));
+  sp_.Remove(1);
+  ASSERT_EQ(sp_.num_slots(), 2);
+  EXPECT_EQ(sp_.FullKey(0), "a");
+  EXPECT_EQ(sp_.FullKey(1), "c");
+  EXPECT_EQ(sp_.Value(1), "3");
+}
+
+TEST_F(SlottedPageTest, UpdateValueInPlaceAndGrowing) {
+  ASSERT_TRUE(sp_.Insert("key", "0123456789"));
+  ASSERT_TRUE(sp_.UpdateValue(0, "short"));
+  EXPECT_EQ(sp_.Value(0), "short");
+  ASSERT_TRUE(sp_.UpdateValue(0, "a much longer value than before"));
+  EXPECT_EQ(sp_.Value(0), "a much longer value than before");
+  EXPECT_EQ(sp_.FullKey(0), "key");
+}
+
+TEST_F(SlottedPageTest, PrefixCompressionAfterRebuild) {
+  std::vector<std::pair<std::string, std::string>> entries = {
+      {"topic/book/001", "a"}, {"topic/book/002", "b"}, {"topic/book/003", "c"}};
+  ASSERT_TRUE(sp_.Rebuild(PageType::kLeaf, entries));
+  EXPECT_EQ(sp_.prefix(), "topic/book/00");
+  EXPECT_EQ(sp_.KeySuffix(0), "1");
+  EXPECT_EQ(sp_.FullKey(2), "topic/book/003");
+  bool found = false;
+  EXPECT_EQ(sp_.LowerBound("topic/book/002", &found), 1);
+  EXPECT_TRUE(found);
+  // Keys outside the prefix range.
+  EXPECT_EQ(sp_.LowerBound("alpha", &found), 0);
+  EXPECT_FALSE(found);
+  EXPECT_EQ(sp_.LowerBound("zeta", &found), 3);
+}
+
+TEST_F(SlottedPageTest, InsertBreakingThePrefixRebuilds) {
+  std::vector<std::pair<std::string, std::string>> entries = {
+      {"shared-prefix-a", "1"}, {"shared-prefix-b", "2"}};
+  ASSERT_TRUE(sp_.Rebuild(PageType::kLeaf, entries));
+  EXPECT_EQ(sp_.prefix(), "shared-prefix-");
+  ASSERT_TRUE(sp_.Insert("other", "3"));
+  EXPECT_EQ(sp_.num_slots(), 3);
+  EXPECT_EQ(sp_.FullKey(0), "other");
+  EXPECT_EQ(sp_.FullKey(1), "shared-prefix-a");
+  EXPECT_EQ(sp_.FullKey(2), "shared-prefix-b");
+}
+
+TEST_F(SlottedPageTest, FillUntilFullThenCompactionReclaimsSpace) {
+  int inserted = 0;
+  while (sp_.Insert("key" + std::to_string(10000 + inserted),
+                    std::string(40, 'v'))) {
+    ++inserted;
+  }
+  EXPECT_GT(inserted, 50);
+  // Delete every second entry, then inserts must succeed again via
+  // compaction.
+  for (int i = sp_.num_slots() - 1; i >= 0; i -= 2) sp_.Remove(i);
+  int reinserted = 0;
+  while (sp_.Insert("zzz" + std::to_string(10000 + reinserted),
+                    std::string(40, 'w'))) {
+    ++reinserted;
+  }
+  EXPECT_GT(reinserted, inserted / 4);
+}
+
+TEST_F(SlottedPageTest, RandomizedAgainstStdMap) {
+  Rng rng(1234);
+  std::map<std::string, std::string> model;
+  for (int step = 0; step < 4000; ++step) {
+    const int op = static_cast<int>(rng.Uniform(3));
+    std::string key = "k" + std::to_string(rng.Uniform(150));
+    if (op == 0) {
+      std::string value = "v" + std::to_string(rng.Next() % 1000);
+      if (model.count(key)) continue;
+      if (sp_.Insert(key, value)) {
+        model[key] = value;
+      } else {
+        // Page full: model must be large.
+        EXPECT_GT(model.size(), 50u);
+      }
+    } else if (op == 1 && !model.empty()) {
+      bool found = false;
+      int idx = sp_.LowerBound(key, &found);
+      if (found) {
+        sp_.Remove(idx);
+        model.erase(key);
+      } else {
+        EXPECT_EQ(model.count(key), 0u);
+      }
+    } else {
+      bool found = false;
+      int idx = sp_.LowerBound(key, &found);
+      auto it = model.find(key);
+      EXPECT_EQ(found, it != model.end()) << key;
+      if (found) {
+        EXPECT_EQ(sp_.Value(idx), it->second);
+      }
+    }
+    ASSERT_EQ(sp_.num_slots(), static_cast<int>(model.size()));
+  }
+  // Full scan agrees with the model.
+  int i = 0;
+  for (const auto& [key, value] : model) {
+    EXPECT_EQ(sp_.FullKey(i), key);
+    EXPECT_EQ(sp_.Value(i), value);
+    ++i;
+  }
+}
+
+TEST(SlottedPageInnerTest, ChildPointers) {
+  Page page(kDefaultPageSize);
+  SlottedPage sp(&page);
+  sp.Init(PageType::kInner);
+  sp.set_leftmost_child(42);
+  PageId c1 = 100, c2 = 200;
+  std::string v1(reinterpret_cast<char*>(&c1), sizeof(c1));
+  std::string v2(reinterpret_cast<char*>(&c2), sizeof(c2));
+  ASSERT_TRUE(sp.Insert("m", v1));
+  ASSERT_TRUE(sp.Insert("t", v2));
+  EXPECT_EQ(sp.leftmost_child(), 42u);
+  EXPECT_EQ(sp.ChildAt(0), 100u);
+  EXPECT_EQ(sp.ChildAt(1), 200u);
+}
+
+TEST(SlottedPageChainTest, NextPrevPointersSurviveRebuild) {
+  Page page(kDefaultPageSize);
+  SlottedPage sp(&page);
+  sp.Init(PageType::kLeaf);
+  sp.set_next(7);
+  sp.set_prev(9);
+  ASSERT_TRUE(sp.Rebuild(PageType::kLeaf, {{"a", "1"}}));
+  EXPECT_EQ(sp.next(), 7u);
+  EXPECT_EQ(sp.prev(), 9u);
+}
+
+}  // namespace
+}  // namespace xtc

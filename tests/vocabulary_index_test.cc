@@ -1,0 +1,129 @@
+// Unit tests for the vocabulary and the element/ID indexes.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "node/element_index.h"
+#include "node/id_index.h"
+#include "storage/vocabulary.h"
+
+namespace xtc {
+namespace {
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary v;
+  NameSurrogate a = v.Intern("book");
+  NameSurrogate b = v.Intern("title");
+  EXPECT_NE(a, kInvalidSurrogate);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.Intern("book"), a);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(VocabularyTest, LookupAndName) {
+  Vocabulary v;
+  NameSurrogate a = v.Intern("chapter");
+  EXPECT_EQ(v.Lookup("chapter"), a);
+  EXPECT_EQ(v.Lookup("nope"), kInvalidSurrogate);
+  EXPECT_EQ(v.Name(a), "chapter");
+  EXPECT_EQ(v.Name(kInvalidSurrogate), "");
+  EXPECT_EQ(v.Name(999), "");
+}
+
+TEST(VocabularyTest, ConcurrentInterningIsConsistent) {
+  Vocabulary v;
+  std::vector<std::thread> threads;
+  std::vector<NameSurrogate> results(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&v, &results, t]() {
+      for (int i = 0; i < 500; ++i) {
+        NameSurrogate s = v.Intern("name" + std::to_string(i % 50));
+        if (i == 42) results[static_cast<size_t>(t)] = s;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(v.size(), 50u);
+  for (int t = 1; t < 8; ++t) {
+    EXPECT_EQ(results[static_cast<size_t>(t)], results[0]);
+  }
+}
+
+class IndexTest : public ::testing::Test {
+ protected:
+  IndexTest() {
+    StorageOptions options;
+    file_ = std::make_unique<PageFile>(options);
+    bm_ = std::make_unique<BufferManager>(file_.get(), options);
+  }
+  Splid S(const char* text) { return *Splid::Parse(text); }
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferManager> bm_;
+};
+
+TEST_F(IndexTest, ElementIndexListsInDocumentOrder) {
+  ElementIndex idx(bm_.get());
+  ASSERT_TRUE(idx.Add(5, S("1.7")).ok());
+  ASSERT_TRUE(idx.Add(5, S("1.3")).ok());
+  ASSERT_TRUE(idx.Add(5, S("1.5.3")).ok());
+  ASSERT_TRUE(idx.Add(9, S("1.4.3")).ok());
+  auto list = idx.List(5);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], S("1.3"));
+  EXPECT_EQ(list[1], S("1.5.3"));
+  EXPECT_EQ(list[2], S("1.7"));
+  EXPECT_EQ(idx.List(9).size(), 1u);
+  EXPECT_TRUE(idx.List(7).empty());
+}
+
+TEST_F(IndexTest, ElementIndexNth) {
+  ElementIndex idx(bm_.get());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(idx.Add(3, S(("1." + std::to_string(2 * i + 3)).c_str())).ok());
+  }
+  auto third = idx.Nth(3, 2);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(*third, S("1.7"));
+  EXPECT_FALSE(idx.Nth(3, 10).has_value());
+  EXPECT_FALSE(idx.Nth(4, 0).has_value());
+}
+
+TEST_F(IndexTest, ElementIndexRemove) {
+  ElementIndex idx(bm_.get());
+  ASSERT_TRUE(idx.Add(5, S("1.3")).ok());
+  ASSERT_TRUE(idx.Add(5, S("1.5")).ok());
+  ASSERT_TRUE(idx.Remove(5, S("1.3")).ok());
+  EXPECT_EQ(idx.List(5).size(), 1u);
+  EXPECT_TRUE(idx.Remove(5, S("1.3")).IsNotFound());
+}
+
+TEST_F(IndexTest, IdIndexRoundTrip) {
+  IdIndex idx(bm_.get());
+  ASSERT_TRUE(idx.Add("b42", S("1.5.3")).ok());
+  auto hit = idx.Lookup("b42");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, S("1.5.3"));
+  EXPECT_FALSE(idx.Lookup("b43").has_value());
+  ASSERT_TRUE(idx.Remove("b42").ok());
+  EXPECT_FALSE(idx.Lookup("b42").has_value());
+}
+
+TEST_F(IndexTest, ScalesToThousandsOfEntries) {
+  ElementIndex elements(bm_.get());
+  IdIndex ids(bm_.get());
+  SplidGenerator gen(2);
+  Splid root = Splid::Root();
+  for (int i = 0; i < 5000; ++i) {
+    Splid s = gen.InitialChild(root, static_cast<size_t>(i));
+    ASSERT_TRUE(elements.Add(static_cast<NameSurrogate>(1 + i % 7), s).ok());
+    ASSERT_TRUE(ids.Add("id" + std::to_string(i), s).ok());
+  }
+  EXPECT_EQ(elements.size(), 5000u);
+  EXPECT_EQ(ids.size(), 5000u);
+  EXPECT_EQ(elements.List(3).size(), 5000u / 7 + ((5000 % 7) >= 3 ? 1 : 0));
+  EXPECT_TRUE(ids.Lookup("id4999").has_value());
+}
+
+}  // namespace
+}  // namespace xtc

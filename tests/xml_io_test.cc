@@ -1,0 +1,173 @@
+// Tests for the XML reader/writer.
+
+#include "node/xml_io.h"
+
+#include <gtest/gtest.h>
+
+#include "tamix/bib_generator.h"
+#include "util/rng.h"
+
+namespace xtc {
+namespace {
+
+TEST(XmlParseTest, SimpleDocument) {
+  auto spec = ParseXml("<bib><book id=\"b1\"><title>TP</title></book></bib>");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name, "bib");
+  ASSERT_EQ(spec->children.size(), 1u);
+  const SubtreeSpec& book = spec->children[0];
+  EXPECT_EQ(book.name, "book");
+  ASSERT_EQ(book.attributes.size(), 1u);
+  EXPECT_EQ(book.attributes[0].first, "id");
+  EXPECT_EQ(book.attributes[0].second, "b1");
+  ASSERT_EQ(book.children.size(), 1u);
+  EXPECT_EQ(book.children[0].text, "TP");
+}
+
+TEST(XmlParseTest, SelfClosingAndQuotes) {
+  auto spec = ParseXml("<a><b x='1' y=\"2\"/><c/></a>");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->children.size(), 2u);
+  EXPECT_EQ(spec->children[0].attributes.size(), 2u);
+  EXPECT_EQ(spec->children[0].attributes[1].second, "2");
+}
+
+TEST(XmlParseTest, EntitiesAndWhitespace) {
+  auto spec = ParseXml("<a t=\"&lt;x&gt;\">  a &amp; b  </a>");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->attributes[0].second, "<x>");
+  EXPECT_EQ(spec->text, "a & b");
+}
+
+TEST(XmlParseTest, CommentsAndProlog) {
+  auto spec = ParseXml(
+      "<?xml version=\"1.0\"?><!-- hi --><root><!-- inner --><a/></root>");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name, "root");
+  EXPECT_EQ(spec->children.size(), 1u);
+}
+
+TEST(XmlParseTest, Malformed) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a x=1/>").ok());
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+  EXPECT_FALSE(ParseXml("<a x=\"unterminated></a>").ok());
+}
+
+TEST(XmlRoundTripTest, LoadAndSerialize) {
+  Document doc;
+  const char* xml =
+      "<bib><topic id=\"t0\"><book id=\"b0\" year=\"2006\">"
+      "<title>Contest of XML Lock Protocols</title>"
+      "<author>Haustein</author></book></topic></bib>";
+  auto root = LoadXml(&doc, xml);
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(doc.LookupId("b0").has_value());
+  EXPECT_EQ(doc.ElementsByName("author").size(), 1u);
+
+  auto out = SerializeSubtree(doc, *root, /*pretty=*/false);
+  ASSERT_TRUE(out.ok());
+  // Round trip: parse our own output again and compare structure.
+  auto spec = ParseXml(*out);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name, "bib");
+  ASSERT_EQ(spec->children.size(), 1u);
+  ASSERT_EQ(spec->children[0].children.size(), 1u);
+  const SubtreeSpec& book = spec->children[0].children[0];
+  ASSERT_EQ(book.attributes.size(), 2u);
+  EXPECT_EQ(book.attributes[1].second, "2006");
+  EXPECT_EQ(book.children[0].text, "Contest of XML Lock Protocols");
+}
+
+TEST(XmlRoundTripTest, EscapingSurvivesRoundTrip) {
+  Document doc;
+  SubtreeSpec spec{"r", {{"a", "x<y&z\"q"}}, "1 < 2 & 3 > 2", {}};
+  ASSERT_TRUE(doc.BuildFromSpec(spec).ok());
+  auto out = SerializeSubtree(doc, Splid::Root(), false);
+  ASSERT_TRUE(out.ok());
+  auto back = ParseXml(*out);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->attributes[0].second, "x<y&z\"q");
+  EXPECT_EQ(back->text, "1 < 2 & 3 > 2");
+}
+
+TEST(XmlParseTest, FuzzedInputNeverCrashes) {
+  // Random mutations of a valid document: the parser must either parse
+  // or return a clean error, never crash or loop.
+  const std::string base =
+      "<bib><topic id=\"t0\"><book id=\"b0\" year=\"2006\">"
+      "<title>A &amp; B</title><history><lend person='p'/></history>"
+      "</book></topic></bib>";
+  Rng rng(20060915);
+  const char noise[] = "<>/=\"'&;![]- abcXYZ";
+  for (int round = 0; round < 3000; ++round) {
+    std::string mutated = base;
+    const int edits = 1 + static_cast<int>(rng.Uniform(6));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:  // replace
+          mutated[pos] = noise[rng.Uniform(sizeof(noise) - 1)];
+          break;
+        case 1:  // insert
+          mutated.insert(pos, 1, noise[rng.Uniform(sizeof(noise) - 1)]);
+          break;
+        default:  // delete
+          mutated.erase(pos, 1);
+      }
+    }
+    auto spec = ParseXml(mutated);  // must not crash
+    if (spec.ok()) {
+      // Whatever parsed must also load and serialize cleanly.
+      Document doc;
+      auto root = doc.BuildFromSpec(*spec);
+      ASSERT_TRUE(root.ok());
+      ASSERT_TRUE(SerializeSubtree(doc, *root).ok());
+      ASSERT_TRUE(doc.Validate().ok());
+    }
+  }
+}
+
+TEST(XmlRoundTripTest, WholeBibDocumentSurvivesSerializeParseBuild) {
+  // End-to-end: generated bib -> XML text -> parse -> rebuild -> equal
+  // structure (node counts, indexes, spot contents).
+  Document original;
+  auto info = GenerateBib(&original, BibConfig::Tiny());
+  ASSERT_TRUE(info.ok());
+  auto xml = SerializeSubtree(original, Splid::Root(), /*pretty=*/true);
+  ASSERT_TRUE(xml.ok());
+
+  Document rebuilt;
+  auto root = LoadXml(&rebuilt, *xml);
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_EQ(rebuilt.num_nodes(), original.num_nodes());
+  EXPECT_EQ(rebuilt.ElementsByName("book").size(),
+            original.ElementsByName("book").size());
+  EXPECT_EQ(rebuilt.ElementsByName("lend").size(),
+            original.ElementsByName("lend").size());
+  for (const std::string& id : info->book_ids) {
+    EXPECT_TRUE(rebuilt.LookupId(id).has_value()) << id;
+  }
+  EXPECT_TRUE(rebuilt.Validate().ok());
+  // Serializing the rebuilt document reproduces the same text.
+  auto xml2 = SerializeSubtree(rebuilt, Splid::Root(), /*pretty=*/true);
+  ASSERT_TRUE(xml2.ok());
+  EXPECT_EQ(*xml, *xml2);
+}
+
+TEST(XmlSerializeTest, PrettyPrintsNestedStructure) {
+  Document doc;
+  ASSERT_TRUE(
+      LoadXml(&doc, "<a><b><c>deep</c></b><d attr=\"v\"/></a>").ok());
+  auto out = SerializeSubtree(doc, Splid::Root(), /*pretty=*/true);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("<a>"), std::string::npos);
+  EXPECT_NE(out->find("  <b>"), std::string::npos);
+  EXPECT_NE(out->find("    <c>deep</c>"), std::string::npos);
+  EXPECT_NE(out->find("<d attr=\"v\"/>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xtc

@@ -1,0 +1,182 @@
+// Tests for the XPath-lite evaluator: parsing, evaluation semantics, and
+// the property that queries are isolated purely through the mapped
+// navigational operations.
+
+#include "node/xpath.h"
+
+#include <gtest/gtest.h>
+
+#include "node/xml_io.h"
+#include "protocols/protocol_registry.h"
+#include "tx/transaction_manager.h"
+
+namespace xtc {
+namespace {
+
+class XPathTest : public ::testing::Test {
+ protected:
+  XPathTest() {
+    const char* xml =
+        "<bib>"
+        "  <topics>"
+        "    <topic id=\"t0\">"
+        "      <book id=\"b0\" year=\"1993\"><title>TP</title></book>"
+        "      <book id=\"b1\" year=\"2006\"><title>XML Locks</title>"
+        "        <history><lend person=\"p7\"/><lend person=\"p9\"/>"
+        "        </history></book>"
+        "    </topic>"
+        "    <topic id=\"t1\">"
+        "      <book id=\"b2\" year=\"1993\"><title>Other</title></book>"
+        "    </topic>"
+        "  </topics>"
+        "</bib>";
+    EXPECT_TRUE(LoadXml(&doc_, xml).ok());
+    LockTableOptions options;
+    options.wait_timeout = Millis(200);
+    protocol_ = CreateProtocol("taDOM3+", options);
+    lm_ = std::make_unique<LockManager>(protocol_.get());
+    tm_ = std::make_unique<TransactionManager>(lm_.get());
+    nm_ = std::make_unique<NodeManager>(&doc_, lm_.get());
+  }
+
+  std::vector<std::string> Ids(const char* expression) {
+    auto path = XPath::Parse(expression);
+    EXPECT_TRUE(path.ok()) << expression << ": "
+                           << path.status().ToString();
+    auto tx = tm_->Begin(IsolationLevel::kRepeatable, 8);
+    auto result = path->Evaluate(*nm_, *tx);
+    EXPECT_TRUE(result.ok()) << expression;
+    std::vector<std::string> ids;
+    for (const Splid& s : *result) {
+      auto id = nm_->GetAttributeValue(*tx, s, "id");
+      auto person = nm_->GetAttributeValue(*tx, s, "person");
+      EXPECT_TRUE(id.ok());
+      ids.push_back(!id->empty() ? *id : *person);
+    }
+    EXPECT_TRUE(tm_->Commit(*tx).ok());
+    return ids;
+  }
+
+  Document doc_;
+  std::unique_ptr<XmlProtocol> protocol_;
+  std::unique_ptr<LockManager> lm_;
+  std::unique_ptr<TransactionManager> tm_;
+  std::unique_ptr<NodeManager> nm_;
+};
+
+TEST_F(XPathTest, ParseErrors) {
+  EXPECT_FALSE(XPath::Parse("").ok());
+  EXPECT_FALSE(XPath::Parse("book").ok());        // relative
+  EXPECT_FALSE(XPath::Parse("/").ok());           // missing name
+  EXPECT_FALSE(XPath::Parse("/a[@x=y]").ok());    // unquoted value
+  EXPECT_FALSE(XPath::Parse("/a[@x='y'").ok());   // missing ']'
+  EXPECT_FALSE(XPath::Parse("/a[0]").ok());       // 1-based positions
+  EXPECT_TRUE(XPath::Parse("/a/b[2]//c[@d='e']").ok());
+}
+
+TEST_F(XPathTest, ToStringRoundTrip) {
+  const char* exprs[] = {"/bib/topics/topic[@id='t0']/book[2]",
+                         "//book[@year='1993']", "/bib//lend"};
+  for (const char* e : exprs) {
+    auto p = XPath::Parse(e);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->ToString(), e);
+  }
+}
+
+TEST_F(XPathTest, ChildAxisPath) {
+  EXPECT_EQ(Ids("/bib/topics/topic"),
+            (std::vector<std::string>{"t0", "t1"}));
+  EXPECT_EQ(Ids("/bib/topics/topic/book"),
+            (std::vector<std::string>{"b0", "b1", "b2"}));
+  EXPECT_TRUE(Ids("/bib/nothing").empty());
+  EXPECT_TRUE(Ids("/wrongroot").empty());
+}
+
+TEST_F(XPathTest, AttributePredicates) {
+  EXPECT_EQ(Ids("/bib/topics/topic[@id='t1']"),
+            (std::vector<std::string>{"t1"}));
+  EXPECT_EQ(Ids("//book[@year='1993']"),
+            (std::vector<std::string>{"b0", "b2"}));
+  EXPECT_TRUE(Ids("//book[@year='1901']").empty());
+}
+
+TEST_F(XPathTest, PositionalPredicates) {
+  EXPECT_EQ(Ids("/bib/topics/topic[1]/book[2]"),
+            (std::vector<std::string>{"b1"}));
+  EXPECT_TRUE(Ids("/bib/topics/topic[5]").empty());
+}
+
+TEST_F(XPathTest, DescendantAxis) {
+  EXPECT_EQ(Ids("//lend"), (std::vector<std::string>{"p7", "p9"}));
+  EXPECT_EQ(Ids("//topic[@id='t0']//lend[@person='p9']"),
+            (std::vector<std::string>{"p9"}));
+  EXPECT_EQ(Ids("//book").size(), 3u);
+}
+
+TEST_F(XPathTest, Wildcard) {
+  auto path = XPath::Parse("/bib/topics/*");
+  ASSERT_TRUE(path.ok());
+  auto tx = tm_->Begin(IsolationLevel::kRepeatable, 8);
+  auto result = path->Evaluate(*nm_, *tx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+  ASSERT_TRUE(tm_->Commit(*tx).ok());
+}
+
+TEST_F(XPathTest, QueriesAreIsolatedThroughMappedOperations) {
+  // A writer holds an exclusive lock inside topic t0; a query touching
+  // that region must block (and here time out) — without any
+  // query-specific locking code.
+  auto writer = tm_->Begin(IsolationLevel::kRepeatable, 8);
+  auto b1 = nm_->GetElementById(*writer, "b1");
+  ASSERT_TRUE(b1.ok() && b1->has_value());
+  ASSERT_TRUE(nm_->DeleteSubtree(*writer, **b1).ok());
+
+  auto reader = tm_->Begin(IsolationLevel::kRepeatable, 8);
+  auto path = XPath::Parse("/bib/topics/topic[@id='t0']/book");
+  ASSERT_TRUE(path.ok());
+  auto result = path->Evaluate(*nm_, *reader);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsRetryable());
+  (void)tm_->Abort(*reader);
+
+  ASSERT_TRUE(tm_->Abort(*writer).ok());  // undo the delete
+  // After the writer is gone the query runs and sees both books.
+  EXPECT_EQ(Ids("/bib/topics/topic[@id='t0']/book"),
+            (std::vector<std::string>{"b0", "b1"}));
+}
+
+TEST_F(XPathTest, NamedDescendantAxisUsesIndexJumpsNotSubtreeLocks) {
+  // '//lend' must NOT subtree-lock the document: a writer in an
+  // unrelated region proceeds while the query's transaction is open.
+  auto reader = tm_->Begin(IsolationLevel::kRepeatable, 8);
+  auto path = XPath::Parse("//lend");
+  ASSERT_TRUE(path.ok());
+  ASSERT_TRUE(path->Evaluate(*nm_, *reader).ok());
+
+  auto writer = tm_->Begin(IsolationLevel::kRepeatable, 8);
+  auto b2 = nm_->GetElementById(*writer, "b2");  // has no lends
+  ASSERT_TRUE(b2.ok() && b2->has_value());
+  auto title = nm_->GetFirstChild(*writer, **b2);
+  ASSERT_TRUE(title.ok() && title->has_value());
+  auto text = nm_->GetFirstChild(*writer, (*title)->splid);
+  ASSERT_TRUE(text.ok() && text->has_value());
+  EXPECT_TRUE(nm_->UpdateText(*writer, (*text)->splid, "changed").ok());
+  ASSERT_TRUE(tm_->Commit(*writer).ok());
+  ASSERT_TRUE(tm_->Commit(*reader).ok());
+}
+
+TEST_F(XPathTest, QueryLocksAreSharedAcrossQueries) {
+  auto t1 = tm_->Begin(IsolationLevel::kRepeatable, 8);
+  auto t2 = tm_->Begin(IsolationLevel::kRepeatable, 8);
+  auto path = XPath::Parse("//book[@year='1993']");
+  ASSERT_TRUE(path.ok());
+  EXPECT_TRUE(path->Evaluate(*nm_, *t1).ok());
+  EXPECT_TRUE(path->Evaluate(*nm_, *t2).ok());  // readers coexist
+  ASSERT_TRUE(tm_->Commit(*t1).ok());
+  ASSERT_TRUE(tm_->Commit(*t2).ok());
+}
+
+}  // namespace
+}  // namespace xtc
