@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_conversion_modes.dir/ablation_conversion_modes.cc.o"
+  "CMakeFiles/ablation_conversion_modes.dir/ablation_conversion_modes.cc.o.d"
+  "ablation_conversion_modes"
+  "ablation_conversion_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_conversion_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

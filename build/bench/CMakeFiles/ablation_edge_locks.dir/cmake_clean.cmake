@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_edge_locks.dir/ablation_edge_locks.cc.o"
+  "CMakeFiles/ablation_edge_locks.dir/ablation_edge_locks.cc.o.d"
+  "ablation_edge_locks"
+  "ablation_edge_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_edge_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prefix_compression.dir/ablation_prefix_compression.cc.o"
+  "CMakeFiles/ablation_prefix_compression.dir/ablation_prefix_compression.cc.o.d"
+  "ablation_prefix_compression"
+  "ablation_prefix_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefix_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

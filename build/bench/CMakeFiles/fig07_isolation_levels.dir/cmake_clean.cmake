@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_isolation_levels.dir/fig07_isolation_levels.cc.o"
+  "CMakeFiles/fig07_isolation_levels.dir/fig07_isolation_levels.cc.o.d"
+  "fig07_isolation_levels"
+  "fig07_isolation_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_isolation_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_2pl_group.dir/fig08_2pl_group.cc.o"
+  "CMakeFiles/fig08_2pl_group.dir/fig08_2pl_group.cc.o.d"
+  "fig08_2pl_group"
+  "fig08_2pl_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_2pl_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_2pl_group.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_synopsis.dir/fig09_synopsis.cc.o"
+  "CMakeFiles/fig09_synopsis.dir/fig09_synopsis.cc.o.d"
+  "fig09_synopsis"
+  "fig09_synopsis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_synopsis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

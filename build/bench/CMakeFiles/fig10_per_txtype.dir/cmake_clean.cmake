@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_per_txtype.dir/fig10_per_txtype.cc.o"
+  "CMakeFiles/fig10_per_txtype.dir/fig10_per_txtype.cc.o.d"
+  "fig10_per_txtype"
+  "fig10_per_txtype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_per_txtype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

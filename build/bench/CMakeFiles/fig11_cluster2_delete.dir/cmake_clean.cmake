@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cluster2_delete.dir/fig11_cluster2_delete.cc.o"
+  "CMakeFiles/fig11_cluster2_delete.dir/fig11_cluster2_delete.cc.o.d"
+  "fig11_cluster2_delete"
+  "fig11_cluster2_delete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cluster2_delete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

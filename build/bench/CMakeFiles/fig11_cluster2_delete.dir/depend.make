@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_cluster2_delete.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lock_table.dir/micro_lock_table.cc.o"
+  "CMakeFiles/micro_lock_table.dir/micro_lock_table.cc.o.d"
+  "micro_lock_table"
+  "micro_lock_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lock_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_splid.dir/micro_splid.cc.o"
+  "CMakeFiles/micro_splid.dir/micro_splid.cc.o.d"
+  "micro_splid"
+  "micro_splid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_splid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

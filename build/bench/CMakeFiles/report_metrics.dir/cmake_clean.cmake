@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_metrics.dir/report_metrics.cc.o"
+  "CMakeFiles/report_metrics.dir/report_metrics.cc.o.d"
+  "report_metrics"
+  "report_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_walkthrough.dir/fig3b_walkthrough.cpp.o"
+  "CMakeFiles/fig3b_walkthrough.dir/fig3b_walkthrough.cpp.o.d"
+  "fig3b_walkthrough"
+  "fig3b_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_app.dir/library_app.cpp.o"
+  "CMakeFiles/library_app.dir/library_app.cpp.o.d"
+  "library_app"
+  "library_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

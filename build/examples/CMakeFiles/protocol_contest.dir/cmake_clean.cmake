@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_contest.dir/protocol_contest.cpp.o"
+  "CMakeFiles/protocol_contest.dir/protocol_contest.cpp.o.d"
+  "protocol_contest"
+  "protocol_contest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_contest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

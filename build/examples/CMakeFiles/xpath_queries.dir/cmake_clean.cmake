@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_queries.dir/xpath_queries.cpp.o"
+  "CMakeFiles/xpath_queries.dir/xpath_queries.cpp.o.d"
+  "xpath_queries"
+  "xpath_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

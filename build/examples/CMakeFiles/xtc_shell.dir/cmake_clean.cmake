@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_shell.dir/xtc_shell.cpp.o"
+  "CMakeFiles/xtc_shell.dir/xtc_shell.cpp.o.d"
+  "xtc_shell"
+  "xtc_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_lock.dir/lock/deadlock_detector.cc.o"
+  "CMakeFiles/xtc_lock.dir/lock/deadlock_detector.cc.o.d"
+  "CMakeFiles/xtc_lock.dir/lock/lock_manager.cc.o"
+  "CMakeFiles/xtc_lock.dir/lock/lock_manager.cc.o.d"
+  "CMakeFiles/xtc_lock.dir/lock/lock_table.cc.o"
+  "CMakeFiles/xtc_lock.dir/lock/lock_table.cc.o.d"
+  "CMakeFiles/xtc_lock.dir/lock/mode_table.cc.o"
+  "CMakeFiles/xtc_lock.dir/lock/mode_table.cc.o.d"
+  "libxtc_lock.a"
+  "libxtc_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/document.cc" "src/CMakeFiles/xtc_node.dir/node/document.cc.o" "gcc" "src/CMakeFiles/xtc_node.dir/node/document.cc.o.d"
+  "/root/repo/src/node/element_index.cc" "src/CMakeFiles/xtc_node.dir/node/element_index.cc.o" "gcc" "src/CMakeFiles/xtc_node.dir/node/element_index.cc.o.d"
+  "/root/repo/src/node/id_index.cc" "src/CMakeFiles/xtc_node.dir/node/id_index.cc.o" "gcc" "src/CMakeFiles/xtc_node.dir/node/id_index.cc.o.d"
+  "/root/repo/src/node/node_manager.cc" "src/CMakeFiles/xtc_node.dir/node/node_manager.cc.o" "gcc" "src/CMakeFiles/xtc_node.dir/node/node_manager.cc.o.d"
+  "/root/repo/src/node/xml_io.cc" "src/CMakeFiles/xtc_node.dir/node/xml_io.cc.o" "gcc" "src/CMakeFiles/xtc_node.dir/node/xml_io.cc.o.d"
+  "/root/repo/src/node/xpath.cc" "src/CMakeFiles/xtc_node.dir/node/xpath.cc.o" "gcc" "src/CMakeFiles/xtc_node.dir/node/xpath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_splid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

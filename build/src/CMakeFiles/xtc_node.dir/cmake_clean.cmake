@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_node.dir/node/document.cc.o"
+  "CMakeFiles/xtc_node.dir/node/document.cc.o.d"
+  "CMakeFiles/xtc_node.dir/node/element_index.cc.o"
+  "CMakeFiles/xtc_node.dir/node/element_index.cc.o.d"
+  "CMakeFiles/xtc_node.dir/node/id_index.cc.o"
+  "CMakeFiles/xtc_node.dir/node/id_index.cc.o.d"
+  "CMakeFiles/xtc_node.dir/node/node_manager.cc.o"
+  "CMakeFiles/xtc_node.dir/node/node_manager.cc.o.d"
+  "CMakeFiles/xtc_node.dir/node/xml_io.cc.o"
+  "CMakeFiles/xtc_node.dir/node/xml_io.cc.o.d"
+  "CMakeFiles/xtc_node.dir/node/xpath.cc.o"
+  "CMakeFiles/xtc_node.dir/node/xpath.cc.o.d"
+  "libxtc_node.a"
+  "libxtc_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

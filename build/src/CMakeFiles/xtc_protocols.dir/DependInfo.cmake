@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/mgl_protocols.cc" "src/CMakeFiles/xtc_protocols.dir/protocols/mgl_protocols.cc.o" "gcc" "src/CMakeFiles/xtc_protocols.dir/protocols/mgl_protocols.cc.o.d"
+  "/root/repo/src/protocols/node2pl_family.cc" "src/CMakeFiles/xtc_protocols.dir/protocols/node2pl_family.cc.o" "gcc" "src/CMakeFiles/xtc_protocols.dir/protocols/node2pl_family.cc.o.d"
+  "/root/repo/src/protocols/protocol.cc" "src/CMakeFiles/xtc_protocols.dir/protocols/protocol.cc.o" "gcc" "src/CMakeFiles/xtc_protocols.dir/protocols/protocol.cc.o.d"
+  "/root/repo/src/protocols/protocol_registry.cc" "src/CMakeFiles/xtc_protocols.dir/protocols/protocol_registry.cc.o" "gcc" "src/CMakeFiles/xtc_protocols.dir/protocols/protocol_registry.cc.o.d"
+  "/root/repo/src/protocols/tadom_protocols.cc" "src/CMakeFiles/xtc_protocols.dir/protocols/tadom_protocols.cc.o" "gcc" "src/CMakeFiles/xtc_protocols.dir/protocols/tadom_protocols.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtc_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_splid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_protocols.dir/protocols/mgl_protocols.cc.o"
+  "CMakeFiles/xtc_protocols.dir/protocols/mgl_protocols.cc.o.d"
+  "CMakeFiles/xtc_protocols.dir/protocols/node2pl_family.cc.o"
+  "CMakeFiles/xtc_protocols.dir/protocols/node2pl_family.cc.o.d"
+  "CMakeFiles/xtc_protocols.dir/protocols/protocol.cc.o"
+  "CMakeFiles/xtc_protocols.dir/protocols/protocol.cc.o.d"
+  "CMakeFiles/xtc_protocols.dir/protocols/protocol_registry.cc.o"
+  "CMakeFiles/xtc_protocols.dir/protocols/protocol_registry.cc.o.d"
+  "CMakeFiles/xtc_protocols.dir/protocols/tadom_protocols.cc.o"
+  "CMakeFiles/xtc_protocols.dir/protocols/tadom_protocols.cc.o.d"
+  "libxtc_protocols.a"
+  "libxtc_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

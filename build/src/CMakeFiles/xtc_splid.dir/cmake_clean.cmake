@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_splid.dir/splid/splid.cc.o"
+  "CMakeFiles/xtc_splid.dir/splid/splid.cc.o.d"
+  "libxtc_splid.a"
+  "libxtc_splid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_splid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bplus_tree.cc" "src/CMakeFiles/xtc_storage.dir/storage/bplus_tree.cc.o" "gcc" "src/CMakeFiles/xtc_storage.dir/storage/bplus_tree.cc.o.d"
+  "/root/repo/src/storage/buffer_manager.cc" "src/CMakeFiles/xtc_storage.dir/storage/buffer_manager.cc.o" "gcc" "src/CMakeFiles/xtc_storage.dir/storage/buffer_manager.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/CMakeFiles/xtc_storage.dir/storage/page_file.cc.o" "gcc" "src/CMakeFiles/xtc_storage.dir/storage/page_file.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/CMakeFiles/xtc_storage.dir/storage/slotted_page.cc.o" "gcc" "src/CMakeFiles/xtc_storage.dir/storage/slotted_page.cc.o.d"
+  "/root/repo/src/storage/vocabulary.cc" "src/CMakeFiles/xtc_storage.dir/storage/vocabulary.cc.o" "gcc" "src/CMakeFiles/xtc_storage.dir/storage/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtc_splid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

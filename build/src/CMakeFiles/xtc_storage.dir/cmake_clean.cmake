@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_storage.dir/storage/bplus_tree.cc.o"
+  "CMakeFiles/xtc_storage.dir/storage/bplus_tree.cc.o.d"
+  "CMakeFiles/xtc_storage.dir/storage/buffer_manager.cc.o"
+  "CMakeFiles/xtc_storage.dir/storage/buffer_manager.cc.o.d"
+  "CMakeFiles/xtc_storage.dir/storage/page_file.cc.o"
+  "CMakeFiles/xtc_storage.dir/storage/page_file.cc.o.d"
+  "CMakeFiles/xtc_storage.dir/storage/slotted_page.cc.o"
+  "CMakeFiles/xtc_storage.dir/storage/slotted_page.cc.o.d"
+  "CMakeFiles/xtc_storage.dir/storage/vocabulary.cc.o"
+  "CMakeFiles/xtc_storage.dir/storage/vocabulary.cc.o.d"
+  "libxtc_storage.a"
+  "libxtc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

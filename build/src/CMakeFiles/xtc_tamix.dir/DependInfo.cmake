@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tamix/bib_generator.cc" "src/CMakeFiles/xtc_tamix.dir/tamix/bib_generator.cc.o" "gcc" "src/CMakeFiles/xtc_tamix.dir/tamix/bib_generator.cc.o.d"
+  "/root/repo/src/tamix/coordinator.cc" "src/CMakeFiles/xtc_tamix.dir/tamix/coordinator.cc.o" "gcc" "src/CMakeFiles/xtc_tamix.dir/tamix/coordinator.cc.o.d"
+  "/root/repo/src/tamix/metrics.cc" "src/CMakeFiles/xtc_tamix.dir/tamix/metrics.cc.o" "gcc" "src/CMakeFiles/xtc_tamix.dir/tamix/metrics.cc.o.d"
+  "/root/repo/src/tamix/transactions.cc" "src/CMakeFiles/xtc_tamix.dir/tamix/transactions.cc.o" "gcc" "src/CMakeFiles/xtc_tamix.dir/tamix/transactions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtc_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_splid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_tamix.dir/tamix/bib_generator.cc.o"
+  "CMakeFiles/xtc_tamix.dir/tamix/bib_generator.cc.o.d"
+  "CMakeFiles/xtc_tamix.dir/tamix/coordinator.cc.o"
+  "CMakeFiles/xtc_tamix.dir/tamix/coordinator.cc.o.d"
+  "CMakeFiles/xtc_tamix.dir/tamix/metrics.cc.o"
+  "CMakeFiles/xtc_tamix.dir/tamix/metrics.cc.o.d"
+  "CMakeFiles/xtc_tamix.dir/tamix/transactions.cc.o"
+  "CMakeFiles/xtc_tamix.dir/tamix/transactions.cc.o.d"
+  "libxtc_tamix.a"
+  "libxtc_tamix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_tamix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

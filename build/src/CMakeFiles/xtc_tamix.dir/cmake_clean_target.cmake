@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxtc_tamix.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tx/transaction.cc" "src/CMakeFiles/xtc_tx.dir/tx/transaction.cc.o" "gcc" "src/CMakeFiles/xtc_tx.dir/tx/transaction.cc.o.d"
+  "/root/repo/src/tx/transaction_manager.cc" "src/CMakeFiles/xtc_tx.dir/tx/transaction_manager.cc.o" "gcc" "src/CMakeFiles/xtc_tx.dir/tx/transaction_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtc_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_splid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_tx.dir/tx/transaction.cc.o"
+  "CMakeFiles/xtc_tx.dir/tx/transaction.cc.o.d"
+  "CMakeFiles/xtc_tx.dir/tx/transaction_manager.cc.o"
+  "CMakeFiles/xtc_tx.dir/tx/transaction_manager.cc.o.d"
+  "libxtc_tx.a"
+  "libxtc_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_util.dir/util/status.cc.o"
+  "CMakeFiles/xtc_util.dir/util/status.cc.o.d"
+  "libxtc_util.a"
+  "libxtc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_test.dir/attribute_test.cc.o"
+  "CMakeFiles/attribute_test.dir/attribute_test.cc.o.d"
+  "attribute_test"
+  "attribute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

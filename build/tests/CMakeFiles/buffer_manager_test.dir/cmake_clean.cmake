@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_manager_test.dir/buffer_manager_test.cc.o"
+  "CMakeFiles/buffer_manager_test.dir/buffer_manager_test.cc.o.d"
+  "buffer_manager_test"
+  "buffer_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_detector_test.dir/deadlock_detector_test.cc.o"
+  "CMakeFiles/deadlock_detector_test.dir/deadlock_detector_test.cc.o.d"
+  "deadlock_detector_test"
+  "deadlock_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_test.dir/document_test.cc.o"
+  "CMakeFiles/document_test.dir/document_test.cc.o.d"
+  "document_test"
+  "document_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

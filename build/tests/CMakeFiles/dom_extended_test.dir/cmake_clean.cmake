@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dom_extended_test.dir/dom_extended_test.cc.o"
+  "CMakeFiles/dom_extended_test.dir/dom_extended_test.cc.o.d"
+  "dom_extended_test"
+  "dom_extended_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dom_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_lock_test.dir/edge_lock_test.cc.o"
+  "CMakeFiles/edge_lock_test.dir/edge_lock_test.cc.o.d"
+  "edge_lock_test"
+  "edge_lock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

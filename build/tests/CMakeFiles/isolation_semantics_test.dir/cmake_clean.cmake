@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_semantics_test.dir/isolation_semantics_test.cc.o"
+  "CMakeFiles/isolation_semantics_test.dir/isolation_semantics_test.cc.o.d"
+  "isolation_semantics_test"
+  "isolation_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

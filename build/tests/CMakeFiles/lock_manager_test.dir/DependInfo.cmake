@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lock_manager_test.cc" "tests/CMakeFiles/lock_manager_test.dir/lock_manager_test.cc.o" "gcc" "tests/CMakeFiles/lock_manager_test.dir/lock_manager_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtc_tamix.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_splid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_table_test.dir/mode_table_test.cc.o"
+  "CMakeFiles/mode_table_test.dir/mode_table_test.cc.o.d"
+  "mode_table_test"
+  "mode_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

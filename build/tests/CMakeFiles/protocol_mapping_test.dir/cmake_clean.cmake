@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_mapping_test.dir/protocol_mapping_test.cc.o"
+  "CMakeFiles/protocol_mapping_test.dir/protocol_mapping_test.cc.o.d"
+  "protocol_mapping_test"
+  "protocol_mapping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

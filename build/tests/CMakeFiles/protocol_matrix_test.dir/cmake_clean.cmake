@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_matrix_test.dir/protocol_matrix_test.cc.o"
+  "CMakeFiles/protocol_matrix_test.dir/protocol_matrix_test.cc.o.d"
+  "protocol_matrix_test"
+  "protocol_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

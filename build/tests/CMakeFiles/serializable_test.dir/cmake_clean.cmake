@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serializable_test.dir/serializable_test.cc.o"
+  "CMakeFiles/serializable_test.dir/serializable_test.cc.o.d"
+  "serializable_test"
+  "serializable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serializable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

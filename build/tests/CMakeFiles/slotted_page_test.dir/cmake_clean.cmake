@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slotted_page_test.dir/slotted_page_test.cc.o"
+  "CMakeFiles/slotted_page_test.dir/slotted_page_test.cc.o.d"
+  "slotted_page_test"
+  "slotted_page_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slotted_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splid_test.dir/splid_test.cc.o"
+  "CMakeFiles/splid_test.dir/splid_test.cc.o.d"
+  "splid_test"
+  "splid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

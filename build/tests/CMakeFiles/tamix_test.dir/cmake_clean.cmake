@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamix_test.dir/tamix_test.cc.o"
+  "CMakeFiles/tamix_test.dir/tamix_test.cc.o.d"
+  "tamix_test"
+  "tamix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

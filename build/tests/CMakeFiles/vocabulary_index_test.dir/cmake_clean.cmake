@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocabulary_index_test.dir/vocabulary_index_test.cc.o"
+  "CMakeFiles/vocabulary_index_test.dir/vocabulary_index_test.cc.o.d"
+  "vocabulary_index_test"
+  "vocabulary_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocabulary_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

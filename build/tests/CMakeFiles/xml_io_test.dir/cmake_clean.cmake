@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_io_test.dir/xml_io_test.cc.o"
+  "CMakeFiles/xml_io_test.dir/xml_io_test.cc.o.d"
+  "xml_io_test"
+  "xml_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
