@@ -26,18 +26,27 @@ int main(int argc, char** argv) {
 
   std::printf("\nprotocol %s, isolation repeatable, lock depth %d\n\n",
               protocol, config.lock_depth);
-  std::printf("%-18s %10s %9s %10s %9s %9s %9s\n", "type", "committed",
-              "aborted", "deadlocks", "avg ms", "min ms", "max ms");
+  std::printf("%-18s %10s %9s %10s %8s %9s %9s %9s\n", "type", "committed",
+              "aborted", "deadlocks", "retries", "avg ms", "min ms", "max ms");
   for (int t = 0; t < kNumTxTypes; ++t) {
     const TxTypeStats& s = stats.per_type[t];
     if (s.committed == 0 && s.aborted == 0) continue;
-    std::printf("%-18s %10llu %9llu %10llu %9.1f %9.1f %9.1f\n",
+    std::printf("%-18s %10llu %9llu %10llu %8llu %9.1f %9.1f %9.1f\n",
                 std::string(TxTypeName(static_cast<TxType>(t))).c_str(),
                 static_cast<unsigned long long>(s.committed),
                 static_cast<unsigned long long>(s.aborted),
                 static_cast<unsigned long long>(s.deadlock_aborts),
+                static_cast<unsigned long long>(s.retries),
                 s.avg_duration_ms(), s.min_duration_us / 1000.0,
                 s.max_duration_us / 1000.0);
+  }
+  uint64_t undo_failures = 0;
+  for (int t = 0; t < kNumTxTypes; ++t) {
+    undo_failures += stats.per_type[t].undo_failures;
+  }
+  if (undo_failures > 0) {
+    std::printf("\nundo failures: %llu (aborts that hit a failing undo step)\n",
+                static_cast<unsigned long long>(undo_failures));
   }
   std::printf("\nlock manager: %llu requests, %llu waits, %llu conversions, "
               "%llu deadlocks (%llu conversion-caused), %llu timeouts\n",

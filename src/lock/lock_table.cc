@@ -98,6 +98,29 @@ void LockTable::GrantLocked(Shard* shard, Resource* r, uint64_t tx,
 LockOutcome LockTable::Lock(uint64_t tx, std::string_view resource,
                             ModeId mode, LockDuration duration) {
   stat_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.fault_injector != nullptr) {
+    // Injection happens before any table state changes: the request is
+    // denied exactly as a real timeout/victim denial would be, and the
+    // caller must abort (releasing whatever it already holds).
+    if (options_.fault_injector->ShouldFail(fault_points::kLockTimeout)) {
+      stat_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      return {Status::LockTimeout("injected lock timeout"), kNoMode, kNoMode};
+    }
+    if (options_.fault_injector->ShouldFail(fault_points::kLockDeadlock)) {
+      stat_deadlocks_.fetch_add(1, std::memory_order_relaxed);
+      DeadlockEvent event;
+      event.victim = tx;
+      event.resource = std::string(resource);
+      event.requested_mode = std::string(modes_->Name(mode));
+      event.injected = true;
+      std::lock_guard<std::mutex> g(graph_mu_);
+      deadlock_log_.push_back(std::move(event));
+      if (deadlock_log_.size() > options_.deadlock_log_capacity) {
+        deadlock_log_.pop_front();
+      }
+      return {Status::Deadlock("injected deadlock victim"), kNoMode, kNoMode};
+    }
+  }
   Shard& shard = ShardFor(resource);
   std::unique_lock<std::mutex> guard(shard.mu);
 
@@ -272,6 +295,11 @@ size_t LockTable::NumLockedResources() const {
     total += shard->resources.size();
   }
   return total;
+}
+
+size_t LockTable::NumWaitingTransactions() const {
+  std::lock_guard<std::mutex> g(graph_mu_);
+  return detector_.num_waiters();
 }
 
 size_t LockTable::LocksHeldBy(uint64_t tx) const {

@@ -35,6 +35,7 @@
 #include "lock/deadlock_detector.h"
 #include "lock/mode_table.h"
 #include "util/clock.h"
+#include "util/fault_injector.h"
 #include "util/status.h"
 
 namespace xtc {
@@ -66,6 +67,9 @@ struct LockTableOptions {
   /// How many deadlock events to keep for analysis (paper §4.2: TaMix +
   /// XTCdeadlockDetector record the circumstances of each deadlock).
   size_t deadlock_log_capacity = 256;
+  /// When set, Lock() evaluates the "lock.timeout" and "lock.deadlock"
+  /// fault points on entry (spurious timeout / forced victim status).
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// One recorded deadlock (the victim's view at detection time).
@@ -76,6 +80,7 @@ struct DeadlockEvent {
   bool conversion = false;     // lock-conversion deadlock (frequent case)
   size_t blockers = 0;         // transactions the victim waited for
   size_t waiting_transactions = 0;  // wait-for-graph size at detection
+  bool injected = false;       // fault-injected victim (no real cycle)
 };
 
 class LockTable {
@@ -104,6 +109,10 @@ class LockTable {
   ModeId HeldMode(uint64_t tx, std::string_view resource) const;
   size_t NumLockedResources() const;
   size_t LocksHeldBy(uint64_t tx) const;
+  /// Residual wait-for-graph entries (must be 0 when the system is
+  /// quiescent — every waiter clears its edges on grant/deadlock/timeout
+  /// and ReleaseAll clears the rest).
+  size_t NumWaitingTransactions() const;
   LockTableStats GetStats() const;
   void ResetStats();
 

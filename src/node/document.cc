@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/fault_injector.h"
+
 namespace xtc {
 
 namespace {
@@ -73,11 +75,13 @@ Status Document::StoreOneLocked(const Splid& splid, const NodeRecord& record) {
 
 Status Document::Store(const Splid& splid, const NodeRecord& record) {
   std::unique_lock<std::shared_mutex> latch(mu_);
+  FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   return StoreOneLocked(splid, record);
 }
 
 StatusOr<Splid> Document::CreateRoot(std::string_view name) {
   std::unique_lock<std::shared_mutex> latch(mu_);
+  FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   if (doc_->size() != 0) {
     return Status::InvalidArgument("document is not empty");
   }
@@ -89,6 +93,7 @@ StatusOr<Splid> Document::CreateRoot(std::string_view name) {
 
 StatusOr<Splid> Document::BuildFromSpec(const SubtreeSpec& spec) {
   std::unique_lock<std::shared_mutex> latch(mu_);
+  FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   if (doc_->size() != 0) {
     return Status::InvalidArgument("document is not empty");
   }
@@ -100,6 +105,7 @@ StatusOr<Splid> Document::BuildFromSpec(const SubtreeSpec& spec) {
 StatusOr<Splid> Document::AppendLabelLocked(const Splid& parent) const {
   auto it = doc_->NewIterator();
   it.SeekForPrev(parent.EncodedSubtreeUpperBound());
+  XTC_RETURN_IF_ERROR(it.status());
   if (!it.Valid()) return Status::NotFound("append parent not found");
   auto last_deep = Splid::Decode(it.key());
   if (!last_deep.has_value()) return Status::Internal("corrupt splid key");
@@ -154,6 +160,7 @@ StatusOr<Splid> Document::AppendSubtree(const Splid& parent,
                                         const SubtreeSpec& spec,
                                         const Splid* label_hint) {
   std::unique_lock<std::shared_mutex> latch(mu_);
+  FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   XTC_ASSIGN_OR_RETURN(Splid label, AppendLabelLocked(parent));
   if (label_hint != nullptr && *label_hint != label &&
       !doc_->Contains(label_hint->Encode())) {
@@ -185,6 +192,7 @@ StatusOr<std::optional<Splid>> Document::FindAttribute(
       return std::optional<Splid>(*splid);
     }
   }
+  XTC_RETURN_IF_ERROR(it.status());
   return std::optional<Splid>(std::nullopt);
 }
 
@@ -192,6 +200,7 @@ StatusOr<Splid> Document::AddAttribute(const Splid& element,
                                        NameSurrogate name,
                                        std::string_view value) {
   std::unique_lock<std::shared_mutex> latch(mu_);
+  FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   if (!doc_->Contains(element.Encode())) {
     return Status::NotFound("element not found");
   }
@@ -220,6 +229,7 @@ StatusOr<Splid> Document::AddAttribute(const Splid& element,
       }
       last_attr = *splid;
     }
+    XTC_RETURN_IF_ERROR(it.status());
   }
   const Splid attr = last_attr.valid() ? gen_.After(attr_root, last_attr)
                                        : gen_.InitialAttribute(attr_root, 0);
@@ -271,6 +281,7 @@ StatusOr<Splid> Document::InsertSibling(const Splid& sibling,
                                         const SubtreeSpec& spec, bool after,
                                         const Splid* label_hint) {
   std::unique_lock<std::shared_mutex> latch(mu_);
+  FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   XTC_ASSIGN_OR_RETURN(Splid label, SiblingLabelLocked(sibling, after));
   if (label_hint != nullptr && *label_hint != label &&
       !doc_->Contains(label_hint->Encode())) {
@@ -282,6 +293,7 @@ StatusOr<Splid> Document::InsertSibling(const Splid& sibling,
 
 Status Document::RestoreNodes(const std::vector<Node>& nodes) {
   std::unique_lock<std::shared_mutex> latch(mu_);
+  FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   for (const Node& n : nodes) {
     XTC_RETURN_IF_ERROR(StoreOneLocked(n.splid, n.record));
   }
@@ -303,6 +315,7 @@ Status Document::RemoveOneLocked(const Splid& splid,
 
 Status Document::Remove(const Splid& splid) {
   std::unique_lock<std::shared_mutex> latch(mu_);
+  FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   auto raw = doc_->Get(splid.Encode());
   if (!raw.ok()) return raw.status();
   auto rec = NodeRecord::Decode(*raw);
@@ -311,6 +324,7 @@ Status Document::Remove(const Splid& splid) {
   auto it = doc_->NewIterator();
   std::string enc = splid.Encode();
   it.Seek(enc + '\0');
+  XTC_RETURN_IF_ERROR(it.status());
   if (it.Valid() && it.key().size() > enc.size() &&
       it.key().compare(0, enc.size(), enc) == 0) {
     return Status::InvalidArgument("Remove() on a node with children");
@@ -320,6 +334,7 @@ Status Document::Remove(const Splid& splid) {
 
 Status Document::RemoveSubtree(const Splid& root) {
   std::unique_lock<std::shared_mutex> latch(mu_);
+  FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   auto nodes = SubtreeLocked(root);
   if (!nodes.ok()) return nodes.status();
   if (nodes->empty()) return Status::NotFound("subtree root not found");
@@ -334,6 +349,7 @@ Status Document::RemoveSubtree(const Splid& root) {
 Status Document::UpdateContent(const Splid& string_node,
                                std::string_view content) {
   std::unique_lock<std::shared_mutex> latch(mu_);
+  FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   auto raw = doc_->Get(string_node.Encode());
   if (!raw.ok()) return raw.status();
   auto rec = NodeRecord::Decode(*raw);
@@ -354,6 +370,7 @@ Status Document::UpdateContent(const Splid& string_node,
 
 Status Document::RenameElement(const Splid& element, NameSurrogate new_name) {
   std::unique_lock<std::shared_mutex> latch(mu_);
+  FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   auto raw = doc_->Get(element.Encode());
   if (!raw.ok()) return raw.status();
   auto rec = NodeRecord::Decode(*raw);
@@ -377,6 +394,9 @@ StatusOr<NodeRecord> Document::Get(const Splid& splid) const {
 
 bool Document::Exists(const Splid& splid) const {
   std::shared_lock<std::shared_mutex> latch(mu_);
+  // A bool answer cannot report an I/O error, and a fault surfacing as
+  // "does not exist" would silently change caller control flow.
+  FaultInjector::ScopedSuppress no_faults;
   return doc_->Contains(splid.Encode());
 }
 
@@ -386,6 +406,7 @@ StatusOr<std::optional<Node>> Document::FirstChildLocked(
   auto it = doc_->NewIterator();
   it.Seek(enc + '\0');
   for (;;) {
+    XTC_RETURN_IF_ERROR(it.status());
     if (!it.Valid() || it.key().size() <= enc.size() ||
         it.key().compare(0, enc.size(), enc) != 0) {
       return std::optional<Node>(std::nullopt);
@@ -415,6 +436,7 @@ StatusOr<std::optional<Node>> Document::LastChild(const Splid& parent) const {
   std::shared_lock<std::shared_mutex> latch(mu_);
   auto it = doc_->NewIterator();
   it.SeekForPrev(parent.EncodedSubtreeUpperBound());
+  XTC_RETURN_IF_ERROR(it.status());
   if (!it.Valid()) return std::optional<Node>(std::nullopt);
   auto last = Splid::Decode(it.key());
   if (!last.has_value()) return Status::Internal("corrupt splid key");
@@ -439,6 +461,7 @@ StatusOr<std::optional<Node>> Document::NextSiblingLocked(
   if (!parent.valid()) return std::optional<Node>(std::nullopt);
   auto it = doc_->NewIterator();
   it.Seek(node.EncodedSubtreeUpperBound());
+  XTC_RETURN_IF_ERROR(it.status());
   if (!it.Valid()) return std::optional<Node>(std::nullopt);
   auto next = Splid::Decode(it.key());
   if (!next.has_value()) return Status::Internal("corrupt splid key");
@@ -466,6 +489,7 @@ StatusOr<std::optional<Node>> Document::PreviousSiblingLocked(
   auto it = doc_->NewIterator();
   it.SeekForPrev(node.Encode());
   if (it.Valid() && it.key() == node.Encode()) it.Prev();
+  XTC_RETURN_IF_ERROR(it.status());
   if (!it.Valid()) return std::optional<Node>(std::nullopt);
   auto prev_deep = Splid::Decode(it.key());
   if (!prev_deep.has_value()) return Status::Internal("corrupt splid key");
@@ -524,6 +548,7 @@ StatusOr<std::vector<Node>> Document::SubtreeLocked(const Splid& root) const {
     }
     out.push_back(Node{*splid, *rec});
   }
+  XTC_RETURN_IF_ERROR(it.status());
   return out;
 }
 
@@ -534,6 +559,8 @@ StatusOr<std::vector<Node>> Document::Subtree(const Splid& root) const {
 
 std::optional<Splid> Document::LookupId(std::string_view id) const {
   std::shared_lock<std::shared_mutex> latch(mu_);
+  // See Exists(): an optional answer cannot report an I/O error.
+  FaultInjector::ScopedSuppress no_faults;
   return ids_->Lookup(id);
 }
 
@@ -541,6 +568,7 @@ std::vector<Splid> Document::ElementsByName(std::string_view name) const {
   NameSurrogate s = vocab_.Lookup(name);
   if (s == kInvalidSurrogate) return {};
   std::shared_lock<std::shared_mutex> latch(mu_);
+  FaultInjector::ScopedSuppress no_faults;  // see Exists()
   return elements_->List(s);
 }
 
@@ -549,6 +577,7 @@ std::optional<Splid> Document::NthElementByName(std::string_view name,
   NameSurrogate s = vocab_.Lookup(name);
   if (s == kInvalidSurrogate) return std::nullopt;
   std::shared_lock<std::shared_mutex> latch(mu_);
+  FaultInjector::ScopedSuppress no_faults;  // see Exists()
   return elements_->Nth(s, index);
 }
 
@@ -575,6 +604,7 @@ Status Document::Validate() const {
       }
       all.emplace_back(*splid, *rec);
     }
+    XTC_RETURN_IF_ERROR(it.status());
   }
   uint64_t element_entries = 0;
   uint64_t id_entries = 0;

@@ -2,8 +2,9 @@
 
 namespace xtc {
 
-NodeManager::NodeManager(Document* doc, LockManager* locks)
-    : doc_(doc), locks_(locks), accessor_(doc) {
+NodeManager::NodeManager(Document* doc, LockManager* locks,
+                         FaultInjector* faults)
+    : doc_(doc), locks_(locks), faults_(faults), accessor_(doc) {
   locks_->protocol().set_document_accessor(&accessor_);
 }
 
@@ -181,7 +182,7 @@ Status NodeManager::UpdateText(Transaction& tx, const Splid& text,
   tx.AddUndo([doc, string_node, old_content]() {
     return doc->UpdateContent(string_node, old_content);
   });
-  return Status::OK();
+  return MaybeInject(faults_, fault_points::kNodeIud);
 }
 
 Status NodeManager::Rename(Transaction& tx, const Splid& element,
@@ -201,7 +202,7 @@ Status NodeManager::Rename(Transaction& tx, const Splid& element,
   tx.AddUndo([doc, element, old_name]() {
     return doc->RenameElement(element, old_name);
   });
-  return Status::OK();
+  return MaybeInject(faults_, fault_points::kNodeIud);
 }
 
 Status NodeManager::LockSpecIds(const TxLockView& view,
@@ -299,6 +300,7 @@ StatusOr<Splid> NodeManager::InsertSubtreeCommon(Transaction& tx,
   Document* doc = doc_;
   Splid new_root = *actual;
   tx.AddUndo([doc, new_root]() { return doc->RemoveSubtree(new_root); });
+  XTC_RETURN_IF_ERROR(MaybeInject(faults_, fault_points::kNodeIud));
   return new_root;
 }
 
@@ -329,7 +331,7 @@ Status NodeManager::SetAttribute(Transaction& tx, const Splid& element,
     tx.AddUndo([doc, string_node, old_content]() {
       return doc->UpdateContent(string_node, old_content);
     });
-    return Status::OK();
+    return MaybeInject(faults_, fault_points::kNodeIud);
   }
   // Fresh attribute: exclusive on the attribute root's child level.
   const Splid attr_root = element.AttributeChild();
@@ -343,7 +345,7 @@ Status NodeManager::SetAttribute(Transaction& tx, const Splid& element,
   XTC_RETURN_IF_ERROR(locks_->NodeWrite(view, *added));
   Splid attr = *added;
   tx.AddUndo([doc, attr]() { return doc->RemoveSubtree(attr); });
-  return Status::OK();
+  return MaybeInject(faults_, fault_points::kNodeIud);
 }
 
 Status NodeManager::RemoveAttribute(Transaction& tx, const Splid& element,
@@ -372,7 +374,7 @@ Status NodeManager::RemoveAttribute(Transaction& tx, const Splid& element,
   tx.AddUndo([doc, removed = std::move(removed)]() {
     return doc->RestoreNodes(removed);
   });
-  return Status::OK();
+  return MaybeInject(faults_, fault_points::kNodeIud);
 }
 
 StatusOr<Splid> NodeManager::AppendSubtree(Transaction& tx,
@@ -453,7 +455,7 @@ Status NodeManager::DeleteSubtree(Transaction& tx, const Splid& root) {
   std::vector<Node> removed = std::move(*nodes);
   tx.AddUndo(
       [doc, removed = std::move(removed)]() { return doc->RestoreNodes(removed); });
-  return Status::OK();
+  return MaybeInject(faults_, fault_points::kNodeIud);
 }
 
 }  // namespace xtc

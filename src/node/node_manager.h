@@ -23,13 +23,18 @@
 #include "node/document.h"
 #include "node/node.h"
 #include "tx/transaction.h"
+#include "util/fault_injector.h"
 #include "util/status.h"
 
 namespace xtc {
 
 class NodeManager {
  public:
-  NodeManager(Document* doc, LockManager* locks);
+  /// `faults` (optional) evaluates "node.iud" after each IUD operation has
+  /// performed its physical change and registered its undo action — the
+  /// surfaced error leaves work for the abort path to compensate.
+  NodeManager(Document* doc, LockManager* locks,
+              FaultInjector* faults = nullptr);
 
   Document& document() { return *doc_; }
   LockManager& locks() { return *locks_; }
@@ -141,6 +146,7 @@ class NodeManager {
 
   Document* doc_;
   LockManager* locks_;
+  FaultInjector* faults_;
   DocumentAccessorImpl accessor_;
 };
 

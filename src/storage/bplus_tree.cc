@@ -210,7 +210,11 @@ Status BplusTree::Update(std::string_view key, std::string_view value) {
   int i = sp.LowerBound(key, &found);
   if (!found) return Status::NotFound("key not in tree");
   if (!sp.UpdateValue(i, value)) {
-    // Value grew past the page: delete + insert (may split).
+    // Value grew past the page: delete + insert (may split). A failed
+    // UpdateValue leaves the old entry in place but may have moved it to
+    // a different slot, so re-locate the key instead of reusing `i`.
+    i = sp.LowerBound(key, &found);
+    if (!found) return Status::Internal("update lost key: " + std::string(key));
     sp.Remove(i);
     guard->MarkDirty();
     guard->Release();
@@ -381,10 +385,15 @@ int BplusTree::Height() const {
 // Iterator
 // ---------------------------------------------------------------------------
 
+void BplusTree::Iterator::Invalidate(const Status& st) {
+  valid_ = false;
+  if (status_.ok()) status_ = st;
+}
+
 void BplusTree::Iterator::LoadCurrent(PageId page, int slot) {
   auto guard = tree_->bm_->Fetch(page);
   if (!guard.ok()) {
-    valid_ = false;
+    Invalidate(guard.status());
     return;
   }
   SlottedPage sp(guard->page());
@@ -404,7 +413,7 @@ void BplusTree::Iterator::AdvanceForward(PageId page, int slot) {
   for (;;) {
     auto guard = tree_->bm_->Fetch(page);
     if (!guard.ok()) {
-      valid_ = false;
+      Invalidate(guard.status());
       return;
     }
     SlottedPage sp(guard->page());
@@ -430,7 +439,7 @@ void BplusTree::Iterator::AdvanceBackward(PageId page, int slot) {
   for (;;) {
     auto guard = tree_->bm_->Fetch(page);
     if (!guard.ok()) {
-      valid_ = false;
+      Invalidate(guard.status());
       return;
     }
     SlottedPage sp(guard->page());
@@ -454,11 +463,12 @@ void BplusTree::Iterator::AdvanceBackward(PageId page, int slot) {
 }
 
 void BplusTree::Iterator::SeekToFirst() {
+  status_ = Status::OK();
   PageId current = tree_->root_;
   for (;;) {
     auto guard = tree_->bm_->Fetch(current);
     if (!guard.ok()) {
-      valid_ = false;
+      Invalidate(guard.status());
       return;
     }
     SlottedPage sp(guard->page());
@@ -469,11 +479,12 @@ void BplusTree::Iterator::SeekToFirst() {
 }
 
 void BplusTree::Iterator::SeekToLast() {
+  status_ = Status::OK();
   PageId current = tree_->root_;
   for (;;) {
     auto guard = tree_->bm_->Fetch(current);
     if (!guard.ok()) {
-      valid_ = false;
+      Invalidate(guard.status());
       return;
     }
     SlottedPage sp(guard->page());
@@ -485,14 +496,15 @@ void BplusTree::Iterator::SeekToLast() {
 }
 
 void BplusTree::Iterator::Seek(std::string_view target) {
+  status_ = Status::OK();
   auto leaf = tree_->FindLeaf(target);
   if (!leaf.ok()) {
-    valid_ = false;
+    Invalidate(leaf.status());
     return;
   }
   auto guard = tree_->bm_->Fetch(*leaf);
   if (!guard.ok()) {
-    valid_ = false;
+    Invalidate(guard.status());
     return;
   }
   SlottedPage sp(guard->page());
@@ -503,14 +515,15 @@ void BplusTree::Iterator::Seek(std::string_view target) {
 }
 
 void BplusTree::Iterator::SeekForPrev(std::string_view target) {
+  status_ = Status::OK();
   auto leaf = tree_->FindLeaf(target);
   if (!leaf.ok()) {
-    valid_ = false;
+    Invalidate(leaf.status());
     return;
   }
   auto guard = tree_->bm_->Fetch(*leaf);
   if (!guard.ok()) {
-    valid_ = false;
+    Invalidate(guard.status());
     return;
   }
   SlottedPage sp(guard->page());
@@ -526,11 +539,13 @@ void BplusTree::Iterator::SeekForPrev(std::string_view target) {
 
 void BplusTree::Iterator::Next() {
   if (!valid_) return;
+  status_ = Status::OK();
   AdvanceForward(page_, slot_ + 1);
 }
 
 void BplusTree::Iterator::Prev() {
   if (!valid_) return;
+  status_ = Status::OK();
   AdvanceBackward(page_, slot_ - 1);
 }
 

@@ -48,7 +48,10 @@ class BplusTree {
 
   /// Forward/backward cursor. Positioning methods copy the entry out, so
   /// the iterator holds no page pins between calls; it must not be used
-  /// across tree modifications.
+  /// across tree modifications. A page fetch failure ends the iteration
+  /// (Valid() turns false) and is remembered in status(): callers that
+  /// treat !Valid() as "no more entries" must check status() afterwards,
+  /// or an I/O error silently truncates the scan.
   class Iterator {
    public:
     explicit Iterator(const BplusTree* tree) : tree_(tree) {}
@@ -65,14 +68,19 @@ class BplusTree {
     bool Valid() const { return valid_; }
     const std::string& key() const { return key_; }
     const std::string& value() const { return value_; }
+    /// OK while the scan merely ran out of entries; the first page fetch
+    /// error otherwise. Reset by every positioning call.
+    const Status& status() const { return status_; }
 
    private:
+    void Invalidate(const Status& st);
     void LoadCurrent(PageId page, int slot);
     void AdvanceForward(PageId page, int slot);   // slot may be past end
     void AdvanceBackward(PageId page, int slot);  // slot may be -1
 
     const BplusTree* tree_;
     bool valid_ = false;
+    Status status_ = Status::OK();
     PageId page_ = kInvalidPageId;
     int slot_ = 0;
     std::string key_;

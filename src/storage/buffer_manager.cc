@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/fault_injector.h"
+
 namespace xtc {
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
@@ -39,6 +41,8 @@ BufferManager::BufferManager(PageFile* file, const StorageOptions& options)
 }
 
 StatusOr<PageGuard> BufferManager::Fetch(PageId id) {
+  XTC_RETURN_IF_ERROR(
+      MaybeInject(options_.fault_injector, fault_points::kBufferPin));
   std::unique_lock<std::mutex> guard(mu_);
   auto it = table_.find(id);
   if (it != table_.end()) {
@@ -123,6 +127,15 @@ Status BufferManager::FlushAll() {
   return Status::OK();
 }
 
+size_t BufferManager::PinnedFrames() const {
+  std::unique_lock<std::mutex> guard(mu_);
+  size_t pinned = 0;
+  for (const Frame& f : frames_) {
+    if (f.id != kInvalidPageId && f.pin_count > 0) ++pinned;
+  }
+  return pinned;
+}
+
 void BufferManager::Unpin(PageId id, bool dirty) {
   std::unique_lock<std::mutex> guard(mu_);
   auto it = table_.find(id);
@@ -143,19 +156,25 @@ int BufferManager::FindVictim() {
     free_frames_.pop_back();
     return static_cast<int>(idx);
   }
-  if (lru_.empty()) return -1;
-  size_t idx = lru_.back();  // least recently used unpinned frame
-  lru_.pop_back();
-  Frame& f = frames_[idx];
-  f.in_lru = false;
-  if (f.dirty) {
-    Status st = file_->Write(f.id, *f.page);
-    (void)st;  // in-memory page file cannot fail for valid ids
-    f.dirty = false;
+  // Least recently used first. A dirty frame whose write-back fails
+  // (injected or real I/O error) must NOT be evicted — dropping it would
+  // lose committed data outside any transaction's undo reach. It stays
+  // cached and dirty; the scan moves on to the next candidate.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    size_t idx = *it;
+    Frame& f = frames_[idx];
+    if (f.dirty) {
+      Status st = file_->Write(f.id, *f.page);
+      if (!st.ok()) continue;  // keep the frame; try an older write later
+      f.dirty = false;
+    }
+    lru_.erase(std::next(it).base());
+    f.in_lru = false;
+    table_.erase(f.id);
+    f.id = kInvalidPageId;
+    return static_cast<int>(idx);
   }
-  table_.erase(f.id);
-  f.id = kInvalidPageId;
-  return static_cast<int>(idx);
+  return -1;
 }
 
 }  // namespace xtc

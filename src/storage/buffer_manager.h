@@ -78,6 +78,10 @@ class BufferManager {
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
+  /// Frames currently pinned (must be 0 when the system is quiescent —
+  /// every PageGuard unpins on destruction).
+  size_t PinnedFrames() const;
+
  private:
   friend class PageGuard;
 
@@ -97,7 +101,7 @@ class BufferManager {
 
   PageFile* file_;
   StorageOptions options_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> table_;
   std::list<size_t> lru_;  // front = most recent; only unpinned frames

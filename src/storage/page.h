@@ -10,6 +10,8 @@
 
 namespace xtc {
 
+class FaultInjector;
+
 using PageId = uint32_t;
 inline constexpr PageId kInvalidPageId = 0;
 
@@ -38,6 +40,9 @@ struct StorageOptions {
   uint32_t buffer_pool_pages = 4096;
   /// Simulated latency per page-file read/write, microseconds (0 = off).
   uint32_t io_latency_us = 0;
+  /// When set, PageFile evaluates "io.read"/"io.write" and BufferManager
+  /// evaluates "buffer.pin" fault points (chaos testing; null = off).
+  FaultInjector* fault_injector = nullptr;
 };
 
 }  // namespace xtc

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "util/fault_injector.h"
+
 namespace xtc {
 
 PageFile::PageFile(const StorageOptions& options) : options_(options) {}
@@ -21,6 +23,8 @@ PageId PageFile::Allocate() {
 }
 
 Status PageFile::Read(PageId id, Page* out) {
+  XTC_RETURN_IF_ERROR(
+      MaybeInject(options_.fault_injector, fault_points::kIoRead));
   SimulateLatency();
   reads_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> guard(mu_);
@@ -32,6 +36,8 @@ Status PageFile::Read(PageId id, Page* out) {
 }
 
 Status PageFile::Write(PageId id, const Page& in) {
+  XTC_RETURN_IF_ERROR(
+      MaybeInject(options_.fault_injector, fault_points::kIoWrite));
   SimulateLatency();
   writes_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> guard(mu_);

@@ -325,8 +325,16 @@ bool SlottedPage::UpdateValue(int i, std::string_view value) {
     return true;
   }
   std::string key = FullKey(i);
+  std::string old_value(Value(i));
   Remove(i);
-  return Insert(key, value);
+  if (Insert(key, value)) return true;
+  // The grown value does not fit: restore the original entry so failure
+  // is atomic. The restore cannot fail — the old entry occupied the page
+  // a moment ago, so after compaction it fits again.
+  bool restored = Insert(key, old_value);
+  assert(restored && "restoring the old value must fit");
+  (void)restored;
+  return false;
 }
 
 void SlottedPage::Remove(int i) {

@@ -74,7 +74,8 @@ class SlottedPage {
   bool Insert(std::string_view full_key, std::string_view value);
 
   /// Replaces the value of slot i in place if sizes allow, else via
-  /// remove+insert. Returns false if out of space.
+  /// remove+insert. Returns false if out of space; the page is unchanged
+  /// then (the slot still holds the old value, possibly at a new index).
   bool UpdateValue(int i, std::string_view value);
 
   void Remove(int i);

@@ -1,20 +1,34 @@
 #include "tamix/coordinator.h"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "node/node_manager.h"
 #include "protocols/protocol_registry.h"
+#include "tamix/invariants.h"
 #include "tx/transaction_manager.h"
 
 namespace xtc {
+
+FaultPlan FaultPlan::AllPoints(double probability) {
+  FaultPlan plan;
+  for (std::string_view point : AllFaultPoints()) {
+    FaultPointConfig config;
+    config.probability = probability;
+    plan.points.emplace_back(std::string(point), config);
+  }
+  return plan;
+}
 
 namespace {
 
 /// Everything one run needs, wired together.
 struct Testbed {
+  std::unique_ptr<FaultInjector> faults;  // null unless chaos mode
   std::unique_ptr<Document> doc;
   BibInfo info;
   std::unique_ptr<XmlProtocol> protocol;
@@ -25,12 +39,20 @@ struct Testbed {
 
 StatusOr<std::unique_ptr<Testbed>> BuildTestbed(const RunConfig& config) {
   auto bed = std::make_unique<Testbed>();
-  bed->doc = std::make_unique<Document>(config.storage);
+  StorageOptions storage = config.storage;
+  if (config.faults.enabled()) {
+    const uint64_t seed =
+        config.faults.seed != 0 ? config.faults.seed : config.seed;
+    bed->faults = std::make_unique<FaultInjector>(seed);
+    storage.fault_injector = bed->faults.get();
+  }
+  bed->doc = std::make_unique<Document>(storage);
   auto info = GenerateBib(bed->doc.get(), config.bib);
   if (!info.ok()) return info.status();
   bed->info = std::move(*info);
   LockTableOptions lock_options;
   lock_options.wait_timeout = config.Scaled(config.lock_wait_timeout);
+  lock_options.fault_injector = bed->faults.get();
   bed->protocol = config.protocol_factory
                       ? config.protocol_factory(lock_options)
                       : CreateProtocol(config.protocol, lock_options);
@@ -38,16 +60,34 @@ StatusOr<std::unique_ptr<Testbed>> BuildTestbed(const RunConfig& config) {
     return Status::InvalidArgument("unknown protocol: " + config.protocol);
   }
   bed->lock_manager = std::make_unique<LockManager>(bed->protocol.get());
-  bed->tx_manager =
-      std::make_unique<TransactionManager>(bed->lock_manager.get());
-  bed->node_manager = std::make_unique<NodeManager>(bed->doc.get(),
-                                                    bed->lock_manager.get());
+  bed->tx_manager = std::make_unique<TransactionManager>(
+      bed->lock_manager.get(), bed->faults.get());
+  bed->node_manager = std::make_unique<NodeManager>(
+      bed->doc.get(), bed->lock_manager.get(), bed->faults.get());
+  // Arm the fault points only now: document generation and the rest of
+  // the setup must always succeed.
+  if (bed->faults != nullptr) {
+    for (const auto& [point, point_config] : config.faults.points) {
+      bed->faults->Arm(point, point_config);
+    }
+  }
   return bed;
 }
 
+/// Thread-safe record of every committed transaction (chaos mode).
+struct CommitLog {
+  std::mutex mu;
+  std::vector<CommittedTx> entries;
+
+  void Record(const CommittedTx& c) {
+    std::lock_guard<std::mutex> guard(mu);
+    entries.push_back(c);
+  }
+};
+
 void WorkerLoop(const RunConfig& config, Testbed* bed, TaMixRunner* runner,
                 MetricsCollector* metrics, TxType type, uint64_t worker_index,
-                const std::atomic<bool>* stop) {
+                const std::atomic<bool>* stop, CommitLog* commit_log) {
   Rng rng(config.seed * 1000003 + worker_index);
   // Random stagger before the first operation (paper: 0..5000 ms).
   const Duration stagger = config.Scaled(config.max_initial_wait);
@@ -55,18 +95,48 @@ void WorkerLoop(const RunConfig& config, Testbed* bed, TaMixRunner* runner,
     SleepFor(Duration(static_cast<Duration::rep>(
         rng.NextDouble() * static_cast<double>(stagger.count()))));
   }
+  const Duration backoff_cap = config.Scaled(config.retry_backoff_max);
   while (!stop->load(std::memory_order_relaxed)) {
-    auto tx = bed->tx_manager->Begin(config.isolation, config.lock_depth);
-    const TimePoint start = Now();
-    Status st = runner->RunBody(type, *tx, rng);
-    if (st.ok()) {
-      Status commit = bed->tx_manager->Commit(*tx);
-      if (commit.ok() && !stop->load(std::memory_order_relaxed)) {
-        metrics->RecordCommit(type, ToMicros(Now() - start));
+    // One work item; its body RNG is reseeded from `body_seed` on every
+    // attempt, so a retry re-runs the same logical work and the commit
+    // log entry suffices to replay it.
+    const uint64_t body_seed = rng.Next();
+    for (int attempt = 0;; ++attempt) {
+      auto tx = bed->tx_manager->Begin(config.isolation, config.lock_depth);
+      const TimePoint start = Now();
+      Rng body_rng(body_seed);
+      Status st = runner->RunBody(type, *tx, body_rng);
+      if (st.ok()) {
+        Status commit = bed->tx_manager->Commit(*tx);
+        if (commit.ok()) {
+          // The commit log must see every commit — including those after
+          // the stop flag, which the throughput metrics ignore.
+          if (commit_log != nullptr) {
+            commit_log->Record({tx->commit_seq(), type, body_seed});
+          }
+          if (!stop->load(std::memory_order_relaxed)) {
+            metrics->RecordCommit(type, ToMicros(Now() - start));
+          }
+        }
+        break;
       }
-    } else {
-      (void)bed->tx_manager->Abort(*tx);
+      Status abort = bed->tx_manager->Abort(*tx);
+      if (!abort.ok()) metrics->RecordUndoFailure(type);
       metrics->RecordAbort(type, st);
+      if (!st.IsRetryable() || attempt >= config.max_retries ||
+          stop->load(std::memory_order_relaxed)) {
+        break;  // give up on this item; draw fresh work
+      }
+      metrics->RecordRetry(type);
+      // Exponential backoff with jitter: contention (and injected fault
+      // storms) needs the colliding workers to spread out, not to retry
+      // in lockstep.
+      Duration backoff = config.Scaled(config.retry_backoff);
+      for (int i = 0; i < attempt && backoff < backoff_cap; ++i) backoff *= 2;
+      backoff = std::min(backoff, backoff_cap);
+      SleepFor(Duration(static_cast<Duration::rep>(
+          static_cast<double>(backoff.count()) *
+          (0.5 + 0.5 * rng.NextDouble()))));
     }
     SleepFor(config.Scaled(config.wait_after_commit));
   }
@@ -74,19 +144,22 @@ void WorkerLoop(const RunConfig& config, Testbed* bed, TaMixRunner* runner,
 
 }  // namespace
 
-StatusOr<RunStats> RunCluster1(const RunConfig& config) {
+StatusOr<RunStats> RunCluster1(const RunConfig& config, ChaosReport* report) {
   XTC_ASSIGN_OR_RETURN(std::unique_ptr<Testbed> bed, BuildTestbed(config));
   TaMixRunner runner(bed->node_manager.get(), &bed->info,
                      config.Scaled(config.wait_after_operation));
   MetricsCollector metrics;
   std::atomic<bool> stop{false};
+  CommitLog commit_log;
+  const bool chaos = config.faults.enabled();
+  CommitLog* log_ptr = (chaos || report != nullptr) ? &commit_log : nullptr;
 
   std::vector<std::thread> workers;
   uint64_t worker_index = 0;
   auto spawn = [&](TxType type, int count) {
     for (int i = 0; i < count; ++i) {
       workers.emplace_back(WorkerLoop, std::cref(config), bed.get(), &runner,
-                           &metrics, type, worker_index++, &stop);
+                           &metrics, type, worker_index++, &stop, log_ptr);
     }
   };
   for (int c = 0; c < config.mix.clients; ++c) {
@@ -106,6 +179,38 @@ StatusOr<RunStats> RunCluster1(const RunConfig& config) {
   RunStats stats = metrics.Snapshot();
   stats.lock_stats = bed->protocol->table().GetStats();
   stats.run_duration_ms = elapsed_ms;
+
+  if (bed->faults != nullptr) {
+    // The run is over; the post-run checks below must read the document
+    // without injected failures. The log keeps the injection history.
+    for (const auto& [point, point_config] : config.faults.points) {
+      bed->faults->Disarm(point);
+    }
+  }
+  if (log_ptr != nullptr) {
+    std::sort(commit_log.entries.begin(), commit_log.entries.end(),
+              [](const CommittedTx& a, const CommittedTx& b) {
+                return a.seq < b.seq;
+              });
+    XTC_RETURN_IF_ERROR(CheckQuiescent(bed->protocol->table(), *bed->doc));
+    XTC_ASSIGN_OR_RETURN(uint64_t fingerprint,
+                         DocumentFingerprint(*bed->doc));
+    if (report != nullptr) {
+      report->committed = commit_log.entries;
+      report->document_fingerprint = fingerprint;
+      if (bed->faults != nullptr) {
+        report->injected_faults = bed->faults->total_injections();
+        report->injection_log = bed->faults->InjectionLog();
+      }
+    }
+    if (config.isolation == IsolationLevel::kSerializable) {
+      // Strict long locks + serializable: commit order is a serialization
+      // order, so the surviving document must equal a single-threaded
+      // replay of exactly the committed transactions.
+      XTC_RETURN_IF_ERROR(
+          CheckCommittedReplay(config, commit_log.entries, *bed->doc));
+    }
+  }
   return stats;
 }
 

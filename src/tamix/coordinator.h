@@ -9,12 +9,15 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "lock/lock_manager.h"
 #include "storage/page.h"
 #include "tamix/bib_generator.h"
 #include "tamix/metrics.h"
 #include "util/clock.h"
+#include "util/fault_injector.h"
 
 namespace xtc {
 
@@ -32,6 +35,20 @@ struct WorkloadMix {
   int WorkersPerClient() const {
     return query_book + chapter + rename_topic + lend_and_return + del_book;
   }
+};
+
+/// Chaos mode: which fault points to arm, and with what configuration.
+/// The injector is created after the testbed is built and the bib
+/// document is generated, so setup is always fault-free.
+struct FaultPlan {
+  /// Injector seed; 0 = derive from RunConfig::seed.
+  uint64_t seed = 0;
+  std::vector<std::pair<std::string, FaultPointConfig>> points;
+
+  bool enabled() const { return !points.empty(); }
+
+  /// Arms every fault point in the stack at the same probability.
+  static FaultPlan AllPoints(double probability);
 };
 
 /// One benchmark run. All timing parameters are the paper's, scaled by
@@ -58,13 +75,48 @@ struct RunConfig {
   StorageOptions storage;
   uint64_t seed = 7;
 
+  /// Chaos mode (empty = off): armed fault points for this run.
+  FaultPlan faults;
+  /// How often a worker re-runs one work item after a retryable abort
+  /// (deadlock, timeout, injected I/O error) before giving up on it and
+  /// drawing fresh work. Each retry backs off exponentially from
+  /// `retry_backoff` (plus jitter), capped at `retry_backoff_max`.
+  int max_retries = 4;
+  Duration retry_backoff = Millis(100);
+  Duration retry_backoff_max = Millis(2000);
+
   Duration Scaled(Duration d) const {
     return std::chrono::duration_cast<Duration>(d * time_scale);
   }
 };
 
-/// Runs CLUSTER1: the timed multi-client workload.
-StatusOr<RunStats> RunCluster1(const RunConfig& config);
+/// One committed transaction, as recorded for the chaos replay check.
+/// `body_seed` reseeds the body RNG so a single-threaded replay in
+/// commit-sequence order reproduces exactly the committed work.
+struct CommittedTx {
+  uint64_t seq = 0;
+  TxType type = TxType::kQueryBook;
+  uint64_t body_seed = 0;
+};
+
+/// What a chaos run reports on top of RunStats (see docs/robustness.md).
+struct ChaosReport {
+  /// Every committed transaction, sorted by commit sequence number.
+  std::vector<CommittedTx> committed;
+  /// Canonical structure+content fingerprint of the surviving document.
+  uint64_t document_fingerprint = 0;
+  /// Total injected faults, and the per-point firing log (the log is the
+  /// determinism witness: same seed + same plan ⇒ identical log).
+  uint64_t injected_faults = 0;
+  std::vector<FaultInjection> injection_log;
+};
+
+/// Runs CLUSTER1: the timed multi-client workload. When `config.faults`
+/// is enabled, post-run invariants are enforced (quiescent lock table and
+/// wait-for graph, zero buffer pins, structurally valid document) and
+/// `report` (optional) receives the chaos outcome.
+StatusOr<RunStats> RunCluster1(const RunConfig& config,
+                               ChaosReport* report = nullptr);
 
 /// CLUSTER2: single-user TAdelBook executions under isolation level
 /// repeatable; reports execution time and locking effort (paper §5.3).

@@ -1,0 +1,44 @@
+// Post-run invariant checks for chaos runs (and any test that wants
+// them): a finished run must leave the system quiescent, and under
+// isolation level serializable the surviving document must equal a
+// single-threaded replay of exactly the committed transactions in
+// commit-sequence order.
+
+#ifndef XTC_TAMIX_INVARIANTS_H_
+#define XTC_TAMIX_INVARIANTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lock/lock_table.h"
+#include "node/document.h"
+#include "tamix/coordinator.h"
+#include "util/status.h"
+
+namespace xtc {
+
+/// Quiescence: no locked resources, no residual wait-for-graph waiters,
+/// no pinned buffer frames, and the document passes its structural audit
+/// (tree layering, index agreement). Returns the first violation.
+Status CheckQuiescent(const LockTable& table, const Document& doc);
+
+/// Canonical fingerprint of the document: a preorder walk hashing each
+/// node's depth, kind, *resolved* name and content. Resolved names (not
+/// vocabulary surrogates) and depths (not raw SPLIDs) make the value
+/// comparable across stores whose interning or labeling history differs.
+StatusOr<uint64_t> DocumentFingerprint(const Document& doc);
+
+/// Serializability witness: rebuilds the run's initial document (same
+/// bib config), replays exactly `committed` in commit-sequence order on
+/// a fresh single-threaded stack without faults, and compares the result
+/// against `surviving` (the document of the concurrent run). On
+/// divergence the error names the first differing node. Only meaningful
+/// for strict long-lock protocols under isolation level serializable,
+/// where commit order is a serialization order.
+Status CheckCommittedReplay(const RunConfig& config,
+                            const std::vector<CommittedTx>& committed,
+                            const Document& surviving);
+
+}  // namespace xtc
+
+#endif  // XTC_TAMIX_INVARIANTS_H_

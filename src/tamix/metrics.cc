@@ -21,6 +21,16 @@ void MetricsCollector::RecordAbort(TxType type, const Status& reason) {
   if (reason.code() == StatusCode::kLockTimeout) ++s.timeout_aborts;
 }
 
+void MetricsCollector::RecordRetry(TxType type) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ++per_type_[static_cast<size_t>(type)].retries;
+}
+
+void MetricsCollector::RecordUndoFailure(TxType type) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ++per_type_[static_cast<size_t>(type)].undo_failures;
+}
+
 RunStats MetricsCollector::Snapshot() const {
   std::lock_guard<std::mutex> guard(mu_);
   RunStats out;

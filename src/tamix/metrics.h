@@ -20,6 +20,10 @@ struct TxTypeStats {
   uint64_t aborted = 0;
   uint64_t deadlock_aborts = 0;
   uint64_t timeout_aborts = 0;
+  /// Aborted attempts that were retried (chaos mode's bounded retry loop).
+  uint64_t retries = 0;
+  /// Aborts in which at least one undo action reported failure.
+  uint64_t undo_failures = 0;
   int64_t total_duration_us = 0;  // committed transactions only
   int64_t min_duration_us = 0;
   int64_t max_duration_us = 0;
@@ -48,6 +52,16 @@ struct RunStats {
     return n;
   }
   uint64_t total_deadlocks() const { return lock_stats.deadlocks; }
+  uint64_t total_retries() const {
+    uint64_t n = 0;
+    for (const auto& s : per_type) n += s.retries;
+    return n;
+  }
+  uint64_t total_undo_failures() const {
+    uint64_t n = 0;
+    for (const auto& s : per_type) n += s.undo_failures;
+    return n;
+  }
 
   /// Committed transactions normalized to the paper's 5-minute runs.
   double throughput_per_5min() const {
@@ -62,6 +76,8 @@ class MetricsCollector {
  public:
   void RecordCommit(TxType type, int64_t duration_us);
   void RecordAbort(TxType type, const Status& reason);
+  void RecordRetry(TxType type);
+  void RecordUndoFailure(TxType type);
   RunStats Snapshot() const;
 
  private:

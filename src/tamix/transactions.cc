@@ -21,7 +21,10 @@ std::string_view TxTypeName(TxType type) {
 namespace {
 
 /// Under weak isolation levels concurrent deletions can make a node
-/// vanish mid-transaction; that is expected, not an error.
+/// vanish mid-transaction; that is expected, not an error, so the body
+/// simply ends early and commits whatever it did so far. Under
+/// serializable isolation long read locks make reads repeatable, so this
+/// path never fires there and committed bodies stay replayable.
 Status IgnoreNotFound(const Status& st) {
   if (st.IsNotFound()) return Status::OK();
   return st;
@@ -49,7 +52,7 @@ Status TaMixRunner::ReadSubtreeNavigationally(Transaction& tx,
                                               const Splid& root,
                                               int max_depth) {
   auto child = nm_->GetFirstChild(tx, root);
-  if (!child.ok()) return child.status();
+  if (!child.ok()) return IgnoreNotFound(child.status());
   Think();
   while (child->has_value()) {
     const Node& node = **child;
@@ -65,7 +68,7 @@ Status TaMixRunner::ReadSubtreeNavigationally(Transaction& tx,
       if (!text.ok()) XTC_RETURN_IF_ERROR(IgnoreNotFound(text.status()));
     }
     auto next = nm_->GetNextSibling(tx, node.splid);
-    if (!next.ok()) return next.status();
+    if (!next.ok()) return IgnoreNotFound(next.status());
     Think();
     child = std::move(next);
   }
@@ -92,25 +95,27 @@ Status TaMixRunner::Chapter(Transaction& tx, Rng& rng) {
   // ... followed by the update of one chapter summary text node.
   auto& vocab = nm_->document().vocabulary();
   auto children = nm_->GetChildNodes(tx, **book);
-  if (!children.ok()) return children.status();
+  if (!children.ok()) return IgnoreNotFound(children.status());
   Think();
   for (const Node& child : *children) {
     if (vocab.Name(child.record.name) != "chapters") continue;
     auto chapters = nm_->GetChildNodes(tx, child.splid);
-    if (!chapters.ok()) return chapters.status();
+    if (!chapters.ok()) return IgnoreNotFound(chapters.status());
     if (chapters->empty()) break;
     const Node& chapter = (*chapters)[rng.Uniform(chapters->size())];
     auto parts = nm_->GetChildNodes(tx, chapter.splid);
-    if (!parts.ok()) return parts.status();
+    if (!parts.ok()) return IgnoreNotFound(parts.status());
     Think();
     for (const Node& part : *parts) {
       if (vocab.Name(part.record.name) != "summary") continue;
       auto text = nm_->GetFirstChild(tx, part.splid);
-      if (!text.ok()) return text.status();
+      if (!text.ok()) return IgnoreNotFound(text.status());
       if (text->has_value() && (*text)->record.kind == NodeKind::kText) {
+        // Derived from the body rng (not tx.id()) so a replay of the body
+        // with the same rng seed writes the same content.
         XTC_RETURN_IF_ERROR(IgnoreNotFound(nm_->UpdateText(
             tx, (*text)->splid,
-            "revised summary " + std::to_string(tx.id()))));
+            "revised summary " + std::to_string(rng.Next() % 1000000))));
       }
       break;
     }
@@ -126,7 +131,7 @@ Status TaMixRunner::DelBook(Transaction& tx, Rng& rng) {
   Think();
   auto& vocab = nm_->document().vocabulary();
   auto books = nm_->GetChildNodes(tx, **topic);
-  if (!books.ok()) return books.status();
+  if (!books.ok()) return IgnoreNotFound(books.status());
   Think();
   std::vector<const Node*> candidates;
   for (const Node& b : *books) {
@@ -138,7 +143,7 @@ Status TaMixRunner::DelBook(Transaction& tx, Rng& rng) {
   auto attrs = nm_->GetAttributes(tx, victim.splid);
   if (!attrs.ok()) XTC_RETURN_IF_ERROR(IgnoreNotFound(attrs.status()));
   auto parts = nm_->GetChildNodes(tx, victim.splid);
-  if (!parts.ok()) return parts.status();
+  if (!parts.ok()) return IgnoreNotFound(parts.status());
   Think();
   return IgnoreNotFound(nm_->DeleteSubtree(tx, victim.splid));
 }
@@ -149,17 +154,17 @@ Status TaMixRunner::LendAndReturn(Transaction& tx, Rng& rng) {
   if (!book->has_value()) return Status::OK();
   Think();
   auto title = nm_->GetFirstChild(tx, **book);
-  if (!title.ok()) return title.status();
+  if (!title.ok()) return IgnoreNotFound(title.status());
   Think();
   auto history = nm_->GetLastChild(tx, **book);
-  if (!history.ok()) return history.status();
+  if (!history.ok()) return IgnoreNotFound(history.status());
   if (!history->has_value()) return Status::OK();
   const Splid history_id = (*history)->splid;
   // Declare the intent before inspecting the lend list (protocols with
   // genuine update modes avoid the conversion deadlock here).
   XTC_RETURN_IF_ERROR(IgnoreNotFound(nm_->DeclareUpdateIntent(tx, history_id)));
   auto lends = nm_->GetChildNodes(tx, history_id);
-  if (!lends.ok()) return lends.status();
+  if (!lends.ok()) return IgnoreNotFound(lends.status());
   Think();
   if (!lends->empty() && rng.Chance(0.25)) {
     // Extend a loan: update the return attribute of one lend in place.

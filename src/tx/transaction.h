@@ -48,8 +48,15 @@ class Transaction {
 
   size_t undo_log_size() const { return undo_log_.size(); }
 
+  /// Commit sequence number (1-based), assigned under the transaction's
+  /// locks — for strict long-lock protocols the commit order is a valid
+  /// serialization order, which the chaos replay check relies on.
+  /// 0 until committed.
+  uint64_t commit_seq() const { return commit_seq_; }
+
   // Used by TransactionManager only.
   void set_state(TxState s) { state_ = s; }
+  void set_commit_seq(uint64_t seq) { commit_seq_ = seq; }
   std::vector<std::function<Status()>>& undo_log() { return undo_log_; }
 
  private:
@@ -58,6 +65,7 @@ class Transaction {
   const int lock_depth_;
   const TimePoint begin_;
   TxState state_ = TxState::kActive;
+  uint64_t commit_seq_ = 0;
   std::vector<std::function<Status()>> undo_log_;
 };
 

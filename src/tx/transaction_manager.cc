@@ -1,14 +1,19 @@
 #include "tx/transaction_manager.h"
 
+#include <string>
+
 namespace xtc {
 
 Status TransactionManager::Commit(Transaction& tx) {
   if (tx.state() != TxState::kActive) {
     return Status::InvalidArgument("commit of a finished transaction");
   }
+  // The sequence number must be taken before ReleaseAll: once the locks
+  // are gone another transaction can commit conflicting work, and the
+  // sequence would no longer be a serialization order.
+  tx.set_commit_seq(committed_.fetch_add(1, std::memory_order_relaxed) + 1);
   tx.set_state(TxState::kCommitted);
   lock_manager_->ReleaseAll(tx.LockView());
-  committed_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -18,9 +23,24 @@ Status TransactionManager::Abort(Transaction& tx) {
   }
   Status result = Status::OK();
   auto& undo = tx.undo_log();
-  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+  const size_t total = undo.size();
+  size_t position = total;  // actions run in reverse: last added runs first
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it, --position) {
     Status st = (*it)();
-    if (!st.ok() && result.ok()) result = st;  // keep undoing, report first
+    if (st.ok() && faults_ != nullptr) {
+      // The compensation has already been applied; the injection only
+      // makes it *report* failure, so the document stays consistent and
+      // the error-aggregation path gets exercised.
+      st = faults_->MaybeFail(fault_points::kTxUndo);
+    }
+    if (!st.ok()) {
+      undo_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (result.ok()) {
+        result = st.Annotate("tx " + std::to_string(tx.id()) +
+                             ": undo action " + std::to_string(position) +
+                             " of " + std::to_string(total) + " failed");
+      }
+    }
   }
   undo.clear();
   tx.set_state(TxState::kAborted);

@@ -9,14 +9,19 @@
 
 #include "lock/lock_manager.h"
 #include "tx/transaction.h"
+#include "util/fault_injector.h"
 #include "util/status.h"
 
 namespace xtc {
 
 class TransactionManager {
  public:
-  explicit TransactionManager(LockManager* lock_manager)
-      : lock_manager_(lock_manager) {}
+  /// `faults` (optional) evaluates "tx.undo" after each undo action during
+  /// Abort; an injection is *reported* as that action's failure (the action
+  /// itself has already run, keeping the document consistent).
+  explicit TransactionManager(LockManager* lock_manager,
+                              FaultInjector* faults = nullptr)
+      : lock_manager_(lock_manager), faults_(faults) {}
 
   std::unique_ptr<Transaction> Begin(IsolationLevel isolation,
                                      int lock_depth) {
@@ -24,12 +29,18 @@ class TransactionManager {
     return std::make_unique<Transaction>(id, isolation, lock_depth);
   }
 
-  /// Commits: releases all locks. (The store is in-memory; there is no
-  /// redo logging — durability is out of scope for the lock contest.)
+  /// Commits: assigns the commit sequence number (while all locks are
+  /// still held, so commit order = serialization order for strict
+  /// protocols), then releases all locks. (The store is in-memory; there
+  /// is no redo logging — durability is out of scope for the lock
+  /// contest.)
   Status Commit(Transaction& tx);
 
   /// Aborts: runs the undo log in reverse (while still holding all
-  /// locks), then releases the locks.
+  /// locks), then releases the locks. A failing undo action does not stop
+  /// the rollback: every remaining action still runs, the locks are still
+  /// released, the transaction still ends kAborted, and the first error
+  /// is returned annotated with the failing action's position.
   Status Abort(Transaction& tx);
 
   uint64_t num_committed() const {
@@ -38,14 +49,20 @@ class TransactionManager {
   uint64_t num_aborted() const {
     return aborted_.load(std::memory_order_relaxed);
   }
+  /// Undo actions that reported failure during aborts (injected or real).
+  uint64_t num_undo_failures() const {
+    return undo_failures_.load(std::memory_order_relaxed);
+  }
 
   LockManager& lock_manager() { return *lock_manager_; }
 
  private:
   LockManager* lock_manager_;
+  FaultInjector* faults_;
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> committed_{0};
   std::atomic<uint64_t> aborted_{0};
+  std::atomic<uint64_t> undo_failures_{0};
 };
 
 }  // namespace xtc

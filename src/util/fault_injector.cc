@@ -1,0 +1,138 @@
+#include "util/fault_injector.h"
+
+namespace xtc {
+
+thread_local int FaultInjector::suppress_depth_ = 0;
+
+std::vector<std::string_view> AllFaultPoints() {
+  return {fault_points::kLockTimeout, fault_points::kLockDeadlock,
+          fault_points::kIoRead,      fault_points::kIoWrite,
+          fault_points::kBufferPin,   fault_points::kNodeIud,
+          fault_points::kTxUndo};
+}
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(std::string_view name) {
+  // FNV-1a; any stable hash works, determinism is all that matters.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void FaultInjector::Arm(std::string_view point, FaultPointConfig config) {
+  std::lock_guard<std::mutex> guard(mu_);
+  PointState& state = points_[std::string(point)];
+  state.config = std::move(config);
+  state.evaluations = 0;
+  state.injections = 0;
+}
+
+void FaultInjector::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = points_.find(point);
+  if (it != points_.end()) points_.erase(it);
+}
+
+bool FaultInjector::Decide(std::string_view point, uint64_t n,
+                           double probability) const {
+  if (probability <= 0.0) return false;
+  const uint64_t h = SplitMix64(seed_ ^ HashName(point) ^ (n * 0x9e3779b9ULL));
+  const double u = (h >> 11) * (1.0 / 9007199254740992.0);  // [0, 1)
+  return u < probability;
+}
+
+bool FaultInjector::ShouldFail(std::string_view point) {
+  if (Suppressed()) return false;
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  PointState& state = it->second;
+  const uint64_t n = state.evaluations++;
+  if (n < state.config.skip_first) return false;
+  if (state.config.one_shot && state.injections > 0) return false;
+  if (!Decide(point, n, state.config.probability)) return false;
+  ++state.injections;
+  log_.push_back({std::string(point), n});
+  return true;
+}
+
+Status FaultInjector::MaybeFail(std::string_view point) {
+  StatusCode code;
+  std::string message;
+  {
+    if (Suppressed()) return Status::OK();
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return Status::OK();
+    PointState& state = it->second;
+    const uint64_t n = state.evaluations++;
+    if (n < state.config.skip_first) return Status::OK();
+    if (state.config.one_shot && state.injections > 0) return Status::OK();
+    if (!Decide(point, n, state.config.probability)) return Status::OK();
+    ++state.injections;
+    log_.push_back({std::string(point), n});
+    code = state.config.code;
+    message = state.config.message.empty()
+                  ? "injected fault at " + std::string(point)
+                  : state.config.message;
+  }
+  switch (code) {
+    case StatusCode::kDeadlock:
+      return Status::Deadlock(message);
+    case StatusCode::kLockTimeout:
+      return Status::LockTimeout(message);
+    case StatusCode::kTxAborted:
+      return Status::TxAborted(message);
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(message);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(message);
+    case StatusCode::kIoError:
+      return Status::IoError(message);
+    case StatusCode::kInternal:
+    case StatusCode::kOk:  // a "fault" must be an error; degrade to internal
+      return Status::Internal(message);
+  }
+  return Status::Internal(message);
+}
+
+uint64_t FaultInjector::evaluations(std::string_view point) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.evaluations;
+}
+
+uint64_t FaultInjector::injections(std::string_view point) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.injections;
+}
+
+uint64_t FaultInjector::total_injections() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return log_.size();
+}
+
+std::vector<FaultInjection> FaultInjector::InjectionLog() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return log_;
+}
+
+}  // namespace xtc

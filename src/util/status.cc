@@ -23,6 +23,8 @@ const char* CodeName(StatusCode code) {
       return "NOT_SUPPORTED";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
   }
   return "UNKNOWN";
 }

@@ -36,6 +36,9 @@ enum class StatusCode : int {
   kNotSupported = 7,
   // A resource (page, key space, ...) is exhausted.
   kResourceExhausted = 8,
+  // A (possibly injected) storage I/O error. Transient by the storage
+  // contract, so transactions abort and retry (IsRetryable).
+  kIoError = 9,
 };
 
 /// Lightweight result type: a code plus an optional message.
@@ -68,20 +71,38 @@ class Status {
   static Status ResourceExhausted(std::string_view m) {
     return Status(StatusCode::kResourceExhausted, m);
   }
+  static Status IoError(std::string_view m = "storage I/O error") {
+    return Status(StatusCode::kIoError, m);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   /// True for outcomes that mean "abort and retry the transaction":
-  /// deadlock victim, lock timeout, or explicit abort.
+  /// deadlock victim, lock timeout, explicit abort, or a transient
+  /// storage I/O error.
   bool IsRetryable() const {
     return code_ == StatusCode::kDeadlock ||
            code_ == StatusCode::kLockTimeout ||
-           code_ == StatusCode::kTxAborted;
+           code_ == StatusCode::kTxAborted ||
+           code_ == StatusCode::kIoError;
   }
   bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+
+  /// Same code, message prefixed with `context` (no-op on OK).
+  Status Annotate(std::string_view context) const {
+    if (ok()) return *this;
+    Status out = *this;
+    if (out.message_.empty()) {
+      out.message_ = std::string(context);
+    } else {
+      out.message_ = std::string(context) + ": " + out.message_;
+    }
+    return out;
+  }
 
   std::string ToString() const;
 

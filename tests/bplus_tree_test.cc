@@ -59,6 +59,32 @@ TEST_F(BplusTreeTest, UpdateValue) {
   EXPECT_EQ(tree_->size(), 1u);
 }
 
+TEST_F(BplusTreeTest, GrowingUpdatesInFullLeavesKeepNeighbors) {
+  // Ascending inserts + rightmost splits leave the left leaves ~full, so
+  // growing an existing value overflows its leaf and takes the
+  // delete + reinsert + split path. That path once removed a stale slot
+  // index and silently dropped the key-order successor of the updated
+  // key; every key must survive every update.
+  const int kKeys = 2000;
+  auto key = [](int i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%07d", i);
+    return std::string(buf);
+  };
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(tree_->Insert(key(i), "0123456789").ok());
+  }
+  for (int i = 0; i < kKeys; i += 7) {
+    ASSERT_TRUE(tree_->Update(key(i), std::string(120, 'g')).ok());
+  }
+  EXPECT_EQ(tree_->size(), static_cast<uint64_t>(kKeys));
+  for (int i = 0; i < kKeys; ++i) {
+    auto v = tree_->Get(key(i));
+    ASSERT_TRUE(v.ok()) << "lost key " << key(i);
+    EXPECT_EQ(v->size(), i % 7 == 0 ? 120u : 10u) << key(i);
+  }
+}
+
 TEST_F(BplusTreeTest, SplitsGrowTheTree) {
   for (int i = 0; i < 3000; ++i) {
     char key[16];

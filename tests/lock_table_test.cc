@@ -209,6 +209,85 @@ TEST_F(LockTableTest, ManyThreadsSharedExclusiveStress) {
   EXPECT_EQ(table_->NumLockedResources(), 0u);
 }
 
+TEST_F(LockTableTest, ThreeTransactionCycleVictimIsTheCycleCloser) {
+  // T1 holds a, T2 holds b, T3 holds c; T1 waits for b, T2 waits for c,
+  // and T3's request for a closes the 3-cycle — T3 must be the victim,
+  // and after everyone unwinds the wait-for graph must be empty.
+  ASSERT_TRUE(table_->Lock(1, "a", x_, LockDuration::kCommit).status.ok());
+  ASSERT_TRUE(table_->Lock(2, "b", x_, LockDuration::kCommit).status.ok());
+  ASSERT_TRUE(table_->Lock(3, "c", x_, LockDuration::kCommit).status.ok());
+  std::atomic<int> granted{0};
+  std::thread t1([&]() {
+    auto out = table_->Lock(1, "b", x_, LockDuration::kCommit);
+    if (out.status.ok()) ++granted;
+    table_->ReleaseAll(1);
+  });
+  SleepFor(Millis(50));  // T1 blocked on T2
+  std::thread t2([&]() {
+    auto out = table_->Lock(2, "c", x_, LockDuration::kCommit);
+    if (out.status.ok()) ++granted;
+    table_->ReleaseAll(2);
+  });
+  SleepFor(Millis(50));  // T2 blocked on T3
+  auto out3 = table_->Lock(3, "a", x_, LockDuration::kCommit);
+  EXPECT_EQ(out3.status.code(), StatusCode::kDeadlock);
+  table_->ReleaseAll(3);  // victim aborts; T2 then T1 proceed
+  t2.join();
+  t1.join();
+  EXPECT_EQ(granted.load(), 2);
+  EXPECT_EQ(table_->GetStats().deadlocks, 1u);
+  EXPECT_EQ(table_->NumWaitingTransactions(), 0u);
+  EXPECT_EQ(table_->LocksHeldBy(3), 0u);
+  auto events = table_->RecentDeadlocks();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].victim, 3u);
+  EXPECT_EQ(events[0].resource, "a");
+  EXPECT_FALSE(events[0].conversion);
+  EXPECT_GE(events[0].waiting_transactions, 3u);
+}
+
+TEST_F(LockTableTest, TimeoutVictimAbortsToZeroLocks) {
+  // The timed-out transaction keeps its earlier grants until it aborts;
+  // after ReleaseAll it must hold nothing and wait for nothing.
+  ASSERT_TRUE(table_->Lock(1, "r", x_, LockDuration::kCommit).status.ok());
+  ASSERT_TRUE(table_->Lock(2, "other", s_, LockDuration::kCommit).status.ok());
+  auto out = table_->Lock(2, "r", s_, LockDuration::kCommit);
+  EXPECT_EQ(out.status.code(), StatusCode::kLockTimeout);
+  EXPECT_EQ(table_->GetStats().timeouts, 1u);
+  EXPECT_EQ(table_->HeldMode(2, "r"), kNoMode);
+  EXPECT_EQ(table_->LocksHeldBy(2), 1u);  // "other" still held
+  table_->ReleaseAll(2);                  // the caller's abort
+  EXPECT_EQ(table_->LocksHeldBy(2), 0u);
+  EXPECT_EQ(table_->NumWaitingTransactions(), 0u);
+}
+
+TEST_F(LockTableTest, InjectedLockFaultsShortCircuitRequests) {
+  FaultInjector faults(21);
+  ModeTable m;
+  ModeId s = m.AddMode("S");
+  m.SetCompatRow(s, "+");
+  ASSERT_TRUE(m.DeriveMissingConversions().ok());
+  LockTableOptions options;
+  options.fault_injector = &faults;
+  LockTable t(&m, options);
+
+  faults.Arm(fault_points::kLockTimeout, {.probability = 1.0});
+  auto out = t.Lock(1, "r", s, LockDuration::kCommit);
+  EXPECT_EQ(out.status.code(), StatusCode::kLockTimeout);
+  EXPECT_EQ(t.LocksHeldBy(1), 0u);  // the request never touched a shard
+  EXPECT_EQ(t.GetStats().timeouts, 1u);
+
+  faults.Disarm(fault_points::kLockTimeout);
+  faults.Arm(fault_points::kLockDeadlock, {.probability = 1.0});
+  auto out2 = t.Lock(2, "r", s, LockDuration::kCommit);
+  EXPECT_EQ(out2.status.code(), StatusCode::kDeadlock);
+  EXPECT_EQ(t.GetStats().deadlocks, 1u);
+  auto events = t.RecentDeadlocks();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].injected);
+  EXPECT_EQ(events[0].victim, 2u);
+}
+
 TEST_F(LockTableTest, AsymmetricCompatibilityRespected) {
   // Build a U-style asymmetric table: held U admits R, held R denies U
   // (the convention printed in the paper's URIX matrix).

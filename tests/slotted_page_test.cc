@@ -184,5 +184,32 @@ TEST(SlottedPageChainTest, NextPrevPointersSurviveRebuild) {
   EXPECT_EQ(sp.prev(), 9u);
 }
 
+TEST_F(SlottedPageTest, FailedGrowingUpdateLeavesPageIntact) {
+  // Fill the page with keys around the victim of the oversized update.
+  int n = 0;
+  while (true) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%05d", n);
+    if (!sp_.Insert(key, "0123456789")) break;
+    ++n;
+  }
+  ASSERT_GT(n, 3);
+  // Grow a middle entry far past any possible free space. The update must
+  // fail atomically: every key keeps its old value — in particular the
+  // successor key, which a stale-slot double remove would delete.
+  bool found = false;
+  int victim = sp_.LowerBound("key00001", &found);
+  ASSERT_TRUE(found);
+  ASSERT_FALSE(sp_.UpdateValue(victim, std::string(kDefaultPageSize, 'x')));
+  EXPECT_EQ(sp_.num_slots(), n);
+  for (int i = 0; i < n; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%05d", i);
+    int slot = sp_.LowerBound(key, &found);
+    ASSERT_TRUE(found) << key;
+    EXPECT_EQ(sp_.Value(slot), "0123456789") << key;
+  }
+}
+
 }  // namespace
 }  // namespace xtc

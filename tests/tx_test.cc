@@ -85,6 +85,51 @@ TEST_F(TxTest, AbortKeepsUndoingAfterAFailingEntry) {
   EXPECT_EQ(order, (std::vector<int>{3, 1}));  // ... but undo continued
 }
 
+TEST_F(TxTest, FailedUndoStillReleasesLocksAndMarksAborted) {
+  auto tx = tm_.Begin(IsolationLevel::kRepeatable, 7);
+  ASSERT_TRUE(lm_.NodeRead(tx->LockView(), *Splid::Parse("1.3")).ok());
+  ASSERT_GT(protocol_->table().LocksHeldBy(tx->id()), 0u);
+  tx->AddUndo([]() { return Status::OK(); });
+  tx->AddUndo([]() { return Status::IoError("disk gone"); });
+  Status st = tm_.Abort(*tx);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  // The error carries the failing action's position in the rollback (the
+  // last-added action runs first, i.e. position 2 of 2).
+  EXPECT_NE(st.message().find("undo action 2 of 2 failed"),
+            std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("disk gone"), std::string::npos);
+  // A failed rollback must not leave the system wedged: state is
+  // kAborted, all locks are gone, the abort is counted.
+  EXPECT_EQ(tx->state(), TxState::kAborted);
+  EXPECT_EQ(protocol_->table().LocksHeldBy(tx->id()), 0u);
+  EXPECT_EQ(tm_.num_aborted(), 1u);
+  EXPECT_EQ(tm_.num_undo_failures(), 1u);
+}
+
+TEST_F(TxTest, FirstOfSeveralUndoFailuresIsReported) {
+  auto tx = tm_.Begin(IsolationLevel::kRepeatable, 7);
+  tx->AddUndo([]() { return Status::Internal("second failure"); });
+  tx->AddUndo([]() { return Status::Internal("first failure"); });
+  Status st = tm_.Abort(*tx);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("first failure"), std::string::npos);
+  EXPECT_EQ(st.message().find("second failure"), std::string::npos);
+  EXPECT_EQ(tm_.num_undo_failures(), 2u);
+}
+
+TEST_F(TxTest, CommitSequenceNumbersAreMonotone) {
+  auto a = tm_.Begin(IsolationLevel::kRepeatable, 7);
+  auto b = tm_.Begin(IsolationLevel::kRepeatable, 7);
+  EXPECT_EQ(a->commit_seq(), 0u);  // unassigned while active
+  ASSERT_TRUE(tm_.Commit(*a).ok());
+  ASSERT_TRUE(tm_.Commit(*b).ok());
+  EXPECT_EQ(a->commit_seq(), 1u);
+  EXPECT_EQ(b->commit_seq(), 2u);
+  EXPECT_EQ(tm_.num_committed(), 2u);
+}
+
 TEST(MetricsTest, CollectorAggregatesPerType) {
   MetricsCollector metrics;
   metrics.RecordCommit(TxType::kQueryBook, 1000);
@@ -92,6 +137,9 @@ TEST(MetricsTest, CollectorAggregatesPerType) {
   metrics.RecordCommit(TxType::kChapter, 2000);
   metrics.RecordAbort(TxType::kChapter, Status::Deadlock());
   metrics.RecordAbort(TxType::kChapter, Status::LockTimeout());
+  metrics.RecordRetry(TxType::kChapter);
+  metrics.RecordRetry(TxType::kChapter);
+  metrics.RecordUndoFailure(TxType::kQueryBook);
   RunStats stats = metrics.Snapshot();
   const auto& qb = stats.per_type[static_cast<int>(TxType::kQueryBook)];
   EXPECT_EQ(qb.committed, 2u);
@@ -102,8 +150,11 @@ TEST(MetricsTest, CollectorAggregatesPerType) {
   EXPECT_EQ(ch.aborted, 2u);
   EXPECT_EQ(ch.deadlock_aborts, 1u);
   EXPECT_EQ(ch.timeout_aborts, 1u);
+  EXPECT_EQ(ch.retries, 2u);
   EXPECT_EQ(stats.total_committed(), 3u);
   EXPECT_EQ(stats.total_aborted(), 2u);
+  EXPECT_EQ(stats.total_retries(), 2u);
+  EXPECT_EQ(stats.total_undo_failures(), 1u);
   // Normalization: 3 commits in 1 s -> 900/5min.
   stats.run_duration_ms = 1000;
   EXPECT_DOUBLE_EQ(stats.throughput_per_5min(), 900.0);
