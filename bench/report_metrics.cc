@@ -58,6 +58,21 @@ int main(int argc, char** argv) {
                   stats.lock_stats.conversion_deadlocks),
               static_cast<unsigned long long>(stats.lock_stats.timeouts));
 
+  std::printf("\nbuffer pool: %llu hits, %llu misses, io in-flight hwm %llu, "
+              "%llu coalesced fetches,\n  %llu eviction write-backs "
+              "(%llu failed, %llu cancelled by waiters)\n",
+              static_cast<unsigned long long>(stats.buffer_hits),
+              static_cast<unsigned long long>(stats.buffer_misses),
+              static_cast<unsigned long long>(stats.buffer_io.io_in_flight_hwm),
+              static_cast<unsigned long long>(
+                  stats.buffer_io.coalesced_fetches),
+              static_cast<unsigned long long>(
+                  stats.buffer_io.eviction_writebacks),
+              static_cast<unsigned long long>(
+                  stats.buffer_io.failed_writebacks),
+              static_cast<unsigned long long>(
+                  stats.buffer_io.cancelled_evictions));
+
   // Storage occupancy of a fresh bib document (paper §3.1: > 96 % on
   // their container pages; a B+-tree with half-splits sits lower).
   Document doc;

@@ -1,7 +1,6 @@
 #include "storage/buffer_manager.h"
 
-#include <cassert>
-
+#include "util/check.h"
 #include "util/fault_injector.h"
 
 namespace xtc {
@@ -32,65 +31,105 @@ void PageGuard::Release() {
 }
 
 BufferManager::BufferManager(PageFile* file, const StorageOptions& options)
-    : file_(file), options_(options) {
-  frames_.resize(options_.buffer_pool_pages);
+    : file_(file), options_(options), frames_(options.buffer_pool_pages) {
   free_frames_.reserve(frames_.size());
   for (size_t i = 0; i < frames_.size(); ++i) {
     free_frames_.push_back(frames_.size() - 1 - i);
   }
 }
 
+PageGuard BufferManager::PinResident(size_t idx) {
+  Frame& f = frames_[idx];
+  if (f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  ++f.pin_count;
+  return PageGuard(this, f.id, f.page.get());
+}
+
 StatusOr<PageGuard> BufferManager::Fetch(PageId id) {
   XTC_RETURN_IF_ERROR(
       MaybeInject(options_.fault_injector, fault_points::kBufferPin));
   std::unique_lock<std::mutex> guard(mu_);
-  auto it = table_.find(id);
-  if (it != table_.end()) {
-    Frame& f = frames_[it->second];
-    if (f.in_lru) {
-      lru_.erase(f.lru_pos);
-      f.in_lru = false;
+  for (;;) {
+    auto it = table_.find(id);
+    if (it != table_.end()) {
+      size_t idx = it->second;
+      Frame& f = frames_[idx];
+      if (f.state == FrameState::kResident) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return PinResident(idx);
+      }
+      // kLoading: another fetch is already reading this page — coalesce
+      // onto its read. kEvicting: wait for the write-back verdict (a
+      // cancelled eviction resolves to a hit, a completed one to a miss).
+      if (f.state == FrameState::kLoading) {
+        coalesced_fetches_.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++f.waiters;
+      f.cv.wait(guard, [&f, id] {
+        return f.id != id || (f.state != FrameState::kLoading &&
+                              f.state != FrameState::kEvicting);
+      });
+      --f.waiters;
+      continue;  // re-check the table from scratch
     }
-    ++f.pin_count;
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    int idx = FindVictim(guard);
+    if (idx < 0) {
+      return Status::ResourceExhausted("buffer pool exhausted (all pinned)");
+    }
+    Frame& f = frames_[static_cast<size_t>(idx)];
+    // FindVictim may have dropped the latch for a write-back; another
+    // fetch can have cached `id` meanwhile. Return the frame and retry.
+    if (table_.find(id) != table_.end()) {
+      free_frames_.push_back(static_cast<size_t>(idx));
+      continue;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (!f.page) f.page = std::make_unique<Page>(file_->page_size());
+    f.id = id;
+    f.state = FrameState::kLoading;
+    f.pin_count = 0;
+    f.dirty = false;
+    f.in_lru = false;
+    table_[id] = static_cast<size_t>(idx);
+    guard.unlock();
+    Status st;
+    {
+      ScopedIo io(this);
+      st = file_->Read(id, f.page.get());
+    }
+    guard.lock();
+    if (!st.ok()) {
+      table_.erase(id);
+      f.id = kInvalidPageId;
+      f.state = FrameState::kFree;
+      free_frames_.push_back(static_cast<size_t>(idx));
+      f.cv.notify_all();  // coalesced waiters retry (and re-read) themselves
+      return st;
+    }
+    f.state = FrameState::kResident;
+    f.pin_count = 1;
+    f.cv.notify_all();
     return PageGuard(this, id, f.page.get());
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  int idx = FindVictim();
-  if (idx < 0) {
-    return Status::ResourceExhausted("buffer pool exhausted (all pinned)");
-  }
-  Frame& f = frames_[static_cast<size_t>(idx)];
-  if (!f.page) f.page = std::make_unique<Page>(file_->page_size());
-  f.id = id;
-  f.pin_count = 1;
-  f.dirty = false;
-  f.in_lru = false;
-  table_[id] = static_cast<size_t>(idx);
-  // Read outside mu_ would be nicer for concurrency; kept simple because
-  // tree-level latching serializes structural access anyway.
-  Status st = file_->Read(id, f.page.get());
-  if (!st.ok()) {
-    table_.erase(id);
-    f.id = kInvalidPageId;
-    f.pin_count = 0;
-    free_frames_.push_back(static_cast<size_t>(idx));
-    return st;
-  }
-  return PageGuard(this, id, f.page.get());
 }
 
 StatusOr<PageGuard> BufferManager::New() {
-  PageId id = file_->Allocate();
   std::unique_lock<std::mutex> guard(mu_);
-  int idx = FindVictim();
+  int idx = FindVictim(guard);
   if (idx < 0) {
     return Status::ResourceExhausted("buffer pool exhausted (all pinned)");
   }
+  // Allocate only once a frame is secured: an exhausted pool must not
+  // leak file pages under caller retry loops.
+  PageId id = file_->Allocate();
   Frame& f = frames_[static_cast<size_t>(idx)];
   if (!f.page) f.page = std::make_unique<Page>(file_->page_size());
   std::memset(f.page->data(), 0, f.page->size());
   f.id = id;
+  f.state = FrameState::kResident;
   f.pin_count = 1;
   f.dirty = true;  // must be written back even if never touched again
   f.in_lru = false;
@@ -100,29 +139,59 @@ StatusOr<PageGuard> BufferManager::New() {
 
 void BufferManager::Free(PageId id) {
   std::unique_lock<std::mutex> guard(mu_);
-  auto it = table_.find(id);
-  if (it != table_.end()) {
+  for (;;) {
+    auto it = table_.find(id);
+    if (it == table_.end()) break;
     Frame& f = frames_[it->second];
-    assert(f.pin_count == 0 && "freeing a pinned page");
+    if (f.state == FrameState::kLoading || f.state == FrameState::kEvicting) {
+      // Let the in-flight I/O settle; dropping the frame under it would
+      // hand the loader/evictor a recycled frame.
+      ++f.waiters;
+      f.cv.wait(guard, [&f, id] {
+        return f.id != id || (f.state != FrameState::kLoading &&
+                              f.state != FrameState::kEvicting);
+      });
+      --f.waiters;
+      continue;
+    }
+    XTC_CHECK(f.pin_count == 0, "BufferManager::Free of a pinned page");
     if (f.in_lru) {
       lru_.erase(f.lru_pos);
       f.in_lru = false;
     }
     f.id = kInvalidPageId;
     f.dirty = false;
+    f.state = FrameState::kFree;
     free_frames_.push_back(it->second);
     table_.erase(it);
+    break;
   }
   file_->Free(id);
 }
 
 Status BufferManager::FlushAll() {
   std::unique_lock<std::mutex> guard(mu_);
-  for (Frame& f : frames_) {
-    if (f.id != kInvalidPageId && f.dirty) {
-      XTC_RETURN_IF_ERROR(file_->Write(f.id, *f.page));
-      f.dirty = false;
+  for (size_t idx = 0; idx < frames_.size(); ++idx) {
+    Frame& f = frames_[idx];
+    if (f.state != FrameState::kResident || !f.dirty || f.pin_count > 0) {
+      continue;
     }
+    // kEvicting blocks new pins, so the page content is stable for the
+    // duration of the write; the frame stays in the LRU list and victim
+    // scans skip non-resident entries.
+    f.state = FrameState::kEvicting;
+    const PageId id = f.id;
+    guard.unlock();
+    Status st;
+    {
+      ScopedIo io(this);
+      st = file_->Write(id, *f.page);
+    }
+    guard.lock();
+    f.state = FrameState::kResident;
+    if (st.ok()) f.dirty = false;
+    f.cv.notify_all();
+    XTC_RETURN_IF_ERROR(st);
   }
   return Status::OK();
 }
@@ -136,12 +205,35 @@ size_t BufferManager::PinnedFrames() const {
   return pinned;
 }
 
+size_t BufferManager::FramesInIo() const {
+  std::unique_lock<std::mutex> guard(mu_);
+  size_t in_io = 0;
+  for (const Frame& f : frames_) {
+    if (f.state == FrameState::kLoading || f.state == FrameState::kEvicting) {
+      ++in_io;
+    }
+  }
+  return in_io;
+}
+
+BufferPoolStats BufferManager::io_stats() const {
+  BufferPoolStats s;
+  s.io_in_flight_hwm = io_in_flight_hwm_.load(std::memory_order_relaxed);
+  s.coalesced_fetches = coalesced_fetches_.load(std::memory_order_relaxed);
+  s.eviction_writebacks =
+      eviction_writebacks_.load(std::memory_order_relaxed);
+  s.failed_writebacks = failed_writebacks_.load(std::memory_order_relaxed);
+  s.cancelled_evictions =
+      cancelled_evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void BufferManager::Unpin(PageId id, bool dirty) {
   std::unique_lock<std::mutex> guard(mu_);
   auto it = table_.find(id);
-  assert(it != table_.end());
+  XTC_CHECK(it != table_.end(), "BufferManager::Unpin of an uncached page");
   Frame& f = frames_[it->second];
-  assert(f.pin_count > 0);
+  XTC_CHECK(f.pin_count > 0, "BufferManager::Unpin without a pin");
   if (dirty) f.dirty = true;
   if (--f.pin_count == 0) {
     lru_.push_front(it->second);
@@ -150,31 +242,112 @@ void BufferManager::Unpin(PageId id, bool dirty) {
   }
 }
 
-int BufferManager::FindVictim() {
+int BufferManager::FindVictim(std::unique_lock<std::mutex>& guard) {
   if (!free_frames_.empty()) {
     size_t idx = free_frames_.back();
     free_frames_.pop_back();
     return static_cast<int>(idx);
   }
-  // Least recently used first. A dirty frame whose write-back fails
-  // (injected or real I/O error) must NOT be evicted — dropping it would
-  // lose committed data outside any transaction's undo reach. It stays
-  // cached and dirty; the scan moves on to the next candidate.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    size_t idx = *it;
-    Frame& f = frames_[idx];
-    if (f.dirty) {
-      Status st = file_->Write(f.id, *f.page);
-      if (!st.ok()) continue;  // keep the frame; try an older write later
-      f.dirty = false;
+  // Frames already attempted in this call (write-back failed, or the
+  // eviction was cancelled by a waiter): each restart of the scan marks
+  // at least one, so the loop terminates within frames_.size() rounds.
+  std::vector<bool> tried(frames_.size(), false);
+  for (;;) {
+    if (!free_frames_.empty()) {
+      size_t idx = free_frames_.back();
+      free_frames_.pop_back();
+      return static_cast<int>(idx);
     }
-    lru_.erase(std::next(it).base());
-    f.in_lru = false;
-    table_.erase(f.id);
-    f.id = kInvalidPageId;
-    return static_cast<int>(idx);
+    // Least recently used first. A dirty frame whose write-back fails
+    // (injected or real I/O error) must NOT be evicted — dropping it would
+    // lose committed data outside any transaction's undo reach. It stays
+    // cached and dirty; the scan moves on to the next candidate.
+    bool restarted = false;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      size_t idx = *it;
+      Frame& f = frames_[idx];
+      if (tried[idx] || f.state != FrameState::kResident) continue;
+      if (!f.dirty) {
+        lru_.erase(std::next(it).base());
+        f.in_lru = false;
+        table_.erase(f.id);
+        f.id = kInvalidPageId;
+        f.state = FrameState::kFree;
+        return static_cast<int>(idx);
+      }
+      // Dirty victim: write it back without the latch. The frame leaves
+      // the LRU list (no second evictor can pick it) but stays in the
+      // table in kEvicting so a concurrent fetch of this page waits for
+      // the verdict instead of double-caching it.
+      lru_.erase(std::next(it).base());
+      f.in_lru = false;
+      f.state = FrameState::kEvicting;
+      const PageId victim_id = f.id;
+      eviction_writebacks_.fetch_add(1, std::memory_order_relaxed);
+      guard.unlock();
+      Status st;
+      {
+        ScopedIo io(this);
+        st = file_->Write(victim_id, *f.page);
+      }
+      guard.lock();
+      tried[idx] = true;
+      if (!st.ok()) {
+        failed_writebacks_.fetch_add(1, std::memory_order_relaxed);
+        f.state = FrameState::kResident;  // keep it cached, still dirty
+        lru_.push_front(idx);
+        f.lru_pos = lru_.begin();
+        f.in_lru = true;
+        f.cv.notify_all();
+      } else if (f.waiters > 0) {
+        // Re-validate after the latch drop: a fetch arrived for the
+        // victim while its write-back was in flight. Evicting now would
+        // force an immediate re-read, so cancel — the frame stays
+        // resident and is clean (the write persisted it).
+        cancelled_evictions_.fetch_add(1, std::memory_order_relaxed);
+        f.state = FrameState::kResident;
+        f.dirty = false;
+        lru_.push_front(idx);
+        f.lru_pos = lru_.begin();
+        f.in_lru = true;
+        f.cv.notify_all();
+      } else {
+        table_.erase(victim_id);
+        f.id = kInvalidPageId;
+        f.dirty = false;
+        f.state = FrameState::kFree;
+        f.cv.notify_all();
+        return static_cast<int>(idx);
+      }
+      // The latch was dropped: LRU iterators are stale, and free frames
+      // may have appeared. Restart the scan, skipping tried frames.
+      restarted = true;
+      break;
+    }
+    if (restarted) continue;
+    // No candidate in the LRU list. Frames mid-I/O are merely transient:
+    // a finishing load or write-back can free one, so wait for a state
+    // transition and rescan rather than failing. (The old global-latch
+    // pool blocked here implicitly; reporting exhaustion instead leaks
+    // spurious errors into multi-page tree mutations that are not
+    // failure-atomic.) Note we do NOT register in f.waiters — that would
+    // make the evictor cancel its eviction, and the scan wants the frame
+    // released, not the page kept.
+    size_t in_io = frames_.size();
+    for (size_t i = 0; i < frames_.size(); ++i) {
+      if (frames_[i].state == FrameState::kLoading ||
+          frames_[i].state == FrameState::kEvicting) {
+        in_io = i;
+        break;
+      }
+    }
+    if (in_io == frames_.size()) return -1;  // genuinely exhausted
+    Frame& w = frames_[in_io];
+    w.cv.wait(guard, [&w] {
+      return w.state != FrameState::kLoading &&
+             w.state != FrameState::kEvicting;
+    });
   }
-  return -1;
 }
 
 }  // namespace xtc

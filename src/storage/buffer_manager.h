@@ -6,11 +6,32 @@
 // reside in DB buffers" (§3.2); the pool makes that locality real so that
 // protocols which force extra document traversals (the *-2PL group on
 // subtree deletion) pay for the misses.
+//
+// Concurrency model: the pool mutex mu_ protects only the frame table and
+// replacement metadata — it is NEVER held across PageFile I/O. Each frame
+// carries an explicit state:
+//
+//   kFree      not mapped to any page (on free_frames_ or claimed by a
+//              fetch that is about to load into it)
+//   kLoading   a miss is reading the page from the file; the frame is in
+//              table_ so concurrent fetches of the same page coalesce onto
+//              the one in-flight read by waiting on the frame's cv
+//   kResident  mapped and readable; pinnable
+//   kEvicting  a dirty victim's write-back is in flight; the frame stays
+//              in table_ so a concurrent fetch of the evictee waits
+//              instead of double-caching, and the evictor re-validates
+//              (waiters present => eviction is cancelled, the frame stays
+//              resident) after the write returns
+//
+// A dirty frame whose write-back fails is never evicted: dropping it
+// would lose committed data outside any transaction's undo reach. It
+// returns to kResident, stays dirty, and victim scans move on.
 
 #ifndef XTC_STORAGE_BUFFER_MANAGER_H_
 #define XTC_STORAGE_BUFFER_MANAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -56,6 +77,25 @@ class PageGuard {
   bool dirty_ = false;
 };
 
+/// I/O-overlap counters (all monotonically increasing over the pool's
+/// lifetime; read with relaxed ordering, exact only at quiescence).
+struct BufferPoolStats {
+  /// High-water mark of page-file reads/writes in flight at once. 1 on a
+  /// single-threaded workload; > 1 proves overlapped simulated disk I/O.
+  uint64_t io_in_flight_hwm = 0;
+  /// Fetches that found their page already being read by another thread
+  /// and waited on that read instead of issuing a second one.
+  uint64_t coalesced_fetches = 0;
+  /// Dirty-victim write-backs issued by the replacement scan.
+  uint64_t eviction_writebacks = 0;
+  /// Write-backs that failed (injected or real I/O error); the frame
+  /// stayed cached and dirty.
+  uint64_t failed_writebacks = 0;
+  /// Evictions cancelled because a fetch arrived for the victim while its
+  /// write-back was in flight (the frame stayed resident, now clean).
+  uint64_t cancelled_evictions = 0;
+};
+
 class BufferManager {
  public:
   BufferManager(PageFile* file, const StorageOptions& options);
@@ -64,50 +104,98 @@ class BufferManager {
   BufferManager& operator=(const BufferManager&) = delete;
 
   /// Fetches (and pins) a page, reading it from the page file on a miss.
+  /// Concurrent misses on the same page issue exactly one read.
   StatusOr<PageGuard> Fetch(PageId id);
 
-  /// Allocates a fresh page in the file and pins it (already zeroed).
+  /// Allocates a fresh page in the file and pins it (already zeroed). The
+  /// file page is only allocated once a frame is secured, so pool
+  /// exhaustion does not leak file pages.
   StatusOr<PageGuard> New();
 
-  /// Drops a page: discards the frame and frees the file page.
+  /// Drops a page: discards the frame and frees the file page. Waits for
+  /// any in-flight load/write-back of the page to settle first.
   void Free(PageId id);
 
-  /// Writes back all dirty frames.
+  /// Writes back all dirty unpinned frames. Frames pinned at flush time
+  /// are skipped (their guard holder may still be mutating the page);
+  /// they are written back on eviction or a later flush. At quiescence
+  /// (zero pins) this persists everything.
   Status FlushAll();
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  BufferPoolStats io_stats() const;
 
   /// Frames currently pinned (must be 0 when the system is quiescent —
   /// every PageGuard unpins on destruction).
   size_t PinnedFrames() const;
 
+  /// Frames currently mid-I/O (kLoading or kEvicting). Must be 0 at
+  /// quiescence: no fetch or victim scan may leave a frame stuck in a
+  /// transitional state.
+  size_t FramesInIo() const;
+
  private:
   friend class PageGuard;
+
+  enum class FrameState : uint8_t { kFree, kLoading, kResident, kEvicting };
 
   struct Frame {
     PageId id = kInvalidPageId;
     std::unique_ptr<Page> page;
+    FrameState state = FrameState::kFree;
     int pin_count = 0;
+    /// Fetch/Free calls blocked on this frame's load or write-back.
+    int waiters = 0;
     bool dirty = false;
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
+    /// Signalled on every state transition out of kLoading/kEvicting.
+    std::condition_variable cv;
   };
 
   void Unpin(PageId id, bool dirty);
-  // Returns the index of a free or evictable frame, or -1 if all pinned.
-  // Called with mu_ held; performs write-back of an evicted dirty frame.
-  int FindVictim();
+
+  /// Returns the index of a frame reserved for the caller (kFree, out of
+  /// the table, the LRU list and free_frames_), or -1 if every frame is
+  /// pinned or mid-I/O. May release and reacquire `guard` to write back a
+  /// dirty victim — callers must re-validate table state afterwards.
+  int FindVictim(std::unique_lock<std::mutex>& guard);
+
+  /// Pins a resident frame (removing it from the LRU list).
+  PageGuard PinResident(size_t idx);
+
+  /// Tracks one page-file I/O for the in-flight high-water mark.
+  class ScopedIo {
+   public:
+    explicit ScopedIo(BufferManager* bm) : bm_(bm) {
+      uint64_t now = bm_->io_in_flight_.fetch_add(1) + 1;
+      uint64_t hwm = bm_->io_in_flight_hwm_.load(std::memory_order_relaxed);
+      while (now > hwm &&
+             !bm_->io_in_flight_hwm_.compare_exchange_weak(hwm, now)) {
+      }
+    }
+    ~ScopedIo() { bm_->io_in_flight_.fetch_sub(1); }
+
+   private:
+    BufferManager* bm_;
+  };
 
   PageFile* file_;
   StorageOptions options_;
   mutable std::mutex mu_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> table_;
-  std::list<size_t> lru_;  // front = most recent; only unpinned frames
+  std::list<size_t> lru_;  // front = most recent; only unpinned residents
   std::vector<size_t> free_frames_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> io_in_flight_{0};
+  std::atomic<uint64_t> io_in_flight_hwm_{0};
+  std::atomic<uint64_t> coalesced_fetches_{0};
+  std::atomic<uint64_t> eviction_writebacks_{0};
+  std::atomic<uint64_t> failed_writebacks_{0};
+  std::atomic<uint64_t> cancelled_evictions_{0};
 };
 
 }  // namespace xtc

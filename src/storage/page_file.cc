@@ -14,11 +14,13 @@ PageId PageFile::Allocate() {
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
+    freed_[id - 1] = false;
     auto& slot = pages_[id - 1];
     std::memset(slot->data(), 0, slot->size());
     return id;
   }
   pages_.push_back(std::make_unique<Page>(options_.page_size));
+  freed_.push_back(false);
   return static_cast<PageId>(pages_.size());
 }
 
@@ -50,7 +52,13 @@ Status PageFile::Write(PageId id, const Page& in) {
 
 void PageFile::Free(PageId id) {
   std::lock_guard<std::mutex> guard(mu_);
-  if (id != kInvalidPageId && id <= pages_.size()) free_list_.push_back(id);
+  if (id == kInvalidPageId || id > pages_.size()) return;
+  // Freeing an id twice would put it on the free list twice and make two
+  // later Allocate() calls hand out the same page; already-free ids are
+  // ignored.
+  if (freed_[id - 1]) return;
+  freed_[id - 1] = true;
+  free_list_.push_back(id);
 }
 
 uint64_t PageFile::num_pages() const {
@@ -60,10 +68,15 @@ uint64_t PageFile::num_pages() const {
 
 void PageFile::SimulateLatency() {
   if (options_.io_latency_us == 0) return;
-  // Busy-wait: sleep granularity on Linux is too coarse for tens of
-  // microseconds, and the point is to model device time, not to yield.
   auto until = std::chrono::steady_clock::now() +
                std::chrono::microseconds(options_.io_latency_us);
+  // Device time is not CPU time: sleeping lets concurrent accesses
+  // overlap their simulated latency the way real disk requests overlap,
+  // even on a single core. Below ~50 us the scheduler's wakeup
+  // granularity would dominate, so short latencies busy-wait instead.
+  if (options_.io_latency_us >= 50) {
+    std::this_thread::sleep_until(until);
+  }
   while (std::chrono::steady_clock::now() < until) {
   }
 }

@@ -53,6 +53,7 @@ class PageFile {
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Page>> pages_;  // index = id - 1
   std::vector<PageId> free_list_;
+  std::vector<bool> freed_;  // index = id - 1; true while id is on free_list_
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
 };

@@ -178,6 +178,9 @@ StatusOr<RunStats> RunCluster1(const RunConfig& config, ChaosReport* report) {
 
   RunStats stats = metrics.Snapshot();
   stats.lock_stats = bed->protocol->table().GetStats();
+  stats.buffer_hits = bed->doc->buffer().hits();
+  stats.buffer_misses = bed->doc->buffer().misses();
+  stats.buffer_io = bed->doc->buffer().io_stats();
   stats.run_duration_ms = elapsed_ms;
 
   if (bed->faults != nullptr) {

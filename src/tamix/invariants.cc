@@ -80,6 +80,15 @@ Status CheckQuiescent(const LockTable& table, const Document& doc) {
     return Status::Internal("quiescence: " + std::to_string(pinned) +
                             " buffer frames still pinned");
   }
+  // With the frame-state machine, fetches and victim scans move frames
+  // through transitional loading/evicting states while their page-file
+  // I/O is in flight; once all workers have joined, every frame must have
+  // settled back to free or resident.
+  const size_t in_io = doc.buffer().FramesInIo();
+  if (in_io != 0) {
+    return Status::Internal("quiescence: " + std::to_string(in_io) +
+                            " buffer frames stuck mid-I/O (loading/evicting)");
+  }
   return doc.Validate().Annotate("quiescence: document audit failed");
 }
 

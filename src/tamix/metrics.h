@@ -10,6 +10,7 @@
 #include <string>
 
 #include "lock/lock_table.h"
+#include "storage/buffer_manager.h"
 #include "tamix/transactions.h"
 #include "util/clock.h"
 
@@ -39,6 +40,12 @@ struct TxTypeStats {
 struct RunStats {
   std::array<TxTypeStats, kNumTxTypes> per_type;
   LockTableStats lock_stats;
+  /// Buffer-pool behaviour over the run: hit/miss counts plus the
+  /// I/O-overlap counters (in-flight high-water mark, coalesced fetches,
+  /// eviction write-backs) from the document's BufferManager.
+  uint64_t buffer_hits = 0;
+  uint64_t buffer_misses = 0;
+  BufferPoolStats buffer_io;
   int64_t run_duration_ms = 0;
 
   uint64_t total_committed() const {

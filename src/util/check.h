@@ -1,0 +1,23 @@
+// Hard runtime checks that survive NDEBUG builds.
+//
+// assert() vanishes in Release, after which a violated precondition turns
+// into silent UB (the buffer manager used to dereference table_.end() in
+// exactly that way). XTC_CHECK keeps the guard in every build: a failure
+// prints the condition and location to stderr and aborts loudly.
+
+#ifndef XTC_UTIL_CHECK_H_
+#define XTC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define XTC_CHECK(condition, message)                                       \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "XTC_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, message, #condition);                \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // XTC_UTIL_CHECK_H_

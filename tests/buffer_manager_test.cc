@@ -156,6 +156,82 @@ TEST(BufferManagerTest, ConcurrentFetchesAreSafe) {
   EXPECT_EQ(errors.load(), 0);
 }
 
+TEST(PageFileTest, DoubleFreeIsIgnored) {
+  PageFile file(StorageOptions{});
+  PageId a = file.Allocate();
+  PageId b = file.Allocate();
+  file.Free(a);
+  file.Free(a);  // regression: used to enqueue `a` on the free list twice
+  PageId c = file.Allocate();
+  PageId d = file.Allocate();
+  EXPECT_EQ(c, a);  // the one legitimate reuse
+  EXPECT_NE(d, a);  // the duplicate entry must not hand `a` out again
+  EXPECT_NE(d, b);
+}
+
+TEST(BufferManagerTest, ExhaustedNewDoesNotLeakFilePages) {
+  StorageOptions options = SmallPool();
+  PageFile file(options);
+  BufferManager bm(&file, options);
+  std::vector<PageGuard> pins;
+  for (uint32_t i = 0; i < options.buffer_pool_pages; ++i) {
+    auto g = bm.New();
+    ASSERT_TRUE(g.ok());
+    pins.push_back(std::move(*g));
+  }
+  // Regression: New() used to call file_->Allocate() before securing a
+  // frame, so every failed attempt grew the page file forever.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_FALSE(bm.New().ok());
+  }
+  EXPECT_EQ(file.num_pages(), options.buffer_pool_pages);
+}
+
+TEST(BufferManagerDeathTest, UnpinOfUncachedPageFailsLoudly) {
+  // The guards in Unpin/Free used to be assert()s that vanish under
+  // NDEBUG, after which Unpin dereferenced table_.end(). They must fail
+  // loudly in every build.
+  StorageOptions options = SmallPool();
+  PageFile file(options);
+  BufferManager bm(&file, options);
+  Page stray(options.page_size);
+  EXPECT_DEATH(
+      { PageGuard bogus(&bm, 999, &stray); },
+      "XTC_CHECK failed.*Unpin of an uncached page");
+}
+
+TEST(BufferManagerDeathTest, FreeOfPinnedPageFailsLoudly) {
+  StorageOptions options = SmallPool();
+  PageFile file(options);
+  BufferManager bm(&file, options);
+  auto g = bm.New();
+  ASSERT_TRUE(g.ok());
+  EXPECT_DEATH(bm.Free(g->id()), "XTC_CHECK failed.*Free of a pinned page");
+}
+
+TEST(BufferManagerTest, ConcurrentMissesOnSamePageCoalesceToOneRead) {
+  StorageOptions options = SmallPool();
+  options.io_latency_us = 200;  // widen the in-flight window
+  PageFile file(options);
+  PageId id = file.Allocate();
+  BufferManager bm(&file, options);
+  ASSERT_EQ(file.num_reads(), 0u);
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      auto g = bm.Fetch(id);
+      if (!g.ok()) ++errors;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  // All four fetches missed or coalesced; exactly one read hit the file.
+  EXPECT_EQ(file.num_reads(), 1u);
+  EXPECT_EQ(bm.FramesInIo(), 0u);
+  EXPECT_EQ(bm.PinnedFrames(), 0u);
+}
+
 TEST(PageFileTest, SimulatedLatencySlowsAccess) {
   StorageOptions slow;
   slow.io_latency_us = 200;
