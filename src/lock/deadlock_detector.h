@@ -3,6 +3,11 @@
 // whenever a transaction blocks or re-blocks, so deadlocks are detected
 // immediately rather than by timeout. The requester that closes a cycle
 // is chosen as the victim.
+//
+// Thread-compatibility: this class has no mutex of its own. The owning
+// LockTable declares its instance XTC_GUARDED_BY(graph_mu_), which is
+// where the lock discipline is enforced at compile time; embedding the
+// class elsewhere requires equivalent external synchronization.
 
 #ifndef XTC_LOCK_DEADLOCK_DETECTOR_H_
 #define XTC_LOCK_DEADLOCK_DETECTOR_H_

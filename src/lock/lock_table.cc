@@ -1,8 +1,9 @@
 #include "lock/lock_table.h"
 
 #include <algorithm>
-#include <cassert>
 #include <functional>
+
+#include "util/check.h"
 
 namespace xtc {
 
@@ -113,7 +114,7 @@ LockOutcome LockTable::Lock(uint64_t tx, std::string_view resource,
       event.resource = std::string(resource);
       event.requested_mode = std::string(modes_->Name(mode));
       event.injected = true;
-      std::lock_guard<std::mutex> g(graph_mu_);
+      MutexLock g(graph_mu_);
       deadlock_log_.push_back(std::move(event));
       if (deadlock_log_.size() > options_.deadlock_log_capacity) {
         deadlock_log_.pop_front();
@@ -122,7 +123,7 @@ LockOutcome LockTable::Lock(uint64_t tx, std::string_view resource,
     }
   }
   Shard& shard = ShardFor(resource);
-  std::unique_lock<std::mutex> guard(shard.mu);
+  MutexLock guard(shard.mu);
 
   Resource* r = GetOrCreate(&shard, resource);
   Held* held = FindHeld(r, tx);
@@ -172,7 +173,7 @@ LockOutcome LockTable::Lock(uint64_t tx, std::string_view resource,
       GrantLocked(&shard, r, tx, mode, target, duration);
       RemoveWaiter(r, &waiter);
       {
-        std::lock_guard<std::mutex> g(graph_mu_);
+        MutexLock g(graph_mu_);
         detector_.ClearEdges(tx);
       }
       shard.cv.notify_all();  // our dequeue may unblock fairness-waiters
@@ -180,7 +181,7 @@ LockOutcome LockTable::Lock(uint64_t tx, std::string_view resource,
     }
 
     {
-      std::lock_guard<std::mutex> g(graph_mu_);
+      MutexLock g(graph_mu_);
       detector_.SetEdges(tx, blockers);
       if (detector_.HasCycleFrom(tx)) {
         DeadlockEvent event;
@@ -206,13 +207,17 @@ LockOutcome LockTable::Lock(uint64_t tx, std::string_view resource,
       }
     }
 
-    if (shard.cv.wait_until(guard, deadline) == std::cv_status::timeout) {
+    // The wait goes through the guard's native handle: the analysis
+    // cannot see through condition_variable, but the net lock state is
+    // unchanged (wait reacquires before returning).
+    if (shard.cv.wait_until(guard.native(), deadline) ==
+        std::cv_status::timeout) {
       // One last re-check: we may have become grantable at the deadline.
       if (BlockersOf(*r, tx, target, is_conversion, &waiter).empty()) {
         continue;
       }
       {
-        std::lock_guard<std::mutex> g(graph_mu_);
+        MutexLock g(graph_mu_);
         detector_.ClearEdges(tx);
       }
       RemoveWaiter(r, &waiter);
@@ -227,7 +232,7 @@ LockOutcome LockTable::Lock(uint64_t tx, std::string_view resource,
 void LockTable::EndOperation(uint64_t tx) {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::unique_lock<std::mutex> guard(shard.mu);
+    MutexLock guard(shard.mu);
     auto it = shard.tx_locks.find(tx);
     if (it == shard.tx_locks.end()) continue;
     auto& list = it->second;
@@ -235,7 +240,10 @@ void LockTable::EndOperation(uint64_t tx) {
     for (size_t i = 0; i < list.size();) {
       Resource* r = list[i];
       Held* h = FindHeld(r, tx);
-      assert(h != nullptr);
+      // tx_locks and granted must stay in lockstep; a miss here means a
+      // release path forgot one side and downgrades would corrupt state.
+      XTC_CHECK(h != nullptr,
+                "tx_locks lists a resource the transaction no longer holds");
       if (h->short_mode != kNoMode) {
         h->short_mode = kNoMode;
         h->effective = h->long_mode;
@@ -261,7 +269,7 @@ void LockTable::EndOperation(uint64_t tx) {
 void LockTable::ReleaseAll(uint64_t tx) {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::unique_lock<std::mutex> guard(shard.mu);
+    MutexLock guard(shard.mu);
     auto it = shard.tx_locks.find(tx);
     if (it == shard.tx_locks.end()) continue;
     for (Resource* r : it->second) {
@@ -273,13 +281,13 @@ void LockTable::ReleaseAll(uint64_t tx) {
     shard.tx_locks.erase(it);
     shard.cv.notify_all();
   }
-  std::lock_guard<std::mutex> g(graph_mu_);
+  MutexLock g(graph_mu_);
   detector_.ClearEdges(tx);
 }
 
 ModeId LockTable::HeldMode(uint64_t tx, std::string_view resource) const {
   Shard& shard = ShardFor(resource);
-  std::unique_lock<std::mutex> guard(shard.mu);
+  MutexLock guard(shard.mu);
   auto it = shard.resources.find(std::string(resource));
   if (it == shard.resources.end()) return kNoMode;
   for (const auto& [id, held] : it->second->granted) {
@@ -291,21 +299,21 @@ ModeId LockTable::HeldMode(uint64_t tx, std::string_view resource) const {
 size_t LockTable::NumLockedResources() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::unique_lock<std::mutex> guard(shard->mu);
+    MutexLock guard(shard->mu);
     total += shard->resources.size();
   }
   return total;
 }
 
 size_t LockTable::NumWaitingTransactions() const {
-  std::lock_guard<std::mutex> g(graph_mu_);
+  MutexLock g(graph_mu_);
   return detector_.num_waiters();
 }
 
 size_t LockTable::LocksHeldBy(uint64_t tx) const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::unique_lock<std::mutex> guard(shard->mu);
+    MutexLock guard(shard->mu);
     auto it = shard->tx_locks.find(tx);
     if (it != shard->tx_locks.end()) total += it->second.size();
   }
@@ -326,7 +334,7 @@ LockTableStats LockTable::GetStats() const {
 }
 
 std::vector<DeadlockEvent> LockTable::RecentDeadlocks() const {
-  std::lock_guard<std::mutex> g(graph_mu_);
+  MutexLock g(graph_mu_);
   return std::vector<DeadlockEvent>(deadlock_log_.begin(),
                                     deadlock_log_.end());
 }

@@ -36,7 +36,9 @@
 #include "lock/mode_table.h"
 #include "util/clock.h"
 #include "util/fault_injector.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace xtc {
 
@@ -139,17 +141,22 @@ class LockTable {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     std::condition_variable cv;
-    std::unordered_map<std::string, std::unique_ptr<Resource>> resources;
+    std::unordered_map<std::string, std::unique_ptr<Resource>>
+        resources XTC_GUARDED_BY(mu);
     // Resources in this shard each transaction holds locks on.
-    std::unordered_map<uint64_t, std::vector<Resource*>> tx_locks;
+    std::unordered_map<uint64_t, std::vector<Resource*>>
+        tx_locks XTC_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(std::string_view resource) const;
 
-  // The following require the shard mutex.
-  static Resource* GetOrCreate(Shard* shard, std::string_view name);
+  // The following require the shard mutex (Resource objects themselves
+  // are only reachable through Shard::resources, so helpers that take a
+  // bare Resource* inherit the caller's shard lock).
+  static Resource* GetOrCreate(Shard* shard, std::string_view name)
+      XTC_REQUIRES(shard->mu);
   static Held* FindHeld(Resource* r, uint64_t tx);
   bool CompatibleWithHolders(const Resource& r, uint64_t tx,
                              ModeId target) const;
@@ -157,18 +164,22 @@ class LockTable {
                                    ModeId target, bool is_conversion,
                                    const Waiter* self) const;
   static void RemoveWaiter(Resource* r, Waiter* w);
-  static void EraseResourceIfIdle(Shard* shard, Resource* r);
+  static void EraseResourceIfIdle(Shard* shard, Resource* r)
+      XTC_REQUIRES(shard->mu);
   void GrantLocked(Shard* shard, Resource* r, uint64_t tx, ModeId request,
-                   ModeId target, LockDuration duration);
+                   ModeId target, LockDuration duration)
+      XTC_REQUIRES(shard->mu);
 
   const ModeTable* modes_;
   LockTableOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  // Wait-for graph; only touched when a request blocks.
-  mutable std::mutex graph_mu_;
-  DeadlockDetector detector_;
-  std::deque<DeadlockEvent> deadlock_log_;
+  // Wait-for graph; only touched when a request blocks. Ordering: a
+  // thread may take graph_mu_ while holding a shard mutex (Lock's block
+  // path), never the reverse.
+  mutable Mutex graph_mu_ XTC_ACQUIRED_AFTER();
+  DeadlockDetector detector_ XTC_GUARDED_BY(graph_mu_);
+  std::deque<DeadlockEvent> deadlock_log_ XTC_GUARDED_BY(graph_mu_);
 
   // Statistics (relaxed atomics; exactness is not required).
   std::atomic<uint64_t> stat_requests_{0};

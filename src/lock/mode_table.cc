@@ -1,18 +1,41 @@
 #include "lock/mode_table.h"
 
-#include <cassert>
+#include <string>
+
+#include "util/check.h"
 
 namespace xtc {
 
+namespace {
+
+/// Formats "IX (held) x SR (requested)"-style pair descriptions for
+/// Verify() diagnostics.
+std::string PairDesc(const ModeTable& t, ModeId held, ModeId req) {
+  std::string out;
+  out += t.Name(held);
+  out += " (held) x ";
+  out += t.Name(req);
+  out += " (requested)";
+  return out;
+}
+
+}  // namespace
+
 ModeId ModeTable::AddMode(std::string name) {
-  assert(names_.size() < kMaxModes);
+  XTC_CHECK(names_.size() < kMaxModes, "mode table full (kMaxModes)");
   names_.push_back(std::move(name));
   const size_t n = names_.size();
+  is_update_.resize(n, false);
+  group_.resize(n, 0);
   compat_.resize(n);
+  compat_declared_.resize(n);
+  strength_waived_.resize(n);
   conversions_.resize(n);
   conversion_set_.resize(n);
   for (size_t i = 0; i < n; ++i) {
     compat_[i].resize(n, false);
+    compat_declared_[i].resize(n, false);
+    strength_waived_[i].resize(n, false);
     conversions_[i].resize(n);
     conversion_set_[i].resize(n, false);
   }
@@ -23,16 +46,18 @@ void ModeTable::SetCompatRow(ModeId held, std::string_view row) {
   int col = 0;
   for (char c : row) {
     if (c == ' ' || c == '\t') continue;
-    assert(col < num_modes() && "compat row longer than mode count");
-    assert(c == '+' || c == '-');
+    XTC_CHECK(col < num_modes(), "compat row longer than mode count");
+    XTC_CHECK(c == '+' || c == '-', "compat row entries must be '+' or '-'");
     compat_[Index(held)][col] = (c == '+');
+    compat_declared_[Index(held)][col] = true;
     ++col;
   }
-  assert(col == num_modes() && "compat row shorter than mode count");
+  XTC_CHECK(col == num_modes(), "compat row shorter than mode count");
 }
 
 void ModeTable::SetCompatible(ModeId held, ModeId requested, bool compatible) {
   compat_[Index(held)][Index(requested)] = compatible;
+  compat_declared_[Index(held)][Index(requested)] = true;
 }
 
 ModeId ModeTable::AddCombinedMode(std::string name, ModeId a, ModeId b) {
@@ -44,11 +69,15 @@ ModeId ModeTable::AddCombinedMode(std::string name, ModeId a, ModeId b) {
     const bool as_requester = Compatible(xm, a) && Compatible(xm, b);
     compat_[Index(m)][x] = as_holder;
     compat_[x][Index(m)] = as_requester;
+    compat_declared_[Index(m)][x] = true;
+    compat_declared_[x][Index(m)] = true;
   }
   // m vs m: a∧b compatible with itself iff all four pairings allow it.
   compat_[Index(m)][Index(m)] =
       Compatible(a, a) && Compatible(a, b) && Compatible(b, a) &&
       Compatible(b, b);
+  is_update_[Index(m)] = IsUpdateMode(a) || IsUpdateMode(b);
+  group_[Index(m)] = ModeGroup(a);
   return m;
 }
 
@@ -56,6 +85,32 @@ void ModeTable::SetConversion(ModeId held, ModeId requested, ModeId result,
                               ModeId children_mode) {
   conversions_[Index(held)][Index(requested)] = {result, children_mode};
   conversion_set_[Index(held)][Index(requested)] = true;
+}
+
+void ModeTable::WaiveConversionStrength(ModeId held, ModeId requested) {
+  XTC_CHECK(ValidMode(held) && ValidMode(requested),
+            "WaiveConversionStrength: unknown mode");
+  strength_waived_[Index(held)][Index(requested)] = true;
+}
+
+void ModeTable::MarkUpdateMode(ModeId m) {
+  XTC_CHECK(ValidMode(m), "MarkUpdateMode: unknown mode");
+  is_update_[Index(m)] = true;
+}
+
+bool ModeTable::IsUpdateMode(ModeId m) const {
+  if (m == kNoMode) return false;
+  return is_update_[Index(m)];
+}
+
+void ModeTable::SetModeGroup(ModeId m, int group) {
+  XTC_CHECK(ValidMode(m), "SetModeGroup: unknown mode");
+  group_[Index(m)] = group;
+}
+
+int ModeTable::ModeGroup(ModeId m) const {
+  if (m == kNoMode) return 0;
+  return group_[Index(m)];
 }
 
 std::string_view ModeTable::Name(ModeId m) const {
@@ -95,6 +150,15 @@ Status ModeTable::DeriveMissingConversions() {
       if (conversion_set_[h][r]) continue;
       const ModeId held = static_cast<ModeId>(h + 1);
       const ModeId req = static_cast<ModeId>(r + 1);
+      // Modes of different groups never meet on one resource (node vs.
+      // edge vs. content vs. jump namespaces have distinct resource
+      // keys; they share a table only so deadlock detection spans all
+      // namespaces). The entry is nominal: keep the requested mode.
+      if (ModeGroup(held) != ModeGroup(req)) {
+        conversions_[h][r] = {req, kNoMode};
+        conversion_set_[h][r] = true;
+        continue;
+      }
       // If one already covers the other, use it directly.
       if (AtLeastAsStrong(held, req)) {
         conversions_[h][r] = {held, kNoMode};
@@ -106,11 +170,12 @@ Status ModeTable::DeriveMissingConversions() {
         conversion_set_[h][r] = true;
         continue;
       }
-      // Most permissive mode covering both.
+      // Most permissive same-group mode covering both.
       ModeId best = kNoMode;
       int best_permissiveness = -1;
       for (int m = 0; m < n; ++m) {
         const ModeId cand = static_cast<ModeId>(m + 1);
+        if (ModeGroup(cand) != ModeGroup(held)) continue;
         if (!AtLeastAsStrong(cand, held) || !AtLeastAsStrong(cand, req)) {
           continue;
         }
@@ -125,14 +190,9 @@ Status ModeTable::DeriveMissingConversions() {
         }
       }
       if (best == kNoMode) {
-        // No covering mode exists. This is legal for pairs that can never
-        // meet on one resource (node modes vs. edge modes share a table so
-        // deadlock detection spans both namespaces); fall back to the
-        // requested mode. Protocol unit tests pin the published matrices,
-        // so a genuine gap in a node-mode lattice cannot hide here.
-        conversions_[h][r] = {req, kNoMode};
-        conversion_set_[h][r] = true;
-        continue;
+        return Status::Internal(
+            "no conversion target covers " + PairDesc(*this, held, req) +
+            " and no explicit entry was declared");
       }
       conversions_[h][r] = {best, kNoMode};
       conversion_set_[h][r] = true;
@@ -144,9 +204,176 @@ Status ModeTable::DeriveMissingConversions() {
 Conversion ModeTable::Convert(ModeId held, ModeId requested) const {
   if (held == kNoMode) return {requested, kNoMode};
   if (requested == kNoMode) return {held, kNoMode};
-  assert(conversion_set_[Index(held)][Index(requested)] &&
-         "conversion matrix incomplete: call DeriveMissingConversions()");
+  XTC_CHECK(conversion_set_[Index(held)][Index(requested)],
+            "conversion matrix incomplete: call DeriveMissingConversions()");
   return conversions_[Index(held)][Index(requested)];
+}
+
+Status ModeTable::Verify(std::string_view context) const {
+  const int n = num_modes();
+  auto fail = [&context](const std::string& what) {
+    return Status::Internal(std::string(context) + ": " + what);
+  };
+
+  if (n == 0) return fail("mode table declares no modes");
+
+  // --- Mode names: non-empty and unique. -------------------------------
+  for (int i = 0; i < n; ++i) {
+    if (names_[i].empty()) {
+      return fail("mode #" + std::to_string(i + 1) + " has an empty name");
+    }
+    for (int j = i + 1; j < n; ++j) {
+      if (names_[i] == names_[j]) {
+        return fail("duplicate mode name '" + names_[i] + "'");
+      }
+    }
+  }
+
+  // --- Compatibility matrix: fully declared, asymmetry justified. ------
+  for (int h = 0; h < n; ++h) {
+    for (int r = 0; r < n; ++r) {
+      if (!compat_declared_[h][r]) {
+        return fail("compatibility cell " +
+                    PairDesc(*this, static_cast<ModeId>(h + 1),
+                             static_cast<ModeId>(r + 1)) +
+                    " was never declared (mode added after its row?)");
+      }
+    }
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (compat_[a][b] == compat_[b][a]) continue;
+      const ModeId ma = static_cast<ModeId>(a + 1);
+      const ModeId mb = static_cast<ModeId>(b + 1);
+      if (IsUpdateMode(ma) || IsUpdateMode(mb)) continue;
+      return fail("compatibility of " + std::string(Name(ma)) + " and " +
+                  std::string(Name(mb)) +
+                  " is asymmetric but neither is an update mode (only "
+                  "U-style modes may be asymmetric, cf. URIX Fig. 2)");
+    }
+  }
+
+  // --- Conversion matrix: closed, idempotent, monotone, commutative. ---
+  for (int h = 0; h < n; ++h) {
+    for (int r = 0; r < n; ++r) {
+      const ModeId held = static_cast<ModeId>(h + 1);
+      const ModeId req = static_cast<ModeId>(r + 1);
+      if (!conversion_set_[h][r]) {
+        return fail("conversion for " + PairDesc(*this, held, req) +
+                    " is missing (DeriveMissingConversions not run?)");
+      }
+      const Conversion& c = conversions_[h][r];
+      if (!ValidMode(c.result)) {
+        return fail("conversion for " + PairDesc(*this, held, req) +
+                    " targets undeclared mode id " +
+                    std::to_string(static_cast<int>(c.result)));
+      }
+      if (c.children_mode != kNoMode && !ValidMode(c.children_mode)) {
+        return fail("conversion for " + PairDesc(*this, held, req) +
+                    " has dangling children_mode id " +
+                    std::to_string(static_cast<int>(c.children_mode)));
+      }
+      if (held == req) {
+        if (c.result != held || c.children_mode != kNoMode) {
+          return fail("conversion is not idempotent: convert(" +
+                      std::string(Name(held)) + ", " +
+                      std::string(Name(held)) + ") = " +
+                      std::string(Name(c.result)) +
+                      (c.children_mode != kNoMode ? " with a child side effect"
+                                                  : ""));
+        }
+        continue;
+      }
+      // Cross-group entries are nominal (the pair never meets on one
+      // resource); only closure, checked above, applies.
+      if (ModeGroup(held) != ModeGroup(req)) continue;
+
+      if (c.children_mode != kNoMode) {
+        // Fig. 4 subscripted rules: the result keeps one side's strength
+        // and the child locks supply the rest.
+        if (ModeGroup(c.children_mode) != ModeGroup(held)) {
+          return fail("conversion for " + PairDesc(*this, held, req) +
+                      " has children_mode " +
+                      std::string(Name(c.children_mode)) +
+                      " from a different resource group");
+        }
+        if (!AtLeastAsStrong(c.result, held) &&
+            !AtLeastAsStrong(c.result, req)) {
+          return fail("conversion for " + PairDesc(*this, held, req) +
+                      " = " + std::string(Name(c.result)) +
+                      " keeps neither input's strength despite its child "
+                      "side effect");
+        }
+        if (AtLeastAsStrong(c.result, held) &&
+            AtLeastAsStrong(c.result, req)) {
+          return fail("conversion for " + PairDesc(*this, held, req) +
+                      " = " + std::string(Name(c.result)) +
+                      " already covers both inputs; its children_mode " +
+                      std::string(Name(c.children_mode)) +
+                      " would lock every child for nothing");
+        }
+      } else if (strength_waived_[h][r]) {
+        // Documented reconstruction exception: still reject entries that
+        // keep neither side's strength (those are typos, not tradeoffs).
+        if (!AtLeastAsStrong(c.result, held) &&
+            !AtLeastAsStrong(c.result, req)) {
+          return fail("conversion for " + PairDesc(*this, held, req) +
+                      " = " + std::string(Name(c.result)) +
+                      " keeps neither input's strength (waiver covers "
+                      "losing one side only)");
+        }
+      } else {
+        // Plain entries must not weaken either input. Update modes sit
+        // outside the lattice order (Fig. 2: convert(R, U) = R), so the
+        // bound on an update-mode input is waived.
+        if (!IsUpdateMode(held) && !AtLeastAsStrong(c.result, held)) {
+          return fail("conversion for " + PairDesc(*this, held, req) +
+                      " = " + std::string(Name(c.result)) +
+                      " is weaker than the held mode");
+        }
+        if (!IsUpdateMode(req) && !AtLeastAsStrong(c.result, req)) {
+          return fail("conversion for " + PairDesc(*this, held, req) +
+                      " = " + std::string(Name(c.result)) +
+                      " is weaker than the requested mode");
+        }
+      }
+    }
+  }
+  // Commutativity up to strength equivalence (update-mode pairs are
+  // inherently order-dependent: Fig. 2 has convert(R, U) = R but
+  // convert(U, R) = U).
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const ModeId ma = static_cast<ModeId>(a + 1);
+      const ModeId mb = static_cast<ModeId>(b + 1);
+      if (ModeGroup(ma) != ModeGroup(mb)) continue;
+      if (IsUpdateMode(ma) || IsUpdateMode(mb)) continue;
+      if (!conversion_set_[a][b] || !conversion_set_[b][a]) continue;
+      const Conversion& ab = conversions_[a][b];
+      const Conversion& ba = conversions_[b][a];
+      if (!StrengthEquivalent(ab.result, ba.result)) {
+        return fail("conversion is not commutative: convert(" +
+                    std::string(Name(ma)) + ", " + std::string(Name(mb)) +
+                    ") = " + std::string(Name(ab.result)) +
+                    " but convert(" + std::string(Name(mb)) + ", " +
+                    std::string(Name(ma)) + ") = " +
+                    std::string(Name(ba.result)));
+      }
+      const bool kids_match =
+          (ab.children_mode == kNoMode && ba.children_mode == kNoMode) ||
+          (ab.children_mode != kNoMode && ba.children_mode != kNoMode &&
+           StrengthEquivalent(ab.children_mode, ba.children_mode));
+      if (!kids_match) {
+        return fail("child side effects differ between convert(" +
+                    std::string(Name(ma)) + ", " + std::string(Name(mb)) +
+                    ") [" + std::string(Name(ab.children_mode)) +
+                    "] and convert(" + std::string(Name(mb)) + ", " +
+                    std::string(Name(ma)) + ") [" +
+                    std::string(Name(ba.children_mode)) + "]");
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace xtc

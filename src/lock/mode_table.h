@@ -18,6 +18,12 @@
 // as strong as a" means m's compatibilities are a subset of a's (both as
 // holder and as requester). Tests verify that the derivation reproduces
 // the paper's published matrices exactly (Figs. 2 and 4).
+//
+// Because matrix typos are this paper's quietest failure mode (a flipped
+// cell does not crash anything — it just shifts a Figure-7 curve), every
+// table is statically checked by Verify(): protocol constructors run it
+// at build time (InitTable aborts on failure), tools/protolint runs it
+// standalone, and tests/mode_table_verify_test.cc seeds corruptions.
 
 #ifndef XTC_LOCK_MODE_TABLE_H_
 #define XTC_LOCK_MODE_TABLE_H_
@@ -39,7 +45,7 @@ inline constexpr int kMaxModes = 32;
 struct Conversion {
   ModeId result = kNoMode;
   /// If != kNoMode, the protocol must additionally acquire this mode on
-  /// every direct child of the node (Fig. 4's subscripted rules).
+  /// every direct child of the context node (Fig. 4's subscripted rules).
   ModeId children_mode = kNoMode;
 };
 
@@ -62,18 +68,66 @@ class ModeTable {
   /// Registers the combination mode a∧b (e.g. taDOM2+'s LRIX = LR ∧ IX):
   /// compatible with x iff both a and b are (in both directions).
   /// Compatibility rows of a and b (vs. all previously declared modes)
-  /// must already be set.
+  /// must already be set. The combination inherits a's group and is an
+  /// update mode if either component is.
   ModeId AddCombinedMode(std::string name, ModeId a, ModeId b);
 
   /// Declares an explicit conversion entry.
   void SetConversion(ModeId held, ModeId requested, ModeId result,
                      ModeId children_mode = kNoMode);
 
+  /// Exempts one declared entry from Verify()'s "at least as strong as
+  /// both inputs" bound, downgrading it to "at least as strong as one
+  /// input". For protocol entries kept as published even though a later
+  /// mode extension broke their coverage (taDOM3's NX: Fig. 4's
+  /// NR + IX = IX no longer covers NR because IX admits NX renames).
+  /// Every waiver is a documented reconstruction decision in the
+  /// protocol source — never a way to silence a typo.
+  void WaiveConversionStrength(ModeId held, ModeId requested);
+
+  /// Flags `m` as an update mode (URIX's U, taDOM's SU/NU). Update modes
+  /// are the one sanctioned source of compatibility asymmetry (Fig. 2's
+  /// U column) and sit outside the strict conversion-lattice order, so
+  /// Verify() relaxes its monotonicity/commutativity checks for them.
+  void MarkUpdateMode(ModeId m);
+  bool IsUpdateMode(ModeId m) const;
+
+  /// Assigns `m` to a resource-namespace group (default 0). Modes of
+  /// different groups never meet on one resource (node vs. edge vs.
+  /// content vs. jump locks use distinct resource keys), so conversions
+  /// across groups are nominal: Convert() falls back to the requested
+  /// mode and Verify() skips lattice checks for such pairs.
+  void SetModeGroup(ModeId m, int group);
+  int ModeGroup(ModeId m) const;
+
   /// Fills every undeclared conversion entry from the compatibility
   /// matrix (see file comment). Must be called after all modes and
   /// compat rows are declared. Returns an error naming the first pair
   /// with no valid target mode.
   Status DeriveMissingConversions();
+
+  /// Statically checks the whole table; `context` (typically the
+  /// protocol name) prefixes every diagnostic. Verifies that
+  ///  * mode names are unique and non-empty;
+  ///  * every compatibility cell was explicitly declared (no cell is
+  ///    silently defaulted by a late AddMode);
+  ///  * compatibility asymmetry appears only on pairs involving an
+  ///    update mode (URIX Fig. 2);
+  ///  * the conversion matrix is closed (every pair maps to a declared
+  ///    mode) and idempotent (convert(a, a) = a, no side effect);
+  ///  * within a group, convert(a, b) is at least as strong as both
+  ///    inputs — except that the bound on an update-mode input is waived
+  ///    (e.g. Fig. 2's convert(R, U) = R), entries under
+  ///    WaiveConversionStrength() only keep one side's strength, and
+  ///    children_mode entries instead keep one side's strength and must
+  ///    be *necessary* (the result alone must not already cover both
+  ///    inputs — otherwise the child locks would be pure overhead);
+  ///  * within a group, convert is commutative up to strength
+  ///    equivalence (again excepting update-mode pairs);
+  ///  * children_mode side effects reference declared modes of the same
+  ///    group.
+  /// Call after DeriveMissingConversions().
+  Status Verify(std::string_view context) const;
 
   int num_modes() const { return static_cast<int>(names_.size()); }
   std::string_view Name(ModeId m) const;
@@ -92,10 +146,22 @@ class ModeTable {
 
  private:
   int Index(ModeId m) const { return m - 1; }
+  bool ValidMode(ModeId m) const {
+    return m != kNoMode && Index(m) < num_modes();
+  }
+  /// a and b grant exactly the same compatibilities (e.g. taDOM2's
+  /// IR and NR, which differ only in their conversion behaviour).
+  bool StrengthEquivalent(ModeId a, ModeId b) const {
+    return AtLeastAsStrong(a, b) && AtLeastAsStrong(b, a);
+  }
 
   std::vector<std::string> names_;
+  std::vector<bool> is_update_;
+  std::vector<int> group_;
   // compat_[held-1][requested-1]
   std::vector<std::vector<bool>> compat_;
+  std::vector<std::vector<bool>> compat_declared_;
+  std::vector<std::vector<bool>> strength_waived_;
   std::vector<std::vector<Conversion>> conversions_;
   std::vector<std::vector<bool>> conversion_set_;
 };

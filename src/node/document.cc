@@ -1,7 +1,6 @@
 #include "node/document.h"
 
-#include <cassert>
-
+#include "util/check.h"
 #include "util/fault_injector.h"
 
 namespace xtc {
@@ -74,13 +73,13 @@ Status Document::StoreOneLocked(const Splid& splid, const NodeRecord& record) {
 }
 
 Status Document::Store(const Splid& splid, const NodeRecord& record) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
+  WriterMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   return StoreOneLocked(splid, record);
 }
 
 StatusOr<Splid> Document::CreateRoot(std::string_view name) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
+  WriterMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   if (doc_->size() != 0) {
     return Status::InvalidArgument("document is not empty");
@@ -92,7 +91,7 @@ StatusOr<Splid> Document::CreateRoot(std::string_view name) {
 }
 
 StatusOr<Splid> Document::BuildFromSpec(const SubtreeSpec& spec) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
+  WriterMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   if (doc_->size() != 0) {
     return Status::InvalidArgument("document is not empty");
@@ -123,7 +122,7 @@ StatusOr<Splid> Document::AppendLabelLocked(const Splid& parent) const {
 }
 
 StatusOr<Splid> Document::PeekAppendLabel(const Splid& parent) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   return AppendLabelLocked(parent);
 }
 
@@ -159,7 +158,7 @@ Status Document::StoreSpecLocked(const Splid& at, const SubtreeSpec& spec) {
 StatusOr<Splid> Document::AppendSubtree(const Splid& parent,
                                         const SubtreeSpec& spec,
                                         const Splid* label_hint) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
+  WriterMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   XTC_ASSIGN_OR_RETURN(Splid label, AppendLabelLocked(parent));
   if (label_hint != nullptr && *label_hint != label &&
@@ -174,7 +173,7 @@ StatusOr<Splid> Document::AppendSubtree(const Splid& parent,
 
 StatusOr<std::optional<Splid>> Document::FindAttribute(
     const Splid& element, NameSurrogate name) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   const Splid attr_root = element.AttributeChild();
   const std::string enc = attr_root.Encode();
   auto it = doc_->NewIterator();
@@ -199,7 +198,7 @@ StatusOr<std::optional<Splid>> Document::FindAttribute(
 StatusOr<Splid> Document::AddAttribute(const Splid& element,
                                        NameSurrogate name,
                                        std::string_view value) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
+  WriterMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   if (!doc_->Contains(element.Encode())) {
     return Status::NotFound("element not found");
@@ -273,14 +272,14 @@ StatusOr<Splid> Document::SiblingLabelLocked(const Splid& sibling,
 
 StatusOr<Splid> Document::PeekSiblingLabel(const Splid& sibling,
                                            bool after) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   return SiblingLabelLocked(sibling, after);
 }
 
 StatusOr<Splid> Document::InsertSibling(const Splid& sibling,
                                         const SubtreeSpec& spec, bool after,
                                         const Splid* label_hint) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
+  WriterMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   XTC_ASSIGN_OR_RETURN(Splid label, SiblingLabelLocked(sibling, after));
   if (label_hint != nullptr && *label_hint != label &&
@@ -292,7 +291,7 @@ StatusOr<Splid> Document::InsertSibling(const Splid& sibling,
 }
 
 Status Document::RestoreNodes(const std::vector<Node>& nodes) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
+  WriterMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   for (const Node& n : nodes) {
     XTC_RETURN_IF_ERROR(StoreOneLocked(n.splid, n.record));
@@ -314,7 +313,7 @@ Status Document::RemoveOneLocked(const Splid& splid,
 }
 
 Status Document::Remove(const Splid& splid) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
+  WriterMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   auto raw = doc_->Get(splid.Encode());
   if (!raw.ok()) return raw.status();
@@ -333,7 +332,7 @@ Status Document::Remove(const Splid& splid) {
 }
 
 Status Document::RemoveSubtree(const Splid& root) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
+  WriterMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   auto nodes = SubtreeLocked(root);
   if (!nodes.ok()) return nodes.status();
@@ -348,7 +347,7 @@ Status Document::RemoveSubtree(const Splid& root) {
 
 Status Document::UpdateContent(const Splid& string_node,
                                std::string_view content) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
+  WriterMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   auto raw = doc_->Get(string_node.Encode());
   if (!raw.ok()) return raw.status();
@@ -369,7 +368,7 @@ Status Document::UpdateContent(const Splid& string_node,
 }
 
 Status Document::RenameElement(const Splid& element, NameSurrogate new_name) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
+  WriterMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
   auto raw = doc_->Get(element.Encode());
   if (!raw.ok()) return raw.status();
@@ -384,7 +383,7 @@ Status Document::RenameElement(const Splid& element, NameSurrogate new_name) {
 }
 
 StatusOr<NodeRecord> Document::Get(const Splid& splid) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   auto raw = doc_->Get(splid.Encode());
   if (!raw.ok()) return raw.status();
   auto rec = NodeRecord::Decode(*raw);
@@ -393,7 +392,7 @@ StatusOr<NodeRecord> Document::Get(const Splid& splid) const {
 }
 
 bool Document::Exists(const Splid& splid) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   // A bool answer cannot report an I/O error, and a fault surfacing as
   // "does not exist" would silently change caller control flow.
   FaultInjector::ScopedSuppress no_faults;
@@ -413,8 +412,11 @@ StatusOr<std::optional<Node>> Document::FirstChildLocked(
     }
     auto child = Splid::Decode(it.key());
     if (!child.has_value()) return Status::Internal("corrupt splid key");
-    // The first key inside the subtree is always a direct child.
-    assert(child->Level() == parent.Level() + 1);
+    // The first key inside the subtree is always a direct child; a deeper
+    // key here means an orphan (stored descendant without its ancestors),
+    // and sibling navigation built on it would silently skip nodes.
+    XTC_CHECK(child->Level() == parent.Level() + 1,
+              "first key in subtree is not a direct child (orphan node)");
     if (!include_attr && child->LastDivision() == kAttributeDivision) {
       // Skip the attribute root and its whole subtree.
       it.Seek(child->EncodedSubtreeUpperBound());
@@ -428,12 +430,12 @@ StatusOr<std::optional<Node>> Document::FirstChildLocked(
 
 StatusOr<std::optional<Node>> Document::FirstChild(const Splid& parent,
                                                    bool include_attr) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   return FirstChildLocked(parent, include_attr);
 }
 
 StatusOr<std::optional<Node>> Document::LastChild(const Splid& parent) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   auto it = doc_->NewIterator();
   it.SeekForPrev(parent.EncodedSubtreeUpperBound());
   XTC_RETURN_IF_ERROR(it.status());
@@ -472,13 +474,13 @@ StatusOr<std::optional<Node>> Document::NextSiblingLocked(
 }
 
 StatusOr<std::optional<Node>> Document::NextSibling(const Splid& node) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   return NextSiblingLocked(node);
 }
 
 StatusOr<std::optional<Node>> Document::PreviousSibling(
     const Splid& node) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   return PreviousSiblingLocked(node);
 }
 
@@ -510,7 +512,7 @@ StatusOr<std::optional<Node>> Document::PreviousSiblingLocked(
 
 StatusOr<std::vector<Node>> Document::Children(const Splid& parent,
                                                bool include_attr) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   std::vector<Node> out;
   auto child = FirstChildLocked(parent, include_attr);
   if (!child.ok()) return child.status();
@@ -553,12 +555,12 @@ StatusOr<std::vector<Node>> Document::SubtreeLocked(const Splid& root) const {
 }
 
 StatusOr<std::vector<Node>> Document::Subtree(const Splid& root) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   return SubtreeLocked(root);
 }
 
 std::optional<Splid> Document::LookupId(std::string_view id) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   // See Exists(): an optional answer cannot report an I/O error.
   FaultInjector::ScopedSuppress no_faults;
   return ids_->Lookup(id);
@@ -567,7 +569,7 @@ std::optional<Splid> Document::LookupId(std::string_view id) const {
 std::vector<Splid> Document::ElementsByName(std::string_view name) const {
   NameSurrogate s = vocab_.Lookup(name);
   if (s == kInvalidSurrogate) return {};
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // see Exists()
   return elements_->List(s);
 }
@@ -576,23 +578,23 @@ std::optional<Splid> Document::NthElementByName(std::string_view name,
                                                 size_t index) const {
   NameSurrogate s = vocab_.Lookup(name);
   if (s == kInvalidSurrogate) return std::nullopt;
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // see Exists()
   return elements_->Nth(s, index);
 }
 
 uint64_t Document::num_nodes() const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   return doc_->size();
 }
 
 BplusTree::Occupancy Document::MeasureOccupancy() const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   return doc_->MeasureOccupancy();
 }
 
 Status Document::Validate() const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
+  ReaderMutexLock latch(mu_);
   std::vector<std::pair<Splid, NodeRecord>> all;
   {
     auto it = doc_->NewIterator();

@@ -26,7 +26,9 @@
 #include "storage/buffer_manager.h"
 #include "storage/page_file.h"
 #include "storage/vocabulary.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace xtc {
 
@@ -54,39 +56,44 @@ class Document {
 
   /// Stores one node. Maintains the element index (element nodes) and the
   /// ID index (string values under an "id" attribute).
-  Status Store(const Splid& splid, const NodeRecord& record);
+  Status Store(const Splid& splid, const NodeRecord& record)
+      XTC_EXCLUDES(mu_);
 
   /// Removes one node (must have no children). Index-maintaining.
-  Status Remove(const Splid& splid);
+  Status Remove(const Splid& splid) XTC_EXCLUDES(mu_);
 
   /// Removes the whole subtree rooted at `root` (including `root`).
-  Status RemoveSubtree(const Splid& root);
+  Status RemoveSubtree(const Splid& root) XTC_EXCLUDES(mu_);
 
   /// Replaces the content of a string node (index-maintaining for id
   /// values).
-  Status UpdateContent(const Splid& string_node, std::string_view content);
+  Status UpdateContent(const Splid& string_node, std::string_view content)
+      XTC_EXCLUDES(mu_);
 
   /// Renames an element (element-index maintaining).
-  Status RenameElement(const Splid& element, NameSurrogate new_name);
+  Status RenameElement(const Splid& element, NameSurrogate new_name)
+      XTC_EXCLUDES(mu_);
 
   /// The attribute node element/@name, if present.
   StatusOr<std::optional<Splid>> FindAttribute(const Splid& element,
-                                               NameSurrogate name) const;
+                                               NameSurrogate name) const
+      XTC_EXCLUDES(mu_);
 
   /// Adds a new attribute (creating the attribute root if needed);
   /// fails with kInvalidArgument if the name already exists. Returns the
   /// attribute node's label.
   StatusOr<Splid> AddAttribute(const Splid& element, NameSurrogate name,
-                               std::string_view value);
+                               std::string_view value) XTC_EXCLUDES(mu_);
 
   /// Removes element/@name (and its string child). kNotFound if absent.
-  Status RemoveAttribute(const Splid& element, NameSurrogate name);
+  Status RemoveAttribute(const Splid& element, NameSurrogate name)
+      XTC_EXCLUDES(mu_);
 
   /// Creates the document root element (document must be empty).
-  StatusOr<Splid> CreateRoot(std::string_view name);
+  StatusOr<Splid> CreateRoot(std::string_view name) XTC_EXCLUDES(mu_);
 
   /// Bulk-loads a whole document from a spec (document must be empty).
-  StatusOr<Splid> BuildFromSpec(const SubtreeSpec& spec);
+  StatusOr<Splid> BuildFromSpec(const SubtreeSpec& spec) XTC_EXCLUDES(mu_);
 
   /// Appends `spec` as the new last child of `parent`, atomically under
   /// one latch (label assignment + all stores). `label_hint` (optional)
@@ -94,86 +101,112 @@ class Document {
   /// running without write locks — the actual label is recomputed.
   /// Returns the new subtree root's label.
   StatusOr<Splid> AppendSubtree(const Splid& parent, const SubtreeSpec& spec,
-                                const Splid* label_hint = nullptr);
+                                const Splid* label_hint = nullptr)
+      XTC_EXCLUDES(mu_);
 
   /// The label AppendSubtree would use right now (for pre-locking).
-  StatusOr<Splid> PeekAppendLabel(const Splid& parent) const;
+  StatusOr<Splid> PeekAppendLabel(const Splid& parent) const
+      XTC_EXCLUDES(mu_);
 
   /// Inserts `spec` as a sibling ordered directly before/after
   /// `sibling`, atomically under one latch (uses the overflow labeling
   /// of §3.2 — existing labels never change). Returns the new root.
   StatusOr<Splid> InsertSibling(const Splid& sibling, const SubtreeSpec& spec,
-                                bool after, const Splid* label_hint = nullptr);
+                                bool after, const Splid* label_hint = nullptr)
+      XTC_EXCLUDES(mu_);
 
   /// The label InsertSibling would use right now (for pre-locking).
-  StatusOr<Splid> PeekSiblingLabel(const Splid& sibling, bool after) const;
+  StatusOr<Splid> PeekSiblingLabel(const Splid& sibling, bool after) const
+      XTC_EXCLUDES(mu_);
 
   /// Re-inserts previously removed nodes (abort compensation).
-  Status RestoreNodes(const std::vector<Node>& nodes);
+  Status RestoreNodes(const std::vector<Node>& nodes) XTC_EXCLUDES(mu_);
 
   // --- Read operations ----------------------------------------------------
 
-  StatusOr<NodeRecord> Get(const Splid& splid) const;
-  bool Exists(const Splid& splid) const;
+  StatusOr<NodeRecord> Get(const Splid& splid) const XTC_EXCLUDES(mu_);
+  bool Exists(const Splid& splid) const XTC_EXCLUDES(mu_);
 
   /// First/last child in document order. By default attribute roots are
   /// skipped (DOM semantics); pass include_attribute_root for taDOM-level
   /// traversal.
   StatusOr<std::optional<Node>> FirstChild(
-      const Splid& parent, bool include_attribute_root = false) const;
-  StatusOr<std::optional<Node>> LastChild(const Splid& parent) const;
-  StatusOr<std::optional<Node>> NextSibling(const Splid& node) const;
-  StatusOr<std::optional<Node>> PreviousSibling(const Splid& node) const;
+      const Splid& parent, bool include_attribute_root = false) const
+      XTC_EXCLUDES(mu_);
+  StatusOr<std::optional<Node>> LastChild(const Splid& parent) const
+      XTC_EXCLUDES(mu_);
+  StatusOr<std::optional<Node>> NextSibling(const Splid& node) const
+      XTC_EXCLUDES(mu_);
+  StatusOr<std::optional<Node>> PreviousSibling(const Splid& node) const
+      XTC_EXCLUDES(mu_);
 
   StatusOr<std::vector<Node>> Children(
-      const Splid& parent, bool include_attribute_root = false) const;
+      const Splid& parent, bool include_attribute_root = false) const
+      XTC_EXCLUDES(mu_);
 
   /// The whole subtree including the root, in document order.
-  StatusOr<std::vector<Node>> Subtree(const Splid& root) const;
+  StatusOr<std::vector<Node>> Subtree(const Splid& root) const
+      XTC_EXCLUDES(mu_);
 
-  std::optional<Splid> LookupId(std::string_view id) const;
-  std::vector<Splid> ElementsByName(std::string_view name) const;
+  std::optional<Splid> LookupId(std::string_view id) const XTC_EXCLUDES(mu_);
+  std::vector<Splid> ElementsByName(std::string_view name) const
+      XTC_EXCLUDES(mu_);
   std::optional<Splid> NthElementByName(std::string_view name,
-                                        size_t index) const;
+                                        size_t index) const XTC_EXCLUDES(mu_);
 
-  uint64_t num_nodes() const;
+  uint64_t num_nodes() const XTC_EXCLUDES(mu_);
   const PageFile& page_file() const { return file_; }
   const BufferManager& buffer() const { return *buffer_; }
 
   /// Storage occupancy of the document tree (paper §3.1).
-  BplusTree::Occupancy MeasureOccupancy() const;
+  BplusTree::Occupancy MeasureOccupancy() const XTC_EXCLUDES(mu_);
 
   /// Full structural audit (tests / debugging): every non-root node has
   /// a stored parent, taDOM layering holds (strings under text or
   /// attribute, attributes under attribute roots, ...), and the element
   /// and ID indexes agree exactly with a document scan.
-  Status Validate() const;
+  Status Validate() const XTC_EXCLUDES(mu_);
 
  private:
-  // mu_ must be held (shared suffices) by callers of these helpers.
+  // mu_ must be held by callers of these helpers: shared suffices for the
+  // readers, the store/remove ones mutate the tree and need it exclusive.
   StatusOr<std::optional<Node>> FirstChildLocked(const Splid& parent,
-                                                 bool include_attr) const;
-  StatusOr<std::optional<Node>> PreviousSiblingLocked(const Splid& node) const;
-  StatusOr<Splid> AppendLabelLocked(const Splid& parent) const;
-  StatusOr<Splid> SiblingLabelLocked(const Splid& sibling, bool after) const;
-  Status StoreOneLocked(const Splid& splid, const NodeRecord& record);
-  Status StoreSpecLocked(const Splid& at, const SubtreeSpec& spec);
-  StatusOr<std::optional<Node>> NextSiblingLocked(const Splid& node) const;
-  StatusOr<std::vector<Node>> SubtreeLocked(const Splid& root) const;
-  Status RemoveOneLocked(const Splid& splid, const NodeRecord& record);
+                                                 bool include_attr) const
+      XTC_REQUIRES_SHARED(mu_);
+  StatusOr<std::optional<Node>> PreviousSiblingLocked(const Splid& node) const
+      XTC_REQUIRES_SHARED(mu_);
+  StatusOr<Splid> AppendLabelLocked(const Splid& parent) const
+      XTC_REQUIRES_SHARED(mu_);
+  StatusOr<Splid> SiblingLabelLocked(const Splid& sibling, bool after) const
+      XTC_REQUIRES_SHARED(mu_);
+  Status StoreOneLocked(const Splid& splid, const NodeRecord& record)
+      XTC_REQUIRES(mu_);
+  Status StoreSpecLocked(const Splid& at, const SubtreeSpec& spec)
+      XTC_REQUIRES(mu_);
+  StatusOr<std::optional<Node>> NextSiblingLocked(const Splid& node) const
+      XTC_REQUIRES_SHARED(mu_);
+  StatusOr<std::vector<Node>> SubtreeLocked(const Splid& root) const
+      XTC_REQUIRES_SHARED(mu_);
+  Status RemoveOneLocked(const Splid& splid, const NodeRecord& record)
+      XTC_REQUIRES(mu_);
   // If `splid` is the string child of an id attribute, returns the owning
   // element.
-  std::optional<Splid> IdOwnerElement(const Splid& string_node) const;
+  std::optional<Splid> IdOwnerElement(const Splid& string_node) const
+      XTC_REQUIRES_SHARED(mu_);
 
   StorageOptions options_;
   PageFile file_;
   std::unique_ptr<BufferManager> buffer_;
   Vocabulary vocab_;
   SplidGenerator gen_;
-  mutable std::shared_mutex mu_;
-  std::unique_ptr<BplusTree> doc_;
-  std::unique_ptr<ElementIndex> elements_;
-  std::unique_ptr<IdIndex> ids_;
+  // The document latch (never held across lock-table waits; see file
+  // header). vocab_/gen_/buffer_/file_ are internally synchronized and
+  // deliberately not guarded by it.
+  mutable SharedMutex mu_;
+  std::unique_ptr<BplusTree> doc_ XTC_GUARDED_BY(mu_) XTC_PT_GUARDED_BY(mu_);
+  std::unique_ptr<ElementIndex> elements_ XTC_GUARDED_BY(mu_)
+      XTC_PT_GUARDED_BY(mu_);
+  std::unique_ptr<IdIndex> ids_ XTC_GUARDED_BY(mu_) XTC_PT_GUARDED_BY(mu_);
   NameSurrogate id_attr_name_;  // surrogate of "id"
 };
 

@@ -62,6 +62,10 @@ MglProtocol::MglProtocol(MglVariant variant, LockTableOptions options)
       modes_.SetCompatRow(rix_, "+ - - - - -");
       modes_.SetCompatRow(u_, "+ - + - - -");
       modes_.SetCompatRow(x_, "- - - - - -");
+      // U is the protocol's one sanctioned source of compatibility
+      // asymmetry and of non-monotone conversions (convert(R, U) = R);
+      // Verify() relaxes its checks only for flagged modes.
+      modes_.MarkUpdateMode(u_);
       // Fig. 2 conversion matrix, verbatim.
       auto C = [&](ModeId h, ModeId req, ModeId res) {
         modes_.SetConversion(h, req, res);
@@ -99,6 +103,10 @@ MglProtocol::MglProtocol(MglVariant variant, LockTableOptions options)
     modes_.SetCompatible(es_, ex_, false);
     modes_.SetCompatible(ex_, es_, false);
     modes_.SetCompatible(ex_, ex_, false);
+    // Edge locks live in their own resource namespace ('E'-tagged keys):
+    // they never convert against node modes.
+    modes_.SetModeGroup(es_, 1);
+    modes_.SetModeGroup(ex_, 1);
   }
 
   InitTable(options);

@@ -62,6 +62,13 @@ TwoPlProtocol::TwoPlProtocol(TwoPlVariant variant, LockTableOptions options)
     modes_.SetCompatRow(cx_, "+ + - - + +");
     modes_.SetCompatRow(idr_, "+ + + + + -");
     modes_.SetCompatRow(idx_, "+ + + + - -");
+    // Fig. 1's "three orthogonal lock types": node (T/M), content
+    // (CS/CX) and jump (IDR/IDX) locks key distinct resource namespaces
+    // and never convert against one another.
+    modes_.SetModeGroup(cs_, 1);
+    modes_.SetModeGroup(cx_, 1);
+    modes_.SetModeGroup(idr_, 2);
+    modes_.SetModeGroup(idx_, 2);
     if (variant == TwoPlVariant::kOo2Pl) {
       er_ = modes_.AddMode("ER");
       ew_ = modes_.AddMode("EW");
@@ -75,6 +82,8 @@ TwoPlProtocol::TwoPlProtocol(TwoPlVariant variant, LockTableOptions options)
       modes_.SetCompatible(er_, ew_, false);
       modes_.SetCompatible(ew_, er_, false);
       modes_.SetCompatible(ew_, ew_, false);
+      modes_.SetModeGroup(er_, 3);
+      modes_.SetModeGroup(ew_, 3);
     }
   }
   InitTable(options);

@@ -7,7 +7,11 @@ namespace xtc {
 
 void ProtocolBase::InitTable(LockTableOptions options) {
   Status st = modes_.DeriveMissingConversions();
+  if (st.ok()) st = modes_.Verify(name_);
   if (!st.ok()) {
+    // A protocol-definition bug (matrix typo, undeclared cell), not a
+    // runtime condition: fail construction loudly. tools/protolint runs
+    // the same check standalone with a nonzero exit instead.
     std::fprintf(stderr, "protocol %s: %s\n", name_.c_str(),
                  st.ToString().c_str());
     std::abort();

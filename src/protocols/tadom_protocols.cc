@@ -72,6 +72,13 @@ TaDomProtocol::TaDomProtocol(TaDomVariant variant, LockTableOptions options,
     modes_.SetCompatRow(cx_, "+ + + + - - - - + +");
   }
 
+  // SU/NU announce a later write: they sit outside the strict conversion
+  // lattice (Fig. 4 keeps SR when SU is requested under SR), which
+  // Verify() permits only for flagged update modes. Flag before the
+  // combination modes below so SUIX/SUCX/NUIX/NUCX inherit it.
+  modes_.MarkUpdateMode(su_);
+  if (node_modes) modes_.MarkUpdateMode(nu_);
+
   if (!combo_modes) {
     // Fig. 4 conversion matrix (held x requested) with its subscripted
     // child-lock side effects. taDOM2+/3+ leave the whole grid to the
@@ -166,6 +173,20 @@ TaDomProtocol::TaDomProtocol(TaDomVariant variant, LockTableOptions options,
       C(ix_, nx_, sx_);
       C(cx_, nx_, sx_);
       C(su_, nx_, sx_);
+
+      // Reconstruction debt, kept deliberately: the taDOM2 grid above
+      // retains Fig. 4's NR + IX = IX and NR + CX = CX, but with NX in
+      // the table IX/CX no longer cover NR (both admit an NX rename of
+      // the node whose read NR protected). The only covering mode here
+      // is SX, which would lock the whole subtree exclusively and
+      // distort the contest, so we keep the published entries and waive
+      // the strict-strength check for exactly these four cells (the
+      // combination modes of taDOM3+ resolve this properly via NRIX and
+      // NRCX). See docs/static_analysis.md.
+      modes_.WaiveConversionStrength(nr_, ix_);
+      modes_.WaiveConversionStrength(ix_, nr_);
+      modes_.WaiveConversionStrength(nr_, cx_);
+      modes_.WaiveConversionStrength(cx_, nr_);
     }
   } else {
     // Combination modes. taDOM2+: the four modes named in the paper.
@@ -200,6 +221,10 @@ TaDomProtocol::TaDomProtocol(TaDomVariant variant, LockTableOptions options,
   modes_.SetCompatible(es_, ex_, false);
   modes_.SetCompatible(ex_, es_, false);
   modes_.SetCompatible(ex_, ex_, false);
+  // Edge (and id-value) locks use their own resource keys: they never
+  // convert against node modes.
+  modes_.SetModeGroup(es_, 1);
+  modes_.SetModeGroup(ex_, 1);
 
   InitTable(options);
 }

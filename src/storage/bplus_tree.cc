@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstring>
+#include "util/check.h"
 #include <vector>
 
 namespace xtc {
@@ -19,7 +20,7 @@ std::string ChildValue(PageId id) {
 BplusTree::BplusTree(BufferManager* bm, bool prefix_compression)
     : bm_(bm), prefix_compression_(prefix_compression) {
   auto guard = bm_->New();
-  assert(guard.ok());
+  XTC_CHECK(guard.ok(), "buffer pool cannot host the B+-tree root page");
   SlottedPage sp(guard->page());
   sp.Init(PageType::kLeaf, prefix_compression_);
   guard->MarkDirty();

@@ -40,7 +40,9 @@
 
 #include "storage/page.h"
 #include "storage/page_file.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace xtc {
 
@@ -105,22 +107,22 @@ class BufferManager {
 
   /// Fetches (and pins) a page, reading it from the page file on a miss.
   /// Concurrent misses on the same page issue exactly one read.
-  StatusOr<PageGuard> Fetch(PageId id);
+  StatusOr<PageGuard> Fetch(PageId id) XTC_EXCLUDES(mu_);
 
   /// Allocates a fresh page in the file and pins it (already zeroed). The
   /// file page is only allocated once a frame is secured, so pool
   /// exhaustion does not leak file pages.
-  StatusOr<PageGuard> New();
+  StatusOr<PageGuard> New() XTC_EXCLUDES(mu_);
 
   /// Drops a page: discards the frame and frees the file page. Waits for
   /// any in-flight load/write-back of the page to settle first.
-  void Free(PageId id);
+  void Free(PageId id) XTC_EXCLUDES(mu_);
 
   /// Writes back all dirty unpinned frames. Frames pinned at flush time
   /// are skipped (their guard holder may still be mutating the page);
   /// they are written back on eviction or a later flush. At quiescence
   /// (zero pins) this persists everything.
-  Status FlushAll();
+  Status FlushAll() XTC_EXCLUDES(mu_);
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
@@ -128,12 +130,12 @@ class BufferManager {
 
   /// Frames currently pinned (must be 0 when the system is quiescent —
   /// every PageGuard unpins on destruction).
-  size_t PinnedFrames() const;
+  size_t PinnedFrames() const XTC_EXCLUDES(mu_);
 
   /// Frames currently mid-I/O (kLoading or kEvicting). Must be 0 at
   /// quiescence: no fetch or victim scan may leave a frame stuck in a
   /// transitional state.
-  size_t FramesInIo() const;
+  size_t FramesInIo() const XTC_EXCLUDES(mu_);
 
  private:
   friend class PageGuard;
@@ -154,16 +156,23 @@ class BufferManager {
     std::condition_variable cv;
   };
 
-  void Unpin(PageId id, bool dirty);
+  void Unpin(PageId id, bool dirty) XTC_EXCLUDES(mu_);
 
   /// Returns the index of a frame reserved for the caller (kFree, out of
   /// the table, the LRU list and free_frames_), or -1 if every frame is
-  /// pinned or mid-I/O. May release and reacquire `guard` to write back a
+  /// pinned or mid-I/O. May release and reacquire mu_ to write back a
   /// dirty victim — callers must re-validate table state afterwards.
-  int FindVictim(std::unique_lock<std::mutex>& guard);
+  int FindVictim() XTC_REQUIRES(mu_);
 
   /// Pins a resident frame (removing it from the LRU list).
-  PageGuard PinResident(size_t idx);
+  PageGuard PinResident(size_t idx) XTC_REQUIRES(mu_);
+
+  // All page-file I/O funnels through these two helpers. XTC_EXCLUDES
+  // turns the pool's core invariant — the latch is never held across
+  // I/O — into a compile-time contract: calling either with mu_ held is
+  // an error under -Wthread-safety (see docs/static_analysis.md).
+  Status ReadPage(PageId id, Page* page) XTC_EXCLUDES(mu_);
+  Status WritePage(PageId id, const Page& page) XTC_EXCLUDES(mu_);
 
   /// Tracks one page-file I/O for the in-flight high-water mark.
   class ScopedIo {
@@ -183,11 +192,12 @@ class BufferManager {
 
   PageFile* file_;
   StorageOptions options_;
-  mutable std::mutex mu_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> table_;
-  std::list<size_t> lru_;  // front = most recent; only unpinned residents
-  std::vector<size_t> free_frames_;
+  mutable Mutex mu_;
+  std::vector<Frame> frames_ XTC_GUARDED_BY(mu_);
+  std::unordered_map<PageId, size_t> table_ XTC_GUARDED_BY(mu_);
+  // front = most recent; only unpinned residents
+  std::list<size_t> lru_ XTC_GUARDED_BY(mu_);
+  std::vector<size_t> free_frames_ XTC_GUARDED_BY(mu_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> io_in_flight_{0};

@@ -10,7 +10,7 @@ namespace xtc {
 PageFile::PageFile(const StorageOptions& options) : options_(options) {}
 
 PageId PageFile::Allocate() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
@@ -29,7 +29,7 @@ Status PageFile::Read(PageId id, Page* out) {
       MaybeInject(options_.fault_injector, fault_points::kIoRead));
   SimulateLatency();
   reads_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (id == kInvalidPageId || id > pages_.size()) {
     return Status::InvalidArgument("page id out of range");
   }
@@ -42,7 +42,7 @@ Status PageFile::Write(PageId id, const Page& in) {
       MaybeInject(options_.fault_injector, fault_points::kIoWrite));
   SimulateLatency();
   writes_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (id == kInvalidPageId || id > pages_.size()) {
     return Status::InvalidArgument("page id out of range");
   }
@@ -51,7 +51,7 @@ Status PageFile::Write(PageId id, const Page& in) {
 }
 
 void PageFile::Free(PageId id) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (id == kInvalidPageId || id > pages_.size()) return;
   // Freeing an id twice would put it on the free list twice and make two
   // later Allocate() calls hand out the same page; already-free ids are
@@ -62,7 +62,7 @@ void PageFile::Free(PageId id) {
 }
 
 uint64_t PageFile::num_pages() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return pages_.size() - free_list_.size();
 }
 

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "storage/page.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace xtc {
 
@@ -28,32 +30,39 @@ class PageFile {
   PageFile& operator=(const PageFile&) = delete;
 
   /// Allocates a new zeroed page; returns its id (ids start at 1).
-  PageId Allocate();
+  PageId Allocate() XTC_EXCLUDES(mu_);
 
   /// Copies the stored page into *out (out->size() must equal page_size).
-  Status Read(PageId id, Page* out);
+  /// Simulated device latency elapses before mu_ is taken, so concurrent
+  /// accesses overlap it (callers must likewise not hold their own
+  /// latches here — see BufferManager's I/O helpers).
+  Status Read(PageId id, Page* out) XTC_EXCLUDES(mu_);
 
   /// Copies *in into the stored page.
-  Status Write(PageId id, const Page& in);
+  Status Write(PageId id, const Page& in) XTC_EXCLUDES(mu_);
 
   /// Returns a freed page to the free list for reuse.
-  void Free(PageId id);
+  void Free(PageId id) XTC_EXCLUDES(mu_);
 
   uint32_t page_size() const { return options_.page_size; }
   uint64_t num_reads() const { return reads_.load(std::memory_order_relaxed); }
   uint64_t num_writes() const {
     return writes_.load(std::memory_order_relaxed);
   }
-  uint64_t num_pages() const;
+  uint64_t num_pages() const XTC_EXCLUDES(mu_);
 
  private:
-  void SimulateLatency();
+  // Sleeps/spins for the configured device latency; never under mu_ (that
+  // would serialize the simulated disk).
+  void SimulateLatency() XTC_EXCLUDES(mu_);
 
   StorageOptions options_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Page>> pages_;  // index = id - 1
-  std::vector<PageId> free_list_;
-  std::vector<bool> freed_;  // index = id - 1; true while id is on free_list_
+  mutable Mutex mu_;
+  // index = id - 1
+  std::vector<std::unique_ptr<Page>> pages_ XTC_GUARDED_BY(mu_);
+  std::vector<PageId> free_list_ XTC_GUARDED_BY(mu_);
+  // index = id - 1; true while id is on free_list_
+  std::vector<bool> freed_ XTC_GUARDED_BY(mu_);
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
 };

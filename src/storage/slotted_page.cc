@@ -30,6 +30,12 @@ uint32_t LoadU32(const uint8_t* p) {
 }
 void StoreU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
 
+// memcpy from a string_view; an empty view may carry a null data(), which
+// is UB to hand to memcpy even with a zero count (UBSan: nonnull args).
+void CopyBytes(uint8_t* dst, std::string_view src) {
+  if (!src.empty()) std::memcpy(dst, src.data(), src.size());
+}
+
 std::string_view CommonPrefix(std::string_view a, std::string_view b) {
   size_t n = std::min(a.size(), b.size());
   size_t i = 0;
@@ -76,7 +82,9 @@ std::string_view SlottedPage::prefix() const {
 
 void SlottedPage::set_prefix(std::string_view p) {
   StoreU16(data() + kOffPrefixLen, static_cast<uint16_t>(p.size()));
-  std::memcpy(data() + kHeaderSize, p.data(), p.size());
+  // An empty view may carry a null data() — passing that to memcpy is UB
+  // even for zero bytes.
+  if (!p.empty()) std::memcpy(data() + kHeaderSize, p.data(), p.size());
 }
 
 PageId SlottedPage::aux1() const { return LoadU32(data() + kOffAux1); }
@@ -136,7 +144,7 @@ int SlottedPage::LowerBound(std::string_view full_key, bool* found) const {
   *found = false;
   std::string_view p = prefix();
   size_t n = std::min(p.size(), full_key.size());
-  int pc = std::memcmp(p.data(), full_key.data(), n);
+  int pc = n == 0 ? 0 : std::memcmp(p.data(), full_key.data(), n);
   if (pc > 0) return 0;                               // every key > full_key
   if (pc < 0) return num_slots();                     // every key < full_key
   if (full_key.size() < p.size()) return 0;           // full_key < every key
@@ -213,8 +221,8 @@ bool SlottedPage::Rebuild(
     uint8_t* cell = data() + off;
     StoreU16(cell, static_cast<uint16_t>(suffix.size()));
     StoreU16(cell + 2, static_cast<uint16_t>(value.size()));
-    std::memcpy(cell + 4, suffix.data(), suffix.size());
-    std::memcpy(cell + 4 + suffix.size(), value.data(), value.size());
+    CopyBytes(cell + 4, suffix);
+    CopyBytes(cell + 4 + suffix.size(), value);
     set_cell_end(static_cast<uint16_t>(off + cell_size));
     set_num_slots(num_slots() + 1);
     SetSlotOffset(num_slots() - 1, off);
@@ -261,8 +269,8 @@ bool SlottedPage::Insert(std::string_view full_key, std::string_view value) {
       uint8_t* cell = data() + off;
       StoreU16(cell, static_cast<uint16_t>(suffix.size()));
       StoreU16(cell + 2, static_cast<uint16_t>(v.size()));
-      std::memcpy(cell + 4, suffix.data(), suffix.size());
-      std::memcpy(cell + 4 + suffix.size(), v.data(), v.size());
+      CopyBytes(cell + 4, suffix);
+      CopyBytes(cell + 4 + suffix.size(), v);
       set_cell_end(static_cast<uint16_t>(off + cell_size));
       set_num_slots(num_slots() + 1);
       SetSlotOffset(num_slots() - 1, off);
@@ -299,8 +307,8 @@ bool SlottedPage::Insert(std::string_view full_key, std::string_view value) {
   uint8_t* cell = data() + off;
   StoreU16(cell, static_cast<uint16_t>(suffix.size()));
   StoreU16(cell + 2, static_cast<uint16_t>(value.size()));
-  std::memcpy(cell + 4, suffix.data(), suffix.size());
-  std::memcpy(cell + 4 + suffix.size(), value.data(), value.size());
+  CopyBytes(cell + 4, suffix);
+  CopyBytes(cell + 4 + suffix.size(), value);
   set_cell_end(static_cast<uint16_t>(off + cell_size));
 
   // Shift the slot array to open position idx.
@@ -321,7 +329,7 @@ bool SlottedPage::UpdateValue(int i, std::string_view value) {
   uint16_t vlen = LoadU16(cell + 2);
   if (value.size() <= vlen) {
     StoreU16(cell + 2, static_cast<uint16_t>(value.size()));
-    std::memcpy(cell + 4 + klen, value.data(), value.size());
+    CopyBytes(cell + 4 + klen, value);
     return true;
   }
   std::string key = FullKey(i);

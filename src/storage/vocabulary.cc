@@ -3,7 +3,7 @@
 namespace xtc {
 
 NameSurrogate Vocabulary::Intern(std::string_view name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = by_name_.find(std::string(name));
   if (it != by_name_.end()) return it->second;
   by_id_.emplace_back(name);
@@ -13,19 +13,19 @@ NameSurrogate Vocabulary::Intern(std::string_view name) {
 }
 
 NameSurrogate Vocabulary::Lookup(std::string_view name) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = by_name_.find(std::string(name));
   return it == by_name_.end() ? kInvalidSurrogate : it->second;
 }
 
 std::string Vocabulary::Name(NameSurrogate surrogate) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (surrogate == kInvalidSurrogate || surrogate > by_id_.size()) return "";
   return by_id_[surrogate - 1];
 }
 
 size_t Vocabulary::size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return by_id_.size();
 }
 

@@ -6,12 +6,14 @@
 #define XTC_STORAGE_VOCABULARY_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace xtc {
 
@@ -25,20 +27,21 @@ class Vocabulary {
   Vocabulary& operator=(const Vocabulary&) = delete;
 
   /// Returns the surrogate for `name`, creating one if new (>= 1).
-  NameSurrogate Intern(std::string_view name);
+  NameSurrogate Intern(std::string_view name) XTC_EXCLUDES(mu_);
 
   /// Surrogate of an existing name, or kInvalidSurrogate.
-  NameSurrogate Lookup(std::string_view name) const;
+  NameSurrogate Lookup(std::string_view name) const XTC_EXCLUDES(mu_);
 
   /// Name for a surrogate ("" for invalid).
-  std::string Name(NameSurrogate surrogate) const;
+  std::string Name(NameSurrogate surrogate) const XTC_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const XTC_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, NameSurrogate> by_name_;
-  std::vector<std::string> by_id_;  // index = surrogate - 1
+  mutable Mutex mu_;
+  std::unordered_map<std::string, NameSurrogate> by_name_ XTC_GUARDED_BY(mu_);
+  // index = surrogate - 1
+  std::vector<std::string> by_id_ XTC_GUARDED_BY(mu_);
 };
 
 }  // namespace xtc

@@ -3,7 +3,7 @@
 namespace xtc {
 
 void MetricsCollector::RecordCommit(TxType type, int64_t duration_us) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   TxTypeStats& s = per_type_[static_cast<size_t>(type)];
   if (s.committed == 0 || duration_us < s.min_duration_us) {
     s.min_duration_us = duration_us;
@@ -14,7 +14,7 @@ void MetricsCollector::RecordCommit(TxType type, int64_t duration_us) {
 }
 
 void MetricsCollector::RecordAbort(TxType type, const Status& reason) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   TxTypeStats& s = per_type_[static_cast<size_t>(type)];
   ++s.aborted;
   if (reason.code() == StatusCode::kDeadlock) ++s.deadlock_aborts;
@@ -22,17 +22,17 @@ void MetricsCollector::RecordAbort(TxType type, const Status& reason) {
 }
 
 void MetricsCollector::RecordRetry(TxType type) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   ++per_type_[static_cast<size_t>(type)].retries;
 }
 
 void MetricsCollector::RecordUndoFailure(TxType type) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   ++per_type_[static_cast<size_t>(type)].undo_failures;
 }
 
 RunStats MetricsCollector::Snapshot() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   RunStats out;
   out.per_type = per_type_;
   return out;

@@ -13,6 +13,8 @@
 #include "storage/buffer_manager.h"
 #include "tamix/transactions.h"
 #include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace xtc {
 
@@ -81,15 +83,15 @@ struct RunStats {
 /// Thread-safe collector the workers report into.
 class MetricsCollector {
  public:
-  void RecordCommit(TxType type, int64_t duration_us);
-  void RecordAbort(TxType type, const Status& reason);
-  void RecordRetry(TxType type);
-  void RecordUndoFailure(TxType type);
-  RunStats Snapshot() const;
+  void RecordCommit(TxType type, int64_t duration_us) XTC_EXCLUDES(mu_);
+  void RecordAbort(TxType type, const Status& reason) XTC_EXCLUDES(mu_);
+  void RecordRetry(TxType type) XTC_EXCLUDES(mu_);
+  void RecordUndoFailure(TxType type) XTC_EXCLUDES(mu_);
+  RunStats Snapshot() const XTC_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::array<TxTypeStats, kNumTxTypes> per_type_;
+  mutable Mutex mu_;
+  std::array<TxTypeStats, kNumTxTypes> per_type_ XTC_GUARDED_BY(mu_);
 };
 
 }  // namespace xtc

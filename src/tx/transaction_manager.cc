@@ -14,6 +14,10 @@ Status TransactionManager::Commit(Transaction& tx) {
   tx.set_commit_seq(committed_.fetch_add(1, std::memory_order_relaxed) + 1);
   tx.set_state(TxState::kCommitted);
   lock_manager_->ReleaseAll(tx.LockView());
+  {
+    MutexLock guard(mu_);
+    active_.erase(tx.id());
+  }
   return Status::OK();
 }
 
@@ -46,6 +50,10 @@ Status TransactionManager::Abort(Transaction& tx) {
   tx.set_state(TxState::kAborted);
   lock_manager_->ReleaseAll(tx.LockView());
   aborted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    MutexLock guard(mu_);
+    active_.erase(tx.id());
+  }
   return result;
 }
 

@@ -6,11 +6,14 @@
 
 #include <atomic>
 #include <memory>
+#include <unordered_set>
 
 #include "lock/lock_manager.h"
 #include "tx/transaction.h"
 #include "util/fault_injector.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace xtc {
 
@@ -24,8 +27,12 @@ class TransactionManager {
       : lock_manager_(lock_manager), faults_(faults) {}
 
   std::unique_ptr<Transaction> Begin(IsolationLevel isolation,
-                                     int lock_depth) {
+                                     int lock_depth) XTC_EXCLUDES(mu_) {
     uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    {
+      MutexLock guard(mu_);
+      active_.insert(id);
+    }
     return std::make_unique<Transaction>(id, isolation, lock_depth);
   }
 
@@ -34,14 +41,14 @@ class TransactionManager {
   /// protocols), then releases all locks. (The store is in-memory; there
   /// is no redo logging — durability is out of scope for the lock
   /// contest.)
-  Status Commit(Transaction& tx);
+  Status Commit(Transaction& tx) XTC_EXCLUDES(mu_);
 
   /// Aborts: runs the undo log in reverse (while still holding all
   /// locks), then releases the locks. A failing undo action does not stop
   /// the rollback: every remaining action still runs, the locks are still
   /// released, the transaction still ends kAborted, and the first error
   /// is returned annotated with the failing action's position.
-  Status Abort(Transaction& tx);
+  Status Abort(Transaction& tx) XTC_EXCLUDES(mu_);
 
   uint64_t num_committed() const {
     return committed_.load(std::memory_order_relaxed);
@@ -54,11 +61,21 @@ class TransactionManager {
     return undo_failures_.load(std::memory_order_relaxed);
   }
 
+  /// Transactions begun but not yet committed/aborted. Must be 0 at
+  /// quiescence (the recovery invariant checks rely on it): a nonzero
+  /// count means some code path dropped a transaction without ending it.
+  size_t num_active() const XTC_EXCLUDES(mu_) {
+    MutexLock guard(mu_);
+    return active_.size();
+  }
+
   LockManager& lock_manager() { return *lock_manager_; }
 
  private:
   LockManager* lock_manager_;
   FaultInjector* faults_;
+  mutable Mutex mu_;
+  std::unordered_set<uint64_t> active_ XTC_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> committed_{0};
   std::atomic<uint64_t> aborted_{0};

@@ -2,7 +2,6 @@
 
 namespace xtc {
 
-thread_local int FaultInjector::suppress_depth_ = 0;
 
 std::vector<std::string_view> AllFaultPoints() {
   return {fault_points::kLockTimeout, fault_points::kLockDeadlock,

@@ -121,7 +121,9 @@ class FaultInjector {
   std::map<std::string, PointState, std::less<>> points_;
   std::vector<FaultInjection> log_;
 
-  static thread_local int suppress_depth_;
+  // Inline definition: an out-of-line thread_local would be reached
+  // through GCC's TLS wrapper, which UBSan (mis)flags as a null load.
+  static inline thread_local int suppress_depth_ = 0;
 };
 
 /// Null-safe evaluation helper for components holding an optional

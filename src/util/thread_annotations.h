@@ -1,0 +1,90 @@
+// Clang thread-safety-analysis attribute macros (compile-time concurrency
+// contracts). Under clang with -Wthread-safety, locking discipline becomes
+// a build-time property: which mutex guards which field, which functions
+// require or must not hold a capability, and which RAII types manage one.
+// Under GCC (and clang without the warning enabled) every macro expands to
+// nothing, so annotated code builds everywhere.
+//
+// Conventions used in this codebase (see docs/static_analysis.md):
+//  * every mutex-protected member is XTC_GUARDED_BY its mutex;
+//  * private helpers that assume the lock are XTC_REQUIRES;
+//  * public entry points that take the lock themselves are XTC_EXCLUDES;
+//  * I/O helpers that must never run under a pool/file latch are
+//    XTC_EXCLUDES of that latch (the PR-2 "never hold the latch across
+//    I/O" invariant, machine-checked).
+
+#ifndef XTC_UTIL_THREAD_ANNOTATIONS_H_
+#define XTC_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define XTC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define XTC_THREAD_ANNOTATION_(x)  // no-op on GCC/MSVC
+#endif
+
+/// A type that models a lock (mutex, latch, spinlock, ...).
+#define XTC_CAPABILITY(x) XTC_THREAD_ANNOTATION_(capability(x))
+
+/// An RAII type whose lifetime equals a critical section.
+#define XTC_SCOPED_CAPABILITY XTC_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define XTC_GUARDED_BY(x) XTC_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define XTC_PT_GUARDED_BY(x) XTC_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock avoidance).
+#define XTC_ACQUIRED_BEFORE(...) \
+  XTC_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define XTC_ACQUIRED_AFTER(...) \
+  XTC_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function precondition: the caller holds the capability (exclusively /
+/// at least shared). The function neither acquires nor releases it.
+#define XTC_REQUIRES(...) \
+  XTC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define XTC_REQUIRES_SHARED(...) \
+  XTC_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (must not be held on entry).
+#define XTC_ACQUIRE(...) \
+  XTC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define XTC_ACQUIRE_SHARED(...) \
+  XTC_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define XTC_RELEASE(...) \
+  XTC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define XTC_RELEASE_SHARED(...) \
+  XTC_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+/// Releases a capability held in either mode (used on destructors of
+/// scoped types that may hold shared or exclusive).
+#define XTC_RELEASE_GENERIC(...) \
+  XTC_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+#define XTC_TRY_ACQUIRE(...) \
+  XTC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define XTC_TRY_ACQUIRE_SHARED(...) \
+  XTC_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function precondition: the caller does NOT hold the capability. This is
+/// how "the pool latch is never held across page-file I/O" becomes a
+/// compile error instead of a TSan flake.
+#define XTC_EXCLUDES(...) XTC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (tells the analysis so).
+#define XTC_ASSERT_CAPABILITY(x) \
+  XTC_THREAD_ANNOTATION_(assert_capability(x))
+#define XTC_ASSERT_SHARED_CAPABILITY(x) \
+  XTC_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+/// The function returns a reference to the given capability.
+#define XTC_RETURN_CAPABILITY(x) XTC_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch for functions whose locking is deliberately too dynamic
+/// for the analysis. Use sparingly and document why.
+#define XTC_NO_THREAD_SAFETY_ANALYSIS \
+  XTC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // XTC_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,208 @@
+// ModeTable::Verify(): the protocol-matrix static checker must accept all
+// 11 registered protocols exactly as built and reject seeded corruptions
+// of their tables with a diagnostic naming the broken cell.
+//
+// Corruptions are seeded into *copies* of the real tables (ModeTable is a
+// value type); the originals keep powering the protocol under test.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "lock/mode_table.h"
+#include "protocols/protocol_registry.h"
+
+namespace xtc {
+namespace {
+
+ModeTable TableOf(std::string_view protocol) {
+  auto p = CreateProtocol(protocol);
+  EXPECT_NE(p, nullptr) << protocol;
+  return p->table().modes();  // copy
+}
+
+// --------------------------------------------------------------------------
+// All registered protocols pass.
+// --------------------------------------------------------------------------
+
+class VerifyAllProtocolsTest : public ::testing::TestWithParam<std::string_view> {
+};
+
+INSTANTIATE_TEST_SUITE_P(Contest, VerifyAllProtocolsTest,
+                         ::testing::ValuesIn(AllProtocolNames()),
+                         [](const auto& info) {
+                           std::string n(info.param);
+                           for (char& c : n) {
+                             if (c == '+') c = 'p';
+                           }
+                           return n;
+                         });
+
+TEST_P(VerifyAllProtocolsTest, PublishedTablePasses) {
+  ModeTable t = TableOf(GetParam());
+  Status st = t.Verify(GetParam());
+  EXPECT_TRUE(st.ok()) << st.message();
+}
+
+// --------------------------------------------------------------------------
+// Seeded corruptions are rejected, each with a pointed diagnostic.
+// --------------------------------------------------------------------------
+
+TEST(VerifyCorruption, FlippedUrixCompatCell) {
+  // Fig. 2's only sanctioned asymmetry is the U column. Flipping one side
+  // of a plain pair (R held, IX requested) makes R/IX asymmetric without
+  // an update mode to justify it.
+  ModeTable t = TableOf("URIX");
+  t.SetCompatible(t.Find("R"), t.Find("IX"), true);
+  Status st = t.Verify("URIX");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("asymmetric"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("IX"), std::string::npos) << st.message();
+}
+
+TEST(VerifyCorruption, FlippedUrixUColumnCellStillAllowed) {
+  // The converse guard: asymmetry on a pair that *does* involve U is the
+  // paper's own design and must keep passing.
+  ModeTable t = TableOf("URIX");
+  ASSERT_TRUE(t.Compatible(t.Find("U"), t.Find("IR")));
+  ASSERT_FALSE(t.Compatible(t.Find("IR"), t.Find("U")));
+  EXPECT_TRUE(t.Verify("URIX").ok());
+}
+
+TEST(VerifyCorruption, DanglingChildrenMode) {
+  // A CX_NR-style side effect must reference a declared mode.
+  ModeTable t = TableOf("taDOM2");
+  t.SetConversion(t.Find("LR"), t.Find("IX"), t.Find("IX"),
+                  static_cast<ModeId>(99));
+  Status st = t.Verify("taDOM2");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("dangling children_mode"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("99"), std::string::npos) << st.message();
+}
+
+TEST(VerifyCorruption, NonClosedConversion) {
+  // Conversion results must themselves be declared modes.
+  ModeTable t = TableOf("taDOM2");
+  t.SetConversion(t.Find("SX"), t.Find("SR"), static_cast<ModeId>(99));
+  Status st = t.Verify("taDOM2");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("undeclared mode"), std::string::npos)
+      << st.message();
+}
+
+TEST(VerifyCorruption, WeakenedConversion) {
+  // convert(SX, SR) = IR silently gives up the exclusive subtree lock —
+  // exactly the class of typo that shifts a Figure-7 curve.
+  ModeTable t = TableOf("taDOM2");
+  t.SetConversion(t.Find("SX"), t.Find("SR"), t.Find("IR"));
+  Status st = t.Verify("taDOM2");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("weaker than the held mode"), std::string::npos)
+      << st.message();
+}
+
+TEST(VerifyCorruption, NonIdempotentDiagonal) {
+  ModeTable t = TableOf("IRIX");
+  t.SetConversion(t.Find("R"), t.Find("R"), t.Find("X"));
+  Status st = t.Verify("IRIX");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("idempotent"), std::string::npos)
+      << st.message();
+}
+
+TEST(VerifyCorruption, NonCommutativeConversion) {
+  // Plain (non-update) pairs must convert to equally strong results in
+  // both orders. IRIX: convert(IX, R) = X; pinning convert(R, IX) to RIX
+  // is impossible (no such mode), so downgrade one direction instead.
+  ModeTable t = TableOf("IRIX");
+  ASSERT_EQ(t.Convert(t.Find("IX"), t.Find("R")).result, t.Find("X"));
+  t.SetConversion(t.Find("R"), t.Find("IX"), t.Find("R"));
+  Status st = t.Verify("IRIX");
+  ASSERT_FALSE(st.ok());
+  // Either the weakening or the commutativity check may fire first; both
+  // name the broken pair.
+  EXPECT_NE(st.message().find("R"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("IX"), std::string::npos) << st.message();
+}
+
+TEST(VerifyCorruption, GratuitousChildSideEffect) {
+  // A children_mode on an entry whose result already covers both inputs
+  // would lock every child of the context node for nothing.
+  ModeTable t = TableOf("taDOM2");
+  t.SetConversion(t.Find("SX"), t.Find("SR"), t.Find("SX"), t.Find("NR"));
+  Status st = t.Verify("taDOM2");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("children"), std::string::npos) << st.message();
+}
+
+TEST(VerifyCorruption, UndeclaredCompatCell) {
+  // A mode added after the compat rows leaves silently-false cells; the
+  // checker demands every cell be declared.
+  ModeTable t;
+  ModeId r = t.AddMode("R");
+  ModeId x = t.AddMode("X");
+  t.SetCompatRow(r, "+ -");
+  t.SetCompatRow(x, "- -");
+  t.AddMode("LATE");
+  ASSERT_TRUE(t.DeriveMissingConversions().ok());
+  Status st = t.Verify("adhoc");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("never declared"), std::string::npos)
+      << st.message();
+}
+
+TEST(VerifyCorruption, DuplicateModeName) {
+  ModeTable t;
+  ModeId a = t.AddMode("R");
+  ModeId b = t.AddMode("R");
+  t.SetCompatRow(a, "+ +");
+  t.SetCompatRow(b, "+ +");
+  ASSERT_TRUE(t.DeriveMissingConversions().ok());
+  Status st = t.Verify("adhoc");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("duplicate"), std::string::npos)
+      << st.message();
+}
+
+// --------------------------------------------------------------------------
+// Structural spot checks on the real tables (cheap invariants protolint
+// relies on).
+// --------------------------------------------------------------------------
+
+TEST(VerifyStructure, UrixUpdateModeIsFlagged) {
+  ModeTable t = TableOf("URIX");
+  EXPECT_TRUE(t.IsUpdateMode(t.Find("U")));
+  EXPECT_FALSE(t.IsUpdateMode(t.Find("R")));
+  EXPECT_FALSE(t.IsUpdateMode(t.Find("X")));
+}
+
+TEST(VerifyStructure, TaDomCombinationsInheritUpdateFlag) {
+  ModeTable t = TableOf("taDOM3+");
+  EXPECT_TRUE(t.IsUpdateMode(t.Find("SU")));
+  EXPECT_TRUE(t.IsUpdateMode(t.Find("NU")));
+  EXPECT_TRUE(t.IsUpdateMode(t.Find("SUIX")));
+  EXPECT_TRUE(t.IsUpdateMode(t.Find("NUCX")));
+  EXPECT_FALSE(t.IsUpdateMode(t.Find("SRIX")));
+}
+
+TEST(VerifyStructure, EdgeModesLiveInTheirOwnGroup) {
+  ModeTable t = TableOf("taDOM2");
+  EXPECT_NE(t.ModeGroup(t.Find("ES")), t.ModeGroup(t.Find("SR")));
+  EXPECT_EQ(t.ModeGroup(t.Find("ES")), t.ModeGroup(t.Find("EX")));
+  // Cross-group conversion entries are nominal: requested mode wins.
+  EXPECT_EQ(t.Convert(t.Find("SX"), t.Find("ES")).result, t.Find("ES"));
+}
+
+TEST(VerifyStructure, TwoPlNamespacesAreSeparateGroups) {
+  ModeTable t = TableOf("OO2PL");
+  const int node = t.ModeGroup(t.Find("T"));
+  EXPECT_NE(t.ModeGroup(t.Find("CS")), node);
+  EXPECT_NE(t.ModeGroup(t.Find("IDR")), node);
+  EXPECT_NE(t.ModeGroup(t.Find("ER")), node);
+  EXPECT_NE(t.ModeGroup(t.Find("CS")), t.ModeGroup(t.Find("IDR")));
+}
+
+}  // namespace
+}  // namespace xtc

@@ -40,6 +40,20 @@ TEST_F(TxTest, CommitReleasesLocksAndCounts) {
   EXPECT_EQ(tm_.num_aborted(), 0u);
 }
 
+TEST_F(TxTest, ActiveCountTracksLifecycle) {
+  EXPECT_EQ(tm_.num_active(), 0u);
+  auto a = tm_.Begin(IsolationLevel::kRepeatable, 4);
+  auto b = tm_.Begin(IsolationLevel::kCommitted, 2);
+  EXPECT_EQ(tm_.num_active(), 2u);
+  ASSERT_TRUE(tm_.Commit(*a).ok());
+  EXPECT_EQ(tm_.num_active(), 1u);
+  ASSERT_TRUE(tm_.Abort(*b).ok());
+  EXPECT_EQ(tm_.num_active(), 0u);
+  // A rejected double-finish must not decrement past zero.
+  EXPECT_FALSE(tm_.Commit(*a).ok());
+  EXPECT_EQ(tm_.num_active(), 0u);
+}
+
 TEST_F(TxTest, DoubleCommitRejected) {
   auto tx = tm_.Begin(IsolationLevel::kRepeatable, 7);
   ASSERT_TRUE(tm_.Commit(*tx).ok());

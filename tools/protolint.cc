@@ -1,0 +1,157 @@
+// protolint: standalone static checker for the contest's lock-protocol
+// matrices.
+//
+// Constructs every registered protocol and runs ModeTable::Verify() on
+// its mode table, printing one summary line per protocol. Exits 0 iff
+// every table passes. Intended for CI and for protocol authors: a flipped
+// compatibility cell or a typo'd conversion entry does not crash the
+// engine — it silently shifts a Figure-7 curve — so the matrices are
+// linted like source code.
+//
+// Note that protocol constructors already abort on a Verify() failure
+// (InitTable), which is the right behaviour inside the engine but would
+// hide later findings here; protolint therefore re-verifies a copy of
+// each table and additionally runs --selftest, which seeds known
+// corruptions into copies and demands that Verify() rejects each one
+// with a pointed diagnostic.
+//
+// Usage:
+//   protolint              lint all registered protocols
+//   protolint NAME...      lint the named protocols only
+//   protolint --selftest   also prove the checker catches seeded typos
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lock/mode_table.h"
+#include "protocols/protocol_registry.h"
+
+namespace xtc {
+namespace {
+
+int LintProtocol(std::string_view name) {
+  auto proto = CreateProtocol(name);
+  if (proto == nullptr) {
+    std::fprintf(stderr, "protolint: unknown protocol '%s'\n",
+                 std::string(name).c_str());
+    return 1;
+  }
+  const ModeTable& modes = proto->table().modes();
+  Status st = modes.Verify(name);
+  if (!st.ok()) {
+    std::fprintf(stderr, "FAIL  %-9s %s\n", std::string(name).c_str(),
+                 st.message().c_str());
+    return 1;
+  }
+  int update_modes = 0;
+  int groups = 1;
+  for (ModeId m = 1; m <= modes.num_modes(); ++m) {
+    if (modes.IsUpdateMode(m)) ++update_modes;
+    if (modes.ModeGroup(m) + 1 > groups) groups = modes.ModeGroup(m) + 1;
+  }
+  std::printf(
+      "OK    %-9s %2d modes (%d update), %d resource group(s), "
+      "%3d conversion cells\n",
+      std::string(name).c_str(), modes.num_modes(), update_modes, groups,
+      modes.num_modes() * modes.num_modes());
+  return 0;
+}
+
+/// One seeded corruption: mutate a copy of a real protocol's table and
+/// require Verify() to reject it.
+struct SelfTest {
+  const char* label;
+  const char* protocol;
+  void (*corrupt)(ModeTable&);
+};
+
+const SelfTest kSelfTests[] = {
+    {"flipped URIX compat cell (U column asym. moved to R/IX)", "URIX",
+     [](ModeTable& m) {
+       // R and IX are plain modes: making their pair asymmetric must trip
+       // the update-mode asymmetry rule.
+       m.SetCompatible(m.Find("R"), m.Find("IX"), true);
+     }},
+    {"dangling children_mode id", "taDOM2",
+     [](ModeTable& m) {
+       m.SetConversion(m.Find("LR"), m.Find("IX"), m.Find("IX"),
+                       static_cast<ModeId>(99));
+     }},
+    {"non-closed conversion (result is not a declared mode)", "taDOM2",
+     [](ModeTable& m) {
+       m.SetConversion(m.Find("SX"), m.Find("SR"), static_cast<ModeId>(99));
+     }},
+    {"weakened conversion (SX + SR downgraded to IR)", "taDOM2",
+     [](ModeTable& m) {
+       m.SetConversion(m.Find("SX"), m.Find("SR"), m.Find("IR"));
+     }},
+    {"non-idempotent diagonal", "IRIX",
+     [](ModeTable& m) {
+       m.SetConversion(m.Find("R"), m.Find("R"), m.Find("X"));
+     }},
+    {"gratuitous child side effect", "taDOM2",
+     [](ModeTable& m) {
+       // SX already covers SR: demanding child locks on top is overhead.
+       m.SetConversion(m.Find("SX"), m.Find("SR"), m.Find("SX"),
+                       m.Find("NR"));
+     }},
+};
+
+int RunSelfTests() {
+  int failures = 0;
+  for (const SelfTest& t : kSelfTests) {
+    auto proto = CreateProtocol(t.protocol);
+    if (proto == nullptr) {
+      std::fprintf(stderr, "selftest FAIL  %s: protocol %s missing\n",
+                   t.label, t.protocol);
+      ++failures;
+      continue;
+    }
+    ModeTable copy = proto->table().modes();
+    t.corrupt(copy);
+    Status st = copy.Verify(t.protocol);
+    if (st.ok()) {
+      std::fprintf(stderr,
+                   "selftest FAIL  %s: corruption was NOT detected\n",
+                   t.label);
+      ++failures;
+    } else {
+      std::printf("selftest OK    %-55s -> %s\n", t.label,
+                  st.message().c_str());
+    }
+  }
+  return failures;
+}
+
+int Main(int argc, char** argv) {
+  bool selftest = false;
+  std::vector<std::string_view> names;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selftest") == 0) {
+      selftest = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: protolint [--selftest] [PROTOCOL...]\n");
+      return 0;
+    } else {
+      names.push_back(argv[i]);
+    }
+  }
+  if (names.empty()) {
+    for (std::string_view n : AllProtocolNames()) names.push_back(n);
+  }
+  int failures = 0;
+  for (std::string_view n : names) failures += LintProtocol(n);
+  if (selftest) failures += RunSelfTests();
+  if (failures != 0) {
+    std::fprintf(stderr, "protolint: %d check(s) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xtc
+
+int main(int argc, char** argv) { return xtc::Main(argc, argv); }
