@@ -1,8 +1,33 @@
-// Microbenchmarks for the lock table: uncontended acquisition, path
-// locking, conversion and release — the per-operation lock-manager
-// overhead each protocol pays.
+// Microbenchmark: the ancestor-path re-lock workload — the lock-layer
+// hot path every DOM operation pays. Each worker repeatedly NodeReads a
+// small set of leaves under one deep shared path, so after the first
+// pass every request asks for an intention/read mode the transaction
+// already holds. With the tx-private lock cache enabled those requests
+// are served from the transaction's own cache shard; disabled, every one
+// of them takes a resource-shard round trip on shards all workers
+// contend on, where the holder scan is O(active transactions).
+//
+// A population of parked reader transactions holds intention locks on
+// the whole path for the duration of the run, the way every concurrent
+// client in the paper's CLUSTER workloads keeps IR/NR on the document's
+// upper levels. That makes the re-lock round trip pay what it pays in a
+// loaded server — latch, map probe, and a holder-list scan past every
+// parked client — while a cache hit costs the same tiny constant
+// regardless of load.
+//
+//   ./bench/micro_lock_table           full run (depth sweep, cache off/on)
+//   ./bench/micro_lock_table --smoke   quick CI run; exits non-zero if the
+//                                      cache speedup at lock depth >= 8
+//                                      falls under 3x or any request fails
+//   ./bench/micro_lock_table --json    machine-readable results
+//                                      (committed as BENCH_lock_cache.json)
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "lock/lock_manager.h"
 #include "protocols/protocol_registry.h"
@@ -10,68 +35,172 @@
 namespace xtc {
 namespace {
 
-void BM_UncontendedNodeRead(benchmark::State& state) {
-  auto protocol = CreateProtocol("taDOM3+");
-  LockManager lm(protocol.get());
-  Splid node = *Splid::Parse("1.5.3.41.11.3");
-  uint64_t tx = 1;
-  for (auto _ : state) {
-    TxLockView view{tx++, IsolationLevel::kRepeatable, 7};
-    benchmark::DoNotOptimize(lm.NodeRead(view, node));
-    lm.ReleaseAll(view);
-  }
-}
-BENCHMARK(BM_UncontendedNodeRead);
+constexpr int kLeaves = 16;
+constexpr int kThreads = 8;
+/// Parked reader transactions modelling the paper's concurrent client
+/// population: each holds IR on every ancestor and NR on one leaf until
+/// the run ends, so cache-off re-locks scan past all of them.
+constexpr int kHolderTxs = 384;
 
-void BM_ConversionNrToSx(benchmark::State& state) {
-  auto protocol = CreateProtocol("taDOM3+");
-  LockManager lm(protocol.get());
-  Splid node = *Splid::Parse("1.5.3.41");
-  uint64_t tx = 1;
-  for (auto _ : state) {
-    TxLockView view{tx++, IsolationLevel::kRepeatable, 7};
-    benchmark::DoNotOptimize(lm.NodeRead(view, node));
-    benchmark::DoNotOptimize(lm.TreeWrite(view, node));
-    lm.ReleaseAll(view);
-  }
-}
-BENCHMARK(BM_ConversionNrToSx);
+struct CacheRun {
+  double ops_per_sec = 0.0;
+  LockTableStats stats;
+  int failures = 0;
+};
 
-void BM_SharedReadersSameNode(benchmark::State& state) {
-  auto protocol = CreateProtocol("taDOM3+");
+CacheRun RunPathWorkload(bool cache_on, int depth, int ops_per_thread) {
+  LockTableOptions options;
+  options.tx_lock_cache =
+      cache_on ? TxLockCache::kEnabled : TxLockCache::kDisabled;
+  auto protocol = CreateProtocol("taDOM3+", options);
   LockManager lm(protocol.get());
-  Splid node = *Splid::Parse("1.5.3.41.11");
-  // 64 readers already hold NR; measure the 65th acquisition.
-  for (uint64_t t = 1; t <= 64; ++t) {
-    TxLockView view{t, IsolationLevel::kRepeatable, 7};
-    (void)lm.NodeRead(view, node);
-  }
-  uint64_t tx = 100;
-  for (auto _ : state) {
-    TxLockView view{tx++, IsolationLevel::kRepeatable, 7};
-    benchmark::DoNotOptimize(lm.NodeRead(view, node));
-    lm.ReleaseAll(view);
-  }
-}
-BENCHMARK(BM_SharedReadersSameNode);
 
-void BM_ProtocolNodeReadCost(benchmark::State& state) {
-  // Per-protocol cost of one deep node read (path locking differs).
-  auto names = AllProtocolNames();
-  auto protocol = CreateProtocol(names[static_cast<size_t>(state.range(0))]);
-  LockManager lm(protocol.get());
-  Splid node = *Splid::Parse("1.5.3.41.11.3");
-  uint64_t tx = 1;
-  for (auto _ : state) {
-    TxLockView view{tx++, IsolationLevel::kRepeatable, 7};
-    benchmark::DoNotOptimize(lm.NodeRead(view, node));
-    lm.ReleaseAll(view);
+  // One shared chain 1.3.3...3 down to level depth-1; the leaves are
+  // siblings at level `depth`. Every NodeRead intention-locks the whole
+  // chain, so all workers re-traverse the same ancestor resources.
+  std::vector<uint32_t> divisions{1};
+  while (static_cast<int>(divisions.size()) < depth - 1) {
+    divisions.push_back(3);
   }
-  state.SetLabel(std::string(protocol->name()));
+  const Splid parent = *Splid::FromDivisions(divisions);
+  std::vector<Splid> leaves;
+  leaves.reserve(kLeaves);
+  for (int i = 0; i < kLeaves; ++i) {
+    leaves.push_back(parent.Child(static_cast<uint32_t>(2 * i + 3)));
+  }
+
+  // Park the holder population before the clock starts. The holders go
+  // through the normal manager path (they are ordinary readers), then
+  // simply never release until the timed section is over.
+  std::vector<TxLockView> holders;
+  holders.reserve(kHolderTxs);
+  for (int h = 0; h < kHolderTxs; ++h) {
+    holders.push_back(TxLockView{static_cast<uint64_t>(h) + 1000,
+                                 IsolationLevel::kRepeatable, kMaxLockDepth});
+    Status st =
+        lm.NodeRead(holders.back(), leaves[static_cast<size_t>(h) % kLeaves]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "holder setup lock failed: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::vector<int> failures(kThreads, 0);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&lm, &leaves, &failures, ops_per_thread, t] {
+      TxLockView view{static_cast<uint64_t>(t) + 1,
+                      IsolationLevel::kRepeatable, kMaxLockDepth};
+      for (int i = 0; i < ops_per_thread; ++i) {
+        Status st = lm.NodeRead(view, leaves[static_cast<size_t>(i) % kLeaves]);
+        if (!st.ok()) ++failures[static_cast<size_t>(t)];
+      }
+      lm.ReleaseAll(view);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (auto& h : holders) lm.ReleaseAll(h);
+
+  CacheRun run;
+  run.ops_per_sec =
+      secs > 0 ? static_cast<double>(kThreads) * ops_per_thread / secs : 0.0;
+  run.stats = protocol->table().GetStats();
+  for (int f : failures) run.failures += f;
+  return run;
 }
-BENCHMARK(BM_ProtocolNodeReadCost)->DenseRange(0, 10);
+
+double HitRate(const LockTableStats& s) {
+  const uint64_t total = s.cache_hits + s.cache_misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(s.cache_hits) /
+                          static_cast<double>(total);
+}
 
 }  // namespace
 }  // namespace xtc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace xtc;
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  const int ops = smoke ? 4000 : 20000;
+
+  if (!json) {
+    std::printf("# micro_lock_table — ancestor-path re-lock workload\n");
+    std::printf(
+        "# taDOM3+, %d threads, %d leaves, %d parked holder txs, "
+        "%d NodeReads/thread%s\n",
+        kThreads, kLeaves, kHolderTxs, ops, smoke ? " (smoke)" : "");
+    std::printf("%6s %14s %14s %9s %9s\n", "depth", "off ops/s", "on ops/s",
+                "speedup", "hit rate");
+  }
+
+  struct Row {
+    int depth;
+    double off, on, speedup, hit_rate;
+  };
+  std::vector<Row> rows;
+  int total_failures = 0;
+  for (int depth : {2, 4, 8, 12}) {
+    CacheRun off = RunPathWorkload(/*cache_on=*/false, depth, ops);
+    CacheRun on = RunPathWorkload(/*cache_on=*/true, depth, ops);
+    total_failures += off.failures + on.failures;
+    const double speedup =
+        off.ops_per_sec > 0 ? on.ops_per_sec / off.ops_per_sec : 0.0;
+    rows.push_back({depth, off.ops_per_sec, on.ops_per_sec, speedup,
+                    HitRate(on.stats)});
+    if (!json) {
+      std::printf("%6d %14.0f %14.0f %8.2fx %8.1f%%\n", depth,
+                  off.ops_per_sec, on.ops_per_sec, speedup,
+                  100.0 * HitRate(on.stats));
+    }
+  }
+
+  if (json) {
+    std::printf("{\n  \"benchmark\": \"micro_lock_table ancestor-path "
+                "re-lock\",\n  \"protocol\": \"taDOM3+\",\n  \"threads\": "
+                "%d,\n  \"leaves\": %d,\n  \"holder_txs\": %d,\n  "
+                "\"ops_per_thread\": %d,\n  \"rows\": [\n",
+                kThreads, kLeaves, kHolderTxs, ops);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::printf("    {\"lock_depth\": %d, \"cache_off_ops_per_sec\": %.0f, "
+                  "\"cache_on_ops_per_sec\": %.0f, \"speedup\": %.2f, "
+                  "\"cache_hit_rate\": %.4f}%s\n",
+                  r.depth, r.off, r.on, r.speedup, r.hit_rate,
+                  i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+  }
+
+  if (total_failures > 0) {
+    std::fprintf(stderr, "FAIL: %d lock requests returned errors\n",
+                 total_failures);
+    return 1;
+  }
+  if (smoke) {
+    for (const Row& r : rows) {
+      if (r.depth >= 8 && r.speedup < 3.0) {
+        std::fprintf(stderr,
+                     "FAIL: cache speedup %.2fx at lock depth %d (< 3x) — "
+                     "the tx-private cache is not taking the path re-locks "
+                     "off the resource shards\n",
+                     r.speedup, r.depth);
+        return 1;
+      }
+      if (r.depth >= 8 && r.hit_rate < 0.9) {
+        std::fprintf(stderr,
+                     "FAIL: cache hit rate %.1f%% at lock depth %d (< 90%%)\n",
+                     100.0 * r.hit_rate, r.depth);
+        return 1;
+      }
+    }
+  }
+  return 0;
+}

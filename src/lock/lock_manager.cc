@@ -26,8 +26,13 @@ bool LockManager::Admit(const TxLockView& tx, Strength strength,
     case IsolationLevel::kNone:
       return false;  // no locks at all
     case IsolationLevel::kUncommitted:
-      // No read locks; long write locks.
-      if (strength != Strength::kWrite) return false;
+      // No read locks; long write locks. Update-intent requests are NOT
+      // skipped: an update announces a write that will arrive, and the
+      // U-style modes exist precisely to serialize would-be writers
+      // before they escalate (the conversion-deadlock defense of paper
+      // Fig. 2). Dropping them at this level would let two updaters
+      // proceed unserialized and convert into each other later.
+      if (strength == Strength::kRead) return false;
       *dur = LockDuration::kCommit;
       return true;
     case IsolationLevel::kCommitted:

@@ -4,8 +4,9 @@
 // The node manager calls these methods around every DOM operation. The
 // LockManager
 //  * filters requests by isolation level (none: no locks; uncommitted:
-//    long write locks only; committed: short read locks + long write
-//    locks; repeatable: long read + long write locks — paper footnote 5),
+//    long write and update-intent locks, no read locks; committed: short
+//    read locks + long write locks; repeatable: long read + long write
+//    locks — paper footnote 5),
 //  * applies the lock-depth parameter (footnote 2): nodes deeper than the
 //    configured depth are covered by a subtree lock on their ancestor at
 //    the depth boundary; depth 0 degenerates to a document lock on the

@@ -1,11 +1,29 @@
 #include "lock/lock_table.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <functional>
 
 #include "util/check.h"
 
 namespace xtc {
+
+namespace {
+
+bool ResolveTxLockCache(TxLockCache mode) {
+  switch (mode) {
+    case TxLockCache::kEnabled:
+      return true;
+    case TxLockCache::kDisabled:
+      return false;
+    case TxLockCache::kAuto:
+      break;
+  }
+  const char* env = std::getenv("XTC_TX_LOCK_CACHE");
+  return env == nullptr || std::string_view(env) != "0";
+}
+
+}  // namespace
 
 LockTable::LockTable(const ModeTable* modes, LockTableOptions options)
     : modes_(modes), options_(options) {
@@ -13,6 +31,13 @@ LockTable::LockTable(const ModeTable* modes, LockTableOptions options)
   shards_.reserve(options_.shards);
   for (uint32_t i = 0; i < options_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+  cache_enabled_ = ResolveTxLockCache(options_.tx_lock_cache);
+  if (cache_enabled_) {
+    cache_shards_.reserve(options_.shards);
+    for (uint32_t i = 0; i < options_.shards; ++i) {
+      cache_shards_.push_back(std::make_unique<CacheShard>());
+    }
   }
 }
 
@@ -25,7 +50,7 @@ LockTable::Shard& LockTable::ShardFor(std::string_view resource) const {
 
 LockTable::Resource* LockTable::GetOrCreate(Shard* shard,
                                             std::string_view name) {
-  auto it = shard->resources.find(std::string(name));
+  auto it = shard->resources.find(name);
   if (it != shard->resources.end()) return it->second.get();
   auto r = std::make_unique<Resource>();
   r->name = std::string(name);
@@ -79,9 +104,10 @@ void LockTable::EraseResourceIfIdle(Shard* shard, Resource* r) {
   }
 }
 
-void LockTable::GrantLocked(Shard* shard, Resource* r, uint64_t tx,
-                            ModeId request, ModeId target,
-                            LockDuration duration) {
+const LockTable::Held* LockTable::GrantLocked(Shard* shard, Resource* r,
+                                              uint64_t tx, ModeId request,
+                                              ModeId target,
+                                              LockDuration duration) {
   Held* held = FindHeld(r, tx);
   if (held == nullptr) {
     r->granted.push_back({tx, Held{}});
@@ -94,11 +120,39 @@ void LockTable::GrantLocked(Shard* shard, Resource* r, uint64_t tx,
     held->short_mode = modes_->Convert(held->short_mode, request).result;
   }
   held->effective = target;
+  return held;
 }
 
 LockOutcome LockTable::Lock(uint64_t tx, std::string_view resource,
                             ModeId mode, LockDuration duration) {
+  if (cache_enabled_) {
+    LockOutcome out;
+    // A hit is an immediately granted request served without touching
+    // the resource shards (and thus without fault-injection points,
+    // which model denials of real table requests). TryCacheHit does the
+    // hit/miss accounting shard-locally; GetStats folds hits into
+    // requests + immediate_grants.
+    if (TryCacheHit(tx, resource, mode, duration, &out)) {
+      return out;
+    }
+  }
   stat_requests_.fetch_add(1, std::memory_order_relaxed);
+  LockOutcome out = LockSlow(tx, resource, mode, duration);
+  if (cache_enabled_) {
+    if (out.status.ok()) {
+      CacheStore(tx, resource, out);
+    } else {
+      // Denied request: the caller is expected to abort, but nothing
+      // forces it to — drop the whole cache so a transaction that limps
+      // on can never act on state the table may since have changed.
+      CacheInvalidate(tx);
+    }
+  }
+  return out;
+}
+
+LockOutcome LockTable::LockSlow(uint64_t tx, std::string_view resource,
+                                ModeId mode, LockDuration duration) {
   if (options_.fault_injector != nullptr) {
     // Injection happens before any table state changes: the request is
     // denied exactly as a real timeout/victim denial would be, and the
@@ -143,7 +197,7 @@ LockOutcome LockTable::Lock(uint64_t tx, std::string_view resource,
         held->short_mode = modes_->Convert(held->short_mode, mode).result;
       }
       stat_immediate_.fetch_add(1, std::memory_order_relaxed);
-      return {Status::OK(), held->effective, kNoMode};
+      return {Status::OK(), held->effective, kNoMode, held->long_mode};
     }
     stat_conversions_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -151,9 +205,9 @@ LockOutcome LockTable::Lock(uint64_t tx, std::string_view resource,
   // Fast path.
   if ((is_conversion || r->queue.empty()) &&
       CompatibleWithHolders(*r, tx, target)) {
-    GrantLocked(&shard, r, tx, mode, target, duration);
+    const Held* h = GrantLocked(&shard, r, tx, mode, target, duration);
     stat_immediate_.fetch_add(1, std::memory_order_relaxed);
-    return {Status::OK(), target, children_mode};
+    return {Status::OK(), target, children_mode, h->long_mode};
   }
 
   // Slow path: wait.
@@ -170,14 +224,14 @@ LockOutcome LockTable::Lock(uint64_t tx, std::string_view resource,
     std::vector<uint64_t> blockers =
         BlockersOf(*r, tx, target, is_conversion, &waiter);
     if (blockers.empty()) {
-      GrantLocked(&shard, r, tx, mode, target, duration);
+      const Held* h = GrantLocked(&shard, r, tx, mode, target, duration);
       RemoveWaiter(r, &waiter);
       {
         MutexLock g(graph_mu_);
         detector_.ClearEdges(tx);
       }
       shard.cv.notify_all();  // our dequeue may unblock fairness-waiters
-      return {Status::OK(), target, children_mode};
+      return {Status::OK(), target, children_mode, h->long_mode};
     }
 
     {
@@ -229,7 +283,129 @@ LockOutcome LockTable::Lock(uint64_t tx, std::string_view resource,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Transaction-private cache.
+//
+// Correctness invariant: while an entry for (tx, resource) exists, it
+// equals the table's (long_mode, effective) for that hold.
+//  * Entries are only written from successful Lock() outcomes, which
+//    carry the post-grant components (resulting_mode / resulting_long).
+//  * A hit requires Convert(effective, mode) == {effective, kNoMode}
+//    (and the same for long_mode on kCommit requests), which is exactly
+//    the table's "already strong enough" early-exit — the real call
+//    would change neither component, so skipping it preserves the
+//    mirror. In particular a conversion that would escalate the mode or
+//    demand Fig. 4 children locks can never hit.
+//  * EndOperation applies the same transition the table does
+//    (effective := long_mode, entry dropped when that is kNoMode); for
+//    entries whose table short component is empty this is a no-op
+//    because effective == long_mode already holds there.
+//  * ReleaseAll and failed requests drop the whole per-tx cache.
+// Because the invariant is unconditional, dropping entries at any point
+// is always safe — the next request merely misses and re-seeds from
+// table truth.
+// ---------------------------------------------------------------------------
+
+LockTable::CacheShard& LockTable::CacheShardFor(uint64_t tx) const {
+  return *cache_shards_[std::hash<uint64_t>{}(tx) % cache_shards_.size()];
+}
+
+bool LockTable::TryCacheHit(uint64_t tx, std::string_view resource,
+                            ModeId mode, LockDuration duration,
+                            LockOutcome* out) const {
+  CacheShard& cs = CacheShardFor(tx);
+  MutexLock guard(cs.mu);
+  auto it = cs.tx.find(tx);
+  if (it == cs.tx.end()) {
+    ++cs.misses;
+    return false;
+  }
+  auto eit = it->second.find(resource);
+  if (eit == it->second.end()) {
+    ++cs.misses;
+    return false;
+  }
+  const CacheEntry& e = eit->second;
+  const Conversion conv = modes_->Convert(e.effective, mode);
+  if (conv.result != e.effective || conv.children_mode != kNoMode) {
+    ++cs.misses;
+    return false;
+  }
+  if (duration == LockDuration::kCommit) {
+    // The effective mode covering the request is not enough: if only the
+    // short component covers it, EndOperation would drop a lock the
+    // caller was promised until commit.
+    const Conversion long_conv = modes_->Convert(e.long_mode, mode);
+    if (long_conv.result != e.long_mode || long_conv.children_mode != kNoMode) {
+      ++cs.misses;
+      return false;
+    }
+  }
+  ++cs.hits;
+  *out = {Status::OK(), e.effective, kNoMode, e.long_mode};
+  return true;
+}
+
+void LockTable::CacheStore(uint64_t tx, std::string_view resource,
+                           const LockOutcome& out) {
+  CacheShard& cs = CacheShardFor(tx);
+  MutexLock guard(cs.mu);
+  auto& entries = cs.tx[tx];
+  auto it = entries.find(resource);
+  if (it == entries.end()) {
+    entries.emplace(std::string(resource),
+                    CacheEntry{out.resulting_long, out.resulting_mode});
+  } else {
+    it->second = CacheEntry{out.resulting_long, out.resulting_mode};
+  }
+}
+
+void LockTable::CacheEndOperation(uint64_t tx) {
+  CacheShard& cs = CacheShardFor(tx);
+  MutexLock guard(cs.mu);
+  auto it = cs.tx.find(tx);
+  if (it == cs.tx.end()) return;
+  auto& entries = it->second;
+  for (auto eit = entries.begin(); eit != entries.end();) {
+    if (eit->second.long_mode == kNoMode) {
+      eit = entries.erase(eit);
+    } else {
+      eit->second.effective = eit->second.long_mode;
+      ++eit;
+    }
+  }
+  if (entries.empty()) cs.tx.erase(it);
+}
+
+void LockTable::CacheInvalidate(uint64_t tx) {
+  CacheShard& cs = CacheShardFor(tx);
+  MutexLock guard(cs.mu);
+  auto it = cs.tx.find(tx);
+  if (it == cs.tx.end()) return;
+  cs.tx.erase(it);
+  stat_cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ModeId LockTable::CachedMode(uint64_t tx, std::string_view resource) const {
+  if (!cache_enabled_) return kNoMode;
+  CacheShard& cs = CacheShardFor(tx);
+  MutexLock guard(cs.mu);
+  auto it = cs.tx.find(tx);
+  if (it == cs.tx.end()) return kNoMode;
+  auto eit = it->second.find(resource);
+  return eit == it->second.end() ? kNoMode : eit->second.effective;
+}
+
+size_t LockTable::CachedLocksFor(uint64_t tx) const {
+  if (!cache_enabled_) return 0;
+  CacheShard& cs = CacheShardFor(tx);
+  MutexLock guard(cs.mu);
+  auto it = cs.tx.find(tx);
+  return it == cs.tx.end() ? 0 : it->second.size();
+}
+
 void LockTable::EndOperation(uint64_t tx) {
+  if (cache_enabled_) CacheEndOperation(tx);
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     MutexLock guard(shard.mu);
@@ -267,6 +443,8 @@ void LockTable::EndOperation(uint64_t tx) {
 }
 
 void LockTable::ReleaseAll(uint64_t tx) {
+  // Cache first: it must never claim a lock the table has let go.
+  if (cache_enabled_) CacheInvalidate(tx);
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     MutexLock guard(shard.mu);
@@ -288,7 +466,7 @@ void LockTable::ReleaseAll(uint64_t tx) {
 ModeId LockTable::HeldMode(uint64_t tx, std::string_view resource) const {
   Shard& shard = ShardFor(resource);
   MutexLock guard(shard.mu);
-  auto it = shard.resources.find(std::string(resource));
+  auto it = shard.resources.find(resource);
   if (it == shard.resources.end()) return kNoMode;
   for (const auto& [id, held] : it->second->granted) {
     if (id == tx) return held.effective;
@@ -330,6 +508,17 @@ LockTableStats LockTable::GetStats() const {
       stat_conv_deadlocks_.load(std::memory_order_relaxed);
   s.timeouts = stat_timeouts_.load(std::memory_order_relaxed);
   s.conversions = stat_conversions_.load(std::memory_order_relaxed);
+  s.cache_invalidations =
+      stat_cache_invalidations_.load(std::memory_order_relaxed);
+  for (const auto& cs : cache_shards_) {
+    MutexLock guard(cs->mu);
+    s.cache_hits += cs->hits;
+    s.cache_misses += cs->misses;
+  }
+  // A cache hit is an immediately granted request that never reached the
+  // global counters.
+  s.requests += s.cache_hits;
+  s.immediate_grants += s.cache_hits;
   return s;
 }
 
@@ -347,6 +536,12 @@ void LockTable::ResetStats() {
   stat_conv_deadlocks_.store(0, std::memory_order_relaxed);
   stat_timeouts_.store(0, std::memory_order_relaxed);
   stat_conversions_.store(0, std::memory_order_relaxed);
+  stat_cache_invalidations_.store(0, std::memory_order_relaxed);
+  for (const auto& cs : cache_shards_) {
+    MutexLock guard(cs->mu);
+    cs->hits = 0;
+    cs->misses = 0;
+  }
 }
 
 }  // namespace xtc

@@ -18,6 +18,25 @@
 // (conversions jump the queue); a cycle check runs on every (re-)block,
 // so deadlocks are detected immediately. The requester that closes a
 // cycle is the victim; it receives kDeadlock and must abort.
+//
+// Transaction-private lock cache: every DOM operation re-acquires the
+// whole ancestor path of intention locks (§3.2), so the vast majority of
+// requests ask for a mode the transaction already holds. With the cache
+// enabled (LockTableOptions::tx_lock_cache), LockTable keeps a per-tx
+// mirror of (long_mode, effective) for each held resource, sharded by
+// transaction id so cache lookups never touch the contended resource
+// shards. A request is served from the cache — skipping the resource
+// shard round trip entirely — only when the conversion matrix proves it
+// is a no-op: Convert(effective, mode) == {effective, kNoMode} (and, for
+// kCommit requests, the same for the long component, so a short hold is
+// never mistaken for commit-duration coverage). Because entries are only
+// ever written from Lock() outcomes (table truth), the mirror is exact
+// while it exists, and dropping it at any time is always safe. It is
+// dropped/downgraded coherently on EndOperation, ReleaseAll, and any
+// failed request (deadlock/timeout victimization, including fault-
+// injected victims). Conversions that would escalate the mode or demand
+// Fig. 4 children_mode side effects never match the hit condition, so
+// they always take the full table path.
 
 #ifndef XTC_LOCK_LOCK_TABLE_H_
 #define XTC_LOCK_LOCK_TABLE_H_
@@ -51,6 +70,10 @@ struct LockOutcome {
   /// Non-kNoMode when the conversion demands locks on all direct
   /// children (Fig. 4 subscripted rules); the protocol performs them.
   ModeId children_mode = kNoMode;
+  /// Commit-duration component of the hold after this grant (kNoMode for
+  /// a purely operation-duration hold). The tx-private cache seeds its
+  /// entries from this so cached state is always table truth.
+  ModeId resulting_long = kNoMode;
 };
 
 struct LockTableStats {
@@ -61,7 +84,21 @@ struct LockTableStats {
   uint64_t conversion_deadlocks = 0;
   uint64_t timeouts = 0;
   uint64_t conversions = 0;
+  /// Tx-private cache: requests served without a resource-shard round
+  /// trip (these still count as requests + immediate_grants).
+  uint64_t cache_hits = 0;
+  /// Requests that consulted the cache but took the full table path.
+  uint64_t cache_misses = 0;
+  /// Times a transaction's whole cache was dropped (ReleaseAll or a
+  /// failed request — deadlock/timeout/injected victim).
+  uint64_t cache_invalidations = 0;
 };
+
+/// Tri-state toggle for the transaction-private lock cache. kAuto reads
+/// the XTC_TX_LOCK_CACHE environment variable at table construction
+/// ("0" disables) and defaults to enabled, so the whole test suite can
+/// run both ways without code changes.
+enum class TxLockCache : uint8_t { kAuto = 0, kEnabled = 1, kDisabled = 2 };
 
 struct LockTableOptions {
   Duration wait_timeout = std::chrono::seconds(10);
@@ -72,6 +109,8 @@ struct LockTableOptions {
   /// When set, Lock() evaluates the "lock.timeout" and "lock.deadlock"
   /// fault points on entry (spurious timeout / forced victim status).
   FaultInjector* fault_injector = nullptr;
+  /// Transaction-private lock cache (see file comment).
+  TxLockCache tx_lock_cache = TxLockCache::kAuto;
 };
 
 /// One recorded deadlock (the victim's view at detection time).
@@ -111,6 +150,14 @@ class LockTable {
   ModeId HeldMode(uint64_t tx, std::string_view resource) const;
   size_t NumLockedResources() const;
   size_t LocksHeldBy(uint64_t tx) const;
+  /// Whether the tx-private cache is active (options resolved).
+  bool tx_cache_enabled() const { return cache_enabled_; }
+  /// Effective mode the cache remembers for (tx, resource); kNoMode when
+  /// no entry exists. While an entry exists it mirrors HeldMode exactly;
+  /// an absent entry says nothing (the cache is dropped conservatively).
+  ModeId CachedMode(uint64_t tx, std::string_view resource) const;
+  /// Number of resources the tx-private cache remembers for `tx`.
+  size_t CachedLocksFor(uint64_t tx) const;
   /// Residual wait-for-graph entries (must be 0 when the system is
   /// quiescent — every waiter clears its edges on grant/deadlock/timeout
   /// and ReleaseAll clears the rest).
@@ -140,17 +187,77 @@ class LockTable {
     std::deque<Waiter*> queue;
   };
 
+  /// Heterogeneous (string_view) lookup so the hot path never builds a
+  /// std::string just to probe a map.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   struct Shard {
     mutable Mutex mu;
     std::condition_variable cv;
-    std::unordered_map<std::string, std::unique_ptr<Resource>>
+    std::unordered_map<std::string, std::unique_ptr<Resource>, StringHash,
+                       std::equal_to<>>
         resources XTC_GUARDED_BY(mu);
     // Resources in this shard each transaction holds locks on.
     std::unordered_map<uint64_t, std::vector<Resource*>>
         tx_locks XTC_GUARDED_BY(mu);
   };
 
+  // --- Transaction-private cache (see file comment) ---
+
+  /// Mirror of the Held components the hit condition needs. The short
+  /// component is deliberately absent: EndOperation's transition
+  /// (effective := long, drop if long == kNoMode) is expressible without
+  /// it, and a hit never changes either component.
+  struct CacheEntry {
+    ModeId long_mode = kNoMode;
+    ModeId effective = kNoMode;
+  };
+
+  using TxCacheEntries =
+      std::unordered_map<std::string, CacheEntry, StringHash, std::equal_to<>>;
+
+  /// Sharded by transaction id, not resource: a transaction's lookups all
+  /// land on one shard that other transactions touch only by id-hash
+  /// collision, so the hot path is effectively contention-free. Hit/miss
+  /// counters live here too (plain fields under the shard mutex the hit
+  /// path already holds): global atomics would put two contended
+  /// cache-line bounces on every hit and erase most of the win. Aligned
+  /// so adjacent heap-allocated shards never share a cache line — every
+  /// probe writes the counters, and cross-shard false sharing would turn
+  /// those thread-private writes back into cross-core traffic.
+  struct alignas(128) CacheShard {
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, TxCacheEntries> tx XTC_GUARDED_BY(mu);
+    uint64_t hits XTC_GUARDED_BY(mu) = 0;
+    uint64_t misses XTC_GUARDED_BY(mu) = 0;
+  };
+
+  CacheShard& CacheShardFor(uint64_t tx) const;
+  /// Serves the request from the cache when the conversion matrix proves
+  /// it is a no-op at the requested duration. Fills *out on hit and does
+  /// all hit/miss accounting (shard-local; a hit touches no global
+  /// atomic at all).
+  bool TryCacheHit(uint64_t tx, std::string_view resource, ModeId mode,
+                   LockDuration duration, LockOutcome* out) const;
+  /// Records a successful Lock() outcome (table truth) for (tx, resource).
+  void CacheStore(uint64_t tx, std::string_view resource,
+                  const LockOutcome& out);
+  /// EndOperation transition: effective := long, drop pure-short entries.
+  void CacheEndOperation(uint64_t tx);
+  /// Drops everything the cache knows about `tx` (ReleaseAll / any failed
+  /// request). Counts a cache_invalidation if entries existed.
+  void CacheInvalidate(uint64_t tx);
+
   Shard& ShardFor(std::string_view resource) const;
+
+  /// The full table path of Lock() (everything after the cache probe).
+  LockOutcome LockSlow(uint64_t tx, std::string_view resource, ModeId mode,
+                       LockDuration duration);
 
   // The following require the shard mutex (Resource objects themselves
   // are only reachable through Shard::resources, so helpers that take a
@@ -166,13 +273,17 @@ class LockTable {
   static void RemoveWaiter(Resource* r, Waiter* w);
   static void EraseResourceIfIdle(Shard* shard, Resource* r)
       XTC_REQUIRES(shard->mu);
-  void GrantLocked(Shard* shard, Resource* r, uint64_t tx, ModeId request,
-                   ModeId target, LockDuration duration)
+  /// Applies the grant to the holder entry and returns it (so callers can
+  /// read the post-grant long component for the cache).
+  const Held* GrantLocked(Shard* shard, Resource* r, uint64_t tx,
+                          ModeId request, ModeId target, LockDuration duration)
       XTC_REQUIRES(shard->mu);
 
   const ModeTable* modes_;
   LockTableOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  bool cache_enabled_ = false;
+  std::vector<std::unique_ptr<CacheShard>> cache_shards_;
 
   // Wait-for graph; only touched when a request blocks. Ordering: a
   // thread may take graph_mu_ while holding a shard mutex (Lock's block
@@ -189,6 +300,7 @@ class LockTable {
   std::atomic<uint64_t> stat_conv_deadlocks_{0};
   std::atomic<uint64_t> stat_timeouts_{0};
   std::atomic<uint64_t> stat_conversions_{0};
+  std::atomic<uint64_t> stat_cache_invalidations_{0};
 };
 
 }  // namespace xtc

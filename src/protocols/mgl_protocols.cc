@@ -172,7 +172,7 @@ Status MglProtocol::TreeWrite(uint64_t tx, const Splid& root,
 Status MglProtocol::EdgeLock(uint64_t tx, const Splid& anchor, EdgeKind kind,
                              bool exclusive, LockDuration dur) {
   if (variant_ == MglVariant::kUrix) {
-    return Acquire(tx, EdgeResource(anchor, kind), exclusive ? ex_ : es_, dur);
+    return AcquireEdge(tx, anchor, kind, exclusive ? ex_ : es_, dur);
   }
   // IRX/IRIX: protect the edge through its anchor node (shared: the
   // intention/node lock; exclusive: subtree X on the anchor — coarse, and

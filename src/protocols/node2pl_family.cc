@@ -116,19 +116,19 @@ Status TwoPlProtocol::NodeRead(uint64_t tx, const Splid& node,
   switch (variant_) {
     case TwoPlVariant::kNode2Pl:
       if (access == AccessKind::kJump) {
-        return Acquire(tx, JumpResource(node), idr_, dur);
+        return AcquireTagged(tx, "D", node, idr_, dur);
       }
       return LockParent(tx, node, t_, dur);
     case TwoPlVariant::kNo2Pl:
       if (access == AccessKind::kJump) {
-        return Acquire(tx, JumpResource(node), idr_, dur);
+        return AcquireTagged(tx, "D", node, idr_, dur);
       }
       return AcquireNode(tx, node, t_, dur);
     case TwoPlVariant::kOo2Pl:
       if (access == AccessKind::kJump) {
-        return Acquire(tx, JumpResource(node), idr_, dur);
+        return AcquireTagged(tx, "D", node, idr_, dur);
       }
-      return Acquire(tx, ContentResource(node), cs_, dur);
+      return AcquireTagged(tx, "C", node, cs_, dur);
     case TwoPlVariant::kNode2PlA:
       // Intentions protect jumps as well (the "a" optimization).
       return LockParent(tx, node, t_, dur);
@@ -148,12 +148,12 @@ Status TwoPlProtocol::NodeWrite(uint64_t tx, const Splid& node,
   switch (variant_) {
     case TwoPlVariant::kNode2Pl:
       XTC_RETURN_IF_ERROR(LockParent(tx, node, m_, dur));
-      return Acquire(tx, ContentResource(node), cx_, dur);
+      return AcquireTagged(tx, "C", node, cx_, dur);
     case TwoPlVariant::kNo2Pl:
       XTC_RETURN_IF_ERROR(AcquireNode(tx, node, m_, dur));
-      return Acquire(tx, ContentResource(node), cx_, dur);
+      return AcquireTagged(tx, "C", node, cx_, dur);
     case TwoPlVariant::kOo2Pl:
-      return Acquire(tx, ContentResource(node), cx_, dur);
+      return AcquireTagged(tx, "C", node, cx_, dur);
     case TwoPlVariant::kNode2PlA:
       // No node-only exclusive mode: an in-place node change (rename)
       // needs the subtree-modify granule plus M on the parent — the
@@ -182,9 +182,9 @@ Status TwoPlProtocol::LevelRead(uint64_t tx, const Splid& node,
       if (variant_ == TwoPlVariant::kNo2Pl) {
         XTC_RETURN_IF_ERROR(AcquireNode(tx, node, node_mode, dur));
       } else {
-        XTC_RETURN_IF_ERROR(Acquire(tx, ContentResource(node), cs_, dur));
+        XTC_RETURN_IF_ERROR(AcquireTagged(tx, "C", node, cs_, dur));
         XTC_RETURN_IF_ERROR(
-            Acquire(tx, EdgeResource(node, EdgeKind::kFirstChild), er_, dur));
+            AcquireEdge(tx, node, EdgeKind::kFirstChild, er_, dur));
       }
       if (accessor() != nullptr) {
         auto children = accessor()->ChildrenOf(node);
@@ -194,9 +194,9 @@ Status TwoPlProtocol::LevelRead(uint64_t tx, const Splid& node,
             XTC_RETURN_IF_ERROR(AcquireNode(tx, child, t_, dur));
           } else {
             XTC_RETURN_IF_ERROR(
-                Acquire(tx, ContentResource(child), cs_, dur));
-            XTC_RETURN_IF_ERROR(Acquire(
-                tx, EdgeResource(child, EdgeKind::kNextSibling), er_, dur));
+                AcquireTagged(tx, "C", child, cs_, dur));
+            XTC_RETURN_IF_ERROR(AcquireEdge(
+                tx, child, EdgeKind::kNextSibling, er_, dur));
           }
         }
       }
@@ -216,12 +216,12 @@ Status TwoPlProtocol::TreeRead(uint64_t tx, const Splid& root,
     case TwoPlVariant::kNo2Pl:
       return LockSubtreeNodes(tx, root, t_, dur);
     case TwoPlVariant::kOo2Pl: {
-      XTC_RETURN_IF_ERROR(Acquire(tx, ContentResource(root), cs_, dur));
+      XTC_RETURN_IF_ERROR(AcquireTagged(tx, "C", root, cs_, dur));
       if (accessor() == nullptr) return Status::OK();
       auto nodes = accessor()->NodesInSubtree(root);
       if (!nodes.ok()) return nodes.status();
       for (const Splid& n : *nodes) {
-        XTC_RETURN_IF_ERROR(Acquire(tx, ContentResource(n), cs_, dur));
+        XTC_RETURN_IF_ERROR(AcquireTagged(tx, "C", n, cs_, dur));
       }
       return Status::OK();
     }
@@ -255,12 +255,12 @@ Status TwoPlProtocol::TreeWrite(uint64_t tx, const Splid& root,
       // manager cover the adjacent nodes; the parent stays traversable.
       return LockSubtreeNodes(tx, root, m_, dur);
     case TwoPlVariant::kOo2Pl: {
-      XTC_RETURN_IF_ERROR(Acquire(tx, ContentResource(root), cx_, dur));
+      XTC_RETURN_IF_ERROR(AcquireTagged(tx, "C", root, cx_, dur));
       if (accessor() == nullptr) return Status::OK();
       auto nodes = accessor()->NodesInSubtree(root);
       if (!nodes.ok()) return nodes.status();
       for (const Splid& n : *nodes) {
-        XTC_RETURN_IF_ERROR(Acquire(tx, ContentResource(n), cx_, dur));
+        XTC_RETURN_IF_ERROR(AcquireTagged(tx, "C", n, cx_, dur));
       }
       return Status::OK();
     }
@@ -299,8 +299,7 @@ Status TwoPlProtocol::EdgeLock(uint64_t tx, const Splid& anchor, EdgeKind kind,
       }
       return AcquireNode(tx, anchor, exclusive ? m_ : t_, dur);
     case TwoPlVariant::kOo2Pl:
-      return Acquire(tx, EdgeResource(anchor, kind), exclusive ? ew_ : er_,
-                     dur);
+      return AcquireEdge(tx, anchor, kind, exclusive ? ew_ : er_, dur);
   }
   return Status::Internal("unreachable");
 }
@@ -317,7 +316,7 @@ Status TwoPlProtocol::PrepareSubtreeDelete(uint64_t tx, const Splid& root,
   auto elements = accessor()->ElementsWithIdInSubtree(root);
   if (!elements.ok()) return elements.status();
   for (const Splid& e : *elements) {
-    XTC_RETURN_IF_ERROR(Acquire(tx, JumpResource(e), idx_, dur));
+    XTC_RETURN_IF_ERROR(AcquireTagged(tx, "D", e, idx_, dur));
   }
   return Status::OK();
 }

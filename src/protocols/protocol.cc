@@ -19,7 +19,7 @@ void ProtocolBase::InitTable(LockTableOptions options) {
   table_ = std::make_unique<LockTable>(&modes_, options);
 }
 
-Status ProtocolBase::Acquire(uint64_t tx, const std::string& resource,
+Status ProtocolBase::Acquire(uint64_t tx, std::string_view resource,
                              ModeId mode, LockDuration dur) {
   LockOutcome out = table_->Lock(tx, resource, mode, dur);
   return out.status;
@@ -27,20 +27,59 @@ Status ProtocolBase::Acquire(uint64_t tx, const std::string& resource,
 
 Status ProtocolBase::AcquireNode(uint64_t tx, const Splid& node, ModeId mode,
                                  LockDuration dur) {
-  LockOutcome out = table_->Lock(tx, NodeResource(node), mode, dur);
+  // Reused key buffer; safe across the recursion through LockChildren
+  // because the buffer is re-initialized per call and never read after
+  // Lock() returns.
+  thread_local std::string key;
+  key.assign(1, 'N');
+  node.EncodeTo(&key);
+  LockOutcome out = table_->Lock(tx, key, mode, dur);
   if (!out.status.ok()) return out.status;
-  if (out.children_mode != kNoMode && accessor_ != nullptr) {
-    // Fig. 4 subscripted conversion (e.g. CX_NR): the converted lock
-    // demands a lock on every direct child. This enumeration is real
-    // node-manager work — the cost taDOM2+/3+ avoid with their
-    // combination modes.
-    auto children = accessor_->ChildrenOf(node);
-    if (!children.ok()) return children.status();
-    for (const Splid& child : *children) {
-      LockOutcome c =
-          table_->Lock(tx, NodeResource(child), out.children_mode, dur);
-      if (!c.status.ok()) return c.status;
-    }
+  if (out.children_mode != kNoMode) {
+    return LockChildren(tx, node, out.children_mode, dur);
+  }
+  return Status::OK();
+}
+
+Status ProtocolBase::AcquireTagged(uint64_t tx, std::string_view prefix,
+                                   const Splid& splid, ModeId mode,
+                                   LockDuration dur) {
+  thread_local std::string key;
+  key.assign(prefix);
+  splid.EncodeTo(&key);
+  LockOutcome out = table_->Lock(tx, key, mode, dur);
+  return out.status;
+}
+
+Status ProtocolBase::AcquireEdge(uint64_t tx, const Splid& anchor,
+                                 EdgeKind kind, ModeId mode,
+                                 LockDuration dur) {
+  const char prefix[2] = {'E', static_cast<char>(kind)};
+  return AcquireTagged(tx, std::string_view(prefix, 2), anchor, mode, dur);
+}
+
+Status ProtocolBase::LockChildren(uint64_t tx, const Splid& node,
+                                  ModeId children_mode, LockDuration dur) {
+  if (accessor_ == nullptr) {
+    // Fig. 4 subscripted conversions (e.g. CX_NR) are only granted on the
+    // promise that every direct child gets locked too. Without a document
+    // accessor that promise cannot be kept, and silently dropping it is
+    // an isolation hole: readers of the children would not conflict with
+    // this writer. Deny the operation instead.
+    return Status::Internal(
+        "conversion to " + std::string(modes_.Name(children_mode)) +
+        "-on-children at node " + node.ToString() +
+        " requires a document accessor (set_document_accessor); refusing "
+        "to drop the Fig. 4 side effect");
+  }
+  // This enumeration is real node-manager work — the cost taDOM2+/3+
+  // avoid with their combination modes.
+  auto children = accessor_->ChildrenOf(node);
+  if (!children.ok()) return children.status();
+  for (const Splid& child : *children) {
+    // Through AcquireNode so a cascading conversion on a child performs
+    // its own side effect as well.
+    XTC_RETURN_IF_ERROR(AcquireNode(tx, child, children_mode, dur));
   }
   return Status::OK();
 }
@@ -54,10 +93,29 @@ Status ProtocolBase::LockAncestorPath2(uint64_t tx, const Splid& node,
                                        ModeId intent, ModeId parent_mode,
                                        LockDuration dur) {
   const int level = node.Level();
+  if (level <= 1) return Status::OK();
+  // One encoding pass serves the whole path: an ancestor's encoded SPLID
+  // is a byte prefix of the node's, so every level key is a slice of one
+  // arena ('N' + full encoding) instead of a per-level Splid + string
+  // allocation.
+  thread_local std::string arena;
+  thread_local std::vector<size_t> level_ends;
+  arena.assign(1, 'N');
+  level_ends.clear();
+  node.EncodeTo(&arena, &level_ends);
   for (int l = 1; l < level; ++l) {
-    const Splid ancestor = node.AncestorAtLevel(l);
     const ModeId mode = (l == level - 1) ? parent_mode : intent;
-    XTC_RETURN_IF_ERROR(AcquireNode(tx, ancestor, mode, dur));
+    const std::string_view key(arena.data(),
+                               1 + level_ends[static_cast<size_t>(l) - 1]);
+    LockOutcome out = table_->Lock(tx, key, mode, dur);
+    if (!out.status.ok()) return out.status;
+    if (out.children_mode != kNoMode) {
+      // Materialize the ancestor only on this rare escalation path; the
+      // recursion uses separate buffers, so the arena stays intact for
+      // the remaining levels.
+      XTC_RETURN_IF_ERROR(LockChildren(tx, node.AncestorAtLevel(l),
+                                       out.children_mode, dur));
+    }
   }
   return Status::OK();
 }

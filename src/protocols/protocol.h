@@ -45,10 +45,9 @@ class ProtocolBase : public XmlProtocol {
   /// table (a protocol-definition bug, not a runtime condition).
   void InitTable(LockTableOptions options = {});
 
-  /// Acquires `mode` on a raw resource; runs Fig.-4-style children side
-  /// effects when the conversion demands them (node must be supplied for
-  /// child enumeration — pass by NodeResource-producing overload below).
-  Status Acquire(uint64_t tx, const std::string& resource, ModeId mode,
+  /// Acquires `mode` on a raw resource (edge/content/jump namespaces,
+  /// which never carry Fig. 4 children side effects).
+  Status Acquire(uint64_t tx, std::string_view resource, ModeId mode,
                  LockDuration dur);
 
   /// Acquires `mode` on the node resource; handles children side effects
@@ -56,12 +55,31 @@ class ProtocolBase : public XmlProtocol {
   Status AcquireNode(uint64_t tx, const Splid& node, ModeId mode,
                      LockDuration dur);
 
+  /// Acquires `mode` on `prefix` + encoded SPLID without building a
+  /// temporary std::string (hot-path variant of Acquire for the tagged
+  /// namespaces, e.g. "C" content or "D" jump resources).
+  Status AcquireTagged(uint64_t tx, std::string_view prefix,
+                       const Splid& splid, ModeId mode, LockDuration dur);
+
+  /// Allocation-free equivalent of Acquire(tx, EdgeResource(...), ...).
+  Status AcquireEdge(uint64_t tx, const Splid& anchor, EdgeKind kind,
+                     ModeId mode, LockDuration dur);
+
+  /// Performs a Fig. 4 subscripted-conversion side effect: `children_mode`
+  /// on every direct child of `node`. Hard error (Internal) when no
+  /// document accessor is wired — silently skipping the side effect would
+  /// be an isolation hole.
+  Status LockChildren(uint64_t tx, const Splid& node, ModeId children_mode,
+                      LockDuration dur);
+
   /// Intention locks on every proper ancestor, root first.
   Status LockAncestorPath(uint64_t tx, const Splid& node, ModeId intent,
                           LockDuration dur);
 
   /// Intention locks: `parent_mode` on the direct parent (if any) and
-  /// `intent` on all higher ancestors.
+  /// `intent` on all higher ancestors. Builds every level key as a
+  /// prefix slice of one reusable arena (see Splid::EncodeTo) instead of
+  /// allocating per level.
   Status LockAncestorPath2(uint64_t tx, const Splid& node, ModeId intent,
                            ModeId parent_mode, LockDuration dur);
 

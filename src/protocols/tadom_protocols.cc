@@ -276,7 +276,7 @@ Status TaDomProtocol::TreeWrite(uint64_t tx, const Splid& root,
 Status TaDomProtocol::EdgeLock(uint64_t tx, const Splid& anchor, EdgeKind kind,
                                bool exclusive, LockDuration dur) {
   if (!edge_locks_) return Status::OK();  // ablation: no edge isolation
-  return Acquire(tx, EdgeResource(anchor, kind), exclusive ? ex_ : es_, dur);
+  return AcquireEdge(tx, anchor, kind, exclusive ? ex_ : es_, dur);
 }
 
 Status TaDomProtocol::IdValueLock(uint64_t tx, std::string_view id,

@@ -205,8 +205,20 @@ bool Splid::InAttributePath() const {
 std::string Splid::Encode() const {
   std::string out;
   out.reserve(divisions_.size() * 2);
-  for (uint32_t d : divisions_) EncodeDivision(d, &out);
+  EncodeTo(&out);
   return out;
+}
+
+void Splid::EncodeTo(std::string* out, std::vector<size_t>* level_ends) const {
+  const size_t base = out->size();
+  for (uint32_t d : divisions_) {
+    EncodeDivision(d, out);
+    if (level_ends != nullptr && IsOdd(d)) {
+      // AncestorAtLevel(l) drops everything after the l-th odd division,
+      // so its encoding is exactly this prefix of the bytes just written.
+      level_ends->push_back(out->size() - base);
+    }
+  }
 }
 
 std::optional<Splid> Splid::Decode(std::string_view bytes) {

@@ -99,6 +99,16 @@ class Splid {
   std::string Encode() const;
   static std::optional<Splid> Decode(std::string_view bytes);
 
+  /// Appends the encoding to *out (Encode() without the temporary).
+  /// Because the encoding concatenates per-division encodings and an
+  /// ancestor label is a division prefix, the encoding of every ancestor
+  /// is a byte prefix of the result. When `level_ends` is non-null, it
+  /// receives (appended) for each level l = 1..Level() the byte length of
+  /// the encoded AncestorAtLevel(l) — i.e. the prefix length up to and
+  /// including the l-th odd division. The lock layer's ancestor-path
+  /// fast path uses this to build all path keys in one pass.
+  void EncodeTo(std::string* out, std::vector<size_t>* level_ends = nullptr) const;
+
   /// An encoded key that sorts after every descendant of this label but
   /// before any following sibling: used for B+-tree subtree range scans.
   std::string EncodedSubtreeUpperBound() const;

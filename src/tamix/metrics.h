@@ -61,6 +61,20 @@ struct RunStats {
     return n;
   }
   uint64_t total_deadlocks() const { return lock_stats.deadlocks; }
+  /// Tx-private lock cache behaviour over the run (zero when disabled).
+  /// A hit is a lock-table round trip skipped entirely — the headline
+  /// number of the cache ablation in EXPERIMENTS.md.
+  uint64_t lock_cache_hits() const { return lock_stats.cache_hits; }
+  uint64_t lock_cache_misses() const { return lock_stats.cache_misses; }
+  uint64_t lock_cache_invalidations() const {
+    return lock_stats.cache_invalidations;
+  }
+  double lock_cache_hit_rate() const {
+    const uint64_t total = lock_stats.cache_hits + lock_stats.cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(lock_stats.cache_hits) /
+                            static_cast<double>(total);
+  }
   uint64_t total_retries() const {
     uint64_t n = 0;
     for (const auto& s : per_type) n += s.retries;

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "util/check.h"
+
 namespace xtc {
 
 Status TransactionManager::Commit(Transaction& tx) {
@@ -14,6 +16,11 @@ Status TransactionManager::Commit(Transaction& tx) {
   tx.set_commit_seq(committed_.fetch_add(1, std::memory_order_relaxed) + 1);
   tx.set_state(TxState::kCommitted);
   lock_manager_->ReleaseAll(tx.LockView());
+  // ReleaseAll must leave nothing behind in the tx-private lock cache: a
+  // stale entry would let a recycled transaction id "hold" a lock the
+  // table has long since granted to somebody else.
+  XTC_CHECK(lock_manager_->protocol().table().CachedLocksFor(tx.id()) == 0,
+            "tx lock cache survived ReleaseAll at commit");
   {
     MutexLock guard(mu_);
     active_.erase(tx.id());
@@ -49,6 +56,10 @@ Status TransactionManager::Abort(Transaction& tx) {
   undo.clear();
   tx.set_state(TxState::kAborted);
   lock_manager_->ReleaseAll(tx.LockView());
+  // Same invariant as at commit — and aborts are exactly where stale
+  // cache state would be most dangerous (deadlock victims retry).
+  XTC_CHECK(lock_manager_->protocol().table().CachedLocksFor(tx.id()) == 0,
+            "tx lock cache survived ReleaseAll at abort");
   aborted_.fetch_add(1, std::memory_order_relaxed);
   {
     MutexLock guard(mu_);

@@ -198,6 +198,52 @@ TEST(ChaosAbortTest, InjectedUndoFailuresDoNotStopTheRollback) {
       << st.ToString();
 }
 
+TEST(ChaosAbortTest, InjectedVictimWithWarmLockCacheObservesInvalidation) {
+  // A transaction whose tx-private lock cache is fully warmed gets
+  // victimized by an injected deadlock: the denial must drop its cache
+  // (the entries still mirror table state the victim is about to lose),
+  // the abort must pass the ReleaseAll cache invariant check, and a
+  // retry must rebuild everything from the table, not from stale hits.
+  FaultInjector faults(7);
+  LockTableOptions options;
+  options.fault_injector = &faults;
+  options.tx_lock_cache = TxLockCache::kEnabled;
+  auto protocol = CreateProtocol("taDOM3+", options);
+  LockManager lm(protocol.get());
+  TransactionManager tm(&lm, &faults);
+  LockTable& table = protocol->table();
+
+  auto tx = tm.Begin(IsolationLevel::kRepeatable, 7);
+  const Splid node = *Splid::Parse("1.3.3");
+  ASSERT_TRUE(lm.NodeRead(tx->LockView(), node).ok());
+  ASSERT_TRUE(lm.NodeRead(tx->LockView(), node).ok());  // warm: pure hits
+  const LockTableStats warm = table.GetStats();
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_GT(table.CachedLocksFor(tx->id()), 0u);
+
+  faults.Arm(fault_points::kLockDeadlock, {.probability = 1.0});
+  Status st = lm.NodeWrite(tx->LockView(), node);
+  EXPECT_TRUE(st.IsDeadlock()) << st.ToString();
+  // Victimization dropped the whole per-tx cache immediately, before the
+  // transaction even aborts.
+  EXPECT_EQ(table.CachedLocksFor(tx->id()), 0u);
+  EXPECT_GE(table.GetStats().cache_invalidations, 1u);
+  ASSERT_TRUE(tm.Abort(*tx).ok());
+  EXPECT_EQ(table.LocksHeldBy(tx->id()), 0u);
+  faults.Disarm(fault_points::kLockDeadlock);
+
+  // Recovery: the retry re-acquires through the table (misses first,
+  // hits after) and commits cleanly.
+  const uint64_t misses_before = table.GetStats().cache_misses;
+  auto retry = tm.Begin(IsolationLevel::kRepeatable, 7);
+  ASSERT_TRUE(lm.NodeWrite(retry->LockView(), node).ok());
+  EXPECT_GT(table.GetStats().cache_misses, misses_before);
+  ASSERT_TRUE(lm.NodeWrite(retry->LockView(), node).ok());
+  ASSERT_TRUE(tm.Commit(*retry).ok());
+  EXPECT_EQ(table.CachedLocksFor(retry->id()), 0u);
+  EXPECT_EQ(table.LocksHeldBy(retry->id()), 0u);
+}
+
 // --- Invariant helpers -------------------------------------------------------
 
 TEST(InvariantsTest, FingerprintIsStableAcrossIdenticalBuilds) {

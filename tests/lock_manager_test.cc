@@ -174,5 +174,37 @@ TEST_F(LockManagerTest, Fig3bScenarioEndToEnd) {
   EXPECT_EQ(HeldName(1, "1.5.3.3.3"), "SR");
 }
 
+// Regression: READ UNCOMMITTED used to admit *no* lock for update-intent
+// accesses (Admit returned false), so two dirty-reading updaters could
+// both pass NodeUpdate and race to the write — exactly the lost-update /
+// conversion-deadlock scenario U modes exist to prevent (paper Fig. 2).
+// Update intent must take a long U lock at every isolation level.
+TEST(LockManagerIsolation, UncommittedUpdatersSerializeOnUpdateLocks) {
+  LockTableOptions options;
+  options.wait_timeout = Millis(100);
+  TaDomProtocol protocol(TaDomVariant::kTaDom3Plus, options);
+  LockManager lm(&protocol);
+  const ModeTable& m = protocol.modes();
+
+  TxLockView tx1{1, IsolationLevel::kUncommitted, 7};
+  ASSERT_TRUE(lm.NodeUpdate(tx1, S("1.3.3")).ok());
+  EXPECT_EQ(m.Name(protocol.table().HeldMode(1, NodeResource(S("1.3.3")))),
+            "NU");
+  // The update lock is commit-duration: end of operation keeps it.
+  lm.EndOperation(tx1);
+  EXPECT_EQ(m.Name(protocol.table().HeldMode(1, NodeResource(S("1.3.3")))),
+            "NU");
+
+  // The second updater serializes behind the first instead of slipping
+  // through lock-free.
+  TxLockView tx2{2, IsolationLevel::kUncommitted, 7};
+  EXPECT_FALSE(lm.NodeUpdate(tx2, S("1.3.3")).ok());
+  lm.ReleaseAll(tx1);
+  ASSERT_TRUE(lm.NodeUpdate(tx2, S("1.3.3")).ok());
+  EXPECT_EQ(m.Name(protocol.table().HeldMode(2, NodeResource(S("1.3.3")))),
+            "NU");
+  lm.ReleaseAll(tx2);
+}
+
 }  // namespace
 }  // namespace xtc

@@ -44,11 +44,12 @@ SubtreeSpec Bib() {
 
 class Stack {
  public:
-  explicit Stack(std::string_view protocol_name,
-                 Duration timeout = Millis(150)) {
+  explicit Stack(std::string_view protocol_name, Duration timeout = Millis(150),
+                 TxLockCache cache = TxLockCache::kAuto) {
     EXPECT_TRUE(doc.BuildFromSpec(Bib()).ok());
     LockTableOptions options;
     options.wait_timeout = timeout;
+    options.tx_lock_cache = cache;
     protocol = CreateProtocol(protocol_name, options);
     EXPECT_NE(protocol, nullptr);
     lm = std::make_unique<LockManager>(protocol.get());
@@ -361,6 +362,65 @@ TEST(DeadlockEndToEnd, ConversionDeadlockVictimAbortsCleanly) {
   ASSERT_TRUE(content.ok());
   EXPECT_EQ(*content, "T1");
   ASSERT_TRUE(s.tm->Commit(*check).ok());
+}
+
+// --------------------------------------------------------------------------
+// Fig. 4 conversion side effects must never be dropped.
+// --------------------------------------------------------------------------
+
+// Regression: a conversion whose Fig. 4 target carries a children
+// subscript (taDOM2's LR -> CX_NR) used to silently skip the child locks
+// when no document accessor was wired — an isolation hole where readers
+// of the children never conflicted with the writer. It must be a hard
+// error instead.
+TEST(ConversionSideEffects, ChildLockSideEffectWithoutAccessorIsAnError) {
+  LockTableOptions options;
+  options.wait_timeout = Millis(150);
+  auto protocol = CreateProtocol("taDOM2", options);
+  ASSERT_NE(protocol, nullptr);
+  // Deliberately no set_document_accessor: the protocol cannot enumerate
+  // children, so it cannot honour CX_NR.
+  LockManager lm(protocol.get());
+  TxLockView tx{1, IsolationLevel::kRepeatable, 7};
+  ASSERT_TRUE(lm.LevelRead(tx, *Splid::Parse("1.3")).ok());  // LR on 1.3
+  // Writing a child converts 1.3's LR to CX, whose taDOM2 target is
+  // CX_NR: without an accessor the operation must be refused outright.
+  Status st = lm.NodeWrite(tx, *Splid::Parse("1.3.3"));
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("document accessor"), std::string::npos);
+  lm.ReleaseAll(tx);
+}
+
+// A warm tx-private lock cache must not short-circuit around the side
+// effect either: the LR -> CX conversion changes the held mode, which
+// the cache can never serve, so the request reaches the table and the
+// per-child NR locks really appear.
+TEST(ConversionSideEffects, WarmCacheNeverSkipsChildLockSideEffect) {
+  Stack s("taDOM2", Millis(150), TxLockCache::kEnabled);
+  auto tx = s.Begin();
+  Splid book = s.ById(*tx, "b0");
+  ASSERT_TRUE(s.nm->GetChildNodes(*tx, book).ok());  // LR on book
+  // Warm the cache on the whole path with a repeat of the same request.
+  ASSERT_TRUE(s.nm->GetChildNodes(*tx, book).ok());
+  EXPECT_GT(s.protocol->table().GetStats().cache_hits, 0u);
+
+  auto history = s.doc.LastChild(book);
+  ASSERT_TRUE(history.ok());
+  const size_t before = s.protocol->table().LocksHeldBy(tx->id());
+  ASSERT_TRUE(s.nm->DeleteSubtree(*tx, (*history)->splid).ok());
+  // The conversion's child locks materialized: the sibling children of
+  // the deleted subtree are now individually NR-locked.
+  auto title = s.doc.FirstChild(book);
+  ASSERT_TRUE(title.ok());
+  const LockTable& table = s.protocol->table();
+  EXPECT_EQ(std::string(table.modes().Name(
+                table.HeldMode(tx->id(), NodeResource((*title)->splid)))),
+            "NR");
+  EXPECT_GT(s.protocol->table().LocksHeldBy(tx->id()), before);
+  ASSERT_TRUE(s.tm->Commit(*tx).ok());
+  // Commit's ReleaseAll emptied cache and table alike.
+  EXPECT_EQ(s.protocol->table().CachedLocksFor(tx->id()), 0u);
+  EXPECT_EQ(s.protocol->table().LocksHeldBy(tx->id()), 0u);
 }
 
 }  // namespace

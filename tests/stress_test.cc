@@ -120,6 +120,67 @@ TEST_P(StressTest, AbortStormRestoresExactState) {
   EXPECT_EQ(protocol->table().NumLockedResources(), 0u);
 }
 
+TEST(StressLockCacheTest, ConcurrentCacheStaysCoherentWithTheTable) {
+  // Hammer one shared ancestor path from many threads with the
+  // tx-private cache explicitly enabled, mixing re-locks (hits),
+  // EndOperation downgrades, and full releases. Each thread owns its
+  // transaction ids, so the coherence probe — a cached entry must mirror
+  // the table's held mode exactly — can run safely mid-flight. Run under
+  // TSan this is also the data-race check for the cache shards.
+  LockTableOptions options;
+  options.wait_timeout = Millis(250);
+  options.tx_lock_cache = TxLockCache::kEnabled;
+  auto protocol = CreateProtocol("taDOM3+", options);
+  LockManager lm(protocol.get());
+  LockTable& table = protocol->table();
+
+  const Splid parent = *Splid::Parse("1.3.3.3.3");
+  std::vector<Splid> leaves;
+  for (uint32_t i = 0; i < 8; ++i) leaves.push_back(parent.Child(2 * i + 3));
+
+  std::atomic<uint64_t> incoherent{0}, errors{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 12; ++w) {
+    workers.emplace_back([&, w]() {
+      for (int round = 0; round < 40; ++round) {
+        const uint64_t id = static_cast<uint64_t>(w) * 1000 +
+                            static_cast<uint64_t>(round) + 1;
+        TxLockView tx{id, round % 2 == 0 ? IsolationLevel::kRepeatable
+                                         : IsolationLevel::kCommitted,
+                      kMaxLockDepth};
+        for (int op = 0; op < 20; ++op) {
+          const Splid& leaf = leaves[static_cast<size_t>(op) % leaves.size()];
+          Status st = op % 7 == 3 ? lm.NodeWrite(tx, leaf)
+                                  : lm.NodeRead(tx, leaf);
+          if (!st.ok() && !st.IsRetryable()) errors.fetch_add(1);
+          if (!st.ok()) {  // denied: cache must already be empty
+            if (table.CachedLocksFor(id) != 0) incoherent.fetch_add(1);
+            break;
+          }
+          // Coherence probe on this thread's own entries: whatever the
+          // cache answers must be exactly what the table holds.
+          const std::string leaf_resource = NodeResource(leaf);
+          const ModeId cached = table.CachedMode(id, leaf_resource);
+          if (cached != kNoMode && cached != table.HeldMode(id, leaf_resource)) {
+            incoherent.fetch_add(1);
+          }
+          if (op == 10) lm.EndOperation(tx);
+        }
+        lm.ReleaseAll(tx);
+        if (table.CachedLocksFor(id) != 0) incoherent.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(incoherent.load(), 0u);
+  EXPECT_EQ(table.NumLockedResources(), 0u);
+  const LockTableStats stats = table.GetStats();
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.cache_invalidations, 0u);
+}
+
 TEST(StressIsolationTest, WeakIsolationChaosKeepsPhysicalIntegrity) {
   // Isolation "none": no locks, full races — the latching layer alone
   // must keep the physical structures coherent.
