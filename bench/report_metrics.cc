@@ -80,6 +80,27 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   stats.buffer_io.cancelled_evictions));
 
+  // Durability: only reported when the run had a WAL attached (XTC_WAL=1
+  // or RunConfig::wal = kEnabled).
+  if (stats.wal.records_appended > 0) {
+    std::printf("\nwal: %llu records (%llu bytes), %llu forced syncs, "
+                "%llu commit records, %llu checkpoints, %llu clean flush "
+                "failures\n",
+                static_cast<unsigned long long>(stats.wal.records_appended),
+                static_cast<unsigned long long>(stats.wal.bytes_appended),
+                static_cast<unsigned long long>(stats.wal.syncs),
+                static_cast<unsigned long long>(stats.wal.commits_logged),
+                static_cast<unsigned long long>(stats.wal.checkpoints_taken),
+                static_cast<unsigned long long>(stats.wal.flush_failures));
+    if (stats.wal.records_redone > 0 || stats.wal.losers_undone > 0) {
+      std::printf("recovery: %llu records redone (%llu pages), "
+                  "%llu losers undone\n",
+                  static_cast<unsigned long long>(stats.wal.records_redone),
+                  static_cast<unsigned long long>(stats.wal.pages_redone),
+                  static_cast<unsigned long long>(stats.wal.losers_undone));
+    }
+  }
+
   // Storage occupancy of a fresh bib document (paper §3.1: > 96 % on
   // their container pages; a B+-tree with half-splits sits lower).
   Document doc;

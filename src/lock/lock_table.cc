@@ -168,6 +168,8 @@ LockOutcome LockTable::LockSlow(uint64_t tx, std::string_view resource,
       event.resource = std::string(resource);
       event.requested_mode = std::string(modes_->Name(mode));
       event.injected = true;
+      event.victim_reason = "injected fault: victim chosen by the fault "
+                            "plan, no real cycle existed";
       MutexLock g(graph_mu_);
       deadlock_log_.push_back(std::move(event));
       if (deadlock_log_.size() > options_.deadlock_log_capacity) {
@@ -245,6 +247,10 @@ LockOutcome LockTable::LockSlow(uint64_t tx, std::string_view resource,
         event.conversion = is_conversion;
         event.blockers = blockers.size();
         event.waiting_transactions = detector_.num_waiters();
+        event.victim_reason =
+            std::string("cycle closer: this transaction's new wait edge "
+                        "completed the cycle, and the closer aborts (") +
+            (is_conversion ? "conversion wait)" : "fresh-request wait)");
         deadlock_log_.push_back(std::move(event));
         if (deadlock_log_.size() > options_.deadlock_log_capacity) {
           deadlock_log_.pop_front();

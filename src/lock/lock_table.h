@@ -122,6 +122,9 @@ struct DeadlockEvent {
   size_t blockers = 0;         // transactions the victim waited for
   size_t waiting_transactions = 0;  // wait-for-graph size at detection
   bool injected = false;       // fault-injected victim (no real cycle)
+  /// Why *this* transaction was chosen as the victim (post-mortem
+  /// tooling reads this straight out of RecentDeadlocks()).
+  std::string victim_reason;
 };
 
 class LockTable {

@@ -1,11 +1,95 @@
 #include "node/document.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 #include "util/fault_injector.h"
 
 namespace xtc {
 
+// Brackets one mutating document operation for the WAL. Constructed
+// right after the writer latch (and fault suppression, so the logging
+// work itself is never injected), it opens a buffer-pool capture; every
+// page the operation dirties is recorded and pinned out of eviction's
+// reach. The destructor — still under the latch — appends one update
+// record carrying the logical undo, the tree attach points and full
+// after-images of the captured pages, stamping the record's end LSN into
+// each page so redo can compare. Operations that fail mid-way still log
+// their page images (physical redo must reproduce whatever bytes
+// changed) with an empty undo.
+//
+// The destructor runs while the document latch is held; the analysis
+// cannot see that from a destructor, hence the escape hatch.
+class WalScope {
+ public:
+  explicit WalScope(Document* doc) : doc_(doc), wal_(doc->wal_) {
+    if (wal_ != nullptr) doc_->buffer_->BeginCapture();
+  }
+  WalScope(const WalScope&) = delete;
+  WalScope& operator=(const WalScope&) = delete;
+
+  /// Arms the logical undo; call just before a successful return.
+  void SetUndo(UndoOp undo) { undo_ = std::move(undo); }
+
+  ~WalScope() XTC_NO_THREAD_SAFETY_ANALYSIS {
+    if (wal_ == nullptr) return;
+    const std::vector<PageId> pages = doc_->buffer_->CapturedPages();
+    if (!pages.empty() || undo_.kind != UndoKind::kNone) {
+      wal_->AppendUpdate(
+          ScopedWalTx::Current(), undo_, doc_->TreeMetaLocked(), pages,
+          doc_->options_.page_size,
+          [this](PageId id, Lsn end_lsn, std::string* out) {
+            // Captured pages are protected from eviction until
+            // EndCapture, so this is a guaranteed buffer hit — no I/O
+            // happens under the log mutex.
+            auto guard = doc_->buffer_->Fetch(id);
+            XTC_CHECK(guard.ok(), "captured page vanished from the pool");
+            StampPageLsn(guard->page(), end_lsn);
+            guard->MarkDirty();
+            out->append(
+                reinterpret_cast<const char*>(guard->page()->data()),
+                guard->page()->size());
+          });
+    }
+    doc_->buffer_->EndCapture();
+  }
+
+ private:
+  Document* doc_;
+  Wal* wal_;
+  UndoOp undo_;
+};
+
 namespace {
+
+UndoOp RemoveSubtreeUndo(const Splid& root) {
+  UndoOp undo;
+  undo.kind = UndoKind::kRemoveSubtree;
+  undo.splid = root.Encode();
+  return undo;
+}
+
+UndoOp RemoveNodesUndo(const std::vector<Splid>& splids) {
+  UndoOp undo;
+  undo.kind = UndoKind::kRemoveNodes;
+  undo.nodes.reserve(splids.size());
+  for (const Splid& s : splids) {
+    undo.nodes.push_back(UndoNode{s.Encode(), 0, 0, {}});
+  }
+  return undo;
+}
+
+UndoOp RestoreNodesUndo(const std::vector<Node>& nodes) {
+  UndoOp undo;
+  undo.kind = UndoKind::kRestoreNodes;
+  undo.nodes.reserve(nodes.size());
+  for (const Node& n : nodes) {
+    undo.nodes.push_back(UndoNode{n.splid.Encode(),
+                                  static_cast<uint8_t>(n.record.kind),
+                                  n.record.name, n.record.content});
+  }
+  return undo;
+}
 
 std::string_view KindName(NodeKind k) {
   switch (k) {
@@ -34,6 +118,141 @@ Document::Document(const StorageOptions& options, uint32_t dist)
   elements_ = std::make_unique<ElementIndex>(buffer_.get());
   ids_ = std::make_unique<IdIndex>(buffer_.get());
   id_attr_name_ = vocab_.Intern("id");
+}
+
+Document::Document(const StorageOptions& options, const PageFileImage& image,
+                   uint32_t dist)
+    : options_(options), file_(options, image), gen_(dist) {
+  buffer_ = std::make_unique<BufferManager>(&file_, options_);
+  // Trees attach later (AttachRecoveredTrees), once the log scan has
+  // produced their roots. "id" is re-interned here exactly as the
+  // crashed instance's constructor did, so the surrogate matches the
+  // logged vocabulary — RestoreEntry verifies the agreement.
+  id_attr_name_ = vocab_.Intern("id");
+}
+
+void Document::AttachWal(Wal* wal) {
+  WriterMutexLock latch(mu_);
+  wal_ = wal;
+  buffer_->AttachWal(wal);
+  // Logged under the vocabulary mutex the moment a new surrogate is
+  // handed out, so the assignment precedes any update record that uses
+  // it. Names interned before attach ("id", the bib vocabulary) ride the
+  // initial checkpoint's snapshot instead.
+  vocab_.SetNewNameCallback(
+      [wal](NameSurrogate surrogate, const std::string& name) {
+        wal->AppendVocab(surrogate, name);
+      });
+}
+
+WalTreeMeta Document::TreeMetaLocked() const {
+  WalTreeMeta meta;
+  meta.doc_root = doc_->root();
+  meta.doc_count = doc_->size();
+  meta.elem_root = elements_->tree().root();
+  meta.elem_count = elements_->size();
+  meta.id_root = ids_->tree().root();
+  meta.id_count = ids_->size();
+  return meta;
+}
+
+WalTreeMeta Document::CurrentTreeMeta() const {
+  ReaderMutexLock latch(mu_);
+  return TreeMetaLocked();
+}
+
+Status Document::AttachRecoveredTrees(const WalTreeMeta& meta) {
+  WriterMutexLock latch(mu_);
+  if (doc_ != nullptr) {
+    return Status::InvalidArgument("trees already attached");
+  }
+  if (meta.doc_root == kInvalidPageId || meta.elem_root == kInvalidPageId ||
+      meta.id_root == kInvalidPageId) {
+    return Status::DataLoss("recovered tree metadata is incomplete");
+  }
+  doc_ = std::make_unique<BplusTree>(buffer_.get(), meta.doc_root,
+                                     meta.doc_count);
+  elements_ = std::make_unique<ElementIndex>(buffer_.get(), meta.elem_root,
+                                             meta.elem_count);
+  ids_ = std::make_unique<IdIndex>(buffer_.get(), meta.id_root, meta.id_count);
+  return Status::OK();
+}
+
+Status Document::LogCheckpoint() {
+  WriterMutexLock latch(mu_);
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("no WAL attached");
+  }
+  // The exclusive latch means no operation is mid-flight: the dirty-page
+  // table, vocabulary snapshot and tree attach points are mutually
+  // consistent. The checkpoint stays fuzzy towards earlier operations
+  // still in the group-commit buffer — redo handles those by starting at
+  // the minimum recovery LSN.
+  return wal_->AppendCheckpoint(buffer_->DirtyPageTable(), vocab_.Snapshot(),
+                                TreeMetaLocked());
+}
+
+Status Document::RebuildFreeList() {
+  ReaderMutexLock latch(mu_);
+  std::vector<PageId> reachable;
+  XTC_RETURN_IF_ERROR(doc_->CollectPages(&reachable));
+  XTC_RETURN_IF_ERROR(elements_->tree().CollectPages(&reachable));
+  XTC_RETURN_IF_ERROR(ids_->tree().CollectPages(&reachable));
+  std::vector<bool> live;
+  for (PageId id : reachable) {
+    if (id == kInvalidPageId) continue;
+    if (live.size() < id) live.resize(id, false);
+    live[id - 1] = true;
+  }
+  file_.ResetFreeList(live);
+  return Status::OK();
+}
+
+Status Document::ApplyUndo(const UndoOp& undo) {
+  switch (undo.kind) {
+    case UndoKind::kNone:
+      return Status::OK();
+    case UndoKind::kUpdateContent: {
+      auto splid = Splid::Decode(undo.splid);
+      if (!splid.has_value()) return Status::Internal("corrupt undo splid");
+      return UpdateContent(*splid, undo.content);
+    }
+    case UndoKind::kRenameElement: {
+      auto splid = Splid::Decode(undo.splid);
+      if (!splid.has_value()) return Status::Internal("corrupt undo splid");
+      return RenameElement(*splid, undo.name);
+    }
+    case UndoKind::kRemoveSubtree: {
+      auto splid = Splid::Decode(undo.splid);
+      if (!splid.has_value()) return Status::Internal("corrupt undo splid");
+      return RemoveSubtree(*splid);
+    }
+    case UndoKind::kRestoreNodes: {
+      std::vector<Node> nodes;
+      nodes.reserve(undo.nodes.size());
+      for (const UndoNode& n : undo.nodes) {
+        auto splid = Splid::Decode(n.splid);
+        if (!splid.has_value()) return Status::Internal("corrupt undo splid");
+        NodeRecord rec;
+        rec.kind = static_cast<NodeKind>(n.kind);
+        rec.name = n.name;
+        rec.content = n.content;
+        nodes.push_back(Node{*splid, std::move(rec)});
+      }
+      return RestoreNodes(nodes);
+    }
+    case UndoKind::kRemoveNodes: {
+      std::vector<Splid> splids;
+      splids.reserve(undo.nodes.size());
+      for (const UndoNode& n : undo.nodes) {
+        auto splid = Splid::Decode(n.splid);
+        if (!splid.has_value()) return Status::Internal("corrupt undo splid");
+        splids.push_back(*splid);
+      }
+      return RemoveNodes(splids);
+    }
+  }
+  return Status::Internal("unknown undo kind");
 }
 
 std::optional<Splid> Document::IdOwnerElement(const Splid& string_node) const {
@@ -75,7 +294,10 @@ Status Document::StoreOneLocked(const Splid& splid, const NodeRecord& record) {
 Status Document::Store(const Splid& splid, const NodeRecord& record) {
   WriterMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
-  return StoreOneLocked(splid, record);
+  WalScope wal(this);
+  XTC_RETURN_IF_ERROR(StoreOneLocked(splid, record));
+  wal.SetUndo(RemoveNodesUndo({splid}));
+  return Status::OK();
 }
 
 StatusOr<Splid> Document::CreateRoot(std::string_view name) {
@@ -84,9 +306,11 @@ StatusOr<Splid> Document::CreateRoot(std::string_view name) {
   if (doc_->size() != 0) {
     return Status::InvalidArgument("document is not empty");
   }
+  WalScope wal(this);
   Splid root = Splid::Root();
   XTC_RETURN_IF_ERROR(
       StoreOneLocked(root, NodeRecord::Element(vocab_.Intern(name))));
+  wal.SetUndo(RemoveNodesUndo({root}));
   return root;
 }
 
@@ -96,8 +320,10 @@ StatusOr<Splid> Document::BuildFromSpec(const SubtreeSpec& spec) {
   if (doc_->size() != 0) {
     return Status::InvalidArgument("document is not empty");
   }
+  WalScope wal(this);
   Splid root = Splid::Root();
   XTC_RETURN_IF_ERROR(StoreSpecLocked(root, spec));
+  wal.SetUndo(RemoveSubtreeUndo(root));
   return root;
 }
 
@@ -160,6 +386,7 @@ StatusOr<Splid> Document::AppendSubtree(const Splid& parent,
                                         const Splid* label_hint) {
   WriterMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
+  WalScope wal(this);
   XTC_ASSIGN_OR_RETURN(Splid label, AppendLabelLocked(parent));
   if (label_hint != nullptr && *label_hint != label &&
       !doc_->Contains(label_hint->Encode())) {
@@ -168,6 +395,7 @@ StatusOr<Splid> Document::AppendSubtree(const Splid& parent,
     label = *label_hint;
   }
   XTC_RETURN_IF_ERROR(StoreSpecLocked(label, spec));
+  wal.SetUndo(RemoveSubtreeUndo(label));
   return label;
 }
 
@@ -203,6 +431,7 @@ StatusOr<Splid> Document::AddAttribute(const Splid& element,
   if (!doc_->Contains(element.Encode())) {
     return Status::NotFound("element not found");
   }
+  WalScope wal(this);
   const Splid attr_root = element.AttributeChild();
   if (!doc_->Contains(attr_root.Encode())) {
     XTC_RETURN_IF_ERROR(StoreOneLocked(attr_root, NodeRecord::AttributeRoot()));
@@ -235,6 +464,10 @@ StatusOr<Splid> Document::AddAttribute(const Splid& element,
   XTC_RETURN_IF_ERROR(StoreOneLocked(attr, NodeRecord::Attribute(name)));
   XTC_RETURN_IF_ERROR(StoreOneLocked(attr.AttributeChild(),
                                      NodeRecord::String(std::string(value))));
+  // A freshly created attribute root is deliberately not undone — the
+  // runtime abort path leaves it behind too, and an empty attribute root
+  // is structurally valid.
+  wal.SetUndo(RemoveSubtreeUndo(attr));
   return attr;
 }
 
@@ -281,21 +514,49 @@ StatusOr<Splid> Document::InsertSibling(const Splid& sibling,
                                         const Splid* label_hint) {
   WriterMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
+  WalScope wal(this);
   XTC_ASSIGN_OR_RETURN(Splid label, SiblingLabelLocked(sibling, after));
   if (label_hint != nullptr && *label_hint != label &&
       !doc_->Contains(label_hint->Encode())) {
     label = *label_hint;
   }
   XTC_RETURN_IF_ERROR(StoreSpecLocked(label, spec));
+  wal.SetUndo(RemoveSubtreeUndo(label));
   return label;
 }
 
 Status Document::RestoreNodes(const std::vector<Node>& nodes) {
   WriterMutexLock latch(mu_);
   FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
+  WalScope wal(this);
+  std::vector<Splid> stored;
+  stored.reserve(nodes.size());
   for (const Node& n : nodes) {
     XTC_RETURN_IF_ERROR(StoreOneLocked(n.splid, n.record));
+    stored.push_back(n.splid);
   }
+  wal.SetUndo(RemoveNodesUndo(stored));
+  return Status::OK();
+}
+
+Status Document::RemoveNodes(const std::vector<Splid>& splids) {
+  WriterMutexLock latch(mu_);
+  FaultInjector::ScopedSuppress no_faults;  // mutation is not failure-atomic
+  WalScope wal(this);
+  // Reverse of the given (document) order: children before parents, as
+  // in RemoveSubtree.
+  std::vector<Node> removed;
+  removed.reserve(splids.size());
+  for (auto it = splids.rbegin(); it != splids.rend(); ++it) {
+    auto raw = doc_->Get(it->Encode());
+    if (!raw.ok()) return raw.status();
+    auto rec = NodeRecord::Decode(*raw);
+    if (!rec.has_value()) return Status::Internal("corrupt node record");
+    XTC_RETURN_IF_ERROR(RemoveOneLocked(*it, *rec));
+    removed.push_back(Node{*it, std::move(*rec)});
+  }
+  std::reverse(removed.begin(), removed.end());  // back to document order
+  wal.SetUndo(RestoreNodesUndo(removed));
   return Status::OK();
 }
 
@@ -328,7 +589,10 @@ Status Document::Remove(const Splid& splid) {
       it.key().compare(0, enc.size(), enc) == 0) {
     return Status::InvalidArgument("Remove() on a node with children");
   }
-  return RemoveOneLocked(splid, *rec);
+  WalScope wal(this);
+  XTC_RETURN_IF_ERROR(RemoveOneLocked(splid, *rec));
+  wal.SetUndo(RestoreNodesUndo({Node{splid, *rec}}));
+  return Status::OK();
 }
 
 Status Document::RemoveSubtree(const Splid& root) {
@@ -337,11 +601,13 @@ Status Document::RemoveSubtree(const Splid& root) {
   auto nodes = SubtreeLocked(root);
   if (!nodes.ok()) return nodes.status();
   if (nodes->empty()) return Status::NotFound("subtree root not found");
+  WalScope wal(this);
   // Reverse document order: children before parents, so ID-index
   // maintenance can still inspect the owning attribute node.
   for (auto it = nodes->rbegin(); it != nodes->rend(); ++it) {
     XTC_RETURN_IF_ERROR(RemoveOneLocked(it->splid, it->record));
   }
+  wal.SetUndo(RestoreNodesUndo(*nodes));
   return Status::OK();
 }
 
@@ -355,6 +621,11 @@ Status Document::UpdateContent(const Splid& string_node,
   if (!rec.has_value() || rec->kind != NodeKind::kString) {
     return Status::InvalidArgument("UpdateContent on a non-string node");
   }
+  WalScope wal(this);
+  UndoOp undo;
+  undo.kind = UndoKind::kUpdateContent;
+  undo.splid = string_node.Encode();
+  undo.content = rec->content;
   auto owner = IdOwnerElement(string_node);
   if (owner.has_value()) {
     if (!rec->content.empty()) (void)ids_->Remove(rec->content);
@@ -364,7 +635,9 @@ Status Document::UpdateContent(const Splid& string_node,
     }
   }
   rec->content = std::string(content);
-  return doc_->Update(string_node.Encode(), rec->Encode());
+  XTC_RETURN_IF_ERROR(doc_->Update(string_node.Encode(), rec->Encode()));
+  wal.SetUndo(std::move(undo));
+  return Status::OK();
 }
 
 Status Document::RenameElement(const Splid& element, NameSurrogate new_name) {
@@ -376,10 +649,17 @@ Status Document::RenameElement(const Splid& element, NameSurrogate new_name) {
   if (!rec.has_value() || rec->kind != NodeKind::kElement) {
     return Status::InvalidArgument("RenameElement on a non-element");
   }
+  WalScope wal(this);
+  UndoOp undo;
+  undo.kind = UndoKind::kRenameElement;
+  undo.splid = element.Encode();
+  undo.name = rec->name;
   XTC_RETURN_IF_ERROR(elements_->Remove(rec->name, element));
   rec->name = new_name;
   XTC_RETURN_IF_ERROR(elements_->Add(new_name, element));
-  return doc_->Update(element.Encode(), rec->Encode());
+  XTC_RETURN_IF_ERROR(doc_->Update(element.Encode(), rec->Encode()));
+  wal.SetUndo(std::move(undo));
+  return Status::OK();
 }
 
 StatusOr<NodeRecord> Document::Get(const Splid& splid) const {

@@ -29,8 +29,11 @@
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
+#include "wal/wal.h"
 
 namespace xtc {
+
+class WalScope;
 
 /// Declarative description of a subtree to build (used by insertion
 /// operations, the TaMix bib generator and the XML loader).
@@ -44,6 +47,13 @@ struct SubtreeSpec {
 class Document {
  public:
   explicit Document(const StorageOptions& options = {}, uint32_t dist = 2);
+
+  /// Restart-recovery construction: reopens the storage substrate from a
+  /// crash image. The three trees stay unattached — no document operation
+  /// is legal — until AttachRecoveredTrees supplies the attach points the
+  /// log scan recovered.
+  Document(const StorageOptions& options, const PageFileImage& image,
+           uint32_t dist = 2);
 
   Document(const Document&) = delete;
   Document& operator=(const Document&) = delete;
@@ -122,6 +132,42 @@ class Document {
   /// Re-inserts previously removed nodes (abort compensation).
   Status RestoreNodes(const std::vector<Node>& nodes) XTC_EXCLUDES(mu_);
 
+  /// Removes individually stored nodes in reverse of the given order
+  /// (the logged inverse of RestoreNodes / Store).
+  Status RemoveNodes(const std::vector<Splid>& splids) XTC_EXCLUDES(mu_);
+
+  // --- write-ahead logging & restart recovery (DESIGN.md §6) -------------
+
+  /// Wires the log into the storage substrate: the buffer manager starts
+  /// enforcing WAL-before-data, every mutating operation appends an
+  /// update record, and new vocabulary assignments are logged. Setup
+  /// only, before concurrent use; bib generation typically runs *before*
+  /// attach so the base document rides the initial checkpoint, not the
+  /// log.
+  void AttachWal(Wal* wal) XTC_EXCLUDES(mu_);
+  Wal* wal() const { return wal_; }
+
+  /// Applies one logged inverse operation (restart recovery's undo pass;
+  /// the caller brackets it with ScopedWalTx so the compensation is
+  /// logged under the loser's transaction id).
+  Status ApplyUndo(const UndoOp& undo) XTC_EXCLUDES(mu_);
+
+  /// Attaches the three B+-trees at the recovered roots (recovery
+  /// construction only; fails if trees are already attached).
+  Status AttachRecoveredTrees(const WalTreeMeta& meta) XTC_EXCLUDES(mu_);
+
+  /// Current tree attach points (harness / checkpointing).
+  WalTreeMeta CurrentTreeMeta() const XTC_EXCLUDES(mu_);
+
+  /// Takes a fuzzy checkpoint: dirty-page table, vocabulary snapshot and
+  /// tree attach points, appended and forced under the exclusive latch
+  /// so no operation is mid-flight.
+  Status LogCheckpoint() XTC_EXCLUDES(mu_);
+
+  /// Rebuilds the page-file free list from a walk of the three trees
+  /// (recovery: the free list is volatile state the crash discarded).
+  Status RebuildFreeList() XTC_EXCLUDES(mu_);
+
   // --- Read operations ----------------------------------------------------
 
   StatusOr<NodeRecord> Get(const Splid& splid) const XTC_EXCLUDES(mu_);
@@ -157,6 +203,7 @@ class Document {
   uint64_t num_nodes() const XTC_EXCLUDES(mu_);
   const PageFile& page_file() const { return file_; }
   const BufferManager& buffer() const { return *buffer_; }
+  BufferManager& buffer() { return *buffer_; }
 
   /// Storage occupancy of the document tree (paper §3.1).
   BplusTree::Occupancy MeasureOccupancy() const XTC_EXCLUDES(mu_);
@@ -168,6 +215,11 @@ class Document {
   Status Validate() const XTC_EXCLUDES(mu_);
 
  private:
+  // WalScope (document.cc) brackets each mutating operation: it opens a
+  // buffer-pool capture in its constructor and logs the captured pages +
+  // logical undo from its destructor, still under the writer latch.
+  friend class WalScope;
+
   // mu_ must be held by callers of these helpers: shared suffices for the
   // readers, the store/remove ones mutate the tree and need it exclusive.
   StatusOr<std::optional<Node>> FirstChildLocked(const Splid& parent,
@@ -194,11 +246,16 @@ class Document {
   std::optional<Splid> IdOwnerElement(const Splid& string_node) const
       XTC_REQUIRES_SHARED(mu_);
 
+  WalTreeMeta TreeMetaLocked() const XTC_REQUIRES_SHARED(mu_);
+
   StorageOptions options_;
   PageFile file_;
   std::unique_ptr<BufferManager> buffer_;
   Vocabulary vocab_;
   SplidGenerator gen_;
+  /// Set once at setup (AttachWal), before concurrent use; null = no
+  /// logging (the default, preserving pre-WAL behaviour exactly).
+  Wal* wal_ = nullptr;
   // The document latch (never held across lock-table waits; see file
   // header). vocab_/gen_/buffer_/file_ are internally synchronized and
   // deliberately not guarded by it.

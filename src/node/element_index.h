@@ -18,6 +18,10 @@ class ElementIndex {
  public:
   explicit ElementIndex(BufferManager* bm) : tree_(bm) {}
 
+  /// Opens an existing index at a known root (restart recovery).
+  ElementIndex(BufferManager* bm, PageId root, uint64_t count)
+      : tree_(bm, root, count) {}
+
   Status Add(NameSurrogate name, const Splid& splid);
   Status Remove(NameSurrogate name, const Splid& splid);
 
@@ -28,6 +32,9 @@ class ElementIndex {
   std::optional<Splid> Nth(NameSurrogate name, size_t index) const;
 
   uint64_t size() const { return tree_.size(); }
+
+  /// The backing tree (checkpoint metadata / recovery page walks).
+  const BplusTree& tree() const { return tree_; }
 
  private:
   static std::string MakeKey(NameSurrogate name, const Splid& splid);

@@ -17,11 +17,18 @@ class IdIndex {
  public:
   explicit IdIndex(BufferManager* bm) : tree_(bm) {}
 
+  /// Opens an existing index at a known root (restart recovery).
+  IdIndex(BufferManager* bm, PageId root, uint64_t count)
+      : tree_(bm, root, count) {}
+
   Status Add(std::string_view id, const Splid& element);
   Status Remove(std::string_view id);
   std::optional<Splid> Lookup(std::string_view id) const;
 
   uint64_t size() const { return tree_.size(); }
+
+  /// The backing tree (checkpoint metadata / recovery page walks).
+  const BplusTree& tree() const { return tree_; }
 
  private:
   BplusTree tree_;

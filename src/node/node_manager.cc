@@ -172,6 +172,7 @@ Status NodeManager::UpdateText(Transaction& tx, const Splid& text,
                                std::string_view content) {
   const TxLockView view = tx.LockView();
   OpScope scope(locks_, view);
+  ScopedWalTx wal_tx(tx.id());
   const Splid string_node = text.AttributeChild();
   XTC_RETURN_IF_ERROR(locks_->NodeWrite(view, string_node));
   auto old = doc_->Get(string_node);
@@ -189,6 +190,7 @@ Status NodeManager::Rename(Transaction& tx, const Splid& element,
                            std::string_view new_name) {
   const TxLockView view = tx.LockView();
   OpScope scope(locks_, view);
+  ScopedWalTx wal_tx(tx.id());
   XTC_RETURN_IF_ERROR(locks_->NodeWrite(view, element));
   auto old = doc_->Get(element);
   if (!old.ok()) return old.status();
@@ -247,6 +249,7 @@ StatusOr<Splid> NodeManager::InsertSubtreeCommon(Transaction& tx,
   }
   const TxLockView view = tx.LockView();
   OpScope scope(locks_, view);
+  ScopedWalTx wal_tx(tx.id());
   StatusOr<Splid> label = Status::Internal("unset");
   switch (placement) {
     case 0: {  // append as last child of `anchor`
@@ -309,6 +312,7 @@ Status NodeManager::SetAttribute(Transaction& tx, const Splid& element,
                                  std::string_view value) {
   const TxLockView view = tx.LockView();
   OpScope scope(locks_, view);
+  ScopedWalTx wal_tx(tx.id());
   const NameSurrogate surrogate = doc_->vocabulary().Intern(name);
   auto existing = doc_->FindAttribute(element, surrogate);
   if (!existing.ok()) return existing.status();
@@ -352,6 +356,7 @@ Status NodeManager::RemoveAttribute(Transaction& tx, const Splid& element,
                                     std::string_view name) {
   const TxLockView view = tx.LockView();
   OpScope scope(locks_, view);
+  ScopedWalTx wal_tx(tx.id());
   const NameSurrogate surrogate = doc_->vocabulary().Lookup(name);
   if (surrogate == kInvalidSurrogate) {
     return Status::NotFound("attribute not found");
@@ -420,6 +425,7 @@ StatusOr<std::vector<Splid>> NodeManager::GetElementsByTagName(
 Status NodeManager::DeleteSubtree(Transaction& tx, const Splid& root) {
   const TxLockView view = tx.LockView();
   OpScope scope(locks_, view);
+  ScopedWalTx wal_tx(tx.id());
   // Protocol-specific preparation (the *-2PL IDX scan happens here).
   XTC_RETURN_IF_ERROR(locks_->PrepareSubtreeDelete(view, root));
 

@@ -369,6 +369,30 @@ BplusTree::Occupancy BplusTree::MeasureOccupancy() const {
   return occ;
 }
 
+Status BplusTree::CollectPages(std::vector<PageId>* out) const {
+  std::vector<PageId> frontier = {root_};
+  while (!frontier.empty()) {
+    std::vector<PageId> next;
+    for (PageId id : frontier) {
+      auto guard = bm_->Fetch(id);
+      if (!guard.ok()) {
+        return guard.status().Annotate("CollectPages: page " +
+                                       std::to_string(id));
+      }
+      out->push_back(id);
+      SlottedPage sp(guard->page());
+      if (sp.type() != PageType::kLeaf) {
+        next.push_back(sp.leftmost_child());
+        for (int i = 0; i < sp.num_slots(); ++i) {
+          next.push_back(sp.ChildAt(i));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return Status::OK();
+}
+
 int BplusTree::Height() const {
   int h = 1;
   PageId current = root_;

@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "storage/buffer_manager.h"
 #include "storage/slotted_page.h"
@@ -29,8 +30,23 @@ class BplusTree {
   /// compression can be disabled for ablation measurements.
   explicit BplusTree(BufferManager* bm, bool prefix_compression = true);
 
+  /// Opens an existing tree at a known root (restart recovery: the root
+  /// and entry count come from the WAL's tree metadata).
+  BplusTree(BufferManager* bm, PageId root, uint64_t count,
+            bool prefix_compression = true)
+      : bm_(bm),
+        prefix_compression_(prefix_compression),
+        root_(root),
+        count_(count) {}
+
   BplusTree(const BplusTree&) = delete;
   BplusTree& operator=(const BplusTree&) = delete;
+
+  PageId root() const { return root_; }
+
+  /// Appends every page id reachable from the root (recovery rebuilds
+  /// the page-file free list from the union over all trees).
+  Status CollectPages(std::vector<PageId>* out) const;
 
   /// Inserts a new key. Fails with kInvalidArgument on duplicates.
   Status Insert(std::string_view key, std::string_view value);

@@ -44,6 +44,25 @@ Status BufferManager::ReadPage(PageId id, Page* page) {
 }
 
 Status BufferManager::WritePage(PageId id, const Page& page) {
+  if (wal_ != nullptr) {
+    // WAL-before-data: the page's bytes may not reach the file until the
+    // log record that covers them is durable. page_lsn 0 means the page
+    // was never part of a logged operation (bib generation runs before
+    // the log is attached) and carries no ordering obligation.
+    const uint64_t page_lsn = ReadPageLsn(page);
+    if (page_lsn != 0) {
+      Status st = wal_->EnsureDurable(page_lsn);
+      if (!st.ok()) {
+        // The caller keeps the frame cached and dirty, exactly as for a
+        // failed page write (PR-1 invariant).
+        return st.Annotate("WAL force before write-back of page " +
+                           std::to_string(id));
+      }
+      XTC_CHECK(wal_->DurableLsn() >= page_lsn,
+                "WAL-before-data violated: page write-back would overtake "
+                "the durable log");
+    }
+  }
   ScopedIo io(this);
   return file_->Write(id, page);
 }
@@ -102,6 +121,7 @@ StatusOr<PageGuard> BufferManager::Fetch(PageId id) {
     f.state = FrameState::kLoading;
     f.pin_count = 0;
     f.dirty = false;
+    f.rec_lsn = 0;
     f.in_lru = false;
     table_[id] = static_cast<size_t>(idx);
     Page* page = f.page.get();  // stable: kLoading pins the frame mapping
@@ -139,8 +159,10 @@ StatusOr<PageGuard> BufferManager::New() {
   f.state = FrameState::kResident;
   f.pin_count = 1;
   f.dirty = true;  // must be written back even if never touched again
+  f.rec_lsn = wal_ != nullptr ? wal_->AppendedLsn() : 0;
   f.in_lru = false;
   table_[id] = static_cast<size_t>(idx);
+  if (capture_active_) capture_.insert(id);
   return PageGuard(this, id, f.page.get());
 }
 
@@ -168,6 +190,7 @@ void BufferManager::Free(PageId id) {
     }
     f.id = kInvalidPageId;
     f.dirty = false;
+    f.rec_lsn = 0;
     f.state = FrameState::kFree;
     free_frames_.push_back(it->second);
     table_.erase(it);
@@ -183,6 +206,10 @@ Status BufferManager::FlushAll() {
     if (f.state != FrameState::kResident || !f.dirty || f.pin_count > 0) {
       continue;
     }
+    // Captured pages are mid-operation (their covering log record does
+    // not exist yet) and must not reach the file — same rule as the
+    // victim scan.
+    if (capture_active_ && capture_.count(f.id) != 0) continue;
     // kEvicting blocks new pins, so the page content is stable for the
     // duration of the write; the frame stays in the LRU list and victim
     // scans skip non-resident entries.
@@ -193,11 +220,48 @@ Status BufferManager::FlushAll() {
     Status st = WritePage(id, *page);
     guard.Lock();
     f.state = FrameState::kResident;
-    if (st.ok()) f.dirty = false;
+    if (st.ok()) {
+      f.dirty = false;
+      f.rec_lsn = 0;
+    }
     f.cv.notify_all();
     XTC_RETURN_IF_ERROR(st);
   }
   return Status::OK();
+}
+
+void BufferManager::BeginCapture() {
+  MutexLock guard(mu_);
+  XTC_CHECK(!capture_active_, "nested BufferManager capture scopes");
+  capture_active_ = true;
+  capture_.clear();
+}
+
+std::vector<PageId> BufferManager::CapturedPages() const {
+  MutexLock guard(mu_);
+  std::vector<PageId> pages(capture_.begin(), capture_.end());
+  return pages;
+}
+
+void BufferManager::EndCapture() {
+  MutexLock guard(mu_);
+  XTC_CHECK(capture_active_, "EndCapture without BeginCapture");
+  capture_active_ = false;
+  capture_.clear();
+}
+
+std::vector<std::pair<PageId, uint64_t>> BufferManager::DirtyPageTable()
+    const {
+  MutexLock guard(mu_);
+  std::vector<std::pair<PageId, uint64_t>> dpt;
+  for (const Frame& f : frames_) {
+    if (f.id == kInvalidPageId || !f.dirty) continue;
+    if (f.state != FrameState::kResident && f.state != FrameState::kEvicting) {
+      continue;
+    }
+    dpt.emplace_back(f.id, f.rec_lsn);
+  }
+  return dpt;
 }
 
 size_t BufferManager::PinnedFrames() const {
@@ -238,7 +302,11 @@ void BufferManager::Unpin(PageId id, bool dirty) {
   XTC_CHECK(it != table_.end(), "BufferManager::Unpin of an uncached page");
   Frame& f = frames_[it->second];
   XTC_CHECK(f.pin_count > 0, "BufferManager::Unpin without a pin");
-  if (dirty) f.dirty = true;
+  if (dirty) {
+    if (!f.dirty && wal_ != nullptr) f.rec_lsn = wal_->AppendedLsn();
+    f.dirty = true;
+    if (capture_active_) capture_.insert(id);
+  }
   if (--f.pin_count == 0) {
     lru_.push_front(it->second);
     f.lru_pos = lru_.begin();
@@ -271,6 +339,11 @@ int BufferManager::FindVictim() {
       size_t idx = *it;
       Frame& f = frames_[idx];
       if (tried[idx] || f.state != FrameState::kResident) continue;
+      // Mid-operation pages (in the active capture set) are pinned in
+      // spirit: their covering log record does not exist yet, so neither
+      // a clean drop (losing un-redoable bytes' context) nor a dirty
+      // write-back (WAL-before-data) is allowed.
+      if (capture_active_ && capture_.count(f.id) != 0) continue;
       if (!f.dirty) {
         lru_.erase(std::next(it).base());
         f.in_lru = false;
@@ -308,6 +381,7 @@ int BufferManager::FindVictim() {
         cancelled_evictions_.fetch_add(1, std::memory_order_relaxed);
         f.state = FrameState::kResident;
         f.dirty = false;
+        f.rec_lsn = 0;
         lru_.push_front(idx);
         f.lru_pos = lru_.begin();
         f.in_lru = true;
@@ -316,6 +390,7 @@ int BufferManager::FindVictim() {
         table_.erase(victim_id);
         f.id = kInvalidPageId;
         f.dirty = false;
+        f.rec_lsn = 0;
         f.state = FrameState::kFree;
         f.cv.notify_all();
         return static_cast<int>(idx);

@@ -36,6 +36,8 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "storage/page.h"
@@ -137,6 +139,33 @@ class BufferManager {
   /// transitional state.
   size_t FramesInIo() const XTC_EXCLUDES(mu_);
 
+  // --- write-ahead-log support (DESIGN.md §6) ---
+
+  /// Attaches the log. Must happen at setup, before concurrent use. From
+  /// then on WritePage forces the log durable through the page's
+  /// page_lsn before the bytes reach the file (WAL-before-data), frames
+  /// track the recovery LSN of their first dirtying, and the capture
+  /// mechanism below protects mid-operation pages.
+  void AttachWal(WalBackend* wal) { wal_ = wal; }
+  WalBackend* wal() const { return wal_; }
+
+  /// Opens a capture scope (one at a time; Document serializes them
+  /// under its exclusive latch). Until EndCapture, every page dirtied or
+  /// created is recorded AND becomes ineligible for eviction/flush: a
+  /// mid-operation page carries a stale page_lsn, so letting it reach
+  /// the file would write bytes whose covering log record does not exist
+  /// yet — a WAL-before-data violation redo could never repair.
+  void BeginCapture() XTC_EXCLUDES(mu_);
+  /// The pages captured so far (still protected until EndCapture, so the
+  /// caller can stamp LSNs and copy after-images from resident frames).
+  std::vector<PageId> CapturedPages() const XTC_EXCLUDES(mu_);
+  void EndCapture() XTC_EXCLUDES(mu_);
+
+  /// Dirty-page table for fuzzy checkpoints: (page id, recovery LSN of
+  /// its first dirtying since it was last clean).
+  std::vector<std::pair<PageId, uint64_t>> DirtyPageTable() const
+      XTC_EXCLUDES(mu_);
+
  private:
   friend class PageGuard;
 
@@ -150,6 +179,10 @@ class BufferManager {
     /// Fetch/Free calls blocked on this frame's load or write-back.
     int waiters = 0;
     bool dirty = false;
+    /// Log watermark when the frame last went clean -> dirty; a redo
+    /// scan starting there cannot miss an update to this page. 0 while
+    /// clean or when no WAL is attached.
+    uint64_t rec_lsn = 0;
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
     /// Signalled on every state transition out of kLoading/kEvicting.
@@ -192,7 +225,11 @@ class BufferManager {
 
   PageFile* file_;
   StorageOptions options_;
+  /// Set once at setup (AttachWal) before concurrent use.
+  WalBackend* wal_ = nullptr;
   mutable Mutex mu_;
+  bool capture_active_ XTC_GUARDED_BY(mu_) = false;
+  std::unordered_set<PageId> capture_ XTC_GUARDED_BY(mu_);
   std::vector<Frame> frames_ XTC_GUARDED_BY(mu_);
   std::unordered_map<PageId, size_t> table_ XTC_GUARDED_BY(mu_);
   // front = most recent; only unpinned residents

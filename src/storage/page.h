@@ -8,14 +8,30 @@
 #include <cstring>
 #include <vector>
 
+#include "util/status.h"
+
 namespace xtc {
 
 class FaultInjector;
+class CrashSwitch;
 
 using PageId = uint32_t;
 inline constexpr PageId kInvalidPageId = 0;
 
 inline constexpr uint32_t kDefaultPageSize = 4096;
+
+// --- WAL fields in the common page header ----------------------------------
+// Every page reserves bytes [16, 28) ahead of its payload (SlottedPage's
+// layout starts its cells after kHeaderSize = 28):
+//   [16, 24)  page_lsn  — LSN (log end offset) of the last WAL record that
+//                         included this page's after-image. 0 = the page has
+//                         never been covered by a logged operation.
+//   [24, 28)  checksum  — CRC-32 of the page with this field zeroed.
+//                         Stamped by PageFile::Write / Allocate, verified by
+//                         PageFile::Read (mismatch => kDataLoss).
+inline constexpr uint32_t kPageLsnOffset = 16;
+inline constexpr uint32_t kPageChecksumOffset = 24;
+inline constexpr uint32_t kPageWalReservedEnd = 28;
 
 /// A raw page buffer. Interpretation (slotted page layout) is provided by
 /// SlottedPage in slotted_page.h.
@@ -31,6 +47,31 @@ class Page {
   std::vector<uint8_t> data_;
 };
 
+inline uint64_t ReadPageLsn(const uint8_t* page_data) {
+  uint64_t lsn;
+  std::memcpy(&lsn, page_data + kPageLsnOffset, sizeof(lsn));
+  return lsn;
+}
+inline uint64_t ReadPageLsn(const Page& page) {
+  return ReadPageLsn(page.data());
+}
+inline void StampPageLsn(Page* page, uint64_t lsn) {
+  std::memcpy(page->data() + kPageLsnOffset, &lsn, sizeof(lsn));
+}
+
+/// The WAL as the buffer manager sees it (declared here so the storage
+/// layer need not depend on src/wal/). Implemented by xtc::Wal.
+class WalBackend {
+ public:
+  virtual ~WalBackend() = default;
+  /// Byte offset up to which the log is durable.
+  virtual uint64_t DurableLsn() const = 0;
+  /// Next append offset (every future record's LSN is >= this).
+  virtual uint64_t AppendedLsn() const = 0;
+  /// Forces the log durable through `lsn` (group-commit flush).
+  virtual Status EnsureDurable(uint64_t lsn) = 0;
+};
+
 /// Tuning knobs for the storage substrate. The simulated I/O latency lets
 /// benchmarks reproduce the cost asymmetry the paper attributes to
 /// node-manager accesses that reach the disk (CLUSTER2 / Fig. 11).
@@ -43,6 +84,10 @@ struct StorageOptions {
   /// When set, PageFile evaluates "io.read"/"io.write" and BufferManager
   /// evaluates "buffer.pin" fault points (chaos testing; null = off).
   FaultInjector* fault_injector = nullptr;
+  /// When set (crash-restart harness), PageFile evaluates the
+  /// "crash.page" fault point on write-back and freezes all I/O once the
+  /// switch has been triggered anywhere in the instance.
+  CrashSwitch* crash_switch = nullptr;
 };
 
 }  // namespace xtc

@@ -6,6 +6,15 @@
 // buffer cost something, and (b) that all protocols run on the identical
 // storage substrate. An in-memory page file with configurable per-access
 // latency preserves both (substitution documented in DESIGN.md §2).
+//
+// Durability support (DESIGN.md §6): every stored page carries a CRC-32
+// at kPageChecksumOffset, stamped on Write/Allocate and verified on Read
+// (mismatch => kDataLoss, never silently deserialized garbage). With a
+// CrashSwitch attached, Write evaluates the "crash.page" fault point —
+// firing tears the page (a prefix of the new bytes over the old ones)
+// and freezes the file: all subsequent I/O fails, and CloneImage() hands
+// the frozen bytes to restart recovery, which reopens a PageFile from
+// the image and repairs it from the WAL.
 
 #ifndef XTC_STORAGE_PAGE_FILE_H_
 #define XTC_STORAGE_PAGE_FILE_H_
@@ -13,6 +22,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "storage/page.h"
@@ -22,9 +32,19 @@
 
 namespace xtc {
 
+/// A point-in-time copy of the page file's stored bytes — what a real
+/// process would find on disk after a hard kill.
+struct PageFileImage {
+  uint32_t page_size = 0;
+  std::vector<std::string> pages;  // index = id - 1, each page_size bytes
+  std::vector<uint8_t> freed;      // index = id - 1, 1 while on free list
+};
+
 class PageFile {
  public:
   explicit PageFile(const StorageOptions& options);
+  /// Reopens a "disk" from a crash image (restart recovery path).
+  PageFile(const StorageOptions& options, const PageFileImage& image);
 
   PageFile(const PageFile&) = delete;
   PageFile& operator=(const PageFile&) = delete;
@@ -44,6 +64,18 @@ class PageFile {
   /// Returns a freed page to the free list for reuse.
   void Free(PageId id) XTC_EXCLUDES(mu_);
 
+  /// Grows the file so `id` exists (zeroed, checksum-stamped). Recovery
+  /// uses this before redoing a record whose page the crash lost.
+  void EnsureAllocated(PageId id) XTC_EXCLUDES(mu_);
+
+  /// Rebuilds the free list: every allocated id with live[id - 1] false
+  /// (or beyond live.size()) becomes free. Recovery calls this after
+  /// redo, with `live` computed from a walk of the recovered trees.
+  void ResetFreeList(const std::vector<bool>& live) XTC_EXCLUDES(mu_);
+
+  /// Snapshot of the stored bytes (the crash harness's "disk contents").
+  PageFileImage CloneImage() const XTC_EXCLUDES(mu_);
+
   uint32_t page_size() const { return options_.page_size; }
   uint64_t num_reads() const { return reads_.load(std::memory_order_relaxed); }
   uint64_t num_writes() const {
@@ -55,6 +87,9 @@ class PageFile {
   // Sleeps/spins for the configured device latency; never under mu_ (that
   // would serialize the simulated disk).
   void SimulateLatency() XTC_EXCLUDES(mu_);
+
+  // Stamps the checksum field of a stored page in place.
+  static void StampChecksum(Page* stored, uint32_t page_size);
 
   StorageOptions options_;
   mutable Mutex mu_;

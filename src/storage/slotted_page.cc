@@ -15,7 +15,12 @@ constexpr uint32_t kOffCellEnd = 4;
 constexpr uint32_t kOffPrefixLen = 6;
 constexpr uint32_t kOffAux1 = 8;
 constexpr uint32_t kOffAux2 = 12;
-constexpr uint32_t kHeaderSize = 16;
+// Bytes [16, 28) belong to the common WAL header fields (page_lsn at
+// kPageLsnOffset, checksum at kPageChecksumOffset — see storage/page.h);
+// slotted-page content starts after them.
+constexpr uint32_t kHeaderSize = kPageWalReservedEnd;
+static_assert(kHeaderSize > kPageChecksumOffset,
+              "slotted cells must not overlap the WAL header fields");
 
 uint16_t LoadU16(const uint8_t* p) {
   uint16_t v;
@@ -50,7 +55,12 @@ bool StartsWith(std::string_view s, std::string_view prefix) {
 }  // namespace
 
 void SlottedPage::Init(PageType type, bool prefix_compression) {
+  // Preserve the WAL page_lsn across re-initialization (page reuse after
+  // a split/merge): the LSN tracks the page's *physical* history, which
+  // the re-init is part of, and the covering record re-stamps it anyway.
+  const uint64_t lsn = ReadPageLsn(data());
   std::memset(data(), 0, page_size());
+  std::memcpy(data() + kPageLsnOffset, &lsn, sizeof(lsn));
   data()[kOffType] = static_cast<uint8_t>(type);
   data()[kOffFlags] = prefix_compression ? 1 : 0;
   set_num_slots(0);

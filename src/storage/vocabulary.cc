@@ -9,6 +9,11 @@ NameSurrogate Vocabulary::Intern(std::string_view name) {
   by_id_.emplace_back(name);
   NameSurrogate id = static_cast<NameSurrogate>(by_id_.size());
   by_name_.emplace(std::string(name), id);
+  // Under mu_ by design: the WAL record for the assignment must be
+  // appended before any later Intern can observe (and log uses of) a
+  // higher surrogate, keeping log order consistent with assignment
+  // order.
+  if (on_new_name_) on_new_name_(id, by_id_.back());
   return id;
 }
 
@@ -27,6 +32,45 @@ std::string Vocabulary::Name(NameSurrogate surrogate) const {
 size_t Vocabulary::size() const {
   MutexLock guard(mu_);
   return by_id_.size();
+}
+
+void Vocabulary::SetNewNameCallback(
+    std::function<void(NameSurrogate, const std::string&)> callback) {
+  MutexLock guard(mu_);
+  on_new_name_ = std::move(callback);
+}
+
+std::vector<std::pair<NameSurrogate, std::string>> Vocabulary::Snapshot()
+    const {
+  MutexLock guard(mu_);
+  std::vector<std::pair<NameSurrogate, std::string>> entries;
+  entries.reserve(by_id_.size());
+  for (size_t i = 0; i < by_id_.size(); ++i) {
+    entries.emplace_back(static_cast<NameSurrogate>(i + 1), by_id_[i]);
+  }
+  return entries;
+}
+
+Status Vocabulary::RestoreEntry(NameSurrogate surrogate,
+                                std::string_view name) {
+  MutexLock guard(mu_);
+  if (surrogate == kInvalidSurrogate) {
+    return Status::InvalidArgument("vocabulary: surrogate 0 is reserved");
+  }
+  if (surrogate <= by_id_.size()) {
+    if (by_id_[surrogate - 1] != name) {
+      return Status::DataLoss("vocabulary: conflicting recovered assignment "
+                              "for surrogate " + std::to_string(surrogate));
+    }
+    return Status::OK();
+  }
+  if (surrogate != by_id_.size() + 1) {
+    return Status::DataLoss("vocabulary: recovered surrogates not dense at " +
+                            std::to_string(surrogate));
+  }
+  by_id_.emplace_back(name);
+  by_name_.emplace(std::string(name), surrogate);
+  return Status::OK();
 }
 
 }  // namespace xtc

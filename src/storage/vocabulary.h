@@ -6,13 +6,16 @@
 #define XTC_STORAGE_VOCABULARY_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/mutex.h"
+#include "util/status.h"
 #include "util/thread_annotations.h"
 
 namespace xtc {
@@ -37,11 +40,31 @@ class Vocabulary {
 
   size_t size() const XTC_EXCLUDES(mu_);
 
+  /// Called under mu_ whenever Intern hands out a NEW surrogate. The
+  /// WAL hooks in here (Document::AttachWal) so every assignment is
+  /// logged before any operation can reference it. Set at setup only.
+  void SetNewNameCallback(
+      std::function<void(NameSurrogate, const std::string&)> callback)
+      XTC_EXCLUDES(mu_);
+
+  /// All (surrogate, name) pairs in surrogate order (checkpointing).
+  std::vector<std::pair<NameSurrogate, std::string>> Snapshot() const
+      XTC_EXCLUDES(mu_);
+
+  /// Re-establishes a logged assignment during recovery. Surrogates are
+  /// dense and 1-based; entries may arrive more than once (checkpoint
+  /// snapshot + kVocab records overlap) but must never contradict an
+  /// existing assignment.
+  Status RestoreEntry(NameSurrogate surrogate, std::string_view name)
+      XTC_EXCLUDES(mu_);
+
  private:
   mutable Mutex mu_;
   std::unordered_map<std::string, NameSurrogate> by_name_ XTC_GUARDED_BY(mu_);
   // index = surrogate - 1
   std::vector<std::string> by_id_ XTC_GUARDED_BY(mu_);
+  std::function<void(NameSurrogate, const std::string&)> on_new_name_
+      XTC_GUARDED_BY(mu_);
 };
 
 }  // namespace xtc

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -11,6 +13,7 @@
 #include "protocols/protocol_registry.h"
 #include "tamix/invariants.h"
 #include "tx/transaction_manager.h"
+#include "util/crash_switch.h"
 
 namespace xtc {
 
@@ -26,15 +29,34 @@ FaultPlan FaultPlan::AllPoints(double probability) {
 
 namespace {
 
-/// Everything one run needs, wired together.
+bool ResolveWalEnabled(WalMode mode) {
+  switch (mode) {
+    case WalMode::kEnabled:
+      return true;
+    case WalMode::kDisabled:
+      return false;
+    case WalMode::kAuto:
+      break;
+  }
+  const char* env = std::getenv("XTC_WAL");
+  return env != nullptr && std::string_view(env) != "0";
+}
+
+/// Everything one run needs, wired together. The wal (and crash switch)
+/// must outlive the document: eviction write-backs consult the wal's
+/// durable watermark until the last page is flushed.
 struct Testbed {
   std::unique_ptr<FaultInjector> faults;  // null unless chaos mode
+  std::unique_ptr<CrashSwitch> crash;     // null unless crash_enabled
+  std::unique_ptr<Wal> wal;               // null unless WAL enabled
   std::unique_ptr<Document> doc;
   BibInfo info;
   std::unique_ptr<XmlProtocol> protocol;
   std::unique_ptr<LockManager> lock_manager;
   std::unique_ptr<TransactionManager> tx_manager;
   std::unique_ptr<NodeManager> node_manager;
+
+  bool crashed() const { return crash != nullptr && crash->crashed(); }
 };
 
 StatusOr<std::unique_ptr<Testbed>> BuildTestbed(const RunConfig& config) {
@@ -46,10 +68,26 @@ StatusOr<std::unique_ptr<Testbed>> BuildTestbed(const RunConfig& config) {
     bed->faults = std::make_unique<FaultInjector>(seed);
     storage.fault_injector = bed->faults.get();
   }
+  if (config.crash_enabled) {
+    bed->crash = std::make_unique<CrashSwitch>(config.seed);
+    storage.crash_switch = bed->crash.get();
+  }
   bed->doc = std::make_unique<Document>(storage);
   auto info = GenerateBib(bed->doc.get(), config.bib);
   if (!info.ok()) return info.status();
   bed->info = std::move(*info);
+  if (ResolveWalEnabled(config.wal)) {
+    // The bib document is generated without a WAL; attach one, flush the
+    // generated pages and take the base checkpoint before any fault is
+    // armed, so recovery always has a durable starting point.
+    WalOptions wal_options;
+    wal_options.fault_injector = bed->faults.get();
+    wal_options.crash_switch = bed->crash.get();
+    bed->wal = std::make_unique<Wal>(wal_options);
+    bed->doc->AttachWal(bed->wal.get());
+    XTC_RETURN_IF_ERROR(bed->doc->buffer().FlushAll());
+    XTC_RETURN_IF_ERROR(bed->doc->LogCheckpoint());
+  }
   LockTableOptions lock_options;
   lock_options.wait_timeout = config.Scaled(config.lock_wait_timeout);
   lock_options.fault_injector = bed->faults.get();
@@ -61,7 +99,7 @@ StatusOr<std::unique_ptr<Testbed>> BuildTestbed(const RunConfig& config) {
   }
   bed->lock_manager = std::make_unique<LockManager>(bed->protocol.get());
   bed->tx_manager = std::make_unique<TransactionManager>(
-      bed->lock_manager.get(), bed->faults.get());
+      bed->lock_manager.get(), bed->faults.get(), bed->wal.get());
   bed->node_manager = std::make_unique<NodeManager>(
       bed->doc.get(), bed->lock_manager.get(), bed->faults.get());
   // Arm the fault points only now: document generation and the rest of
@@ -85,6 +123,17 @@ struct CommitLog {
   }
 };
 
+/// Commit-record payload: everything the replay check needs to re-run
+/// the transaction — {u32 TxType, u64 body_seed}, little-endian. What
+/// the commit log records in memory, the WAL makes durable.
+std::string EncodeCommitPayload(TxType type, uint64_t body_seed) {
+  std::string payload(12, '\0');
+  const uint32_t t = static_cast<uint32_t>(type);
+  std::memcpy(payload.data(), &t, sizeof(t));
+  std::memcpy(payload.data() + 4, &body_seed, sizeof(body_seed));
+  return payload;
+}
+
 void WorkerLoop(const RunConfig& config, Testbed* bed, TaMixRunner* runner,
                 MetricsCollector* metrics, TxType type, uint64_t worker_index,
                 const std::atomic<bool>* stop, CommitLog* commit_log) {
@@ -107,7 +156,9 @@ void WorkerLoop(const RunConfig& config, Testbed* bed, TaMixRunner* runner,
       Rng body_rng(body_seed);
       Status st = runner->RunBody(type, *tx, body_rng);
       if (st.ok()) {
-        Status commit = bed->tx_manager->Commit(*tx);
+        Status commit = bed->tx_manager->Commit(
+            *tx, bed->wal != nullptr ? EncodeCommitPayload(type, body_seed)
+                                     : std::string());
         if (commit.ok()) {
           // The commit log must see every commit — including those after
           // the stop flag, which the throughput metrics ignore.
@@ -117,6 +168,12 @@ void WorkerLoop(const RunConfig& config, Testbed* bed, TaMixRunner* runner,
           if (!stop->load(std::memory_order_relaxed)) {
             metrics->RecordCommit(type, ToMicros(Now() - start));
           }
+        } else {
+          // The commit-record force failed: the instance just suffered a
+          // (simulated) hard kill. The transaction counts as aborted —
+          // restart recovery will undo it — and there is no point
+          // retrying against a frozen store.
+          metrics->RecordAbort(type, commit);
         }
         break;
       }
@@ -170,17 +227,47 @@ StatusOr<RunStats> RunCluster1(const RunConfig& config, ChaosReport* report) {
     spawn(TxType::kDelBook, config.mix.del_book);
   }
 
+  // Background fuzzy checkpointer: every N commits, write back what is
+  // flushable (unpinned, uncaptured dirty frames — the background-writer
+  // role, keeping redo short) and snapshot the dirty-page and
+  // active-transaction tables into the log. Failures are tolerated —
+  // injected I/O faults hit this thread like any other — but a crashed
+  // instance ends it.
+  std::thread checkpointer;
+  if (bed->wal != nullptr && config.checkpoint_every_commits > 0) {
+    checkpointer = std::thread([&config, &bed, &stop] {
+      uint64_t last = 0;
+      while (!stop.load(std::memory_order_relaxed) && !bed->crashed()) {
+        const uint64_t committed = bed->tx_manager->num_committed();
+        if (committed - last >= config.checkpoint_every_commits) {
+          (void)bed->doc->buffer().FlushAll();
+          if (bed->doc->LogCheckpoint().ok()) last = committed;
+          if (bed->crashed()) break;
+        }
+        SleepFor(Millis(2));
+      }
+    });
+  }
+
+  // Timed run — cut short the moment a crash.* point kills the instance
+  // (every further operation would only fail against the frozen store).
   const TimePoint start = Now();
-  SleepFor(config.Scaled(config.run_duration));
+  const TimePoint deadline = start + config.Scaled(config.run_duration);
+  while (Now() < deadline && !bed->crashed()) {
+    SleepFor(std::min<Duration>(Millis(5), deadline - Now()));
+  }
   stop.store(true, std::memory_order_relaxed);
   for (auto& w : workers) w.join();
+  if (checkpointer.joinable()) checkpointer.join();
   const int64_t elapsed_ms = ToMillis(Now() - start);
+  const bool crashed = bed->crashed();
 
   RunStats stats = metrics.Snapshot();
   stats.lock_stats = bed->protocol->table().GetStats();
   stats.buffer_hits = bed->doc->buffer().hits();
   stats.buffer_misses = bed->doc->buffer().misses();
   stats.buffer_io = bed->doc->buffer().io_stats();
+  if (bed->wal != nullptr) stats.wal = bed->wal->stats();
   stats.run_duration_ms = elapsed_ms;
 
   if (bed->faults != nullptr) {
@@ -189,6 +276,31 @@ StatusOr<RunStats> RunCluster1(const RunConfig& config, ChaosReport* report) {
     for (const auto& [point, point_config] : config.faults.points) {
       bed->faults->Disarm(point);
     }
+  }
+  if (report != nullptr) {
+    report->wal_enabled = bed->wal != nullptr;
+    report->crashed = crashed;
+    if (bed->wal != nullptr) report->wal_stats = bed->wal->stats();
+  }
+  if (crashed) {
+    // The in-memory state is frozen mid-kill and deliberately broken, so
+    // none of the quiescence/fingerprint/replay checks apply. Hand the
+    // durable artifacts (what a real process would find on disk) to the
+    // caller for restart recovery.
+    if (report != nullptr) {
+      std::sort(commit_log.entries.begin(), commit_log.entries.end(),
+                [](const CommittedTx& a, const CommittedTx& b) {
+                  return a.seq < b.seq;
+                });
+      report->committed = commit_log.entries;
+      if (bed->faults != nullptr) {
+        report->injected_faults = bed->faults->total_injections();
+        report->injection_log = bed->faults->InjectionLog();
+      }
+      report->disk_image = bed->doc->page_file().CloneImage();
+      if (bed->wal != nullptr) report->log_image = bed->wal->DurableImage();
+    }
+    return stats;
   }
   if (log_ptr != nullptr) {
     std::sort(commit_log.entries.begin(), commit_log.entries.end(),

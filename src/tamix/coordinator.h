@@ -14,10 +14,12 @@
 
 #include "lock/lock_manager.h"
 #include "storage/page.h"
+#include "storage/page_file.h"
 #include "tamix/bib_generator.h"
 #include "tamix/metrics.h"
 #include "util/clock.h"
 #include "util/fault_injector.h"
+#include "wal/wal.h"
 
 namespace xtc {
 
@@ -51,6 +53,11 @@ struct FaultPlan {
   static FaultPlan AllPoints(double probability);
 };
 
+/// Durability switch. kAuto follows the XTC_WAL environment variable
+/// (set and not "0" = enabled), so existing test binaries can run a
+/// WAL-enabled variant without a rebuild.
+enum class WalMode { kAuto, kEnabled, kDisabled };
+
 /// One benchmark run. All timing parameters are the paper's, scaled by
 /// `time_scale` (default 1/50: a 5-minute run becomes 6 seconds).
 struct RunConfig {
@@ -77,6 +84,18 @@ struct RunConfig {
 
   /// Chaos mode (empty = off): armed fault points for this run.
   FaultPlan faults;
+  /// Write-ahead logging (DESIGN.md §6). With a WAL attached, every
+  /// commit forces a durable commit record and a background fuzzy
+  /// checkpointer runs alongside the workload.
+  WalMode wal = WalMode::kAuto;
+  /// Commits between fuzzy checkpoints (0 = only the setup checkpoint).
+  uint64_t checkpoint_every_commits = 64;
+  /// Simulated hard kill: gives the instance a CrashSwitch (seeded from
+  /// `seed`) so armed crash.* fault points can freeze it mid-run. The
+  /// run then ends early, post-run invariants are skipped (the "disk"
+  /// is deliberately inconsistent) and the report carries the durable
+  /// images restart recovery starts from.
+  bool crash_enabled = false;
   /// How often a worker re-runs one work item after a retryable abort
   /// (deadlock, timeout, injected I/O error) before giving up on it and
   /// drawing fresh work. Each retry backs off exponentially from
@@ -109,6 +128,15 @@ struct ChaosReport {
   /// determinism witness: same seed + same plan ⇒ identical log).
   uint64_t injected_faults = 0;
   std::vector<FaultInjection> injection_log;
+  /// Durability outcome. When a crash.* point killed the run, `crashed`
+  /// is true, the quiescence/fingerprint/replay checks are skipped, and
+  /// `disk_image`/`log_image` are the durable artifacts — what a real
+  /// process would find on disk — for OpenDatabase to recover from.
+  bool wal_enabled = false;
+  bool crashed = false;
+  WalStats wal_stats;
+  PageFileImage disk_image;
+  std::string log_image;
 };
 
 /// Runs CLUSTER1: the timed multi-client workload. When `config.faults`

@@ -12,6 +12,7 @@
 #include "lock/lock_table.h"
 #include "storage/buffer_manager.h"
 #include "tamix/transactions.h"
+#include "wal/wal.h"
 #include "util/clock.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -48,6 +49,10 @@ struct RunStats {
   uint64_t buffer_hits = 0;
   uint64_t buffer_misses = 0;
   BufferPoolStats buffer_io;
+  /// WAL behaviour over the run (all-zero when the run had no WAL):
+  /// appends, forced syncs, checkpoints, and — after a restart — the
+  /// recovery counters (records redone, losers undone).
+  WalStats wal;
   int64_t run_duration_ms = 0;
 
   uint64_t total_committed() const {
@@ -61,6 +66,11 @@ struct RunStats {
     return n;
   }
   uint64_t total_deadlocks() const { return lock_stats.deadlocks; }
+  /// Deadlocks closed by a lock-conversion wait — the paper's dominant
+  /// flavour; the gap to total_deadlocks() is fresh-request cycles.
+  uint64_t conversion_deadlocks() const {
+    return lock_stats.conversion_deadlocks;
+  }
   /// Tx-private lock cache behaviour over the run (zero when disabled).
   /// A hit is a lock-table round trip skipped entirely — the headline
   /// number of the cache ablation in EXPERIMENTS.md.

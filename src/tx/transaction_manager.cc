@@ -6,7 +6,8 @@
 
 namespace xtc {
 
-Status TransactionManager::Commit(Transaction& tx) {
+Status TransactionManager::Commit(Transaction& tx,
+                                  std::string_view wal_payload) {
   if (tx.state() != TxState::kActive) {
     return Status::InvalidArgument("commit of a finished transaction");
   }
@@ -14,6 +15,31 @@ Status TransactionManager::Commit(Transaction& tx) {
   // are gone another transaction can commit conflicting work, and the
   // sequence would no longer be a serialization order.
   tx.set_commit_seq(committed_.fetch_add(1, std::memory_order_relaxed) + 1);
+  if (wal_ != nullptr) {
+    Status forced = wal_->AppendCommit(tx.id(), tx.commit_seq(), wal_payload);
+    if (!forced.ok()) {
+      // Only a simulated hard kill reaches here: the commit record is
+      // guaranteed absent from the durable log, so restart recovery will
+      // treat the transaction as a loser and undo it there. Rolling back
+      // in-process is impossible (all further I/O fails) and pointless;
+      // just end the transaction and free its locks. The commit sequence
+      // number stays consumed — sequence numbers are unique, not dense.
+      tx.undo_log().clear();
+      tx.set_state(TxState::kAborted);
+      lock_manager_->ReleaseAll(tx.LockView());
+      XTC_CHECK(
+          lock_manager_->protocol().table().CachedLocksFor(tx.id()) == 0,
+          "tx lock cache survived ReleaseAll at failed commit");
+      aborted_.fetch_add(1, std::memory_order_relaxed);
+      {
+        MutexLock guard(mu_);
+        active_.erase(tx.id());
+      }
+      return forced.Annotate("commit record force failed; tx " +
+                             std::to_string(tx.id()) + " will be undone by "
+                             "restart recovery");
+    }
+  }
   tx.set_state(TxState::kCommitted);
   lock_manager_->ReleaseAll(tx.LockView());
   // ReleaseAll must leave nothing behind in the tx-private lock cache: a
@@ -36,24 +62,31 @@ Status TransactionManager::Abort(Transaction& tx) {
   auto& undo = tx.undo_log();
   const size_t total = undo.size();
   size_t position = total;  // actions run in reverse: last added runs first
-  for (auto it = undo.rbegin(); it != undo.rend(); ++it, --position) {
-    Status st = (*it)();
-    if (st.ok() && faults_ != nullptr) {
-      // The compensation has already been applied; the injection only
-      // makes it *report* failure, so the document stays consistent and
-      // the error-aggregation path gets exercised.
-      st = faults_->MaybeFail(fault_points::kTxUndo);
-    }
-    if (!st.ok()) {
-      undo_failures_.fetch_add(1, std::memory_order_relaxed);
-      if (result.ok()) {
-        result = st.Annotate("tx " + std::to_string(tx.id()) +
-                             ": undo action " + std::to_string(position) +
-                             " of " + std::to_string(total) + " failed");
+  {
+    // Compensations are logged as ordinary updates under the aborting
+    // transaction's id — no separate CLR record type; restart recovery
+    // undoes losers through the very same document operations.
+    ScopedWalTx wal_tx(tx.id());
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it, --position) {
+      Status st = (*it)();
+      if (st.ok() && faults_ != nullptr) {
+        // The compensation has already been applied; the injection only
+        // makes it *report* failure, so the document stays consistent and
+        // the error-aggregation path gets exercised.
+        st = faults_->MaybeFail(fault_points::kTxUndo);
+      }
+      if (!st.ok()) {
+        undo_failures_.fetch_add(1, std::memory_order_relaxed);
+        if (result.ok()) {
+          result = st.Annotate("tx " + std::to_string(tx.id()) +
+                               ": undo action " + std::to_string(position) +
+                               " of " + std::to_string(total) + " failed");
+        }
       }
     }
   }
   undo.clear();
+  if (wal_ != nullptr) wal_->AppendEnd(tx.id());
   tx.set_state(TxState::kAborted);
   lock_manager_->ReleaseAll(tx.LockView());
   // Same invariant as at commit — and aborts are exactly where stale

@@ -1,11 +1,14 @@
 // Transaction manager: begin/commit/abort with lock release and logical
-// undo (compensation actions).
+// undo (compensation actions). With a WAL attached (DESIGN.md §6) commit
+// appends + forces the commit record and abort logs its compensations
+// under the transaction's id, closed by an end record.
 
 #ifndef XTC_TX_TRANSACTION_MANAGER_H_
 #define XTC_TX_TRANSACTION_MANAGER_H_
 
 #include <atomic>
 #include <memory>
+#include <string_view>
 #include <unordered_set>
 
 #include "lock/lock_manager.h"
@@ -14,6 +17,7 @@
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
+#include "wal/wal.h"
 
 namespace xtc {
 
@@ -21,10 +25,12 @@ class TransactionManager {
  public:
   /// `faults` (optional) evaluates "tx.undo" after each undo action during
   /// Abort; an injection is *reported* as that action's failure (the action
-  /// itself has already run, keeping the document consistent).
+  /// itself has already run, keeping the document consistent). `wal`
+  /// (optional) makes commits durable.
   explicit TransactionManager(LockManager* lock_manager,
-                              FaultInjector* faults = nullptr)
-      : lock_manager_(lock_manager), faults_(faults) {}
+                              FaultInjector* faults = nullptr,
+                              Wal* wal = nullptr)
+      : lock_manager_(lock_manager), faults_(faults), wal_(wal) {}
 
   std::unique_ptr<Transaction> Begin(IsolationLevel isolation,
                                      int lock_depth) XTC_EXCLUDES(mu_) {
@@ -38,10 +44,18 @@ class TransactionManager {
 
   /// Commits: assigns the commit sequence number (while all locks are
   /// still held, so commit order = serialization order for strict
-  /// protocols), then releases all locks. (The store is in-memory; there
-  /// is no redo logging — durability is out of scope for the lock
-  /// contest.)
-  Status Commit(Transaction& tx) XTC_EXCLUDES(mu_);
+  /// protocols), appends and forces the commit record when a WAL is
+  /// attached (`wal_payload` rides the record — the harness stores what
+  /// it needs to replay the transaction for ground-truth checks), then
+  /// releases all locks.
+  ///
+  /// A commit-record force can only fail because the instance suffered a
+  /// (simulated) hard kill. No rollback is attempted then — every
+  /// subsequent I/O fails anyway and restart recovery will undo the
+  /// transaction from the log; the in-memory transaction just ends
+  /// kAborted with its locks released.
+  Status Commit(Transaction& tx, std::string_view wal_payload = {})
+      XTC_EXCLUDES(mu_);
 
   /// Aborts: runs the undo log in reverse (while still holding all
   /// locks), then releases the locks. A failing undo action does not stop
@@ -74,6 +88,7 @@ class TransactionManager {
  private:
   LockManager* lock_manager_;
   FaultInjector* faults_;
+  Wal* wal_;
   mutable Mutex mu_;
   std::unordered_set<uint64_t> active_ XTC_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_id_{1};

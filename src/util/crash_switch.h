@@ -1,0 +1,61 @@
+// Simulated hard kill for crash-restart testing.
+//
+// A CrashSwitch is shared by every I/O-performing component of one
+// database instance (PageFile, Wal). When a crash.* fault point fires,
+// the firing component performs its configured "torn" side effect (a
+// partial page write, a truncated log flush) and flips the switch; from
+// then on every read and write on the instance fails with kIoError, so
+// the in-memory state is frozen exactly as the kill left it. The
+// crash-restart harness then clones the *durable* images (PageFile
+// bytes + WAL durable prefix) — the moral equivalent of what a real
+// process would find on disk after the kill — and runs restart
+// recovery against them.
+//
+// The seed feeds the deterministic choice of tear offsets so a given
+// fuzz seed always tears the same byte boundary.
+
+#ifndef XTC_UTIL_CRASH_SWITCH_H_
+#define XTC_UTIL_CRASH_SWITCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace xtc {
+
+class CrashSwitch {
+ public:
+  explicit CrashSwitch(uint64_t seed = 0) : seed_(seed) {}
+
+  CrashSwitch(const CrashSwitch&) = delete;
+  CrashSwitch& operator=(const CrashSwitch&) = delete;
+
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  /// Flips the switch. Returns true for the one caller that performed
+  /// the flip (that caller owns the torn side effect).
+  bool Trigger() {
+    bool expected = false;
+    return crashed_.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel);
+  }
+
+  uint64_t seed() const { return seed_; }
+
+  /// Deterministic tear point in [0, limit) derived from the crash seed
+  /// and a per-site salt (page id, flush offset, ...).
+  uint64_t TearPoint(uint64_t salt, uint64_t limit) const {
+    if (limit == 0) return 0;
+    uint64_t x = seed_ ^ (salt * 0x9e3779b97f4a7c15ULL);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return (x ^ (x >> 31)) % limit;
+  }
+
+ private:
+  const uint64_t seed_;
+  std::atomic<bool> crashed_{false};
+};
+
+}  // namespace xtc
+
+#endif  // XTC_UTIL_CRASH_SWITCH_H_

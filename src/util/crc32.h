@@ -1,0 +1,60 @@
+// CRC-32 (ISO-HDLC polynomial, the zlib/PNG variant) for page checksums
+// and WAL record framing. Header-only; the table is built once at static
+// initialization. Speed is irrelevant here (the "disk" is memory); what
+// matters is that torn or bit-rotted bytes are detected, not silently
+// deserialized.
+
+#ifndef XTC_UTIL_CRC32_H_
+#define XTC_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace xtc {
+
+namespace crc32_internal {
+
+inline const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace crc32_internal
+
+/// Extends a running CRC (start from Crc32Init()) with `n` bytes.
+inline uint32_t Crc32Update(uint32_t crc, const void* data, size_t n) {
+  const auto& table = crc32_internal::Table();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+inline uint32_t Crc32Init() { return 0xffffffffu; }
+inline uint32_t Crc32Finish(uint32_t crc) { return crc ^ 0xffffffffu; }
+
+/// One-shot CRC of a byte range.
+inline uint32_t Crc32(const void* data, size_t n) {
+  return Crc32Finish(Crc32Update(Crc32Init(), data, n));
+}
+
+inline uint32_t Crc32(std::string_view bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace xtc
+
+#endif  // XTC_UTIL_CRC32_H_

@@ -7,7 +7,9 @@ std::vector<std::string_view> AllFaultPoints() {
   return {fault_points::kLockTimeout, fault_points::kLockDeadlock,
           fault_points::kIoRead,      fault_points::kIoWrite,
           fault_points::kBufferPin,   fault_points::kNodeIud,
-          fault_points::kTxUndo};
+          fault_points::kTxUndo,      fault_points::kWalFlush,
+          fault_points::kCrashWal,    fault_points::kCrashPage,
+          fault_points::kCrashCommit};
 }
 
 namespace {
@@ -105,6 +107,8 @@ Status FaultInjector::MaybeFail(std::string_view point) {
       return Status::ResourceExhausted(message);
     case StatusCode::kIoError:
       return Status::IoError(message);
+    case StatusCode::kDataLoss:
+      return Status::DataLoss(message);
     case StatusCode::kInternal:
     case StatusCode::kOk:  // a "fault" must be an error; degrade to internal
       return Status::Internal(message);

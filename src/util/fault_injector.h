@@ -44,6 +44,19 @@ inline constexpr std::string_view kIoWrite = "io.write";
 inline constexpr std::string_view kBufferPin = "buffer.pin";
 inline constexpr std::string_view kNodeIud = "node.iud";
 inline constexpr std::string_view kTxUndo = "tx.undo";
+// A WAL group-commit flush fails cleanly (log not advanced, no crash).
+inline constexpr std::string_view kWalFlush = "wal.flush";
+// Hard-kill points. These flip the run's CrashSwitch, freezing all
+// further storage/log I/O, and are only evaluated when a CrashSwitch is
+// attached (crash-restart harness runs) — arming them in an ordinary
+// chaos run is a no-op.
+//   crash.wal    — kill mid log flush; the final log record is torn.
+//   crash.page   — kill mid data-page write-back; the page is torn
+//                  (detected later via its checksum => kDataLoss).
+//   crash.commit — kill just before the commit record is appended.
+inline constexpr std::string_view kCrashWal = "crash.wal";
+inline constexpr std::string_view kCrashPage = "crash.page";
+inline constexpr std::string_view kCrashCommit = "crash.commit";
 }  // namespace fault_points
 
 /// Every fault point the stack defines (for "arm everything" configs).

@@ -39,6 +39,10 @@ enum class StatusCode : int {
   // A (possibly injected) storage I/O error. Transient by the storage
   // contract, so transactions abort and retry (IsRetryable).
   kIoError = 9,
+  // Stored bytes failed verification (torn page, checksum mismatch).
+  // NOT retryable: re-reading returns the same corrupt bytes; only
+  // restart recovery (redo from the WAL) can repair the page.
+  kDataLoss = 10,
 };
 
 /// Lightweight result type: a code plus an optional message.
@@ -74,6 +78,9 @@ class Status {
   static Status IoError(std::string_view m = "storage I/O error") {
     return Status(StatusCode::kIoError, m);
   }
+  static Status DataLoss(std::string_view m = "stored data corrupt") {
+    return Status(StatusCode::kDataLoss, m);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -91,6 +98,7 @@ class Status {
   bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   /// Same code, message prefixed with `context` (no-op on OK).
   Status Annotate(std::string_view context) const {

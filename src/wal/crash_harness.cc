@@ -1,0 +1,178 @@
+#include "wal/crash_harness.h"
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tamix/invariants.h"
+#include "util/crash_switch.h"
+#include "util/fault_injector.h"
+
+namespace xtc {
+
+RunConfig DefaultCrashRunConfig(uint64_t seed) {
+  RunConfig c;
+  c.isolation = IsolationLevel::kSerializable;
+  c.seed = seed == 0 ? 1 : seed;
+  c.bib = BibConfig::Tiny();
+  c.mix.clients = 2;
+  c.mix.query_book = 1;
+  c.mix.chapter = 1;
+  c.mix.rename_topic = 1;
+  c.mix.lend_and_return = 2;
+  c.mix.del_book = 1;
+  // Scaled (1/50) effective values: 500 ms run, 5 ms commit think time.
+  c.run_duration = std::chrono::seconds(25);
+  c.wait_after_commit = Millis(250);
+  c.wait_after_operation = Millis(50);
+  c.max_initial_wait = Millis(500);
+  // Smaller than the tiny bib's working set: steady eviction write-backs
+  // keep crash.page live and exercise WAL-before-data on every one.
+  c.storage.buffer_pool_pages = 24;
+  c.wal = WalMode::kEnabled;
+  c.crash_enabled = true;
+  c.checkpoint_every_commits = 8;
+  c.max_retries = 2;
+  constexpr std::string_view kKillPoints[] = {fault_points::kCrashWal,
+                                              fault_points::kCrashPage,
+                                              fault_points::kCrashCommit};
+  FaultPointConfig kill;
+  kill.probability = 1.0;
+  kill.one_shot = true;
+  kill.skip_first = 3 + (seed / 3) % 40;
+  c.faults.points.emplace_back(std::string(kKillPoints[seed % 3]), kill);
+  return c;
+}
+
+namespace {
+
+/// Decodes the durable commit payloads ({u32 TxType, u64 body_seed})
+/// back into replayable transactions.
+StatusOr<std::vector<CommittedTx>> DecodeCommits(
+    const std::vector<RecoveredCommit>& recovered) {
+  std::vector<CommittedTx> out;
+  out.reserve(recovered.size());
+  for (const RecoveredCommit& c : recovered) {
+    if (c.payload.size() != 12) {
+      return Status::DataLoss("commit record of tx " + std::to_string(c.tx) +
+                              " carries a malformed payload (" +
+                              std::to_string(c.payload.size()) + " bytes)");
+    }
+    uint32_t type = 0;
+    uint64_t body_seed = 0;
+    std::memcpy(&type, c.payload.data(), sizeof(type));
+    std::memcpy(&body_seed, c.payload.data() + 4, sizeof(body_seed));
+    if (type >= kNumTxTypes) {
+      return Status::DataLoss("commit record of tx " + std::to_string(c.tx) +
+                              " names unknown transaction type " +
+                              std::to_string(type));
+    }
+    out.push_back(CommittedTx{c.seq, static_cast<TxType>(type), body_seed});
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<CrashFuzzOutcome> RunCrashRestart(const CrashFuzzConfig& config) {
+  const std::string tag = "crash seed " + std::to_string(config.seed) + ": ";
+  ChaosReport report;
+  auto stats = RunCluster1(config.run, &report);
+  if (!stats.ok()) {
+    return stats.status().Annotate(tag + "chaos run failed");
+  }
+
+  CrashFuzzOutcome out;
+  out.crashed = report.crashed;
+  out.committed_before_crash = report.committed.size();
+  if (!report.crashed) {
+    out.committed_recovered = report.committed.size();
+    return out;
+  }
+
+  // --- Restart recovery from the durable images -----------------------
+  StorageOptions storage = config.run.storage;
+  storage.fault_injector = nullptr;
+  storage.crash_switch = nullptr;
+  WalOptions wal_options;
+  std::unique_ptr<FaultInjector> rec_faults;
+  std::unique_ptr<CrashSwitch> rec_crash;
+  if (config.crash_during_recovery) {
+    rec_faults =
+        std::make_unique<FaultInjector>(config.seed * 0x9e3779b9ULL + 1);
+    rec_crash = std::make_unique<CrashSwitch>(config.seed + 0x5bd1e995ULL);
+    FaultPointConfig kill;
+    kill.probability = 1.0;
+    kill.one_shot = true;
+    kill.skip_first = config.seed % 7;
+    rec_faults->Arm(fault_points::kCrashWal, kill);
+    rec_faults->Arm(fault_points::kCrashPage, kill);
+    storage.fault_injector = rec_faults.get();
+    storage.crash_switch = rec_crash.get();
+    wal_options.fault_injector = rec_faults.get();
+    wal_options.crash_switch = rec_crash.get();
+  }
+
+  CrashArtifacts artifacts;
+  auto opened = OpenDatabase(storage, wal_options, report.disk_image,
+                             report.log_image, 2, &artifacts);
+  if (!opened.ok() && rec_crash != nullptr && rec_crash->crashed()) {
+    // Recovery itself was killed. Recover again, fault-free, from the
+    // artifacts the dead attempt left behind — the undo chains may have
+    // grown (compensations of compensations), but the net effect must
+    // converge to the same recovered state.
+    out.recovery_crashed = true;
+    StorageOptions clean = config.run.storage;
+    clean.fault_injector = nullptr;
+    clean.crash_switch = nullptr;
+    opened = OpenDatabase(clean, WalOptions{}, artifacts.disk_image,
+                          artifacts.log_image);
+  }
+  if (!opened.ok()) {
+    return opened.status().Annotate(tag + "restart recovery failed");
+  }
+  OpenResult& db = *opened;
+  out.recovery = db.stats;
+  out.committed_recovered = db.committed.size();
+
+  // --- Durability contract --------------------------------------------
+  // Exact agreement: a worker only records a commit after the record was
+  // forced durable, and a durable commit record always reaches the
+  // worker's log — so the two sets must match seq-for-seq.
+  XTC_ASSIGN_OR_RETURN(std::vector<CommittedTx> recovered,
+                       DecodeCommits(db.committed));
+  if (recovered.size() != report.committed.size()) {
+    return Status::Internal(
+        tag + "workers observed " + std::to_string(report.committed.size()) +
+        " commits but recovery found " + std::to_string(recovered.size()) +
+        " durable commit records");
+  }
+  for (size_t i = 0; i < recovered.size(); ++i) {
+    const CommittedTx& want = report.committed[i];
+    const CommittedTx& got = recovered[i];
+    if (want.seq != got.seq || want.type != got.type ||
+        want.body_seed != got.body_seed) {
+      return Status::Internal(
+          tag + "committed tx mismatch at position " + std::to_string(i) +
+          ": workers saw seq " + std::to_string(want.seq) +
+          ", recovery found seq " + std::to_string(got.seq));
+    }
+  }
+
+  // --- Equivalence + structural invariants ----------------------------
+  // The recovered document must equal a single-threaded replay of
+  // exactly the durable committed transactions (serializable run ⇒
+  // commit order is a serialization order). Loser effects surviving, or
+  // committed effects lost, both show up here as a node diff.
+  XTC_RETURN_IF_ERROR(CheckCommittedReplay(config.run, recovered, *db.doc)
+                          .Annotate(tag + "recovered document diverges"));
+  const size_t pinned = db.doc->buffer().PinnedFrames();
+  if (pinned != 0) {
+    return Status::Internal(tag + std::to_string(pinned) +
+                            " buffer frames left pinned after recovery");
+  }
+  return out;
+}
+
+}  // namespace xtc

@@ -1,0 +1,55 @@
+// Crash-restart fuzz harness (docs/robustness.md): runs TaMix with one
+// hard-kill fault point armed, lets it freeze the instance mid-run,
+// then recovers from the durable images and verifies the durability
+// contract — every commit a worker observed survived, nothing else
+// did, and the recovered document equals a single-threaded replay of
+// exactly the durable committed transactions.
+
+#ifndef XTC_WAL_CRASH_HARNESS_H_
+#define XTC_WAL_CRASH_HARNESS_H_
+
+#include <cstdint>
+
+#include "tamix/coordinator.h"
+#include "util/status.h"
+#include "wal/recovery.h"
+
+namespace xtc {
+
+struct CrashFuzzConfig {
+  uint64_t seed = 1;
+  /// The chaos run to kill; start from DefaultCrashRunConfig(seed).
+  RunConfig run;
+  /// Arm the kill points inside the *recovering* instance too (fresh
+  /// injector + fresh crash switch), then recover a second time,
+  /// fault-free, from the artifacts the killed recovery left behind.
+  bool crash_during_recovery = false;
+};
+
+struct CrashFuzzOutcome {
+  /// Whether the armed kill point actually fired. When it did not, the
+  /// run shut down cleanly and RunCluster1 already enforced the full
+  /// invariant suite — the round trip still counts as a pass.
+  bool crashed = false;
+  /// crash_during_recovery only: the first recovery attempt was killed
+  /// and the second, clean one had to converge from its artifacts.
+  bool recovery_crashed = false;
+  uint64_t committed_before_crash = 0;  // commits workers observed
+  uint64_t committed_recovered = 0;     // commits recovery found durable
+  RecoveryStats recovery;
+};
+
+/// A small, eviction-heavy, serializable chaos run tuned so the armed
+/// kill point fires within a few hundred milliseconds: tiny bib, small
+/// buffer pool (forces write-backs), frequent checkpoints. The kill
+/// site rotates by seed across crash.wal / crash.page / crash.commit,
+/// and the kill is staggered deeper into the run as seeds grow.
+RunConfig DefaultCrashRunConfig(uint64_t seed);
+
+/// One crash-restart round trip. Errors mean a broken durability
+/// contract (or a genuinely failed recovery), not an expected outcome.
+StatusOr<CrashFuzzOutcome> RunCrashRestart(const CrashFuzzConfig& config);
+
+}  // namespace xtc
+
+#endif  // XTC_WAL_CRASH_HARNESS_H_

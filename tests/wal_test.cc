@@ -1,0 +1,320 @@
+// WAL unit tests: record framing and scan, torn-tail detection, group
+// commit, flush-chunk boundary cases, page checksums, WAL-before-data,
+// and the recovery edge cases of DESIGN.md §6 (empty log,
+// checkpoint-only log).
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "node/document.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+#include "tamix/bib_generator.h"
+#include "tamix/invariants.h"
+#include "wal/recovery.h"
+#include "wal/wal.h"
+
+namespace xtc {
+namespace {
+
+/// Fabricates deterministic page bytes with `end_lsn` stamped where the
+/// recovery redo expects it (what WalScope's reader does for real pages).
+Wal::PageReader FakeReader(uint32_t page_size) {
+  return [page_size](PageId id, Lsn end_lsn, std::string* out) {
+    std::string bytes(page_size, static_cast<char>('a' + (id % 23)));
+    std::memcpy(bytes.data() + kPageLsnOffset, &end_lsn, sizeof(end_lsn));
+    out->append(bytes);
+  };
+}
+
+WalTreeMeta SomeMeta() {
+  WalTreeMeta meta;
+  meta.doc_root = 1;
+  meta.doc_count = 3;
+  meta.elem_root = 2;
+  meta.elem_count = 2;
+  meta.id_root = 3;
+  meta.id_count = 1;
+  return meta;
+}
+
+TEST(WalTest, FramingRoundTrip) {
+  Wal wal(WalOptions{});
+  wal.AppendVocab(2, "chapter");
+  UndoOp undo;
+  undo.kind = UndoKind::kUpdateContent;
+  undo.splid = "s";
+  undo.content = "old";
+  const uint32_t page_size = 256;
+  const Lsn update_lsn = wal.AppendUpdate(7, undo, SomeMeta(), {4, 9},
+                                          page_size, FakeReader(page_size));
+  ASSERT_TRUE(wal.AppendCommit(7, 1, "payload").ok());
+
+  bool torn = true;
+  auto records = Wal::ScanDurable(wal.DurableImage(), &torn);
+  ASSERT_TRUE(records.ok()) << records.status().message();
+  EXPECT_FALSE(torn);
+  ASSERT_EQ(records->size(), 3u);
+
+  const WalRecord& vocab = (*records)[0];
+  EXPECT_EQ(vocab.type, WalRecordType::kVocab);
+  EXPECT_EQ(vocab.surrogate, 2u);
+  EXPECT_EQ(vocab.name, "chapter");
+
+  const WalRecord& update = (*records)[1];
+  EXPECT_EQ(update.type, WalRecordType::kUpdate);
+  // AppendUpdate returns the END lsn (the value stamped into pages);
+  // the scan reports the record's start offset as its lsn.
+  EXPECT_EQ(update.end_lsn, update_lsn);
+  EXPECT_EQ(update.tx, 7u);
+  EXPECT_EQ(update.prev_lsn, 0u);
+  EXPECT_EQ(update.undo.kind, UndoKind::kUpdateContent);
+  EXPECT_EQ(update.undo.content, "old");
+  EXPECT_EQ(update.meta.doc_root, 1u);
+  EXPECT_EQ(update.meta.id_count, 1u);
+  ASSERT_EQ(update.pages.size(), 2u);
+  EXPECT_EQ(update.pages[0].id, 4u);
+  EXPECT_EQ(update.pages[1].id, 9u);
+  EXPECT_EQ(update.pages[0].bytes.size(), page_size);
+  EXPECT_EQ(ReadPageLsn(reinterpret_cast<const uint8_t*>(
+                update.pages[0].bytes.data())),
+            update.end_lsn);
+
+  const WalRecord& commit = (*records)[2];
+  EXPECT_EQ(commit.type, WalRecordType::kCommit);
+  EXPECT_EQ(commit.tx, 7u);
+  EXPECT_EQ(commit.commit_seq, 1u);
+  EXPECT_EQ(commit.payload, "payload");
+
+  // Point read at the update's start offset returns the same record.
+  auto direct = Wal::ReadRecordAt(wal.DurableImage(), update.lsn);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct->tx, 7u);
+  EXPECT_EQ(direct->pages.size(), 2u);
+
+  // Two chained updates of one tx link through prev_lsn (start lsns).
+  wal.AppendUpdate(8, undo, SomeMeta(), {4}, page_size,
+                   FakeReader(page_size));
+  const Lsn third_end = wal.AppendUpdate(8, undo, SomeMeta(), {9}, page_size,
+                                         FakeReader(page_size));
+  ASSERT_TRUE(wal.Sync().ok());
+  auto again = Wal::ScanDurable(wal.DurableImage(), &torn);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->size(), 5u);
+  EXPECT_EQ(again->back().end_lsn, third_end);
+  EXPECT_EQ(again->back().prev_lsn, (*again)[3].lsn);
+}
+
+TEST(WalTest, TornTailIsDetectedAndBounded) {
+  Wal wal(WalOptions{});
+  const uint32_t page_size = 128;
+  wal.AppendUpdate(1, UndoOp{}, SomeMeta(), {1}, page_size,
+                   FakeReader(page_size));
+  ASSERT_TRUE(wal.AppendCommit(1, 1, "x").ok());
+  wal.AppendUpdate(2, UndoOp{}, SomeMeta(), {2}, page_size,
+                   FakeReader(page_size));
+  ASSERT_TRUE(wal.Sync().ok());
+  std::string image = wal.DurableImage();
+
+  // Chop bytes off the final record: every truncation length must come
+  // back as a clean torn tail exposing exactly the first two records.
+  for (size_t cut = 1; cut < 40; cut += 7) {
+    std::string torn_image = image.substr(0, image.size() - cut);
+    bool torn = false;
+    auto records = Wal::ScanDurable(torn_image, &torn);
+    ASSERT_TRUE(records.ok()) << records.status().message();
+    EXPECT_TRUE(torn);
+    ASSERT_EQ(records->size(), 2u) << "cut=" << cut;
+    EXPECT_EQ((*records)[1].type, WalRecordType::kCommit);
+  }
+
+  // A bad magic header is data loss, not a torn tail.
+  std::string bad = image;
+  bad[0] ^= 0xff;
+  bool torn = false;
+  EXPECT_FALSE(Wal::ScanDurable(bad, &torn).ok());
+}
+
+TEST(WalTest, GroupCommitBuffersUntilOneForcedSync) {
+  Wal wal(WalOptions{});
+  const size_t header = wal.DurableImage().size();
+  const uint32_t page_size = 64;
+  for (int i = 0; i < 5; ++i) {
+    wal.AppendUpdate(1, UndoOp{}, SomeMeta(), {PageId(i + 1)}, page_size,
+                     FakeReader(page_size));
+  }
+  // Nothing is durable until a force; appends only grow the buffer.
+  EXPECT_EQ(wal.DurableImage().size(), header);
+  EXPECT_EQ(wal.stats().syncs, 0u);
+  ASSERT_TRUE(wal.Sync().ok());
+  EXPECT_EQ(wal.stats().syncs, 1u);
+  bool torn = false;
+  auto records = Wal::ScanDurable(wal.DurableImage(), &torn);
+  ASSERT_TRUE(records.ok());
+  EXPECT_FALSE(torn);
+  EXPECT_EQ(records->size(), 5u);  // one sync made all five durable
+}
+
+TEST(WalTest, CommitRecordExactlyAtFlushChunkBoundary) {
+  // Measure the exact image size after one commit record...
+  size_t exact = 0;
+  {
+    Wal probe(WalOptions{});
+    ASSERT_TRUE(probe.AppendCommit(1, 1, "boundary!").ok());
+    exact = probe.DurableImage().size();
+  }
+  // ...then force the same append through flush chunks that (a) end the
+  // final chunk exactly at the record end and (b) straddle it oddly.
+  for (uint32_t chunk : {static_cast<uint32_t>(exact),
+                         static_cast<uint32_t>(exact - 16), 7u, 1u}) {
+    WalOptions options;
+    options.flush_chunk = chunk;
+    Wal wal(options);
+    ASSERT_TRUE(wal.AppendCommit(1, 1, "boundary!").ok());
+    EXPECT_EQ(wal.DurableImage().size(), exact) << "chunk=" << chunk;
+    bool torn = false;
+    auto records = Wal::ScanDurable(wal.DurableImage(), &torn);
+    ASSERT_TRUE(records.ok()) << records.status().message();
+    EXPECT_FALSE(torn);
+    ASSERT_EQ(records->size(), 1u);
+    EXPECT_EQ((*records)[0].payload, "boundary!");
+  }
+}
+
+TEST(WalTest, PageChecksumCatchesTornPage) {
+  StorageOptions options;
+  PageFile file(options);
+  const PageId id = file.Allocate();
+  Page page(options.page_size);
+  page.data()[100] = 42;
+  ASSERT_TRUE(file.Write(id, page).ok());
+  Page out(options.page_size);
+  ASSERT_TRUE(file.Read(id, &out).ok());
+  EXPECT_EQ(out.data()[100], 42);
+
+  // Corrupt one stored byte behind the file's back via a cloned image:
+  // a fresh PageFile over the tampered image must refuse the page.
+  PageFileImage image = file.CloneImage();
+  image.pages[id - 1][200] ^= 0x5a;
+  PageFile reopened(options, image);
+  Status st = reopened.Read(id, &out);
+  EXPECT_TRUE(st.IsDataLoss()) << st.message();
+
+  // EnsureAllocated produces readable (checksum-stamped) zero pages.
+  reopened.EnsureAllocated(id + 5);
+  EXPECT_TRUE(reopened.Read(id + 5, &out).ok());
+}
+
+TEST(WalTest, WalBeforeDataForcesTheLogOnWriteBack) {
+  StorageOptions storage;
+  Document doc(storage);
+  ASSERT_TRUE(GenerateBib(&doc, BibConfig::Tiny()).ok());
+  Wal wal(WalOptions{});
+  doc.AttachWal(&wal);
+  ASSERT_TRUE(doc.buffer().FlushAll().ok());
+  const uint64_t baseline_syncs = wal.stats().syncs;
+
+  // A logged mutation dirties pages; writing them back must first force
+  // the covering records durable (checked by XTC_CHECK in WritePage).
+  auto subtree = doc.Subtree(Splid::Root());
+  ASSERT_TRUE(subtree.ok());
+  const Splid* text_node = nullptr;
+  for (const Node& n : *subtree) {
+    if (n.record.kind == NodeKind::kString) {
+      text_node = &n.splid;
+      break;
+    }
+  }
+  ASSERT_NE(text_node, nullptr);
+  ASSERT_TRUE(doc.UpdateContent(*text_node, "rewritten").ok());
+  EXPECT_GT(wal.stats().records_appended, 0u);
+
+  ASSERT_TRUE(doc.buffer().FlushAll().ok());
+  EXPECT_GT(wal.stats().syncs, baseline_syncs);  // write-back forced the log
+
+  // Every update record that covered a page is durable now: the scan of
+  // the durable prefix sees the content update.
+  bool torn = false;
+  auto records = Wal::ScanDurable(wal.DurableImage(), &torn);
+  ASSERT_TRUE(records.ok());
+  EXPECT_FALSE(torn);
+  bool saw_update = false;
+  for (const WalRecord& r : *records) {
+    saw_update |= r.type == WalRecordType::kUpdate;
+  }
+  EXPECT_TRUE(saw_update);
+}
+
+TEST(WalTest, EmptyImagesOpenFresh) {
+  StorageOptions storage;
+  auto opened = OpenDatabase(storage, WalOptions{}, PageFileImage{}, "");
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  EXPECT_FALSE(opened->stats.performed);
+  EXPECT_TRUE(opened->committed.empty());
+  ASSERT_NE(opened->doc, nullptr);
+  EXPECT_EQ(opened->doc->wal(), opened->wal.get());
+  // The fresh database is usable immediately.
+  auto root = opened->doc->CreateRoot("bib");
+  EXPECT_TRUE(root.ok());
+}
+
+TEST(WalTest, BareHeaderLogOverEmptyDiskOpensFresh) {
+  std::string header_only;
+  {
+    Wal wal(WalOptions{});
+    header_only = wal.DurableImage();  // magic + master, no records
+  }
+  StorageOptions storage;
+  auto opened =
+      OpenDatabase(storage, WalOptions{}, PageFileImage{}, header_only);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  EXPECT_FALSE(opened->stats.performed);
+  EXPECT_TRUE(opened->doc->CreateRoot("bib").ok());
+}
+
+TEST(WalTest, CheckpointOnlyLogRecovers) {
+  StorageOptions storage;
+  Document doc(storage);
+  ASSERT_TRUE(GenerateBib(&doc, BibConfig::Tiny()).ok());
+  Wal wal(WalOptions{});
+  doc.AttachWal(&wal);
+  ASSERT_TRUE(doc.buffer().FlushAll().ok());
+  ASSERT_TRUE(doc.LogCheckpoint().ok());
+  auto fingerprint = DocumentFingerprint(doc);
+  ASSERT_TRUE(fingerprint.ok());
+
+  auto opened = OpenDatabase(storage, WalOptions{},
+                             doc.page_file().CloneImage(), wal.DurableImage());
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  EXPECT_TRUE(opened->stats.performed);
+  EXPECT_FALSE(opened->stats.torn_log_tail);
+  EXPECT_EQ(opened->stats.losers_undone, 0u);
+  EXPECT_TRUE(opened->committed.empty());
+  auto recovered_fp = DocumentFingerprint(*opened->doc);
+  ASSERT_TRUE(recovered_fp.ok());
+  EXPECT_EQ(*recovered_fp, *fingerprint);
+  // The recovered instance accepts new work.
+  auto subtree = opened->doc->Subtree(Splid::Root());
+  ASSERT_TRUE(subtree.ok());
+  EXPECT_FALSE(subtree->empty());
+}
+
+TEST(WalTest, NonEmptyDiskWithoutCheckpointIsDataLoss) {
+  StorageOptions storage;
+  PageFile file(storage);
+  file.Allocate();
+  std::string header_only;
+  {
+    Wal wal(WalOptions{});
+    header_only = wal.DurableImage();
+  }
+  auto opened =
+      OpenDatabase(storage, WalOptions{}, file.CloneImage(), header_only);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsDataLoss());
+}
+
+}  // namespace
+}  // namespace xtc
