@@ -1,0 +1,313 @@
+// Microbenchmark: parallel restart redo and follower catch-up.
+//
+// Three measurements, all against the simulated page device with a
+// realistic per-I/O latency (DESIGN.md §2) so redo cost is I/O-shaped:
+//   1. Raw RedoApplier::ApplyAll over a synthetic update batch at
+//      worker counts 1/2/4/8 — the partitioned redo scan's scaling
+//      (per-page LSN order preserved; see wal/redo_applier.h).
+//   2. End-to-end OpenDatabase restart of a database whose WAL carries
+//      every committed mutation since the setup checkpoint, serial vs
+//      4 redo workers — what a real restart saves.
+//   3. Follower catch-up: draining the same log into a bootstrapped
+//      follower in flush-chunk units — the log-shipping apply rate.
+//
+//   ./bench/micro_recovery            full run, human-readable table
+//   ./bench/micro_recovery --smoke    quick CI run; exits non-zero if
+//                                     4-worker redo speedup < 2x or any
+//                                     phase loses data
+//   ./bench/micro_recovery --json     machine-readable results
+//                                     (committed as BENCH_replication.json)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "node/document.h"
+#include "repl/follower.h"
+#include "repl/log_shipper.h"
+#include "storage/page_file.h"
+#include "tamix/bib_generator.h"
+#include "wal/recovery.h"
+#include "wal/redo_applier.h"
+#include "wal/wal.h"
+
+using namespace xtc;
+using namespace xtc::bench;
+
+namespace {
+
+// >= 50 us so the device model sleeps (not spins): sleeping overlaps
+// across redo workers even on a single hardware core, the way real
+// in-flight disk requests do.
+constexpr uint32_t kIoLatencyUs = 100;
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(d).count();
+}
+
+void Die(const char* what, const Status& status) {
+  std::fprintf(stderr, "FAIL: %s: %s\n", what, status.message().c_str());
+  std::exit(1);
+}
+
+// --- 1. Raw partitioned redo --------------------------------------------
+
+struct ApplyResult {
+  double secs = 0;
+  uint64_t pages_redone = 0;
+};
+
+/// `records` update records round-robining over `pages` distinct pages,
+/// each carrying one full-page image (the WAL's physical redo unit).
+std::vector<WalRecord> SyntheticBatch(int records, int pages,
+                                      uint32_t page_size) {
+  std::vector<WalRecord> batch;
+  batch.reserve(static_cast<size_t>(records));
+  Lsn lsn = 16;
+  for (int i = 0; i < records; ++i) {
+    const Lsn end = lsn + page_size;
+    WalRecord r;
+    r.type = WalRecordType::kUpdate;
+    r.lsn = lsn;
+    r.end_lsn = end;
+    std::string bytes(page_size, static_cast<char>('a' + i % 26));
+    std::memcpy(bytes.data() + kPageLsnOffset, &end, sizeof(end));
+    r.pages.push_back(
+        WalPageImage{static_cast<PageId>(1 + i % pages), std::move(bytes)});
+    batch.push_back(std::move(r));
+    lsn = end;
+  }
+  return batch;
+}
+
+ApplyResult TimeApplyAll(const std::vector<WalRecord>& batch, int workers) {
+  StorageOptions options;
+  options.page_size = 512;
+  options.io_latency_us = kIoLatencyUs;
+  PageFile file(options);
+  FilePageSink sink(&file);
+  RedoApplier redo(&sink);
+  const auto start = std::chrono::steady_clock::now();
+  Status st = redo.ApplyAll(batch, 0, workers);
+  if (!st.ok()) Die("ApplyAll", st);
+  ApplyResult result;
+  result.secs = Seconds(std::chrono::steady_clock::now() - start);
+  result.pages_redone = redo.stats().pages_redone;
+  return result;
+}
+
+// --- 2/3. A database with a long since-checkpoint redo distance ---------
+
+struct Artifacts {
+  StorageOptions storage;
+  PageFileImage checkpoint_disk;  // the disk as of the setup checkpoint
+  std::string checkpoint_log;     // the log as of the setup checkpoint
+  std::string log;                // every mutation since lives only here
+  uint64_t commits = 0;
+};
+
+Artifacts BuildLoggedDatabase(int commits) {
+  Artifacts a;
+  // A modest document with a generous pool: the base image loads once,
+  // so the restart cost is dominated by the since-checkpoint redo scan
+  // (the thing being measured), not pool thrash.
+  a.storage.buffer_pool_pages = 4096;
+  a.storage.io_latency_us = kIoLatencyUs;
+  Document doc(a.storage);
+  auto info = GenerateBib(&doc, BibConfig::Tiny());
+  if (!info.ok()) Die("GenerateBib", info.status());
+  Wal wal(WalOptions{});
+  doc.AttachWal(&wal);
+  if (Status st = doc.buffer().FlushAll(); !st.ok()) Die("FlushAll", st);
+  if (Status st = doc.LogCheckpoint(); !st.ok()) Die("LogCheckpoint", st);
+  a.checkpoint_disk = doc.page_file().CloneImage();
+  a.checkpoint_log = wal.DurableImage();
+
+  // Committed renames scattered across the document: each logs a page
+  // image the restart must redo (the disk stays at the checkpoint).
+  const char* names[] = {"chapter", "author", "lend", "person"};
+  const NameSurrogate renamed = doc.vocabulary().Intern("bench-renamed");
+  for (int i = 0; i < commits; ++i) {
+    const char* name = names[i % 4];
+    auto target = doc.NthElementByName(
+        i % 8 < 4 ? name : "bench-renamed", static_cast<size_t>(i / 8) % 10);
+    if (!target.has_value()) {
+      target = doc.NthElementByName(name, 0);
+    }
+    if (!target.has_value()) Die("rename target", Status::NotFound("none"));
+    const NameSurrogate to = i % 8 < 4
+                                 ? renamed
+                                 : doc.vocabulary().Intern(name);
+    {
+      ScopedWalTx scope(static_cast<uint64_t>(i + 1));
+      if (Status st = doc.RenameElement(*target, to); !st.ok()) {
+        Die("RenameElement", st);
+      }
+    }
+    Status st = wal.AppendCommit(static_cast<uint64_t>(i + 1),
+                                 static_cast<uint64_t>(i + 1), "bench");
+    if (!st.ok()) Die("AppendCommit", st);
+    ++a.commits;
+  }
+  a.log = wal.DurableImage();
+  return a;
+}
+
+struct OpenTiming {
+  double secs = 0;
+  uint64_t records_redone = 0;
+  uint64_t commits = 0;
+};
+
+OpenTiming TimeOpen(const Artifacts& a, int workers) {
+  RecoveryOptions recovery;
+  recovery.redo_workers = workers;
+  const auto start = std::chrono::steady_clock::now();
+  auto opened = OpenDatabase(a.storage, WalOptions{}, a.checkpoint_disk, a.log,
+                             2, nullptr, recovery);
+  if (!opened.ok()) Die("OpenDatabase", opened.status());
+  OpenTiming t;
+  t.secs = Seconds(std::chrono::steady_clock::now() - start);
+  t.records_redone = opened->stats.records_redone;
+  t.commits = opened->committed.size();
+  return t;
+}
+
+struct CatchUp {
+  double secs = 0;
+  double mib_per_sec = 0;
+  uint64_t commits_applied = 0;
+  uint64_t log_bytes = 0;
+};
+
+CatchUp TimeCatchUp(const Artifacts& a, uint64_t chunk_bytes) {
+  // Bootstrap a follower from the checkpoint-time images, then drain the
+  // rest of the primary's log into it in flush-chunk units — exactly
+  // what a follower attached late (or restarted) does to catch back up.
+  Wal source(WalOptions{}, a.log);
+  FollowerOptions fo;
+  fo.storage = a.storage;
+  auto follower =
+      Follower::Bootstrap(fo, a.checkpoint_disk, a.checkpoint_log);
+  if (!follower.ok()) Die("Bootstrap", follower.status());
+  LogShipperOptions so;
+  so.chunk_bytes = chunk_bytes;
+  LogShipper shipper(&source, follower->get(), so);
+  CatchUp c;
+  c.log_bytes = a.log.size() - a.checkpoint_log.size();
+  const auto start = std::chrono::steady_clock::now();
+  if (Status st = shipper.Drain(); !st.ok()) Die("Drain", st);
+  c.secs = Seconds(std::chrono::steady_clock::now() - start);
+  c.mib_per_sec =
+      c.secs == 0 ? 0
+                  : static_cast<double>(c.log_bytes) / (1024.0 * 1024.0) /
+                        c.secs;
+  c.commits_applied = (*follower)->stats().commits_applied;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+
+  const int raw_records = smoke ? 1200 : 4000;
+  const int raw_pages = 192;
+  const int commits = smoke ? 120 : 400;
+
+  if (!json) {
+    PrintHeader("micro_recovery",
+                "parallel restart redo and follower catch-up");
+  }
+
+  // 1. Raw partitioned redo.
+  const std::vector<WalRecord> batch =
+      SyntheticBatch(raw_records, raw_pages, 512);
+  const int worker_counts[] = {1, 2, 4, 8};
+  ApplyResult apply[4];
+  for (int i = 0; i < 4; ++i) {
+    apply[i] = TimeApplyAll(batch, worker_counts[i]);
+    if (apply[i].pages_redone != apply[0].pages_redone) {
+      std::fprintf(stderr, "FAIL: worker count changed redo work\n");
+      return 1;
+    }
+  }
+  const double speedup4 = apply[2].secs == 0 ? 0 : apply[0].secs / apply[2].secs;
+
+  // 2. End-to-end restart.
+  const Artifacts artifacts = BuildLoggedDatabase(commits);
+  const OpenTiming open1 = TimeOpen(artifacts, 1);
+  const OpenTiming open4 = TimeOpen(artifacts, 4);
+  if (open1.commits != artifacts.commits || open4.commits != artifacts.commits) {
+    std::fprintf(stderr, "FAIL: restart lost commits (%llu/%llu vs %llu)\n",
+                 static_cast<unsigned long long>(open1.commits),
+                 static_cast<unsigned long long>(open4.commits),
+                 static_cast<unsigned long long>(artifacts.commits));
+    return 1;
+  }
+  const double open_speedup = open4.secs == 0 ? 0 : open1.secs / open4.secs;
+
+  // 3. Follower catch-up.
+  const CatchUp catch_up = TimeCatchUp(artifacts, 4096);
+  if (catch_up.commits_applied != artifacts.commits) {
+    std::fprintf(stderr, "FAIL: catch-up lost commits\n");
+    return 1;
+  }
+
+  if (json) {
+    std::printf("{\n  \"benchmark\": \"micro_recovery parallel redo\",\n");
+    std::printf("  \"io_latency_us\": %u,\n", kIoLatencyUs);
+    std::printf("  \"redo_records\": %d,\n", raw_records);
+    std::printf("  \"redo_distinct_pages\": %d,\n", raw_pages);
+    for (int i = 0; i < 4; ++i) {
+      std::printf("  \"apply_all_ms_%dw\": %.1f,\n", worker_counts[i],
+                  apply[i].secs * 1000.0);
+    }
+    std::printf("  \"apply_all_speedup_4w\": %.2f,\n", speedup4);
+    std::printf("  \"restart_commits\": %llu,\n",
+                static_cast<unsigned long long>(artifacts.commits));
+    std::printf("  \"restart_records_redone\": %llu,\n",
+                static_cast<unsigned long long>(open4.records_redone));
+    std::printf("  \"open_ms_1w\": %.1f,\n", open1.secs * 1000.0);
+    std::printf("  \"open_ms_4w\": %.1f,\n", open4.secs * 1000.0);
+    std::printf("  \"open_speedup_4w\": %.2f,\n", open_speedup);
+    std::printf("  \"catchup_log_bytes\": %llu,\n",
+                static_cast<unsigned long long>(catch_up.log_bytes));
+    std::printf("  \"catchup_ms\": %.1f,\n", catch_up.secs * 1000.0);
+    std::printf("  \"catchup_mib_per_sec\": %.1f\n}\n", catch_up.mib_per_sec);
+  } else {
+    std::printf("\nraw partitioned redo: %d records over %d pages, "
+                "%u us/io\n",
+                raw_records, raw_pages, kIoLatencyUs);
+    for (int i = 0; i < 4; ++i) {
+      std::printf("  %d worker(s): %7.1f ms  (%.2fx)\n", worker_counts[i],
+                  apply[i].secs * 1000.0,
+                  apply[i].secs == 0 ? 0 : apply[0].secs / apply[i].secs);
+    }
+    std::printf("\nend-to-end restart: %llu commits, %llu records redone\n",
+                static_cast<unsigned long long>(artifacts.commits),
+                static_cast<unsigned long long>(open4.records_redone));
+    std::printf("  1 worker:  %7.1f ms\n", open1.secs * 1000.0);
+    std::printf("  4 workers: %7.1f ms  (%.2fx)\n", open4.secs * 1000.0,
+                open_speedup);
+    std::printf("\nfollower catch-up: %llu log bytes, %llu commits\n",
+                static_cast<unsigned long long>(catch_up.log_bytes),
+                static_cast<unsigned long long>(catch_up.commits_applied));
+    std::printf("  %7.1f ms  (%.1f MiB/s applied)\n", catch_up.secs * 1000.0,
+                catch_up.mib_per_sec);
+  }
+
+  if (smoke && speedup4 < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: 4-worker redo speedup %.2fx < 2x — the partitioned "
+                 "scan is not overlapping page I/O\n",
+                 speedup4);
+    return 1;
+  }
+  return 0;
+}

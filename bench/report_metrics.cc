@@ -3,25 +3,45 @@
 // durations, deadlock counts with classification, plus storage
 // occupancy of the document tree (§3.1).
 //
-//   ./bench/report_metrics [protocol] (default taDOM3+)
+//   ./bench/report_metrics [protocol] [--replicated]  (default taDOM3+)
+//
+// --replicated attaches a log-shipping follower (DESIGN.md §7) for the
+// run and adds the replication counters to the report.
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench_common.h"
 #include "node/document.h"
+#include "repl/repl_harness.h"
 #include "tamix/bib_generator.h"
 
 using namespace xtc;
 using namespace xtc::bench;
 
 int main(int argc, char** argv) {
-  const char* protocol = argc > 1 ? argv[1] : "taDOM3+";
+  const char* protocol = "taDOM3+";
+  bool replicated = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--replicated") == 0) {
+      replicated = true;
+    } else {
+      protocol = argv[i];
+    }
+  }
   PrintHeader("Metrics report", "per-type metrics for one CLUSTER1 run");
 
   RunConfig config = Cluster1Config();
   config.protocol = protocol;
   config.isolation = IsolationLevel::kRepeatable;
   config.lock_depth = 5;
+  PairReplicationObserver::Options obs;
+  obs.seed = config.seed;
+  PairReplicationObserver observer(obs);
+  if (replicated) {
+    config.wal = WalMode::kEnabled;
+    config.replication = &observer;
+  }
   RunStats stats = MustRun(config);
 
   std::printf("\nprotocol %s, isolation repeatable, lock depth %d\n\n",
@@ -99,6 +119,34 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.wal.pages_redone),
                   static_cast<unsigned long long>(stats.wal.losers_undone));
     }
+  }
+
+  // Replication: only reported when a follower was attached (the
+  // counters merge the shipper's and the follower's sides; see
+  // repl/repl_stats.h).
+  if (stats.repl.enabled) {
+    std::printf("\nreplication: %llu bytes shipped in %llu chunk(s) over "
+                "%llu round(s)\n",
+                static_cast<unsigned long long>(stats.repl.shipped_bytes),
+                static_cast<unsigned long long>(stats.repl.shipped_chunks),
+                static_cast<unsigned long long>(stats.repl.ship_rounds));
+    std::printf("  follower: %llu record(s) applied (%llu pages, %llu "
+                "commits, %llu checkpoints), %llu reattach(es), "
+                "%llu resync(s), %llu restart(s)\n",
+                static_cast<unsigned long long>(stats.repl.records_applied),
+                static_cast<unsigned long long>(stats.repl.pages_applied),
+                static_cast<unsigned long long>(stats.repl.commits_applied),
+                static_cast<unsigned long long>(
+                    stats.repl.checkpoints_applied),
+                static_cast<unsigned long long>(stats.repl.reattaches),
+                static_cast<unsigned long long>(stats.repl.resyncs),
+                static_cast<unsigned long long>(
+                    stats.repl.follower_restarts));
+    std::printf("  watermarks: applied LSN %llu, received LSN %llu, "
+                "lag %llu byte(s)\n",
+                static_cast<unsigned long long>(stats.repl.applied_lsn),
+                static_cast<unsigned long long>(stats.repl.received_lsn),
+                static_cast<unsigned long long>(stats.repl.ship_lag_bytes()));
   }
 
   // Storage occupancy of a fresh bib document (paper §3.1: > 96 % on

@@ -178,6 +178,20 @@ Status Document::AttachRecoveredTrees(const WalTreeMeta& meta) {
   return Status::OK();
 }
 
+Status Document::ReattachTrees(const WalTreeMeta& meta) {
+  WriterMutexLock latch(mu_);
+  if (meta.doc_root == kInvalidPageId || meta.elem_root == kInvalidPageId ||
+      meta.id_root == kInvalidPageId) {
+    return Status::DataLoss("tree metadata is incomplete");
+  }
+  doc_ = std::make_unique<BplusTree>(buffer_.get(), meta.doc_root,
+                                     meta.doc_count);
+  elements_ = std::make_unique<ElementIndex>(buffer_.get(), meta.elem_root,
+                                             meta.elem_count);
+  ids_ = std::make_unique<IdIndex>(buffer_.get(), meta.id_root, meta.id_count);
+  return Status::OK();
+}
+
 Status Document::LogCheckpoint() {
   WriterMutexLock latch(mu_);
   if (wal_ == nullptr) {

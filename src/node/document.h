@@ -156,6 +156,13 @@ class Document {
   /// construction only; fails if trees are already attached).
   Status AttachRecoveredTrees(const WalTreeMeta& meta) XTC_EXCLUDES(mu_);
 
+  /// Re-points the three B+-trees at new attach points (follower
+  /// tailing: every applied update record may move roots/counts). Unlike
+  /// AttachRecoveredTrees this may be called repeatedly; the caller must
+  /// guarantee no operation is mid-flight (the exclusive latch makes the
+  /// swap atomic against readers).
+  Status ReattachTrees(const WalTreeMeta& meta) XTC_EXCLUDES(mu_);
+
   /// Current tree attach points (harness / checkpointing).
   WalTreeMeta CurrentTreeMeta() const XTC_EXCLUDES(mu_);
 
@@ -202,6 +209,7 @@ class Document {
 
   uint64_t num_nodes() const XTC_EXCLUDES(mu_);
   const PageFile& page_file() const { return file_; }
+  PageFile& page_file() { return file_; }
   const BufferManager& buffer() const { return *buffer_; }
   BufferManager& buffer() { return *buffer_; }
 

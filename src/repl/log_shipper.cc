@@ -1,0 +1,65 @@
+#include "repl/log_shipper.h"
+
+#include <algorithm>
+#include <string>
+
+namespace xtc {
+
+StatusOr<uint64_t> LogShipper::ShipOnce() {
+  uint64_t delivered = 0;
+  Status st = ShipLoop(/*evaluate_kill=*/true, &delivered);
+  if (!st.ok()) return st;
+  return delivered;
+}
+
+Status LogShipper::Drain() {
+  follower_->ResyncToCompleteRecord();
+  uint64_t delivered = 0;
+  return ShipLoop(/*evaluate_kill=*/false, &delivered);
+}
+
+Status LogShipper::ShipLoop(bool evaluate_kill, uint64_t* delivered) {
+  bool any = false;
+  for (;;) {
+    const Lsn from = follower_->received_lsn();
+    const Lsn durable = source_->DurableLsn();
+    if (from >= durable) break;
+    any = true;
+    std::string chunk = source_->DurableSuffix(from, options_.chunk_bytes);
+    if (chunk.empty()) break;  // raced a concurrent reader; retry next round
+    if (evaluate_kill && options_.fault_injector != nullptr &&
+        options_.crash_switch != nullptr &&
+        options_.fault_injector->ShouldFail(fault_points::kCrashShip)) {
+      // Primary dies mid-shipment: the follower receives a seeded clean
+      // prefix of the in-flight chunk (its scan parks on the incomplete
+      // tail) and the primary's switch freezes all further I/O. The
+      // durable log survives for Drain().
+      uint64_t torn = 0;
+      if (options_.crash_switch->Trigger()) {
+        torn = options_.crash_switch->TearPoint(from, chunk.size());
+      }
+      if (torn > 0) {
+        Status ingest = follower_->Ingest(
+            std::string_view(chunk).substr(0, torn), durable);
+        if (ingest.ok()) {
+          stats_.shipped_bytes += torn;
+          ++stats_.shipped_chunks;
+        }
+      }
+      stats_.source_durable_lsn = durable;
+      return Status::IoError(
+          "injected fault at crash.ship: primary killed mid shipment");
+    }
+    XTC_RETURN_IF_ERROR(follower_->Ingest(chunk, durable));
+    *delivered += chunk.size();
+    stats_.shipped_bytes += chunk.size();
+    ++stats_.shipped_chunks;
+    stats_.source_durable_lsn = durable;
+  }
+  if (any) ++stats_.ship_rounds;
+  stats_.received_lsn = follower_->received_lsn();
+  stats_.applied_lsn = follower_->applied_lsn();
+  return Status::OK();
+}
+
+}  // namespace xtc

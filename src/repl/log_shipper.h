@@ -1,0 +1,82 @@
+// Log shipping (DESIGN.md §7): tails the primary's durable log prefix
+// and feeds it to a Follower in flush-chunk-sized units.
+//
+// The shipper is pull-based and stateless beyond counters: every round
+// it asks the follower how much it has received and ships the durable
+// bytes beyond that, chunk by chunk. Only *durable* bytes ever leave
+// the primary — the group-commit buffer is private — so a follower can
+// never apply a record the primary might still lose.
+//
+// crash.ship is the primary-side kill site, evaluated once per chunk:
+// the kill tears the in-flight chunk at a seeded offset (the follower
+// receives a clean prefix of it, typically ending mid-record), flips
+// the primary's crash switch, and the ship round fails. The primary's
+// durable log outlives the process — failover Drain()s it (resync the
+// follower's pending tail, then ship the remainder with no kill
+// evaluation) before promoting, which is why promotion never loses an
+// acknowledged commit.
+//
+// Not internally synchronized: one shipping thread (or the failover
+// path after that thread joined) drives a given shipper at a time.
+
+#ifndef XTC_REPL_LOG_SHIPPER_H_
+#define XTC_REPL_LOG_SHIPPER_H_
+
+#include <cstdint>
+
+#include "repl/follower.h"
+#include "repl/repl_stats.h"
+#include "util/fault_injector.h"
+#include "util/status.h"
+#include "wal/wal.h"
+
+namespace xtc {
+
+struct LogShipperOptions {
+  /// Ship unit; aligns with the primary's WAL flush_chunk by default so
+  /// one durability step ships as one chunk.
+  uint64_t chunk_bytes = 4096;
+  /// Primary-side kill: both set => crash.ship is evaluated per chunk.
+  FaultInjector* fault_injector = nullptr;
+  CrashSwitch* crash_switch = nullptr;
+};
+
+class LogShipper {
+ public:
+  LogShipper(const Wal* source, Follower* follower,
+             const LogShipperOptions& options = {})
+      : source_(source), follower_(follower), options_(options) {}
+
+  LogShipper(const LogShipper&) = delete;
+  LogShipper& operator=(const LogShipper&) = delete;
+
+  /// Ships everything currently durable beyond the follower's received
+  /// watermark, one chunk at a time, evaluating crash.ship per chunk.
+  /// Returns the bytes delivered this round. A crash.ship kill delivers
+  /// the torn prefix of the in-flight chunk and fails; a follower that
+  /// dies mid-round surfaces its Ingest error (the caller restarts it).
+  StatusOr<uint64_t> ShipOnce();
+
+  /// Failover drain: truncate the follower's pending tail to a record
+  /// boundary, then ship the rest of the durable log with no kill
+  /// evaluation. Safe (and intended) after the primary has crashed —
+  /// the log device outlives the process.
+  Status Drain();
+
+  /// Re-targets the shipper after a follower restart.
+  void set_follower(Follower* follower) { follower_ = follower; }
+
+  ReplicationStats stats() const { return stats_; }
+
+ private:
+  Status ShipLoop(bool evaluate_kill, uint64_t* delivered);
+
+  const Wal* source_;
+  Follower* follower_;
+  LogShipperOptions options_;
+  ReplicationStats stats_;
+};
+
+}  // namespace xtc
+
+#endif  // XTC_REPL_LOG_SHIPPER_H_

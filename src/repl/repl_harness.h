@@ -1,0 +1,122 @@
+// Paired crash-restart fuzz harness for replication (docs/robustness.md):
+// runs TaMix on a primary with a live log-shipping follower attached,
+// kills *either side* at a seeded point (the kill site rotates over
+// AllCrashPoints(): the three primary kills, the mid-shipment kill, and
+// the follower-side apply kill), then verifies that the pair agrees on
+// exactly the same committed transactions — seq for seq — and that
+// promoting the follower yields a database equal to a single-threaded
+// replay of those commits. A follower killed mid-run is restarted from
+// its own crash artifacts and resumes tailing where its durable state
+// left off.
+
+#ifndef XTC_REPL_REPL_HARNESS_H_
+#define XTC_REPL_REPL_HARNESS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "repl/follower.h"
+#include "repl/log_shipper.h"
+#include "tamix/coordinator.h"
+#include "util/status.h"
+#include "wal/recovery.h"
+
+namespace xtc {
+
+/// The harness's ReplicationObserver: bootstraps a follower from the
+/// primary's base images, tails the durable log from a background
+/// shipping thread, restarts the follower when crash.apply kills it,
+/// and — once the primary stops — drains the surviving durable log so
+/// the follower holds every durable record. Reusable outside the fuzz
+/// wrapper (tools/failover_demo drives it directly).
+class PairReplicationObserver : public ReplicationObserver {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// Arm crash.apply (one-shot) inside the follower with this
+    /// skip_first; <0 = follower never killed.
+    int64_t follower_kill_skip = -1;
+    uint64_t ship_chunk_bytes = 4096;
+    uint64_t max_staleness_bytes = 0;
+  };
+
+  explicit PairReplicationObserver(const Options& options);
+  ~PairReplicationObserver() override;
+
+  Status OnPrimaryReady(const PrimaryHandles& handles) override;
+  void OnPrimaryStopped(bool crashed) override;
+  ReplicationStats Stats() const override;
+
+  /// Valid after OnPrimaryStopped (drained, quiescent). Null only if
+  /// OnPrimaryReady never ran or bootstrap failed.
+  Follower* follower() { return follower_.get(); }
+  /// First failure of the shipping/restart machinery (drain errors
+  /// included); the fuzz wrapper turns this into a test failure.
+  Status background_status() const;
+  uint64_t follower_restarts() const { return restarts_; }
+  bool follower_was_killed() const { return follower_killed_; }
+
+ private:
+  void ShipLoop();
+  /// Rebuilds the follower from the dead one's own crash artifacts with
+  /// a fresh switch (same injector: its decision sequence continues).
+  Status RestartFollower();
+  Status DrainAfterStop();
+
+  Options options_;
+  PrimaryHandles handles_;
+  std::unique_ptr<FaultInjector> follower_faults_;
+  std::unique_ptr<CrashSwitch> follower_crash_;
+  std::unique_ptr<Follower> follower_;
+  std::unique_ptr<LogShipper> shipper_;
+  std::thread ship_thread_;
+  std::atomic<bool> stop_{false};
+  bool stopped_ = false;
+  uint64_t restarts_ = 0;
+  bool follower_killed_ = false;
+
+  mutable Mutex mu_;
+  Status background_status_ XTC_GUARDED_BY(mu_);
+};
+
+struct PairFuzzConfig {
+  uint64_t seed = 1;
+  /// The run to kill; start from DefaultPairRunConfig(seed).
+  RunConfig run;
+  /// Whether this seed kills the follower (crash.apply) instead of the
+  /// primary; DefaultPairRunConfig sets it via PairSeedKillsFollower.
+  bool kill_follower = false;
+  /// Redo pool size for the promotion recovery.
+  int promote_redo_workers = 1;
+};
+
+struct PairFuzzOutcome {
+  bool primary_crashed = false;
+  bool follower_killed = false;    // crash.apply fired at least once
+  uint64_t follower_restarts = 0;
+  uint64_t committed = 0;          // commits workers observed
+  uint64_t follower_commits = 0;   // commits the follower applied
+  ReplicationStats repl;
+  RecoveryStats promote_recovery;
+  /// The promoted database (valid, recovered, replay-checked).
+  OpenResult promoted;
+};
+
+/// Like DefaultCrashRunConfig but the kill site rotates over all five
+/// crash points. For the crash.apply seed residue the primary's fault
+/// plan stays empty — the kill arms inside the follower instead.
+RunConfig DefaultPairRunConfig(uint64_t seed);
+/// True when `seed` selects the follower-side kill (crash.apply).
+bool PairSeedKillsFollower(uint64_t seed);
+
+/// One paired round trip: run + kill + drain + promote + verify. Errors
+/// mean a broken pair contract (commit sets diverged, promotion lost or
+/// invented a commit, replay mismatch), not an expected outcome.
+StatusOr<PairFuzzOutcome> RunReplicatedCrashRestart(
+    const PairFuzzConfig& config);
+
+}  // namespace xtc
+
+#endif  // XTC_REPL_REPL_HARNESS_H_

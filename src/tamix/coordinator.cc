@@ -88,6 +88,22 @@ StatusOr<std::unique_ptr<Testbed>> BuildTestbed(const RunConfig& config) {
     XTC_RETURN_IF_ERROR(bed->doc->buffer().FlushAll());
     XTC_RETURN_IF_ERROR(bed->doc->LogCheckpoint());
   }
+  if (config.replication != nullptr) {
+    if (bed->wal == nullptr) {
+      return Status::InvalidArgument(
+          "replication requires the WAL (WalMode::kEnabled or XTC_WAL=1)");
+    }
+    // Seed the follower from the post-setup checkpoint, before any fault
+    // point is armed: bootstrap must always succeed.
+    PrimaryHandles handles;
+    handles.wal = bed->wal.get();
+    handles.faults = bed->faults.get();
+    handles.crash = bed->crash.get();
+    handles.base_disk = bed->doc->page_file().CloneImage();
+    handles.base_log = bed->wal->DurableImage();
+    handles.storage = storage;
+    XTC_RETURN_IF_ERROR(config.replication->OnPrimaryReady(handles));
+  }
   LockTableOptions lock_options;
   lock_options.wait_timeout = config.Scaled(config.lock_wait_timeout);
   lock_options.fault_injector = bed->faults.get();
@@ -262,12 +278,22 @@ StatusOr<RunStats> RunCluster1(const RunConfig& config, ChaosReport* report) {
   const int64_t elapsed_ms = ToMillis(Now() - start);
   const bool crashed = bed->crashed();
 
+  if (config.replication != nullptr) {
+    // The workload is quiescent but the testbed (and the primary's log
+    // device) is still alive: the observer joins its shipping thread and
+    // — on a crash — drains the surviving durable log into the follower.
+    config.replication->OnPrimaryStopped(crashed);
+  }
+
   RunStats stats = metrics.Snapshot();
   stats.lock_stats = bed->protocol->table().GetStats();
   stats.buffer_hits = bed->doc->buffer().hits();
   stats.buffer_misses = bed->doc->buffer().misses();
   stats.buffer_io = bed->doc->buffer().io_stats();
   if (bed->wal != nullptr) stats.wal = bed->wal->stats();
+  if (config.replication != nullptr) {
+    stats.repl = config.replication->Stats();
+  }
   stats.run_duration_ms = elapsed_ms;
 
   if (bed->faults != nullptr) {
@@ -330,6 +356,9 @@ StatusOr<RunStats> RunCluster1(const RunConfig& config, ChaosReport* report) {
 }
 
 StatusOr<Cluster2Result> RunCluster2(const RunConfig& config, int deletions) {
+  if (config.replication != nullptr) {
+    return Status::InvalidArgument("replication is a CLUSTER1 feature");
+  }
   RunConfig c2 = config;
   c2.isolation = IsolationLevel::kRepeatable;
   XTC_ASSIGN_OR_RETURN(std::unique_ptr<Testbed> bed, BuildTestbed(c2));

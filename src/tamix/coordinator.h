@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "lock/lock_manager.h"
+#include "repl/repl_stats.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
 #include "tamix/bib_generator.h"
@@ -22,6 +23,39 @@
 #include "wal/wal.h"
 
 namespace xtc {
+
+/// What a replication observer may hold of the primary while the run is
+/// alive (DESIGN.md §7). All pointers are owned by the testbed and stay
+/// valid from OnPrimaryReady until OnPrimaryStopped returns.
+struct PrimaryHandles {
+  /// The primary's log; the shipper reads its durable prefix from here
+  /// (valid even after a simulated crash — the log device outlives the
+  /// process, which is what failover drains).
+  Wal* wal = nullptr;
+  FaultInjector* faults = nullptr;  // null unless chaos mode
+  CrashSwitch* crash = nullptr;     // null unless crash_enabled
+  /// Base images at the post-setup checkpoint — what a follower is
+  /// seeded from.
+  PageFileImage base_disk;
+  std::string base_log;
+  /// The primary's storage configuration (page size etc.); a follower
+  /// must strip the injector/switch and substitute its own.
+  StorageOptions storage;
+};
+
+/// Hook a run uses to drive log-shipping replication alongside the
+/// workload. OnPrimaryReady fires after the base checkpoint and before
+/// any fault point is armed; OnPrimaryStopped fires after every worker
+/// and the checkpointer joined, while the testbed (and thus `wal`) is
+/// still alive — the failover drain happens there. Stats() is read once
+/// after OnPrimaryStopped into RunStats::repl.
+class ReplicationObserver {
+ public:
+  virtual ~ReplicationObserver() = default;
+  virtual Status OnPrimaryReady(const PrimaryHandles& handles) = 0;
+  virtual void OnPrimaryStopped(bool crashed) = 0;
+  virtual ReplicationStats Stats() const = 0;
+};
 
 /// Per-client transaction mix. CLUSTER1 (paper): 3 clients, each keeping
 /// 9 TAqueryBook, 5 TAchapter, 2 TArenameTopic and 8 TAlendAndReturn
@@ -103,6 +137,9 @@ struct RunConfig {
   int max_retries = 4;
   Duration retry_backoff = Millis(100);
   Duration retry_backoff_max = Millis(2000);
+  /// Log-shipping replication hook (CLUSTER1 only; requires the WAL).
+  /// Not owned; must outlive the run.
+  ReplicationObserver* replication = nullptr;
 
   Duration Scaled(Duration d) const {
     return std::chrono::duration_cast<Duration>(d * time_scale);

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "lock/lock_table.h"
+#include "repl/repl_stats.h"
 #include "storage/buffer_manager.h"
 #include "tamix/transactions.h"
 #include "wal/wal.h"
@@ -53,6 +54,9 @@ struct RunStats {
   /// appends, forced syncs, checkpoints, and — after a restart — the
   /// recovery counters (records redone, losers undone).
   WalStats wal;
+  /// Log-shipping replication counters (enabled=false when the run had
+  /// no replication observer attached).
+  ReplicationStats repl;
   int64_t run_duration_ms = 0;
 
   uint64_t total_committed() const {

@@ -9,7 +9,14 @@ std::vector<std::string_view> AllFaultPoints() {
           fault_points::kBufferPin,   fault_points::kNodeIud,
           fault_points::kTxUndo,      fault_points::kWalFlush,
           fault_points::kCrashWal,    fault_points::kCrashPage,
-          fault_points::kCrashCommit};
+          fault_points::kCrashCommit, fault_points::kCrashShip,
+          fault_points::kCrashApply};
+}
+
+std::vector<std::string_view> AllCrashPoints() {
+  return {fault_points::kCrashWal, fault_points::kCrashPage,
+          fault_points::kCrashCommit, fault_points::kCrashShip,
+          fault_points::kCrashApply};
 }
 
 namespace {

@@ -54,13 +54,25 @@ inline constexpr std::string_view kWalFlush = "wal.flush";
 //   crash.page   — kill mid data-page write-back; the page is torn
 //                  (detected later via its checksum => kDataLoss).
 //   crash.commit — kill just before the commit record is appended.
+//   crash.ship   — kill the *primary* mid log shipment; the in-flight
+//                  chunk reaches the follower torn (replication).
+//   crash.apply  — kill the *follower* mid redo apply; its buffered
+//                  (unflushed) applied state is lost (replication).
 inline constexpr std::string_view kCrashWal = "crash.wal";
 inline constexpr std::string_view kCrashPage = "crash.page";
 inline constexpr std::string_view kCrashCommit = "crash.commit";
+inline constexpr std::string_view kCrashShip = "crash.ship";
+inline constexpr std::string_view kCrashApply = "crash.apply";
 }  // namespace fault_points
 
 /// Every fault point the stack defines (for "arm everything" configs).
 std::vector<std::string_view> AllFaultPoints();
+
+/// The hard-kill subset of AllFaultPoints() (every "crash."-prefixed
+/// point). The paired crash harness rotates its kill site over exactly
+/// this list; tests/crash_points_test.cc holds it in lockstep with the
+/// docs/robustness.md table.
+std::vector<std::string_view> AllCrashPoints();
 
 struct FaultPointConfig {
   /// Chance that one evaluation fires.

@@ -45,11 +45,7 @@ RunConfig DefaultCrashRunConfig(uint64_t seed) {
   return c;
 }
 
-namespace {
-
-/// Decodes the durable commit payloads ({u32 TxType, u64 body_seed})
-/// back into replayable transactions.
-StatusOr<std::vector<CommittedTx>> DecodeCommits(
+StatusOr<std::vector<CommittedTx>> DecodeCommitPayloads(
     const std::vector<RecoveredCommit>& recovered) {
   std::vector<CommittedTx> out;
   out.reserve(recovered.size());
@@ -72,8 +68,6 @@ StatusOr<std::vector<CommittedTx>> DecodeCommits(
   }
   return out;
 }
-
-}  // namespace
 
 StatusOr<CrashFuzzOutcome> RunCrashRestart(const CrashFuzzConfig& config) {
   const std::string tag = "crash seed " + std::to_string(config.seed) + ": ";
@@ -114,9 +108,13 @@ StatusOr<CrashFuzzOutcome> RunCrashRestart(const CrashFuzzConfig& config) {
     wal_options.crash_switch = rec_crash.get();
   }
 
+  // Rotate the redo pool size with the seed so the fuzz sweep covers the
+  // parallel redo path (wal/redo_applier.h) as well as the serial one.
+  RecoveryOptions recovery;
+  recovery.redo_workers = 1 + static_cast<int>(config.seed % 4);
   CrashArtifacts artifacts;
   auto opened = OpenDatabase(storage, wal_options, report.disk_image,
-                             report.log_image, 2, &artifacts);
+                             report.log_image, 2, &artifacts, recovery);
   if (!opened.ok() && rec_crash != nullptr && rec_crash->crashed()) {
     // Recovery itself was killed. Recover again, fault-free, from the
     // artifacts the dead attempt left behind — the undo chains may have
@@ -127,7 +125,7 @@ StatusOr<CrashFuzzOutcome> RunCrashRestart(const CrashFuzzConfig& config) {
     clean.fault_injector = nullptr;
     clean.crash_switch = nullptr;
     opened = OpenDatabase(clean, WalOptions{}, artifacts.disk_image,
-                          artifacts.log_image);
+                          artifacts.log_image, 2, nullptr, recovery);
   }
   if (!opened.ok()) {
     return opened.status().Annotate(tag + "restart recovery failed");
@@ -141,7 +139,7 @@ StatusOr<CrashFuzzOutcome> RunCrashRestart(const CrashFuzzConfig& config) {
   // forced durable, and a durable commit record always reaches the
   // worker's log — so the two sets must match seq-for-seq.
   XTC_ASSIGN_OR_RETURN(std::vector<CommittedTx> recovered,
-                       DecodeCommits(db.committed));
+                       DecodeCommitPayloads(db.committed));
   if (recovered.size() != report.committed.size()) {
     return Status::Internal(
         tag + "workers observed " + std::to_string(report.committed.size()) +

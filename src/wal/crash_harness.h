@@ -9,12 +9,19 @@
 #define XTC_WAL_CRASH_HARNESS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "tamix/coordinator.h"
 #include "util/status.h"
 #include "wal/recovery.h"
 
 namespace xtc {
+
+/// Decodes durable commit payloads ({u32 TxType, u64 body_seed}) back
+/// into replayable transactions. Shared by the crash-restart and the
+/// paired replication harnesses (repl/repl_harness.h).
+StatusOr<std::vector<CommittedTx>> DecodeCommitPayloads(
+    const std::vector<RecoveredCommit>& recovered);
 
 struct CrashFuzzConfig {
   uint64_t seed = 1;

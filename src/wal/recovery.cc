@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "wal/redo_applier.h"
 
 namespace xtc {
 
@@ -23,7 +24,8 @@ StatusOr<OpenResult> OpenDatabase(const StorageOptions& storage,
                                   const WalOptions& wal_options,
                                   const PageFileImage& disk_image,
                                   const std::string& log_image, uint32_t dist,
-                                  CrashArtifacts* crash_artifacts) {
+                                  CrashArtifacts* crash_artifacts,
+                                  const RecoveryOptions& recovery) {
   OpenResult result;
 
   // Fresh database: nothing stored, nothing logged.
@@ -52,8 +54,12 @@ StatusOr<OpenResult> OpenDatabase(const StorageOptions& storage,
   }
   if (checkpoint == nullptr) {
     if (disk_image.pages.empty() && records.empty()) {
-      // A bare log header over an empty disk: nothing ever happened.
-      result.wal = std::make_unique<Wal>(wal_options, log_image);
+      // A bare log header over an empty disk: nothing ever happened
+      // (sanitize drops a torn first record so appends go after the
+      // header, not after garbage).
+      auto bare = Wal::SanitizeImage(log_image);
+      if (!bare.ok()) return bare.status().Annotate("recovery: log sanitize");
+      result.wal = std::make_unique<Wal>(wal_options, std::move(*bare));
       result.doc = std::make_unique<Document>(storage, dist);
       result.doc->AttachWal(result.wal.get());
       return result;
@@ -111,39 +117,12 @@ StatusOr<OpenResult> OpenDatabase(const StorageOptions& storage,
     }
     return st;
   };
-  uint64_t records_redone = 0;
-  uint64_t pages_redone = 0;
-  for (const WalRecord& r : records) {
-    if (r.type != WalRecordType::kUpdate || r.lsn < redo_start) continue;
-    bool applied_any = false;
-    for (const WalPageImage& img : r.pages) {
-      XTC_CHECK(img.bytes.size() == file.page_size(),
-                "recovery redo: logged page size does not match the store");
-      file.EnsureAllocated(img.id);
-      Page current(file.page_size());
-      Status read = file.Read(img.id, &current);
-      bool apply;
-      if (read.ok()) {
-        apply = ReadPageLsn(current) < r.end_lsn;
-      } else if (read.IsDataLoss()) {
-        apply = true;  // torn page: the logged after-image repairs it
-      } else {
-        return redo_failed(read.Annotate("recovery redo: read of page " +
-                                         std::to_string(img.id)));
-      }
-      if (!apply) continue;
-      Page image(file.page_size());
-      std::memcpy(image.data(), img.bytes.data(), img.bytes.size());
-      Status write = file.Write(img.id, image);
-      if (!write.ok()) {
-        return redo_failed(write.Annotate("recovery redo: write of page " +
-                                          std::to_string(img.id)));
-      }
-      ++pages_redone;
-      applied_any = true;
-    }
-    if (applied_any) ++records_redone;
-  }
+  FilePageSink sink(&file);
+  RedoApplier redo(&sink);
+  Status redo_st = redo.ApplyAll(records, redo_start, recovery.redo_workers);
+  if (!redo_st.ok()) return redo_failed(redo_st.Annotate("recovery redo"));
+  const uint64_t records_redone = redo.stats().records_redone;
+  const uint64_t pages_redone = redo.stats().pages_redone;
   result.stats.records_redone = records_redone;
   result.stats.pages_redone = pages_redone;
 
@@ -173,7 +152,17 @@ StatusOr<OpenResult> OpenDatabase(const StorageOptions& storage,
   // id), so a crash mid-undo just grows the chains and a repeat run
   // converges. Tx 0 is system work (bib generation, checkpoints) and is
   // never undone.
-  result.wal = std::make_unique<Wal>(wal_options, log_image);
+  //
+  // The wal reopens from the *sanitized* image: a torn tail must be
+  // truncated (not appended after), or every record this recovery and
+  // the recovered instance write afterwards would sit beyond mid-log
+  // garbage, invisible to the next restart's scan — commits made after
+  // a recovery would silently vanish at the restart after that.
+  auto sanitized = Wal::SanitizeImage(log_image);
+  if (!sanitized.ok()) {
+    return sanitized.status().Annotate("recovery: log sanitize");
+  }
+  result.wal = std::make_unique<Wal>(wal_options, std::move(*sanitized));
   doc.AttachWal(result.wal.get());
   auto failed = [&](const Status& st) {
     if (crash_artifacts != nullptr && Crashed(storage)) {

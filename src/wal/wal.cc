@@ -469,6 +469,14 @@ std::string Wal::DurableImage() const {
   return buffer_.substr(0, durable_);
 }
 
+std::string Wal::DurableSuffix(Lsn from, uint64_t max_bytes) const {
+  MutexLock guard(mu_);
+  if (from >= durable_) return {};
+  uint64_t len = durable_ - from;
+  if (max_bytes != 0 && max_bytes < len) len = max_bytes;
+  return buffer_.substr(from, len);
+}
+
 Lsn Wal::last_checkpoint_lsn() const {
   MutexLock guard(mu_);
   return last_checkpoint_;
@@ -534,6 +542,39 @@ StatusOr<std::vector<WalRecord>> Wal::ScanDurable(std::string_view image,
     pos += 8 + len;
   }
   return records;
+}
+
+StatusOr<std::string> Wal::SanitizeImage(std::string image) {
+  if (image.empty()) return image;
+  if (image.size() < kWalHeaderSize || LoadU64(image.data()) != kWalMagic) {
+    return Status::DataLoss("wal: log header missing or corrupt");
+  }
+  // Walk the frames exactly as ScanDurable does (CRC delimits the
+  // durable tail), tracking the end of the last complete record and the
+  // LSN of the last complete checkpoint.
+  size_t clean_end = kWalHeaderSize;
+  Lsn last_checkpoint = 0;
+  size_t pos = kWalHeaderSize;
+  while (pos + 8 <= image.size()) {
+    const uint32_t len = LoadU32(image.data() + pos);
+    const uint32_t crc = LoadU32(image.data() + pos + 4);
+    if (pos + 8 + len > image.size()) break;
+    const std::string_view payload =
+        std::string_view(image).substr(pos + 8, len);
+    if (Crc32(payload) != crc) break;
+    if (len > 0 && static_cast<WalRecordType>(static_cast<uint8_t>(
+                       payload[0])) == WalRecordType::kCheckpoint) {
+      last_checkpoint = pos;
+    }
+    pos += 8 + len;
+    clean_end = pos;
+  }
+  image.resize(clean_end);
+  // Canonical master pointer: the last checkpoint that survived the
+  // truncation. This also repairs the torn-checkpoint case, where the
+  // in-place header update finished but the record itself tore.
+  std::memcpy(image.data() + 8, &last_checkpoint, sizeof(last_checkpoint));
+  return image;
 }
 
 StatusOr<WalRecord> Wal::ReadRecordAt(std::string_view image, Lsn lsn) {

@@ -239,6 +239,13 @@ class Wal : public WalBackend {
   /// The bytes a real process would find in the log file right now.
   std::string DurableImage() const XTC_EXCLUDES(mu_);
 
+  /// Durable bytes in [from, DurableLsn()) — what a log shipper still
+  /// owes its follower — capped at `max_bytes` (0 = uncapped). Readable
+  /// after a crash too: the log device outlives the process, and
+  /// failover drains it from here.
+  std::string DurableSuffix(Lsn from, uint64_t max_bytes = 0) const
+      XTC_EXCLUDES(mu_);
+
   Lsn last_checkpoint_lsn() const XTC_EXCLUDES(mu_);
   WalStats stats() const XTC_EXCLUDES(mu_);
   void SetRecoveryCounters(uint64_t records_redone, uint64_t pages_redone,
@@ -258,6 +265,16 @@ class Wal : public WalBackend {
   /// Random-access decode of the record starting at `lsn` (undo follows
   /// prev-LSN chains backwards).
   static StatusOr<WalRecord> ReadRecordAt(std::string_view image, Lsn lsn);
+
+  /// Truncates a crash image to its last complete record and repairs the
+  /// master pointer: a torn tail can leave garbage bytes mid-buffer (a
+  /// reopened log would append *after* them, hiding every later record
+  /// from the next scan), and a checkpoint whose record tore after its
+  /// in-place header update leaves the master pointing into the torn
+  /// region. The result always satisfies ScanDurable with no torn tail
+  /// and master = LSN of the last complete checkpoint (0 if none).
+  /// Recovery and follower promotion reopen from the sanitized image.
+  static StatusOr<std::string> SanitizeImage(std::string image);
 
  private:
   Lsn AppendRecordLocked(std::string payload) XTC_REQUIRES(mu_);

@@ -72,7 +72,8 @@ TEST(FaultPointsTest, AllNamedConstantsAreEnumerated) {
         fault_points::kBufferPin, fault_points::kNodeIud,
         fault_points::kTxUndo, fault_points::kWalFlush,
         fault_points::kCrashWal, fault_points::kCrashPage,
-        fault_points::kCrashCommit}) {
+        fault_points::kCrashCommit, fault_points::kCrashShip,
+        fault_points::kCrashApply}) {
     EXPECT_TRUE(in_code.count(std::string(p)) != 0)
         << "constant '" << p << "' not returned by AllFaultPoints()";
   }

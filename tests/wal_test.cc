@@ -301,6 +301,121 @@ TEST(WalTest, CheckpointOnlyLogRecovers) {
   EXPECT_FALSE(subtree->empty());
 }
 
+TEST(WalTest, SanitizeImageTruncatesEveryTornTailCutPoint) {
+  Wal wal(WalOptions{});
+  const uint32_t page_size = 128;
+  wal.AppendUpdate(1, UndoOp{}, SomeMeta(), {1}, page_size,
+                   FakeReader(page_size));
+  ASSERT_TRUE(wal.AppendCommit(1, 1, "x").ok());
+  wal.AppendUpdate(2, UndoOp{}, SomeMeta(), {2}, page_size,
+                   FakeReader(page_size));
+  ASSERT_TRUE(wal.Sync().ok());
+  const std::string image = wal.DurableImage();
+  bool torn = false;
+  auto full = Wal::ScanDurable(image, &torn);
+  ASSERT_TRUE(full.ok());
+  const Lsn last_start = full->back().lsn;
+
+  // Every truncation point inside the final record — including cuts
+  // through the length field, the CRC and the payload — must sanitize
+  // to an image that scans clean with exactly the first two records.
+  for (size_t end = last_start + 1; end < image.size(); ++end) {
+    auto clean = Wal::SanitizeImage(image.substr(0, end));
+    ASSERT_TRUE(clean.ok()) << "cut at " << end;
+    EXPECT_EQ(clean->size(), last_start) << "cut at " << end;
+    bool still_torn = true;
+    auto records = Wal::ScanDurable(*clean, &still_torn);
+    ASSERT_TRUE(records.ok()) << "cut at " << end;
+    EXPECT_FALSE(still_torn);
+    ASSERT_EQ(records->size(), 2u) << "cut at " << end;
+  }
+}
+
+TEST(WalTest, SanitizeImageRepairsMasterPointingIntoTornCheckpoint) {
+  // A kill can tear the checkpoint record itself *after* the in-place
+  // master-pointer update reached the header: the master then points
+  // into the torn region. Sanitizing must fall back to the previous
+  // complete checkpoint (here: the first one).
+  Wal wal(WalOptions{});
+  ASSERT_TRUE(wal.AppendCheckpoint({}, {{1, "bib"}}, SomeMeta()).ok());
+  const Lsn first_checkpoint = wal.last_checkpoint_lsn();
+  const uint32_t page_size = 128;
+  wal.AppendUpdate(1, UndoOp{}, SomeMeta(), {1}, page_size,
+                   FakeReader(page_size));
+  ASSERT_TRUE(wal.AppendCommit(1, 1, "x").ok());
+  ASSERT_TRUE(wal.AppendCheckpoint({}, {{1, "bib"}}, SomeMeta()).ok());
+  const std::string image = wal.DurableImage();
+  const Lsn second_checkpoint = wal.last_checkpoint_lsn();
+  ASSERT_GT(second_checkpoint, first_checkpoint);
+  ASSERT_EQ(Wal::MasterPointer(image), second_checkpoint);
+
+  for (size_t end = second_checkpoint + 1; end < image.size(); end += 5) {
+    auto clean = Wal::SanitizeImage(image.substr(0, end));
+    ASSERT_TRUE(clean.ok()) << "cut at " << end;
+    EXPECT_EQ(Wal::MasterPointer(*clean), first_checkpoint)
+        << "cut at " << end;
+    EXPECT_EQ(clean->size(), second_checkpoint);
+  }
+
+  // ... and when no complete checkpoint survives, master goes to 0.
+  Wal fresh(WalOptions{});
+  fresh.AppendUpdate(1, UndoOp{}, SomeMeta(), {1}, page_size,
+                     FakeReader(page_size));
+  ASSERT_TRUE(fresh.Sync().ok());
+  std::string torn_cp = fresh.DurableImage();
+  ASSERT_TRUE(fresh.AppendCheckpoint({}, {}, SomeMeta()).ok());
+  const std::string with_cp = fresh.DurableImage();
+  auto clean = Wal::SanitizeImage(with_cp.substr(0, with_cp.size() - 3));
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(Wal::MasterPointer(*clean), 0u);
+  EXPECT_EQ(clean->size(), torn_cp.size());
+}
+
+TEST(WalTest, SanitizeImageRejectsCorruptHeader) {
+  Wal wal(WalOptions{});
+  std::string image = wal.DurableImage();
+  image[0] ^= 0xff;
+  EXPECT_FALSE(Wal::SanitizeImage(image).ok());
+  EXPECT_FALSE(Wal::SanitizeImage("short").ok());
+  // The empty image stays empty (fresh database).
+  auto empty = Wal::SanitizeImage("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(WalTest, CommitsAppendedAfterTornTailReopenStayVisible) {
+  // Regression: reopening a log whose durable image ends in a torn
+  // record used to append *after* the garbage, so every record appended
+  // by the recovered instance was invisible to the next restart's scan
+  // — commits accepted after a recovery were lost at the second crash.
+  Wal wal(WalOptions{});
+  const uint32_t page_size = 128;
+  wal.AppendUpdate(1, UndoOp{}, SomeMeta(), {1}, page_size,
+                   FakeReader(page_size));
+  ASSERT_TRUE(wal.AppendCommit(1, 1, "first").ok());
+  wal.AppendUpdate(2, UndoOp{}, SomeMeta(), {2}, page_size,
+                   FakeReader(page_size));
+  ASSERT_TRUE(wal.Sync().ok());
+  std::string image = wal.DurableImage();
+  image.resize(image.size() - 11);  // tear the final record
+
+  auto clean = Wal::SanitizeImage(std::move(image));
+  ASSERT_TRUE(clean.ok());
+  Wal reopened(WalOptions{}, std::move(*clean));
+  reopened.AppendUpdate(3, UndoOp{}, SomeMeta(), {3}, page_size,
+                        FakeReader(page_size));
+  ASSERT_TRUE(reopened.AppendCommit(3, 2, "second").ok());
+
+  bool torn = true;
+  auto records = Wal::ScanDurable(reopened.DurableImage(), &torn);
+  ASSERT_TRUE(records.ok()) << records.status().message();
+  EXPECT_FALSE(torn);
+  // vocab-free stream: update, commit("first"), update, commit("second")
+  ASSERT_EQ(records->size(), 4u);
+  EXPECT_EQ(records->back().type, WalRecordType::kCommit);
+  EXPECT_EQ(records->back().payload, "second");
+}
+
 TEST(WalTest, NonEmptyDiskWithoutCheckpointIsDataLoss) {
   StorageOptions storage;
   PageFile file(storage);

@@ -11,11 +11,19 @@
 // Every 8th seed additionally kills the *recovery* and demands that a
 // second, clean recovery converges from the dead attempt's artifacts.
 //
+// With --pair each seed instead runs the *replicated* harness: a
+// log-shipping follower tails the primary, the kill site rotates over
+// all five crash points (the three primary kills plus the mid-shipment
+// and follower-side apply kills), and the seed passes only if primary
+// and follower agree on exactly the same committed transactions and the
+// promoted follower equals a single-threaded replay of them.
+//
 // Usage:
-//   crashfuzz [--seeds N] [--start S] [--smoke] [-v]
+//   crashfuzz [--seeds N] [--start S] [--pair] [--smoke] [-v]
 //
 // --seeds N   seeds to run (default 32)
 // --start S   first seed (default 1; seeds are S..S+N-1)
+// --pair      paired primary/follower mode (see above)
 // --smoke     CI preset: halve the per-run duration
 // -v          print one line per seed instead of only failures
 //
@@ -28,6 +36,7 @@
 #include <cstring>
 #include <string>
 
+#include "repl/repl_harness.h"
 #include "wal/crash_harness.h"
 
 namespace xtc {
@@ -77,12 +86,63 @@ int Run(int seeds, int start, bool smoke, bool verbose) {
   return failures == 0 ? 0 : 1;
 }
 
+int RunPaired(int seeds, int start, bool smoke, bool verbose) {
+  int failures = 0;
+  int primary_crashed = 0;
+  int follower_killed = 0;
+  uint64_t commits = 0;
+  for (int i = 0; i < seeds; ++i) {
+    const uint64_t seed = static_cast<uint64_t>(start + i);
+    PairFuzzConfig config;
+    config.seed = seed;
+    config.run = DefaultPairRunConfig(seed);
+    if (smoke) config.run.run_duration = config.run.run_duration / 2;
+    config.kill_follower = PairSeedKillsFollower(seed);
+    config.promote_redo_workers = 1 + static_cast<int>(seed % 4);
+    auto outcome = RunReplicatedCrashRestart(config);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "FAIL  seed %3llu  %s\n",
+                   static_cast<unsigned long long>(seed),
+                   outcome.status().message().c_str());
+      ++failures;
+      continue;
+    }
+    if (outcome->primary_crashed) ++primary_crashed;
+    if (outcome->follower_killed) ++follower_killed;
+    commits += outcome->committed;
+    const bool kill_missed = config.kill_follower
+                                 ? !outcome->follower_killed
+                                 : !outcome->primary_crashed;
+    if (verbose || kill_missed) {
+      std::printf(
+          "%s  seed %3llu  %s commits=%llu applied=%llu "
+          "shipped=%lluB restarts=%llu losers=%llu\n",
+          kill_missed ? "miss" : "ok  ",
+          static_cast<unsigned long long>(seed),
+          config.kill_follower ? "kill=follower" : "kill=primary ",
+          static_cast<unsigned long long>(outcome->committed),
+          static_cast<unsigned long long>(outcome->repl.commits_applied),
+          static_cast<unsigned long long>(outcome->repl.shipped_bytes),
+          static_cast<unsigned long long>(outcome->follower_restarts),
+          static_cast<unsigned long long>(
+              outcome->promote_recovery.losers_undone));
+    }
+  }
+  std::printf(
+      "crashfuzz --pair: %d seed(s), %d primary crash(es), "
+      "%d follower kill(s), %llu commits pair-verified, %d failure(s)\n",
+      seeds, primary_crashed, follower_killed,
+      static_cast<unsigned long long>(commits), failures);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace xtc
 
 int main(int argc, char** argv) {
   int seeds = 32;
   int start = 1;
+  bool pair = false;
   bool smoke = false;
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
@@ -90,16 +150,20 @@ int main(int argc, char** argv) {
       seeds = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--start") == 0 && i + 1 < argc) {
       start = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--pair") == 0) {
+      pair = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "-v") == 0) {
       verbose = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: crashfuzz [--seeds N] [--start S] [--smoke] [-v]\n");
+      std::fprintf(
+          stderr,
+          "usage: crashfuzz [--seeds N] [--start S] [--pair] [--smoke] [-v]\n");
       return 2;
     }
   }
   if (seeds <= 0) return 0;
-  return xtc::Run(seeds, start, smoke, verbose);
+  return pair ? xtc::RunPaired(seeds, start, smoke, verbose)
+              : xtc::Run(seeds, start, smoke, verbose);
 }
