@@ -193,13 +193,19 @@ LockOutcome LockTable::LockSlow(uint64_t tx, std::string_view resource,
     children_mode = conv.children_mode;
     if (target == held->effective) {
       // Already strong enough; only the duration bookkeeping may change.
+      // The conversion's child-lock side effect still applies: e.g. a CX
+      // holder requesting LR keeps CX but owes NR on every child (Fig. 4
+      // CX_NR), so children_mode must reach the caller even though the
+      // node grant itself is a no-op.
       if (duration == LockDuration::kCommit) {
         held->long_mode = modes_->Convert(held->long_mode, mode).result;
       } else {
         held->short_mode = modes_->Convert(held->short_mode, mode).result;
       }
       stat_immediate_.fetch_add(1, std::memory_order_relaxed);
-      return {Status::OK(), held->effective, kNoMode, held->long_mode};
+      if (options_.nonblocking) OnNonblockingGrant(tx, resource, target, target,
+                                                  duration);
+      return {Status::OK(), held->effective, children_mode, held->long_mode};
     }
     stat_conversions_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -207,9 +213,60 @@ LockOutcome LockTable::LockSlow(uint64_t tx, std::string_view resource,
   // Fast path.
   if ((is_conversion || r->queue.empty()) &&
       CompatibleWithHolders(*r, tx, target)) {
+    const ModeId previous = is_conversion ? held->effective : kNoMode;
     const Held* h = GrantLocked(&shard, r, tx, mode, target, duration);
     stat_immediate_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.nonblocking) OnNonblockingGrant(tx, resource, previous,
+                                                 target, duration);
     return {Status::OK(), target, children_mode, h->long_mode};
+  }
+
+  // Nonblocking (model-checker) path: never enqueue or sleep. Register
+  // the wait-for edges a blocked thread would hold, run the same cycle
+  // check the wait loop runs, and hand the would-block outcome back to
+  // the caller, which owns retry scheduling.
+  if (options_.nonblocking) {
+    stat_waits_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<uint64_t> blockers =
+        BlockersOf(*r, tx, target, is_conversion, /*self=*/nullptr);
+    XTC_CHECK(!blockers.empty(),
+              "nonblocking wait path reached with no blockers");
+    {
+      MutexLock g(graph_mu_);
+      detector_.SetEdges(tx, blockers);
+      if (options_.deadlock_detection && detector_.HasCycleFrom(tx)) {
+        DeadlockEvent event;
+        event.victim = tx;
+        event.resource = r->name;
+        event.requested_mode = std::string(modes_->Name(target));
+        event.conversion = is_conversion;
+        event.blockers = blockers.size();
+        event.waiting_transactions = detector_.num_waiters();
+        event.victim_reason =
+            std::string("cycle closer: this transaction's new wait edge "
+                        "completed the cycle, and the closer aborts (") +
+            (is_conversion ? "conversion wait)" : "fresh-request wait)");
+        deadlock_log_.push_back(std::move(event));
+        if (deadlock_log_.size() > options_.deadlock_log_capacity) {
+          deadlock_log_.pop_front();
+        }
+        detector_.ClearEdges(tx);
+        EraseResourceIfIdle(&shard, r);
+        stat_deadlocks_.fetch_add(1, std::memory_order_relaxed);
+        if (is_conversion) {
+          stat_conv_deadlocks_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (options_.probe != nullptr) {
+          options_.probe->OnDeadlockVictim(tx, resource, target, blockers);
+        }
+        return {Status::Deadlock(), kNoMode, kNoMode};
+      }
+    }
+    if (options_.probe != nullptr) {
+      options_.probe->OnWouldBlock(tx, resource, target, blockers);
+    }
+    EraseResourceIfIdle(&shard, r);
+    return {Status::WouldBlock(), kNoMode, kNoMode};
   }
 
   // Slow path: wait.
@@ -286,6 +343,18 @@ LockOutcome LockTable::LockSlow(uint64_t tx, std::string_view resource,
       shard.cv.notify_all();
       return {Status::LockTimeout(), kNoMode, kNoMode};
     }
+  }
+}
+
+void LockTable::OnNonblockingGrant(uint64_t tx, std::string_view resource,
+                                   ModeId previous, ModeId effective,
+                                   LockDuration duration) {
+  {
+    MutexLock g(graph_mu_);
+    detector_.ClearEdges(tx);
+  }
+  if (options_.probe != nullptr) {
+    options_.probe->OnGrant(tx, resource, previous, effective, duration);
   }
 }
 
@@ -467,6 +536,25 @@ void LockTable::ReleaseAll(uint64_t tx) {
   }
   MutexLock g(graph_mu_);
   detector_.ClearEdges(tx);
+}
+
+std::vector<LockTable::HoldSnapshot> LockTable::SnapshotHolds() const {
+  std::vector<HoldSnapshot> out;
+  for (const auto& shard : shards_) {
+    MutexLock guard(shard->mu);
+    for (const auto& [name, r] : shard->resources) {
+      for (const auto& [id, held] : r->granted) {
+        out.push_back(HoldSnapshot{id, name, held.long_mode, held.short_mode,
+                                   held.effective});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HoldSnapshot& a, const HoldSnapshot& b) {
+              if (a.resource != b.resource) return a.resource < b.resource;
+              return a.tx < b.tx;
+            });
+  return out;
 }
 
 ModeId LockTable::HeldMode(uint64_t tx, std::string_view resource) const {

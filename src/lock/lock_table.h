@@ -63,6 +63,31 @@ namespace xtc {
 
 enum class LockDuration : uint8_t { kOperation = 0, kCommit = 1 };
 
+/// Observation hook for the protocol model checker (tools/protoverify).
+/// Callbacks fire from inside Lock() while the resource shard mutex is
+/// held, so implementations must not call back into the table. The
+/// threaded engine never installs one; see LockTableOptions::probe.
+class LockEventProbe {
+ public:
+  virtual ~LockEventProbe() = default;
+  /// A request was granted (fresh lock or conversion). `effective` is the
+  /// mode now held; `previous` the effective mode before the request
+  /// (kNoMode for a fresh lock).
+  virtual void OnGrant(uint64_t tx, std::string_view resource,
+                       ModeId previous, ModeId effective,
+                       LockDuration duration) = 0;
+  /// Nonblocking mode only: the request had to wait on `blockers` and
+  /// Lock() is about to return kWouldBlock (no cycle was found).
+  virtual void OnWouldBlock(uint64_t tx, std::string_view resource,
+                            ModeId target,
+                            const std::vector<uint64_t>& blockers) = 0;
+  /// The request closed a wait-for cycle and `tx` was chosen as the
+  /// victim (Lock() returns kDeadlock).
+  virtual void OnDeadlockVictim(uint64_t tx, std::string_view resource,
+                                ModeId target,
+                                const std::vector<uint64_t>& blockers) = 0;
+};
+
 struct LockOutcome {
   Status status;
   /// Mode the transaction now holds on the resource (on success).
@@ -111,6 +136,25 @@ struct LockTableOptions {
   FaultInjector* fault_injector = nullptr;
   /// Transaction-private lock cache (see file comment).
   TxLockCache tx_lock_cache = TxLockCache::kAuto;
+  /// Deterministic single-threaded mode for the protocol model checker:
+  /// a request that would have to wait returns kWouldBlock immediately
+  /// instead of blocking on the shard condition variable. The waiter's
+  /// wait-for edges stay registered in the deadlock detector until the
+  /// transaction is granted the resource, is victimized, or releases —
+  /// exactly the window a blocked thread would occupy them — so a later
+  /// request by another transaction that closes a cycle is victimized
+  /// just as in threaded operation. FIFO fairness does not apply (there
+  /// is no persistent queue); the caller decides retry order, which is
+  /// precisely what a schedule enumerator wants to control.
+  bool nonblocking = false;
+  /// Observation hook (nonblocking/model-checking builds only).
+  LockEventProbe* probe = nullptr;
+  /// Testing backdoor for protoverify --selftest: when false, the
+  /// wait-path cycle check is skipped, so real deadlocks go undetected
+  /// (nonblocking mode reports kWouldBlock forever). The checker must
+  /// flag the resulting stall as an undetected deadlock; never disable
+  /// this anywhere else.
+  bool deadlock_detection = true;
 };
 
 /// One recorded deadlock (the victim's view at detection time).
@@ -150,6 +194,20 @@ class LockTable {
   const ModeTable& modes() const { return *modes_; }
 
   // Introspection (tests / reporting).
+  /// One granted (tx, resource) hold. effective == Convert-closure of the
+  /// duration components; see Held in the implementation.
+  struct HoldSnapshot {
+    uint64_t tx = 0;
+    std::string resource;
+    ModeId long_mode = kNoMode;
+    ModeId short_mode = kNoMode;
+    ModeId effective = kNoMode;
+    bool operator==(const HoldSnapshot&) const = default;
+  };
+  /// Every hold in the table, sorted by (resource, tx) so the result is a
+  /// deterministic fingerprint of the lock state (the model checker hashes
+  /// it for schedule-state deduplication).
+  std::vector<HoldSnapshot> SnapshotHolds() const;
   ModeId HeldMode(uint64_t tx, std::string_view resource) const;
   size_t NumLockedResources() const;
   size_t LocksHeldBy(uint64_t tx) const;
@@ -261,6 +319,14 @@ class LockTable {
   /// The full table path of Lock() (everything after the cache probe).
   LockOutcome LockSlow(uint64_t tx, std::string_view resource, ModeId mode,
                        LockDuration duration);
+
+  /// Nonblocking-mode bookkeeping for every successful grant: clears the
+  /// transaction's wait-for edges (its pending retry succeeded) and fires
+  /// the probe. Called with the resource shard mutex held; takes
+  /// graph_mu_, consistent with the shard-then-graph lock order.
+  void OnNonblockingGrant(uint64_t tx, std::string_view resource,
+                          ModeId previous, ModeId effective,
+                          LockDuration duration) XTC_EXCLUDES(graph_mu_);
 
   // The following require the shard mutex (Resource objects themselves
   // are only reachable through Shard::resources, so helpers that take a

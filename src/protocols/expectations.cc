@@ -1,0 +1,157 @@
+#include "protocols/expectations.h"
+
+namespace xtc {
+
+namespace {
+
+// Shorthand so the matrix below reads like the document table:
+// {dirty, lost, non-rep, phantom, non-ser, deadlock}.
+using E = AnomalyExpectation;
+
+// Declared anomaly matrix, pinned from `protoverify --print-measured`
+// and cross-checked against docs/PROTOCOLS.md by the drift test. Every
+// row is a *claim*: the model checker fails if the measured behavior of
+// a protocol at a level differs in any flag. Notable entries:
+//  * URIX admits navigation phantoms (and their pre-commit dirty form)
+//    at every level: it has no level lock, and a subtree delete removes
+//    the very node a childset reader would have to lock.
+//  * NO2PL/OO2PL admit phantoms under an empty parent — no child or
+//    edge exists for the reader to anchor a lock on.
+//  * taDOM3 carries the documented NR/IX-CX conversion waiver
+//    (reconstruction debt, see tadom_protocols.cc), measurable as a
+//    dirty/non-repeatable read of a renamed node.
+const std::vector<ExpectationRow> kExpectations = {
+    // {protocol, level, {dirty, lost, non-rep, phantom, non-ser, deadlock}}
+    {"Node2PL", IsolationLevel::kNone,
+     E{true, true, true, true, true, false}},
+    {"Node2PL", IsolationLevel::kUncommitted,
+     E{true, true, true, true, true, false}},
+    {"Node2PL", IsolationLevel::kCommitted,
+     E{false, true, true, true, true, false}},
+    {"Node2PL", IsolationLevel::kRepeatable,
+     E{false, false, false, false, false, true}},
+    {"Node2PL", IsolationLevel::kSerializable,
+     E{false, false, false, false, false, true}},
+    {"NO2PL", IsolationLevel::kNone,
+     E{true, true, true, true, true, false}},
+    {"NO2PL", IsolationLevel::kUncommitted,
+     E{true, true, true, true, true, false}},
+    {"NO2PL", IsolationLevel::kCommitted,
+     E{false, true, true, true, true, false}},
+    {"NO2PL", IsolationLevel::kRepeatable,
+     E{false, false, false, true, true, true}},
+    {"NO2PL", IsolationLevel::kSerializable,
+     E{false, false, false, true, true, true}},
+    {"OO2PL", IsolationLevel::kNone,
+     E{true, true, true, true, true, false}},
+    {"OO2PL", IsolationLevel::kUncommitted,
+     E{true, true, true, true, true, false}},
+    {"OO2PL", IsolationLevel::kCommitted,
+     E{false, true, true, true, true, false}},
+    {"OO2PL", IsolationLevel::kRepeatable,
+     E{false, false, false, true, true, true}},
+    {"OO2PL", IsolationLevel::kSerializable,
+     E{false, false, false, true, true, true}},
+    {"Node2PLa", IsolationLevel::kNone,
+     E{true, true, true, true, true, false}},
+    {"Node2PLa", IsolationLevel::kUncommitted,
+     E{true, true, true, true, true, true}},
+    {"Node2PLa", IsolationLevel::kCommitted,
+     E{false, true, true, true, true, true}},
+    {"Node2PLa", IsolationLevel::kRepeatable,
+     E{false, false, false, false, false, true}},
+    {"Node2PLa", IsolationLevel::kSerializable,
+     E{false, false, false, false, false, true}},
+    {"IRX", IsolationLevel::kNone,
+     E{true, true, true, true, true, false}},
+    {"IRX", IsolationLevel::kUncommitted,
+     E{true, true, true, true, true, false}},
+    {"IRX", IsolationLevel::kCommitted,
+     E{false, true, true, true, true, false}},
+    {"IRX", IsolationLevel::kRepeatable,
+     E{false, false, false, false, false, true}},
+    {"IRX", IsolationLevel::kSerializable,
+     E{false, false, false, false, false, true}},
+    {"IRIX", IsolationLevel::kNone,
+     E{true, true, true, true, true, false}},
+    {"IRIX", IsolationLevel::kUncommitted,
+     E{true, true, true, true, true, false}},
+    {"IRIX", IsolationLevel::kCommitted,
+     E{false, true, true, true, true, false}},
+    {"IRIX", IsolationLevel::kRepeatable,
+     E{false, false, false, false, false, true}},
+    {"IRIX", IsolationLevel::kSerializable,
+     E{false, false, false, false, false, true}},
+    {"URIX", IsolationLevel::kNone,
+     E{true, true, true, true, true, false}},
+    {"URIX", IsolationLevel::kUncommitted,
+     E{true, true, true, true, true, false}},
+    {"URIX", IsolationLevel::kCommitted,
+     E{true, true, true, true, true, false}},
+    {"URIX", IsolationLevel::kRepeatable,
+     E{true, false, false, true, true, true}},
+    {"URIX", IsolationLevel::kSerializable,
+     E{true, false, false, true, true, true}},
+    {"taDOM2", IsolationLevel::kNone,
+     E{true, true, true, true, true, false}},
+    {"taDOM2", IsolationLevel::kUncommitted,
+     E{true, true, true, true, true, false}},
+    {"taDOM2", IsolationLevel::kCommitted,
+     E{false, true, true, true, true, false}},
+    {"taDOM2", IsolationLevel::kRepeatable,
+     E{false, false, false, false, false, true}},
+    {"taDOM2", IsolationLevel::kSerializable,
+     E{false, false, false, false, false, true}},
+    {"taDOM2+", IsolationLevel::kNone,
+     E{true, true, true, true, true, false}},
+    {"taDOM2+", IsolationLevel::kUncommitted,
+     E{true, true, true, true, true, false}},
+    {"taDOM2+", IsolationLevel::kCommitted,
+     E{false, true, true, true, true, false}},
+    {"taDOM2+", IsolationLevel::kRepeatable,
+     E{false, false, false, false, false, true}},
+    {"taDOM2+", IsolationLevel::kSerializable,
+     E{false, false, false, false, false, true}},
+    {"taDOM3", IsolationLevel::kNone,
+     E{true, true, true, true, true, false}},
+    {"taDOM3", IsolationLevel::kUncommitted,
+     E{true, true, true, true, true, false}},
+    {"taDOM3", IsolationLevel::kCommitted,
+     E{true, true, true, true, true, false}},
+    {"taDOM3", IsolationLevel::kRepeatable,
+     E{true, false, true, false, true, true}},
+    {"taDOM3", IsolationLevel::kSerializable,
+     E{true, false, true, false, true, true}},
+    {"taDOM3+", IsolationLevel::kNone,
+     E{true, true, true, true, true, false}},
+    {"taDOM3+", IsolationLevel::kUncommitted,
+     E{true, true, true, true, true, false}},
+    {"taDOM3+", IsolationLevel::kCommitted,
+     E{false, true, true, true, true, false}},
+    {"taDOM3+", IsolationLevel::kRepeatable,
+     E{false, false, false, false, false, true}},
+    {"taDOM3+", IsolationLevel::kSerializable,
+     E{false, false, false, false, false, true}},
+};
+
+}  // namespace
+
+const std::vector<ExpectationRow>& AllExpectations() { return kExpectations; }
+
+std::optional<AnomalyExpectation> ExpectedBehavior(std::string_view protocol,
+                                                   IsolationLevel level) {
+  for (const ExpectationRow& row : kExpectations) {
+    if (row.protocol == protocol && row.level == level) return row.expect;
+  }
+  return std::nullopt;
+}
+
+const std::vector<DominanceClaim>& FootprintDominanceClaims() {
+  static const std::vector<DominanceClaim> kClaims = {
+      {"taDOM2+", "taDOM2"},
+      {"taDOM3+", "taDOM3"},
+  };
+  return kClaims;
+}
+
+}  // namespace xtc

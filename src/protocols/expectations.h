@@ -1,0 +1,67 @@
+// Declared isolation behavior of the 11 protocols: which anomalies each
+// protocol admits at each isolation level, plus the lock-footprint
+// dominance claims between protocol variants.
+//
+// These matrices are the *specification* side of the protocol model
+// checker (tools/protoverify): the checker exhaustively enumerates
+// schedules of the scenario catalog (verify/checker.h) through the real
+// lock stack and fails on any divergence from what is declared here. The
+// same tables are rendered in docs/PROTOCOLS.md; an anti-drift test
+// (tests/expectations_drift_test.cc) parses the document and compares it
+// cell by cell, so prose and code cannot diverge silently.
+//
+// The values are pinned from a measured protoverify run and reviewed
+// against the paper's claims (§2, §4.3). A flag being `true` means "at
+// least one schedule of the catalog exhibits this" — so a false->true
+// drift is a regression in the protocol, and a true->false drift means
+// the catalog lost coverage. Both fail.
+
+#ifndef XTC_PROTOCOLS_EXPECTATIONS_H_
+#define XTC_PROTOCOLS_EXPECTATIONS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lock/lock_manager.h"
+
+namespace xtc {
+
+struct AnomalyExpectation {
+  bool dirty_read = false;
+  bool lost_update = false;
+  bool non_repeatable = false;
+  bool phantom = false;
+  bool nonserializable = false;
+  bool deadlock = false;
+  bool operator==(const AnomalyExpectation&) const = default;
+};
+
+/// Declared behavior for (protocol, level); nullopt if the pair is not
+/// in the matrix (protoverify treats that as a failure — every protocol
+/// the registry knows must be declared at every level).
+std::optional<AnomalyExpectation> ExpectedBehavior(std::string_view protocol,
+                                                   IsolationLevel level);
+
+/// All declared rows, in a stable order (for rendering/reporting).
+struct ExpectationRow {
+  std::string_view protocol;
+  IsolationLevel level;
+  AnomalyExpectation expect;
+};
+const std::vector<ExpectationRow>& AllExpectations();
+
+/// A lock-footprint dominance claim: `better` blocks a challenger
+/// operation only in situations where `baseline` blocks it too (its
+/// conflict relation is a subset — e.g. taDOM3+ vs taDOM2, paper §2.4).
+/// Verified cell-wise by protoverify's pairwise conflict matrices.
+struct DominanceClaim {
+  std::string_view better;
+  std::string_view baseline;
+};
+const std::vector<DominanceClaim>& FootprintDominanceClaims();
+
+}  // namespace xtc
+
+#endif  // XTC_PROTOCOLS_EXPECTATIONS_H_

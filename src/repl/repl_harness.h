@@ -21,6 +21,7 @@
 #include "repl/log_shipper.h"
 #include "tamix/coordinator.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "wal/recovery.h"
 
 namespace xtc {
@@ -46,7 +47,7 @@ class PairReplicationObserver : public ReplicationObserver {
   ~PairReplicationObserver() override;
 
   Status OnPrimaryReady(const PrimaryHandles& handles) override;
-  void OnPrimaryStopped(bool crashed) override;
+  void OnPrimaryStopped(bool crashed) override XTC_EXCLUDES(mu_);
   ReplicationStats Stats() const override;
 
   /// Valid after OnPrimaryStopped (drained, quiescent). Null only if
@@ -54,12 +55,12 @@ class PairReplicationObserver : public ReplicationObserver {
   Follower* follower() { return follower_.get(); }
   /// First failure of the shipping/restart machinery (drain errors
   /// included); the fuzz wrapper turns this into a test failure.
-  Status background_status() const;
+  Status background_status() const XTC_EXCLUDES(mu_);
   uint64_t follower_restarts() const { return restarts_; }
   bool follower_was_killed() const { return follower_killed_; }
 
  private:
-  void ShipLoop();
+  void ShipLoop() XTC_EXCLUDES(mu_);
   /// Rebuilds the follower from the dead one's own crash artifacts with
   /// a fresh switch (same injector: its decision sequence continues).
   Status RestartFollower();
@@ -67,12 +68,18 @@ class PairReplicationObserver : public ReplicationObserver {
 
   Options options_;
   PrimaryHandles handles_;
+  std::thread ship_thread_;
+  std::atomic<bool> stop_{false};
+
+  // Handed off by thread lifecycle, not by mu_: set up before
+  // ship_thread_ starts, owned exclusively by ShipLoop while it runs,
+  // and touched by the caller again only after the join in
+  // OnPrimaryStopped (or the destructor). The analysis cannot model a
+  // join-ordered handoff, so these stay unannotated on purpose.
   std::unique_ptr<FaultInjector> follower_faults_;
   std::unique_ptr<CrashSwitch> follower_crash_;
   std::unique_ptr<Follower> follower_;
   std::unique_ptr<LogShipper> shipper_;
-  std::thread ship_thread_;
-  std::atomic<bool> stop_{false};
   bool stopped_ = false;
   uint64_t restarts_ = 0;
   bool follower_killed_ = false;

@@ -1,0 +1,73 @@
+#include "tamix/scripts.h"
+
+namespace xtc {
+
+std::string_view ScriptOpKindName(ScriptOpKind kind) {
+  switch (kind) {
+    case ScriptOpKind::kNavigate:
+      return "navigate";
+    case ScriptOpKind::kNavigateFirstChild:
+      return "navigate-first-child";
+    case ScriptOpKind::kReadContent:
+      return "read-content";
+    case ScriptOpKind::kReadChildren:
+      return "read-children";
+    case ScriptOpKind::kDeclareUpdate:
+      return "declare-update";
+    case ScriptOpKind::kUpdateContent:
+      return "update-content";
+    case ScriptOpKind::kRename:
+      return "rename";
+    case ScriptOpKind::kInsertChild:
+      return "insert-child";
+    case ScriptOpKind::kDeleteSubtree:
+      return "delete-subtree";
+    case ScriptOpKind::kCommit:
+      return "commit";
+    case ScriptOpKind::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+bool IsReadOnlyOp(ScriptOpKind kind) {
+  switch (kind) {
+    case ScriptOpKind::kNavigate:
+    case ScriptOpKind::kNavigateFirstChild:
+    case ScriptOpKind::kReadContent:
+    case ScriptOpKind::kReadChildren:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<TxScriptSpec> TaMixScriptShapes() {
+  using K = ScriptOpKind;
+  return {
+      {"TAqueryBook",
+       {{K::kNavigate, kRoleBookA},
+        {K::kReadChildren, kRoleBookA},
+        {K::kReadContent, kRoleBookAText},
+        {K::kCommit, -1}}},
+      {"TAchapter",
+       {{K::kNavigate, kRoleBookA},
+        {K::kInsertChild, kRoleBookA},
+        {K::kCommit, -1}}},
+      {"TAdelBook",
+       {{K::kNavigate, kRoleTopic},
+        {K::kDeleteSubtree, kRoleBookB},
+        {K::kCommit, -1}}},
+      {"TAlendAndReturn",
+       {{K::kNavigate, kRoleBookA},
+        {K::kDeclareUpdate, kRoleBookAText},
+        {K::kUpdateContent, kRoleBookAText},
+        {K::kCommit, -1}}},
+      {"TArenameTopic",
+       {{K::kNavigate, kRoleTopic},
+        {K::kRename, kRoleTopic},
+        {K::kCommit, -1}}},
+  };
+}
+
+}  // namespace xtc

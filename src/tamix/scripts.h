@@ -1,0 +1,96 @@
+// TaMix transaction shapes extracted as data (paper §4.2).
+//
+// The five TaMix transaction types live as imperative bodies against the
+// NodeManager DOM API (tamix/transactions.cc). The protocol model checker
+// (src/verify/) needs the same *shapes* — which meta-lock requests in
+// which order, against which tree roles — but as inert data it can
+// enumerate interleavings of, on a single thread, without a NodeManager.
+// This header is that extraction: a tiny script language whose ops map
+// 1:1 onto the lock sequences the node manager issues (the mapping is
+// pinned in src/verify/scheduler.cc and mirrors node_manager.cc; see
+// docs/PROTOCOLS.md "The meta-lock interface").
+//
+// Deliberately dependency-free (splid + stdlib only) so both xtc_tamix
+// and xtc_verify can link it without dragging in the node/storage stack.
+
+#ifndef XTC_TAMIX_SCRIPTS_H_
+#define XTC_TAMIX_SCRIPTS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xtc {
+
+/// One abstract DOM operation. The comment names the node-manager call
+/// whose lock sequence the verifier replays for it.
+enum class ScriptOpKind : uint8_t {
+  kNavigate = 0,       // GetNode: NodeRead(node)
+  kNavigateFirstChild, // GetFirstChild: EdgeShared(node, first-child) +
+                       // NodeRead(first child if any)
+  kReadContent,        // GetTextContent: LevelRead(node) + read content
+  kReadChildren,       // GetChildNodes: LevelRead(node) + read child set
+                       // and child records
+  kDeclareUpdate,      // DeclareUpdateIntent: NodeUpdate(node)
+  kUpdateContent,      // UpdateText: NodeWrite(node.AttributeChild()) +
+                       // write content
+  kRename,             // Rename: NodeWrite(node) + write element name
+  kInsertChild,        // InsertSubtreeCommon(append): EdgeExclusive(node,
+                       // last-child) [+ EdgeExclusive(last sibling,
+                       // next-sibling)] + TreeWrite(new label)
+  kDeleteSubtree,      // DeleteSubtree: PrepareSubtreeDelete + fringe
+                       // EdgeExclusive locks + TreeWrite(node)
+  kCommit,             // commit: ReleaseAll
+  kAbort,              // voluntary abort: undo + ReleaseAll
+};
+
+std::string_view ScriptOpKindName(ScriptOpKind kind);
+
+/// True for ops that acquire only read-class locks and write nothing —
+/// the schedule enumerator's independence relation for sleep-set pruning.
+bool IsReadOnlyOp(ScriptOpKind kind);
+
+struct ScriptOp {
+  ScriptOpKind kind;
+  /// Index into the scenario's node table (roles below); -1 for
+  /// kCommit/kAbort.
+  int node = -1;
+};
+
+/// One transaction's script. Scripts without a terminal kCommit/kAbort
+/// are implicitly committed after their last op.
+struct TxScriptSpec {
+  std::string name;
+  std::vector<ScriptOp> ops;
+};
+
+// ---------------------------------------------------------------------------
+// Canonical node roles for TaMix-shaped scenarios. The verifier builds a
+// small bib-shaped tree (depth <= 4) and resolves these role indices to
+// concrete SPLIDs; see BuildScenarioTree in src/verify/model_tree.cc.
+// ---------------------------------------------------------------------------
+
+inline constexpr int kRoleRoot = 0;      // document root ("bib")
+inline constexpr int kRoleTopic = 1;     // first topic element
+inline constexpr int kRoleBookA = 2;     // first book under the topic
+inline constexpr int kRoleBookAText = 3; // its text/content node
+inline constexpr int kRoleBookB = 4;     // second book under the topic
+inline constexpr int kRoleBookBText = 5; // its text/content node
+inline constexpr int kNumRoles = 6;
+
+/// The five TaMix transaction shapes (TxType order: TAqueryBook,
+/// TAchapter, TAdelBook, TAlendAndReturn, TArenameTopic), each reduced to
+/// the DOM-operation skeleton its body performs on one book/topic:
+///  * TAqueryBook      — navigate to a book, enumerate its children, read
+///                       its content (pure reader);
+///  * TAchapter        — navigate to a book, append a chapter subtree;
+///  * TAdelBook        — navigate to the topic, delete a book subtree;
+///  * TAlendAndReturn  — navigate to a book, declare update intent on its
+///                       content, then update it (the U-lock pattern);
+///  * TArenameTopic    — navigate to the topic and rename it.
+std::vector<TxScriptSpec> TaMixScriptShapes();
+
+}  // namespace xtc
+
+#endif  // XTC_TAMIX_SCRIPTS_H_

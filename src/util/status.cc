@@ -25,6 +25,10 @@ const char* CodeName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kWouldBlock:
+      return "WOULD_BLOCK";
   }
   return "UNKNOWN";
 }

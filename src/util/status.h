@@ -43,6 +43,10 @@ enum class StatusCode : int {
   // NOT retryable: re-reading returns the same corrupt bytes; only
   // restart recovery (redo from the WAL) can repair the page.
   kDataLoss = 10,
+  // A lock request would have to wait. Only produced by a LockTable in
+  // nonblocking mode (the protocol model checker's single-threaded
+  // schedule enumerator); never seen by the threaded engine.
+  kWouldBlock = 11,
 };
 
 /// Lightweight result type: a code plus an optional message.
@@ -81,6 +85,9 @@ class Status {
   static Status DataLoss(std::string_view m = "stored data corrupt") {
     return Status(StatusCode::kDataLoss, m);
   }
+  static Status WouldBlock(std::string_view m = "lock request would block") {
+    return Status(StatusCode::kWouldBlock, m);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -96,6 +103,7 @@ class Status {
            code_ == StatusCode::kIoError;
   }
   bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsWouldBlock() const { return code_ == StatusCode::kWouldBlock; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }

@@ -1,0 +1,104 @@
+// Top layer of the protocol model checker: the scenario catalog, the
+// per-protocol/per-level check against the declared expectation matrix
+// (protocols/expectations.h), pairwise conflict matrices for the
+// lock-footprint dominance claims, and the corruption self-test.
+
+#ifndef XTC_VERIFY_CHECKER_H_
+#define XTC_VERIFY_CHECKER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "protocols/expectations.h"
+#include "verify/corruptions.h"
+#include "verify/scheduler.h"
+
+namespace xtc::verify {
+
+/// The scenarios every protocol is enumerated against: each is a 2–3
+/// transaction script set aimed at one class of anomaly (dirty read,
+/// lost update, non-repeatable read, navigation phantoms under insert
+/// and delete, the taDOM3 NX waiver, deadlock shapes, plus a trimmed
+/// TaMix mix). Small by construction — the checker explores every
+/// interleaving of each.
+const std::vector<Scenario>& ScenarioCatalog();
+
+struct CheckOptions {
+  bool prune = true;
+  uint64_t max_steps = 20'000'000;
+  /// Corruption hooks (self-test).
+  ProtocolMutator mutate_protocol;
+  OptionsMutator mutate_options;
+};
+
+struct ScenarioOutcome {
+  std::string scenario;
+  EnumResult result;
+};
+
+struct ProtocolCheckResult {
+  std::string protocol;
+  IsolationLevel level = IsolationLevel::kRepeatable;
+  /// Union over the whole catalog.
+  AnomalyExpectation measured;
+  std::optional<AnomalyExpectation> expected;
+  /// Checker-invariant violations, prefixed with the scenario name.
+  std::vector<std::string> violations;
+  std::vector<ScenarioOutcome> outcomes;
+  uint64_t schedules = 0;
+  uint64_t states = 0;
+  uint64_t steps = 0;
+  bool budget_exhausted = false;
+
+  bool Pass() const {
+    return expected.has_value() && *expected == measured &&
+           violations.empty() && !budget_exhausted;
+  }
+};
+
+/// Enumerates the full catalog for one protocol at one isolation level
+/// and compares against the declared expectation.
+ProtocolCheckResult CheckProtocol(std::string_view protocol,
+                                  IsolationLevel level,
+                                  const CheckOptions& options = {});
+
+/// Pairwise conflict matrix: for every (holder op, challenger op) pair,
+/// does the challenger block after the holder ran its operation (both at
+/// isolation level repeatable, lock depth 7)? The basis of the
+/// lock-footprint dominance checks.
+struct ConflictMatrix {
+  std::string protocol;
+  std::vector<std::string> ops;  // row/column labels
+  std::vector<std::vector<bool>> blocked;
+  std::vector<std::string> violations;
+};
+ConflictMatrix BuildConflictMatrix(std::string_view protocol);
+
+struct DominanceCheckResult {
+  std::string better;
+  std::string baseline;
+  /// Cells where `better` blocks but `baseline` does not (claim broken).
+  std::vector<std::string> failures;
+};
+std::vector<DominanceCheckResult> CheckDominanceClaims();
+
+/// protoverify --selftest: re-runs the check with each catalog
+/// corruption applied; every corruption must be caught, either
+/// structurally (ModeTable::Verify rejects the mutated table) or
+/// behaviorally (some isolation level diverges from the declared
+/// expectation or trips a checker invariant).
+struct SelfTestResult {
+  std::string corruption;
+  bool caught_structurally = false;
+  bool caught_behaviorally = false;
+  std::vector<std::string> evidence;
+  bool Caught() const { return caught_structurally || caught_behaviorally; }
+};
+std::vector<SelfTestResult> RunCorruptionSelfTests(
+    const CheckOptions& options = {});
+
+}  // namespace xtc::verify
+
+#endif  // XTC_VERIFY_CHECKER_H_

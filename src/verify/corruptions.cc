@@ -1,0 +1,145 @@
+#include "verify/corruptions.h"
+
+#include "protocols/protocol.h"
+#include "util/check.h"
+
+namespace xtc::verify {
+
+namespace {
+
+/// Mode table of a registry-created protocol (all of them derive from
+/// ProtocolBase).
+ModeTable& ModesOf(XmlProtocol* p) {
+  auto* base = dynamic_cast<ProtocolBase*>(p);
+  XTC_CHECK(base != nullptr, "registry protocol must derive from ProtocolBase");
+  return base->modes();
+}
+
+ModeId MustFind(const ModeTable& m, std::string_view name) {
+  const ModeId id = m.Find(name);
+  XTC_CHECK(id != kNoMode, "corruption references an unknown mode name");
+  return id;
+}
+
+std::vector<CorruptionSpec> BuildCatalog() {
+  std::vector<CorruptionSpec> out;
+
+  // 1. Drop the Fig. 4 CX_NR child-lock side effect from taDOM2's
+  // CX/LR conversions. Structurally detectable: plain CX is not at
+  // least as strong as LR, so without the children_mode the entry
+  // fails Verify's strength bound. Behaviorally: a reader's LR no
+  // longer reaches the writer's new children.
+  out.push_back(CorruptionSpec{
+      "taDOM2-drop-CX_NR",
+      "taDOM2",
+      "CX+LR conversion loses its NR-on-children side effect",
+      /*structurally_detectable=*/true,
+      [](XmlProtocol* p) {
+        ModeTable& m = ModesOf(p);
+        const ModeId cx = MustFind(m, "CX");
+        const ModeId lr = MustFind(m, "LR");
+        m.SetConversion(cx, lr, cx);
+        m.SetConversion(lr, cx, cx);
+      },
+      nullptr,
+  });
+
+  // 2. Weaken taDOM2's SX+NR conversion to NR: a subtree-exclusive
+  // holder that re-reads its node silently downgrades to a read lock.
+  // Structurally detectable (NR is not as strong as SX); behaviorally a
+  // dirty read at isolation level committed.
+  out.push_back(CorruptionSpec{
+      "taDOM2-weaken-SX-NR",
+      "taDOM2",
+      "SX+NR converts to NR, silently dropping subtree exclusivity",
+      /*structurally_detectable=*/true,
+      [](XmlProtocol* p) {
+        ModeTable& m = ModesOf(p);
+        m.SetConversion(MustFind(m, "SX"), MustFind(m, "NR"),
+                        MustFind(m, "NR"));
+      },
+      nullptr,
+  });
+
+  // 3. Flip OO2PL's ER/EW edge compatibility to +. Verify accepts the
+  // mutated table (the flip is symmetric and breaks no conversion
+  // bound) — only schedule enumeration sees the phantom it admits.
+  out.push_back(CorruptionSpec{
+      "OO2PL-ER-EW-compat",
+      "OO2PL",
+      "edge read and edge write locks made compatible",
+      /*structurally_detectable=*/false,
+      [](XmlProtocol* p) {
+        ModeTable& m = ModesOf(p);
+        const ModeId er = MustFind(m, "ER");
+        const ModeId ew = MustFind(m, "EW");
+        m.SetCompatible(er, ew, true);
+        m.SetCompatible(ew, er, true);
+      },
+      nullptr,
+  });
+
+  // 4. Flip taDOM3+'s NX/NR compatibility to +. Again invisible to
+  // Verify; dynamically a renamed node stays readable before commit.
+  // Targets the combination-mode variant deliberately: base taDOM3
+  // *declares* a dirty/non-repeatable rename read (the NR/IX-CX waiver
+  // debt), so the same flip there would hide inside the declared
+  // expectations — taDOM3+ is clean at repeatable and diverges.
+  out.push_back(CorruptionSpec{
+      "taDOM3+-NX-NR-compat",
+      "taDOM3+",
+      "node-exclusive made compatible with node read",
+      /*structurally_detectable=*/false,
+      [](XmlProtocol* p) {
+        ModeTable& m = ModesOf(p);
+        const ModeId nx = MustFind(m, "NX");
+        const ModeId nr = MustFind(m, "NR");
+        m.SetCompatible(nx, nr, true);
+        m.SetCompatible(nr, nx, true);
+      },
+      nullptr,
+  });
+
+  // 5. Weaken Node2PL's T+M conversion to T: a reader that upgrades to
+  // write keeps only its read lock. Structurally detectable (T not as
+  // strong as M); behaviorally a dirty read.
+  out.push_back(CorruptionSpec{
+      "Node2PL-weaken-T-M",
+      "Node2PL",
+      "T+M converts to T, losing the write exclusivity",
+      /*structurally_detectable=*/true,
+      [](XmlProtocol* p) {
+        ModeTable& m = ModesOf(p);
+        m.SetConversion(MustFind(m, "T"), MustFind(m, "M"), MustFind(m, "T"));
+      },
+      nullptr,
+  });
+
+  // 6. Disable the wait-path deadlock check (the LockTableOptions
+  // backdoor). The mode table is untouched, so protolint accepts it;
+  // the enumerator must flag the resulting stall / mirrored-graph cycle
+  // as an undetected deadlock.
+  out.push_back(CorruptionSpec{
+      "taDOM2-detector-off",
+      "taDOM2",
+      "wait-for cycle detection disabled",
+      /*structurally_detectable=*/false,
+      nullptr,
+      [](LockTableOptions* o) { o->deadlock_detection = false; },
+  });
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<CorruptionSpec>& CorruptionCatalog() {
+  static const std::vector<CorruptionSpec> kCatalog = BuildCatalog();
+  return kCatalog;
+}
+
+void ApplyCorruption(const CorruptionSpec& spec, XmlProtocol* protocol) {
+  if (spec.apply) spec.apply(protocol);
+}
+
+}  // namespace xtc::verify

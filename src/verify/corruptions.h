@@ -1,0 +1,42 @@
+// Deliberate protocol corruptions for the checker's self-test.
+//
+// Each entry breaks one protocol in a specific, realistic way (a flipped
+// compatibility cell, a weakened conversion entry, a disabled deadlock
+// detector). `protoverify --selftest` re-runs the full check with the
+// corruption applied and must catch every one; `protolint --selftest`
+// runs the same catalog through ModeTable::Verify and asserts the
+// structural/behavioral boundary: structurally_detectable entries must
+// be REJECTED by Verify, the rest must be ACCEPTED — they are exactly
+// the bugs only dynamic model checking can find.
+
+#ifndef XTC_VERIFY_CORRUPTIONS_H_
+#define XTC_VERIFY_CORRUPTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "verify/scheduler.h"
+
+namespace xtc::verify {
+
+struct CorruptionSpec {
+  std::string id;
+  std::string protocol;
+  std::string description;
+  /// ModeTable::Verify must reject the mutated table (protolint layer).
+  bool structurally_detectable = false;
+  /// Mutates the freshly constructed protocol's mode table.
+  ProtocolMutator apply;
+  /// Mutates the lock-table options before protocol construction.
+  OptionsMutator mutate_options;
+};
+
+const std::vector<CorruptionSpec>& CorruptionCatalog();
+
+/// Applies `spec.apply` to a protocol created outside the enumerator
+/// (protolint) — resolves the ProtocolBase mode table and mutates it.
+void ApplyCorruption(const CorruptionSpec& spec, XmlProtocol* protocol);
+
+}  // namespace xtc::verify
+
+#endif  // XTC_VERIFY_CORRUPTIONS_H_

@@ -1,0 +1,274 @@
+#include "verify/model_tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace xtc::verify {
+
+std::string ItemName(ItemKind kind, const Splid& node) {
+  char tag = '?';
+  switch (kind) {
+    case ItemKind::kContent:
+      tag = 'C';
+      break;
+    case ItemKind::kName:
+      tag = 'R';
+      break;
+    case ItemKind::kChildSet:
+      tag = 'K';
+      break;
+  }
+  std::string out(1, tag);
+  out += ':';
+  out += node.ToString();
+  return out;
+}
+
+ItemKind ItemKindOf(const std::string& item) {
+  switch (item.empty() ? '?' : item[0]) {
+    case 'C':
+      return ItemKind::kContent;
+    case 'K':
+      return ItemKind::kChildSet;
+    default:
+      return ItemKind::kName;
+  }
+}
+
+ModelTree ModelTree::MakeBibTree(std::vector<Splid>* roles) {
+  ModelTree t;
+  const Splid root = Splid::Root();
+  const Splid topic = t.gen_.InitialChild(root, 0);
+  const Splid book_a = t.gen_.InitialChild(topic, 0);
+  const Splid book_b = t.gen_.InitialChild(topic, 1);
+  const Splid text_a = t.gen_.InitialChild(book_a, 0);
+  const Splid text_b = t.gen_.InitialChild(book_b, 0);
+  for (const Splid& n : {root, topic, book_a, book_b, text_a, text_b}) {
+    t.nodes_.emplace(n, NodeState{});
+  }
+  if (roles != nullptr) {
+    // tamix/scripts.h role order: root, topic, bookA, bookAText, bookB,
+    // bookBText.
+    *roles = {root, topic, book_a, text_a, book_b, text_b};
+  }
+  return t;
+}
+
+ModelTree::NodeState* ModelTree::Find(const Splid& node) {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const ModelTree::NodeState* ModelTree::Find(const Splid& node) const {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+ModelTree::NodeState& ModelTree::Touch(uint64_t tx, const Splid& node) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    undo_[tx].push_back(UndoRec{node, /*existed=*/false, NodeState{}});
+    it = nodes_.emplace(node, NodeState{}).first;
+  } else {
+    undo_[tx].push_back(UndoRec{node, /*existed=*/true, it->second});
+  }
+  return it->second;
+}
+
+bool ModelTree::Exists(const Splid& node) const {
+  const NodeState* s = Find(node);
+  return s != nullptr && s->exists;
+}
+
+Version ModelTree::ReadItem(ItemKind kind, const Splid& node) const {
+  const NodeState* s = Find(node);
+  if (s == nullptr) return Version{};  // never existed: the initial void
+  switch (kind) {
+    case ItemKind::kContent:
+      return s->content;
+    case ItemKind::kName:
+      return s->name;
+    case ItemKind::kChildSet:
+      return s->childset;
+  }
+  return Version{};
+}
+
+std::vector<Splid> ModelTree::ChildrenList(const Splid& node) const {
+  std::vector<Splid> out;
+  // std::map is in document order (ancestors sort before descendants), so
+  // scan the subtree range and keep direct children.
+  for (auto it = nodes_.upper_bound(node); it != nodes_.end(); ++it) {
+    if (!node.IsAncestorOf(it->first)) break;
+    if (it->second.exists && it->first.Parent() == node) {
+      out.push_back(it->first);
+    }
+  }
+  return out;
+}
+
+std::optional<Splid> ModelTree::PreviousSibling(const Splid& node) const {
+  const Splid parent = node.Parent();
+  if (!parent.valid()) return std::nullopt;
+  std::optional<Splid> prev;
+  for (const Splid& c : ChildrenList(parent)) {
+    if (c == node) return prev;
+    prev = c;
+  }
+  return std::nullopt;
+}
+
+std::optional<Splid> ModelTree::NextSibling(const Splid& node) const {
+  const Splid parent = node.Parent();
+  if (!parent.valid()) return std::nullopt;
+  bool seen = false;
+  for (const Splid& c : ChildrenList(parent)) {
+    if (seen) return c;
+    if (c == node) seen = true;
+  }
+  return std::nullopt;
+}
+
+Splid ModelTree::PeekAppendLabel(const Splid& parent) const {
+  std::vector<Splid> kids = ChildrenList(parent);
+  if (kids.empty()) return gen_.FirstChild(parent);
+  return gen_.After(parent, kids.back());
+}
+
+ItemWrite ModelTree::WriteContent(uint64_t tx, const Splid& node) {
+  NodeState& s = Touch(tx, node);
+  const Version old = s.content;
+  s.content = Stamp(tx);
+  return ItemWrite{ItemName(ItemKind::kContent, node), s.content, old};
+}
+
+ItemWrite ModelTree::WriteName(uint64_t tx, const Splid& node) {
+  NodeState& s = Touch(tx, node);
+  const Version old = s.name;
+  s.name = Stamp(tx);
+  return ItemWrite{ItemName(ItemKind::kName, node), s.name, old};
+}
+
+std::vector<ItemWrite> ModelTree::InsertChild(uint64_t tx, const Splid& parent,
+                                              Splid* new_node) {
+  std::vector<ItemWrite> writes;
+  const Splid label = PeekAppendLabel(parent);
+  if (new_node != nullptr) *new_node = label;
+
+  NodeState& p = Touch(tx, parent);
+  const Version old_set = p.childset;
+  p.childset = Stamp(tx);
+  writes.push_back(
+      ItemWrite{ItemName(ItemKind::kChildSet, parent), p.childset, old_set});
+
+  NodeState& c = Touch(tx, label);  // revives a tombstone if one exists
+  const NodeState old_c = c;
+  c.exists = true;
+  c.name = Stamp(tx);
+  c.content = Stamp(tx);
+  c.childset = Stamp(tx);
+  writes.push_back(ItemWrite{ItemName(ItemKind::kName, label), c.name,
+                             old_c.name});
+  writes.push_back(ItemWrite{ItemName(ItemKind::kContent, label), c.content,
+                             old_c.content});
+  return writes;
+}
+
+std::vector<ItemWrite> ModelTree::DeleteSubtree(uint64_t tx,
+                                                const Splid& node) {
+  std::vector<ItemWrite> writes;
+  std::vector<Splid> doomed;
+  if (Exists(node)) doomed.push_back(node);
+  for (auto it = nodes_.upper_bound(node); it != nodes_.end(); ++it) {
+    if (!node.IsAncestorOf(it->first)) break;
+    if (it->second.exists) doomed.push_back(it->first);
+  }
+  if (doomed.empty()) return writes;  // double delete: nothing to do
+
+  const Splid parent = node.Parent();
+  if (parent.valid()) {
+    NodeState& p = Touch(tx, parent);
+    const Version old_set = p.childset;
+    p.childset = Stamp(tx);
+    writes.push_back(
+        ItemWrite{ItemName(ItemKind::kChildSet, parent), p.childset, old_set});
+  }
+  for (const Splid& n : doomed) {
+    NodeState& s = Touch(tx, n);
+    const NodeState old_s = s;
+    s.exists = false;
+    s.name = Stamp(tx);
+    s.content = Stamp(tx);
+    s.childset = Stamp(tx);
+    writes.push_back(ItemWrite{ItemName(ItemKind::kName, n), s.name,
+                               old_s.name});
+    writes.push_back(ItemWrite{ItemName(ItemKind::kContent, n), s.content,
+                               old_s.content});
+    writes.push_back(ItemWrite{ItemName(ItemKind::kChildSet, n), s.childset,
+                               old_s.childset});
+  }
+  return writes;
+}
+
+void ModelTree::Commit(uint64_t tx) { undo_.erase(tx); }
+
+void ModelTree::Abort(uint64_t tx) {
+  auto it = undo_.find(tx);
+  if (it == undo_.end()) return;
+  for (auto rec = it->second.rbegin(); rec != it->second.rend(); ++rec) {
+    if (rec->existed) {
+      nodes_[rec->node] = rec->prior;
+    } else {
+      nodes_.erase(rec->node);
+    }
+  }
+  undo_.erase(it);
+}
+
+std::string ModelTree::Fingerprint() const {
+  std::string out;
+  for (const auto& [splid, s] : nodes_) {
+    out += splid.ToString();
+    out += s.exists ? '+' : '-';
+    for (const Version& v : {s.name, s.content, s.childset}) {
+      out += std::to_string(v.writer);
+      out += '.';
+      out += std::to_string(v.seq);
+      out += ',';
+    }
+    out += ';';
+  }
+  return out;
+}
+
+StatusOr<std::vector<Splid>> ModelTree::NodesInSubtree(const Splid& root) {
+  std::vector<Splid> out;
+  auto add = [&out](const Splid& n) {
+    out.push_back(n);
+    out.push_back(n.AttributeChild());  // the string/attribute level
+  };
+  if (Exists(root)) add(root);
+  for (auto it = nodes_.upper_bound(root); it != nodes_.end(); ++it) {
+    if (!root.IsAncestorOf(it->first)) break;
+    if (it->second.exists) add(it->first);
+  }
+  return out;
+}
+
+StatusOr<std::vector<Splid>> ModelTree::ElementsWithIdInSubtree(
+    const Splid& /*root*/) {
+  return std::vector<Splid>{};  // scenario documents carry no id attributes
+}
+
+StatusOr<std::vector<Splid>> ModelTree::ChildrenOf(const Splid& node) {
+  std::vector<Splid> out;
+  if (!Exists(node) || node.InAttributePath()) return out;
+  // The attribute/string child first (division 1 precedes element
+  // divisions in document order), then the element children.
+  out.push_back(node.AttributeChild());
+  for (const Splid& c : ChildrenList(node)) out.push_back(c);
+  return out;
+}
+
+}  // namespace xtc::verify

@@ -1,0 +1,136 @@
+// Versioned in-memory document model for the protocol model checker.
+//
+// The checker never touches the storage stack: it executes TaMix-shaped
+// operation scripts against this tiny tree while driving the *real*
+// LockManager/LockTable/XmlProtocol stack for concurrency control. The
+// tree tracks one Version (writer transaction + global sequence number)
+// per data item instead of actual values — the anomaly oracle only needs
+// to know *which write* a read observed, never what was written.
+
+#ifndef XTC_VERIFY_MODEL_TREE_H_
+#define XTC_VERIFY_MODEL_TREE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lock/xml_protocol.h"
+#include "splid/splid.h"
+#include "util/status.h"
+
+namespace xtc::verify {
+
+/// A data-item version: the transaction that wrote it plus a sequence
+/// number from one execution-global counter (0 = the initial document).
+struct Version {
+  uint64_t writer = 0;
+  uint32_t seq = 0;
+  bool operator==(const Version&) const = default;
+};
+
+/// The three item kinds the oracle tracks per node: the text content,
+/// the node record (name/kind — what navigation observes and rename
+/// writes), and the child set (the predicate item behind phantoms).
+enum class ItemKind : uint8_t { kContent = 0, kName = 1, kChildSet = 2 };
+
+/// Stable item key, e.g. "C:1.3.3" / "R:1.3.3" / "K:1.3.3".
+std::string ItemName(ItemKind kind, const Splid& node);
+ItemKind ItemKindOf(const std::string& item);
+
+/// Result of a structural write (insert/delete): every item version the
+/// operation produced, with the version it replaced.
+struct ItemWrite {
+  std::string item;
+  Version version;
+  Version overwritten;
+};
+
+/// The versioned tree. Deleted nodes stay behind as tombstones whose
+/// items carry the deleter's version, so later reads observe the
+/// deletion; per-transaction undo restores exact prior state (abort =
+/// rollback).
+///
+/// Doubles as the DocumentAccessor protocols use for Fig. 4 child-lock
+/// side effects and the *-2PL subtree scans. ChildrenOf reports each
+/// existing node's attribute/string child (Splid::AttributeChild) in
+/// addition to its element children, mirroring the real document where
+/// text content lives one level below its node — protocols that lock
+/// children individually must cover that level.
+class ModelTree : public DocumentAccessor {
+ public:
+  /// The canonical scenario document, bib-shaped and 4 levels deep:
+  ///   bib (1)
+  ///     topic (1.3)          <- kRoleTopic
+  ///       bookA (1.3.3)      <- kRoleBookA
+  ///         text (1.3.3.3)   <- kRoleBookAText
+  ///       bookB (1.3.5)      <- kRoleBookB
+  ///         text (1.3.5.3)   <- kRoleBookBText
+  /// `roles` receives the SPLIDs in tamix/scripts.h role order.
+  static ModelTree MakeBibTree(std::vector<Splid>* roles);
+
+  // --- Reads (no locking; the scheduler locks first) --------------------
+  bool Exists(const Splid& node) const;
+  Version ReadItem(ItemKind kind, const Splid& node) const;
+  /// Existing element children in document order.
+  std::vector<Splid> ChildrenList(const Splid& node) const;
+  std::optional<Splid> PreviousSibling(const Splid& node) const;
+  std::optional<Splid> NextSibling(const Splid& node) const;
+  /// The label an append-style insert under `parent` will use
+  /// (deterministic; mirrors Document::PeekAppendLabel).
+  Splid PeekAppendLabel(const Splid& parent) const;
+
+  // --- Writes (recorded for undo; versions stamped with `tx`) -----------
+  ItemWrite WriteContent(uint64_t tx, const Splid& node);
+  ItemWrite WriteName(uint64_t tx, const Splid& node);
+  /// Appends a new last child under `parent` (label = PeekAppendLabel).
+  /// Returns the child-set write plus the new node's item writes.
+  std::vector<ItemWrite> InsertChild(uint64_t tx, const Splid& parent,
+                                     Splid* new_node);
+  /// Tombstones the subtree rooted at `node`. Returns the parent
+  /// child-set write plus tombstone writes for every removed node.
+  std::vector<ItemWrite> DeleteSubtree(uint64_t tx, const Splid& node);
+
+  void Commit(uint64_t tx);  // discards the undo log
+  void Abort(uint64_t tx);   // rolls back this transaction's writes
+
+  /// Deterministic serialization of the whole tree state (used in the
+  /// enumerator's state fingerprint).
+  std::string Fingerprint() const;
+
+  // --- DocumentAccessor (what the protocols see) ------------------------
+  StatusOr<std::vector<Splid>> NodesInSubtree(const Splid& root) override;
+  StatusOr<std::vector<Splid>> ElementsWithIdInSubtree(
+      const Splid& root) override;
+  StatusOr<std::vector<Splid>> ChildrenOf(const Splid& node) override;
+
+ private:
+  struct NodeState {
+    bool exists = true;
+    Version name;
+    Version content;
+    Version childset;
+    bool operator==(const NodeState&) const = default;
+  };
+  struct UndoRec {
+    Splid node;
+    bool existed = false;  // map entry present before the write
+    NodeState prior;
+  };
+
+  NodeState* Find(const Splid& node);
+  const NodeState* Find(const Splid& node) const;
+  /// Snapshots `node` into tx's undo log before mutating it.
+  NodeState& Touch(uint64_t tx, const Splid& node);
+  Version Stamp(uint64_t tx) { return Version{tx, ++seq_}; }
+
+  std::map<Splid, NodeState> nodes_;
+  std::map<uint64_t, std::vector<UndoRec>> undo_;
+  uint32_t seq_ = 0;
+  SplidGenerator gen_{2};
+};
+
+}  // namespace xtc::verify
+
+#endif  // XTC_VERIFY_MODEL_TREE_H_

@@ -1,0 +1,96 @@
+// The anomaly oracle: order-free history records plus their evaluation.
+//
+// The enumerator records every read as (tx, item, observed version,
+// writer-uncommitted-at-read-time) and every write as (tx, item, new
+// version, overwritten version), plus each transaction's fate. Because
+// versions carry execution-global sequence numbers, the *sets* of these
+// records — with no ordering — determine every property we check:
+//
+//  * classic anomalies (dirty read, lost update, non-repeatable read,
+//    navigation phantom), attributed only to transactions that commit;
+//  * conflict-serializability of the committed projection: the relative
+//    order of any two conflicting operations by committed transactions
+//    is recoverable from sequence numbers alone (committed versions of
+//    one item advance monotonically in time; a read's observed version
+//    separates the committed writes before it from those after it).
+//
+// Order-freeness is what makes the enumerator's state-hash memoization
+// sound: two executions reaching the same lock/tree state with the same
+// record sets have identical futures AND identical pending-anomaly
+// status, so one subtree can stand in for the other.
+
+#ifndef XTC_VERIFY_ORACLE_H_
+#define XTC_VERIFY_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "verify/model_tree.h"
+
+namespace xtc::verify {
+
+enum class Anomaly : int {
+  kDirtyRead = 0,         // read a version whose writer had not committed
+  kLostUpdate = 1,        // overwrote a committed version never observed
+  kNonRepeatableRead = 2, // one tx read two versions of a content/record item
+  kPhantom = 3,           // one tx read two versions of a child-set item
+};
+inline constexpr int kNumAnomalies = 4;
+std::string_view AnomalyName(Anomaly a);
+
+using AnomalyMask = uint32_t;
+inline AnomalyMask Bit(Anomaly a) { return 1u << static_cast<int>(a); }
+std::string AnomalyMaskToString(AnomalyMask mask);  // "dirty-read+phantom"
+
+enum class TxFate : uint8_t { kActive = 0, kCommitted = 1, kAborted = 2 };
+
+struct ReadRecord {
+  uint64_t tx = 0;
+  std::string item;
+  Version version;
+  /// The observed version's writer was another transaction that had not
+  /// committed at read time.
+  bool dirty = false;
+};
+
+struct WriteRecord {
+  uint64_t tx = 0;
+  std::string item;
+  Version version;
+  Version overwritten;
+};
+
+class History {
+ public:
+  void AddRead(uint64_t tx, std::string item, Version v, bool dirty);
+  void AddWrite(uint64_t tx, const ItemWrite& w);
+  void SetFate(uint64_t tx, TxFate fate);
+  TxFate Fate(uint64_t tx) const;
+
+  const std::vector<ReadRecord>& reads() const { return reads_; }
+  const std::vector<WriteRecord>& writes() const { return writes_; }
+
+  /// Order-free fingerprint: identical for executions whose record sets
+  /// and fates match, regardless of recording order.
+  std::string Canonical() const;
+
+ private:
+  std::vector<ReadRecord> reads_;
+  std::vector<WriteRecord> writes_;
+  std::map<uint64_t, TxFate> fates_;
+};
+
+struct HistoryEvaluation {
+  AnomalyMask anomalies = 0;
+  /// Conflict-serializability of the committed projection.
+  bool serializable = true;
+};
+
+HistoryEvaluation EvaluateHistory(const History& h);
+
+}  // namespace xtc::verify
+
+#endif  // XTC_VERIFY_ORACLE_H_

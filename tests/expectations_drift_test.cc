@@ -1,0 +1,117 @@
+// Anti-drift test: the anomaly matrix published in docs/PROTOCOLS.md
+// ("Verified anomaly matrix") and the expectation table the model
+// checker verifies against (src/protocols/expectations.cc) must agree
+// cell for cell. Either can be edited by hand; this test makes sure
+// neither is edited alone. Regenerate the doc tables with
+// `protoverify --print-doc-matrix`.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lock/lock_manager.h"
+#include "protocols/expectations.h"
+#include "protocols/protocol_registry.h"
+
+namespace xtc {
+namespace {
+
+struct DocKey {
+  std::string protocol;
+  std::string level;
+  bool operator<(const DocKey& o) const {
+    return protocol != o.protocol ? protocol < o.protocol : level < o.level;
+  }
+};
+
+// Splits a markdown table row into trimmed cells; empty if not a row.
+std::vector<std::string> RowCells(const std::string& line) {
+  std::vector<std::string> cells;
+  if (line.empty() || line[0] != '|') return cells;
+  std::stringstream ss(line);
+  std::string cell;
+  std::getline(ss, cell, '|');  // leading empty segment
+  while (std::getline(ss, cell, '|')) {
+    const size_t b = cell.find_first_not_of(" \t");
+    if (b == std::string::npos) {
+      cells.push_back("");
+      continue;
+    }
+    const size_t e = cell.find_last_not_of(" \t");
+    cells.push_back(cell.substr(b, e - b + 1));
+  }
+  if (!cells.empty() && cells.back().empty()) cells.pop_back();
+  return cells;
+}
+
+std::map<DocKey, AnomalyExpectation> ParseDocMatrix() {
+  const std::string path = std::string(XTC_SOURCE_DIR) + "/docs/PROTOCOLS.md";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::map<DocKey, AnomalyExpectation> out;
+  std::string line;
+  bool in_section = false;
+  std::string level;
+  while (std::getline(in, line)) {
+    if (line.rfind("## ", 0) == 0) {
+      in_section = line == "## Verified anomaly matrix";
+      level.clear();
+      continue;
+    }
+    if (!in_section) continue;
+    const std::string prefix = "### Isolation level ";
+    if (line.rfind(prefix, 0) == 0) {
+      level = line.substr(prefix.size());
+      continue;
+    }
+    if (level.empty()) continue;
+    const std::vector<std::string> cells = RowCells(line);
+    if (cells.size() != 7 || cells[0] == "Protocol" ||
+        cells[0].rfind("---", 0) == 0) {
+      continue;
+    }
+    auto flag = [&](int i) {
+      EXPECT_TRUE(cells[i] == "X" || cells[i] == "-")
+          << "bad cell '" << cells[i] << "' in row for " << cells[0];
+      return cells[i] == "X";
+    };
+    AnomalyExpectation e;
+    e.dirty_read = flag(1);
+    e.lost_update = flag(2);
+    e.non_repeatable = flag(3);
+    e.phantom = flag(4);
+    e.nonserializable = flag(5);
+    e.deadlock = flag(6);
+    out[{cells[0], level}] = e;
+  }
+  return out;
+}
+
+TEST(ExpectationsDrift, DocMatrixMatchesPinnedExpectations) {
+  const std::map<DocKey, AnomalyExpectation> doc = ParseDocMatrix();
+  const std::vector<ExpectationRow>& pinned = AllExpectations();
+
+  // Full coverage: one pinned row per registered protocol x level, and
+  // exactly the same set of (protocol, level) cells in the doc.
+  const size_t num_levels = 5;
+  EXPECT_EQ(pinned.size(), AllProtocolNames().size() * num_levels);
+  EXPECT_EQ(doc.size(), pinned.size());
+
+  for (const ExpectationRow& row : pinned) {
+    const DocKey key{std::string(row.protocol),
+                     std::string(IsolationLevelName(row.level))};
+    SCOPED_TRACE(key.protocol + "/" + key.level);
+    auto it = doc.find(key);
+    ASSERT_NE(it, doc.end()) << "row missing from docs/PROTOCOLS.md";
+    EXPECT_TRUE(it->second == row.expect)
+        << "docs/PROTOCOLS.md disagrees with expectations.cc; regenerate "
+           "with `protoverify --print-doc-matrix`";
+  }
+}
+
+}  // namespace
+}  // namespace xtc

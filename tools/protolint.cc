@@ -27,6 +27,7 @@
 
 #include "lock/mode_table.h"
 #include "protocols/protocol_registry.h"
+#include "verify/corruptions.h"
 
 namespace xtc {
 namespace {
@@ -125,6 +126,46 @@ int RunSelfTests() {
   return failures;
 }
 
+/// The corruption catalog shared with protoverify (verify/corruptions.h)
+/// declares, per corruption, whether the static table checks can see it.
+/// Exercise that boundary here: structural corruptions must be rejected
+/// by Verify(), behavioral-only ones must be *accepted* — they are
+/// exactly the class of bug only schedule enumeration (protoverify)
+/// catches, and an accidental structural rejection would mean the
+/// boundary documented in the catalog has drifted.
+int RunSharedCatalog() {
+  int failures = 0;
+  for (const verify::CorruptionSpec& spec : verify::CorruptionCatalog()) {
+    if (!spec.apply) {
+      std::printf("catalog  OK    %-22s [no table mutation]\n",
+                  spec.id.c_str());
+      continue;
+    }
+    auto proto = CreateProtocol(spec.protocol);
+    if (proto == nullptr) {
+      std::fprintf(stderr, "catalog  FAIL  %s: protocol %s missing\n",
+                   spec.id.c_str(), spec.protocol.c_str());
+      ++failures;
+      continue;
+    }
+    verify::ApplyCorruption(spec, proto.get());
+    const Status st = proto->table().modes().Verify(spec.protocol);
+    const bool rejected = !st.ok();
+    if (rejected == spec.structurally_detectable) {
+      std::printf("catalog  OK    %-22s [%s]\n", spec.id.c_str(),
+                  rejected ? "rejected" : "accepted: dynamic-only");
+    } else {
+      std::fprintf(stderr,
+                   "catalog  FAIL  %s: Verify %s it, but the catalog "
+                   "declares structurally_detectable=%s\n",
+                   spec.id.c_str(), rejected ? "rejected" : "accepted",
+                   spec.structurally_detectable ? "true" : "false");
+      ++failures;
+    }
+  }
+  return failures;
+}
+
 int Main(int argc, char** argv) {
   bool selftest = false;
   std::vector<std::string_view> names;
@@ -143,7 +184,10 @@ int Main(int argc, char** argv) {
   }
   int failures = 0;
   for (std::string_view n : names) failures += LintProtocol(n);
-  if (selftest) failures += RunSelfTests();
+  if (selftest) {
+    failures += RunSelfTests();
+    failures += RunSharedCatalog();
+  }
   if (failures != 0) {
     std::fprintf(stderr, "protolint: %d check(s) failed\n", failures);
     return 1;
