@@ -46,20 +46,26 @@ int main(int argc, char** argv) {
 
   std::printf("\nprotocol %s, isolation repeatable, lock depth %d\n\n",
               protocol, config.lock_depth);
-  std::printf("%-18s %10s %9s %10s %8s %9s %9s %9s\n", "type", "committed",
-              "aborted", "deadlocks", "retries", "avg ms", "min ms", "max ms");
+  std::printf("%-18s %10s %9s %10s %8s %9s %9s %9s %9s %9s\n", "type",
+              "committed", "aborted", "deadlocks", "retries", "avg ms",
+              "p50 ms", "p95 ms", "p99 ms", "max ms");
   for (int t = 0; t < kNumTxTypes; ++t) {
     const TxTypeStats& s = stats.per_type[t];
     if (s.committed == 0 && s.aborted == 0) continue;
-    std::printf("%-18s %10llu %9llu %10llu %8llu %9.1f %9.1f %9.1f\n",
-                std::string(TxTypeName(static_cast<TxType>(t))).c_str(),
-                static_cast<unsigned long long>(s.committed),
-                static_cast<unsigned long long>(s.aborted),
-                static_cast<unsigned long long>(s.deadlock_aborts),
-                static_cast<unsigned long long>(s.retries),
-                s.avg_duration_ms(), s.min_duration_us / 1000.0,
-                s.max_duration_us / 1000.0);
+    std::printf(
+        "%-18s %10llu %9llu %10llu %8llu %9.1f %9.1f %9.1f %9.1f %9.1f\n",
+        std::string(TxTypeName(static_cast<TxType>(t))).c_str(),
+        static_cast<unsigned long long>(s.committed),
+        static_cast<unsigned long long>(s.aborted),
+        static_cast<unsigned long long>(s.deadlock_aborts),
+        static_cast<unsigned long long>(s.retries), s.avg_duration_ms(),
+        s.p50_ms(), s.p95_ms(), s.p99_ms(), s.max_duration_us / 1000.0);
   }
+  std::printf("%-18s %10llu %9llu %10s %8s %9s %9.1f %9.1f %9.1f %9s\n",
+              "all types",
+              static_cast<unsigned long long>(stats.total_committed()),
+              static_cast<unsigned long long>(stats.total_aborted()), "", "",
+              "", stats.p50_ms(), stats.p95_ms(), stats.p99_ms(), "");
   uint64_t undo_failures = 0;
   for (int t = 0; t < kNumTxTypes; ++t) {
     undo_failures += stats.per_type[t].undo_failures;

@@ -125,6 +125,17 @@ const LockTable::Held* LockTable::GrantLocked(Shard* shard, Resource* r,
 
 LockOutcome LockTable::Lock(uint64_t tx, std::string_view resource,
                             ModeId mode, LockDuration duration) {
+  // Cancellation outranks the cache: a cancelled transaction must see
+  // kCancelled on its next request even when the cache could serve it.
+  // The check is one acquire load (plus a counter load) in normal
+  // operation; cancel_mu_ is only touched while sessions are actually
+  // being torn down.
+  if (IsCancelled(tx)) {
+    stat_requests_.fetch_add(1, std::memory_order_relaxed);
+    stat_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    if (cache_enabled_) CacheInvalidate(tx);
+    return {Status::Cancelled(), kNoMode, kNoMode};
+  }
   if (cache_enabled_) {
     LockOutcome out;
     // A hit is an immediately granted request served without touching
@@ -280,6 +291,21 @@ LockOutcome LockTable::LockSlow(uint64_t tx, std::string_view resource,
 
   const TimePoint deadline = Now() + options_.wait_timeout;
   for (;;) {
+    // Re-checked on every wakeup: CancelWaiters/CancelTx set their flag
+    // and then notify every shard CV, so a parked waiter lands here
+    // within one scheduler quantum instead of sleeping toward the full
+    // wait_timeout.
+    if (IsCancelled(tx)) {
+      {
+        MutexLock g(graph_mu_);
+        detector_.ClearEdges(tx);
+      }
+      RemoveWaiter(r, &waiter);
+      EraseResourceIfIdle(&shard, r);
+      stat_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      shard.cv.notify_all();
+      return {Status::Cancelled(), kNoMode, kNoMode};
+    }
     std::vector<uint64_t> blockers =
         BlockersOf(*r, tx, target, is_conversion, &waiter);
     if (blockers.empty()) {
@@ -344,6 +370,38 @@ LockOutcome LockTable::LockSlow(uint64_t tx, std::string_view resource,
       return {Status::LockTimeout(), kNoMode, kNoMode};
     }
   }
+}
+
+bool LockTable::IsCancelled(uint64_t tx) const {
+  if (cancel_all_.load(std::memory_order_acquire)) return true;
+  if (num_cancelled_txs_.load(std::memory_order_acquire) == 0) return false;
+  MutexLock g(cancel_mu_);
+  return cancelled_txs_.count(tx) != 0;
+}
+
+void LockTable::WakeAllShards() {
+  // The notify runs under each shard mutex so it cannot slip between a
+  // waiter's cancel re-check and its cv.wait (the missed-wakeup race):
+  // any waiter not yet parked still holds the shard mutex and will see
+  // the flag before it sleeps.
+  for (auto& shard_ptr : shards_) {
+    MutexLock guard(shard_ptr->mu);
+    shard_ptr->cv.notify_all();
+  }
+}
+
+void LockTable::CancelWaiters() {
+  cancel_all_.store(true, std::memory_order_release);
+  WakeAllShards();
+}
+
+void LockTable::CancelTx(uint64_t tx) {
+  {
+    MutexLock g(cancel_mu_);
+    if (!cancelled_txs_.insert(tx).second) return;  // already cancelled
+  }
+  num_cancelled_txs_.fetch_add(1, std::memory_order_release);
+  WakeAllShards();
 }
 
 void LockTable::OnNonblockingGrant(uint64_t tx, std::string_view resource,
@@ -534,8 +592,18 @@ void LockTable::ReleaseAll(uint64_t tx) {
     shard.tx_locks.erase(it);
     shard.cv.notify_all();
   }
-  MutexLock g(graph_mu_);
-  detector_.ClearEdges(tx);
+  {
+    MutexLock g(graph_mu_);
+    detector_.ClearEdges(tx);
+  }
+  // The transaction is gone; a later run may reuse its id, so the sticky
+  // per-tx cancel must not outlive it.
+  if (num_cancelled_txs_.load(std::memory_order_acquire) != 0) {
+    MutexLock g(cancel_mu_);
+    if (cancelled_txs_.erase(tx) != 0) {
+      num_cancelled_txs_.fetch_sub(1, std::memory_order_release);
+    }
+  }
 }
 
 std::vector<LockTable::HoldSnapshot> LockTable::SnapshotHolds() const {
@@ -602,6 +670,7 @@ LockTableStats LockTable::GetStats() const {
       stat_conv_deadlocks_.load(std::memory_order_relaxed);
   s.timeouts = stat_timeouts_.load(std::memory_order_relaxed);
   s.conversions = stat_conversions_.load(std::memory_order_relaxed);
+  s.cancelled = stat_cancelled_.load(std::memory_order_relaxed);
   s.cache_invalidations =
       stat_cache_invalidations_.load(std::memory_order_relaxed);
   for (const auto& cs : cache_shards_) {
@@ -630,6 +699,7 @@ void LockTable::ResetStats() {
   stat_conv_deadlocks_.store(0, std::memory_order_relaxed);
   stat_timeouts_.store(0, std::memory_order_relaxed);
   stat_conversions_.store(0, std::memory_order_relaxed);
+  stat_cancelled_.store(0, std::memory_order_relaxed);
   stat_cache_invalidations_.store(0, std::memory_order_relaxed);
   for (const auto& cs : cache_shards_) {
     MutexLock guard(cs->mu);

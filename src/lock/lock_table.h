@@ -37,6 +37,14 @@
 // injected victims). Conversions that would escalate the mode or demand
 // Fig. 4 children_mode side effects never match the hit condition, so
 // they always take the full table path.
+//
+// Cancellation: a waiter parked on a shard CV sleeps toward wait_timeout
+// (10 s by default) — far too long for coordinator stop, server drain, or
+// a disconnected client. CancelWaiters() (global, irreversible) and
+// CancelTx() (per transaction, sticky until ReleaseAll) wake the shard
+// CVs; affected requests — parked and future — return kCancelled, a
+// non-retryable status whose only correct handling is to abort the
+// transaction.
 
 #ifndef XTC_LOCK_LOCK_TABLE_H_
 #define XTC_LOCK_LOCK_TABLE_H_
@@ -49,6 +57,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "lock/deadlock_detector.h"
@@ -109,6 +118,9 @@ struct LockTableStats {
   uint64_t conversion_deadlocks = 0;
   uint64_t timeouts = 0;
   uint64_t conversions = 0;
+  /// Requests denied with kCancelled (coordinator stop, server drain, or
+  /// a per-transaction cancel on client disconnect).
+  uint64_t cancelled = 0;
   /// Tx-private cache: requests served without a resource-shard round
   /// trip (these still count as requests + immediate_grants).
   uint64_t cache_hits = 0;
@@ -190,6 +202,22 @@ class LockTable {
 
   /// Releases everything the transaction holds (commit/abort).
   void ReleaseAll(uint64_t tx);
+
+  // --- Cancellation (shutdown/drain; see file comment) -----------------
+  /// Shuts lock waiting down: every parked waiter is woken and returns
+  /// kCancelled, and every future request is denied the same way. Used by
+  /// the coordinator when the run stops (a waiter must not sleep toward
+  /// the full wait_timeout with the testbed already joining) and by the
+  /// server's graceful drain. Irreversible for the table's lifetime.
+  void CancelWaiters();
+  /// Cancels one transaction's current and future lock waits (server
+  /// session teardown: the client vanished, its parked request must not
+  /// keep the worker thread hostage). Sticky until ReleaseAll(tx).
+  void CancelTx(uint64_t tx);
+  /// Whether CancelWaiters() has been called.
+  bool cancelling() const {
+    return cancel_all_.load(std::memory_order_acquire);
+  }
 
   const ModeTable& modes() const { return *modes_; }
 
@@ -316,6 +344,11 @@ class LockTable {
 
   Shard& ShardFor(std::string_view resource) const;
 
+  /// True when CancelWaiters() fired or `tx` is individually cancelled.
+  bool IsCancelled(uint64_t tx) const XTC_EXCLUDES(cancel_mu_);
+  /// Wakes every shard CV so parked waiters re-check their cancel state.
+  void WakeAllShards();
+
   /// The full table path of Lock() (everything after the cache probe).
   LockOutcome LockSlow(uint64_t tx, std::string_view resource, ModeId mode,
                        LockDuration duration);
@@ -361,6 +394,17 @@ class LockTable {
   DeadlockDetector detector_ XTC_GUARDED_BY(graph_mu_);
   std::deque<DeadlockEvent> deadlock_log_ XTC_GUARDED_BY(graph_mu_);
 
+  // Cancellation state. cancel_all_ is checked lock-free on the hot
+  // path; the per-tx set is only consulted when num_cancelled_txs_ says
+  // it is non-empty, so normal operation never touches cancel_mu_.
+  // Ordering: cancel_mu_ may be taken while holding a shard mutex
+  // (waiter re-check), so Cancel* must never hold cancel_mu_ while
+  // taking a shard mutex.
+  std::atomic<bool> cancel_all_{false};
+  std::atomic<size_t> num_cancelled_txs_{0};
+  mutable Mutex cancel_mu_ XTC_ACQUIRED_AFTER();
+  std::unordered_set<uint64_t> cancelled_txs_ XTC_GUARDED_BY(cancel_mu_);
+
   // Statistics (relaxed atomics; exactness is not required).
   std::atomic<uint64_t> stat_requests_{0};
   std::atomic<uint64_t> stat_immediate_{0};
@@ -369,6 +413,7 @@ class LockTable {
   std::atomic<uint64_t> stat_conv_deadlocks_{0};
   std::atomic<uint64_t> stat_timeouts_{0};
   std::atomic<uint64_t> stat_conversions_{0};
+  std::atomic<uint64_t> stat_cancelled_{0};
   std::atomic<uint64_t> stat_cache_invalidations_{0};
 };
 

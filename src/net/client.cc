@@ -1,0 +1,412 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace xtc {
+namespace net {
+
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Reads the status preamble; on a non-OK server status returns it.
+/// Decode failures (truncated preamble) surface as kDataLoss.
+Status TakeStatus(WireReader* r) {
+  Status st;
+  if (!GetStatus(r, &st)) {
+    return Status::DataLoss("broken response status preamble");
+  }
+  return st;
+}
+
+}  // namespace
+
+Status Client::Connect(std::string_view host, uint16_t port,
+                       Duration io_timeout) {
+  if (fd_ >= 0) return Status::InvalidArgument("client already connected");
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return ErrnoStatus("socket");
+
+  const int64_t timeout_us = ToMicros(io_timeout);
+  timeval tv{};
+  tv.tv_sec = timeout_us / 1000000;
+  tv.tv_usec = timeout_us % 1000000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string host_str(host);
+  if (::inet_pton(AF_INET, host_str.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad IPv4 address: " + host_str);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = ErrnoStatus("connect");
+    Close();
+    return st;
+  }
+
+  WireWriter w;
+  w.Str("xtc-tamix-client");
+  auto resp = RoundTrip(MsgType::kHello, w.str());
+  if (!resp.ok()) {
+    Close();
+    return resp.status();
+  }
+  WireReader r(*resp);
+  uint8_t server_version;
+  if (!r.U8(&server_version) || server_version != kWireVersion) {
+    Close();
+    return Status::NotSupported("server wire version mismatch");
+  }
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::SendAll(std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return ErrnoStatus("send");
+  }
+  return Status::OK();
+}
+
+Status Client::RecvExactly(char* buf, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t got = ::recv(fd_, buf + off, n - off, 0);
+    if (got > 0) {
+      off += static_cast<size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      return Status::IoError("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("recv");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> Client::RoundTrip(MsgType type,
+                                        std::string_view payload) {
+  if (fd_ < 0) return Status::IoError("client not connected");
+  const uint32_t request_id = next_request_id_++;
+  Status st = SendAll(
+      EncodeFrame(static_cast<uint8_t>(type), request_id, payload));
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+
+  char header_bytes[kHeaderSize];
+  st = RecvExactly(header_bytes, kHeaderSize);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  FrameHeader header;
+  st = DecodeHeader(std::string_view(header_bytes, kHeaderSize), &header);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  std::string body(header.payload_len, '\0');
+  if (header.payload_len > 0) {
+    st = RecvExactly(body.data(), body.size());
+    if (!st.ok()) {
+      Close();
+      return st;
+    }
+  }
+  st = CheckPayload(header, body);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  if (header.type != (static_cast<uint8_t>(type) | kResponseBit) ||
+      header.request_id != request_id) {
+    Close();
+    return Status::DataLoss("response does not match request");
+  }
+
+  WireReader r(body);
+  st = TakeStatus(&r);
+  if (!st.ok()) return st;
+  // Hand back only the result fields; the caller's reader starts there.
+  return body.substr(r.pos());
+}
+
+StatusOr<uint64_t> Client::Begin(IsolationLevel isolation, int lock_depth,
+                                 TxType tx_type) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(isolation));
+  w.U8(static_cast<uint8_t>(lock_depth));
+  w.U8(static_cast<uint8_t>(tx_type));
+  auto resp = RoundTrip(MsgType::kBegin, w.str());
+  if (!resp.ok()) return resp.status();
+  WireReader r(*resp);
+  uint64_t tx_id;
+  if (!r.U64(&tx_id)) return Status::DataLoss("broken begin response");
+  return tx_id;
+}
+
+StatusOr<uint64_t> Client::Commit(std::string_view wal_payload) {
+  WireWriter w;
+  w.Str(wal_payload);
+  auto resp = RoundTrip(MsgType::kCommit, w.str());
+  if (!resp.ok()) return resp.status();
+  WireReader r(*resp);
+  uint64_t commit_seq;
+  if (!r.U64(&commit_seq)) return Status::DataLoss("broken commit response");
+  return commit_seq;
+}
+
+Status Client::Abort() {
+  return RoundTrip(MsgType::kAbort, {}).status();
+}
+
+StatusOr<WireStats> Client::Stats() {
+  auto resp = RoundTrip(MsgType::kStats, {});
+  if (!resp.ok()) return resp.status();
+  WireReader r(*resp);
+  WireStats stats;
+  if (!GetStats(&r, &stats)) return Status::DataLoss("broken stats response");
+  return stats;
+}
+
+StatusOr<BibInfo> Client::WorkloadInfo() {
+  auto resp = RoundTrip(MsgType::kWorkloadInfo, {});
+  if (!resp.ok()) return resp.status();
+  WireReader r(*resp);
+  BibInfo info;
+  if (!r.U64(&info.num_nodes)) {
+    return Status::DataLoss("broken workload info response");
+  }
+  const auto get_list = [&r](std::vector<std::string>* out) {
+    uint32_t n;
+    if (!r.U32(&n) || n > kMaxPayload / 4) return false;
+    out->reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      std::string s;
+      if (!r.Str(&s)) return false;
+      out->push_back(std::move(s));
+    }
+    return true;
+  };
+  if (!get_list(&info.book_ids) || !get_list(&info.topic_ids) ||
+      !get_list(&info.person_ids)) {
+    return Status::DataLoss("broken workload info response");
+  }
+  return info;
+}
+
+// --- RemoteDom ------------------------------------------------------------
+
+namespace {
+
+std::optional<DomNode> ToDomNode(const WireNode& n, bool* ok) {
+  std::optional<Splid> splid = Splid::Decode(n.splid);
+  if (!splid.has_value()) {
+    *ok = false;
+    return std::nullopt;
+  }
+  DomNode node;
+  node.splid = *splid;
+  node.kind = static_cast<NodeKind>(n.kind);
+  node.name = n.name;
+  return node;
+}
+
+}  // namespace
+
+Status RemoteDom::SimpleOp(MsgType type, const WireWriter& w) {
+  return client_->RoundTrip(type, w.str()).status();
+}
+
+StatusOr<std::optional<DomNode>> RemoteDom::NodeOp(MsgType type,
+                                                   const Splid& subject) {
+  WireWriter w;
+  w.SplidVal(subject);
+  auto resp = client_->RoundTrip(type, w.str());
+  if (!resp.ok()) return resp.status();
+  WireReader r(*resp);
+  uint8_t present;
+  if (!r.U8(&present)) return Status::DataLoss("broken node response");
+  if (present == 0) return std::optional<DomNode>();
+  WireNode wn;
+  bool ok = true;
+  if (!GetNode(&r, &wn)) return Status::DataLoss("broken node response");
+  std::optional<DomNode> node = ToDomNode(wn, &ok);
+  if (!ok) return Status::DataLoss("broken node label");
+  return node;
+}
+
+StatusOr<std::optional<Splid>> RemoteDom::GetElementById(std::string_view id) {
+  WireWriter w;
+  w.Str(id);
+  auto resp = client_->RoundTrip(MsgType::kGetElementById, w.str());
+  if (!resp.ok()) return resp.status();
+  WireReader r(*resp);
+  uint8_t present;
+  if (!r.U8(&present)) return Status::DataLoss("broken element-by-id response");
+  if (present == 0) return std::optional<Splid>();
+  Splid splid;
+  if (!r.SplidVal(&splid)) {
+    return Status::DataLoss("broken element-by-id response");
+  }
+  return std::optional<Splid>(splid);
+}
+
+StatusOr<std::vector<std::pair<std::string, std::string>>>
+RemoteDom::GetAttributes(const Splid& element) {
+  WireWriter w;
+  w.SplidVal(element);
+  auto resp = client_->RoundTrip(MsgType::kGetAttributes, w.str());
+  if (!resp.ok()) return resp.status();
+  WireReader r(*resp);
+  uint32_t n;
+  if (!r.U32(&n) || n > kMaxPayload / 8) {
+    return Status::DataLoss("broken attributes response");
+  }
+  std::vector<std::pair<std::string, std::string>> attrs;
+  attrs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string key, value;
+    if (!r.Str(&key) || !r.Str(&value)) {
+      return Status::DataLoss("broken attributes response");
+    }
+    attrs.emplace_back(std::move(key), std::move(value));
+  }
+  return attrs;
+}
+
+StatusOr<std::optional<DomNode>> RemoteDom::GetFirstChild(
+    const Splid& parent) {
+  return NodeOp(MsgType::kGetFirstChild, parent);
+}
+
+StatusOr<std::optional<DomNode>> RemoteDom::GetLastChild(const Splid& parent) {
+  return NodeOp(MsgType::kGetLastChild, parent);
+}
+
+StatusOr<std::optional<DomNode>> RemoteDom::GetNextSibling(const Splid& node) {
+  return NodeOp(MsgType::kGetNextSibling, node);
+}
+
+StatusOr<std::vector<DomNode>> RemoteDom::GetChildNodes(const Splid& parent) {
+  WireWriter w;
+  w.SplidVal(parent);
+  auto resp = client_->RoundTrip(MsgType::kGetChildNodes, w.str());
+  if (!resp.ok()) return resp.status();
+  WireReader r(*resp);
+  uint32_t n;
+  if (!r.U32(&n) || n > kMaxPayload / 8) {
+    return Status::DataLoss("broken child-nodes response");
+  }
+  std::vector<DomNode> children;
+  children.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    WireNode wn;
+    bool ok = true;
+    if (!GetNode(&r, &wn)) return Status::DataLoss("broken child-nodes row");
+    std::optional<DomNode> node = ToDomNode(wn, &ok);
+    if (!ok || !node.has_value()) {
+      return Status::DataLoss("broken child-nodes label");
+    }
+    children.push_back(std::move(*node));
+  }
+  return children;
+}
+
+StatusOr<std::string> RemoteDom::GetTextContent(const Splid& text) {
+  WireWriter w;
+  w.SplidVal(text);
+  auto resp = client_->RoundTrip(MsgType::kGetTextContent, w.str());
+  if (!resp.ok()) return resp.status();
+  WireReader r(*resp);
+  std::string content;
+  if (!r.Str(&content)) return Status::DataLoss("broken text response");
+  return content;
+}
+
+Status RemoteDom::DeclareUpdateIntent(const Splid& node) {
+  WireWriter w;
+  w.SplidVal(node);
+  return SimpleOp(MsgType::kDeclareUpdateIntent, w);
+}
+
+Status RemoteDom::UpdateText(const Splid& text, std::string_view content) {
+  WireWriter w;
+  w.SplidVal(text);
+  w.Str(content);
+  return SimpleOp(MsgType::kUpdateText, w);
+}
+
+Status RemoteDom::SetAttribute(const Splid& element, std::string_view name,
+                               std::string_view value) {
+  WireWriter w;
+  w.SplidVal(element);
+  w.Str(name);
+  w.Str(value);
+  return SimpleOp(MsgType::kSetAttribute, w);
+}
+
+StatusOr<Splid> RemoteDom::AppendSubtree(const Splid& parent,
+                                         const SubtreeSpec& spec) {
+  WireWriter w;
+  w.SplidVal(parent);
+  w.Spec(spec);
+  auto resp = client_->RoundTrip(MsgType::kAppendSubtree, w.str());
+  if (!resp.ok()) return resp.status();
+  WireReader r(*resp);
+  Splid root;
+  if (!r.SplidVal(&root)) {
+    return Status::DataLoss("broken append-subtree response");
+  }
+  return root;
+}
+
+Status RemoteDom::DeleteSubtree(const Splid& root) {
+  WireWriter w;
+  w.SplidVal(root);
+  return SimpleOp(MsgType::kDeleteSubtree, w);
+}
+
+Status RemoteDom::Rename(const Splid& element, std::string_view new_name) {
+  WireWriter w;
+  w.SplidVal(element);
+  w.Str(new_name);
+  return SimpleOp(MsgType::kRename, w);
+}
+
+}  // namespace net
+}  // namespace xtc

@@ -1,0 +1,104 @@
+// Client side of the socket front-end: a blocking framed connection plus
+// RemoteDom, the TaMixDom implementation that ships every DOM operation
+// to the server as one request–response round trip. One Client is one
+// session holding at most one open transaction — exactly the shape of a
+// TaMix worker, which is the intended user (tools/tamix_client, the
+// coordinator's socket frontend, bench/micro_server).
+//
+// Not thread-safe: one Client per worker thread, like one Transaction per
+// worker in the in-process harness.
+
+#ifndef XTC_NET_CLIENT_H_
+#define XTC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "lock/lock_manager.h"
+#include "net/wire.h"
+#include "tamix/bib_generator.h"
+#include "tamix/dom_api.h"
+#include "tamix/transactions.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace xtc {
+namespace net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and exchanges the hello handshake (version check).
+  Status Connect(std::string_view host, uint16_t port,
+                 Duration io_timeout = std::chrono::seconds(30));
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Begins a transaction on the server. `tx_type` is a workload hint the
+  /// server uses to attribute its own metrics per transaction type.
+  StatusOr<uint64_t> Begin(IsolationLevel isolation, int lock_depth,
+                           TxType tx_type);
+  /// Commits the open transaction; returns the commit sequence number.
+  /// `wal_payload` rides the server's commit record (replay checks).
+  StatusOr<uint64_t> Commit(std::string_view wal_payload = {});
+  Status Abort();
+
+  StatusOr<WireStats> Stats();
+  StatusOr<BibInfo> WorkloadInfo();
+
+  /// One framed request–response exchange. On OK the returned string is
+  /// the response payload *after* the status preamble. A non-OK server
+  /// status comes back as that status; transport failures are kIoError
+  /// and broken response bytes kDataLoss.
+  StatusOr<std::string> RoundTrip(MsgType type, std::string_view payload);
+
+ private:
+  Status SendAll(std::string_view bytes);
+  Status RecvExactly(char* buf, size_t n);
+
+  int fd_ = -1;
+  uint32_t next_request_id_ = 1;
+};
+
+/// TaMixDom over the wire: the transaction lives on the server, bound to
+/// this client's session.
+class RemoteDom : public TaMixDom {
+ public:
+  explicit RemoteDom(Client* client) : client_(client) {}
+
+  StatusOr<std::optional<Splid>> GetElementById(std::string_view id) override;
+  StatusOr<std::vector<std::pair<std::string, std::string>>> GetAttributes(
+      const Splid& element) override;
+  StatusOr<std::optional<DomNode>> GetFirstChild(const Splid& parent) override;
+  StatusOr<std::optional<DomNode>> GetLastChild(const Splid& parent) override;
+  StatusOr<std::optional<DomNode>> GetNextSibling(const Splid& node) override;
+  StatusOr<std::vector<DomNode>> GetChildNodes(const Splid& parent) override;
+  StatusOr<std::string> GetTextContent(const Splid& text) override;
+
+  Status DeclareUpdateIntent(const Splid& node) override;
+  Status UpdateText(const Splid& text, std::string_view content) override;
+  Status SetAttribute(const Splid& element, std::string_view name,
+                      std::string_view value) override;
+  StatusOr<Splid> AppendSubtree(const Splid& parent,
+                                const SubtreeSpec& spec) override;
+  Status DeleteSubtree(const Splid& root) override;
+  Status Rename(const Splid& element, std::string_view new_name) override;
+
+ private:
+  /// Round trip whose response carries no result fields beyond status.
+  Status SimpleOp(MsgType type, const WireWriter& w);
+  StatusOr<std::optional<DomNode>> NodeOp(MsgType type, const Splid& subject);
+
+  Client* client_;
+};
+
+}  // namespace net
+}  // namespace xtc
+
+#endif  // XTC_NET_CLIENT_H_

@@ -1,0 +1,878 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "tamix/dom_api.h"
+
+namespace xtc {
+namespace net {
+
+namespace {
+
+/// How long the event loop sleeps in epoll_wait when nothing happens —
+/// the cadence of idle reaping and deferred-fd closing.
+constexpr int kLoopTickMs = 250;
+/// How long a worker waits for a stalled client to accept response bytes
+/// before declaring the session dead.
+constexpr int kSendTimeoutMs = 5000;
+/// Drain's poll cadence while waiting for in-flight work to finish.
+constexpr auto kDrainPollInterval = std::chrono::milliseconds(10);
+
+Status ErrnoStatus(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Response payload carrying only a status (the common error shape).
+std::string StatusOnlyPayload(const Status& st) {
+  WireWriter w;
+  PutStatus(&w, st);
+  return std::move(w.str());
+}
+
+}  // namespace
+
+Server::Server(Deps deps, ServerOptions options)
+    : deps_(deps), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_.exchange(true)) {
+    return Status::InvalidArgument("server already started");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return ErrnoStatus("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return ErrnoStatus("bind");
+  }
+  if (::listen(listen_fd_, 128) < 0) return ErrnoStatus("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return ErrnoStatus("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (event_fd_ < 0) return ErrnoStatus("eventfd");
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return ErrnoStatus("epoll_create1");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    return ErrnoStatus("epoll_ctl(listen)");
+  }
+  ev.data.fd = event_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev) < 0) {
+    return ErrnoStatus("epoll_ctl(eventfd)");
+  }
+
+  metrics_.MarkRunStart();
+  loop_thread_ = std::thread(&Server::EventLoop, this);
+  const int workers = options_.num_workers > 0 ? options_.num_workers : 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back(&Server::WorkerLoop, this);
+  }
+  return Status::OK();
+}
+
+void Server::WakeLoop() {
+  if (event_fd_ >= 0) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof(one));
+  }
+}
+
+// --- Event loop -----------------------------------------------------------
+
+void Server::EventLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  bool listener_armed = true;
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (listener_armed && !accepting_.load(std::memory_order_acquire)) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      listener_armed = false;
+    }
+
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, kLoopTickMs);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll set is gone; shutdown is in progress
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptPending();
+        continue;
+      }
+      if (fd == event_fd_) {
+        uint64_t drained;
+        while (::read(event_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      SessionPtr s;
+      {
+        MutexLock guard(sessions_mu_);
+        auto it = sessions_.find(fd);
+        if (it != sessions_.end()) s = it->second;
+      }
+      if (!s) continue;  // torn down after the event was queued
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        BeginClose(s);
+        continue;
+      }
+      if (!ReadSession(s)) BeginClose(s);
+    }
+    CloseDeadFds();
+    ReapIdle();
+  }
+
+  CloseDeadFds();
+}
+
+void Server::AcceptPending() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error; epoll will re-arm
+    if (!accepting_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    size_t live;
+    {
+      MutexLock guard(sessions_mu_);
+      live = sessions_.size();
+    }
+    if (live >= options_.max_sessions) {
+      stat_sessions_rejected_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto s = std::make_shared<Session>();
+    s->fd = fd;
+    s->last_activity = Now();
+    {
+      MutexLock guard(sessions_mu_);
+      s->id = next_session_id_++;
+      sessions_.emplace(fd, s);
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      BeginClose(s);
+      continue;
+    }
+    stat_sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool Server::ReadSession(const SessionPtr& s) {
+  char buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(s->fd, buf, sizeof(buf));
+    if (n > 0) {
+      s->rbuf.append(buf, static_cast<size_t>(n));
+      // A client streaming unbounded bytes that never frame (e.g. a
+      // well-formed header whose payload trickles in past any sane size
+      // is impossible — payload_len is capped — so this only fires on
+      // garbage that happened to pass no header check yet).
+      if (s->rbuf.size() > kHeaderSize + kMaxPayload) {
+        stat_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      continue;
+    }
+    if (n == 0) return false;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  s->last_activity = Now();
+
+  // Extract every complete frame.
+  while (s->rbuf.size() >= kHeaderSize) {
+    FrameHeader header;
+    Status st = DecodeHeader(s->rbuf, &header);
+    if (!st.ok()) {
+      // Header-level corruption: the type and request_id bytes cannot be
+      // trusted and a length-prefixed stream cannot resynchronize, so
+      // there is nothing meaningful to answer — drop the connection.
+      stat_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (s->rbuf.size() < kHeaderSize + header.payload_len) break;  // partial
+    std::string_view payload(s->rbuf.data() + kHeaderSize, header.payload_len);
+    stat_frames_received_.fetch_add(1, std::memory_order_relaxed);
+
+    // The header framed correctly, so type/request_id are reliable and
+    // payload-level problems get a proper error response (then the
+    // session closes: the payload bytes still desynchronize nothing, but
+    // trust in the peer is gone).
+    Frame frame;
+    frame.type = header.type & static_cast<uint8_t>(~kResponseBit);
+    frame.request_id = header.request_id;
+    frame.enqueued = Now();
+    if ((header.type & kResponseBit) != 0) {
+      stat_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      frame.reject = Status::InvalidArgument("response frame sent to server");
+    } else if (Status pst = CheckPayload(header, payload); !pst.ok()) {
+      stat_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      frame.reject = std::move(pst);
+    } else {
+      frame.payload.assign(payload);
+      if (queued_frames_.load(std::memory_order_acquire) >=
+          options_.max_queue_depth) {
+        frame.overloaded = true;
+        frame.payload.clear();
+      }
+    }
+    const bool fatal = !frame.reject.ok();
+    s->rbuf.erase(0, kHeaderSize + header.payload_len);
+    EnqueueFrame(s, std::move(frame));
+    if (fatal) return true;  // teardown happens after the error response
+  }
+  return true;
+}
+
+void Server::EnqueueFrame(const SessionPtr& s, Frame frame) {
+  bool schedule = false;
+  {
+    MutexLock guard(s->mu);
+    if (s->closing) return;
+    if (s->pending.size() >= options_.max_session_pending) {
+      // Pipelining far past the response stream violates the protocol.
+      frame.payload.clear();
+      frame.overloaded = false;
+      frame.reject = Status::ResourceExhausted("session pipeline cap");
+      stat_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    s->pending.push_back(std::move(frame));
+    queued_frames_.fetch_add(1, std::memory_order_acq_rel);
+    if (!s->busy) {
+      s->busy = true;
+      schedule = true;
+    }
+  }
+  if (schedule) {
+    MutexLock guard(queue_mu_);
+    work_queue_.push_back(s);
+    queue_cv_.notify_one();
+  }
+}
+
+void Server::BeginClose(const SessionPtr& s) {
+  bool teardown_now = false;
+  {
+    MutexLock guard(s->mu);
+    if (s->closing) return;
+    s->closing = true;
+    queued_frames_.fetch_sub(s->pending.size(), std::memory_order_acq_rel);
+    s->pending.clear();
+    teardown_now = !s->busy;
+  }
+  // A transaction parked in LockTable::Lock() must be woken or teardown
+  // (and drain) would stall the full lock wait timeout behind it.
+  const uint64_t tx = s->tx_id.load(std::memory_order_acquire);
+  if (tx != 0) deps_.table->CancelTx(tx);
+  if (teardown_now) Teardown(s);
+}
+
+void Server::Teardown(const SessionPtr& s) {
+  AbortSessionTx(s.get());
+  {
+    MutexLock guard(sessions_mu_);
+    sessions_.erase(s->fd);
+  }
+  // Only the event loop closes fds (a worker closing here could race a
+  // just-dispatched epoll event onto a reused descriptor). Shut the
+  // socket down now so any such event reads EOF, and let the loop close.
+  ::shutdown(s->fd, SHUT_RDWR);
+  {
+    MutexLock guard(dead_fds_mu_);
+    dead_fds_.push_back(s->fd);
+  }
+  WakeLoop();
+  stat_sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::CloseDeadFds() {
+  std::vector<int> fds;
+  {
+    MutexLock guard(dead_fds_mu_);
+    fds.swap(dead_fds_);
+  }
+  for (int fd : fds) ::close(fd);
+}
+
+void Server::ReapIdle() {
+  const TimePoint now = Now();
+  std::vector<SessionPtr> idle;
+  {
+    MutexLock guard(sessions_mu_);
+    for (const auto& [fd, s] : sessions_) {
+      if (now - s->last_activity > options_.idle_timeout) idle.push_back(s);
+    }
+  }
+  for (const SessionPtr& s : idle) {
+    stat_idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+    BeginClose(s);
+  }
+}
+
+// --- Workers --------------------------------------------------------------
+
+void Server::WorkerLoop() {
+  for (;;) {
+    SessionPtr s;
+    {
+      MutexLock guard(queue_mu_);
+      queue_cv_.wait(guard.native(), [this]() XTC_REQUIRES(queue_mu_) {
+        return stopping_.load(std::memory_order_acquire) ||
+               !work_queue_.empty();
+      });
+      if (work_queue_.empty()) return;  // stopping
+      s = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+
+    for (;;) {
+      Frame frame;
+      bool have_frame = false;
+      bool teardown = false;
+      {
+        MutexLock guard(s->mu);
+        if (s->closing) {
+          queued_frames_.fetch_sub(s->pending.size(),
+                                   std::memory_order_acq_rel);
+          s->pending.clear();
+          s->busy = false;
+          teardown = true;
+        } else if (s->pending.empty()) {
+          s->busy = false;
+        } else {
+          frame = std::move(s->pending.front());
+          s->pending.pop_front();
+          queued_frames_.fetch_sub(1, std::memory_order_acq_rel);
+          have_frame = true;
+        }
+      }
+      if (teardown) {
+        Teardown(s);
+        break;
+      }
+      if (!have_frame) break;
+      if (!Process(s, frame)) {
+        bool teardown_now = false;
+        {
+          MutexLock guard(s->mu);
+          if (!s->closing) {
+            s->closing = true;
+            teardown_now = true;
+          }
+          queued_frames_.fetch_sub(s->pending.size(),
+                                   std::memory_order_acq_rel);
+          s->pending.clear();
+          s->busy = false;
+        }
+        // If BeginClose() marked it first, it saw busy==true and left
+        // teardown to us either way.
+        Teardown(s);
+        (void)teardown_now;
+        break;
+      }
+    }
+  }
+}
+
+bool Server::Process(const SessionPtr& s, Frame& frame) {
+  std::string payload;
+  bool close_after = false;
+  if (!frame.reject.ok()) {
+    payload = StatusOnlyPayload(frame.reject);
+    close_after = true;
+  } else if (frame.overloaded) {
+    stat_admission_rejected_.fetch_add(1, std::memory_order_relaxed);
+    payload = StatusOnlyPayload(
+        Status::ResourceExhausted("server request queue full"));
+  } else if (Now() - frame.enqueued > options_.request_deadline &&
+             frame.type != static_cast<uint8_t>(MsgType::kAbort)) {
+    // Stale work is not worth doing — the client gave up long ago. Abort
+    // is exempt: it is how transactions stop holding locks.
+    stat_deadline_rejected_.fetch_add(1, std::memory_order_relaxed);
+    payload =
+        StatusOnlyPayload(Status::ResourceExhausted("request deadline passed"));
+  } else {
+    payload = HandleRequest(s, frame, &close_after);
+  }
+  const std::string response = EncodeFrame(
+      static_cast<uint8_t>(frame.type | kResponseBit), frame.request_id,
+      payload);
+  if (!SendAll(s, response)) return false;
+  stat_responses_sent_.fetch_add(1, std::memory_order_relaxed);
+  return !close_after;
+}
+
+bool Server::SendAll(const SessionPtr& s, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(s->fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{s->fd, POLLOUT, 0};
+      const int r = ::poll(&pfd, 1, kSendTimeoutMs);
+      if (r <= 0) return false;  // stalled client: drop the session
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+// --- Request handlers -----------------------------------------------------
+
+std::string Server::HandleRequest(const SessionPtr& s, const Frame& frame,
+                                  bool* close_after) {
+  WireReader r(frame.payload);
+  std::string payload;
+  switch (static_cast<MsgType>(frame.type)) {
+    case MsgType::kHello: {
+      std::string client_name;
+      if (!r.Str(&client_name) || !r.AtEnd()) break;
+      WireWriter w;
+      PutStatus(&w, Status::OK());
+      w.U8(kWireVersion);
+      payload = std::move(w.str());
+      return payload;
+    }
+    case MsgType::kBegin:
+      payload = HandleBegin(s, r);
+      if (!payload.empty()) return payload;
+      break;
+    case MsgType::kCommit:
+      payload = HandleCommit(s, r);
+      if (!payload.empty()) return payload;
+      break;
+    case MsgType::kAbort:
+      if (!r.AtEnd()) break;
+      return HandleAbort(s);
+    case MsgType::kStats:
+      if (!r.AtEnd()) break;
+      return HandleStats();
+    case MsgType::kWorkloadInfo:
+      if (!r.AtEnd()) break;
+      return HandleWorkloadInfo();
+    default:
+      payload = HandleDomOp(s, frame, r);
+      if (!payload.empty()) return payload;
+      break;
+  }
+  // Malformed request payload: the client and server disagree about the
+  // protocol — answer once, then disconnect.
+  stat_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  *close_after = true;
+  return StatusOnlyPayload(
+      Status::InvalidArgument("malformed request payload"));
+}
+
+std::string Server::HandleBegin(const SessionPtr& s, WireReader& r) {
+  uint8_t isolation, lock_depth, tx_type;
+  if (!r.U8(&isolation) || !r.U8(&lock_depth) || !r.U8(&tx_type) ||
+      !r.AtEnd()) {
+    return {};
+  }
+  if (isolation > static_cast<uint8_t>(IsolationLevel::kSerializable) ||
+      tx_type >= kNumTxTypes) {
+    return {};
+  }
+  if (s->tx != nullptr) {
+    return StatusOnlyPayload(
+        Status::InvalidArgument("transaction already open on this session"));
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    stat_admission_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return StatusOnlyPayload(Status::ResourceExhausted("server draining"));
+  }
+  // Admission: optimistic increment, undo on loss. The cap may overshoot
+  // by a few under a worker stampede; it bounds load, it is not a ledger.
+  if (active_tx_.fetch_add(1, std::memory_order_acq_rel) >=
+      options_.max_in_flight_tx) {
+    active_tx_.fetch_sub(1, std::memory_order_acq_rel);
+    stat_admission_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return StatusOnlyPayload(
+        Status::ResourceExhausted("too many in-flight transactions"));
+  }
+  s->tx = deps_.txm->Begin(static_cast<IsolationLevel>(isolation),
+                           static_cast<int>(lock_depth));
+  s->tx_type = static_cast<TxType>(tx_type);
+  s->tx_begin = Now();
+  s->last_error = Status::OK();
+  s->tx_id.store(s->tx->id(), std::memory_order_release);
+  stat_tx_begun_.fetch_add(1, std::memory_order_relaxed);
+
+  WireWriter w;
+  PutStatus(&w, Status::OK());
+  w.U64(s->tx->id());
+  return std::move(w.str());
+}
+
+std::string Server::HandleCommit(const SessionPtr& s, WireReader& r) {
+  std::string wal_payload;
+  if (!r.Str(&wal_payload) || !r.AtEnd()) return {};
+  if (s->tx == nullptr) {
+    return StatusOnlyPayload(
+        Status::InvalidArgument("no open transaction on this session"));
+  }
+  const Status st = deps_.txm->Commit(*s->tx, wal_payload);
+  WireWriter w;
+  PutStatus(&w, st);
+  if (st.ok()) {
+    w.U64(s->tx->commit_seq());
+    metrics_.RecordCommit(s->tx_type, ToMicros(Now() - s->tx_begin));
+    stat_tx_committed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // A failed commit force already ended the transaction kAborted with
+    // its locks released (see TransactionManager::Commit).
+    metrics_.RecordAbort(s->tx_type, st);
+    stat_tx_aborted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  s->tx.reset();
+  s->tx_id.store(0, std::memory_order_release);
+  active_tx_.fetch_sub(1, std::memory_order_acq_rel);
+  return std::move(w.str());
+}
+
+std::string Server::HandleAbort(const SessionPtr& s) {
+  if (s->tx == nullptr) {
+    // Aborting nothing is a no-op, not an error: the client's retry loop
+    // aborts defensively.
+    return StatusOnlyPayload(Status::OK());
+  }
+  AbortSessionTx(s.get());
+  return StatusOnlyPayload(Status::OK());
+}
+
+std::string Server::HandleDomOp(const SessionPtr& s, const Frame& frame,
+                                WireReader& r) {
+  if (s->tx == nullptr) {
+    return StatusOnlyPayload(
+        Status::InvalidArgument("no open transaction on this session"));
+  }
+  LocalDom dom(deps_.nm, s->tx.get());
+  WireWriter w;
+  switch (static_cast<MsgType>(frame.type)) {
+    case MsgType::kGetElementById: {
+      std::string id;
+      if (!r.Str(&id) || !r.AtEnd()) return {};
+      auto res = dom.GetElementById(id);
+      PutStatus(&w, res.status());
+      if (res.ok()) {
+        w.U8(res->has_value() ? 1 : 0);
+        if (res->has_value()) w.SplidVal(**res);
+      }
+      break;
+    }
+    case MsgType::kGetAttributes: {
+      Splid node;
+      if (!r.SplidVal(&node) || !r.AtEnd()) return {};
+      auto res = dom.GetAttributes(node);
+      PutStatus(&w, res.status());
+      if (res.ok()) {
+        w.U32(static_cast<uint32_t>(res->size()));
+        for (const auto& [k, v] : *res) {
+          w.Str(k);
+          w.Str(v);
+        }
+      }
+      break;
+    }
+    case MsgType::kGetFirstChild:
+    case MsgType::kGetLastChild:
+    case MsgType::kGetNextSibling: {
+      Splid node;
+      if (!r.SplidVal(&node) || !r.AtEnd()) return {};
+      const MsgType t = static_cast<MsgType>(frame.type);
+      auto res = t == MsgType::kGetFirstChild  ? dom.GetFirstChild(node)
+                 : t == MsgType::kGetLastChild ? dom.GetLastChild(node)
+                                               : dom.GetNextSibling(node);
+      PutStatus(&w, res.status());
+      if (res.ok()) {
+        w.U8(res->has_value() ? 1 : 0);
+        if (res->has_value()) {
+          PutNode(&w, WireNode{(*res)->splid.Encode(),
+                               static_cast<uint8_t>((*res)->kind),
+                               (*res)->name});
+        }
+      }
+      break;
+    }
+    case MsgType::kGetChildNodes: {
+      Splid node;
+      if (!r.SplidVal(&node) || !r.AtEnd()) return {};
+      auto res = dom.GetChildNodes(node);
+      PutStatus(&w, res.status());
+      if (res.ok()) {
+        w.U32(static_cast<uint32_t>(res->size()));
+        for (const DomNode& n : *res) {
+          PutNode(&w, WireNode{n.splid.Encode(), static_cast<uint8_t>(n.kind),
+                               n.name});
+        }
+      }
+      break;
+    }
+    case MsgType::kGetTextContent: {
+      Splid node;
+      if (!r.SplidVal(&node) || !r.AtEnd()) return {};
+      auto res = dom.GetTextContent(node);
+      PutStatus(&w, res.status());
+      if (res.ok()) w.Str(*res);
+      break;
+    }
+    case MsgType::kDeclareUpdateIntent: {
+      Splid node;
+      if (!r.SplidVal(&node) || !r.AtEnd()) return {};
+      PutStatus(&w, dom.DeclareUpdateIntent(node));
+      break;
+    }
+    case MsgType::kUpdateText: {
+      Splid node;
+      std::string content;
+      if (!r.SplidVal(&node) || !r.Str(&content) || !r.AtEnd()) return {};
+      PutStatus(&w, dom.UpdateText(node, content));
+      break;
+    }
+    case MsgType::kSetAttribute: {
+      Splid node;
+      std::string name, value;
+      if (!r.SplidVal(&node) || !r.Str(&name) || !r.Str(&value) || !r.AtEnd()) {
+        return {};
+      }
+      PutStatus(&w, dom.SetAttribute(node, name, value));
+      break;
+    }
+    case MsgType::kAppendSubtree: {
+      Splid parent;
+      SubtreeSpec spec;
+      if (!r.SplidVal(&parent) || !r.Spec(&spec) || !r.AtEnd()) return {};
+      auto res = dom.AppendSubtree(parent, spec);
+      PutStatus(&w, res.status());
+      if (res.ok()) w.SplidVal(*res);
+      break;
+    }
+    case MsgType::kDeleteSubtree: {
+      Splid node;
+      if (!r.SplidVal(&node) || !r.AtEnd()) return {};
+      PutStatus(&w, dom.DeleteSubtree(node));
+      break;
+    }
+    case MsgType::kRename: {
+      Splid node;
+      std::string name;
+      if (!r.SplidVal(&node) || !r.Str(&name) || !r.AtEnd()) return {};
+      PutStatus(&w, dom.Rename(node, name));
+      break;
+    }
+    default:
+      return {};
+  }
+  // Remember the last operation failure so a teardown abort is
+  // classified like the in-process coordinator would classify it.
+  if (w.str().size() >= 4) {
+    uint32_t code;
+    std::memcpy(&code, w.str().data(), 4);
+    if (code != 0) {
+      WireReader check(w.str());
+      Status op_status;
+      if (GetStatus(&check, &op_status)) s->last_error = op_status;
+    }
+  }
+  return std::move(w.str());
+}
+
+std::string Server::HandleStats() {
+  const RunStats run = metrics_.Snapshot();
+  WireStats out;
+  out.run_duration_ms = run.run_duration_ms;
+  {
+    MutexLock guard(sessions_mu_);
+    out.active_sessions = sessions_.size();
+  }
+  out.active_tx = active_tx_.load(std::memory_order_acquire);
+  out.admission_rejected =
+      stat_admission_rejected_.load(std::memory_order_relaxed) +
+      stat_deadline_rejected_.load(std::memory_order_relaxed);
+  out.cancelled_waits = deps_.table->GetStats().cancelled;
+  out.per_type.resize(kNumTxTypes);
+  for (int t = 0; t < kNumTxTypes; ++t) {
+    const TxTypeStats& s = run.per_type[static_cast<size_t>(t)];
+    WireTypeStats& row = out.per_type[static_cast<size_t>(t)];
+    row.committed = s.committed;
+    row.aborted = s.aborted;
+    row.retries = s.retries;
+    row.avg_us = static_cast<int64_t>(s.avg_duration_ms() * 1000.0);
+    row.p50_us = s.latency.PercentileUs(0.50);
+    row.p95_us = s.latency.PercentileUs(0.95);
+    row.p99_us = s.latency.PercentileUs(0.99);
+  }
+  WireWriter w;
+  PutStatus(&w, Status::OK());
+  PutStats(&w, out);
+  return std::move(w.str());
+}
+
+std::string Server::HandleWorkloadInfo() {
+  WireWriter w;
+  if (deps_.info == nullptr) {
+    PutStatus(&w, Status::NotFound("server has no workload loaded"));
+    return std::move(w.str());
+  }
+  PutStatus(&w, Status::OK());
+  w.U64(deps_.info->num_nodes);
+  const auto put_list = [&w](const std::vector<std::string>& v) {
+    w.U32(static_cast<uint32_t>(v.size()));
+    for (const std::string& s : v) w.Str(s);
+  };
+  put_list(deps_.info->book_ids);
+  put_list(deps_.info->topic_ids);
+  put_list(deps_.info->person_ids);
+  return std::move(w.str());
+}
+
+void Server::AbortSessionTx(Session* s) {
+  if (s->tx == nullptr) return;
+  (void)deps_.txm->Abort(*s->tx);
+  metrics_.RecordAbort(s->tx_type, s->last_error.ok()
+                                       ? Status::TxAborted("session closed")
+                                       : s->last_error);
+  stat_tx_aborted_.fetch_add(1, std::memory_order_relaxed);
+  s->tx.reset();
+  s->tx_id.store(0, std::memory_order_release);
+  active_tx_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+// --- Shutdown -------------------------------------------------------------
+
+void Server::Drain() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (draining_.exchange(true)) return;
+  accepting_.store(false, std::memory_order_release);
+  WakeLoop();
+
+  // Phase 1: wait for in-flight transactions to finish on their own.
+  const TimePoint deadline = Now() + options_.drain_timeout;
+  while (active_tx_.load(std::memory_order_acquire) > 0 && Now() < deadline) {
+    SleepFor(kDrainPollInterval);
+  }
+
+  // Phase 2: evict stragglers. Closing cancels any parked lock waits and
+  // aborts each session's transaction (immediately, or via its worker).
+  std::vector<SessionPtr> remaining;
+  {
+    MutexLock guard(sessions_mu_);
+    for (const auto& [fd, s] : sessions_) remaining.push_back(s);
+  }
+  for (const SessionPtr& s : remaining) BeginClose(s);
+  const TimePoint hard_deadline = Now() + options_.drain_timeout;
+  while (active_tx_.load(std::memory_order_acquire) > 0 &&
+         Now() < hard_deadline) {
+    SleepFor(kDrainPollInterval);
+  }
+
+  // Phase 3: everything committed or aborted is made durable.
+  if (deps_.wal != nullptr) (void)deps_.wal->Sync();
+}
+
+void Server::Stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  Drain();
+  if (stopping_.exchange(true)) return;
+  {
+    MutexLock guard(queue_mu_);
+    queue_cv_.notify_all();
+  }
+  WakeLoop();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  if (loop_thread_.joinable()) loop_thread_.join();
+
+  // Single-threaded from here: release every remaining resource.
+  std::vector<SessionPtr> remaining;
+  {
+    MutexLock guard(sessions_mu_);
+    for (const auto& [fd, s] : sessions_) remaining.push_back(s);
+    sessions_.clear();
+  }
+  for (const SessionPtr& s : remaining) {
+    AbortSessionTx(s.get());
+    ::close(s->fd);
+    stat_sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  CloseDeadFds();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (event_fd_ >= 0) ::close(event_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  listen_fd_ = event_fd_ = epoll_fd_ = -1;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.sessions_opened = stat_sessions_opened_.load(std::memory_order_relaxed);
+  s.sessions_closed = stat_sessions_closed_.load(std::memory_order_relaxed);
+  s.sessions_rejected =
+      stat_sessions_rejected_.load(std::memory_order_relaxed);
+  s.frames_received = stat_frames_received_.load(std::memory_order_relaxed);
+  s.responses_sent = stat_responses_sent_.load(std::memory_order_relaxed);
+  s.protocol_errors = stat_protocol_errors_.load(std::memory_order_relaxed);
+  s.admission_rejected =
+      stat_admission_rejected_.load(std::memory_order_relaxed);
+  s.deadline_rejected =
+      stat_deadline_rejected_.load(std::memory_order_relaxed);
+  s.idle_reaped = stat_idle_reaped_.load(std::memory_order_relaxed);
+  s.tx_begun = stat_tx_begun_.load(std::memory_order_relaxed);
+  s.tx_committed = stat_tx_committed_.load(std::memory_order_relaxed);
+  s.tx_aborted = stat_tx_aborted_.load(std::memory_order_relaxed);
+  {
+    MutexLock guard(sessions_mu_);
+    s.active_sessions = sessions_.size();
+  }
+  s.active_tx = active_tx_.load(std::memory_order_acquire);
+  return s;
+}
+
+}  // namespace net
+}  // namespace xtc

@@ -1,0 +1,257 @@
+// Socket front-end of the XDBMS (DESIGN.md §8): an epoll event loop plus
+// a bounded worker pool that multiplexes many client connections onto the
+// existing TransactionManager/LockManager/Document stack. The paper ran
+// TaMix from remote client machines against the XTC server; this is that
+// boundary, over loopback or a real NIC.
+//
+// Threading model
+//   * One event-loop thread owns the listener, the epoll set, all reads,
+//     frame extraction, and idle-session reaping. It never executes a
+//     request and never blocks on a lock, so accept/read latency is
+//     independent of workload contention.
+//   * N worker threads execute requests. A session is processed by at
+//     most one worker at a time (per-session frame queue + busy flag), so
+//     requests of one connection execute in order and the transaction
+//     state needs no lock of its own. Responses are written by the
+//     processing worker directly to the socket.
+//
+// Admission control
+//   * max_sessions: connections beyond it are accepted and immediately
+//     closed (the cheapest honest signal).
+//   * max_in_flight_tx: kBegin beyond it is answered kResourceExhausted
+//     — the client backs off; nothing queues.
+//   * max_queue_depth: frames beyond it (global, across sessions) are
+//     answered kResourceExhausted without executing.
+//   * request_deadline: a frame that waited in queue longer than this is
+//     answered kResourceExhausted without executing (stale work is not
+//     worth doing — the client has long since timed out).
+//
+// Shutdown
+//   * Client disconnect / idle reap: the session's transaction — even one
+//     parked inside LockTable::Lock() — is cancelled (LockTable::CancelTx
+//     wakes it with kCancelled), aborted, and its locks released.
+//   * Drain()/Stop(): stop accepting, give in-flight transactions
+//     drain_timeout to finish, cancel + abort the stragglers, flush the
+//     WAL, join all threads. Never leaves a transaction active.
+
+#ifndef XTC_NET_SERVER_H_
+#define XTC_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wire.h"
+#include "node/node_manager.h"
+#include "tamix/bib_generator.h"
+#include "tamix/metrics.h"
+#include "tx/transaction_manager.h"
+#include "util/clock.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+#include "wal/wal.h"
+
+namespace xtc {
+namespace net {
+
+struct ServerOptions {
+  /// 0 = kernel-assigned ephemeral port (read back via port()).
+  uint16_t port = 0;
+  int num_workers = 4;
+  size_t max_sessions = 256;
+  size_t max_in_flight_tx = 64;
+  size_t max_queue_depth = 256;
+  /// Per-session pending-frame cap. A synchronous request–response
+  /// client never has more than 1; a client that pipelines past this is
+  /// violating the protocol and is disconnected.
+  size_t max_session_pending = 64;
+  Duration request_deadline = std::chrono::seconds(10);
+  Duration idle_timeout = std::chrono::seconds(60);
+  Duration drain_timeout = std::chrono::seconds(5);
+};
+
+struct ServerStats {
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;
+  uint64_t sessions_rejected = 0;  // over max_sessions
+  uint64_t frames_received = 0;
+  uint64_t responses_sent = 0;
+  uint64_t protocol_errors = 0;  // framing/decode failures -> disconnect
+  uint64_t admission_rejected = 0;  // tx cap + queue cap
+  uint64_t deadline_rejected = 0;
+  uint64_t idle_reaped = 0;
+  uint64_t tx_begun = 0;
+  uint64_t tx_committed = 0;
+  uint64_t tx_aborted = 0;
+  // Gauges.
+  uint64_t active_sessions = 0;
+  uint64_t active_tx = 0;
+};
+
+class Server {
+ public:
+  /// Borrowed engine handles; all must outlive the server. `wal` may be
+  /// null (drain then skips the flush), `info` feeds kWorkloadInfo.
+  struct Deps {
+    NodeManager* nm = nullptr;
+    TransactionManager* txm = nullptr;
+    LockTable* table = nullptr;
+    const BibInfo* info = nullptr;
+    Wal* wal = nullptr;
+  };
+
+  Server(Deps deps, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, starts the event loop and workers.
+  Status Start();
+  /// The bound port (after Start; useful with options.port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting, let in-flight transactions finish
+  /// for up to drain_timeout, cancel + abort stragglers, flush the WAL.
+  /// Idempotent; Stop() implies it.
+  void Drain();
+  /// Drain, then shut all threads down and close every socket.
+  void Stop();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  ServerStats stats() const;
+  /// Server-side workload metrics (per-type commit latency percentiles;
+  /// what the kStats request reports).
+  RunStats MetricsSnapshot() const { return metrics_.Snapshot(); }
+
+ private:
+  struct Frame {
+    uint8_t type = 0;
+    uint32_t request_id = 0;
+    std::string payload;
+    TimePoint enqueued;
+    /// Set by the event loop: answer kResourceExhausted, do not execute.
+    bool overloaded = false;
+    /// Set by the event loop on framing/decode errors: answer with this
+    /// status, then disconnect.
+    Status reject;
+  };
+
+  struct Session {
+    int fd = -1;
+    uint64_t id = 0;
+    std::string rbuf;  // unparsed inbound bytes (event loop only)
+    TimePoint last_activity;  // event loop only
+    Mutex mu;
+    std::deque<Frame> pending XTC_GUARDED_BY(mu);
+    bool busy XTC_GUARDED_BY(mu) = false;
+    bool closing XTC_GUARDED_BY(mu) = false;
+    /// Transaction state: touched only by the worker currently processing
+    /// this session (the busy flag serializes workers), so unguarded.
+    std::unique_ptr<Transaction> tx;
+    TxType tx_type = TxType::kQueryBook;
+    TimePoint tx_begin;
+    Status last_error;  // last failed op (classifies the abort)
+    /// Mirror of tx->id() for the event loop's CancelTx on disconnect.
+    std::atomic<uint64_t> tx_id{0};
+  };
+  using SessionPtr = std::shared_ptr<Session>;
+
+  void EventLoop();
+  void WorkerLoop();
+
+  void AcceptPending();
+  /// Reads everything available; extracts frames; queues work. Returns
+  /// false when the session must be torn down (EOF/error).
+  bool ReadSession(const SessionPtr& s);
+  /// Queues one frame (or its overload/reject marker) for the session and
+  /// schedules the session on the work queue when idle.
+  void EnqueueFrame(const SessionPtr& s, Frame frame);
+  /// Marks the session closing, cancels its transaction's lock waits, and
+  /// tears it down right away unless a worker owns it (then that worker
+  /// finishes and tears it down).
+  void BeginClose(const SessionPtr& s);
+  void Teardown(const SessionPtr& s);
+  void ReapIdle();
+
+  /// Executes one frame and sends the response. Returns false when the
+  /// session must close (protocol error frames).
+  bool Process(const SessionPtr& s, Frame& frame);
+  std::string HandleRequest(const SessionPtr& s, const Frame& frame,
+                            bool* close_after);
+  // Request handlers (payload already CRC-checked). An empty return means
+  // the request payload was malformed (HandleRequest turns that into an
+  // error response + disconnect).
+  std::string HandleBegin(const SessionPtr& s, WireReader& r);
+  std::string HandleCommit(const SessionPtr& s, WireReader& r);
+  std::string HandleAbort(const SessionPtr& s);
+  std::string HandleDomOp(const SessionPtr& s, const Frame& frame,
+                          WireReader& r);
+  std::string HandleStats();
+  std::string HandleWorkloadInfo();
+
+  /// Aborts the session's transaction (if any) and records the abort.
+  void AbortSessionTx(Session* s);
+  bool SendAll(const SessionPtr& s, std::string_view bytes);
+  /// Nudges the event loop out of epoll_wait (via the eventfd).
+  void WakeLoop();
+  /// Closes fds retired by Teardown (event loop / post-join only; see the
+  /// comment in Teardown for why workers never close fds themselves).
+  void CloseDeadFds();
+
+  Deps deps_;
+  ServerOptions options_;
+  MetricsCollector metrics_;
+
+  int listen_fd_ = -1;
+  int event_fd_ = -1;
+  int epoll_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> accepting_{true};
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  mutable Mutex sessions_mu_;
+  std::unordered_map<uint64_t, SessionPtr> sessions_
+      XTC_GUARDED_BY(sessions_mu_);
+  uint64_t next_session_id_ XTC_GUARDED_BY(sessions_mu_) = 1;
+
+  mutable Mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<SessionPtr> work_queue_ XTC_GUARDED_BY(queue_mu_);
+  std::atomic<size_t> queued_frames_{0};
+  std::atomic<size_t> active_tx_{0};
+
+  Mutex dead_fds_mu_;
+  std::vector<int> dead_fds_ XTC_GUARDED_BY(dead_fds_mu_);
+
+  // Counters (relaxed; exactness not required).
+  std::atomic<uint64_t> stat_sessions_opened_{0};
+  std::atomic<uint64_t> stat_sessions_closed_{0};
+  std::atomic<uint64_t> stat_sessions_rejected_{0};
+  std::atomic<uint64_t> stat_frames_received_{0};
+  std::atomic<uint64_t> stat_responses_sent_{0};
+  std::atomic<uint64_t> stat_protocol_errors_{0};
+  std::atomic<uint64_t> stat_admission_rejected_{0};
+  std::atomic<uint64_t> stat_deadline_rejected_{0};
+  std::atomic<uint64_t> stat_idle_reaped_{0};
+  std::atomic<uint64_t> stat_tx_begun_{0};
+  std::atomic<uint64_t> stat_tx_committed_{0};
+  std::atomic<uint64_t> stat_tx_aborted_{0};
+};
+
+}  // namespace net
+}  // namespace xtc
+
+#endif  // XTC_NET_SERVER_H_

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "net/client.h"
+#include "net/server.h"
 #include "node/node_manager.h"
 #include "protocols/protocol_registry.h"
 #include "tamix/invariants.h"
@@ -39,6 +41,19 @@ bool ResolveWalEnabled(WalMode mode) {
       break;
   }
   const char* env = std::getenv("XTC_WAL");
+  return env != nullptr && std::string_view(env) != "0";
+}
+
+bool ResolveSocketEnabled(Frontend mode) {
+  switch (mode) {
+    case Frontend::kSocket:
+      return true;
+    case Frontend::kInProcess:
+      return false;
+    case Frontend::kAuto:
+      break;
+  }
+  const char* env = std::getenv("XTC_NET");
   return env != nullptr && std::string_view(env) != "0";
 }
 
@@ -195,7 +210,10 @@ void WorkerLoop(const RunConfig& config, Testbed* bed, TaMixRunner* runner,
       }
       Status abort = bed->tx_manager->Abort(*tx);
       if (!abort.ok()) metrics->RecordUndoFailure(type);
-      metrics->RecordAbort(type, st);
+      // kCancelled is a shutdown artifact (stop woke this worker out of a
+      // lock wait), not a workload outcome: recording it would inflate the
+      // abort counts by exactly the number of waiters parked at stop time.
+      if (!st.IsCancelled()) metrics->RecordAbort(type, st);
       if (!st.IsRetryable() || attempt >= config.max_retries ||
           stop->load(std::memory_order_relaxed)) {
         break;  // give up on this item; draw fresh work
@@ -204,6 +222,95 @@ void WorkerLoop(const RunConfig& config, Testbed* bed, TaMixRunner* runner,
       // Exponential backoff with jitter: contention (and injected fault
       // storms) needs the colliding workers to spread out, not to retry
       // in lockstep.
+      Duration backoff = config.Scaled(config.retry_backoff);
+      for (int i = 0; i < attempt && backoff < backoff_cap; ++i) backoff *= 2;
+      backoff = std::min(backoff, backoff_cap);
+      SleepFor(Duration(static_cast<Duration::rep>(
+          static_cast<double>(backoff.count()) *
+          (0.5 + 0.5 * rng.NextDouble()))));
+    }
+    SleepFor(config.Scaled(config.wait_after_commit));
+  }
+}
+
+/// The socket-mode worker: the same life as WorkerLoop — stagger, draw a
+/// work item, run it to commit with bounded retries, think, repeat — but
+/// every DOM operation crosses the loopback wire and the transaction
+/// lives on the server. Metrics are recorded here (client side), exactly
+/// like the in-process loop, so the Figs. 7–11 pipeline is unchanged; the
+/// commit log records the server-assigned commit sequence numbers, so the
+/// serializable replay check provides commit-set equality with the
+/// in-process runs.
+void ClientWorkerLoop(const RunConfig& config, uint16_t port,
+                      const BibInfo* info, bool wal_enabled,
+                      MetricsCollector* metrics, TxType type,
+                      uint64_t worker_index, const std::atomic<bool>* stop,
+                      CommitLog* commit_log) {
+  Rng rng(config.seed * 1000003 + worker_index);
+  net::Client client;
+  net::RemoteDom dom(&client);
+  TaMixBodyRunner bodies(info, config.Scaled(config.wait_after_operation));
+
+  // (Re)connect with patience: the server may briefly refuse while its
+  // accept queue churns at startup, and a transport error mid-run closes
+  // the connection. Gives up only when the run is over.
+  const auto ensure_connected = [&]() {
+    while (!client.connected() && !stop->load(std::memory_order_relaxed)) {
+      if (client.Connect("127.0.0.1", port).ok()) return true;
+      SleepFor(Millis(20));
+    }
+    return client.connected();
+  };
+
+  const Duration stagger = config.Scaled(config.max_initial_wait);
+  if (stagger > Duration::zero()) {
+    SleepFor(Duration(static_cast<Duration::rep>(
+        rng.NextDouble() * static_cast<double>(stagger.count()))));
+  }
+  const Duration backoff_cap = config.Scaled(config.retry_backoff_max);
+  while (!stop->load(std::memory_order_relaxed)) {
+    const uint64_t body_seed = rng.Next();
+    for (int attempt = 0;; ++attempt) {
+      if (!ensure_connected()) return;
+      auto begin = client.Begin(config.isolation, config.lock_depth, type);
+      if (!begin.ok()) {
+        if (begin.status().code() == StatusCode::kResourceExhausted) {
+          // Admission pushback is flow control, not a workload abort: back
+          // off (without consuming a retry) and offer the item again.
+          if (stop->load(std::memory_order_relaxed)) break;
+          SleepFor(config.Scaled(config.retry_backoff));
+          --attempt;
+          continue;
+        }
+        if (stop->load(std::memory_order_relaxed)) break;
+        continue;  // transport hiccup: ensure_connected will rebuild
+      }
+      const TimePoint start = Now();
+      Rng body_rng(body_seed);
+      Status st = bodies.RunBody(type, dom, body_rng);
+      if (st.ok()) {
+        auto commit = client.Commit(
+            wal_enabled ? EncodeCommitPayload(type, body_seed)
+                        : std::string());
+        if (commit.ok()) {
+          if (commit_log != nullptr) {
+            commit_log->Record({*commit, type, body_seed});
+          }
+          if (!stop->load(std::memory_order_relaxed)) {
+            metrics->RecordCommit(type, ToMicros(Now() - start));
+          }
+        } else {
+          metrics->RecordAbort(type, commit.status());
+        }
+        break;
+      }
+      (void)client.Abort();
+      if (!st.IsCancelled()) metrics->RecordAbort(type, st);
+      if (!st.IsRetryable() || attempt >= config.max_retries ||
+          stop->load(std::memory_order_relaxed)) {
+        break;
+      }
+      metrics->RecordRetry(type);
       Duration backoff = config.Scaled(config.retry_backoff);
       for (int i = 0; i < attempt && backoff < backoff_cap; ++i) backoff *= 2;
       backoff = std::min(backoff, backoff_cap);
@@ -227,12 +334,43 @@ StatusOr<RunStats> RunCluster1(const RunConfig& config, ChaosReport* report) {
   const bool chaos = config.faults.enabled();
   CommitLog* log_ptr = (chaos || report != nullptr) ? &commit_log : nullptr;
 
+  // Socket frontend: start the network server on loopback and hand every
+  // worker its own connection instead of direct NodeManager access.
+  const bool socket_mode = ResolveSocketEnabled(config.frontend);
+  const int total_workers = config.mix.clients * config.mix.WorkersPerClient();
+  std::unique_ptr<net::Server> server;
+  if (socket_mode) {
+    net::ServerOptions sopts;
+    // One server worker per client connection: a transaction parked in a
+    // lock wait occupies its worker, and a pool smaller than the client
+    // count would add queueing delays the in-process harness doesn't
+    // have — this run must measure the protocol, not the pool.
+    sopts.num_workers = std::max(total_workers, 1);
+    sopts.max_sessions = static_cast<size_t>(total_workers) + 8;
+    sopts.max_in_flight_tx = static_cast<size_t>(total_workers) + 8;
+    sopts.max_queue_depth = static_cast<size_t>(total_workers) * 4 + 64;
+    sopts.request_deadline =
+        config.Scaled(config.lock_wait_timeout) + std::chrono::seconds(10);
+    sopts.drain_timeout = std::chrono::seconds(2);
+    server = std::make_unique<net::Server>(
+        net::Server::Deps{bed->node_manager.get(), bed->tx_manager.get(),
+                          &bed->protocol->table(), &bed->info, bed->wal.get()},
+        sopts);
+    XTC_RETURN_IF_ERROR(server->Start());
+  }
+
   std::vector<std::thread> workers;
   uint64_t worker_index = 0;
   auto spawn = [&](TxType type, int count) {
     for (int i = 0; i < count; ++i) {
-      workers.emplace_back(WorkerLoop, std::cref(config), bed.get(), &runner,
-                           &metrics, type, worker_index++, &stop, log_ptr);
+      if (socket_mode) {
+        workers.emplace_back(ClientWorkerLoop, std::cref(config),
+                             server->port(), &bed->info, bed->wal != nullptr,
+                             &metrics, type, worker_index++, &stop, log_ptr);
+      } else {
+        workers.emplace_back(WorkerLoop, std::cref(config), bed.get(), &runner,
+                             &metrics, type, worker_index++, &stop, log_ptr);
+      }
     }
   };
   for (int c = 0; c < config.mix.clients; ++c) {
@@ -268,13 +406,24 @@ StatusOr<RunStats> RunCluster1(const RunConfig& config, ChaosReport* report) {
   // Timed run — cut short the moment a crash.* point kills the instance
   // (every further operation would only fail against the frozen store).
   const TimePoint start = Now();
+  metrics.MarkRunStart();
   const TimePoint deadline = start + config.Scaled(config.run_duration);
   while (Now() < deadline && !bed->crashed()) {
     SleepFor(std::min<Duration>(Millis(5), deadline - Now()));
   }
   stop.store(true, std::memory_order_relaxed);
+  // Wake every waiter parked in the lock table. Without this, a worker
+  // blocked in Lock() at stop time (or frozen mid-wait by a crash.*
+  // point) sleeps toward the full wait_timeout — 10 s of wall clock per
+  // parked waiter added to the join below for no benefit: the run is
+  // over and the denied request can only be aborted anyway.
+  bed->protocol->table().CancelWaiters();
   for (auto& w : workers) w.join();
   if (checkpointer.joinable()) checkpointer.join();
+  // Socket mode: graceful drain — the joined clients have disconnected,
+  // so this aborts whatever transactions their sessions still held and
+  // flushes the WAL before the quiescence checks below.
+  if (server != nullptr) server->Stop();
   const int64_t elapsed_ms = ToMillis(Now() - start);
   const bool crashed = bed->crashed();
 

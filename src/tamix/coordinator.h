@@ -92,6 +92,17 @@ struct FaultPlan {
 /// WAL-enabled variant without a rebuild.
 enum class WalMode { kAuto, kEnabled, kDisabled };
 
+/// How CLUSTER1 workers reach the engine. kInProcess calls NodeManager
+/// directly (the historical harness). kSocket starts the socket
+/// front-end (src/net/) on loopback and gives every worker its own
+/// connection + RemoteDom — the paper's actual topology, where TaMix
+/// clients were separate machines talking to the XTC server. kAuto
+/// follows the XTC_NET environment variable (set and not "0" = socket),
+/// mirroring WalMode/XTC_WAL so existing test binaries gain a socket
+/// variant without a rebuild. CLUSTER2 ignores this (single-user local
+/// measurement).
+enum class Frontend { kAuto, kInProcess, kSocket };
+
 /// One benchmark run. All timing parameters are the paper's, scaled by
 /// `time_scale` (default 1/50: a 5-minute run becomes 6 seconds).
 struct RunConfig {
@@ -122,6 +133,8 @@ struct RunConfig {
   /// commit forces a durable commit record and a background fuzzy
   /// checkpointer runs alongside the workload.
   WalMode wal = WalMode::kAuto;
+  /// Client↔engine transport for CLUSTER1 (see Frontend).
+  Frontend frontend = Frontend::kAuto;
   /// Commits between fuzzy checkpoints (0 = only the setup checkpoint).
   uint64_t checkpoint_every_commits = 64;
   /// Simulated hard kill: gives the instance a CrashSwitch (seeded from

@@ -20,6 +20,31 @@
 
 namespace xtc {
 
+/// Fixed-size log-scale latency histogram (microsecond samples). Buckets
+/// are octaves refined by 2 extra significand bits (4 sub-buckets per
+/// power of two), so a recorded value lands in a bucket whose width is at
+/// most 1/4 of its magnitude — percentile estimates carry ≤ 25 % relative
+/// error, plenty for the saturation bench's p99 while keeping the whole
+/// histogram at a fixed 1.3 kB (mergeable across types/workers by plain
+/// addition, no allocation on the record path).
+struct LatencyHistogram {
+  static constexpr int kSubBits = 2;
+  static constexpr int kSub = 1 << kSubBits;  // sub-buckets per octave
+  static constexpr int kBuckets = 40 * kSub;  // covers > 150 hours in µs
+  std::array<uint64_t, kBuckets> counts{};
+  uint64_t total = 0;
+
+  static int BucketFor(int64_t us);
+  /// Upper bound (µs) of the bucket, the value Percentile reports.
+  static int64_t BucketUpper(int bucket);
+
+  void Record(int64_t us);
+  void Merge(const LatencyHistogram& other);
+  /// Smallest recorded-bucket upper bound covering fraction `p` (0..1]
+  /// of the samples; 0 when empty.
+  int64_t PercentileUs(double p) const;
+};
+
 struct TxTypeStats {
   uint64_t committed = 0;
   uint64_t aborted = 0;
@@ -32,6 +57,9 @@ struct TxTypeStats {
   int64_t total_duration_us = 0;  // committed transactions only
   int64_t min_duration_us = 0;
   int64_t max_duration_us = 0;
+  /// Commit-latency distribution (committed transactions only, like the
+  /// duration aggregates above).
+  LatencyHistogram latency;
 
   double avg_duration_ms() const {
     return committed == 0
@@ -39,6 +67,9 @@ struct TxTypeStats {
                : static_cast<double>(total_duration_us) / 1000.0 /
                      static_cast<double>(committed);
   }
+  double p50_ms() const { return latency.PercentileUs(0.50) / 1000.0; }
+  double p95_ms() const { return latency.PercentileUs(0.95) / 1000.0; }
+  double p99_ms() const { return latency.PercentileUs(0.99) / 1000.0; }
 };
 
 struct RunStats {
@@ -106,11 +137,28 @@ struct RunStats {
     return static_cast<double>(total_committed()) * 300000.0 /
            static_cast<double>(run_duration_ms);
   }
+
+  /// Commit-latency distribution across every transaction type (the
+  /// saturation bench's view: one mixed-workload percentile).
+  LatencyHistogram merged_latency() const {
+    LatencyHistogram h;
+    for (const auto& s : per_type) h.Merge(s.latency);
+    return h;
+  }
+  double p50_ms() const { return merged_latency().PercentileUs(0.50) / 1000.0; }
+  double p95_ms() const { return merged_latency().PercentileUs(0.95) / 1000.0; }
+  double p99_ms() const { return merged_latency().PercentileUs(0.99) / 1000.0; }
 };
 
 /// Thread-safe collector the workers report into.
 class MetricsCollector {
  public:
+  /// Marks the instant the timed run begins. Until the coordinator
+  /// overwrites run_duration_ms with the final elapsed time, every
+  /// Snapshot() reports the live elapsed time since this mark — a
+  /// mid-run poller (the server's stats request) must see a non-zero
+  /// duration or throughput_per_5min() reads 0.0.
+  void MarkRunStart() XTC_EXCLUDES(mu_);
   void RecordCommit(TxType type, int64_t duration_us) XTC_EXCLUDES(mu_);
   void RecordAbort(TxType type, const Status& reason) XTC_EXCLUDES(mu_);
   void RecordRetry(TxType type) XTC_EXCLUDES(mu_);
@@ -120,6 +168,8 @@ class MetricsCollector {
  private:
   mutable Mutex mu_;
   std::array<TxTypeStats, kNumTxTypes> per_type_ XTC_GUARDED_BY(mu_);
+  bool started_ XTC_GUARDED_BY(mu_) = false;
+  TimePoint run_start_ XTC_GUARDED_BY(mu_);
 };
 
 }  // namespace xtc

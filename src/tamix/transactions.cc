@@ -32,42 +32,42 @@ Status IgnoreNotFound(const Status& st) {
 
 }  // namespace
 
-Status TaMixRunner::RunBody(TxType type, Transaction& tx, Rng& rng) {
+Status TaMixBodyRunner::RunBody(TxType type, TaMixDom& dom, Rng& rng) {
   switch (type) {
     case TxType::kQueryBook:
-      return QueryBook(tx, rng);
+      return QueryBook(dom, rng);
     case TxType::kChapter:
-      return Chapter(tx, rng);
+      return Chapter(dom, rng);
     case TxType::kDelBook:
-      return DelBook(tx, rng);
+      return DelBook(dom, rng);
     case TxType::kLendAndReturn:
-      return LendAndReturn(tx, rng);
+      return LendAndReturn(dom, rng);
     case TxType::kRenameTopic:
-      return RenameTopic(tx, rng);
+      return RenameTopic(dom, rng);
   }
   return Status::Internal("unknown transaction type");
 }
 
-Status TaMixRunner::ReadSubtreeNavigationally(Transaction& tx,
-                                              const Splid& root,
-                                              int max_depth) {
-  auto child = nm_->GetFirstChild(tx, root);
+Status TaMixBodyRunner::ReadSubtreeNavigationally(TaMixDom& dom,
+                                                 const Splid& root,
+                                                 int max_depth) {
+  auto child = dom.GetFirstChild(root);
   if (!child.ok()) return IgnoreNotFound(child.status());
   Think();
   while (child->has_value()) {
-    const Node& node = **child;
-    if (node.record.kind == NodeKind::kElement) {
-      auto attrs = nm_->GetAttributes(tx, node.splid);
+    const DomNode& node = **child;
+    if (node.kind == NodeKind::kElement) {
+      auto attrs = dom.GetAttributes(node.splid);
       if (!attrs.ok()) XTC_RETURN_IF_ERROR(IgnoreNotFound(attrs.status()));
       if (max_depth > 0) {
         XTC_RETURN_IF_ERROR(
-            ReadSubtreeNavigationally(tx, node.splid, max_depth - 1));
+            ReadSubtreeNavigationally(dom, node.splid, max_depth - 1));
       }
-    } else if (node.record.kind == NodeKind::kText) {
-      auto text = nm_->GetTextContent(tx, node.splid);
+    } else if (node.kind == NodeKind::kText) {
+      auto text = dom.GetTextContent(node.splid);
       if (!text.ok()) XTC_RETURN_IF_ERROR(IgnoreNotFound(text.status()));
     }
-    auto next = nm_->GetNextSibling(tx, node.splid);
+    auto next = dom.GetNextSibling(node.splid);
     if (!next.ok()) return IgnoreNotFound(next.status());
     Think();
     child = std::move(next);
@@ -75,46 +75,45 @@ Status TaMixRunner::ReadSubtreeNavigationally(Transaction& tx,
   return Status::OK();
 }
 
-Status TaMixRunner::QueryBook(Transaction& tx, Rng& rng) {
-  auto book = nm_->GetElementById(tx, RandomBookId(rng));
+Status TaMixBodyRunner::QueryBook(TaMixDom& dom, Rng& rng) {
+  auto book = dom.GetElementById(RandomBookId(rng));
   if (!book.ok()) return book.status();
   if (!book->has_value()) return Status::OK();  // deleted meanwhile
   Think();
-  auto attrs = nm_->GetAttributes(tx, **book);
+  auto attrs = dom.GetAttributes(**book);
   if (!attrs.ok()) XTC_RETURN_IF_ERROR(IgnoreNotFound(attrs.status()));
-  return ReadSubtreeNavigationally(tx, **book, /*max_depth=*/3);
+  return ReadSubtreeNavigationally(dom, **book, /*max_depth=*/3);
 }
 
-Status TaMixRunner::Chapter(Transaction& tx, Rng& rng) {
-  auto book = nm_->GetElementById(tx, RandomBookId(rng));
+Status TaMixBodyRunner::Chapter(TaMixDom& dom, Rng& rng) {
+  auto book = dom.GetElementById(RandomBookId(rng));
   if (!book.ok()) return book.status();
   if (!book->has_value()) return Status::OK();
   Think();
   // Same read profile as TAqueryBook ...
-  XTC_RETURN_IF_ERROR(ReadSubtreeNavigationally(tx, **book, /*max_depth=*/3));
+  XTC_RETURN_IF_ERROR(ReadSubtreeNavigationally(dom, **book, /*max_depth=*/3));
   // ... followed by the update of one chapter summary text node.
-  auto& vocab = nm_->document().vocabulary();
-  auto children = nm_->GetChildNodes(tx, **book);
+  auto children = dom.GetChildNodes(**book);
   if (!children.ok()) return IgnoreNotFound(children.status());
   Think();
-  for (const Node& child : *children) {
-    if (vocab.Name(child.record.name) != "chapters") continue;
-    auto chapters = nm_->GetChildNodes(tx, child.splid);
+  for (const DomNode& child : *children) {
+    if (child.name != "chapters") continue;
+    auto chapters = dom.GetChildNodes(child.splid);
     if (!chapters.ok()) return IgnoreNotFound(chapters.status());
     if (chapters->empty()) break;
-    const Node& chapter = (*chapters)[rng.Uniform(chapters->size())];
-    auto parts = nm_->GetChildNodes(tx, chapter.splid);
+    const DomNode& chapter = (*chapters)[rng.Uniform(chapters->size())];
+    auto parts = dom.GetChildNodes(chapter.splid);
     if (!parts.ok()) return IgnoreNotFound(parts.status());
     Think();
-    for (const Node& part : *parts) {
-      if (vocab.Name(part.record.name) != "summary") continue;
-      auto text = nm_->GetFirstChild(tx, part.splid);
+    for (const DomNode& part : *parts) {
+      if (part.name != "summary") continue;
+      auto text = dom.GetFirstChild(part.splid);
       if (!text.ok()) return IgnoreNotFound(text.status());
-      if (text->has_value() && (*text)->record.kind == NodeKind::kText) {
+      if (text->has_value() && (*text)->kind == NodeKind::kText) {
         // Derived from the body rng (not tx.id()) so a replay of the body
         // with the same rng seed writes the same content.
-        XTC_RETURN_IF_ERROR(IgnoreNotFound(nm_->UpdateText(
-            tx, (*text)->splid,
+        XTC_RETURN_IF_ERROR(IgnoreNotFound(dom.UpdateText(
+            (*text)->splid,
             "revised summary " + std::to_string(rng.Next() % 1000000))));
       }
       break;
@@ -124,56 +123,56 @@ Status TaMixRunner::Chapter(Transaction& tx, Rng& rng) {
   return Status::OK();
 }
 
-Status TaMixRunner::DelBook(Transaction& tx, Rng& rng) {
-  auto topic = nm_->GetElementById(tx, RandomTopicId(rng));
+Status TaMixBodyRunner::DelBook(TaMixDom& dom, Rng& rng) {
+  auto topic = dom.GetElementById(RandomTopicId(rng));
   if (!topic.ok()) return topic.status();
   if (!topic->has_value()) return Status::OK();
   Think();
-  auto& vocab = nm_->document().vocabulary();
-  auto books = nm_->GetChildNodes(tx, **topic);
+  auto books = dom.GetChildNodes(**topic);
   if (!books.ok()) return IgnoreNotFound(books.status());
   Think();
-  std::vector<const Node*> candidates;
-  for (const Node& b : *books) {
-    if (vocab.Name(b.record.name) == "book") candidates.push_back(&b);
+  std::vector<const DomNode*> candidates;
+  for (const DomNode& b : *books) {
+    if (b.name == "book") candidates.push_back(&b);
   }
   if (candidates.empty()) return Status::OK();
-  const Node& victim = *candidates[rng.Uniform(candidates.size())];
+  const DomNode& victim = *candidates[rng.Uniform(candidates.size())];
   // Read profile over the doomed book, then delete its subtree.
-  auto attrs = nm_->GetAttributes(tx, victim.splid);
+  auto attrs = dom.GetAttributes(victim.splid);
   if (!attrs.ok()) XTC_RETURN_IF_ERROR(IgnoreNotFound(attrs.status()));
-  auto parts = nm_->GetChildNodes(tx, victim.splid);
+  auto parts = dom.GetChildNodes(victim.splid);
   if (!parts.ok()) return IgnoreNotFound(parts.status());
   Think();
-  return IgnoreNotFound(nm_->DeleteSubtree(tx, victim.splid));
+  return IgnoreNotFound(dom.DeleteSubtree(victim.splid));
 }
 
-Status TaMixRunner::LendAndReturn(Transaction& tx, Rng& rng) {
-  auto book = nm_->GetElementById(tx, RandomBookId(rng));
+Status TaMixBodyRunner::LendAndReturn(TaMixDom& dom, Rng& rng) {
+  auto book = dom.GetElementById(RandomBookId(rng));
   if (!book.ok()) return book.status();
   if (!book->has_value()) return Status::OK();
   Think();
-  auto title = nm_->GetFirstChild(tx, **book);
+  auto title = dom.GetFirstChild(**book);
   if (!title.ok()) return IgnoreNotFound(title.status());
   Think();
-  auto history = nm_->GetLastChild(tx, **book);
+  auto history = dom.GetLastChild(**book);
   if (!history.ok()) return IgnoreNotFound(history.status());
   if (!history->has_value()) return Status::OK();
   const Splid history_id = (*history)->splid;
   // Declare the intent before inspecting the lend list (protocols with
   // genuine update modes avoid the conversion deadlock here).
-  XTC_RETURN_IF_ERROR(IgnoreNotFound(nm_->DeclareUpdateIntent(tx, history_id)));
-  auto lends = nm_->GetChildNodes(tx, history_id);
+  XTC_RETURN_IF_ERROR(IgnoreNotFound(dom.DeclareUpdateIntent(history_id)));
+  auto lends = dom.GetChildNodes(history_id);
   if (!lends.ok()) return IgnoreNotFound(lends.status());
   Think();
   if (!lends->empty() && rng.Chance(0.25)) {
     // Extend a loan: update the return attribute of one lend in place.
-    const Node& extended = (*lends)[rng.Uniform(lends->size())];
+    const DomNode& extended = (*lends)[rng.Uniform(lends->size())];
     return IgnoreNotFound(
-        nm_->SetAttribute(tx, extended.splid, "return",
-                          "2006-1" + std::to_string(rng.Uniform(3))));
+        dom.SetAttribute(extended.splid, "return",
+                         "2006-1" + std::to_string(rng.Uniform(3))));
   }
-  const bool lend_out = lends->size() < 12 && (lends->empty() || rng.Chance(0.5));
+  const bool lend_out =
+      lends->size() < 12 && (lends->empty() || rng.Chance(0.5));
   if (lend_out) {
     SubtreeSpec lend{
         "lend",
@@ -183,20 +182,20 @@ Status TaMixRunner::LendAndReturn(Transaction& tx, Rng& rng) {
          {"return", "2006-0" + std::to_string(1 + rng.Uniform(9))}},
         "",
         {}};
-    auto st = nm_->AppendSubtree(tx, history_id, lend);
+    auto st = dom.AppendSubtree(history_id, lend);
     if (!st.ok()) return IgnoreNotFound(st.status());
     return Status::OK();
   }
-  const Node& returned = (*lends)[rng.Uniform(lends->size())];
-  return IgnoreNotFound(nm_->DeleteSubtree(tx, returned.splid));
+  const DomNode& returned = (*lends)[rng.Uniform(lends->size())];
+  return IgnoreNotFound(dom.DeleteSubtree(returned.splid));
 }
 
-Status TaMixRunner::RenameTopic(Transaction& tx, Rng& rng) {
-  auto topic = nm_->GetElementById(tx, RandomTopicId(rng));
+Status TaMixBodyRunner::RenameTopic(TaMixDom& dom, Rng& rng) {
+  auto topic = dom.GetElementById(RandomTopicId(rng));
   if (!topic.ok()) return topic.status();
   if (!topic->has_value()) return Status::OK();
   Think();
-  return IgnoreNotFound(nm_->Rename(tx, **topic, "topic"));
+  return IgnoreNotFound(dom.Rename(**topic, "topic"));
 }
 
 }  // namespace xtc

@@ -1,5 +1,6 @@
 // The five TaMix transaction types (paper §4.2), implemented against the
-// NodeManager's DOM API.
+// transaction-implicit TaMixDom interface so the same bodies drive both
+// the in-process testbed (LocalDom) and the socket front-end (RemoteDom).
 
 #ifndef XTC_TAMIX_TRANSACTIONS_H_
 #define XTC_TAMIX_TRANSACTIONS_H_
@@ -8,6 +9,7 @@
 
 #include "node/node_manager.h"
 #include "tamix/bib_generator.h"
+#include "tamix/dom_api.h"
 #include "tx/transaction.h"
 #include "util/clock.h"
 #include "util/rng.h"
@@ -26,25 +28,25 @@ inline constexpr int kNumTxTypes = 5;
 
 std::string_view TxTypeName(TxType type);
 
-/// Executes transaction bodies. Thread-compatible: one instance may be
-/// shared by all workers (it holds no mutable state besides config).
-class TaMixRunner {
+/// Executes transaction bodies against any TaMixDom. Thread-compatible:
+/// one instance may be shared by all workers (it holds no mutable state
+/// besides config). The dom carries the transaction; callers own the
+/// begin/commit/abort lifecycle (locally via TransactionManager, remotely
+/// via the wire protocol's begin/commit/abort requests).
+class TaMixBodyRunner {
  public:
-  TaMixRunner(NodeManager* nm, const BibInfo* info,
-              Duration wait_after_operation)
-      : nm_(nm), info_(info), wait_after_operation_(wait_after_operation) {}
+  TaMixBodyRunner(const BibInfo* info, Duration wait_after_operation)
+      : info_(info), wait_after_operation_(wait_after_operation) {}
 
-  /// Runs the body of one transaction (no begin/commit/abort — the
-  /// caller owns the transaction lifecycle). A returned retryable status
+  /// Runs the body of one transaction. A returned retryable status
   /// (deadlock/timeout) means: abort and count it.
-  Status RunBody(TxType type, Transaction& tx, Rng& rng);
+  Status RunBody(TxType type, TaMixDom& dom, Rng& rng);
 
-  // Individual bodies (also used by tests).
-  Status QueryBook(Transaction& tx, Rng& rng);
-  Status Chapter(Transaction& tx, Rng& rng);
-  Status DelBook(Transaction& tx, Rng& rng);
-  Status LendAndReturn(Transaction& tx, Rng& rng);
-  Status RenameTopic(Transaction& tx, Rng& rng);
+  Status QueryBook(TaMixDom& dom, Rng& rng);
+  Status Chapter(TaMixDom& dom, Rng& rng);
+  Status DelBook(TaMixDom& dom, Rng& rng);
+  Status LendAndReturn(TaMixDom& dom, Rng& rng);
+  Status RenameTopic(TaMixDom& dom, Rng& rng);
 
  private:
   /// Client think time between DOM operations (paper: waitAfterOperation).
@@ -52,7 +54,7 @@ class TaMixRunner {
 
   /// Navigationally reads the whole subtree under `root`: children chain
   /// per level, attributes of elements, content of text nodes.
-  Status ReadSubtreeNavigationally(Transaction& tx, const Splid& root,
+  Status ReadSubtreeNavigationally(TaMixDom& dom, const Splid& root,
                                    int max_depth);
 
   const std::string& RandomBookId(Rng& rng) const {
@@ -62,9 +64,49 @@ class TaMixRunner {
     return info_->topic_ids[rng.Uniform(info_->topic_ids.size())];
   }
 
-  NodeManager* nm_;
   const BibInfo* info_;
   Duration wait_after_operation_;
+};
+
+/// In-process convenience wrapper: the historical interface every test
+/// and the coordinator's local frontend use. Each call wraps the caller's
+/// transaction in a LocalDom and runs the shared body.
+class TaMixRunner {
+ public:
+  TaMixRunner(NodeManager* nm, const BibInfo* info,
+              Duration wait_after_operation)
+      : nm_(nm), bodies_(info, wait_after_operation) {}
+
+  Status RunBody(TxType type, Transaction& tx, Rng& rng) {
+    LocalDom dom(nm_, &tx);
+    return bodies_.RunBody(type, dom, rng);
+  }
+
+  // Individual bodies (also used by tests).
+  Status QueryBook(Transaction& tx, Rng& rng) {
+    LocalDom dom(nm_, &tx);
+    return bodies_.QueryBook(dom, rng);
+  }
+  Status Chapter(Transaction& tx, Rng& rng) {
+    LocalDom dom(nm_, &tx);
+    return bodies_.Chapter(dom, rng);
+  }
+  Status DelBook(Transaction& tx, Rng& rng) {
+    LocalDom dom(nm_, &tx);
+    return bodies_.DelBook(dom, rng);
+  }
+  Status LendAndReturn(Transaction& tx, Rng& rng) {
+    LocalDom dom(nm_, &tx);
+    return bodies_.LendAndReturn(dom, rng);
+  }
+  Status RenameTopic(Transaction& tx, Rng& rng) {
+    LocalDom dom(nm_, &tx);
+    return bodies_.RenameTopic(dom, rng);
+  }
+
+ private:
+  NodeManager* nm_;
+  TaMixBodyRunner bodies_;
 };
 
 }  // namespace xtc

@@ -29,6 +29,8 @@ const char* CodeName(StatusCode code) {
       return "DATA_LOSS";
     case StatusCode::kWouldBlock:
       return "WOULD_BLOCK";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }

@@ -47,6 +47,11 @@ enum class StatusCode : int {
   // nonblocking mode (the protocol model checker's single-threaded
   // schedule enumerator); never seen by the threaded engine.
   kWouldBlock = 11,
+  // The wait (or the whole instance) was cancelled: coordinator stop,
+  // server drain, or a per-transaction cancel (client disconnect while
+  // its request was parked in the lock table). The transaction must
+  // abort; retrying is pointless — the system is shutting the work down.
+  kCancelled = 12,
 };
 
 /// Lightweight result type: a code plus an optional message.
@@ -88,6 +93,9 @@ class Status {
   static Status WouldBlock(std::string_view m = "lock request would block") {
     return Status(StatusCode::kWouldBlock, m);
   }
+  static Status Cancelled(std::string_view m = "wait cancelled") {
+    return Status(StatusCode::kCancelled, m);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -103,6 +111,7 @@ class Status {
            code_ == StatusCode::kIoError;
   }
   bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsWouldBlock() const { return code_ == StatusCode::kWouldBlock; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }

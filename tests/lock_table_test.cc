@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <thread>
+#include <vector>
 
 namespace xtc {
 namespace {
@@ -461,6 +462,108 @@ TEST_F(LockTableTest, AsymmetricCompatibilityRespected) {
   ASSERT_TRUE(t.Lock(3, "r", r, LockDuration::kCommit).status.ok());
   EXPECT_EQ(t.Lock(4, "r", u, LockDuration::kCommit).status.code(),
             StatusCode::kLockTimeout);
+}
+
+TEST(LockTableCancelTest, CancelWaitersWakesParkedWaitersInMilliseconds) {
+  // The regression this guards: a waiter parked at stop time used to
+  // sleep toward the full wait_timeout (10 s in production), so shutdown
+  // joins took seconds. With cancellation the join must be bounded by
+  // scheduling noise, not the timeout.
+  ModeTable m;
+  ModeId s = m.AddMode("S");
+  ModeId x = m.AddMode("X");
+  m.SetCompatRow(s, "+ -");
+  m.SetCompatRow(x, "- -");
+  ASSERT_TRUE(m.DeriveMissingConversions().ok());
+  LockTableOptions options;
+  options.wait_timeout = std::chrono::seconds(10);
+  LockTable t(&m, options);
+
+  ASSERT_TRUE(t.Lock(1, "r", x, LockDuration::kCommit).status.ok());
+  constexpr int kWaiters = 4;
+  std::atomic<int> cancelled{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&t, &cancelled, s, i]() {
+      auto out = t.Lock(10 + i, "r", s, LockDuration::kCommit);
+      if (out.status.IsCancelled()) cancelled.fetch_add(1);
+    });
+  }
+  // Let every thread reach the shard CV before cancelling.
+  while (t.GetStats().waits < kWaiters) SleepFor(Millis(1));
+
+  const TimePoint cancel_at = Now();
+  EXPECT_FALSE(t.cancelling());
+  t.CancelWaiters();
+  EXPECT_TRUE(t.cancelling());
+  for (auto& w : waiters) w.join();
+  const int64_t join_ms = ToMillis(Now() - cancel_at);
+
+  EXPECT_EQ(cancelled.load(), kWaiters);
+  // Milliseconds, not the 10 s timeout. 1 s leaves two orders of
+  // magnitude of slack for a loaded CI machine.
+  EXPECT_LT(join_ms, 1000);
+  EXPECT_EQ(t.GetStats().cancelled, static_cast<uint64_t>(kWaiters));
+  // The cancelled waiters left no residue: no queue entries, no
+  // wait-for edges.
+  EXPECT_EQ(t.NumWaitingTransactions(), 0u);
+
+  // CancelWaiters is table shutdown: future requests — even trivially
+  // grantable ones, even from the existing holder — are denied too.
+  EXPECT_EQ(t.Lock(99, "other", s, LockDuration::kCommit).status.code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(t.Lock(1, "r", x, LockDuration::kCommit).status.code(),
+            StatusCode::kCancelled);
+  EXPECT_FALSE(Status::Cancelled().IsRetryable());
+  t.ReleaseAll(1);
+}
+
+TEST(LockTableCancelTest, CancelTxWakesOnlyThatTransaction) {
+  ModeTable m;
+  ModeId s = m.AddMode("S");
+  ModeId x = m.AddMode("X");
+  m.SetCompatRow(s, "+ -");
+  m.SetCompatRow(x, "- -");
+  ASSERT_TRUE(m.DeriveMissingConversions().ok());
+  LockTableOptions options;
+  options.wait_timeout = std::chrono::seconds(10);
+  LockTable t(&m, options);
+
+  ASSERT_TRUE(t.Lock(1, "r", x, LockDuration::kCommit).status.ok());
+  std::atomic<bool> tx2_cancelled{false};
+  std::atomic<bool> tx3_granted{false};
+  std::thread w2([&]() {
+    auto out = t.Lock(2, "r", s, LockDuration::kCommit);
+    if (out.status.IsCancelled()) tx2_cancelled = true;
+  });
+  std::thread w3([&]() {
+    auto out = t.Lock(3, "r", s, LockDuration::kCommit);
+    if (out.status.ok()) tx3_granted = true;
+  });
+  while (t.GetStats().waits < 2) SleepFor(Millis(1));
+
+  // Cancelling tx 2 (its client vanished) wakes it with kCancelled but
+  // leaves tx 3 parked.
+  t.CancelTx(2);
+  w2.join();
+  EXPECT_TRUE(tx2_cancelled.load());
+  EXPECT_FALSE(tx3_granted.load());
+  EXPECT_FALSE(t.cancelling());
+
+  // The cancel is sticky while the transaction lives...
+  EXPECT_EQ(t.Lock(2, "other", s, LockDuration::kCommit).status.code(),
+            StatusCode::kCancelled);
+  // ...and cleared by ReleaseAll, so a recycled transaction id starts
+  // fresh.
+  t.ReleaseAll(2);
+  EXPECT_TRUE(t.Lock(2, "other", s, LockDuration::kCommit).status.ok());
+
+  // tx 3 was untouched: releasing the blocker grants it normally.
+  t.ReleaseAll(1);
+  w3.join();
+  EXPECT_TRUE(tx3_granted.load());
+  t.ReleaseAll(2);
+  t.ReleaseAll(3);
 }
 
 }  // namespace

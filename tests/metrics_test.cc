@@ -1,0 +1,97 @@
+// Metrics tests: latency-histogram bucket math and percentiles, and the
+// live-snapshot fix (Snapshot() must report real elapsed time mid-run,
+// not 0 — the server's stats request polls it).
+
+#include "tamix/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace xtc {
+namespace {
+
+TEST(LatencyHistogramTest, BucketBoundsAreConsistent) {
+  // Every value must land in a bucket whose upper bound is >= the value
+  // and within 25 % of it (the 2-significand-bit guarantee).
+  for (int64_t v : {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 100, 999, 1000, 4096,
+                    65535, 1000000, 123456789}) {
+    const int b = LatencyHistogram::BucketFor(v);
+    const int64_t upper = LatencyHistogram::BucketUpper(b);
+    EXPECT_GE(upper, v) << v;
+    if (v >= LatencyHistogram::kSub) {
+      EXPECT_LE(upper, v + v / 4 + 1) << v;
+    } else {
+      EXPECT_EQ(upper, v);  // tiny values are exact
+    }
+    // The next bucket starts strictly above this one's upper bound.
+    if (b + 1 < LatencyHistogram::kBuckets) {
+      EXPECT_GT(LatencyHistogram::BucketUpper(b + 1), upper) << v;
+    }
+  }
+  // Out-of-range values clamp instead of indexing out of bounds.
+  EXPECT_EQ(LatencyHistogram::BucketFor(-5), 0);
+  EXPECT_EQ(LatencyHistogram::BucketFor(INT64_MAX),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, PercentilesOnKnownDistribution) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.PercentileUs(0.99), 0);  // empty
+  // 100 samples: 50 at ~1 ms, 45 at ~10 ms, 5 at ~100 ms.
+  for (int i = 0; i < 50; ++i) h.Record(1000);
+  for (int i = 0; i < 45; ++i) h.Record(10000);
+  for (int i = 0; i < 5; ++i) h.Record(100000);
+  EXPECT_EQ(h.total, 100u);
+  const int64_t p50 = h.PercentileUs(0.50);
+  const int64_t p95 = h.PercentileUs(0.95);
+  const int64_t p99 = h.PercentileUs(0.99);
+  EXPECT_GE(p50, 1000);
+  EXPECT_LE(p50, 1250);  // <= 25 % over
+  EXPECT_GE(p95, 10000);
+  EXPECT_LE(p95, 12500);
+  EXPECT_GE(p99, 100000);
+  EXPECT_LE(p99, 125000);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+}
+
+TEST(LatencyHistogramTest, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 10; ++i) a.Record(1000);
+  for (int i = 0; i < 90; ++i) b.Record(50000);
+  a.Merge(b);
+  EXPECT_EQ(a.total, 100u);
+  // 10 % of samples at 1 ms, the rest at 50 ms: p05 is small, p50 large.
+  EXPECT_LE(a.PercentileUs(0.05), 1250);
+  EXPECT_GE(a.PercentileUs(0.50), 50000);
+}
+
+TEST(MetricsCollectorTest, SnapshotReportsLiveElapsedTimeMidRun) {
+  MetricsCollector metrics;
+  metrics.RecordCommit(TxType::kQueryBook, 1500);
+  // Regression: before MarkRunStart existed, a mid-run Snapshot() carried
+  // run_duration_ms = 0 and throughput_per_5min() read 0.0 from any live
+  // poller.
+  EXPECT_EQ(metrics.Snapshot().run_duration_ms, 0);
+  metrics.MarkRunStart();
+  SleepFor(Millis(20));
+  RunStats live = metrics.Snapshot();
+  EXPECT_GE(live.run_duration_ms, 20);
+  EXPECT_GT(live.throughput_per_5min(), 0.0);
+  EXPECT_EQ(live.total_committed(), 1u);
+}
+
+TEST(MetricsCollectorTest, PerTypePercentilesFlowIntoSnapshot) {
+  MetricsCollector metrics;
+  for (int i = 0; i < 100; ++i) metrics.RecordCommit(TxType::kChapter, 2000);
+  RunStats s = metrics.Snapshot();
+  const TxTypeStats& t = s.per_type[static_cast<size_t>(TxType::kChapter)];
+  EXPECT_EQ(t.latency.total, 100u);
+  EXPECT_GE(t.p50_ms(), 2.0);
+  EXPECT_LE(t.p99_ms(), 2.5);
+  // The merged view sees the same samples.
+  EXPECT_EQ(s.merged_latency().total, 100u);
+  EXPECT_GE(s.p99_ms(), 2.0);
+}
+
+}  // namespace
+}  // namespace xtc

@@ -1,0 +1,617 @@
+// Socket front-end tests (DESIGN.md §8), over real loopback sockets:
+// transaction lifecycle through the wire, the malformed-bytes battery
+// (garbage, truncation, bad CRC, oversized length, mid-frame disconnect),
+// admission control, idle reaping, disconnect-aborts-transaction, drain
+// cancelling a parked lock waiter, and remote execution of the TaMix
+// bodies. The invariant every test ends on: no transaction leaks — the
+// engine is quiescent no matter what the client did.
+
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/client.h"
+#include "net/wire.h"
+#include "protocols/protocol_registry.h"
+#include "tamix/coordinator.h"
+#include "tamix/transactions.h"
+#include "util/crc32.h"
+
+namespace xtc {
+namespace net {
+namespace {
+
+/// Spins until `pred` holds (session teardown is asynchronous: the event
+/// loop notices the disconnect, a worker aborts the transaction).
+template <typename Pred>
+bool PollUntil(Pred pred, Duration timeout = std::chrono::seconds(10)) {
+  const TimePoint deadline = Now() + timeout;
+  while (!pred()) {
+    if (Now() > deadline) return false;
+    SleepFor(Millis(5));
+  }
+  return true;
+}
+
+/// Raw TCP connection for speaking deliberately broken bytes.
+class RawConn {
+ public:
+  explicit RawConn(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    timeval tv{5, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~RawConn() { Close(); }
+
+  bool ok() const { return fd_ >= 0; }
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool Send(std::string_view bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads one whole response frame; empty payload pointer result means
+  /// EOF / error / timeout.
+  bool RecvFrame(FrameHeader* header, std::string* payload) {
+    std::string hdr(kHeaderSize, '\0');
+    if (!RecvExactly(hdr.data(), kHeaderSize)) return false;
+    if (!DecodeHeader(hdr, header).ok()) return false;
+    payload->resize(header->payload_len);
+    if (header->payload_len > 0 &&
+        !RecvExactly(payload->data(), payload->size())) {
+      return false;
+    }
+    return CheckPayload(*header, *payload).ok();
+  }
+
+  /// True when the server closed the connection (recv returns 0) within
+  /// the socket timeout.
+  bool AwaitEof() {
+    char buf[256];
+    while (true) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;  // timeout/error: connection still open
+    }
+  }
+
+ private:
+  bool RecvExactly(char* buf, size_t n) {
+    size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::recv(fd_, buf + got, n - got, 0);
+      if (r <= 0) return false;
+      got += static_cast<size_t>(r);
+    }
+    return true;
+  }
+
+  int fd_ = -1;
+};
+
+std::string BeginPayload(IsolationLevel isolation = IsolationLevel::kRepeatable,
+                         int lock_depth = 7,
+                         TxType type = TxType::kQueryBook) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(isolation));
+  w.U8(static_cast<uint8_t>(lock_depth));
+  w.U8(static_cast<uint8_t>(type));
+  return w.str();
+}
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void BuildEngine(Duration wait_timeout = Millis(2000)) {
+    auto info = GenerateBib(&doc_, BibConfig::Tiny());
+    ASSERT_TRUE(info.ok());
+    info_ = std::move(*info);
+    LockTableOptions lock_options;
+    lock_options.wait_timeout = wait_timeout;
+    protocol_ = CreateProtocol("taDOM3+", lock_options);
+    ASSERT_NE(protocol_, nullptr);
+    lm_ = std::make_unique<LockManager>(protocol_.get());
+    tm_ = std::make_unique<TransactionManager>(lm_.get());
+    nm_ = std::make_unique<NodeManager>(&doc_, lm_.get());
+  }
+
+  void StartServer(ServerOptions options = {}) {
+    if (nm_ == nullptr) BuildEngine();
+    server_ = std::make_unique<Server>(
+        Server::Deps{nm_.get(), tm_.get(), &protocol_->table(), &info_,
+                     nullptr},
+        options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  /// The one invariant every scenario must restore: no leaked
+  /// transactions, no leaked sessions.
+  void ExpectQuiescent() {
+    EXPECT_TRUE(PollUntil([&] { return tm_->num_active() == 0; }))
+        << tm_->num_active() << " transactions still active";
+  }
+
+  Document doc_;
+  BibInfo info_;
+  std::unique_ptr<XmlProtocol> protocol_;
+  std::unique_ptr<LockManager> lm_;
+  std::unique_ptr<TransactionManager> tm_;
+  std::unique_ptr<NodeManager> nm_;
+  std::unique_ptr<Server> server_;  // last member: destroyed first
+};
+
+TEST_F(NetServerTest, BeginNavigateCommit) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  auto tx_id = client.Begin(IsolationLevel::kRepeatable, 7,
+                            TxType::kQueryBook);
+  ASSERT_TRUE(tx_id.ok());
+  EXPECT_GT(*tx_id, 0u);
+
+  RemoteDom dom(&client);
+  auto book = dom.GetElementById(info_.book_ids[0]);
+  ASSERT_TRUE(book.ok());
+  ASSERT_TRUE(book->has_value());
+  auto children = dom.GetChildNodes(**book);
+  ASSERT_TRUE(children.ok());
+  EXPECT_FALSE(children->empty());
+  auto attrs = dom.GetAttributes(**book);
+  ASSERT_TRUE(attrs.ok());
+  auto missing = dom.GetElementById("no-such-id");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing->has_value());
+
+  auto seq = client.Commit();
+  ASSERT_TRUE(seq.ok());
+  client.Close();
+
+  ExpectQuiescent();
+  EXPECT_EQ(server_->stats().tx_committed, 1u);
+}
+
+TEST_F(NetServerTest, LifecycleErrorsKeepConnectionUsable) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  // Commit without a transaction: an error, not a disconnect.
+  EXPECT_EQ(client.Commit().status().code(), StatusCode::kInvalidArgument);
+  // Abort without a transaction: a no-op.
+  EXPECT_TRUE(client.Abort().ok());
+  // Begin twice: second fails, the open transaction survives.
+  ASSERT_TRUE(
+      client.Begin(IsolationLevel::kRepeatable, 7, TxType::kQueryBook).ok());
+  EXPECT_EQ(client.Begin(IsolationLevel::kRepeatable, 7, TxType::kQueryBook)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client.Commit().ok());
+  client.Close();
+  ExpectQuiescent();
+}
+
+TEST_F(NetServerTest, DomOpWithoutTransactionIsError) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  RemoteDom dom(&client);
+  EXPECT_EQ(dom.GetElementById(info_.book_ids[0]).status().code(),
+            StatusCode::kInvalidArgument);
+  // Still usable afterwards.
+  ASSERT_TRUE(
+      client.Begin(IsolationLevel::kRepeatable, 7, TxType::kQueryBook).ok());
+  EXPECT_TRUE(client.Abort().ok());
+  ExpectQuiescent();
+}
+
+// --- Malformed-bytes battery ---------------------------------------------
+
+TEST_F(NetServerTest, GarbageBytesDisconnectCleanly) {
+  StartServer();
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+  std::string junk(64, '\0');
+  for (size_t i = 0; i < junk.size(); ++i) {
+    junk[i] = static_cast<char>(i * 37 + 11);
+  }
+  ASSERT_TRUE(conn.Send(junk));
+  EXPECT_TRUE(conn.AwaitEof());
+  ExpectQuiescent();
+  EXPECT_TRUE(PollUntil([&] { return server_->stats().protocol_errors >= 1; }));
+  // The server must survive it: a clean client still works.
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(
+      client.Begin(IsolationLevel::kRepeatable, 7, TxType::kQueryBook).ok());
+  EXPECT_TRUE(client.Commit().ok());
+}
+
+TEST_F(NetServerTest, MidFrameDisconnectAbortsOpenTransaction) {
+  StartServer();
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+
+  // A well-formed Begin opens a server-side transaction...
+  const std::string begin =
+      EncodeFrame(static_cast<uint8_t>(MsgType::kBegin), 1, BeginPayload());
+  ASSERT_TRUE(conn.Send(begin));
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(conn.RecvFrame(&header, &payload));
+  {
+    WireReader r(payload);
+    Status st;
+    ASSERT_TRUE(GetStatus(&r, &st));
+    ASSERT_TRUE(st.ok());
+  }
+  ASSERT_TRUE(PollUntil([&] { return tm_->num_active() == 1; }));
+
+  // ...then the client dies mid-frame (half a header on the wire).
+  ASSERT_TRUE(conn.Send(begin.substr(0, kHeaderSize / 2)));
+  conn.Close();
+
+  // The abandoned transaction must be aborted, not leaked.
+  ExpectQuiescent();
+  EXPECT_TRUE(PollUntil([&] { return server_->stats().tx_aborted >= 1; }));
+}
+
+TEST_F(NetServerTest, BadPayloadCrcGetsErrorResponseThenDisconnect) {
+  StartServer();
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+
+  std::string frame =
+      EncodeFrame(static_cast<uint8_t>(MsgType::kBegin), 9, BeginPayload());
+  frame[kHeaderSize] = static_cast<char>(frame[kHeaderSize] ^ 1);
+  ASSERT_TRUE(conn.Send(frame));
+
+  // The header was sound, so the server can still answer: an error
+  // response (echoing request_id), then the connection closes.
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(conn.RecvFrame(&header, &payload));
+  EXPECT_EQ(header.request_id, 9u);
+  WireReader r(payload);
+  Status st;
+  ASSERT_TRUE(GetStatus(&r, &st));
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(conn.AwaitEof());
+  ExpectQuiescent();
+}
+
+TEST_F(NetServerTest, CorruptHeaderDisconnectsSilently) {
+  StartServer();
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+  std::string frame =
+      EncodeFrame(static_cast<uint8_t>(MsgType::kBegin), 1, BeginPayload());
+  frame[2] = static_cast<char>(frame[2] ^ 0x40);  // breaks the header CRC
+  ASSERT_TRUE(conn.Send(frame));
+  // A corrupted header means the stream cannot be resynchronized: no
+  // response (type/request_id are untrustworthy), just a close.
+  EXPECT_TRUE(conn.AwaitEof());
+  ExpectQuiescent();
+}
+
+TEST_F(NetServerTest, OversizedDeclaredLengthDisconnects) {
+  StartServer();
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+  // Honest header CRC over a hostile payload_len: the cap check fires.
+  std::string frame = EncodeFrame(static_cast<uint8_t>(MsgType::kBegin), 1,
+                                  BeginPayload());
+  const uint32_t len = kMaxPayload + 1;
+  std::memcpy(frame.data(), &len, sizeof(len));
+  const uint32_t crc = Crc32(frame.data(), 16);
+  std::memcpy(frame.data() + 16, &crc, sizeof(crc));
+  ASSERT_TRUE(conn.Send(frame));
+  EXPECT_TRUE(conn.AwaitEof());
+  ExpectQuiescent();
+}
+
+TEST_F(NetServerTest, ResponseBitOnRequestRejected) {
+  StartServer();
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+  const std::string frame =
+      EncodeFrame(static_cast<uint8_t>(MsgType::kBegin) | kResponseBit, 3,
+                  BeginPayload());
+  ASSERT_TRUE(conn.Send(frame));
+  // Framing is intact, so the server answers before disconnecting.
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(conn.RecvFrame(&header, &payload));
+  WireReader r(payload);
+  Status st;
+  ASSERT_TRUE(GetStatus(&r, &st));
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(conn.AwaitEof());
+  ExpectQuiescent();
+}
+
+TEST_F(NetServerTest, MalformedRequestPayloadDisconnects) {
+  StartServer();
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+  // Structurally valid frame, garbage Begin payload (1 byte short).
+  const std::string frame = EncodeFrame(static_cast<uint8_t>(MsgType::kBegin),
+                                        4, BeginPayload().substr(0, 2));
+  ASSERT_TRUE(conn.Send(frame));
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(conn.RecvFrame(&header, &payload));
+  WireReader r(payload);
+  Status st;
+  ASSERT_TRUE(GetStatus(&r, &st));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(conn.AwaitEof());
+  ExpectQuiescent();
+}
+
+// --- Admission control ----------------------------------------------------
+
+TEST_F(NetServerTest, InFlightTransactionCapRejectsBegin) {
+  ServerOptions options;
+  options.max_in_flight_tx = 1;
+  StartServer(options);
+
+  Client first, second;
+  ASSERT_TRUE(first.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(second.Connect("127.0.0.1", server_->port()).ok());
+
+  ASSERT_TRUE(
+      first.Begin(IsolationLevel::kRepeatable, 7, TxType::kQueryBook).ok());
+  // Over the cap: clean kResourceExhausted, connection intact.
+  EXPECT_EQ(second.Begin(IsolationLevel::kRepeatable, 7, TxType::kQueryBook)
+                .status()
+                .code(),
+            StatusCode::kResourceExhausted);
+  ASSERT_TRUE(first.Commit().ok());
+  // Capacity freed: the rejected client can begin now.
+  EXPECT_TRUE(
+      second.Begin(IsolationLevel::kRepeatable, 7, TxType::kQueryBook).ok());
+  EXPECT_TRUE(second.Commit().ok());
+  ExpectQuiescent();
+  EXPECT_GE(server_->stats().admission_rejected, 1u);
+}
+
+TEST_F(NetServerTest, QueueDepthZeroShedsEveryRequest) {
+  ServerOptions options;
+  options.max_queue_depth = 0;  // degenerate cap: everything is overload
+  StartServer(options);
+  // Raw connection: even the hello handshake is shed under this cap, so
+  // Client::Connect cannot be used.
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.Send(
+      EncodeFrame(static_cast<uint8_t>(MsgType::kBegin), 1, BeginPayload())));
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(conn.RecvFrame(&header, &payload));
+  WireReader r(payload);
+  Status st;
+  ASSERT_TRUE(GetStatus(&r, &st));
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  ExpectQuiescent();
+  EXPECT_GE(server_->stats().admission_rejected, 1u);
+}
+
+TEST_F(NetServerTest, SessionCapClosesExtraConnections) {
+  ServerOptions options;
+  options.max_sessions = 1;
+  StartServer(options);
+  Client keeper;
+  ASSERT_TRUE(keeper.Connect("127.0.0.1", server_->port()).ok());
+  // Over the cap: accepted and immediately closed, so either the hello
+  // round trip or the connect itself fails.
+  Client extra;
+  EXPECT_FALSE(extra.Connect("127.0.0.1", server_->port()).ok());
+  EXPECT_TRUE(
+      PollUntil([&] { return server_->stats().sessions_rejected >= 1; }));
+}
+
+// --- Lifecycle: reap, disconnect, drain -----------------------------------
+
+TEST_F(NetServerTest, IdleSessionIsReaped) {
+  ServerOptions options;
+  options.idle_timeout = Millis(300);
+  StartServer(options);
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+  // Say nothing: the reaper must close us (loop ticks every 250 ms).
+  EXPECT_TRUE(conn.AwaitEof());
+  EXPECT_TRUE(PollUntil([&] { return server_->stats().idle_reaped >= 1; }));
+}
+
+TEST_F(NetServerTest, DisconnectReleasesLocksForOtherClients) {
+  StartServer();
+  Client holder;
+  ASSERT_TRUE(holder.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(
+      holder.Begin(IsolationLevel::kRepeatable, 7, TxType::kRenameTopic)
+          .ok());
+  RemoteDom holder_dom(&holder);
+  auto book = holder_dom.GetElementById(info_.book_ids[0]);
+  ASSERT_TRUE(book.ok() && book->has_value());
+  ASSERT_TRUE(holder_dom.DeclareUpdateIntent(**book).ok());
+  ASSERT_TRUE(holder_dom.Rename(**book, "book").ok());  // exclusive lock
+
+  // Vanish without commit/abort. The server must abort the orphan and
+  // release its locks, or this second client times out below.
+  holder.Close();
+
+  Client next;
+  ASSERT_TRUE(next.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(
+      next.Begin(IsolationLevel::kRepeatable, 7, TxType::kRenameTopic).ok());
+  RemoteDom next_dom(&next);
+  auto same = next_dom.GetElementById(info_.book_ids[0]);
+  ASSERT_TRUE(same.ok() && same->has_value());
+  ASSERT_TRUE(next_dom.DeclareUpdateIntent(**same).ok());
+  EXPECT_TRUE(next_dom.Rename(**same, "book").ok());
+  EXPECT_TRUE(next.Commit().ok());
+  ExpectQuiescent();
+}
+
+TEST_F(NetServerTest, DrainCancelsParkedLockWaiter) {
+  // Long lock waits: without cancellation, drain would sit the full
+  // wait_timeout behind the parked waiter.
+  BuildEngine(/*wait_timeout=*/std::chrono::seconds(60));
+  ServerOptions options;
+  options.drain_timeout = Millis(300);
+  StartServer(options);
+
+  Client holder;
+  ASSERT_TRUE(holder.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(
+      holder.Begin(IsolationLevel::kRepeatable, 7, TxType::kRenameTopic)
+          .ok());
+  RemoteDom holder_dom(&holder);
+  auto book = holder_dom.GetElementById(info_.book_ids[0]);
+  ASSERT_TRUE(book.ok() && book->has_value());
+  ASSERT_TRUE(holder_dom.DeclareUpdateIntent(**book).ok());
+  ASSERT_TRUE(holder_dom.Rename(**book, "book").ok());
+
+  // A second client parks inside LockTable::Lock() on the same node (its
+  // first read of the renamed book conflicts with the holder's X lock).
+  std::atomic<bool> waiter_returned{false};
+  std::thread waiter([&] {
+    Client blocked;
+    if (blocked.Connect("127.0.0.1", server_->port()).ok() &&
+        blocked.Begin(IsolationLevel::kRepeatable, 7, TxType::kRenameTopic)
+            .ok()) {
+      RemoteDom dom(&blocked);
+      auto same = dom.GetElementById(info_.book_ids[0]);  // parks here
+      if (same.ok() && same->has_value()) {
+        (void)dom.DeclareUpdateIntent(**same);
+        (void)dom.Rename(**same, "book");
+      }
+    }
+    waiter_returned.store(true);
+  });
+  SleepFor(Millis(300));  // let the waiter actually park
+
+  const TimePoint drain_start = Now();
+  server_->Drain();
+  const Duration drain_took = Now() - drain_start;
+  // Both transactions were in flight, so the drain burned its bounded
+  // timeout then cancelled — far below the 60 s lock wait.
+  EXPECT_LT(ToMillis(drain_took), 10000);
+
+  waiter.join();
+  EXPECT_TRUE(waiter_returned.load());
+  ExpectQuiescent();
+  EXPECT_GE(protocol_->table().GetStats().cancelled, 1u);
+}
+
+// --- Remote workload ------------------------------------------------------
+
+TEST_F(NetServerTest, AllTaMixBodiesRunRemotely) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  RemoteDom dom(&client);
+  TaMixBodyRunner bodies(&info_, Duration::zero());
+  Rng rng(1234);
+
+  // Single-threaded, so every body must commit (no contention).
+  for (TxType type :
+       {TxType::kQueryBook, TxType::kChapter, TxType::kLendAndReturn,
+        TxType::kRenameTopic, TxType::kDelBook}) {
+    ASSERT_TRUE(client.Begin(IsolationLevel::kRepeatable, 7, type).ok())
+        << TxTypeName(type);
+    Rng body_rng(rng.Next());
+    ASSERT_TRUE(bodies.RunBody(type, dom, body_rng).ok()) << TxTypeName(type);
+    ASSERT_TRUE(client.Commit().ok()) << TxTypeName(type);
+  }
+  ExpectQuiescent();
+  EXPECT_EQ(server_->stats().tx_committed, 5u);
+
+  // The server-side metrics saw them: live snapshot mid-run (the
+  // MarkRunStart fix) and per-type latency percentiles.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->run_duration_ms, 0);
+  ASSERT_EQ(stats->per_type.size(), static_cast<size_t>(kNumTxTypes));
+  uint64_t committed = 0;
+  for (const auto& row : stats->per_type) committed += row.committed;
+  EXPECT_EQ(committed, 5u);
+  EXPECT_GT(stats->per_type[0].p99_us, 0);
+}
+
+TEST_F(NetServerTest, WorkloadInfoShipsTheCatalog) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  auto remote = client.WorkloadInfo();
+  ASSERT_TRUE(remote.ok());
+  EXPECT_EQ(remote->book_ids, info_.book_ids);
+  EXPECT_EQ(remote->topic_ids, info_.topic_ids);
+  EXPECT_EQ(remote->person_ids, info_.person_ids);
+  EXPECT_EQ(remote->num_nodes, info_.num_nodes);
+}
+
+TEST_F(NetServerTest, StopWithConnectedIdleClientsIsClean) {
+  ServerOptions options;
+  options.drain_timeout = Millis(300);  // an open tx burns the full wait
+  StartServer(options);
+  Client a, b;
+  ASSERT_TRUE(a.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(b.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(
+      a.Begin(IsolationLevel::kRepeatable, 7, TxType::kQueryBook).ok());
+  server_->Stop();
+  EXPECT_EQ(tm_->num_active(), 0u);
+}
+
+// --- Coordinator integration ----------------------------------------------
+
+TEST(NetCoordinatorTest, SocketFrontendRunsCluster1) {
+  // The full CLUSTER1 harness with every worker on its own socket: 72
+  // remote TaMix clients over loopback against an embedded server. The
+  // coordinator's own quiescence checks (lock table empty, zero active
+  // transactions) run after the internal server stops.
+  RunConfig config;
+  config.time_scale = 1.0 / 200.0;  // 5 paper-minutes -> 1.5 s
+  config.bib = BibConfig::Tiny();
+  config.frontend = Frontend::kSocket;
+  auto stats = RunCluster1(config);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->total_committed(), 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace xtc
