@@ -155,6 +155,41 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.repl.ship_lag_bytes()));
   }
 
+  // Network front-end: only reported when the run went over sockets
+  // (XTC_NET=1 or RunConfig::frontend = kSocket; see DESIGN.md §8).
+  if (stats.net.enabled) {
+    std::printf("\nnetwork: %llu session(s), %llu parked, %llu resumed, "
+                "%llu lease(s) expired, %llu dedup hit(s)\n",
+                static_cast<unsigned long long>(stats.net.sessions_accepted),
+                static_cast<unsigned long long>(stats.net.sessions_parked),
+                static_cast<unsigned long long>(stats.net.sessions_resumed),
+                static_cast<unsigned long long>(stats.net.leases_expired),
+                static_cast<unsigned long long>(stats.net.dedup_hits));
+    std::printf("  clients: %llu reconnect(s), %llu resume(s), %llu retried "
+                "request(s), %llu io timeout(s), %llu unknown commit(s)\n",
+                static_cast<unsigned long long>(stats.net.reconnects),
+                static_cast<unsigned long long>(stats.net.resumes),
+                static_cast<unsigned long long>(stats.net.retried_requests),
+                static_cast<unsigned long long>(stats.net.io_timeouts),
+                static_cast<unsigned long long>(stats.net.unknown_commits));
+    if (stats.net.chaos_connections > 0) {
+      std::printf("  chaos proxy: %llu connection(s), %llu drop(s), "
+                  "%llu truncation(s), %llu delay(s), %llu duplicate(s)\n",
+                  static_cast<unsigned long long>(stats.net.chaos_connections),
+                  static_cast<unsigned long long>(stats.net.chaos_drops),
+                  static_cast<unsigned long long>(stats.net.chaos_truncations),
+                  static_cast<unsigned long long>(stats.net.chaos_delays),
+                  static_cast<unsigned long long>(stats.net.chaos_duplicates));
+    }
+    if (stats.net.sessions_active_end != 0 ||
+        stats.net.sessions_parked_end != 0) {
+      std::printf("  LEAK: %llu active / %llu parked session(s) after drain\n",
+                  static_cast<unsigned long long>(stats.net.sessions_active_end),
+                  static_cast<unsigned long long>(
+                      stats.net.sessions_parked_end));
+    }
+  }
+
   // Storage occupancy of a fresh bib document (paper §3.1: > 96 % on
   // their container pages; a B+-tree with half-splits sits lower).
   Document doc;

@@ -1,10 +1,11 @@
 #include "net/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -30,50 +31,133 @@ Status TakeStatus(WireReader* r) {
   return st;
 }
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Remaining whole milliseconds until the deadline, floored at 0 and
+/// rounded up so a sub-millisecond remainder still polls once.
+int RemainingMs(TimePoint deadline) {
+  const Duration left = deadline - Now();
+  if (left <= Duration::zero()) return 0;
+  const int64_t ms = ToMillis(left);
+  return static_cast<int>(ms < 1 ? 1 : ms);
+}
+
 }  // namespace
 
-Status Client::Connect(std::string_view host, uint16_t port,
-                       Duration io_timeout) {
+Status Client::Connect(std::string_view host, uint16_t port) {
   if (fd_ >= 0) return Status::InvalidArgument("client already connected");
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) return ErrnoStatus("socket");
+  host_.assign(host);
+  port_ = port;
+  token_id_ = 0;
+  token_secret_ = 0;
+  Status st = ConnectSocket();
+  if (!st.ok()) return st;
+  st = Handshake();
+  if (!st.ok()) Close();
+  return st;
+}
 
-  const int64_t timeout_us = ToMicros(io_timeout);
-  timeval tv{};
-  tv.tv_sec = timeout_us / 1000000;
-  tv.tv_usec = timeout_us % 1000000;
-  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+Status Client::ConnectSocket() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return ErrnoStatus("socket");
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  const std::string host_str(host);
-  if (::inet_pton(AF_INET, host_str.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
     Close();
-    return Status::InvalidArgument("bad IPv4 address: " + host_str);
+    return Status::InvalidArgument("bad IPv4 address: " + host_);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+      errno != EINPROGRESS) {
     const Status st = ErrnoStatus("connect");
     Close();
     return st;
   }
+  // Non-blocking connect: poll for writability, then read the outcome
+  // from SO_ERROR — never blocks past connect_timeout.
+  const TimePoint deadline = Now() + options_.connect_timeout;
+  Status st = PollFd(POLLOUT, deadline, "connect");
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+    errno = err != 0 ? err : errno;
+    const Status cst = ErrnoStatus("connect");
+    Close();
+    return cst;
+  }
+  return Status::OK();
+}
 
+Status Client::Handshake() {
   WireWriter w;
   w.Str("xtc-tamix-client");
-  auto resp = RoundTrip(MsgType::kHello, w.str());
-  if (!resp.ok()) {
-    Close();
-    return resp.status();
-  }
+  const uint32_t hello_id = next_request_id_++;
+  auto resp = ExchangeOnce(
+      MsgType::kHello, hello_id,
+      EncodeFrame(static_cast<uint8_t>(MsgType::kHello), hello_id, w.str()));
+  if (!resp.ok()) return resp.status();
   WireReader r(*resp);
   uint8_t server_version;
-  if (!r.U8(&server_version) || server_version != kWireVersion) {
-    Close();
+  uint64_t new_token_id, new_token_secret;
+  uint32_t lease_ms;
+  if (!r.U8(&server_version) || !r.U64(&new_token_id) ||
+      !r.U64(&new_token_secret) || !r.U32(&lease_ms)) {
+    return Status::DataLoss("broken hello response");
+  }
+  if (server_version != kWireVersion) {
     return Status::NotSupported("server wire version mismatch");
   }
+
+  if (token_id_ != 0) {
+    // Reconnection: present the previous session's token; on success the
+    // old session state (and token) carries over and the fresh token the
+    // server just issued is discarded on both ends.
+    WireWriter rw;
+    rw.U64(token_id_);
+    rw.U64(token_secret_);
+    const uint32_t resume_id = next_request_id_++;
+    auto rr = ExchangeOnce(MsgType::kResume, resume_id,
+                           EncodeFrame(static_cast<uint8_t>(MsgType::kResume),
+                                       resume_id, rw.str()));
+    if (rr.ok()) {
+      WireReader rrr(*rr);
+      uint8_t tx_open;
+      if (!rrr.U8(&tx_open)) return Status::DataLoss("broken resume response");
+      resumed_tx_open_ = tx_open != 0;
+      ++net_stats_.resumes;
+      return Status::OK();
+    }
+    if (rr.status().code() == StatusCode::kNotFound ||
+        rr.status().code() == StatusCode::kNotSupported) {
+      // The lease expired (or leases are off): the old session is gone
+      // for good. Adopt the fresh token and report the loss.
+      if (rr.status().code() == StatusCode::kNotFound) {
+        ++net_stats_.lease_expired;
+      }
+      token_id_ = new_token_id;
+      token_secret_ = new_token_secret;
+      lease_ms_ = lease_ms;
+      return rr.status();
+    }
+    // Transport failure or a busy predecessor: worth another attempt.
+    return rr.status();
+  }
+
+  token_id_ = new_token_id;
+  token_secret_ = new_token_secret;
+  lease_ms_ = lease_ms;
   return Status::OK();
 }
 
@@ -84,7 +168,25 @@ void Client::Close() {
   }
 }
 
-Status Client::SendAll(std::string_view bytes) {
+Status Client::PollFd(short events, TimePoint deadline, const char* what) {
+  for (;;) {
+    pollfd pfd{fd_, events, 0};
+    const int r = ::poll(&pfd, 1, RemainingMs(deadline));
+    if (r > 0) return Status::OK();
+    if (r == 0) {
+      ++net_stats_.io_timeouts;
+      return Status::IoError(std::string(what) + " deadline exceeded");
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus(what);
+  }
+}
+
+Status Client::SendAllDeadline(std::string_view bytes, TimePoint deadline) {
+  if (options_.faults != nullptr &&
+      options_.faults->ShouldFail(fault_points::kNetSend)) {
+    return Status::IoError("injected fault at net.send");
+  }
   size_t off = 0;
   while (off < bytes.size()) {
     const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
@@ -93,13 +195,22 @@ Status Client::SendAll(std::string_view bytes) {
       off += static_cast<size_t>(n);
       continue;
     }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Status st = PollFd(POLLOUT, deadline, "send");
+      if (!st.ok()) return st;
+      continue;
+    }
     if (n < 0 && errno == EINTR) continue;
     return ErrnoStatus("send");
   }
   return Status::OK();
 }
 
-Status Client::RecvExactly(char* buf, size_t n) {
+Status Client::RecvExactlyDeadline(char* buf, size_t n, TimePoint deadline) {
+  if (options_.faults != nullptr &&
+      options_.faults->ShouldFail(fault_points::kNetRecv)) {
+    return Status::IoError("injected fault at net.recv");
+  }
   size_t off = 0;
   while (off < n) {
     const ssize_t got = ::recv(fd_, buf + off, n - off, 0);
@@ -110,25 +221,28 @@ Status Client::RecvExactly(char* buf, size_t n) {
     if (got == 0) {
       return Status::IoError("server closed the connection");
     }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      Status st = PollFd(POLLIN, deadline, "recv");
+      if (!st.ok()) return st;
+      continue;
+    }
     if (errno == EINTR) continue;
     return ErrnoStatus("recv");
   }
   return Status::OK();
 }
 
-StatusOr<std::string> Client::RoundTrip(MsgType type,
-                                        std::string_view payload) {
-  if (fd_ < 0) return Status::IoError("client not connected");
-  const uint32_t request_id = next_request_id_++;
-  Status st = SendAll(
-      EncodeFrame(static_cast<uint8_t>(type), request_id, payload));
+StatusOr<std::string> Client::ExchangeOnce(MsgType type, uint32_t request_id,
+                                           std::string_view frame) {
+  const TimePoint deadline = Now() + options_.io_timeout;
+  Status st = SendAllDeadline(frame, deadline);
   if (!st.ok()) {
     Close();
     return st;
   }
 
   char header_bytes[kHeaderSize];
-  st = RecvExactly(header_bytes, kHeaderSize);
+  st = RecvExactlyDeadline(header_bytes, kHeaderSize, deadline);
   if (!st.ok()) {
     Close();
     return st;
@@ -141,7 +255,7 @@ StatusOr<std::string> Client::RoundTrip(MsgType type,
   }
   std::string body(header.payload_len, '\0');
   if (header.payload_len > 0) {
-    st = RecvExactly(body.data(), body.size());
+    st = RecvExactlyDeadline(body.data(), body.size(), deadline);
     if (!st.ok()) {
       Close();
       return st;
@@ -163,6 +277,103 @@ StatusOr<std::string> Client::RoundTrip(MsgType type,
   if (!st.ok()) return st;
   // Hand back only the result fields; the caller's reader starts there.
   return body.substr(r.pos());
+}
+
+Status Client::Reconnect(int* attempt, uint32_t request_id) {
+  while (*attempt < options_.max_reconnect_attempts) {
+    ++*attempt;
+    Close();
+    // Capped exponential backoff with deterministic jitter in [0.5, 1.0)
+    // — a worker fleet fans out instead of thundering back as one.
+    int64_t base_ms = ToMillis(options_.backoff);
+    for (int i = 1; i < *attempt && base_ms < ToMillis(options_.backoff_max);
+         ++i) {
+      base_ms *= 2;
+    }
+    const int64_t cap_ms = ToMillis(options_.backoff_max);
+    if (base_ms > cap_ms) base_ms = cap_ms;
+    const uint64_t h = SplitMix64(options_.seed ^ (uint64_t{request_id} << 20) ^
+                                  static_cast<uint64_t>(*attempt));
+    const double jitter = 0.5 + 0.5 * ((h >> 11) * (1.0 / 9007199254740992.0));
+    SleepFor(Millis(static_cast<int64_t>(static_cast<double>(base_ms) *
+                                         jitter)));
+
+    if (!ConnectSocket().ok()) continue;
+    Status st = Handshake();
+    if (st.ok()) {
+      ++net_stats_.reconnects;
+      return Status::OK();
+    }
+    if (st.code() == StatusCode::kNotFound ||
+        st.code() == StatusCode::kNotSupported) {
+      // Lease expired / resume unavailable: definitive — the connection
+      // itself is healthy, only the old session state is gone.
+      ++net_stats_.reconnects;
+      return st;
+    }
+    // Busy predecessor or transport failure mid-handshake: retry.
+    Close();
+  }
+  return Status::IoError("reconnect attempts exhausted");
+}
+
+StatusOr<std::string> Client::RoundTrip(MsgType type,
+                                        std::string_view payload) {
+  if (options_.faults != nullptr) {
+    if (options_.faults->ShouldFail(fault_points::kNetDelay)) {
+      SleepFor(Millis(2));
+    }
+    // An injected close: the connection drops out from under the call —
+    // exercised below exactly like a peer reset.
+    if (options_.faults->ShouldFail(fault_points::kNetClose)) Close();
+  }
+  if (fd_ < 0 && options_.max_reconnect_attempts <= 0) {
+    return Status::IoError("client not connected");
+  }
+  const uint32_t request_id = next_request_id_++;
+  const std::string frame =
+      EncodeFrame(static_cast<uint8_t>(type), request_id, payload);
+  const bool is_commit = type == MsgType::kCommit;
+
+  int attempt = 0;
+  bool sent = false;  // the request may have reached the server
+  for (;;) {
+    if (fd_ < 0) {
+      if (token_id_ == 0) return Status::IoError("client not connected");
+      Status rst = Reconnect(&attempt, request_id);
+      if (!rst.ok()) {
+        if (!sent) return rst;  // never sent: provably not executed
+        if (is_commit) {
+          // The commit may have executed but the recorded outcome is
+          // unreachable (lease expired or the server is gone): the one
+          // genuinely indeterminate case.
+          ++net_stats_.unknown_commits;
+          return Status::Unknown("commit outcome unknown: " + rst.message());
+        }
+        // Non-commit state died with the session; the caller's retry
+        // loop restarts the transaction.
+        return Status::TxAborted("session lost: " + rst.message());
+      }
+      if (sent) {
+        // Same request_id on the wire again: the server either executes
+        // it for the first time or answers from its outcome table.
+        ++net_stats_.retried_requests;
+      }
+    }
+    sent = true;
+    auto resp = ExchangeOnce(type, request_id, frame);
+    if (fd_ >= 0) return resp;  // definitive answer from the server
+    if (attempt >= options_.max_reconnect_attempts) {
+      // With resilience off (attempts == 0) keep the raw transport error
+      // — legacy callers own their reconnect logic and classification.
+      if (is_commit && options_.max_reconnect_attempts > 0) {
+        ++net_stats_.unknown_commits;
+        return Status::Unknown("commit outcome unknown: " +
+                               resp.status().message());
+      }
+      return resp.status();
+    }
+  }
 }
 
 StatusOr<uint64_t> Client::Begin(IsolationLevel isolation, int lock_depth,

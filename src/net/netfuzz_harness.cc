@@ -1,0 +1,274 @@
+#include "net/netfuzz_harness.h"
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "wal/wal.h"
+
+namespace xtc {
+namespace net {
+
+namespace {
+
+/// One injury mode of the rotation. The proxy plan and the fault-point
+/// list are combined into the run config by RunNetFuzz.
+struct ChaosMode {
+  const char* name;
+  bool use_proxy;
+  ChaosPlan plan;  // meaningful when use_proxy
+  /// net.* points armed on the shared injector (both sides of the wire).
+  std::vector<std::string_view> fault_points;
+  double fault_probability = 0.0;
+};
+
+std::vector<ChaosMode> BuildModes() {
+  std::vector<ChaosMode> modes;
+  {
+    ChaosMode m{"proxy.drop", true, {}, {}, 0.0};
+    m.plan.drop = 0.04;
+    modes.push_back(m);
+  }
+  {
+    ChaosMode m{"proxy.truncate", true, {}, {}, 0.0};
+    m.plan.truncate = 0.04;
+    modes.push_back(m);
+  }
+  {
+    ChaosMode m{"proxy.delay+dup", true, {}, {}, 0.0};
+    m.plan.delay = 0.10;
+    m.plan.duplicate = 0.05;
+    m.plan.delay_max_ms = 5;
+    modes.push_back(m);
+  }
+  {
+    ChaosMode m{"proxy.mixed", true, {}, {}, 0.0};
+    m.plan.drop = 0.02;
+    m.plan.truncate = 0.02;
+    m.plan.delay = 0.05;
+    m.plan.duplicate = 0.03;
+    m.plan.delay_max_ms = 5;
+    modes.push_back(m);
+  }
+  modes.push_back(ChaosMode{
+      "fault.net.send", false, {}, {fault_points::kNetSend}, 0.03});
+  modes.push_back(ChaosMode{
+      "fault.net.recv", false, {}, {fault_points::kNetRecv}, 0.03});
+  modes.push_back(ChaosMode{"fault.net.close+delay",
+                            false,
+                            {},
+                            {fault_points::kNetClose, fault_points::kNetDelay},
+                            0.02});
+  {
+    ChaosMode m{"all",
+                true,
+                {},
+                {fault_points::kNetSend, fault_points::kNetRecv,
+                 fault_points::kNetClose, fault_points::kNetDelay},
+                0.01};
+    m.plan.drop = 0.01;
+    m.plan.truncate = 0.01;
+    m.plan.delay = 0.03;
+    m.plan.duplicate = 0.02;
+    m.plan.delay_max_ms = 5;
+    modes.push_back(m);
+  }
+  return modes;
+}
+
+const std::vector<ChaosMode>& Modes() {
+  static const std::vector<ChaosMode>* modes =
+      new std::vector<ChaosMode>(BuildModes());
+  return *modes;
+}
+
+Status Fail(uint64_t seed, const std::string& what) {
+  return Status::Internal("netfuzz seed " + std::to_string(seed) + ": " +
+                          what);
+}
+
+}  // namespace
+
+int NumChaosModes() { return static_cast<int>(Modes().size()); }
+
+std::string ChaosModeName(uint64_t seed) {
+  return Modes()[seed % Modes().size()].name;
+}
+
+RunConfig DefaultNetRunConfig(uint64_t seed) {
+  RunConfig c;
+  c.isolation = IsolationLevel::kSerializable;
+  c.seed = seed == 0 ? 1 : seed;
+  c.bib = BibConfig::Tiny();
+  c.mix.clients = 2;
+  c.mix.query_book = 1;
+  c.mix.chapter = 1;
+  c.mix.rename_topic = 1;
+  c.mix.lend_and_return = 2;
+  c.mix.del_book = 1;
+  // Scaled (1/50) effective values: 500 ms run, 5 ms commit think time,
+  // 1 s lock waits (a parked predecessor must finish well inside the
+  // resume steal window).
+  c.run_duration = std::chrono::seconds(25);
+  c.wait_after_commit = Millis(250);
+  c.wait_after_operation = Millis(50);
+  c.max_initial_wait = Millis(500);
+  c.lock_wait_timeout = std::chrono::seconds(50);
+  c.wal = WalMode::kEnabled;
+  c.frontend = Frontend::kSocket;
+  c.checkpoint_every_commits = 8;
+  c.max_retries = 3;
+  // Resilience: the whole point of the sweep. A generous lease (longer
+  // than any seed's wall clock) means every torn commit must resolve
+  // through resume + the outcome table — kUnknown is a failure.
+  c.net.max_reconnect_attempts = 12;
+  c.net.connect_timeout = std::chrono::seconds(2);
+  c.net.io_timeout = std::chrono::seconds(2);
+  c.net.backoff = Millis(5);
+  c.net.backoff_max = Millis(50);
+  c.net.session_lease = std::chrono::seconds(30);
+  c.net.outcome_table_entries = 8;
+  return c;
+}
+
+StatusOr<NetFuzzOutcome> RunNetFuzz(const NetFuzzConfig& config) {
+  const uint64_t seed = config.seed == 0 ? 1 : config.seed;
+  const ChaosMode& mode = Modes()[seed % Modes().size()];
+
+  RunConfig run = DefaultNetRunConfig(seed);
+  if (config.smoke) run.run_duration = run.run_duration / 2;
+
+  ChaosPlan plan;
+  if (mode.use_proxy) {
+    plan = mode.plan;
+    plan.seed = seed;
+    // Let every connection's handshake chunks through: hello (and
+    // resume) must be able to succeed or a severed client could never
+    // re-establish its session.
+    plan.skip_first_chunks = 2;
+    plan.shape_conn_index = -1;  // probabilistic chaos on every conn
+    run.net.chaos = &plan;
+  }
+  if (!mode.fault_points.empty()) {
+    FaultPointConfig fp;
+    fp.probability = mode.fault_probability;
+    // Stagger the first firing deeper into the run as seeds grow, like
+    // crashfuzz, so early startup traffic is not always the victim.
+    fp.skip_first = 10 + (seed / Modes().size()) % 40;
+    for (std::string_view p : mode.fault_points) {
+      run.faults.points.emplace_back(std::string(p), fp);
+    }
+  }
+
+  ChaosReport report;
+  auto stats = RunCluster1(run, &report);
+  if (!stats.ok()) {
+    return Fail(seed, std::string(mode.name) + ": " +
+                          stats.status().message());
+  }
+
+  NetFuzzOutcome out;
+  out.chaos_mode = mode.name;
+  out.committed = report.committed.size();
+  out.net = stats->net;
+
+  if (!stats->net.enabled) {
+    return Fail(seed, "run did not use the socket frontend");
+  }
+
+  // --- WAL truth vs client-observed outcomes -----------------------------
+  if (report.log_image.empty()) {
+    return Fail(seed, "run produced no durable log image");
+  }
+  bool torn_tail = false;
+  auto records = Wal::ScanDurable(report.log_image, &torn_tail);
+  if (!records.ok()) {
+    return Fail(seed, "WAL scan: " + records.status().message());
+  }
+  if (torn_tail) {
+    // The server shut down cleanly (Drain syncs); a torn durable tail
+    // here means the log itself is broken.
+    return Fail(seed, "clean shutdown left a torn WAL tail");
+  }
+  std::vector<std::tuple<uint64_t, uint32_t, uint64_t>> wal_commits;
+  std::set<uint64_t> wal_seqs;
+  for (const WalRecord& r : *records) {
+    if (r.type != WalRecordType::kCommit) continue;
+    if (r.payload.size() != 12) {
+      return Fail(seed, "commit record of tx " + std::to_string(r.tx) +
+                            " carries a malformed payload");
+    }
+    uint32_t type;
+    uint64_t body_seed;
+    std::memcpy(&type, r.payload.data(), 4);
+    std::memcpy(&body_seed, r.payload.data() + 4, 8);
+    if (!wal_seqs.insert(r.commit_seq).second) {
+      return Fail(seed, "duplicate commit application: seq " +
+                            std::to_string(r.commit_seq) +
+                            " appears twice in the WAL");
+    }
+    wal_commits.emplace_back(r.commit_seq, type, body_seed);
+  }
+  out.wal_commits = wal_commits.size();
+
+  std::vector<std::tuple<uint64_t, uint32_t, uint64_t>> observed;
+  observed.reserve(report.committed.size());
+  for (const CommittedTx& c : report.committed) {
+    observed.emplace_back(c.seq, static_cast<uint32_t>(c.type), c.body_seed);
+  }
+  std::sort(wal_commits.begin(), wal_commits.end());
+  std::sort(observed.begin(), observed.end());
+  if (wal_commits != observed) {
+    // Report the first divergence precisely: a lost commit (client saw
+    // it, WAL did not) or a phantom one (WAL has it, no client did).
+    std::vector<std::tuple<uint64_t, uint32_t, uint64_t>> lost, phantom;
+    std::set_difference(observed.begin(), observed.end(), wal_commits.begin(),
+                        wal_commits.end(), std::back_inserter(lost));
+    std::set_difference(wal_commits.begin(), wal_commits.end(),
+                        observed.begin(), observed.end(),
+                        std::back_inserter(phantom));
+    std::string msg = "commit-set mismatch:";
+    if (!lost.empty()) {
+      msg += " " + std::to_string(lost.size()) +
+             " client-observed commit(s) missing from the WAL (first seq " +
+             std::to_string(std::get<0>(lost[0])) + ")";
+    }
+    if (!phantom.empty()) {
+      msg += " " + std::to_string(phantom.size()) +
+             " WAL commit(s) no client observed (first seq " +
+             std::to_string(std::get<0>(phantom[0])) + ")";
+    }
+    return Fail(seed, msg);
+  }
+
+  // --- No indeterminate outcomes -----------------------------------------
+  // The server was alive the whole time and the lease outlives the run:
+  // every torn commit must have been resolved exactly-once.
+  if (stats->net.unknown_commits != 0) {
+    return Fail(seed, std::to_string(stats->net.unknown_commits) +
+                          " commit(s) ended kUnknown with a live server");
+  }
+
+  // --- No leaks after drain ----------------------------------------------
+  if (stats->net.sessions_active_end != 0 ||
+      stats->net.sessions_parked_end != 0) {
+    return Fail(seed, "session leak after drain: " +
+                          std::to_string(stats->net.sessions_active_end) +
+                          " active, " +
+                          std::to_string(stats->net.sessions_parked_end) +
+                          " parked");
+  }
+
+  out.injuries = stats->net.chaos_drops + stats->net.chaos_truncations +
+                 stats->net.chaos_delays + stats->net.chaos_duplicates +
+                 stats->net.chaos_cuts + stats->net.chaos_stalls +
+                 report.injected_faults;
+  out.chaos_fired = out.injuries > 0;
+  return out;
+}
+
+}  // namespace net
+}  // namespace xtc

@@ -1,0 +1,71 @@
+// Network-chaos fuzz harness (docs/robustness.md "Network chaos"): one
+// seed = one short serializable CLUSTER1 run over the socket frontend
+// with a rotating network-injury mode armed — byte-level chaos through
+// the in-process proxy (drops, truncations, delays, duplicated chunks),
+// seeded net.* fault points on both sides of the wire, or both at once —
+// and the exactly-once contract verified afterwards:
+//
+//   * exact commit-set equality: the set of (seq, type, body_seed)
+//     triples the clients observed as committed equals the kCommit
+//     records in the server's durable WAL — no lost commits, no
+//     commit the server recorded that no client learned about;
+//   * no duplicate applications: commit sequence numbers are unique in
+//     the WAL, and (serializable + strict long locks) the surviving
+//     document equals a single-threaded replay of exactly the committed
+//     transactions — a commit applied twice cannot fingerprint-match;
+//   * no indeterminate outcomes: the server stayed up the whole run, so
+//     every torn commit must have been resolved through resume + the
+//     outcome table — zero kUnknown results;
+//   * no leaks: after drain, zero active and zero parked sessions, a
+//     quiescent lock table, zero buffer pins (the coordinator's chaos
+//     invariants).
+
+#ifndef XTC_NET_NETFUZZ_HARNESS_H_
+#define XTC_NET_NETFUZZ_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tamix/coordinator.h"
+#include "util/status.h"
+
+namespace xtc {
+namespace net {
+
+struct NetFuzzConfig {
+  uint64_t seed = 1;
+  /// CI preset: halve the per-run duration.
+  bool smoke = false;
+};
+
+struct NetFuzzOutcome {
+  /// Which injury mode the seed rotation picked (for reporting).
+  std::string chaos_mode;
+  /// Whether any injury actually happened. A seed where nothing fired
+  /// still passes (the full invariant suite ran), but is reported —
+  /// a sweep of misses is not testing resilience.
+  bool chaos_fired = false;
+  uint64_t committed = 0;    // client-observed committed transactions
+  uint64_t wal_commits = 0;  // durable kCommit records (must match)
+  uint64_t injuries = 0;     // proxy injuries + injected net faults
+  NetRunStats net;
+};
+
+/// The chaos-mode rotation (seed % NumChaosModes()). Exposed so the CI
+/// sweep can prove every mode is covered.
+int NumChaosModes();
+std::string ChaosModeName(uint64_t seed);
+
+/// The per-seed run configuration (before the injury mode is armed):
+/// tiny bib, serializable, WAL on, socket frontend, resilient clients
+/// with a generous lease. Exposed for tests.
+RunConfig DefaultNetRunConfig(uint64_t seed);
+
+/// One chaos round trip. Errors mean a broken exactly-once contract (or
+/// a genuinely failed run), not an expected outcome.
+StatusOr<NetFuzzOutcome> RunNetFuzz(const NetFuzzConfig& config);
+
+}  // namespace net
+}  // namespace xtc
+
+#endif  // XTC_NET_NETFUZZ_HARNESS_H_

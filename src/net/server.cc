@@ -40,6 +40,21 @@ std::string StatusOnlyPayload(const Status& st) {
   return std::move(w.str());
 }
 
+/// SplitMix64 over a nonce + per-server salt. Not cryptographic — the
+/// secret guards against accidental cross-session resumes, not attackers
+/// on the loopback.
+uint64_t TokenSecret(uint64_t nonce, uintptr_t salt) {
+  uint64_t x = nonce ^ (static_cast<uint64_t>(salt) * 0x9e3779b97f4a7c15ULL);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// How long HandleResume waits for a half-open predecessor's worker to
+/// finish and park the core before telling the client to retry.
+constexpr auto kResumeStealTimeout = std::chrono::seconds(3);
+constexpr auto kResumeStealPoll = std::chrono::milliseconds(2);
+
 }  // namespace
 
 Server::Server(Deps deps, ServerOptions options)
@@ -150,6 +165,7 @@ void Server::EventLoop() {
     }
     CloseDeadFds();
     ReapIdle();
+    ExpireLeases();
   }
 
   CloseDeadFds();
@@ -197,7 +213,14 @@ void Server::AcceptPending() {
 }
 
 bool Server::ReadSession(const SessionPtr& s) {
+  // An injected receive failure is indistinguishable from the peer
+  // resetting the connection: the session tears down (or parks).
+  if (deps_.faults != nullptr &&
+      deps_.faults->ShouldFail(fault_points::kNetRecv)) {
+    return false;
+  }
   char buf[16 * 1024];
+  bool eof = false;
   for (;;) {
     const ssize_t n = ::read(s->fd, buf, sizeof(buf));
     if (n > 0) {
@@ -212,7 +235,15 @@ bool Server::ReadSession(const SessionPtr& s) {
       }
       continue;
     }
-    if (n == 0) return false;  // orderly EOF
+    // Orderly EOF often arrives in the same wakeup as the final frame's
+    // bytes. Fall through and extract those frames before honoring it:
+    // a request the peer fully delivered must be executed (and its
+    // outcome recorded) even though the response has nowhere to go —
+    // it is what a resumed client will retry for.
+    if (n == 0) {
+      eof = true;
+      break;
+    }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
     return false;
@@ -261,6 +292,13 @@ bool Server::ReadSession(const SessionPtr& s) {
     EnqueueFrame(s, std::move(frame));
     if (fatal) return true;  // teardown happens after the error response
   }
+  if (eof) {
+    // Frames extracted above are already with a worker; it closes the
+    // session once the queue drains. A bare EOF closes right here.
+    MutexLock guard(s->mu);
+    s->eof_received = true;
+    return s->busy || !s->pending.empty();
+  }
   return true;
 }
 
@@ -301,14 +339,21 @@ void Server::BeginClose(const SessionPtr& s) {
     teardown_now = !s->busy;
   }
   // A transaction parked in LockTable::Lock() must be woken or teardown
-  // (and drain) would stall the full lock wait timeout behind it.
-  const uint64_t tx = s->tx_id.load(std::memory_order_acquire);
-  if (tx != 0) deps_.table->CancelTx(tx);
+  // (and drain) would stall the full lock wait timeout behind it. But
+  // CancelTx is sticky until ReleaseAll — a cancelled transaction can
+  // never run another operation — so under an active lease the wait is
+  // left alone: the in-flight operation finishes on its own (bounded by
+  // the lock wait timeout) and the worker then parks the session for
+  // resume. Drain and Stop still cancel.
+  if (!LeasesActive()) {
+    const uint64_t tx = s->tx_id.load(std::memory_order_acquire);
+    if (tx != 0) deps_.table->CancelTx(tx);
+  }
   if (teardown_now) Teardown(s);
 }
 
 void Server::Teardown(const SessionPtr& s) {
-  AbortSessionTx(s.get());
+  ParkOrAbort(s.get());
   {
     MutexLock guard(sessions_mu_);
     sessions_.erase(s->fd);
@@ -379,6 +424,12 @@ void Server::WorkerLoop() {
           teardown = true;
         } else if (s->pending.empty()) {
           s->busy = false;
+          if (s->eof_received) {
+            // The peer hung up while we drained its last frames; no new
+            // ones can arrive. Close now that the queue is empty.
+            s->closing = true;
+            teardown = true;
+          }
         } else {
           frame = std::move(s->pending.front());
           s->pending.pop_front();
@@ -415,8 +466,17 @@ void Server::WorkerLoop() {
 }
 
 bool Server::Process(const SessionPtr& s, Frame& frame) {
+  if (deps_.faults != nullptr) {
+    if (deps_.faults->ShouldFail(fault_points::kNetDelay)) SleepFor(Millis(2));
+    // An injected close looks like the kernel dropping the connection
+    // before the request ran: no response, session tears down (or parks).
+    if (deps_.faults->ShouldFail(fault_points::kNetClose)) return false;
+  }
   std::string payload;
   bool close_after = false;
+  bool executed = false;
+  const bool dedupable =
+      options_.outcome_table_entries > 0 && IsTxScoped(frame.type);
   if (!frame.reject.ok()) {
     payload = StatusOnlyPayload(frame.reject);
     close_after = true;
@@ -424,6 +484,11 @@ bool Server::Process(const SessionPtr& s, Frame& frame) {
     stat_admission_rejected_.fetch_add(1, std::memory_order_relaxed);
     payload = StatusOnlyPayload(
         Status::ResourceExhausted("server request queue full"));
+  } else if (dedupable && DedupLookup(*s->core, frame.request_id, frame.type,
+                                      &payload)) {
+    // The client retried a request whose response it never saw; answer
+    // with the recorded outcome, never re-execute (exactly-once).
+    stat_dedup_hits_.fetch_add(1, std::memory_order_relaxed);
   } else if (Now() - frame.enqueued > options_.request_deadline &&
              frame.type != static_cast<uint8_t>(MsgType::kAbort)) {
     // Stale work is not worth doing — the client gave up long ago. Abort
@@ -433,6 +498,14 @@ bool Server::Process(const SessionPtr& s, Frame& frame) {
         StatusOnlyPayload(Status::ResourceExhausted("request deadline passed"));
   } else {
     payload = HandleRequest(s, frame, &close_after);
+    executed = true;
+  }
+  // Record BEFORE the response bytes go out: if the connection dies
+  // anywhere inside SendAll, the retried request_id still finds the
+  // outcome. The reverse order would lose a commit that was forced to
+  // the WAL but whose response was torn.
+  if (executed && dedupable && !close_after) {
+    DedupRecord(s->core.get(), frame.request_id, frame.type, payload);
   }
   const std::string response = EncodeFrame(
       static_cast<uint8_t>(frame.type | kResponseBit), frame.request_id,
@@ -442,7 +515,31 @@ bool Server::Process(const SessionPtr& s, Frame& frame) {
   return !close_after;
 }
 
+bool Server::DedupLookup(const SessionCore& core, uint32_t request_id,
+                         uint8_t type, std::string* payload) const {
+  for (const OutcomeEntry& e : core.outcomes) {
+    if (e.request_id == request_id && e.type == type) {
+      *payload = e.payload;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Server::DedupRecord(SessionCore* core, uint32_t request_id, uint8_t type,
+                         const std::string& payload) {
+  if (payload.size() > options_.outcome_record_max_bytes) return;
+  core->outcomes.push_back(OutcomeEntry{request_id, type, payload});
+  while (core->outcomes.size() > options_.outcome_table_entries) {
+    core->outcomes.pop_front();
+  }
+}
+
 bool Server::SendAll(const SessionPtr& s, std::string_view bytes) {
+  if (deps_.faults != nullptr &&
+      deps_.faults->ShouldFail(fault_points::kNetSend)) {
+    return false;
+  }
   size_t off = 0;
   while (off < bytes.size()) {
     const ssize_t n = ::send(s->fd, bytes.data() + off, bytes.size() - off,
@@ -473,12 +570,31 @@ std::string Server::HandleRequest(const SessionPtr& s, const Frame& frame,
     case MsgType::kHello: {
       std::string client_name;
       if (!r.Str(&client_name) || !r.AtEnd()) break;
+      SessionCore* core = s->core.get();
+      if (core->token_id == 0) {
+        // Issue the resume token: id is the session id (unique for the
+        // server's lifetime), secret is an unguessable-enough nonce hash
+        // so a stray client cannot adopt someone else's transaction by
+        // accident.
+        core->token_id = s->id;
+        MutexLock guard(parked_mu_);
+        core->token_secret =
+            TokenSecret(next_token_nonce_++, reinterpret_cast<uintptr_t>(this));
+        live_tokens_[core->token_id] = s;
+      }
       WireWriter w;
       PutStatus(&w, Status::OK());
       w.U8(kWireVersion);
+      w.U64(core->token_id);
+      w.U64(core->token_secret);
+      w.U32(static_cast<uint32_t>(ToMillis(options_.session_lease)));
       payload = std::move(w.str());
       return payload;
     }
+    case MsgType::kResume:
+      payload = HandleResume(s, r);
+      if (!payload.empty()) return payload;
+      break;
     case MsgType::kBegin:
       payload = HandleBegin(s, r);
       if (!payload.empty()) return payload;
@@ -519,7 +635,7 @@ std::string Server::HandleBegin(const SessionPtr& s, WireReader& r) {
       tx_type >= kNumTxTypes) {
     return {};
   }
-  if (s->tx != nullptr) {
+  if (s->core->tx != nullptr) {
     return StatusOnlyPayload(
         Status::InvalidArgument("transaction already open on this session"));
   }
@@ -536,48 +652,50 @@ std::string Server::HandleBegin(const SessionPtr& s, WireReader& r) {
     return StatusOnlyPayload(
         Status::ResourceExhausted("too many in-flight transactions"));
   }
-  s->tx = deps_.txm->Begin(static_cast<IsolationLevel>(isolation),
-                           static_cast<int>(lock_depth));
-  s->tx_type = static_cast<TxType>(tx_type);
-  s->tx_begin = Now();
-  s->last_error = Status::OK();
-  s->tx_id.store(s->tx->id(), std::memory_order_release);
+  SessionCore* core = s->core.get();
+  core->tx = deps_.txm->Begin(static_cast<IsolationLevel>(isolation),
+                              static_cast<int>(lock_depth));
+  core->tx_type = static_cast<TxType>(tx_type);
+  core->tx_begin = Now();
+  core->last_error = Status::OK();
+  s->tx_id.store(core->tx->id(), std::memory_order_release);
   stat_tx_begun_.fetch_add(1, std::memory_order_relaxed);
 
   WireWriter w;
   PutStatus(&w, Status::OK());
-  w.U64(s->tx->id());
+  w.U64(core->tx->id());
   return std::move(w.str());
 }
 
 std::string Server::HandleCommit(const SessionPtr& s, WireReader& r) {
   std::string wal_payload;
   if (!r.Str(&wal_payload) || !r.AtEnd()) return {};
-  if (s->tx == nullptr) {
+  SessionCore* core = s->core.get();
+  if (core->tx == nullptr) {
     return StatusOnlyPayload(
         Status::InvalidArgument("no open transaction on this session"));
   }
-  const Status st = deps_.txm->Commit(*s->tx, wal_payload);
+  const Status st = deps_.txm->Commit(*core->tx, wal_payload);
   WireWriter w;
   PutStatus(&w, st);
   if (st.ok()) {
-    w.U64(s->tx->commit_seq());
-    metrics_.RecordCommit(s->tx_type, ToMicros(Now() - s->tx_begin));
+    w.U64(core->tx->commit_seq());
+    metrics_.RecordCommit(core->tx_type, ToMicros(Now() - core->tx_begin));
     stat_tx_committed_.fetch_add(1, std::memory_order_relaxed);
   } else {
     // A failed commit force already ended the transaction kAborted with
     // its locks released (see TransactionManager::Commit).
-    metrics_.RecordAbort(s->tx_type, st);
+    metrics_.RecordAbort(core->tx_type, st);
     stat_tx_aborted_.fetch_add(1, std::memory_order_relaxed);
   }
-  s->tx.reset();
+  core->tx.reset();
   s->tx_id.store(0, std::memory_order_release);
   active_tx_.fetch_sub(1, std::memory_order_acq_rel);
   return std::move(w.str());
 }
 
 std::string Server::HandleAbort(const SessionPtr& s) {
-  if (s->tx == nullptr) {
+  if (s->core->tx == nullptr) {
     // Aborting nothing is a no-op, not an error: the client's retry loop
     // aborts defensively.
     return StatusOnlyPayload(Status::OK());
@@ -586,13 +704,175 @@ std::string Server::HandleAbort(const SessionPtr& s) {
   return StatusOnlyPayload(Status::OK());
 }
 
+std::string Server::HandleResume(const SessionPtr& s, WireReader& r) {
+  uint64_t token_id, secret;
+  if (!r.U64(&token_id) || !r.U64(&secret) || !r.AtEnd()) return {};
+  if (options_.session_lease <= Duration::zero()) {
+    return StatusOnlyPayload(Status::NotSupported("session leases disabled"));
+  }
+  if (s->core->tx != nullptr) {
+    return StatusOnlyPayload(
+        Status::InvalidArgument("transaction already open on this session"));
+  }
+
+  bool mismatch = false;
+  std::unique_ptr<SessionCore> old = TakeParked(token_id, secret, &mismatch);
+  if (old == nullptr && !mismatch) {
+    // Not parked. The predecessor connection may be half-open: the client
+    // knows it is dead, the server does not yet. Close it and wait
+    // (bounded) for its worker to park the core.
+    SessionPtr victim;
+    {
+      MutexLock guard(parked_mu_);
+      auto it = live_tokens_.find(token_id);
+      if (it != live_tokens_.end()) victim = it->second;
+    }
+    if (victim != nullptr && victim != s) {
+      BeginClose(victim);
+      const TimePoint deadline = Now() + kResumeStealTimeout;
+      for (;;) {
+        old = TakeParked(token_id, secret, &mismatch);
+        if (old != nullptr || mismatch) break;
+        bool still_live;
+        {
+          MutexLock guard(parked_mu_);
+          still_live = live_tokens_.count(token_id) > 0;
+        }
+        if (!still_live) {
+          // Teardown ran and chose not to park (nothing worth keeping)
+          // — unless it parked between our two probes.
+          old = TakeParked(token_id, secret, &mismatch);
+          break;
+        }
+        if (Now() >= deadline) {
+          // The predecessor's worker is wedged in a slow operation (e.g.
+          // a send timing out against the dead peer). Distinct from
+          // kNotFound so the client retries instead of giving up.
+          return StatusOnlyPayload(
+              Status::ResourceExhausted("predecessor session still closing"));
+        }
+        SleepFor(kResumeStealPoll);
+      }
+    }
+  }
+  if (old == nullptr) {
+    // Unknown token, wrong secret, or an expired lease: the state is
+    // gone. (Wrong secret is deliberately indistinguishable.)
+    return StatusOnlyPayload(
+        Status::NotFound("session lease expired or token unknown"));
+  }
+
+  // Adopt: the fresh core this connection got at accept (and any token
+  // its own Hello issued) is discarded in favor of the resumed one.
+  {
+    MutexLock guard(parked_mu_);
+    if (s->core->token_id != 0) live_tokens_.erase(s->core->token_id);
+    live_tokens_[token_id] = s;
+  }
+  s->core = std::move(old);
+  s->tx_id.store(s->core->tx != nullptr ? s->core->tx->id() : 0,
+                 std::memory_order_release);
+  stat_sessions_resumed_.fetch_add(1, std::memory_order_relaxed);
+
+  WireWriter w;
+  PutStatus(&w, Status::OK());
+  w.U8(s->core->tx != nullptr ? 1 : 0);
+  return std::move(w.str());
+}
+
+// --- Leases ---------------------------------------------------------------
+
+void Server::ParkOrAbort(Session* s) {
+  SessionCore* core = s->core.get();
+  const bool worth_keeping =
+      core->token_id != 0 &&
+      (core->tx != nullptr || !core->outcomes.empty());
+  if (!LeasesActive() || !worth_keeping) {
+    AbortSessionTx(s);
+    MutexLock guard(parked_mu_);
+    if (core->token_id != 0) {
+      auto it = live_tokens_.find(core->token_id);
+      if (it != live_tokens_.end() && it->second.get() == s) {
+        live_tokens_.erase(it);
+      }
+    }
+    return;
+  }
+  s->tx_id.store(0, std::memory_order_release);
+  {
+    MutexLock guard(parked_mu_);
+    auto it = live_tokens_.find(core->token_id);
+    if (it != live_tokens_.end() && it->second.get() == s) {
+      live_tokens_.erase(it);
+    }
+    parked_[core->token_id] =
+        ParkedCore{std::move(s->core), Now() + options_.session_lease};
+  }
+  s->core = std::make_unique<SessionCore>();
+  stat_sessions_parked_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::unique_ptr<Server::SessionCore> Server::TakeParked(uint64_t token_id,
+                                                        uint64_t secret,
+                                                        bool* mismatch) {
+  *mismatch = false;
+  MutexLock guard(parked_mu_);
+  auto it = parked_.find(token_id);
+  if (it == parked_.end()) return nullptr;
+  if (it->second.core->token_secret != secret) {
+    *mismatch = true;
+    return nullptr;
+  }
+  std::unique_ptr<SessionCore> core = std::move(it->second.core);
+  parked_.erase(it);
+  return core;
+}
+
+void Server::ExpireLeases() {
+  if (options_.session_lease <= Duration::zero()) return;
+  const TimePoint now = Now();
+  std::vector<std::unique_ptr<SessionCore>> expired;
+  {
+    MutexLock guard(parked_mu_);
+    for (auto it = parked_.begin(); it != parked_.end();) {
+      if (now >= it->second.expiry) {
+        expired.push_back(std::move(it->second.core));
+        it = parked_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // The abort runs on the event loop — an exception to its "never touch
+  // the engine" rule, but a parked transaction has no thread waiting on
+  // anything (its owner is gone), so the abort cannot block on a lock
+  // wait; it only releases.
+  for (std::unique_ptr<SessionCore>& core : expired) {
+    stat_leases_expired_.fetch_add(1, std::memory_order_relaxed);
+    if (core->last_error.ok()) {
+      core->last_error = Status::TxAborted("session lease expired");
+    }
+    AbortCore(core.get());
+  }
+}
+
+void Server::AbortAllParked() {
+  std::vector<std::unique_ptr<SessionCore>> all;
+  {
+    MutexLock guard(parked_mu_);
+    for (auto& [token, parked] : parked_) all.push_back(std::move(parked.core));
+    parked_.clear();
+  }
+  for (std::unique_ptr<SessionCore>& core : all) AbortCore(core.get());
+}
+
 std::string Server::HandleDomOp(const SessionPtr& s, const Frame& frame,
                                 WireReader& r) {
-  if (s->tx == nullptr) {
+  if (s->core->tx == nullptr) {
     return StatusOnlyPayload(
         Status::InvalidArgument("no open transaction on this session"));
   }
-  LocalDom dom(deps_.nm, s->tx.get());
+  LocalDom dom(deps_.nm, s->core->tx.get());
   WireWriter w;
   switch (static_cast<MsgType>(frame.type)) {
     case MsgType::kGetElementById: {
@@ -717,7 +997,7 @@ std::string Server::HandleDomOp(const SessionPtr& s, const Frame& frame,
     if (code != 0) {
       WireReader check(w.str());
       Status op_status;
-      if (GetStatus(&check, &op_status)) s->last_error = op_status;
+      if (GetStatus(&check, &op_status)) s->core->last_error = op_status;
     }
   }
   return std::move(w.str());
@@ -772,16 +1052,21 @@ std::string Server::HandleWorkloadInfo() {
   return std::move(w.str());
 }
 
-void Server::AbortSessionTx(Session* s) {
-  if (s->tx == nullptr) return;
-  (void)deps_.txm->Abort(*s->tx);
-  metrics_.RecordAbort(s->tx_type, s->last_error.ok()
-                                       ? Status::TxAborted("session closed")
-                                       : s->last_error);
+void Server::AbortCore(SessionCore* core) {
+  if (core->tx == nullptr) return;
+  (void)deps_.txm->Abort(*core->tx);
+  metrics_.RecordAbort(core->tx_type,
+                       core->last_error.ok()
+                           ? Status::TxAborted("session closed")
+                           : core->last_error);
   stat_tx_aborted_.fetch_add(1, std::memory_order_relaxed);
-  s->tx.reset();
-  s->tx_id.store(0, std::memory_order_release);
+  core->tx.reset();
   active_tx_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Server::AbortSessionTx(Session* s) {
+  AbortCore(s->core.get());
+  s->tx_id.store(0, std::memory_order_release);
 }
 
 // --- Shutdown -------------------------------------------------------------
@@ -791,6 +1076,11 @@ void Server::Drain() {
   if (draining_.exchange(true)) return;
   accepting_.store(false, std::memory_order_release);
   WakeLoop();
+
+  // Parked cores hold active_tx_ slots but no client will ever finish
+  // them now (accepting_ is off) — abort them up front so phase 1 only
+  // waits on genuinely in-flight work.
+  AbortAllParked();
 
   // Phase 1: wait for in-flight transactions to finish on their own.
   const TimePoint deadline = Now() + options_.drain_timeout;
@@ -811,6 +1101,9 @@ void Server::Drain() {
          Now() < hard_deadline) {
     SleepFor(kDrainPollInterval);
   }
+  // A teardown that raced the draining_ flag may have parked after the
+  // first flush; nothing new can park from here (LeasesActive is false).
+  AbortAllParked();
 
   // Phase 3: everything committed or aborted is made durable.
   if (deps_.wal != nullptr) (void)deps_.wal->Sync();
@@ -842,6 +1135,11 @@ void Server::Stop() {
     ::close(s->fd);
     stat_sessions_closed_.fetch_add(1, std::memory_order_relaxed);
   }
+  AbortAllParked();
+  {
+    MutexLock guard(parked_mu_);
+    live_tokens_.clear();
+  }
   CloseDeadFds();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (event_fd_ >= 0) ::close(event_fd_);
@@ -866,11 +1164,19 @@ ServerStats Server::stats() const {
   s.tx_begun = stat_tx_begun_.load(std::memory_order_relaxed);
   s.tx_committed = stat_tx_committed_.load(std::memory_order_relaxed);
   s.tx_aborted = stat_tx_aborted_.load(std::memory_order_relaxed);
+  s.sessions_parked = stat_sessions_parked_.load(std::memory_order_relaxed);
+  s.sessions_resumed = stat_sessions_resumed_.load(std::memory_order_relaxed);
+  s.leases_expired = stat_leases_expired_.load(std::memory_order_relaxed);
+  s.dedup_hits = stat_dedup_hits_.load(std::memory_order_relaxed);
   {
     MutexLock guard(sessions_mu_);
     s.active_sessions = sessions_.size();
   }
   s.active_tx = active_tx_.load(std::memory_order_acquire);
+  {
+    MutexLock guard(parked_mu_);
+    s.parked_sessions = parked_.size();
+  }
   return s;
 }
 

@@ -33,6 +33,22 @@
 //   * Drain()/Stop(): stop accepting, give in-flight transactions
 //     drain_timeout to finish, cancel + abort the stragglers, flush the
 //     WAL, join all threads. Never leaves a transaction active.
+//
+// Session leases (session_lease > 0)
+//   * Disconnect no longer aborts immediately: the session's resumable
+//     state (its SessionCore — token, open transaction, recorded request
+//     outcomes) is parked for up to session_lease. A client that
+//     reconnects and presents the token (kResume) adopts the core and
+//     continues the transaction; a lease that expires falls through to
+//     the ordinary abort path. CancelTx is sticky until ReleaseAll, so
+//     with leases on, disconnect does NOT cancel the transaction's lock
+//     waits — an in-flight operation finishes on its own and the owning
+//     worker parks the session afterwards. Drain/Stop still cancel.
+//   * Exactly-once commits: each session records the full response
+//     payload of its recent transaction-scoped requests in a bounded
+//     ring *before* the response bytes are written. A retried request_id
+//     (the client resent after a torn response) is answered from the
+//     table without re-executing — a commit is never applied twice.
 
 #ifndef XTC_NET_SERVER_H_
 #define XTC_NET_SERVER_H_
@@ -53,6 +69,7 @@
 #include "tamix/metrics.h"
 #include "tx/transaction_manager.h"
 #include "util/clock.h"
+#include "util/fault_injector.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -75,6 +92,18 @@ struct ServerOptions {
   Duration request_deadline = std::chrono::seconds(10);
   Duration idle_timeout = std::chrono::seconds(60);
   Duration drain_timeout = std::chrono::seconds(5);
+  /// How long a disconnected session's state (open transaction, recorded
+  /// request outcomes) survives awaiting a kResume. Zero = disconnect
+  /// aborts immediately (the pre-lease behavior).
+  Duration session_lease = Duration::zero();
+  /// Recent response payloads remembered per session for retried
+  /// request_ids (exactly-once commit resolution). 0 disables the table;
+  /// a synchronous client only ever retries its newest request, so a
+  /// handful of entries is plenty.
+  size_t outcome_table_entries = 8;
+  /// Responses larger than this are not recorded (big reads are
+  /// idempotent; re-executing them on retry is cheaper than the memory).
+  size_t outcome_record_max_bytes = 4096;
 };
 
 struct ServerStats {
@@ -90,9 +119,14 @@ struct ServerStats {
   uint64_t tx_begun = 0;
   uint64_t tx_committed = 0;
   uint64_t tx_aborted = 0;
+  uint64_t sessions_parked = 0;   // disconnected under an active lease
+  uint64_t sessions_resumed = 0;  // successful kResume adoptions
+  uint64_t leases_expired = 0;    // parked cores that aged out (aborted)
+  uint64_t dedup_hits = 0;        // retried requests answered from table
   // Gauges.
   uint64_t active_sessions = 0;
   uint64_t active_tx = 0;
+  uint64_t parked_sessions = 0;
 };
 
 class Server {
@@ -105,6 +139,8 @@ class Server {
     LockTable* table = nullptr;
     const BibInfo* info = nullptr;
     Wal* wal = nullptr;
+    /// Optional: evaluated at the net.* fault points (chaos runs).
+    FaultInjector* faults = nullptr;
   };
 
   Server(Deps deps, ServerOptions options);
@@ -144,6 +180,29 @@ class Server {
     Status reject;
   };
 
+  /// One recorded response (exactly-once retry resolution).
+  struct OutcomeEntry {
+    uint32_t request_id = 0;
+    uint8_t type = 0;
+    std::string payload;  // the full response payload, status included
+  };
+
+  /// The resumable half of a session: everything that survives the TCP
+  /// connection under a lease. Touched only by the worker currently
+  /// processing the owning session (the busy flag serializes workers) or,
+  /// once parked, by whoever removed it from parked_ — never both.
+  struct SessionCore {
+    /// Resume token handed out in the kHello response; 0 = none issued.
+    uint64_t token_id = 0;
+    uint64_t token_secret = 0;
+    std::unique_ptr<Transaction> tx;
+    TxType tx_type = TxType::kQueryBook;
+    TimePoint tx_begin;
+    Status last_error;  // last failed op (classifies the abort)
+    /// Ring of recent response payloads, newest at the back.
+    std::deque<OutcomeEntry> outcomes;
+  };
+
   struct Session {
     int fd = -1;
     uint64_t id = 0;
@@ -153,16 +212,24 @@ class Server {
     std::deque<Frame> pending XTC_GUARDED_BY(mu);
     bool busy XTC_GUARDED_BY(mu) = false;
     bool closing XTC_GUARDED_BY(mu) = false;
-    /// Transaction state: touched only by the worker currently processing
-    /// this session (the busy flag serializes workers), so unguarded.
-    std::unique_ptr<Transaction> tx;
-    TxType tx_type = TxType::kQueryBook;
-    TimePoint tx_begin;
-    Status last_error;  // last failed op (classifies the abort)
-    /// Mirror of tx->id() for the event loop's CancelTx on disconnect.
+    /// Orderly EOF seen with complete frames still buffered: the worker
+    /// executes them first, then closes (the peer may be gone, but under
+    /// a lease these are the outcomes a resumed client retries for).
+    bool eof_received XTC_GUARDED_BY(mu) = false;
+    /// Resumable state; same ownership discipline as its fields had when
+    /// they lived directly on the Session (worker-only), so unguarded.
+    std::unique_ptr<SessionCore> core = std::make_unique<SessionCore>();
+    /// Mirror of core->tx->id() for the event loop's CancelTx on
+    /// disconnect (only consulted when leases are off or draining).
     std::atomic<uint64_t> tx_id{0};
   };
   using SessionPtr = std::shared_ptr<Session>;
+
+  /// A SessionCore waiting out its lease between disconnect and resume.
+  struct ParkedCore {
+    std::unique_ptr<SessionCore> core;
+    TimePoint expiry;
+  };
 
   void EventLoop();
   void WorkerLoop();
@@ -192,12 +259,43 @@ class Server {
   std::string HandleBegin(const SessionPtr& s, WireReader& r);
   std::string HandleCommit(const SessionPtr& s, WireReader& r);
   std::string HandleAbort(const SessionPtr& s);
+  std::string HandleResume(const SessionPtr& s, WireReader& r);
   std::string HandleDomOp(const SessionPtr& s, const Frame& frame,
                           WireReader& r);
   std::string HandleStats();
   std::string HandleWorkloadInfo();
 
-  /// Aborts the session's transaction (if any) and records the abort.
+  /// Whether frames of this type participate in the outcome table.
+  static bool IsTxScoped(uint8_t type) {
+    return type >= static_cast<uint8_t>(MsgType::kBegin) &&
+           type <= static_cast<uint8_t>(MsgType::kRename);
+  }
+  bool DedupLookup(const SessionCore& core, uint32_t request_id, uint8_t type,
+                   std::string* payload) const;
+  void DedupRecord(SessionCore* core, uint32_t request_id, uint8_t type,
+                   const std::string& payload);
+
+  /// Whether a disconnected session keeps its state for a resume.
+  bool LeasesActive() const {
+    return options_.session_lease > Duration::zero() &&
+           !draining_.load(std::memory_order_acquire) &&
+           !stopping_.load(std::memory_order_acquire);
+  }
+  /// Teardown half: parks the core under an active lease (state worth
+  /// keeping), otherwise aborts the transaction.
+  void ParkOrAbort(Session* s);
+  /// Removes + returns the parked core for the token, nullptr otherwise.
+  /// *mismatch distinguishes "wrong secret" from "not parked".
+  std::unique_ptr<SessionCore> TakeParked(uint64_t token_id, uint64_t secret,
+                                          bool* mismatch);
+  /// Event-loop tick: aborts parked cores whose lease ran out.
+  void ExpireLeases();
+  /// Drain/Stop: aborts every parked core immediately.
+  void AbortAllParked();
+
+  /// Aborts a core's transaction (if any) and records the abort.
+  void AbortCore(SessionCore* core);
+  /// AbortCore + clears the session's tx_id mirror.
   void AbortSessionTx(Session* s);
   bool SendAll(const SessionPtr& s, std::string_view bytes);
   /// Nudges the event loop out of epoll_wait (via the eventfd).
@@ -227,6 +325,15 @@ class Server {
       XTC_GUARDED_BY(sessions_mu_);
   uint64_t next_session_id_ XTC_GUARDED_BY(sessions_mu_) = 1;
 
+  mutable Mutex parked_mu_;
+  std::unordered_map<uint64_t, ParkedCore> parked_ XTC_GUARDED_BY(parked_mu_);
+  uint64_t next_token_nonce_ XTC_GUARDED_BY(parked_mu_) = 1;
+  /// token_id -> session currently holding that token. Lets kResume find
+  /// (and close) a half-open predecessor the server has not noticed is
+  /// dead yet, without touching the foreign session's core.
+  std::unordered_map<uint64_t, SessionPtr> live_tokens_
+      XTC_GUARDED_BY(parked_mu_);
+
   mutable Mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<SessionPtr> work_queue_ XTC_GUARDED_BY(queue_mu_);
@@ -249,6 +356,10 @@ class Server {
   std::atomic<uint64_t> stat_tx_begun_{0};
   std::atomic<uint64_t> stat_tx_committed_{0};
   std::atomic<uint64_t> stat_tx_aborted_{0};
+  std::atomic<uint64_t> stat_sessions_parked_{0};
+  std::atomic<uint64_t> stat_sessions_resumed_{0};
+  std::atomic<uint64_t> stat_leases_expired_{0};
+  std::atomic<uint64_t> stat_dedup_hits_{0};
 };
 
 }  // namespace net

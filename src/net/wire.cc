@@ -266,6 +266,9 @@ bool GetStatus(WireReader* r, Status* st) {
     case StatusCode::kCancelled:
       *st = Status::Cancelled(message);
       return true;
+    case StatusCode::kUnknown:
+      *st = Status::Unknown(message);
+      return true;
   }
   return false;  // unknown status code: treat as malformed
 }

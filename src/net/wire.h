@@ -54,6 +54,13 @@ inline constexpr uint8_t kResponseBit = 0x80;
 /// 16 stops a hostile payload from exhausting the stack).
 inline constexpr int kMaxSpecDepth = 16;
 
+// Session continuity (DESIGN.md §8): the kHello response carries a
+// server-issued session token (u64 id + u64 secret) and the lease
+// duration in ms. A client that reconnects sends kResume {u64 id,
+// u64 secret} right after its new Hello; on success the server binds the
+// old session's state — open transaction and recorded request outcomes —
+// to the new connection (response: u8 tx_open). kNotFound means the
+// lease expired (or the token is unknown) and the old state is gone.
 enum class MsgType : uint8_t {
   kHello = 1,
   kBegin = 2,
@@ -74,10 +81,11 @@ enum class MsgType : uint8_t {
   kRename = 17,
   kStats = 18,
   kWorkloadInfo = 19,
+  kResume = 20,
 };
 /// Smallest/largest valid request type (validation on receive).
 inline constexpr uint8_t kMinMsgType = 1;
-inline constexpr uint8_t kMaxMsgType = 19;
+inline constexpr uint8_t kMaxMsgType = 20;
 
 struct FrameHeader {
   uint32_t payload_len = 0;

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/chaos_proxy.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "node/node_manager.h"
@@ -241,13 +242,38 @@ void WorkerLoop(const RunConfig& config, Testbed* bed, TaMixRunner* runner,
 /// commit log records the server-assigned commit sequence numbers, so the
 /// serializable replay check provides commit-set equality with the
 /// in-process runs.
+/// Thread-safe sum of every worker's client-side resilience counters.
+struct ClientNetAgg {
+  std::mutex mu;
+  net::ClientNetStats sum;
+
+  void Add(const net::ClientNetStats& s) {
+    std::lock_guard<std::mutex> guard(mu);
+    sum.reconnects += s.reconnects;
+    sum.resumes += s.resumes;
+    sum.lease_expired += s.lease_expired;
+    sum.retried_requests += s.retried_requests;
+    sum.unknown_commits += s.unknown_commits;
+    sum.io_timeouts += s.io_timeouts;
+  }
+};
+
 void ClientWorkerLoop(const RunConfig& config, uint16_t port,
                       const BibInfo* info, bool wal_enabled,
-                      MetricsCollector* metrics, TxType type,
-                      uint64_t worker_index, const std::atomic<bool>* stop,
-                      CommitLog* commit_log) {
+                      FaultInjector* faults, MetricsCollector* metrics,
+                      TxType type, uint64_t worker_index,
+                      const std::atomic<bool>* stop, CommitLog* commit_log,
+                      ClientNetAgg* net_agg) {
   Rng rng(config.seed * 1000003 + worker_index);
-  net::Client client;
+  net::ClientOptions copts;
+  copts.connect_timeout = config.net.connect_timeout;
+  copts.io_timeout = config.net.io_timeout;
+  copts.max_reconnect_attempts = config.net.max_reconnect_attempts;
+  copts.backoff = config.net.backoff;
+  copts.backoff_max = config.net.backoff_max;
+  copts.seed = config.seed * 1000003 + worker_index;
+  copts.faults = faults;
+  net::Client client(copts);
   net::RemoteDom dom(&client);
   TaMixBodyRunner bodies(info, config.Scaled(config.wait_after_operation));
 
@@ -267,6 +293,16 @@ void ClientWorkerLoop(const RunConfig& config, uint16_t port,
     SleepFor(Duration(static_cast<Duration::rep>(
         rng.NextDouble() * static_cast<double>(stagger.count()))));
   }
+  // Flush the client's resilience counters into the shared aggregate on
+  // every exit path.
+  struct StatsFlush {
+    net::Client* client;
+    ClientNetAgg* agg;
+    ~StatsFlush() {
+      if (agg != nullptr) agg->Add(client->net_stats());
+    }
+  } flush{&client, net_agg};
+
   const Duration backoff_cap = config.Scaled(config.retry_backoff_max);
   while (!stop->load(std::memory_order_relaxed)) {
     const uint64_t body_seed = rng.Next();
@@ -352,21 +388,38 @@ StatusOr<RunStats> RunCluster1(const RunConfig& config, ChaosReport* report) {
     sopts.request_deadline =
         config.Scaled(config.lock_wait_timeout) + std::chrono::seconds(10);
     sopts.drain_timeout = std::chrono::seconds(2);
+    sopts.session_lease = config.net.session_lease;
+    sopts.outcome_table_entries = config.net.outcome_table_entries;
     server = std::make_unique<net::Server>(
         net::Server::Deps{bed->node_manager.get(), bed->tx_manager.get(),
-                          &bed->protocol->table(), &bed->info, bed->wal.get()},
+                          &bed->protocol->table(), &bed->info, bed->wal.get(),
+                          bed->faults.get()},
         sopts);
     XTC_RETURN_IF_ERROR(server->Start());
   }
+  // Optional network chaos: interpose the byte-injuring proxy and point
+  // every worker at it instead of the server.
+  std::unique_ptr<net::ChaosProxy> chaos_proxy;
+  if (socket_mode && config.net.chaos != nullptr) {
+    chaos_proxy =
+        std::make_unique<net::ChaosProxy>(server->port(), *config.net.chaos);
+    XTC_RETURN_IF_ERROR(chaos_proxy->Start());
+  }
+  const uint16_t client_port =
+      server == nullptr ? 0
+                        : (chaos_proxy != nullptr ? chaos_proxy->port()
+                                                  : server->port());
+  ClientNetAgg net_agg;
 
   std::vector<std::thread> workers;
   uint64_t worker_index = 0;
   auto spawn = [&](TxType type, int count) {
     for (int i = 0; i < count; ++i) {
       if (socket_mode) {
-        workers.emplace_back(ClientWorkerLoop, std::cref(config),
-                             server->port(), &bed->info, bed->wal != nullptr,
-                             &metrics, type, worker_index++, &stop, log_ptr);
+        workers.emplace_back(ClientWorkerLoop, std::cref(config), client_port,
+                             &bed->info, bed->wal != nullptr,
+                             bed->faults.get(), &metrics, type, worker_index++,
+                             &stop, log_ptr, &net_agg);
       } else {
         workers.emplace_back(WorkerLoop, std::cref(config), bed.get(), &runner,
                              &metrics, type, worker_index++, &stop, log_ptr);
@@ -422,7 +475,9 @@ StatusOr<RunStats> RunCluster1(const RunConfig& config, ChaosReport* report) {
   if (checkpointer.joinable()) checkpointer.join();
   // Socket mode: graceful drain — the joined clients have disconnected,
   // so this aborts whatever transactions their sessions still held and
-  // flushes the WAL before the quiescence checks below.
+  // flushes the WAL before the quiescence checks below. The proxy goes
+  // first so no injured half-written frame can reach the draining server.
+  if (chaos_proxy != nullptr) chaos_proxy->Stop();
   if (server != nullptr) server->Stop();
   const int64_t elapsed_ms = ToMillis(Now() - start);
   const bool crashed = bed->crashed();
@@ -442,6 +497,37 @@ StatusOr<RunStats> RunCluster1(const RunConfig& config, ChaosReport* report) {
   if (bed->wal != nullptr) stats.wal = bed->wal->stats();
   if (config.replication != nullptr) {
     stats.repl = config.replication->Stats();
+  }
+  if (server != nullptr) {
+    const net::ServerStats ss = server->stats();
+    stats.net.enabled = true;
+    stats.net.sessions_accepted = ss.sessions_opened;
+    stats.net.sessions_parked = ss.sessions_parked;
+    stats.net.sessions_resumed = ss.sessions_resumed;
+    stats.net.leases_expired = ss.leases_expired;
+    stats.net.dedup_hits = ss.dedup_hits;
+    // Post-Stop gauges: anything nonzero here is a session leak.
+    stats.net.sessions_active_end = ss.active_sessions;
+    stats.net.sessions_parked_end = ss.parked_sessions;
+    {
+      std::lock_guard<std::mutex> guard(net_agg.mu);
+      stats.net.reconnects = net_agg.sum.reconnects;
+      stats.net.resumes = net_agg.sum.resumes;
+      stats.net.lease_expired = net_agg.sum.lease_expired;
+      stats.net.retried_requests = net_agg.sum.retried_requests;
+      stats.net.unknown_commits = net_agg.sum.unknown_commits;
+      stats.net.io_timeouts = net_agg.sum.io_timeouts;
+    }
+    if (chaos_proxy != nullptr) {
+      const net::ChaosProxyStats cs = chaos_proxy->stats();
+      stats.net.chaos_connections = cs.connections;
+      stats.net.chaos_drops = cs.drops;
+      stats.net.chaos_truncations = cs.truncations;
+      stats.net.chaos_delays = cs.delays;
+      stats.net.chaos_duplicates = cs.duplicates;
+      stats.net.chaos_cuts = cs.cuts;
+      stats.net.chaos_stalls = cs.stalls;
+    }
   }
   stats.run_duration_ms = elapsed_ms;
 
@@ -492,6 +578,9 @@ StatusOr<RunStats> RunCluster1(const RunConfig& config, ChaosReport* report) {
         report->injected_faults = bed->faults->total_injections();
         report->injection_log = bed->faults->InjectionLog();
       }
+      // The durable log of the *surviving* run, so callers (netfuzz) can
+      // check client-observed outcomes against WAL truth without a crash.
+      if (bed->wal != nullptr) report->log_image = bed->wal->DurableImage();
     }
     if (config.isolation == IsolationLevel::kSerializable) {
       // Strict long locks + serializable: commit order is a serialization

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "lock/lock_manager.h"
+#include "net/chaos_proxy.h"
 #include "repl/repl_stats.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
@@ -103,6 +104,29 @@ enum class WalMode { kAuto, kEnabled, kDisabled };
 /// measurement).
 enum class Frontend { kAuto, kInProcess, kSocket };
 
+/// Network resilience for the socket frontend (docs/robustness.md
+/// "Network chaos"). The defaults preserve the PR-8 behavior — fail-fast
+/// clients, disconnect aborts, no chaos — so existing runs are unchanged.
+struct NetResilience {
+  /// Client reconnect+retry budget after a transport failure inside a
+  /// round trip (0 = fail fast on the first transport error).
+  int max_reconnect_attempts = 0;
+  Duration connect_timeout = std::chrono::seconds(5);
+  Duration io_timeout = std::chrono::seconds(30);
+  Duration backoff = Millis(20);
+  Duration backoff_max = Millis(500);
+  /// Server-side lease: how long a disconnected session's transaction
+  /// and outcome table await a kResume (zero = abort on disconnect).
+  Duration session_lease = Duration::zero();
+  /// Per-session commit-outcome table depth (0 disables retry dedup).
+  size_t outcome_table_entries = 8;
+  /// When set, an in-process ChaosProxy is interposed between the client
+  /// workers and the server: workers connect to the proxy's port and the
+  /// proxy injures the byte stream per this plan. Not owned; the run
+  /// copies the plan at startup.
+  const net::ChaosPlan* chaos = nullptr;
+};
+
 /// One benchmark run. All timing parameters are the paper's, scaled by
 /// `time_scale` (default 1/50: a 5-minute run becomes 6 seconds).
 struct RunConfig {
@@ -135,6 +159,9 @@ struct RunConfig {
   WalMode wal = WalMode::kAuto;
   /// Client↔engine transport for CLUSTER1 (see Frontend).
   Frontend frontend = Frontend::kAuto;
+  /// Socket-frontend resilience: client retry budget, session leases,
+  /// outcome-table depth, optional chaos proxy.
+  NetResilience net;
   /// Commits between fuzzy checkpoints (0 = only the setup checkpoint).
   uint64_t checkpoint_every_commits = 64;
   /// Simulated hard kill: gives the instance a CrashSwitch (seeded from

@@ -72,6 +72,39 @@ struct TxTypeStats {
   double p99_ms() const { return latency.PercentileUs(0.99) / 1000.0; }
 };
 
+/// Socket-frontend resilience counters for one run (enabled=false when
+/// the run used the in-process frontend). Server-side numbers come from
+/// the embedded net::Server, client-side numbers are summed over every
+/// worker's net::Client, chaos numbers from the interposed proxy (all
+/// zero without one).
+struct NetRunStats {
+  bool enabled = false;
+  // Server side.
+  uint64_t sessions_accepted = 0;
+  uint64_t sessions_parked = 0;   // disconnects parked under a lease
+  uint64_t sessions_resumed = 0;  // successful kResume adoptions
+  uint64_t leases_expired = 0;    // parked cores that aged out
+  uint64_t dedup_hits = 0;        // retried requests answered from table
+  // Post-drain gauges (leak check: both must be zero after Stop).
+  uint64_t sessions_active_end = 0;
+  uint64_t sessions_parked_end = 0;
+  // Client side (summed over workers).
+  uint64_t reconnects = 0;
+  uint64_t resumes = 0;
+  uint64_t lease_expired = 0;
+  uint64_t retried_requests = 0;
+  uint64_t unknown_commits = 0;
+  uint64_t io_timeouts = 0;
+  // Chaos proxy.
+  uint64_t chaos_connections = 0;
+  uint64_t chaos_drops = 0;
+  uint64_t chaos_truncations = 0;
+  uint64_t chaos_delays = 0;
+  uint64_t chaos_duplicates = 0;
+  uint64_t chaos_cuts = 0;
+  uint64_t chaos_stalls = 0;
+};
+
 struct RunStats {
   std::array<TxTypeStats, kNumTxTypes> per_type;
   LockTableStats lock_stats;
@@ -88,6 +121,9 @@ struct RunStats {
   /// Log-shipping replication counters (enabled=false when the run had
   /// no replication observer attached).
   ReplicationStats repl;
+  /// Socket-frontend resilience counters (enabled=false when the run
+  /// used the in-process frontend).
+  NetRunStats net;
   int64_t run_duration_ms = 0;
 
   uint64_t total_committed() const {

@@ -10,7 +10,9 @@ std::vector<std::string_view> AllFaultPoints() {
           fault_points::kTxUndo,      fault_points::kWalFlush,
           fault_points::kCrashWal,    fault_points::kCrashPage,
           fault_points::kCrashCommit, fault_points::kCrashShip,
-          fault_points::kCrashApply};
+          fault_points::kCrashApply,  fault_points::kNetSend,
+          fault_points::kNetRecv,     fault_points::kNetDelay,
+          fault_points::kNetClose};
 }
 
 std::vector<std::string_view> AllCrashPoints() {
@@ -116,6 +118,8 @@ Status FaultInjector::MaybeFail(std::string_view point) {
       return Status::IoError(message);
     case StatusCode::kDataLoss:
       return Status::DataLoss(message);
+    case StatusCode::kUnknown:
+      return Status::Unknown(message);
     case StatusCode::kInternal:
     case StatusCode::kOk:  // a "fault" must be an error; degrade to internal
       return Status::Internal(message);

@@ -63,6 +63,19 @@ inline constexpr std::string_view kCrashPage = "crash.page";
 inline constexpr std::string_view kCrashCommit = "crash.commit";
 inline constexpr std::string_view kCrashShip = "crash.ship";
 inline constexpr std::string_view kCrashApply = "crash.apply";
+// Network fault points (src/net/). Evaluated on both sides of the wire:
+// the server in ReadSession/SendAll/Process, the client in its
+// send/recv/round-trip paths. A firing point behaves exactly like the
+// corresponding socket failure — the connection drops and the normal
+// disconnect machinery (lease park or abort) takes over.
+//   net.send  — the next send fails; the connection is dropped.
+//   net.recv  — the next receive fails; the connection is dropped.
+//   net.delay — the operation is delayed (a stall, not a failure).
+//   net.close — the connection is closed out from under the caller.
+inline constexpr std::string_view kNetSend = "net.send";
+inline constexpr std::string_view kNetRecv = "net.recv";
+inline constexpr std::string_view kNetDelay = "net.delay";
+inline constexpr std::string_view kNetClose = "net.close";
 }  // namespace fault_points
 
 /// Every fault point the stack defines (for "arm everything" configs).

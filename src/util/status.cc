@@ -31,6 +31,8 @@ const char* CodeName(StatusCode code) {
       return "WOULD_BLOCK";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kUnknown:
+      return "UNKNOWN_OUTCOME";
   }
   return "UNKNOWN";
 }

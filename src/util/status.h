@@ -52,6 +52,13 @@ enum class StatusCode : int {
   // its request was parked in the lock table). The transaction must
   // abort; retrying is pointless — the system is shutting the work down.
   kCancelled = 12,
+  // The outcome of a request is genuinely indeterminate: the connection
+  // died after the request may have executed, and the server-side
+  // session lease expired (or reconnection failed for good) before the
+  // client could resolve it from the outcome table. Only the network
+  // client produces this, and only for commit — every other request is
+  // either idempotent or resolvable.
+  kUnknown = 13,
 };
 
 /// Lightweight result type: a code plus an optional message.
@@ -96,6 +103,9 @@ class Status {
   static Status Cancelled(std::string_view m = "wait cancelled") {
     return Status(StatusCode::kCancelled, m);
   }
+  static Status Unknown(std::string_view m = "outcome unknown") {
+    return Status(StatusCode::kUnknown, m);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -114,6 +124,7 @@ class Status {
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsWouldBlock() const { return code_ == StatusCode::kWouldBlock; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnknown() const { return code_ == StatusCode::kUnknown; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 

@@ -158,9 +158,10 @@ TEST(FaultInjectorTest, MaybeFailCarriesConfiguredCodeAndMessage) {
 
 TEST(FaultInjectorTest, AllFaultPointsEnumeratesTheWholeStack) {
   const auto points = AllFaultPoints();
-  // 7 clean-failure points + wal.flush + the five crash.* kill points
-  // (tests/fault_points_test.cc pins the exact list against the docs).
-  EXPECT_EQ(points.size(), 13u);
+  // 7 clean-failure points + wal.flush + the five crash.* kill points +
+  // the four net.* wire points (tests/fault_points_test.cc pins the
+  // exact list against the docs).
+  EXPECT_EQ(points.size(), 17u);
   const FaultPlan plan = FaultPlan::AllPoints(0.5);
   EXPECT_TRUE(plan.enabled());
   EXPECT_EQ(plan.points.size(), points.size());

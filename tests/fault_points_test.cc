@@ -73,7 +73,9 @@ TEST(FaultPointsTest, AllNamedConstantsAreEnumerated) {
         fault_points::kTxUndo, fault_points::kWalFlush,
         fault_points::kCrashWal, fault_points::kCrashPage,
         fault_points::kCrashCommit, fault_points::kCrashShip,
-        fault_points::kCrashApply}) {
+        fault_points::kCrashApply, fault_points::kNetSend,
+        fault_points::kNetRecv, fault_points::kNetDelay,
+        fault_points::kNetClose}) {
     EXPECT_TRUE(in_code.count(std::string(p)) != 0)
         << "constant '" << p << "' not returned by AllFaultPoints()";
   }

@@ -21,12 +21,14 @@
 #include <string>
 #include <thread>
 
+#include "net/chaos_proxy.h"
 #include "net/client.h"
 #include "net/wire.h"
 #include "protocols/protocol_registry.h"
 #include "tamix/coordinator.h"
 #include "tamix/transactions.h"
 #include "util/crc32.h"
+#include "util/fault_injector.h"
 
 namespace xtc {
 namespace net {
@@ -130,6 +132,60 @@ std::string BeginPayload(IsolationLevel isolation = IsolationLevel::kRepeatable,
   return w.str();
 }
 
+// --- Exact stream offsets for the torn-frame batteries --------------------
+// The chaos proxy shapes raw bytes, so the batteries compute every cut
+// point from the wire encoding itself instead of hard-coding offsets
+// that would silently rot when the protocol changes.
+
+size_t OkStatusBytes() {
+  WireWriter w;
+  PutStatus(&w, Status::OK());
+  return w.str().size();
+}
+
+size_t HelloRequestBytes() {
+  WireWriter w;
+  w.Str("xtc-tamix-client");
+  return kHeaderSize + w.str().size();
+}
+
+/// Hello response: status, version, token id, token secret, lease ms.
+size_t HelloResponseBytes() {
+  return kHeaderSize + OkStatusBytes() + 1 + 8 + 8 + 4;
+}
+
+size_t BeginRequestBytes() { return kHeaderSize + BeginPayload().size(); }
+
+/// Begin response: status, transaction id.
+size_t BeginResponseBytes() { return kHeaderSize + OkStatusBytes() + 8; }
+
+size_t CommitRequestBytes() {
+  WireWriter w;
+  w.Str("");  // empty wal_payload, as Client::Commit() sends by default
+  return kHeaderSize + w.str().size();
+}
+
+/// Commit response: status, commit sequence number.
+size_t CommitResponseBytes() { return kHeaderSize + OkStatusBytes() + 8; }
+
+/// A client that reconnects, resumes and retries; short deadlines so the
+/// half-open scenarios resolve in test time.
+ClientOptions ResilientOptions() {
+  ClientOptions o;
+  o.io_timeout = Millis(400);
+  o.max_reconnect_attempts = 10;
+  o.backoff = Millis(5);
+  o.backoff_max = Millis(40);
+  o.seed = 7;
+  return o;
+}
+
+ServerOptions LeaseOptions() {
+  ServerOptions o;
+  o.session_lease = std::chrono::seconds(30);
+  return o;
+}
+
 class NetServerTest : public ::testing::Test {
  protected:
   void BuildEngine(Duration wait_timeout = Millis(2000)) {
@@ -145,11 +201,12 @@ class NetServerTest : public ::testing::Test {
     nm_ = std::make_unique<NodeManager>(&doc_, lm_.get());
   }
 
-  void StartServer(ServerOptions options = {}) {
+  void StartServer(ServerOptions options = {},
+                   FaultInjector* faults = nullptr) {
     if (nm_ == nullptr) BuildEngine();
     server_ = std::make_unique<Server>(
         Server::Deps{nm_.get(), tm_.get(), &protocol_->table(), &info_,
-                     nullptr},
+                     nullptr, faults},
         options);
     ASSERT_TRUE(server_->Start().ok());
   }
@@ -594,6 +651,420 @@ TEST_F(NetServerTest, StopWithConnectedIdleClientsIsClean) {
       a.Begin(IsolationLevel::kRepeatable, 7, TxType::kQueryBook).ok());
   server_->Stop();
   EXPECT_EQ(tm_->num_active(), 0u);
+}
+
+// --- Network resilience: deadlines, leases, resume, exactly-once ----------
+
+TEST_F(NetServerTest, IoDeadlineFiresAgainstHalfOpenPeer) {
+  // A peer that acks the connection and then goes silent mid-response
+  // header: without poll deadlines the client would block in recv
+  // forever. The stall swallows everything past byte 10 of the hello
+  // response (half a header) while keeping the connection open.
+  StartServer();
+  ChaosPlan plan;
+  plan.stall_server_to_client = 10;
+  ChaosProxy proxy(server_->port(), plan);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  ClientOptions opts;
+  opts.io_timeout = Millis(250);
+  Client client(opts);
+  const TimePoint t0 = Now();
+  const Status st = client.Connect("127.0.0.1", proxy.port());
+  const Duration elapsed = Now() - t0;
+
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError) << st.ToString();
+  EXPECT_LT(ToMillis(elapsed), 5000) << "deadline did not bound the recv";
+  EXPECT_GE(client.net_stats().io_timeouts, 1u);
+  proxy.Stop();
+  ExpectQuiescent();
+}
+
+TEST_F(NetServerTest, TornCommitResponseEveryByteResolvesExactlyOnce) {
+  // The commit executed; its response is cut off the wire at byte k, for
+  // every k across the response header and payload (k == full size cuts
+  // right after the last byte). Every cut must resolve to the SAME
+  // commit, exactly once, through reconnect + resume + the outcome
+  // table — never a second application, never kUnknown.
+  //
+  // k = 0 is unreachable by byte-cutting (the proxy's cut fires at the
+  // end of the preceding chunk, severing before the commit request is
+  // even sent); the zero-response-bytes case is exactly what
+  // OutcomeRecordedBeforeResponseWrite covers via the net.send fault.
+  const size_t pre = HelloResponseBytes() + BeginResponseBytes();
+  const size_t resp = CommitResponseBytes();
+  for (size_t k = 1; k <= resp; ++k) {
+    SCOPED_TRACE("commit response cut at byte " + std::to_string(k));
+    StartServer(LeaseOptions());
+    ChaosPlan plan;
+    plan.cut_server_to_client = static_cast<int64_t>(pre + k);
+    plan.shape_conn_index = 0;  // the reconnect goes through untouched
+    ChaosProxy proxy(server_->port(), plan);
+    ASSERT_TRUE(proxy.Start().ok());
+
+    Client client(ResilientOptions());
+    ASSERT_TRUE(client.Connect("127.0.0.1", proxy.port()).ok());
+    ASSERT_TRUE(
+        client.Begin(IsolationLevel::kRepeatable, 7, TxType::kQueryBook).ok());
+    auto seq = client.Commit();
+    ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+
+    const ServerStats ss = server_->stats();
+    EXPECT_EQ(ss.tx_committed, 1u);
+    EXPECT_EQ(ss.tx_aborted, 0u);
+    if (k < resp) {
+      // The torn response forced the resolution path.
+      EXPECT_GE(ss.sessions_parked, 1u);
+      EXPECT_EQ(ss.sessions_resumed, 1u);
+      EXPECT_EQ(ss.dedup_hits, 1u);
+      EXPECT_GE(client.net_stats().reconnects, 1u);
+      EXPECT_GE(client.net_stats().retried_requests, 1u);
+      EXPECT_FALSE(client.resumed_tx_open())
+          << "commit had executed; resume must not find an open tx";
+    }
+    client.Close();
+    proxy.Stop();
+    ExpectQuiescent();
+    server_->Stop();
+  }
+}
+
+TEST_F(NetServerTest, TornCommitRequestEveryByteCommitsExactlyOnce) {
+  // The commit request is cut off the wire at byte k before the server
+  // could assemble it: the transaction parks OPEN under its lease, the
+  // resumed client retries, and the commit executes exactly once — this
+  // time for real, since the server never saw the original.
+  const size_t pre = HelloRequestBytes() + BeginRequestBytes();
+  const size_t req = CommitRequestBytes();
+  // k = 0 would cut at the end of the Begin request (a different
+  // scenario, covered by TornBeginResponseResolvesFromOutcomeTable).
+  for (size_t k = 1; k <= req; ++k) {
+    SCOPED_TRACE("commit request cut at byte " + std::to_string(k));
+    StartServer(LeaseOptions());
+    ChaosPlan plan;
+    plan.cut_client_to_server = static_cast<int64_t>(pre + k);
+    plan.shape_conn_index = 0;
+    ChaosProxy proxy(server_->port(), plan);
+    ASSERT_TRUE(proxy.Start().ok());
+
+    Client client(ResilientOptions());
+    ASSERT_TRUE(client.Connect("127.0.0.1", proxy.port()).ok());
+    ASSERT_TRUE(
+        client.Begin(IsolationLevel::kRepeatable, 7, TxType::kQueryBook).ok());
+    auto seq = client.Commit();
+    ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+
+    const ServerStats ss = server_->stats();
+    EXPECT_EQ(ss.tx_committed, 1u);
+    EXPECT_EQ(ss.tx_aborted, 0u);
+    if (k < req) {
+      // The server never executed the original: the retry is a fresh
+      // execution against the resumed open transaction, not a replay.
+      EXPECT_EQ(ss.dedup_hits, 0u);
+      EXPECT_EQ(ss.sessions_resumed, 1u);
+      EXPECT_TRUE(client.resumed_tx_open());
+    }
+    client.Close();
+    proxy.Stop();
+    ExpectQuiescent();
+    server_->Stop();
+  }
+}
+
+TEST_F(NetServerTest, TornBeginResponseResolvesFromOutcomeTable) {
+  // Severing right after the full Begin request: the server begun the
+  // transaction but the client never learned its id. The retried Begin
+  // must be answered from the outcome table — a re-execution would fail
+  // ("transaction already open") or, worse, leak a second transaction.
+  StartServer(LeaseOptions());
+  ChaosPlan plan;
+  plan.cut_client_to_server =
+      static_cast<int64_t>(HelloRequestBytes() + BeginRequestBytes());
+  plan.shape_conn_index = 0;
+  ChaosProxy proxy(server_->port(), plan);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  Client client(ResilientOptions());
+  ASSERT_TRUE(client.Connect("127.0.0.1", proxy.port()).ok());
+  auto tx_id = client.Begin(IsolationLevel::kRepeatable, 7, TxType::kQueryBook);
+  ASSERT_TRUE(tx_id.ok()) << tx_id.status().ToString();
+  EXPECT_TRUE(client.Commit().ok());
+
+  const ServerStats ss = server_->stats();
+  EXPECT_EQ(ss.tx_begun, 1u) << "retried Begin must not open a second tx";
+  EXPECT_EQ(ss.tx_committed, 1u);
+  EXPECT_GE(ss.dedup_hits, 1u);
+  client.Close();
+  proxy.Stop();
+  ExpectQuiescent();
+}
+
+TEST_F(NetServerTest, HalfOpenStallMidCommitResponseResolvesExactlyOnce) {
+  // Like the cut battery, but the connection stays open while the bytes
+  // vanish (a NAT silently dropping one direction): detection is the
+  // client's recv deadline, not EOF. Mid-header and mid-payload points.
+  const size_t pre = HelloResponseBytes() + BeginResponseBytes();
+  for (size_t k : {size_t{10}, size_t{28}}) {
+    SCOPED_TRACE("commit response stalled at byte " + std::to_string(k));
+    StartServer(LeaseOptions());
+    ChaosPlan plan;
+    plan.stall_server_to_client = static_cast<int64_t>(pre + k);
+    plan.shape_conn_index = 0;
+    ChaosProxy proxy(server_->port(), plan);
+    ASSERT_TRUE(proxy.Start().ok());
+
+    Client client(ResilientOptions());
+    ASSERT_TRUE(client.Connect("127.0.0.1", proxy.port()).ok());
+    ASSERT_TRUE(
+        client.Begin(IsolationLevel::kRepeatable, 7, TxType::kQueryBook).ok());
+    auto seq = client.Commit();
+    ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+
+    const ServerStats ss = server_->stats();
+    EXPECT_EQ(ss.tx_committed, 1u);
+    EXPECT_EQ(ss.dedup_hits, 1u);
+    EXPECT_GE(client.net_stats().io_timeouts, 1u);
+    client.Close();
+    proxy.Stop();
+    ExpectQuiescent();
+    server_->Stop();
+  }
+}
+
+TEST_F(NetServerTest, OutcomeRecordedBeforeResponseWrite) {
+  // The ordering invariant behind all of the above, tested at the fault
+  // point itself: net.send fires on the commit response (the third send
+  // of the session), so the bytes never leave the server — yet the
+  // retried commit must still be answered from the outcome table. If
+  // recording happened after the write, the retry would find no open
+  // transaction and fail.
+  FaultInjector faults(42);
+  FaultPointConfig fp;
+  fp.probability = 1.0;
+  fp.one_shot = true;
+  fp.skip_first = 2;  // let the hello and begin responses through
+  faults.Arm(fault_points::kNetSend, fp);
+  StartServer(LeaseOptions(), &faults);
+
+  Client client(ResilientOptions());
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(
+      client.Begin(IsolationLevel::kRepeatable, 7, TxType::kQueryBook).ok());
+  auto seq = client.Commit();
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+
+  EXPECT_EQ(faults.injections(fault_points::kNetSend), 1u);
+  const ServerStats ss = server_->stats();
+  EXPECT_EQ(ss.tx_committed, 1u);
+  EXPECT_EQ(ss.dedup_hits, 1u);
+  client.Close();
+  ExpectQuiescent();
+  server_->Stop();
+}
+
+TEST_F(NetServerTest, DuplicatedCommitFrameIsAnsweredFromOutcomeTable) {
+  // A duplicated frame (retransmission, or the chaos proxy's duplicate
+  // injury) replays a request_id the server already executed on the SAME
+  // connection. The response must be byte-identical and the commit must
+  // not run twice.
+  StartServer();
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+
+  ASSERT_TRUE(conn.Send(
+      EncodeFrame(static_cast<uint8_t>(MsgType::kBegin), 2, BeginPayload())));
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(conn.RecvFrame(&header, &payload));
+
+  WireWriter cw;
+  cw.Str("");
+  const std::string commit =
+      EncodeFrame(static_cast<uint8_t>(MsgType::kCommit), 3, cw.str());
+  ASSERT_TRUE(conn.Send(commit));
+  std::string first;
+  ASSERT_TRUE(conn.RecvFrame(&header, &first));
+  {
+    WireReader r(first);
+    Status st;
+    ASSERT_TRUE(GetStatus(&r, &st));
+    ASSERT_TRUE(st.ok());
+  }
+
+  ASSERT_TRUE(conn.Send(commit));  // byte-identical duplicate
+  std::string second;
+  ASSERT_TRUE(conn.RecvFrame(&header, &second));
+  EXPECT_EQ(header.request_id, 3u);
+  EXPECT_EQ(first, second) << "replay must return the recorded response";
+
+  const ServerStats ss = server_->stats();
+  EXPECT_EQ(ss.tx_committed, 1u);
+  EXPECT_GE(ss.dedup_hits, 1u);
+  conn.Close();
+  ExpectQuiescent();
+}
+
+TEST_F(NetServerTest, LeaseParksDisconnectAndKeepsLocksHeld) {
+  // With a lease, a disconnect is presumed transient: the transaction
+  // parks with its locks HELD (a conflicting writer times out) instead
+  // of aborting — the opposite of DisconnectReleasesLocksForOtherClients.
+  BuildEngine(/*wait_timeout=*/Millis(250));
+  StartServer(LeaseOptions());
+
+  Client holder;
+  ASSERT_TRUE(holder.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(
+      holder.Begin(IsolationLevel::kRepeatable, 7, TxType::kRenameTopic).ok());
+  RemoteDom holder_dom(&holder);
+  auto book = holder_dom.GetElementById(info_.book_ids[0]);
+  ASSERT_TRUE(book.ok() && book->has_value());
+  ASSERT_TRUE(holder_dom.DeclareUpdateIntent(**book).ok());
+  ASSERT_TRUE(holder_dom.Rename(**book, "book").ok());  // exclusive lock
+  holder.Close();
+
+  ASSERT_TRUE(
+      PollUntil([&] { return server_->stats().sessions_parked >= 1; }));
+  EXPECT_EQ(tm_->num_active(), 1u) << "lease must keep the tx alive";
+
+  Client probe;
+  ASSERT_TRUE(probe.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(
+      probe.Begin(IsolationLevel::kRepeatable, 7, TxType::kRenameTopic).ok());
+  RemoteDom probe_dom(&probe);
+  auto same = probe_dom.GetElementById(info_.book_ids[0]);
+  EXPECT_FALSE(same.ok()) << "parked tx must still hold its exclusive lock";
+  EXPECT_TRUE(probe.Abort().ok());
+  probe.Close();
+
+  server_->Stop();  // drain aborts the parked core
+  EXPECT_EQ(tm_->num_active(), 0u);
+}
+
+TEST_F(NetServerTest, LeaseExpiryAbortsParkedTransactionAndReleasesLocks) {
+  ServerOptions options;
+  options.session_lease = Millis(200);
+  StartServer(options);
+
+  Client holder;
+  ASSERT_TRUE(holder.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(
+      holder.Begin(IsolationLevel::kRepeatable, 7, TxType::kRenameTopic).ok());
+  RemoteDom holder_dom(&holder);
+  auto book = holder_dom.GetElementById(info_.book_ids[0]);
+  ASSERT_TRUE(book.ok() && book->has_value());
+  ASSERT_TRUE(holder_dom.DeclareUpdateIntent(**book).ok());
+  ASSERT_TRUE(holder_dom.Rename(**book, "book").ok());
+  holder.Close();
+
+  ASSERT_TRUE(
+      PollUntil([&] { return server_->stats().sessions_parked >= 1; }));
+  // Nobody resumes: the lease ages out and the abort path releases the
+  // locks just as an immediate disconnect-abort would have.
+  ASSERT_TRUE(PollUntil([&] { return server_->stats().leases_expired >= 1; }));
+  ExpectQuiescent();
+  EXPECT_GE(server_->stats().tx_aborted, 1u);
+
+  Client next;
+  ASSERT_TRUE(next.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(
+      next.Begin(IsolationLevel::kRepeatable, 7, TxType::kRenameTopic).ok());
+  RemoteDom next_dom(&next);
+  auto same = next_dom.GetElementById(info_.book_ids[0]);
+  ASSERT_TRUE(same.ok() && same->has_value());
+  ASSERT_TRUE(next_dom.DeclareUpdateIntent(**same).ok());
+  EXPECT_TRUE(next_dom.Rename(**same, "book").ok());
+  EXPECT_TRUE(next.Commit().ok());
+  ExpectQuiescent();
+}
+
+TEST_F(NetServerTest, ResumeWithWrongSecretIsNotFound) {
+  StartServer(LeaseOptions());
+
+  // First connection: handshake for a token, open a transaction, vanish.
+  RawConn first(server_->port());
+  ASSERT_TRUE(first.ok());
+  WireWriter hw;
+  hw.Str("xtc-tamix-client");
+  ASSERT_TRUE(first.Send(
+      EncodeFrame(static_cast<uint8_t>(MsgType::kHello), 1, hw.str())));
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(first.RecvFrame(&header, &payload));
+  uint64_t token_id = 0, secret = 0;
+  uint32_t lease_ms = 0;
+  {
+    WireReader r(payload);
+    Status st;
+    uint8_t version;
+    ASSERT_TRUE(GetStatus(&r, &st) && st.ok());
+    ASSERT_TRUE(r.U8(&version) && r.U64(&token_id) && r.U64(&secret) &&
+                r.U32(&lease_ms));
+  }
+  EXPECT_NE(token_id, 0u);
+  EXPECT_EQ(lease_ms, 30000u);
+  ASSERT_TRUE(first.Send(
+      EncodeFrame(static_cast<uint8_t>(MsgType::kBegin), 2, BeginPayload())));
+  ASSERT_TRUE(first.RecvFrame(&header, &payload));
+  first.Close();
+  ASSERT_TRUE(
+      PollUntil([&] { return server_->stats().sessions_parked >= 1; }));
+
+  // Second connection: a wrong secret must be indistinguishable from an
+  // expired lease (kNotFound), and must NOT burn the parked core.
+  RawConn second(server_->port());
+  ASSERT_TRUE(second.ok());
+  {
+    WireWriter w;
+    w.U64(token_id);
+    w.U64(secret ^ 1);
+    ASSERT_TRUE(second.Send(
+        EncodeFrame(static_cast<uint8_t>(MsgType::kResume), 1, w.str())));
+    ASSERT_TRUE(second.RecvFrame(&header, &payload));
+    WireReader r(payload);
+    Status st;
+    ASSERT_TRUE(GetStatus(&r, &st));
+    EXPECT_EQ(st.code(), StatusCode::kNotFound) << st.ToString();
+  }
+  {
+    WireWriter w;
+    w.U64(token_id);
+    w.U64(secret);
+    ASSERT_TRUE(second.Send(
+        EncodeFrame(static_cast<uint8_t>(MsgType::kResume), 2, w.str())));
+    ASSERT_TRUE(second.RecvFrame(&header, &payload));
+    WireReader r(payload);
+    Status st;
+    uint8_t tx_open = 0;
+    ASSERT_TRUE(GetStatus(&r, &st) && st.ok());
+    ASSERT_TRUE(r.U8(&tx_open));
+    EXPECT_EQ(tx_open, 1u) << "the parked transaction must still be open";
+  }
+  ASSERT_TRUE(
+      second.Send(EncodeFrame(static_cast<uint8_t>(MsgType::kAbort), 3, "")));
+  ASSERT_TRUE(second.RecvFrame(&header, &payload));
+  EXPECT_EQ(server_->stats().sessions_resumed, 1u);
+  second.Close();
+  ExpectQuiescent();
+}
+
+TEST_F(NetServerTest, ResumeWithoutLeasesIsNotSupported) {
+  StartServer();  // session_lease = 0: the pre-lease server
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+  WireWriter w;
+  w.U64(1);
+  w.U64(1);
+  ASSERT_TRUE(conn.Send(
+      EncodeFrame(static_cast<uint8_t>(MsgType::kResume), 1, w.str())));
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(conn.RecvFrame(&header, &payload));
+  WireReader r(payload);
+  Status st;
+  ASSERT_TRUE(GetStatus(&r, &st));
+  EXPECT_EQ(st.code(), StatusCode::kNotSupported) << st.ToString();
+  ExpectQuiescent();
 }
 
 // --- Coordinator integration ----------------------------------------------

@@ -1,0 +1,101 @@
+// netfuzz: seeded network-chaos fuzzing of the socket frontend
+// (docs/robustness.md "Network chaos").
+//
+// Each seed runs a short serializable CLUSTER1 workload over loopback
+// with one network-injury mode armed — rotating over byte-level proxy
+// chaos (drops, truncations, delays, duplicated chunks), seeded net.*
+// fault points on both sides of the wire, and a combined mode — with
+// resilient clients (deadlines, reconnect + resume, retry) against a
+// lease-granting, outcome-recording server. The seed passes only if the
+// exactly-once contract holds: client-observed committed transactions
+// equal the server's durable WAL commit records exactly, commit
+// sequence numbers are unique, zero commits ended kUnknown, zero
+// sessions leaked after drain, and the surviving document equals a
+// single-threaded replay of the committed transactions.
+//
+// Usage:
+//   netfuzz [--seeds N] [--start S] [--smoke] [-v]
+//
+// --seeds N   seeds to run (default 32)
+// --start S   first seed (default 1; seeds are S..S+N-1)
+// --smoke     CI preset: halve the per-run duration
+// -v          print one line per seed instead of only failures
+//
+// Exits 0 iff every seed passes. A seed where no injury fired still
+// counts as a pass (the full invariant suite ran), but is reported,
+// since a sweep of misses is not testing resilience.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "net/netfuzz_harness.h"
+
+int main(int argc, char** argv) {
+  int seeds = 32;
+  int start = 1;
+  bool smoke = false;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--start") == 0 && i + 1 < argc) {
+      start = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "-v") == 0) {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: netfuzz [--seeds N] [--start S] [--smoke] [-v]\n");
+      return 2;
+    }
+  }
+  if (seeds <= 0) return 0;
+
+  int failures = 0;
+  int misses = 0;
+  unsigned long long commits = 0;
+  unsigned long long injuries = 0;
+  unsigned long long resumes = 0;
+  unsigned long long dedup_hits = 0;
+  for (int i = 0; i < seeds; ++i) {
+    const uint64_t seed = static_cast<uint64_t>(start + i);
+    xtc::net::NetFuzzConfig config;
+    config.seed = seed;
+    config.smoke = smoke;
+    auto outcome = xtc::net::RunNetFuzz(config);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "FAIL  seed %3llu  %s\n",
+                   static_cast<unsigned long long>(seed),
+                   outcome.status().message().c_str());
+      ++failures;
+      continue;
+    }
+    if (!outcome->chaos_fired) ++misses;
+    commits += outcome->committed;
+    injuries += outcome->injuries;
+    resumes += outcome->net.sessions_resumed;
+    dedup_hits += outcome->net.dedup_hits;
+    if (verbose || !outcome->chaos_fired) {
+      std::printf(
+          "%s  seed %3llu  %-20s commits=%llu injuries=%llu "
+          "reconnects=%llu resumes=%llu dedup=%llu parked=%llu\n",
+          outcome->chaos_fired ? "ok  " : "miss",
+          static_cast<unsigned long long>(seed), outcome->chaos_mode.c_str(),
+          static_cast<unsigned long long>(outcome->committed),
+          static_cast<unsigned long long>(outcome->injuries),
+          static_cast<unsigned long long>(outcome->net.reconnects),
+          static_cast<unsigned long long>(outcome->net.sessions_resumed),
+          static_cast<unsigned long long>(outcome->net.dedup_hits),
+          static_cast<unsigned long long>(outcome->net.sessions_parked));
+    }
+  }
+  std::printf(
+      "netfuzz: %d seed(s) over %d chaos mode(s), %d miss(es), "
+      "%llu commits exactly-once-verified, %llu injuries, "
+      "%llu resumes, %llu dedup hits, %d failure(s)\n",
+      seeds, xtc::net::NumChaosModes(), misses, commits, injuries, resumes,
+      dedup_hits, failures);
+  return failures == 0 ? 0 : 1;
+}
